@@ -1,0 +1,19 @@
+//! `cargo bench -p mpio-dafs-bench --bench experiments` regenerates every
+//! reconstructed table and figure of the evaluation (R-T1 … R-F6). All
+//! numbers are virtual-time quantities from the calibrated cost models and
+//! are bit-identical across runs.
+//!
+//! Pass experiment ids as arguments to run a subset:
+//! `cargo bench --bench experiments -- R-T1 R-F2`
+
+fn main() {
+    let filter: Vec<String> = std::env::args().skip(1).collect();
+    // `cargo bench` passes --bench; ignore flag-like args.
+    let wanted: Vec<&String> = filter.iter().filter(|a| !a.starts_with('-')).collect();
+    for (id, run) in mpio_dafs_bench::all_experiments() {
+        if !wanted.is_empty() && !wanted.iter().any(|w| w.eq_ignore_ascii_case(id)) {
+            continue;
+        }
+        run().print();
+    }
+}

@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks of the hot code paths (real wall-clock
+//! performance of the library itself, as opposed to the virtual-time
+//! experiments in the `experiments` bench target).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use memfs::{MemFs, ROOT_ID};
+use mpiio::{Datatype, FileView};
+use simnet::{Port, SimKernel};
+
+fn bench_datatype_flatten(c: &mut Criterion) {
+    // A realistically gnarly nested type: struct of vectors over indexed.
+    let el = Datatype::bytes(8);
+    let inner = Datatype::vector(16, 2, 5, &el);
+    let idx = Datatype::indexed(&[(2, 0), (1, 50), (3, 100)], &inner);
+    let dt = Datatype::struct_of(&[(1, 0, idx.clone()), (2, 4096, inner)]);
+    c.bench_function("datatype_flatten_nested", |b| {
+        b.iter(|| black_box(&dt).flatten())
+    });
+    let sub = Datatype::subarray(&[64, 64, 64], &[16, 16, 16], &[8, 8, 8], &Datatype::bytes(8));
+    c.bench_function("datatype_flatten_subarray_16x16x16", |b| {
+        b.iter(|| black_box(&sub).flatten())
+    });
+}
+
+fn bench_view_map(c: &mut Criterion) {
+    let ft = Datatype::resized(&Datatype::bytes(4096), 0, 65536);
+    let view = FileView::new(0, &Datatype::bytes(1), &ft);
+    c.bench_function("view_map_1MiB_through_4K_stripes", |b| {
+        b.iter(|| black_box(&view).map(black_box(12345), black_box(1 << 20)))
+    });
+}
+
+fn bench_memfs(c: &mut Criterion) {
+    c.bench_function("memfs_write_read_64KiB", |b| {
+        let fs = MemFs::new();
+        let f = fs.create(ROOT_ID, "bench").unwrap();
+        let data = vec![7u8; 64 << 10];
+        b.iter(|| {
+            fs.write(f.id, 0, black_box(&data)).unwrap();
+            black_box(fs.read(f.id, 0, 64 << 10).unwrap());
+        })
+    });
+}
+
+fn bench_des_kernel(c: &mut Criterion) {
+    // Wall-clock cost of the DES kernel: one ping-pong pair doing 1000
+    // timed message exchanges (2000 scheduling events + wakes).
+    c.bench_function("des_kernel_1000_roundtrips", |b| {
+        b.iter_batched(
+            SimKernel::new,
+            |kernel| {
+                let ab: Port<u32> = Port::new("ab");
+                let ba: Port<u32> = Port::new("ba");
+                {
+                    let (ab, ba) = (ab.clone(), ba.clone());
+                    kernel.spawn("a", move |ctx| {
+                        for i in 0..1000u32 {
+                            ab.send(ctx, i, ctx.now() + simnet::time::units::us(5));
+                            ba.recv(ctx).unwrap();
+                        }
+                        ab.close(ctx);
+                    });
+                }
+                kernel.spawn_daemon("b", move |ctx| {
+                    while let Some(v) = ab.recv(ctx) {
+                        ba.send(ctx, v, ctx.now() + simnet::time::units::us(5));
+                    }
+                });
+                kernel.run()
+            },
+            BatchSize::PerIteration,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_datatype_flatten, bench_view_map, bench_memfs, bench_des_kernel
+}
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Run a single experiment: `cargo run -p mpio-dafs-bench --release --bin f1_transport_bandwidth`.
+fn main() {
+    mpio_dafs_bench::f1_transport_bandwidth::run().print();
+}

@@ -1,0 +1,4 @@
+//! Run a single experiment: `cargo run -p mpio-dafs-bench --release --bin f2_file_bandwidth`.
+fn main() {
+    mpio_dafs_bench::f2_file_bandwidth::run().print();
+}

@@ -1,0 +1,4 @@
+//! Run a single experiment: `cargo run -p mpio-dafs-bench --release --bin f3_mpiio_scaling`.
+fn main() {
+    mpio_dafs_bench::f3_mpiio_scaling::run().print();
+}

@@ -1,0 +1,4 @@
+//! Run a single experiment: `cargo run -p mpio-dafs-bench --release --bin f4_collective_vs_independent`.
+fn main() {
+    mpio_dafs_bench::f4_collective_vs_independent::run().print();
+}

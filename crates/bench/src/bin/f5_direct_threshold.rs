@@ -1,0 +1,4 @@
+//! Run a single experiment: `cargo run -p mpio-dafs-bench --release --bin f5_direct_threshold`.
+fn main() {
+    mpio_dafs_bench::f5_direct_threshold::run().print();
+}

@@ -1,0 +1,4 @@
+//! Run a single experiment: `cargo run -p mpio-dafs-bench --release --bin f6_server_saturation`.
+fn main() {
+    mpio_dafs_bench::f6_server_saturation::run().print();
+}

@@ -1,0 +1,4 @@
+//! Run a single experiment: `cargo run -p mpio-dafs-bench --release --bin t1_transport_latency`.
+fn main() {
+    mpio_dafs_bench::t1_transport_latency::run().print();
+}

@@ -1,0 +1,4 @@
+//! Run a single experiment: `cargo run -p mpio-dafs-bench --release --bin t2_registration_cost`.
+fn main() {
+    mpio_dafs_bench::t2_registration_cost::run().print();
+}

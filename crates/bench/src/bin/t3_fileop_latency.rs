@@ -1,0 +1,4 @@
+//! Run a single experiment: `cargo run -p mpio-dafs-bench --release --bin t3_fileop_latency`.
+fn main() {
+    mpio_dafs_bench::t3_fileop_latency::run().print();
+}

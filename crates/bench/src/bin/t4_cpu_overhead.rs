@@ -1,0 +1,4 @@
+//! Run a single experiment: `cargo run -p mpio-dafs-bench --release --bin t4_cpu_overhead`.
+fn main() {
+    mpio_dafs_bench::t4_cpu_overhead::run().print();
+}

@@ -1,0 +1,4 @@
+//! Run a single experiment: `cargo run -p mpio-dafs-bench --release --bin t5_regcache_ablation`.
+fn main() {
+    mpio_dafs_bench::t5_regcache_ablation::run().print();
+}

@@ -1,0 +1,4 @@
+//! Run a single experiment: `cargo run -p mpio-dafs-bench --release --bin t6_cb_buffer_sweep`.
+fn main() {
+    mpio_dafs_bench::t6_cb_buffer_sweep::run().print();
+}

@@ -1,0 +1,5 @@
+//! Run the BT-IO extension experiment:
+//! `cargo run -p mpio-dafs-bench --release --bin x1_btio_subarray`.
+fn main() {
+    mpio_dafs_bench::x1_btio_subarray::run().print();
+}

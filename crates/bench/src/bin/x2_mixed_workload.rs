@@ -1,0 +1,5 @@
+//! Run the mixed-workload extension experiment:
+//! `cargo run -p mpio-dafs-bench --release --bin x2_mixed_workload`.
+fn main() {
+    mpio_dafs_bench::x2_mixed_workload::run().print();
+}

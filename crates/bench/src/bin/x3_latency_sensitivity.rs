@@ -1,0 +1,5 @@
+//! Run the latency-sensitivity ablation:
+//! `cargo run -p mpio-dafs-bench --release --bin x3_latency_sensitivity`.
+fn main() {
+    mpio_dafs_bench::x3_latency_sensitivity::run().print();
+}

@@ -1,0 +1,65 @@
+//! R-F3 — MPI-IO aggregate bandwidth vs process count (ROMIO `perf`
+//! pattern: each rank its own contiguous 4 MiB partition of one file).
+//!
+//! Expected shape: DAFS scales until the server NIC saturates near the
+//! 110 MB/s wire (one client nearly gets there); NFS saturates earlier and
+//! lower on server CPU + packet processing; UFS (node-local, no network)
+//! scales away above both as the "local bound".
+
+use mpiio::{Backend, Hints, MpiFile, OpenMode, Testbed};
+
+use crate::report::{mb_per_s, Table};
+use crate::testbeds::Cell;
+
+const PER_RANK: usize = 4 << 20;
+
+/// (write MB/s, read MB/s) aggregate for `ranks` on `backend`.
+pub fn agg_rw(backend: Backend, ranks: usize) -> (f64, f64) {
+    let tb = Testbed::new(backend);
+    let wns = Cell::new();
+    let rns = Cell::new();
+    let (w, r) = (wns.clone(), rns.clone());
+    tb.run(ranks, move |ctx, comm, adio| {
+        let host = comm.host().clone();
+        let f = MpiFile::open(ctx, adio, &host, "/perf", OpenMode::create(), Hints::default())
+            .unwrap();
+        let buf = host.mem.alloc(PER_RANK);
+        let off = (comm.rank() * PER_RANK) as u64;
+        comm.barrier(ctx);
+        let t0 = ctx.now();
+        f.write_at(ctx, off, buf, PER_RANK as u64).unwrap();
+        comm.barrier(ctx);
+        w.max(ctx.now().since(t0).as_nanos());
+        comm.barrier(ctx);
+        let t1 = ctx.now();
+        f.read_at(ctx, off, buf, PER_RANK as u64).unwrap();
+        comm.barrier(ctx);
+        r.max(ctx.now().since(t1).as_nanos());
+    });
+    let total = (ranks * PER_RANK) as u64;
+    (mb_per_s(total, wns.get()), mb_per_s(total, rns.get()))
+}
+
+/// Run R-F3.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "R-F3: MPI-IO aggregate bandwidth vs ranks (4 MiB/rank, MB/s)",
+        &["ranks", "DAFS wr", "DAFS rd", "NFS wr", "NFS rd", "UFS wr"],
+    );
+    for ranks in [1usize, 2, 4, 8, 16] {
+        let (dw, dr) = agg_rw(Backend::dafs(), ranks);
+        let (nw, nr) = agg_rw(Backend::nfs(), ranks);
+        let (uw, _) = agg_rw(Backend::ufs(), ranks);
+        t.row(vec![
+            ranks.to_string(),
+            format!("{dw:.1}"),
+            format!("{dr:.1}"),
+            format!("{nw:.1}"),
+            format!("{nr:.1}"),
+            format!("{uw:.0}"),
+        ]);
+    }
+    t.note("expect DAFS to pin at ~105-110 (server wire); NFS to plateau lower (server CPU/packets)");
+    t.note("UFS is the no-network local bound and scales with ranks");
+    t
+}

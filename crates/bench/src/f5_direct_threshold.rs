@@ -1,0 +1,64 @@
+//! R-F5 — Inline→direct threshold sweep.
+//!
+//! Expected shape: each threshold setting is best in its own regime — a
+//! low threshold wastes registration/RDMA setup on small requests, a high
+//! one wastes copies on large requests; the default (8 KiB) tracks the
+//! upper envelope, with the crossover visible in the columns.
+
+use dafs::{DafsClientConfig, DafsServerCost};
+use memfs::ROOT_ID;
+use via::ViaCost;
+
+use crate::report::{human_size, mb_per_s, Table};
+use crate::testbeds::{with_dafs_client, Cell};
+
+const FILE: u64 = 4 << 20;
+
+fn read_mb_s(req: u64, threshold: u64) -> f64 {
+    let dur = Cell::new();
+    let d = dur.clone();
+    with_dafs_client(
+        ViaCost::default(),
+        DafsServerCost::default(),
+        DafsClientConfig {
+            direct_threshold: threshold,
+            ..Default::default()
+        },
+        |fs| {
+            let f = fs.create(ROOT_ID, "f").unwrap();
+            fs.write(f.id, 0, &vec![1u8; FILE as usize]).unwrap();
+        },
+        move |ctx, c, nic| {
+            let f = c.lookup(ctx, ROOT_ID, "f").unwrap();
+            let buf = nic.host().mem.alloc(req as usize);
+            // Warm the registration cache out of the measurement.
+            c.read(ctx, f.id, 0, buf, req).unwrap();
+            let t0 = ctx.now();
+            let mut off = 0;
+            while off < FILE {
+                c.read(ctx, f.id, off, buf, req.min(FILE - off)).unwrap();
+                off += req;
+            }
+            d.set(ctx.now().since(t0).as_nanos());
+        },
+    );
+    mb_per_s(FILE, dur.get())
+}
+
+/// Run R-F5.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "R-F5: direct-threshold sweep, sequential reads (MB/s)",
+        &["request", "thresh 1K", "thresh 8K", "thresh 64K (inline-only)"],
+    );
+    for req in [1u64 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10] {
+        t.row(vec![
+            human_size(req),
+            format!("{:.1}", read_mb_s(req, 1 << 10)),
+            format!("{:.1}", read_mb_s(req, 8 << 10)),
+            format!("{:.1}", read_mb_s(req, u64::MAX)),
+        ]);
+    }
+    t.note("each column wins in its own regime; the default 8K threshold tracks the envelope");
+    t
+}

@@ -1,0 +1,55 @@
+//! # mpio-dafs-bench — the reconstructed evaluation harness
+//!
+//! One module per reconstructed table/figure (`R-T1` … `R-F6`, indexed in
+//! `DESIGN.md` §5). Each module's `run()` returns a [`Table`]; the
+//! `experiments` bench target (and the per-experiment binaries) print them.
+//! All times and bandwidths are **simulated** (virtual-time) quantities
+//! from the calibrated cost models — deterministic and exactly
+//! reproducible.
+
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod testbeds;
+
+pub mod f1_transport_bandwidth;
+pub mod f2_file_bandwidth;
+pub mod f3_mpiio_scaling;
+pub mod f4_collective_vs_independent;
+pub mod f5_direct_threshold;
+pub mod f6_server_saturation;
+pub mod t1_transport_latency;
+pub mod t2_registration_cost;
+pub mod t3_fileop_latency;
+pub mod t4_cpu_overhead;
+pub mod t5_regcache_ablation;
+pub mod t6_cb_buffer_sweep;
+pub mod x1_btio_subarray;
+pub mod x2_mixed_workload;
+pub mod x3_latency_sensitivity;
+
+pub use report::Table;
+
+/// An experiment entry: id plus its runner.
+pub type Experiment = (&'static str, fn() -> Table);
+
+/// Every experiment, in DESIGN.md order: (id, runner).
+pub fn all_experiments() -> Vec<Experiment> {
+    vec![
+        ("R-T1", t1_transport_latency::run as fn() -> Table),
+        ("R-F1", f1_transport_bandwidth::run),
+        ("R-T2", t2_registration_cost::run),
+        ("R-F2", f2_file_bandwidth::run),
+        ("R-T3", t3_fileop_latency::run),
+        ("R-F3", f3_mpiio_scaling::run),
+        ("R-T4", t4_cpu_overhead::run),
+        ("R-F4", f4_collective_vs_independent::run),
+        ("R-T5", t5_regcache_ablation::run),
+        ("R-F5", f5_direct_threshold::run),
+        ("R-T6", t6_cb_buffer_sweep::run),
+        ("R-F6", f6_server_saturation::run),
+        ("X-1", x1_btio_subarray::run),
+        ("X-2", x2_mixed_workload::run),
+        ("X-3", x3_latency_sensitivity::run),
+    ]
+}

@@ -1,0 +1,138 @@
+//! Table formatting for the experiment harness.
+
+use serde::Serialize;
+
+/// A rendered experiment result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Experiment title (includes the R-Tn/R-Fn id).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (stringified cells).
+    pub rows: Vec<Vec<String>>,
+    /// Expected-shape notes shown under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Append an expected-shape note.
+    pub fn note(&mut self, n: &str) {
+        self.notes.push(n.to_string());
+    }
+
+    /// Render to a string (fixed-width columns).
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("  note: {n}\n"));
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Serialize to one JSON object (headers, rows, notes).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("table serializes")
+    }
+}
+
+/// MB/s (decimal) from bytes moved in `ns` virtual nanoseconds.
+pub fn mb_per_s(bytes: u64, ns: u64) -> f64 {
+    if ns == 0 {
+        return f64::INFINITY;
+    }
+    bytes as f64 / (ns as f64 / 1e9) / 1e6
+}
+
+/// Render a byte count compactly ("4K", "1M").
+pub fn human_size(bytes: u64) -> String {
+    if bytes >= 1 << 20 && bytes.is_multiple_of(1 << 20) {
+        format!("{}M", bytes >> 20)
+    } else if bytes >= 1 << 10 && bytes.is_multiple_of(1 << 10) {
+        format!("{}K", bytes >> 10)
+    } else {
+        format!("{bytes}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_aligned() {
+        let mut t = Table::new("R-T0: demo", &["size", "value"]);
+        t.row(vec!["8".into(), "1.5".into()]);
+        t.row(vec!["1024".into(), "123.4".into()]);
+        t.note("values rise");
+        let s = t.render();
+        assert!(s.contains("R-T0"));
+        assert!(s.contains("note: values rise"));
+        // Columns right-aligned to the widest cell.
+        assert!(s.contains("   8"));
+    }
+
+    #[test]
+    fn json_roundtrips_structure() {
+        let mut t = Table::new("R-X: json", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.note("n");
+        let j = t.to_json();
+        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
+        assert_eq!(v["title"], "R-X: json");
+        assert_eq!(v["rows"][0][1], "2");
+        assert_eq!(v["notes"][0], "n");
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(human_size(4096), "4K");
+        assert_eq!(human_size(1 << 21), "2M");
+        assert_eq!(human_size(100), "100");
+        assert!((mb_per_s(1_000_000, 1_000_000_000) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,116 @@
+//! R-T3 — Small-file-operation latency: DAFS vs NFS.
+//!
+//! Expected shape: DAFS metadata and tiny-I/O ops land in the tens of
+//! microseconds (one VIA round trip + a lean server); NFS in the hundreds
+//! (kernel RPC path) — a 3–6× gap.
+
+use dafs::{DafsClientConfig, DafsServerCost};
+use memfs::ROOT_ID;
+use nfsv3::{NfsClientConfig, NfsServerCost};
+use tcpnet::TcpCost;
+use via::ViaCost;
+
+use crate::report::Table;
+use crate::testbeds::{with_dafs_client, with_nfs_client, Cell};
+
+const ITERS: u64 = 20;
+
+/// (getattr, lookup, read512, write512) mean latencies in ns.
+fn dafs_ops_ns() -> [u64; 4] {
+    let cells: Vec<Cell> = (0..4).map(|_| Cell::new()).collect();
+    let out: Vec<Cell> = cells.clone();
+    with_dafs_client(
+        ViaCost::default(),
+        DafsServerCost::default(),
+        DafsClientConfig::default(),
+        |fs| {
+            let f = fs.create(ROOT_ID, "target").unwrap();
+            fs.write(f.id, 0, &vec![1u8; 4096]).unwrap();
+        },
+        move |ctx, c, nic| {
+            let f = c.lookup(ctx, ROOT_ID, "target").unwrap();
+            let buf = nic.host().mem.alloc(512);
+            let measure = |cell: &Cell, mut op: Box<dyn FnMut(&simnet::ActorCtx) + '_>| {
+                let t0 = ctx.now();
+                for _ in 0..ITERS {
+                    op(ctx);
+                }
+                cell.set(ctx.now().since(t0).as_nanos() / ITERS);
+            };
+            measure(&out[0], Box::new(|ctx| {
+                c.getattr(ctx, f.id).unwrap();
+            }));
+            measure(&out[1], Box::new(|ctx| {
+                c.lookup(ctx, ROOT_ID, "target").unwrap();
+            }));
+            measure(&out[2], Box::new(|ctx| {
+                c.read(ctx, f.id, 0, buf, 512).unwrap();
+            }));
+            measure(&out[3], Box::new(|ctx| {
+                c.write(ctx, f.id, 0, buf, 512).unwrap();
+            }));
+        },
+    );
+    [cells[0].get(), cells[1].get(), cells[2].get(), cells[3].get()]
+}
+
+fn nfs_ops_ns() -> [u64; 4] {
+    let cells: Vec<Cell> = (0..4).map(|_| Cell::new()).collect();
+    let out: Vec<Cell> = cells.clone();
+    with_nfs_client(
+        TcpCost::default(),
+        NfsServerCost::default(),
+        NfsClientConfig::default(),
+        |fs| {
+            let f = fs.create(ROOT_ID, "target").unwrap();
+            fs.write(f.id, 0, &vec![1u8; 4096]).unwrap();
+        },
+        move |ctx, c| {
+            let f = c.lookup(ctx, ROOT_ID, "target").unwrap();
+            let data = vec![2u8; 512];
+            let measure = |cell: &Cell, mut op: Box<dyn FnMut(&simnet::ActorCtx) + '_>| {
+                let t0 = ctx.now();
+                for _ in 0..ITERS {
+                    op(ctx);
+                }
+                cell.set(ctx.now().since(t0).as_nanos() / ITERS);
+            };
+            measure(&out[0], Box::new(|ctx| {
+                c.getattr_uncached(ctx, f.id).unwrap();
+            }));
+            measure(&out[1], Box::new(|ctx| {
+                c.lookup(ctx, ROOT_ID, "target").unwrap();
+            }));
+            measure(&out[2], Box::new(|ctx| {
+                c.read(ctx, f.id, 0, 512).unwrap();
+            }));
+            measure(&out[3], Box::new(|ctx| {
+                c.write(ctx, f.id, 0, &data).unwrap();
+            }));
+        },
+    );
+    [cells[0].get(), cells[1].get(), cells[2].get(), cells[3].get()]
+}
+
+/// Run R-T3.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "R-T3: small file-op latency (us)",
+        &["operation", "DAFS", "NFS", "NFS/DAFS"],
+    );
+    let d = dafs_ops_ns();
+    let n = nfs_ops_ns();
+    for (i, name) in ["getattr", "lookup", "read 512B", "write 512B"]
+        .iter()
+        .enumerate()
+    {
+        t.row(vec![
+            name.to_string(),
+            format!("{:.1}", d[i] as f64 / 1e3),
+            format!("{:.1}", n[i] as f64 / 1e3),
+            format!("{:.1}x", n[i] as f64 / d[i] as f64),
+        ]);
+    }
+    t.note("expect DAFS ~25-50us per op, NFS ~150-300us; 3-6x gap");
+    t
+}

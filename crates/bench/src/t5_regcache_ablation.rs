@@ -1,0 +1,75 @@
+//! R-T5 — Registration-cache ablation at the MPI-IO level.
+//!
+//! Expected shape: with the cache disabled, every direct transfer pays the
+//! full pin/unpin cycle (tens of microseconds plus per-page work) and the
+//! large-transfer throughput sags measurably; with it enabled the cost is
+//! paid once per buffer.
+
+use dafs::DafsClientConfig;
+use mpiio::{Backend, Hints, MpiFile, OpenMode, Testbed};
+use via::ViaCost;
+
+use crate::report::{mb_per_s, Table};
+use crate::testbeds::Cell;
+
+const REQ: u64 = 1 << 20;
+const COUNT: u64 = 64;
+
+fn run_case(use_regcache: bool) -> (f64, u64) {
+    let backend = Backend::Dafs {
+        via: ViaCost::default(),
+        server: Default::default(),
+        client: DafsClientConfig {
+            use_regcache,
+            ..Default::default()
+        },
+    };
+    let tb = Testbed::new(backend);
+    // Pre-create the file content.
+    let f = tb.fs.create(memfs::ROOT_ID, "big").unwrap();
+    tb.fs.write(f.id, 0, &vec![1u8; REQ as usize]).unwrap();
+    let dur = Cell::new();
+    let cpu = Cell::new();
+    let (d, c) = (dur.clone(), cpu.clone());
+    tb.run(1, move |ctx, comm, adio| {
+        let host = comm.host().clone();
+        let f = MpiFile::open(ctx, adio, &host, "/big", OpenMode::open(), Hints::default())
+            .unwrap();
+        let buf = host.mem.alloc(REQ as usize);
+        let t0 = ctx.now();
+        for _ in 0..COUNT {
+            f.read_at(ctx, 0, buf, REQ).unwrap();
+        }
+        d.set(ctx.now().since(t0).as_nanos());
+        c.set(comm.host().cpu.busy().as_nanos());
+    });
+    (mb_per_s(REQ * COUNT, dur.get()), cpu.get())
+}
+
+/// Run R-T5.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "R-T5: registration-cache ablation (64 x 1 MiB direct reads)",
+        &["regcache", "throughput MB/s", "client CPU (ms)"],
+    );
+    let (on_bw, on_cpu) = run_case(true);
+    let (off_bw, off_cpu) = run_case(false);
+    t.row(vec![
+        "on".into(),
+        format!("{on_bw:.1}"),
+        format!("{:.2}", on_cpu as f64 / 1e6),
+    ]);
+    t.row(vec![
+        "off".into(),
+        format!("{off_bw:.1}"),
+        format!("{:.2}", off_cpu as f64 / 1e6),
+    ]);
+    t.note(&format!(
+        "cache saves {:.1}% client CPU and {:.1}% throughput on this workload",
+        100.0 * (1.0 - on_cpu as f64 / off_cpu as f64),
+        100.0 * (on_bw / off_bw - 1.0)
+    ));
+    t
+}
+
+use memfs;

@@ -1,0 +1,55 @@
+//! R-T6 — Collective-buffer size sweep (ablation of `cb_buffer_size`).
+//!
+//! Expected shape: tiny collective buffers mean many sweep phases (more
+//! exchange rounds and more, smaller filesystem writes); the curve improves
+//! with buffer size and flattens once one phase covers each aggregator's
+//! whole file domain.
+
+use mpiio::{write_at_all, Backend, Datatype, Hints, MpiFile, OpenMode, Testbed};
+
+use crate::report::{human_size, mb_per_s, Table};
+use crate::testbeds::Cell;
+
+const RANKS: usize = 8;
+const BLOCK: u64 = 4 << 10;
+const ROUNDS: u64 = 64;
+
+fn run_cb(cb_bytes: u64) -> f64 {
+    let tb = Testbed::new(Backend::dafs());
+    let dur = Cell::new();
+    let d = dur.clone();
+    tb.run(RANKS, move |ctx, comm, adio| {
+        let host = comm.host().clone();
+        let mut hints = Hints::default();
+        hints.set("romio_cb_write", "enable");
+        hints.set("cb_buffer_size", &cb_bytes.to_string());
+        let f = MpiFile::open(ctx, adio, &host, "/cbsweep", OpenMode::create(), hints).unwrap();
+        let el = Datatype::bytes(BLOCK);
+        let ft = Datatype::resized(
+            &Datatype::hindexed(&[(1, (comm.rank() as u64 * BLOCK) as i64)], &el),
+            0,
+            comm.size() as u64 * BLOCK,
+        );
+        f.set_view(0, &el, &ft);
+        let src = host.mem.alloc((ROUNDS * BLOCK) as usize);
+        comm.barrier(ctx);
+        let t0 = ctx.now();
+        write_at_all(ctx, comm, &f, 0, src, ROUNDS * BLOCK).unwrap();
+        comm.barrier(ctx);
+        d.max(ctx.now().since(t0).as_nanos());
+    });
+    mb_per_s(RANKS as u64 * ROUNDS * BLOCK, dur.get())
+}
+
+/// Run R-T6.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "R-T6: cb_buffer_size sweep (8 ranks, 4 KiB interleave, MB/s)",
+        &["cb_buffer_size", "aggregate MB/s"],
+    );
+    for cb in [64u64 << 10, 256 << 10, 1 << 20, 4 << 20] {
+        t.row(vec![human_size(cb), format!("{:.1}", run_cb(cb))]);
+    }
+    t.note("expect improvement with buffer size, flattening once one phase covers a file domain");
+    t
+}

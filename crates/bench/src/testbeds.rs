@@ -1,0 +1,104 @@
+//! Shared experiment fixtures: protocol-level client/server pairs and
+//! simple measurement helpers used by several experiments.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dafs::{DafsClient, DafsClientConfig, DafsServerCost, DafsServerHandle};
+use memfs::MemFs;
+use nfsv3::{NfsClient, NfsClientConfig, NfsServerCost, NfsServerHandle};
+use simnet::{ActorCtx, Cluster, Host, SimKernel};
+use tcpnet::{TcpCost, TcpFabric};
+use via::{ViaCost, ViaFabric, ViaNic};
+
+/// The well-known service port used by all experiments.
+pub const PORT: u16 = 2049;
+
+/// A shared cell for extracting one u64 measurement from an actor.
+#[derive(Clone, Default)]
+pub struct Cell(Arc<AtomicU64>);
+
+impl Cell {
+    /// Fresh cell.
+    pub fn new() -> Cell {
+        Cell::default()
+    }
+
+    /// Store a value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Monotone max-update.
+    pub fn max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Read the value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Run one client actor against a fresh DAFS server; returns after the
+/// simulation completes.
+pub fn with_dafs_client<F>(
+    via_cost: ViaCost,
+    server_cost: DafsServerCost,
+    client_cfg: DafsClientConfig,
+    prefill: impl FnOnce(&MemFs),
+    body: F,
+) -> (MemFs, DafsServerHandle, Host)
+where
+    F: FnOnce(&ActorCtx, &DafsClient, &ViaNic) + Send + 'static,
+{
+    let kernel = SimKernel::new();
+    let cluster = Cluster::new();
+    let fabric = ViaFabric::new(via_cost);
+    let server_nic = fabric.open_nic(cluster.add_host("server"));
+    let fs = MemFs::new();
+    prefill(&fs);
+    let server = dafs::spawn_dafs_server(&kernel, &fabric, server_nic, fs.clone(), PORT, server_cost);
+    let client_host = cluster.add_host("client");
+    let ch = client_host.clone();
+    let sid = server.host.id;
+    kernel.spawn("client", move |ctx| {
+        let nic = fabric.open_nic(ch.clone());
+        let c = DafsClient::connect(ctx, &fabric, &nic, sid, PORT, client_cfg).unwrap();
+        body(ctx, &c, &nic);
+        c.disconnect(ctx);
+    });
+    kernel.run();
+    (fs, server, client_host)
+}
+
+/// Run one client actor against a fresh NFS server.
+pub fn with_nfs_client<F>(
+    tcp_cost: TcpCost,
+    server_cost: NfsServerCost,
+    client_cfg: NfsClientConfig,
+    prefill: impl FnOnce(&MemFs),
+    body: F,
+) -> (MemFs, NfsServerHandle, Host, TcpFabric)
+where
+    F: FnOnce(&ActorCtx, &NfsClient) + Send + 'static,
+{
+    let kernel = SimKernel::new();
+    let cluster = Cluster::new();
+    let fabric = TcpFabric::new(tcp_cost);
+    let server_host = cluster.add_host("server");
+    let fs = MemFs::new();
+    prefill(&fs);
+    let server = nfsv3::spawn_nfs_server(&kernel, &fabric, server_host, fs.clone(), PORT, server_cost);
+    let client_host = cluster.add_host("client");
+    let ch = client_host.clone();
+    let sid = server.host.id;
+    let f2 = fabric.clone();
+    kernel.spawn("client", move |ctx| {
+        let c = NfsClient::mount(ctx, &f2, &ch, sid, PORT, client_cfg).unwrap();
+        body(ctx, &c);
+        c.unmount(ctx);
+    });
+    kernel.run();
+    (fs, server, client_host, fabric)
+}

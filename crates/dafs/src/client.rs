@@ -1,0 +1,755 @@
+//! The DAFS client (`dap_*`-style API).
+//!
+//! One VI per session; `credits` pre-posted receive descriptors double as
+//! the response buffers and the pipeline depth for batch I/O. Requests
+//! carry session-local ids so responses can be matched out of order.
+//!
+//! Transfer strategy (the `direct_threshold` knob):
+//! * requests ≤ threshold go **inline** — one copy on each host, lowest
+//!   latency for small transfers;
+//! * larger reads use **READ_DIRECT** — the server RDMA-Writes into the
+//!   (cached-registered) user buffer; the client CPU does nothing per byte;
+//! * larger writes use **WRITE_DIRECT** when the fabric supports RDMA Read,
+//!   else fall back to inline chunks (the cLAN configuration).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use memfs::{FileAttr, NodeId};
+use parking_lot::Mutex;
+use simnet::{ActorCtx, ByteMeter, Counter, HostId, VirtAddr};
+use via::{
+    DataSegment, MemAttributes, MemHandle, ProtectionTag, RecvDesc, SendDesc, ViAttributes,
+    Vi, ViState, ViaFabric, ViaNic, ViaStatus,
+};
+
+use crate::cost::DafsClientConfig;
+use crate::proto::{self, DafsOp, DafsStatus, ServerCaps};
+use crate::regcache::RegCache;
+use crate::server::SLOT;
+use crate::wire::{Dec, Enc};
+
+/// DAFS client errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DafsError {
+    /// Server returned a non-OK status.
+    Status(DafsStatus),
+    /// The session's VI broke or disconnected.
+    Transport,
+    /// Malformed response.
+    Protocol,
+    /// Connection could not be established.
+    Connect,
+}
+
+/// Convenience alias.
+pub type DafsResult<T> = Result<T, DafsError>;
+
+/// Client-side counters.
+#[derive(Clone, Default)]
+pub struct DafsClientStats {
+    /// Requests issued.
+    pub ops: Counter,
+    /// Inline READ traffic.
+    pub inline_reads: ByteMeter,
+    /// Inline WRITE traffic.
+    pub inline_writes: ByteMeter,
+    /// Direct READ traffic.
+    pub direct_reads: ByteMeter,
+    /// Direct WRITE traffic.
+    pub direct_writes: ByteMeter,
+}
+
+/// One read request in a batch.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadReq {
+    /// File to read.
+    pub fh: NodeId,
+    /// Byte offset.
+    pub off: u64,
+    /// Destination buffer (simulated memory on the client host).
+    pub dst: VirtAddr,
+    /// Bytes requested.
+    pub len: u64,
+}
+
+/// One write request in a batch.
+#[derive(Debug, Clone, Copy)]
+pub struct WriteReq {
+    /// File to write.
+    pub fh: NodeId,
+    /// Byte offset.
+    pub off: u64,
+    /// Source buffer.
+    pub src: VirtAddr,
+    /// Bytes to write.
+    pub len: u64,
+}
+
+fn rw_attrs(ptag: ProtectionTag) -> MemAttributes {
+    MemAttributes {
+        ptag,
+        enable_rdma_write: true,
+        enable_rdma_read: true,
+    }
+}
+
+/// A DAFS session.
+pub struct DafsClient {
+    vi: Vi,
+    nic: ViaNic,
+    config: DafsClientConfig,
+    caps: ServerCaps,
+    reqid: AtomicU32,
+    req_ring: Vec<(VirtAddr, MemHandle)>,
+    req_next: Mutex<usize>,
+    recv_ring: Mutex<VecDeque<(VirtAddr, MemHandle)>>,
+    regcache: RegCache,
+    pending: Mutex<HashMap<u32, Vec<u8>>>,
+    scratch: Mutex<Option<(VirtAddr, usize)>>,
+    /// Client counters.
+    pub stats: DafsClientStats,
+}
+
+impl DafsClient {
+    /// Establish a session with the DAFS server at `(server, port)`.
+    pub fn connect(
+        ctx: &ActorCtx,
+        fabric: &ViaFabric,
+        nic: &ViaNic,
+        server: HostId,
+        port: u16,
+        config: DafsClientConfig,
+    ) -> DafsResult<DafsClient> {
+        let vi = fabric
+            .connect(ctx, nic, server, port, ViAttributes::default())
+            .map_err(|_| DafsError::Connect)?;
+        let tag = vi.ptag();
+        let mut req_ring = Vec::new();
+        let mut recv_ring = VecDeque::new();
+        for _ in 0..config.credits {
+            let buf = nic.host().mem.alloc(SLOT as usize);
+            let h = nic.register_mem(ctx, buf, SLOT, MemAttributes::local(tag));
+            req_ring.push((buf, h));
+        }
+        for _ in 0..config.credits {
+            let buf = nic.host().mem.alloc(SLOT as usize);
+            let h = nic.register_mem(ctx, buf, SLOT, MemAttributes::local(tag));
+            vi.post_recv(
+                ctx,
+                RecvDesc::new(vec![DataSegment::new(buf, SLOT as u32, h)]),
+            );
+            recv_ring.push_back((buf, h));
+        }
+        let regcache = RegCache::new(
+            nic.clone(),
+            tag,
+            rw_attrs,
+            config.regcache_capacity,
+            config.use_regcache,
+        );
+        let client = DafsClient {
+            vi,
+            nic: nic.clone(),
+            config,
+            caps: ServerCaps {
+                rdma_read: false,
+                credits: config.credits,
+                inline_max: config.inline_max,
+            },
+            reqid: AtomicU32::new(1),
+            req_ring,
+            req_next: Mutex::new(0),
+            recv_ring: Mutex::new(recv_ring),
+            regcache,
+            pending: Mutex::new(HashMap::new()),
+            scratch: Mutex::new(None),
+            stats: DafsClientStats::default(),
+        };
+        // Capability exchange.
+        let mut e = Enc::new();
+        let reqid = client.post_request(ctx, DafsOp::Hello, &mut e);
+        let resp = client.wait_response(ctx, reqid)?;
+        let mut d = Dec::new(&resp);
+        let (_, status) = proto::dec_resp_header(&mut d).map_err(|_| DafsError::Protocol)?;
+        if status != DafsStatus::Ok {
+            return Err(DafsError::Status(status));
+        }
+        let rdma_read = d.u8().map_err(|_| DafsError::Protocol)? != 0;
+        let credits = d.u32().map_err(|_| DafsError::Protocol)?;
+        let inline_max = d.u64().map_err(|_| DafsError::Protocol)?;
+        let mut client = client;
+        client.caps = ServerCaps {
+            rdma_read,
+            credits,
+            inline_max: inline_max.min(client.config.inline_max),
+        };
+        Ok(client)
+    }
+
+    /// The capabilities negotiated at session setup.
+    pub fn caps(&self) -> ServerCaps {
+        self.caps
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &DafsClientConfig {
+        &self.config
+    }
+
+    /// Registration-cache counters: (hits, misses, evictions).
+    pub fn regcache_stats(&self) -> (u64, u64, u64) {
+        (
+            self.regcache.hits.get(),
+            self.regcache.misses.get(),
+            self.regcache.evictions.get(),
+        )
+    }
+
+    /// The client NIC.
+    pub fn nic(&self) -> &ViaNic {
+        &self.nic
+    }
+
+    /// Build and post one request; returns its id. `body` receives the
+    /// header; the caller must have appended the op arguments already —
+    /// so this takes the op and an `Enc` holding only the arguments.
+    fn post_request(&self, ctx: &ActorCtx, op: DafsOp, args: &mut Enc) -> u32 {
+        let reqid = self.reqid.fetch_add(1, Ordering::Relaxed);
+        self.stats.ops.inc();
+        self.nic.host().compute(ctx, self.config.per_op);
+        let mut e = Enc::new();
+        proto::enc_req_header(&mut e, reqid, op);
+        let mut bytes = e.finish();
+        bytes.extend_from_slice(&std::mem::take(args).finish());
+        assert!(bytes.len() as u64 <= SLOT, "request overflows message slot");
+        // Copy into the next registered request slot.
+        self.nic
+            .host()
+            .compute(ctx, self.config.host.copy(bytes.len() as u64));
+        let slot = {
+            let mut next = self.req_next.lock();
+            let s = *next;
+            *next = (s + 1) % self.req_ring.len();
+            s
+        };
+        let (buf, h) = self.req_ring[slot];
+        self.nic.host().mem.write(buf, &bytes);
+        // Drain stale send completions to keep the port bounded.
+        while self.vi.send_done(ctx).is_some() {}
+        self.vi.post_send(
+            ctx,
+            SendDesc::send(vec![DataSegment::new(buf, bytes.len() as u32, h)]),
+        );
+        reqid
+    }
+
+    /// Await the response for `reqid`, stashing any other responses that
+    /// arrive first.
+    fn wait_response(&self, ctx: &ActorCtx, reqid: u32) -> DafsResult<Vec<u8>> {
+        loop {
+            if let Some(resp) = self.pending.lock().remove(&reqid) {
+                return Ok(resp);
+            }
+            if self.vi.state() != ViState::Connected {
+                return Err(DafsError::Transport);
+            }
+            let completion = self.vi.recv_wait(ctx);
+            match completion.status {
+                ViaStatus::Success => {}
+                _ => return Err(DafsError::Transport),
+            }
+            let (buf, h) = {
+                let mut ring = self.recv_ring.lock();
+                let slot = ring.pop_front().expect("recv ring");
+                ring.push_back(slot);
+                slot
+            };
+            let resp = self.nic.host().mem.read_vec(buf, completion.len as usize);
+            self.vi.post_recv(
+                ctx,
+                RecvDesc::new(vec![DataSegment::new(buf, SLOT as u32, h)]),
+            );
+            let mut d = Dec::new(&resp);
+            let (rid, _) = proto::dec_resp_header(&mut d).map_err(|_| DafsError::Protocol)?;
+            self.pending.lock().insert(rid, resp);
+        }
+    }
+
+    /// Synchronous request/response; returns the payload after the header.
+    fn call(&self, ctx: &ActorCtx, op: DafsOp, args: &mut Enc) -> DafsResult<Vec<u8>> {
+        let reqid = self.post_request(ctx, op, args);
+        let resp = self.wait_response(ctx, reqid)?;
+        let mut d = Dec::new(&resp);
+        let (_, status) = proto::dec_resp_header(&mut d).map_err(|_| DafsError::Protocol)?;
+        if status != DafsStatus::Ok {
+            return Err(DafsError::Status(status));
+        }
+        Ok(resp[5..].to_vec())
+    }
+
+    fn call_attr(&self, ctx: &ActorCtx, op: DafsOp, args: &mut Enc) -> DafsResult<FileAttr> {
+        let payload = self.call(ctx, op, args)?;
+        proto::dec_attr(&mut Dec::new(&payload)).map_err(|_| DafsError::Protocol)
+    }
+
+    /// Fetch attributes.
+    pub fn getattr(&self, ctx: &ActorCtx, fh: NodeId) -> DafsResult<FileAttr> {
+        let mut e = Enc::new();
+        e.u64(fh.0);
+        self.call_attr(ctx, DafsOp::GetAttr, &mut e)
+    }
+
+    /// Truncate / extend.
+    pub fn truncate(&self, ctx: &ActorCtx, fh: NodeId, size: u64) -> DafsResult<FileAttr> {
+        let mut e = Enc::new();
+        e.u64(fh.0).u8(1).u64(size);
+        self.call_attr(ctx, DafsOp::SetAttr, &mut e)
+    }
+
+    /// Directory lookup.
+    pub fn lookup(&self, ctx: &ActorCtx, dir: NodeId, name: &str) -> DafsResult<FileAttr> {
+        let mut e = Enc::new();
+        e.u64(dir.0).str(name);
+        self.call_attr(ctx, DafsOp::Lookup, &mut e)
+    }
+
+    /// Create a regular file.
+    pub fn create(&self, ctx: &ActorCtx, dir: NodeId, name: &str) -> DafsResult<FileAttr> {
+        let mut e = Enc::new();
+        e.u64(dir.0).str(name);
+        self.call_attr(ctx, DafsOp::Create, &mut e)
+    }
+
+    /// Create a directory.
+    pub fn mkdir(&self, ctx: &ActorCtx, dir: NodeId, name: &str) -> DafsResult<FileAttr> {
+        let mut e = Enc::new();
+        e.u64(dir.0).str(name);
+        self.call_attr(ctx, DafsOp::Mkdir, &mut e)
+    }
+
+    /// Remove a regular file.
+    pub fn remove(&self, ctx: &ActorCtx, dir: NodeId, name: &str) -> DafsResult<()> {
+        let mut e = Enc::new();
+        e.u64(dir.0).str(name);
+        self.call(ctx, DafsOp::Remove, &mut e).map(|_| ())
+    }
+
+    /// Remove an empty directory.
+    pub fn rmdir(&self, ctx: &ActorCtx, dir: NodeId, name: &str) -> DafsResult<()> {
+        let mut e = Enc::new();
+        e.u64(dir.0).str(name);
+        self.call(ctx, DafsOp::Rmdir, &mut e).map(|_| ())
+    }
+
+    /// Rename.
+    pub fn rename(
+        &self,
+        ctx: &ActorCtx,
+        from: NodeId,
+        name: &str,
+        to: NodeId,
+        to_name: &str,
+    ) -> DafsResult<()> {
+        let mut e = Enc::new();
+        e.u64(from.0).str(name).u64(to.0).str(to_name);
+        self.call(ctx, DafsOp::Rename, &mut e).map(|_| ())
+    }
+
+    /// List a directory.
+    pub fn readdir(&self, ctx: &ActorCtx, dir: NodeId) -> DafsResult<Vec<(String, NodeId)>> {
+        let mut e = Enc::new();
+        e.u64(dir.0);
+        let payload = self.call(ctx, DafsOp::ReadDir, &mut e)?;
+        let mut d = Dec::new(&payload);
+        let n = d.u32().map_err(|_| DafsError::Protocol)?;
+        let mut out = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let id = NodeId(d.u64().map_err(|_| DafsError::Protocol)?);
+            let name = d.str().map_err(|_| DafsError::Protocol)?;
+            out.push((name, id));
+        }
+        Ok(out)
+    }
+
+    /// Atomic append: write `data` at the current end of file in one
+    /// server-side operation; returns the offset the record landed at.
+    /// Bounded by the session's inline limit (protocol message size).
+    pub fn append(&self, ctx: &ActorCtx, fh: NodeId, data: &[u8]) -> DafsResult<u64> {
+        assert!(
+            data.len() as u64 <= self.caps.inline_max,
+            "append record exceeds the inline limit"
+        );
+        let mut e = Enc::new();
+        e.u64(fh.0).bytes(data);
+        let payload = self.call(ctx, DafsOp::Append, &mut e)?;
+        self.stats.inline_writes.record(data.len() as u64);
+        Dec::new(&payload).u64().map_err(|_| DafsError::Protocol)
+    }
+
+    /// Flush to stable storage (MPI_File_sync bottom half).
+    pub fn flush(&self, ctx: &ActorCtx, fh: NodeId) -> DafsResult<()> {
+        let mut e = Enc::new();
+        e.u64(fh.0);
+        self.call(ctx, DafsOp::Flush, &mut e).map(|_| ())
+    }
+
+    /// Acquire the whole-file exclusive lock (blocks until granted).
+    pub fn lock(&self, ctx: &ActorCtx, fh: NodeId) -> DafsResult<()> {
+        let mut e = Enc::new();
+        e.u64(fh.0);
+        self.call(ctx, DafsOp::Lock, &mut e).map(|_| ())
+    }
+
+    /// Release the whole-file lock.
+    pub fn unlock(&self, ctx: &ActorCtx, fh: NodeId) -> DafsResult<()> {
+        let mut e = Enc::new();
+        e.u64(fh.0);
+        self.call(ctx, DafsOp::Unlock, &mut e).map(|_| ())
+    }
+
+    /// End the session.
+    pub fn disconnect(&self, ctx: &ActorCtx) {
+        let mut e = Enc::new();
+        let _ = self.call(ctx, DafsOp::Disconnect, &mut e);
+        self.regcache.flush(ctx);
+        self.vi.disconnect(ctx);
+    }
+
+    /// Abruptly drop the VIA connection with no protocol goodbye — the
+    /// client-crash path. The server observes `ConnectionLost` on the
+    /// session's VI and must tear the session down (releasing its locks).
+    pub fn abort(&self, ctx: &ActorCtx) {
+        self.vi.disconnect(ctx);
+        self.regcache.flush(ctx);
+    }
+
+    /// Resolve a slash-separated path from the root.
+    pub fn resolve(&self, ctx: &ActorCtx, path: &str) -> DafsResult<FileAttr> {
+        let mut cur = memfs::ROOT_ID;
+        let mut attr = self.getattr(ctx, cur)?;
+        for part in path.split('/').filter(|p| !p.is_empty()) {
+            attr = self.lookup(ctx, cur, part)?;
+            cur = attr.id;
+        }
+        Ok(attr)
+    }
+
+    // ----- data path ------------------------------------------------------
+
+    /// True if a transfer of `len` goes direct rather than inline.
+    pub fn is_direct(&self, len: u64) -> bool {
+        len > self.config.direct_threshold
+    }
+
+    /// Read `len` bytes at `off` into the user buffer `dst`.
+    /// Returns bytes actually read (short at EOF).
+    pub fn read(
+        &self,
+        ctx: &ActorCtx,
+        fh: NodeId,
+        off: u64,
+        dst: VirtAddr,
+        len: u64,
+    ) -> DafsResult<u64> {
+        if !self.is_direct(len) {
+            return self.read_inline(ctx, fh, off, dst, len);
+        }
+        let (handle, transient) = self.regcache.acquire(ctx, dst, len);
+        let mut e = Enc::new();
+        e.u64(fh.0).u64(off).u64(len).u64(dst.as_u64()).u64(handle.0);
+        let r = self.call(ctx, DafsOp::ReadDirect, &mut e);
+        self.regcache.release(ctx, handle, transient);
+        let payload = r?;
+        let count = Dec::new(&payload).u64().map_err(|_| DafsError::Protocol)?;
+        self.stats.direct_reads.record(count);
+        Ok(count)
+    }
+
+    fn read_inline(
+        &self,
+        ctx: &ActorCtx,
+        fh: NodeId,
+        mut off: u64,
+        dst: VirtAddr,
+        len: u64,
+    ) -> DafsResult<u64> {
+        let mut done = 0u64;
+        while done < len {
+            let n = (len - done).min(self.caps.inline_max);
+            let mut e = Enc::new();
+            e.u64(fh.0).u64(off).u64(n);
+            let payload = self.call(ctx, DafsOp::ReadInline, &mut e)?;
+            let data = Dec::new(&payload).bytes().map_err(|_| DafsError::Protocol)?;
+            // Copy out of the message buffer into the user buffer.
+            self.nic
+                .host()
+                .compute(ctx, self.config.host.copy(data.len() as u64));
+            self.nic.host().mem.write(dst.offset(done), &data);
+            self.stats.inline_reads.record(data.len() as u64);
+            let got = data.len() as u64;
+            done += got;
+            off += got;
+            if got < n {
+                break; // EOF
+            }
+        }
+        Ok(done)
+    }
+
+    /// Write `len` bytes at `off` from the user buffer `src`.
+    pub fn write(
+        &self,
+        ctx: &ActorCtx,
+        fh: NodeId,
+        off: u64,
+        src: VirtAddr,
+        len: u64,
+    ) -> DafsResult<FileAttr> {
+        if self.is_direct(len) && self.caps.rdma_read {
+            let (handle, transient) = self.regcache.acquire(ctx, src, len);
+            let mut e = Enc::new();
+            e.u64(fh.0).u64(off).u64(len).u64(src.as_u64()).u64(handle.0);
+            let r = self.call_attr(ctx, DafsOp::WriteDirect, &mut e);
+            self.regcache.release(ctx, handle, transient);
+            let a = r?;
+            self.stats.direct_writes.record(len);
+            return Ok(a);
+        }
+        // Inline path (small writes, or the cLAN no-RDMA-Read fallback).
+        if len <= self.caps.inline_max {
+            let data = self.nic.host().mem.read_vec(src, len as usize);
+            // App buffer into the message buffer (charged in post_request as
+            // part of the body copy).
+            let mut e = Enc::new();
+            e.u64(fh.0).u64(off).bytes(&data);
+            let a = self.call_attr(ctx, DafsOp::WriteInline, &mut e)?;
+            self.stats.inline_writes.record(len);
+            return Ok(a);
+        }
+        // Multi-chunk: pipeline the chunks over the session credits rather
+        // than paying a round trip per chunk.
+        let results = self.write_batch(ctx, &[WriteReq { fh, off, src, len }]);
+        results.into_iter().next().unwrap()?;
+        self.getattr(ctx, fh)
+    }
+
+    /// Convenience: read into a fresh vector (stages through an internal
+    /// scratch buffer; costs one extra mechanical copy, uncharged).
+    pub fn read_to_vec(
+        &self,
+        ctx: &ActorCtx,
+        fh: NodeId,
+        off: u64,
+        len: u64,
+    ) -> DafsResult<Vec<u8>> {
+        let dst = self.scratch(len as usize);
+        let n = self.read(ctx, fh, off, dst, len)?;
+        Ok(self.nic.host().mem.read_vec(dst, n as usize))
+    }
+
+    /// Convenience: write from a byte slice.
+    pub fn write_bytes(
+        &self,
+        ctx: &ActorCtx,
+        fh: NodeId,
+        off: u64,
+        data: &[u8],
+    ) -> DafsResult<FileAttr> {
+        let src = self.scratch(data.len());
+        self.nic.host().mem.write(src, data);
+        self.write(ctx, fh, off, src, data.len() as u64)
+    }
+
+    fn scratch(&self, len: usize) -> VirtAddr {
+        let mut s = self.scratch.lock();
+        match *s {
+            Some((addr, cap)) if cap >= len => addr,
+            _ => {
+                let cap = len.next_power_of_two().max(64 << 10);
+                let addr = self.nic.host().mem.alloc(cap);
+                *s = Some((addr, cap));
+                addr
+            }
+        }
+    }
+
+    /// Pipelined batch read: up to `credits` requests in flight.
+    /// Returns per-request byte counts, in request order.
+    pub fn read_batch(&self, ctx: &ActorCtx, reqs: &[ReadReq]) -> Vec<DafsResult<u64>> {
+        // Expand inline requests that exceed one message into chunks; each
+        // chunk remembers which original request it belongs to.
+        struct Sub {
+            owner: usize,
+            fh: NodeId,
+            off: u64,
+            dst: VirtAddr,
+            len: u64,
+            direct: bool,
+        }
+        let mut subs = Vec::new();
+        for (i, r) in reqs.iter().enumerate() {
+            if self.is_direct(r.len) {
+                subs.push(Sub { owner: i, fh: r.fh, off: r.off, dst: r.dst, len: r.len, direct: true });
+            } else {
+                let mut done = 0u64;
+                loop {
+                    let n = (r.len - done).min(self.caps.inline_max);
+                    subs.push(Sub {
+                        owner: i,
+                        fh: r.fh,
+                        off: r.off + done,
+                        dst: r.dst.offset(done),
+                        len: n,
+                        direct: false,
+                    });
+                    done += n;
+                    if done >= r.len {
+                        break;
+                    }
+                }
+            }
+        }
+        let window = self.caps.credits.max(1) as usize;
+        let mut results: Vec<DafsResult<u64>> = vec![Ok(0); reqs.len()];
+        let mut inflight: VecDeque<(u32, usize, MemHandle, bool)> = VecDeque::new();
+        let mut next = 0usize;
+        let finish = |res: DafsResult<u64>, owner: usize, results: &mut Vec<DafsResult<u64>>| {
+            match (&mut results[owner], res) {
+                (Ok(total), Ok(n)) => *total += n,
+                (slot @ Ok(_), Err(e)) => *slot = Err(e),
+                (Err(_), _) => {}
+            }
+        };
+        while next < subs.len() || !inflight.is_empty() {
+            while next < subs.len() && inflight.len() < window {
+                let sb = &subs[next];
+                if sb.direct {
+                    let (handle, transient) = self.regcache.acquire(ctx, sb.dst, sb.len);
+                    let mut e = Enc::new();
+                    e.u64(sb.fh.0).u64(sb.off).u64(sb.len).u64(sb.dst.as_u64()).u64(handle.0);
+                    let id = self.post_request(ctx, DafsOp::ReadDirect, &mut e);
+                    inflight.push_back((id, next, handle, transient));
+                } else {
+                    let mut e = Enc::new();
+                    e.u64(sb.fh.0).u64(sb.off).u64(sb.len);
+                    let id = self.post_request(ctx, DafsOp::ReadInline, &mut e);
+                    inflight.push_back((id, next, MemHandle(0), false));
+                }
+                next += 1;
+            }
+            let (id, sub_idx, handle, transient) = inflight.pop_front().unwrap();
+            let sb = &subs[sub_idx];
+            let res = (|| -> DafsResult<u64> {
+                let resp = self.wait_response(ctx, id)?;
+                let mut d = Dec::new(&resp);
+                let (_, status) =
+                    proto::dec_resp_header(&mut d).map_err(|_| DafsError::Protocol)?;
+                if status != DafsStatus::Ok {
+                    return Err(DafsError::Status(status));
+                }
+                if sb.direct {
+                    let count = d.u64().map_err(|_| DafsError::Protocol)?;
+                    self.stats.direct_reads.record(count);
+                    Ok(count)
+                } else {
+                    let data = d.bytes().map_err(|_| DafsError::Protocol)?;
+                    self.nic
+                        .host()
+                        .compute(ctx, self.config.host.copy(data.len() as u64));
+                    self.nic.host().mem.write(sb.dst, &data);
+                    self.stats.inline_reads.record(data.len() as u64);
+                    Ok(data.len() as u64)
+                }
+            })();
+            if sb.direct {
+                self.regcache.release(ctx, handle, transient);
+            }
+            finish(res, sb.owner, &mut results);
+        }
+        results
+    }
+
+    /// Pipelined batch write. Returns per-request written byte counts, in
+    /// request order.
+    pub fn write_batch(&self, ctx: &ActorCtx, reqs: &[WriteReq]) -> Vec<DafsResult<u64>> {
+        struct Sub {
+            owner: usize,
+            fh: NodeId,
+            off: u64,
+            src: VirtAddr,
+            len: u64,
+            direct: bool,
+        }
+        let direct_ok = self.caps.rdma_read;
+        let mut subs = Vec::new();
+        for (i, r) in reqs.iter().enumerate() {
+            if self.is_direct(r.len) && direct_ok {
+                subs.push(Sub { owner: i, fh: r.fh, off: r.off, src: r.src, len: r.len, direct: true });
+            } else {
+                let mut done = 0u64;
+                loop {
+                    let n = (r.len - done).min(self.caps.inline_max);
+                    subs.push(Sub {
+                        owner: i,
+                        fh: r.fh,
+                        off: r.off + done,
+                        src: r.src.offset(done),
+                        len: n,
+                        direct: false,
+                    });
+                    done += n;
+                    if done >= r.len {
+                        break;
+                    }
+                }
+            }
+        }
+        let window = self.caps.credits.max(1) as usize;
+        let mut results: Vec<DafsResult<u64>> = vec![Ok(0); reqs.len()];
+        let mut inflight: VecDeque<(u32, usize, MemHandle, bool)> = VecDeque::new();
+        let mut next = 0usize;
+        while next < subs.len() || !inflight.is_empty() {
+            while next < subs.len() && inflight.len() < window {
+                let sb = &subs[next];
+                if sb.direct {
+                    let (handle, transient) = self.regcache.acquire(ctx, sb.src, sb.len);
+                    let mut e = Enc::new();
+                    e.u64(sb.fh.0).u64(sb.off).u64(sb.len).u64(sb.src.as_u64()).u64(handle.0);
+                    let id = self.post_request(ctx, DafsOp::WriteDirect, &mut e);
+                    self.stats.direct_writes.record(sb.len);
+                    inflight.push_back((id, next, handle, transient));
+                } else {
+                    let data = self.nic.host().mem.read_vec(sb.src, sb.len as usize);
+                    let mut e = Enc::new();
+                    e.u64(sb.fh.0).u64(sb.off).bytes(&data);
+                    let id = self.post_request(ctx, DafsOp::WriteInline, &mut e);
+                    self.stats.inline_writes.record(sb.len);
+                    inflight.push_back((id, next, MemHandle(0), false));
+                }
+                next += 1;
+            }
+            let (id, sub_idx, handle, transient) = inflight.pop_front().unwrap();
+            let sb = &subs[sub_idx];
+            let res = (|| -> DafsResult<u64> {
+                let resp = self.wait_response(ctx, id)?;
+                let mut d = Dec::new(&resp);
+                let (_, status) =
+                    proto::dec_resp_header(&mut d).map_err(|_| DafsError::Protocol)?;
+                if status != DafsStatus::Ok {
+                    return Err(DafsError::Status(status));
+                }
+                Ok(sb.len)
+            })();
+            if sb.direct {
+                self.regcache.release(ctx, handle, transient);
+            }
+            match (&mut results[sb.owner], res) {
+                (Ok(total), Ok(n)) => *total += n,
+                (slot @ Ok(_), Err(e)) => *slot = Err(e),
+                (Err(_), _) => {}
+            }
+        }
+        results
+    }
+}

@@ -1,0 +1,85 @@
+//! DAFS cost model and tunables.
+
+use simnet::cost::HostCost;
+use simnet::time::units::*;
+use simnet::SimDuration;
+
+/// Server-side cost constants.
+#[derive(Debug, Clone, Copy)]
+pub struct DafsServerCost {
+    /// Fixed request dispatch + filesystem cost per operation. DAFS server
+    /// prototypes ran a lean user-level event loop, well under the kernel
+    /// RPC path's cost.
+    pub per_op: SimDuration,
+    /// Stable-storage flush (FLUSH op, synchronous creates). NVRAM-backed.
+    pub sync: SimDuration,
+    /// Whether the server's buffer cache is registered with the NIC. When
+    /// true (NetApp-prototype style), direct transfers DMA straight from
+    /// cache pages and the server pays no data copy; when false, the server
+    /// pays one copy into a registered staging buffer.
+    pub registered_buffer_cache: bool,
+    /// Host primitives.
+    pub host: HostCost,
+}
+
+impl Default for DafsServerCost {
+    fn default() -> Self {
+        DafsServerCost {
+            per_op: us(9),
+            sync: us(30),
+            registered_buffer_cache: true,
+            host: HostCost::default(),
+        }
+    }
+}
+
+/// Client-side configuration and cost constants.
+#[derive(Debug, Clone, Copy)]
+pub struct DafsClientConfig {
+    /// Session credits: receive descriptors pre-posted per side; also the
+    /// pipeline depth available to batch I/O.
+    pub credits: u32,
+    /// Largest payload carried inline in a single message (must fit the
+    /// VI's 64 KiB MTU with headers).
+    pub inline_max: u64,
+    /// Requests strictly larger than this use direct (RDMA) transfer;
+    /// smaller ones go inline. The paper-family's central tunable.
+    pub direct_threshold: u64,
+    /// Enable the client registration cache for direct-I/O buffers.
+    pub use_regcache: bool,
+    /// Registration cache capacity in bytes (evicts LRU beyond this).
+    pub regcache_capacity: u64,
+    /// Client CPU per request (build + parse, beyond VIA posting costs).
+    pub per_op: SimDuration,
+    /// Host primitives (the inline-path copies).
+    pub host: HostCost,
+}
+
+impl Default for DafsClientConfig {
+    fn default() -> Self {
+        DafsClientConfig {
+            credits: 8,
+            inline_max: 32 << 10,
+            direct_threshold: 8 << 10,
+            use_regcache: true,
+            regcache_capacity: 64 << 20,
+            per_op: us(4),
+            host: HostCost::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_consistent() {
+        let c = DafsClientConfig::default();
+        assert!(c.direct_threshold <= c.inline_max);
+        assert!(c.inline_max <= 64 << 10);
+        assert!(c.credits >= 1);
+        let s = DafsServerCost::default();
+        assert!(s.per_op < us(20), "DAFS per-op must undercut NFS's 20us");
+    }
+}

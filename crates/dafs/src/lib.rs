@@ -1,0 +1,642 @@
+//! # dafs — the Direct Access File System over VIA
+//!
+//! The file-access layer the paper's MPI-IO implementation sits on: a
+//! session-based protocol (DAFS Collaborative 1.0 shape) designed for
+//! direct-access transports. Small operations travel **inline** in VIA
+//! messages; bulk reads are **direct** — the server RDMA-Writes file data
+//! straight into client buffers the client registered and advertised, so
+//! the client CPU does no per-byte work. Bulk writes go direct when the
+//! NIC supports RDMA Read (optional in VIA; absent on the cLAN, present as
+//! a configuration ablation here) and otherwise fall back to inline chunks.
+//!
+//! Components:
+//! * [`DafsClient`] — `dap_*`-style session API with synchronous, batch
+//!   (pipelined), and locking operations, plus the client-side
+//!   [`RegCache`](regcache::RegCache) that amortizes VIA memory
+//!   registration.
+//! * [`spawn_dafs_server`] — a CQ-driven server event loop exporting a
+//!   [`memfs`] filesystem.
+
+#![warn(missing_docs)]
+
+mod client;
+mod proto;
+mod server;
+mod wire;
+
+pub mod cost;
+pub mod regcache;
+
+pub use client::{DafsClient, DafsClientStats, DafsError, DafsResult, ReadReq, WriteReq};
+pub use cost::{DafsClientConfig, DafsServerCost};
+pub use proto::{DafsOp, DafsStatus, ServerCaps};
+pub use server::{spawn_dafs_server, DafsServerHandle, DafsServerStats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memfs::{MemFs, ROOT_ID};
+    use simnet::time::units::*;
+    use simnet::{Cluster, SimKernel, VirtAddr};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use via::{ViaCost, ViaFabric, ViaNic};
+
+    struct Bed {
+        kernel: SimKernel,
+        fabric: ViaFabric,
+        cluster: Cluster,
+        server: DafsServerHandle,
+        fs: MemFs,
+    }
+
+    fn bed_with(cost: ViaCost) -> Bed {
+        let kernel = SimKernel::new();
+        let cluster = Cluster::new();
+        let fabric = ViaFabric::new(cost);
+        let server_nic = fabric.open_nic(cluster.add_host("dafs-server"));
+        let fs = MemFs::new();
+        let server = spawn_dafs_server(
+            &kernel,
+            &fabric,
+            server_nic,
+            fs.clone(),
+            2049,
+            DafsServerCost::default(),
+        );
+        Bed {
+            kernel,
+            fabric,
+            cluster,
+            server,
+            fs,
+        }
+    }
+
+    fn bed() -> Bed {
+        bed_with(ViaCost::default())
+    }
+
+    fn client_config() -> DafsClientConfig {
+        DafsClientConfig::default()
+    }
+
+    fn with_client(
+        bed: &Bed,
+        config: DafsClientConfig,
+        f: impl FnOnce(&simnet::ActorCtx, &DafsClient, &ViaNic) + Send + 'static,
+    ) {
+        let fabric = bed.fabric.clone();
+        let nic = fabric.open_nic(bed.cluster.add_host("dafs-client"));
+        let sid = bed.server.host.id;
+        bed.kernel.spawn("dafs-client", move |ctx| {
+            let c = DafsClient::connect(ctx, &fabric, &nic, sid, 2049, config).unwrap();
+            f(ctx, &c, &nic);
+            c.disconnect(ctx);
+        });
+    }
+
+    #[test]
+    fn session_setup_exchanges_caps() {
+        let b = bed();
+        with_client(&b, client_config(), |_ctx, c, _nic| {
+            let caps = c.caps();
+            assert!(!caps.rdma_read, "default fabric is cLAN-like");
+            assert_eq!(caps.credits, 8);
+            assert_eq!(caps.inline_max, 32 << 10);
+        });
+        b.kernel.run();
+        assert_eq!(b.server.stats.sessions.get(), 1);
+    }
+
+    #[test]
+    fn namespace_roundtrip() {
+        let b = bed();
+        with_client(&b, client_config(), |ctx, c, _| {
+            let d = c.mkdir(ctx, ROOT_ID, "dir").unwrap();
+            let f = c.create(ctx, d.id, "file").unwrap();
+            assert_eq!(c.lookup(ctx, d.id, "file").unwrap().id, f.id);
+            assert_eq!(c.resolve(ctx, "/dir/file").unwrap().id, f.id);
+            assert_eq!(
+                c.lookup(ctx, d.id, "nope").unwrap_err(),
+                DafsError::Status(DafsStatus::NoEnt)
+            );
+            let entries = c.readdir(ctx, d.id).unwrap();
+            assert_eq!(entries.len(), 1);
+            c.rename(ctx, d.id, "file", ROOT_ID, "moved").unwrap();
+            c.remove(ctx, ROOT_ID, "moved").unwrap();
+            c.rmdir(ctx, ROOT_ID, "dir").unwrap();
+        });
+        b.kernel.run();
+    }
+
+    #[test]
+    fn inline_write_then_read_verifies_bytes() {
+        let b = bed();
+        with_client(&b, client_config(), |ctx, c, _| {
+            let f = c.create(ctx, ROOT_ID, "small").unwrap();
+            let data: Vec<u8> = (0..4096u32).map(|i| (i % 253) as u8).collect();
+            let a = c.write_bytes(ctx, f.id, 0, &data).unwrap();
+            assert_eq!(a.size, 4096);
+            let back = c.read_to_vec(ctx, f.id, 0, 4096).unwrap();
+            assert_eq!(back, data);
+            // 4 KiB is under the 8 KiB threshold: all inline.
+            assert_eq!(c.stats.inline_writes.bytes.get(), 4096);
+            assert_eq!(c.stats.direct_reads.bytes.get(), 0);
+        });
+        b.kernel.run();
+    }
+
+    #[test]
+    fn large_read_goes_direct_and_is_zero_copy() {
+        let b = bed();
+        const LEN: usize = 1 << 20;
+        b.fs.create(ROOT_ID, "big").unwrap();
+        let fh = b.fs.resolve("/big").unwrap().id;
+        let payload: Vec<u8> = (0..LEN as u32).map(|i| (i % 241) as u8).collect();
+        b.fs.write(fh, 0, &payload).unwrap();
+        with_client(&b, client_config(), move |ctx, c, nic| {
+            let f = c.lookup(ctx, ROOT_ID, "big").unwrap();
+            let dst = nic.host().mem.alloc(LEN);
+            let cpu_before = nic.host().cpu.busy();
+            let n = c.read(ctx, f.id, 0, dst, LEN as u64).unwrap();
+            assert_eq!(n, LEN as u64);
+            assert_eq!(nic.host().mem.read_vec(dst, LEN), payload);
+            assert_eq!(c.stats.direct_reads.bytes.get(), LEN as u64);
+            // Client CPU: registration (first touch) + request/poll, but no
+            // per-byte copy. A 1 MiB memcpy alone would be ~2.6 ms; allow a
+            // generous 1 ms to catch any accidental copy.
+            let spent = nic.host().cpu.busy() - cpu_before;
+            assert!(
+                spent.as_secs_f64() < 0.001,
+                "client burned {spent} on a direct read"
+            );
+        });
+        b.kernel.run();
+    }
+
+    #[test]
+    fn large_write_falls_back_to_inline_without_rdma_read() {
+        let b = bed();
+        const LEN: usize = 256 << 10;
+        with_client(&b, client_config(), move |ctx, c, nic| {
+            let f = c.create(ctx, ROOT_ID, "w").unwrap();
+            let src = nic.host().mem.alloc(LEN);
+            nic.host().mem.fill(src, LEN, 0x5A);
+            let a = c.write(ctx, f.id, 0, src, LEN as u64).unwrap();
+            assert_eq!(a.size, LEN as u64);
+            // No RDMA Read on the default fabric: inline chunks.
+            assert_eq!(c.stats.direct_writes.bytes.get(), 0);
+            assert_eq!(c.stats.inline_writes.bytes.get(), LEN as u64);
+        });
+        b.kernel.run();
+        assert_eq!(b.fs.resolve("/w").unwrap().size, LEN as u64);
+        let fh = b.fs.resolve("/w").unwrap().id;
+        assert_eq!(b.fs.read(fh, 1000, 4).unwrap(), vec![0x5A; 4]);
+    }
+
+    #[test]
+    fn large_write_goes_direct_with_rdma_read() {
+        let b = bed_with(ViaCost {
+            rdma_read_supported: true,
+            ..ViaCost::default()
+        });
+        const LEN: usize = 256 << 10;
+        with_client(&b, client_config(), move |ctx, c, nic| {
+            assert!(c.caps().rdma_read);
+            let f = c.create(ctx, ROOT_ID, "w").unwrap();
+            let src = nic.host().mem.alloc(LEN);
+            nic.host().mem.fill(src, LEN, 0xC3);
+            c.write(ctx, f.id, 0, src, LEN as u64).unwrap();
+            assert_eq!(c.stats.direct_writes.bytes.get(), LEN as u64);
+            assert_eq!(c.stats.inline_writes.bytes.get(), 0);
+        });
+        b.kernel.run();
+        let fh = b.fs.resolve("/w").unwrap().id;
+        assert_eq!(b.fs.read(fh, LEN as u64 - 4, 4).unwrap(), vec![0xC3; 4]);
+    }
+
+    #[test]
+    fn direct_transfer_spanning_staging_chunks() {
+        // 9 MiB > the server's 4 MiB staging buffer: must chunk correctly.
+        let b = bed();
+        const LEN: usize = 9 << 20;
+        b.fs.create(ROOT_ID, "huge").unwrap();
+        let fh = b.fs.resolve("/huge").unwrap().id;
+        let payload: Vec<u8> = (0..LEN).map(|i| (i / 4096) as u8).collect();
+        b.fs.write(fh, 0, &payload).unwrap();
+        with_client(&b, client_config(), move |ctx, c, nic| {
+            let f = c.lookup(ctx, ROOT_ID, "huge").unwrap();
+            let dst = nic.host().mem.alloc(LEN);
+            let n = c.read(ctx, f.id, 0, dst, LEN as u64).unwrap();
+            assert_eq!(n, LEN as u64);
+            let got = nic.host().mem.read_vec(dst, LEN);
+            assert_eq!(got, payload);
+        });
+        b.kernel.run();
+    }
+
+    #[test]
+    fn read_past_eof_is_short() {
+        let b = bed();
+        with_client(&b, client_config(), |ctx, c, nic| {
+            let f = c.create(ctx, ROOT_ID, "s").unwrap();
+            c.write_bytes(ctx, f.id, 0, b"abc").unwrap();
+            let dst = nic.host().mem.alloc(64 << 10);
+            // Inline short read.
+            assert_eq!(c.read(ctx, f.id, 1, dst, 100).unwrap(), 2);
+            // Direct short read (len > threshold).
+            assert_eq!(c.read(ctx, f.id, 0, dst, 64 << 10).unwrap(), 3);
+        });
+        b.kernel.run();
+    }
+
+    #[test]
+    fn small_op_latency_beats_nfs_by_multiples() {
+        let b = bed();
+        let lat = Arc::new(AtomicU64::new(0));
+        let l2 = lat.clone();
+        with_client(&b, client_config(), move |ctx, c, _| {
+            let t0 = ctx.now();
+            const N: u64 = 20;
+            for _ in 0..N {
+                c.getattr(ctx, ROOT_ID).unwrap();
+            }
+            l2.store(ctx.now().since(t0).as_nanos() / N, Ordering::Relaxed);
+        });
+        b.kernel.run();
+        let us_ = lat.load(Ordering::Relaxed) as f64 / 1000.0;
+        // VIA round trip + lean server: tens of microseconds, not hundreds.
+        assert!((20.0..60.0).contains(&us_), "DAFS getattr = {us_}us");
+    }
+
+    #[test]
+    fn direct_read_bandwidth_approaches_wire() {
+        let b = bed();
+        const LEN: usize = 16 << 20;
+        b.fs.create(ROOT_ID, "stream").unwrap();
+        let fh = b.fs.resolve("/stream").unwrap().id;
+        b.fs.write(fh, 0, &vec![9u8; LEN]).unwrap();
+        let dur = Arc::new(AtomicU64::new(0));
+        let d2 = dur.clone();
+        with_client(&b, client_config(), move |ctx, c, nic| {
+            let f = c.lookup(ctx, ROOT_ID, "stream").unwrap();
+            let dst = nic.host().mem.alloc(LEN);
+            // Warm the registration cache so we measure steady state.
+            c.read(ctx, f.id, 0, dst, LEN as u64).unwrap();
+            let t0 = ctx.now();
+            c.read(ctx, f.id, 0, dst, LEN as u64).unwrap();
+            d2.store(ctx.now().since(t0).as_nanos(), Ordering::Relaxed);
+        });
+        b.kernel.run();
+        let mb_s = LEN as f64 / (dur.load(Ordering::Relaxed) as f64 / 1e9) / 1e6;
+        assert!(
+            (85.0..110.5).contains(&mb_s),
+            "DAFS direct read = {mb_s} MB/s, want near the 110 MB/s wire"
+        );
+    }
+
+    #[test]
+    fn regcache_avoids_repeat_registration() {
+        let b = bed();
+        const LEN: usize = 1 << 20;
+        b.fs.create(ROOT_ID, "f").unwrap();
+        let fh = b.fs.resolve("/f").unwrap().id;
+        b.fs.write(fh, 0, &vec![1u8; LEN]).unwrap();
+        with_client(&b, client_config(), move |ctx, c, nic| {
+            let f = c.lookup(ctx, ROOT_ID, "f").unwrap();
+            let dst = nic.host().mem.alloc(LEN);
+            for _ in 0..10 {
+                c.read(ctx, f.id, 0, dst, LEN as u64).unwrap();
+            }
+            let (hits, misses, _) = c.regcache_stats();
+            assert_eq!(misses, 1, "only the first read registers");
+            assert_eq!(hits, 9);
+        });
+        b.kernel.run();
+    }
+
+    #[test]
+    fn regcache_disabled_registers_every_time() {
+        let b = bed();
+        const LEN: usize = 1 << 20;
+        b.fs.create(ROOT_ID, "f").unwrap();
+        let fh = b.fs.resolve("/f").unwrap().id;
+        b.fs.write(fh, 0, &vec![1u8; LEN]).unwrap();
+        let cfg = DafsClientConfig {
+            use_regcache: false,
+            ..client_config()
+        };
+        with_client(&b, cfg, move |ctx, c, nic| {
+            let f = c.lookup(ctx, ROOT_ID, "f").unwrap();
+            let dst = nic.host().mem.alloc(LEN);
+            for _ in 0..5 {
+                c.read(ctx, f.id, 0, dst, LEN as u64).unwrap();
+            }
+            let (hits, misses, _) = c.regcache_stats();
+            assert_eq!((hits, misses), (0, 5));
+            // All transient registrations were torn down again.
+            let (regs, _, deregs) = nic.registration_stats();
+            // 16 session buffers + 5 transient.
+            assert_eq!(regs, 16 + 5);
+            assert_eq!(deregs, 5);
+        });
+        b.kernel.run();
+    }
+
+    #[test]
+    fn batch_read_pipelines_and_verifies() {
+        let b = bed();
+        const CHUNK: usize = 64 << 10;
+        const COUNT: usize = 16;
+        b.fs.create(ROOT_ID, "b").unwrap();
+        let fh = b.fs.resolve("/b").unwrap().id;
+        let mut payload = Vec::new();
+        for i in 0..COUNT {
+            payload.extend(std::iter::repeat_n(i as u8, CHUNK));
+        }
+        b.fs.write(fh, 0, &payload).unwrap();
+        with_client(&b, client_config(), move |ctx, c, nic| {
+            let f = c.lookup(ctx, ROOT_ID, "b").unwrap();
+            let dsts: Vec<VirtAddr> = (0..COUNT).map(|_| nic.host().mem.alloc(CHUNK)).collect();
+            let reqs: Vec<ReadReq> = (0..COUNT)
+                .map(|i| ReadReq {
+                    fh: f.id,
+                    off: (i * CHUNK) as u64,
+                    dst: dsts[i],
+                    len: CHUNK as u64,
+                })
+                .collect();
+            let batch_t0 = ctx.now();
+            let results = c.read_batch(ctx, &reqs);
+            let batch_time = ctx.now().since(batch_t0);
+            for (i, r) in results.iter().enumerate() {
+                assert_eq!(*r, Ok(CHUNK as u64), "req {i}");
+                assert_eq!(
+                    nic.host().mem.read_vec(dsts[i], CHUNK),
+                    vec![i as u8; CHUNK]
+                );
+            }
+            // Sequential comparison: same reads one at a time.
+            let seq_t0 = ctx.now();
+            for r in &reqs {
+                c.read(ctx, r.fh, r.off, r.dst, r.len).unwrap();
+            }
+            let seq_time = ctx.now().since(seq_t0);
+            assert!(
+                batch_time < seq_time,
+                "pipelined batch ({batch_time}) should beat sequential ({seq_time})"
+            );
+        });
+        b.kernel.run();
+    }
+
+    #[test]
+    fn batch_write_inline_chunking_correct() {
+        let b = bed();
+        // 100 KiB inline-fallback write inside a batch must be chunked.
+        const LEN: usize = 100 << 10;
+        with_client(&b, client_config(), move |ctx, c, nic| {
+            let f = c.create(ctx, ROOT_ID, "bw").unwrap();
+            let src = nic.host().mem.alloc(LEN);
+            let payload: Vec<u8> = (0..LEN).map(|i| (i % 127) as u8).collect();
+            nic.host().mem.write(src, &payload);
+            let results = c.write_batch(
+                ctx,
+                &[WriteReq {
+                    fh: f.id,
+                    off: 0,
+                    src,
+                    len: LEN as u64,
+                }],
+            );
+            assert_eq!(results, vec![Ok(LEN as u64)]);
+        });
+        b.kernel.run();
+        let fh = b.fs.resolve("/bw").unwrap().id;
+        let got = b.fs.read(fh, 0, LEN as u64).unwrap();
+        let expect: Vec<u8> = (0..LEN).map(|i| (i % 127) as u8).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn locks_serialize_two_sessions() {
+        let b = bed();
+        b.fs.create(ROOT_ID, "locked").unwrap();
+        let order: Arc<parking_lot::Mutex<Vec<(u64, &'static str)>>> =
+            Arc::new(parking_lot::Mutex::new(Vec::new()));
+        for (name, delay, hold) in [("first", 0u64, 500u64), ("second", 100u64, 0u64)] {
+            let fabric = b.fabric.clone();
+            let nic = fabric.open_nic(b.cluster.add_host(name));
+            let sid = b.server.host.id;
+            let order = order.clone();
+            b.kernel.spawn(name, move |ctx| {
+                ctx.advance(us(delay));
+                let c =
+                    DafsClient::connect(ctx, &fabric, &nic, sid, 2049, client_config()).unwrap();
+                let f = c.lookup(ctx, ROOT_ID, "locked").unwrap();
+                c.lock(ctx, f.id).unwrap();
+                order.lock().push((ctx.now().as_nanos(), name));
+                ctx.advance(us(hold));
+                c.unlock(ctx, f.id).unwrap();
+                c.disconnect(ctx);
+            });
+        }
+        b.kernel.run();
+        let o = order.lock().clone();
+        assert_eq!(o.len(), 2);
+        assert_eq!(o[0].1, "first");
+        assert_eq!(o[1].1, "second");
+        // Second acquired only after first's 500us hold.
+        assert!(o[1].0 > o[0].0 + 500_000, "{o:?}");
+    }
+
+    #[test]
+    fn concurrent_appends_tile_without_tears() {
+        // Six sessions race variable-size appends; the records must tile
+        // the file exactly — atomicity comes from the serial server worker,
+        // not client-side locks.
+        let b = bed();
+        b.fs.create(ROOT_ID, "log").unwrap();
+        const PER_CLIENT: usize = 8;
+        for i in 0..6usize {
+            let fabric = b.fabric.clone();
+            let nic = fabric.open_nic(b.cluster.add_host(&format!("a{i}")));
+            let sid = b.server.host.id;
+            b.kernel.spawn(&format!("appender{i}"), move |ctx| {
+                let c =
+                    DafsClient::connect(ctx, &fabric, &nic, sid, 2049, client_config()).unwrap();
+                let f = c.lookup(ctx, ROOT_ID, "log").unwrap();
+                for seq in 0..PER_CLIENT {
+                    let len = (seq % 3 + 1) * 100;
+                    let mut rec = vec![(i * PER_CLIENT + seq) as u8; len];
+                    // Header: record length, so the scanner can walk it.
+                    rec[0] = (len / 100) as u8;
+                    let off = c.append(ctx, f.id, &rec).unwrap();
+                    assert!((off as usize).is_multiple_of(100), "records are 100-byte multiples");
+                }
+                c.disconnect(ctx);
+            });
+        }
+        b.kernel.run();
+        let attr = b.fs.resolve("/log").unwrap();
+        let data = b.fs.read(attr.id, 0, attr.size).unwrap();
+        let mut pos = 0usize;
+        let mut records = 0;
+        while pos < data.len() {
+            let len = data[pos] as usize * 100;
+            assert!((100..=300).contains(&len), "corrupt header at {pos}");
+            // The body (after the header byte) must be uniform: no tears.
+            let body = &data[pos + 1..pos + len];
+            assert!(body.iter().all(|&x| x == body[0]), "torn record at {pos}");
+            pos += len;
+            records += 1;
+        }
+        assert_eq!(pos, data.len());
+        assert_eq!(records, 6 * PER_CLIENT);
+    }
+
+    #[test]
+    fn append_offsets_are_monotone_per_session() {
+        let b = bed();
+        b.fs.create(ROOT_ID, "log").unwrap();
+        with_client(&b, client_config(), |ctx, c, _| {
+            let f = c.lookup(ctx, ROOT_ID, "log").unwrap();
+            let mut last = 0;
+            for i in 0..5u8 {
+                let off = c.append(ctx, f.id, &[i; 64]).unwrap();
+                assert_eq!(off, last);
+                last += 64;
+            }
+            assert_eq!(c.getattr(ctx, f.id).unwrap().size, 320);
+        });
+        b.kernel.run();
+    }
+
+    #[test]
+    fn flush_and_truncate() {
+        let b = bed();
+        with_client(&b, client_config(), |ctx, c, _| {
+            let f = c.create(ctx, ROOT_ID, "t").unwrap();
+            c.write_bytes(ctx, f.id, 0, &[1u8; 100]).unwrap();
+            c.flush(ctx, f.id).unwrap();
+            let a = c.truncate(ctx, f.id, 10).unwrap();
+            assert_eq!(a.size, 10);
+            assert_eq!(c.getattr(ctx, f.id).unwrap().size, 10);
+        });
+        b.kernel.run();
+    }
+
+    #[test]
+    fn lock_released_on_clean_disconnect_of_holder() {
+        // A locks and disconnects WITHOUT unlocking; B's pending lock must
+        // be granted when the server tears A's session down.
+        let b = bed();
+        b.fs.create(ROOT_ID, "l").unwrap();
+        let got_lock = Arc::new(AtomicU64::new(0));
+        {
+            let fabric = b.fabric.clone();
+            let nic = fabric.open_nic(b.cluster.add_host("holder"));
+            let sid = b.server.host.id;
+            b.kernel.spawn("holder", move |ctx| {
+                let c =
+                    DafsClient::connect(ctx, &fabric, &nic, sid, 2049, client_config()).unwrap();
+                let f = c.lookup(ctx, ROOT_ID, "l").unwrap();
+                c.lock(ctx, f.id).unwrap();
+                ctx.advance(us(500));
+                // Disconnect while still holding the lock.
+                c.disconnect(ctx);
+            });
+        }
+        {
+            let fabric = b.fabric.clone();
+            let nic = fabric.open_nic(b.cluster.add_host("waiter"));
+            let sid = b.server.host.id;
+            let gl = got_lock.clone();
+            b.kernel.spawn("waiter", move |ctx| {
+                ctx.advance(us(100)); // let the holder win the race
+                let c =
+                    DafsClient::connect(ctx, &fabric, &nic, sid, 2049, client_config()).unwrap();
+                let f = c.lookup(ctx, ROOT_ID, "l").unwrap();
+                c.lock(ctx, f.id).unwrap();
+                gl.store(ctx.now().as_nanos(), Ordering::Relaxed);
+                c.unlock(ctx, f.id).unwrap();
+                c.disconnect(ctx);
+            });
+        }
+        b.kernel.run();
+        let t = got_lock.load(Ordering::Relaxed);
+        assert!(t > 500_000, "waiter must block until the holder vanished: {t}");
+    }
+
+    #[test]
+    fn abrupt_vi_disconnect_tears_session_and_releases_locks() {
+        // The holder drops the VIA connection without a DAFS Disconnect;
+        // the server's ConnectionLost path must clean up and grant the
+        // waiter.
+        let b = bed();
+        b.fs.create(ROOT_ID, "l").unwrap();
+        let got_lock = Arc::new(AtomicU64::new(0));
+        {
+            let fabric = b.fabric.clone();
+            let nic = fabric.open_nic(b.cluster.add_host("crasher"));
+            let sid = b.server.host.id;
+            b.kernel.spawn("crasher", move |ctx| {
+                let c =
+                    DafsClient::connect(ctx, &fabric, &nic, sid, 2049, client_config()).unwrap();
+                let f = c.lookup(ctx, ROOT_ID, "l").unwrap();
+                c.lock(ctx, f.id).unwrap();
+                ctx.advance(us(400));
+                // Simulate a crash: raw VIA disconnect, no protocol goodbye.
+                c.abort(ctx);
+            });
+        }
+        {
+            let fabric = b.fabric.clone();
+            let nic = fabric.open_nic(b.cluster.add_host("waiter"));
+            let sid = b.server.host.id;
+            let gl = got_lock.clone();
+            b.kernel.spawn("waiter", move |ctx| {
+                ctx.advance(us(100));
+                let c =
+                    DafsClient::connect(ctx, &fabric, &nic, sid, 2049, client_config()).unwrap();
+                let f = c.lookup(ctx, ROOT_ID, "l").unwrap();
+                c.lock(ctx, f.id).unwrap();
+                gl.store(ctx.now().as_nanos(), Ordering::Relaxed);
+                c.unlock(ctx, f.id).unwrap();
+                c.disconnect(ctx);
+            });
+        }
+        b.kernel.run();
+        let t = got_lock.load(Ordering::Relaxed);
+        assert!(t > 400_000, "waiter must be granted after the crash: {t}");
+    }
+
+    #[test]
+    fn many_sessions_one_server() {
+        let b = bed();
+        b.fs.create(ROOT_ID, "shared").unwrap();
+        const N: usize = 8;
+        for i in 0..N {
+            let fabric = b.fabric.clone();
+            let nic = fabric.open_nic(b.cluster.add_host(&format!("c{i}")));
+            let sid = b.server.host.id;
+            b.kernel.spawn(&format!("client{i}"), move |ctx| {
+                let c =
+                    DafsClient::connect(ctx, &fabric, &nic, sid, 2049, client_config()).unwrap();
+                let f = c.lookup(ctx, ROOT_ID, "shared").unwrap();
+                let data = vec![i as u8 + 1; 32 << 10];
+                c.write_bytes(ctx, f.id, (i * (32 << 10)) as u64, &data)
+                    .unwrap();
+                c.disconnect(ctx);
+            });
+        }
+        b.kernel.run();
+        assert_eq!(b.server.stats.sessions.get(), N as u64);
+        let fh = b.fs.resolve("/shared").unwrap().id;
+        for i in 0..N {
+            let got = b.fs.read(fh, (i * (32 << 10)) as u64, 2).unwrap();
+            assert_eq!(got, vec![i as u8 + 1; 2]);
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! DAFS protocol: operation codes, status codes, attribute marshalling,
+//! request/response headers.
+//!
+//! Modeled on the DAFS Collaborative 1.0 procedure set (`DAP_PROC_*`),
+//! reduced to the operations the MPI-IO stack and its evaluation exercise.
+//! Every request carries a session-local request id so responses can be
+//! matched out of order (batch I/O pipelines several requests per session).
+
+use memfs::{FileAttr, FileType, FsError, NodeId};
+
+use crate::wire::{Dec, Enc, WireError};
+
+/// DAFS procedure numbers (subset; values are stable within this repo).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum DafsOp {
+    /// Fetch attributes.
+    GetAttr = 1,
+    /// Set attributes (truncate).
+    SetAttr = 2,
+    /// Directory lookup.
+    Lookup = 3,
+    /// Create a regular file.
+    Create = 4,
+    /// Remove a regular file.
+    Remove = 5,
+    /// Create a directory.
+    Mkdir = 6,
+    /// Remove an empty directory.
+    Rmdir = 7,
+    /// Rename.
+    Rename = 8,
+    /// List a directory.
+    ReadDir = 9,
+    /// Read with data inline in the response message.
+    ReadInline = 10,
+    /// Write with data inline in the request message.
+    WriteInline = 11,
+    /// Read with server-initiated RDMA Write into the client buffer.
+    ReadDirect = 12,
+    /// Write with server-initiated RDMA Read from the client buffer.
+    WriteDirect = 13,
+    /// Flush to stable storage.
+    Flush = 14,
+    /// Acquire a whole-file exclusive lock (blocks until granted).
+    Lock = 15,
+    /// Release a lock.
+    Unlock = 16,
+    /// End the session.
+    Disconnect = 17,
+    /// Session setup: exchange capabilities (first request on a session).
+    Hello = 18,
+    /// Atomic append: write inline data at the current end of file,
+    /// returning the offset it landed at (DAFS's append mode).
+    Append = 19,
+}
+
+impl DafsOp {
+    /// Parse from a wire value.
+    pub fn from_u8(v: u8) -> Option<DafsOp> {
+        Some(match v {
+            1 => DafsOp::GetAttr,
+            2 => DafsOp::SetAttr,
+            3 => DafsOp::Lookup,
+            4 => DafsOp::Create,
+            5 => DafsOp::Remove,
+            6 => DafsOp::Mkdir,
+            7 => DafsOp::Rmdir,
+            8 => DafsOp::Rename,
+            9 => DafsOp::ReadDir,
+            10 => DafsOp::ReadInline,
+            11 => DafsOp::WriteInline,
+            12 => DafsOp::ReadDirect,
+            13 => DafsOp::WriteDirect,
+            14 => DafsOp::Flush,
+            15 => DafsOp::Lock,
+            16 => DafsOp::Unlock,
+            17 => DafsOp::Disconnect,
+            18 => DafsOp::Hello,
+            19 => DafsOp::Append,
+            _ => return None,
+        })
+    }
+}
+
+/// DAFS status codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum DafsStatus {
+    /// Success.
+    Ok = 0,
+    /// No such entry.
+    NoEnt = 1,
+    /// Stale handle.
+    Stale = 2,
+    /// Not a directory.
+    NotDir = 3,
+    /// Is a directory.
+    IsDir = 4,
+    /// Exists.
+    Exists = 5,
+    /// Directory not empty.
+    NotEmpty = 6,
+    /// Invalid argument / malformed request.
+    Inval = 7,
+    /// Transfer failed (e.g. remote protection error on direct I/O).
+    XferError = 8,
+    /// Operation not supported by this server (e.g. WRITE_DIRECT without
+    /// RDMA Read capability).
+    NotSupported = 9,
+}
+
+impl DafsStatus {
+    /// Parse from a wire value.
+    pub fn from_u8(v: u8) -> DafsStatus {
+        match v {
+            0 => DafsStatus::Ok,
+            1 => DafsStatus::NoEnt,
+            2 => DafsStatus::Stale,
+            3 => DafsStatus::NotDir,
+            4 => DafsStatus::IsDir,
+            5 => DafsStatus::Exists,
+            6 => DafsStatus::NotEmpty,
+            8 => DafsStatus::XferError,
+            9 => DafsStatus::NotSupported,
+            _ => DafsStatus::Inval,
+        }
+    }
+}
+
+impl From<FsError> for DafsStatus {
+    fn from(e: FsError) -> DafsStatus {
+        match e {
+            FsError::NotFound => DafsStatus::NoEnt,
+            FsError::Stale => DafsStatus::Stale,
+            FsError::NotDirectory => DafsStatus::NotDir,
+            FsError::IsDirectory => DafsStatus::IsDir,
+            FsError::Exists => DafsStatus::Exists,
+            FsError::NotEmpty => DafsStatus::NotEmpty,
+            FsError::InvalidName => DafsStatus::Inval,
+        }
+    }
+}
+
+/// Server capabilities advertised at session setup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerCaps {
+    /// Server NIC can perform RDMA Read (enables true WRITE_DIRECT).
+    pub rdma_read: bool,
+    /// Session credits granted.
+    pub credits: u32,
+    /// Largest inline payload the server accepts.
+    pub inline_max: u64,
+}
+
+/// Encode a request header: (request id, op).
+pub fn enc_req_header(e: &mut Enc, reqid: u32, op: DafsOp) {
+    e.u32(reqid);
+    e.u8(op as u8);
+}
+
+/// Decode a request header.
+pub fn dec_req_header(d: &mut Dec) -> Result<(u32, DafsOp), WireError> {
+    let reqid = d.u32()?;
+    let op = DafsOp::from_u8(d.u8()?).ok_or(WireError)?;
+    Ok((reqid, op))
+}
+
+/// Encode a response header: (request id, status).
+pub fn enc_resp_header(e: &mut Enc, reqid: u32, status: DafsStatus) {
+    e.u32(reqid);
+    e.u8(status as u8);
+}
+
+/// Decode a response header.
+pub fn dec_resp_header(d: &mut Dec) -> Result<(u32, DafsStatus), WireError> {
+    Ok((d.u32()?, DafsStatus::from_u8(d.u8()?)))
+}
+
+/// Encode file attributes.
+pub fn enc_attr(e: &mut Enc, a: &FileAttr) {
+    e.u8(match a.ftype {
+        FileType::Regular => 0,
+        FileType::Directory => 1,
+    });
+    e.u64(a.id.0);
+    e.u64(a.size);
+    e.u64(a.version);
+    e.u32(a.nlink);
+}
+
+/// Decode file attributes.
+pub fn dec_attr(d: &mut Dec) -> Result<FileAttr, WireError> {
+    let ftype = if d.u8()? == 0 {
+        FileType::Regular
+    } else {
+        FileType::Directory
+    };
+    Ok(FileAttr {
+        id: NodeId(d.u64()?),
+        size: d.u64()?,
+        version: d.u64()?,
+        nlink: d.u32()?,
+        ftype,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memfs::ROOT_ID;
+
+    #[test]
+    fn op_roundtrip() {
+        for v in 1..=19u8 {
+            let op = DafsOp::from_u8(v).unwrap();
+            assert_eq!(op as u8, v);
+        }
+        assert_eq!(DafsOp::from_u8(0), None);
+        assert_eq!(DafsOp::from_u8(20), None);
+    }
+
+    #[test]
+    fn status_roundtrip_and_mapping() {
+        for s in [
+            DafsStatus::Ok,
+            DafsStatus::NoEnt,
+            DafsStatus::Stale,
+            DafsStatus::NotDir,
+            DafsStatus::IsDir,
+            DafsStatus::Exists,
+            DafsStatus::NotEmpty,
+            DafsStatus::Inval,
+            DafsStatus::XferError,
+            DafsStatus::NotSupported,
+        ] {
+            assert_eq!(DafsStatus::from_u8(s as u8), s);
+        }
+        assert_eq!(DafsStatus::from(FsError::Exists), DafsStatus::Exists);
+    }
+
+    #[test]
+    fn headers_roundtrip() {
+        let mut e = Enc::new();
+        enc_req_header(&mut e, 42, DafsOp::ReadDirect);
+        let b = e.finish();
+        let mut d = Dec::new(&b);
+        assert_eq!(dec_req_header(&mut d).unwrap(), (42, DafsOp::ReadDirect));
+
+        let mut e = Enc::new();
+        enc_resp_header(&mut e, 42, DafsStatus::Stale);
+        let b = e.finish();
+        let mut d = Dec::new(&b);
+        assert_eq!(dec_resp_header(&mut d).unwrap(), (42, DafsStatus::Stale));
+    }
+
+    #[test]
+    fn attr_roundtrip() {
+        let a = FileAttr {
+            id: ROOT_ID,
+            ftype: FileType::Directory,
+            size: 0,
+            version: 3,
+            nlink: 2,
+        };
+        let mut e = Enc::new();
+        enc_attr(&mut e, &a);
+        let b = e.finish();
+        assert_eq!(dec_attr(&mut Dec::new(&b)).unwrap(), a);
+    }
+}

@@ -1,0 +1,252 @@
+//! The client-side memory-registration cache.
+//!
+//! Registering memory with the VIA NIC costs tens of microseconds (pin +
+//! translation-table update), which would dominate direct I/O if paid per
+//! request. The cache keeps buffers registered across requests and evicts
+//! least-recently-used registrations when the pinned-byte budget is
+//! exceeded — the standard technique in VIA/InfiniBand middleware, and one
+//! of the knobs the evaluation ablates (R-T5).
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use simnet::{ActorCtx, Counter, VirtAddr};
+use via::{MemAttributes, MemHandle, ProtectionTag, ViaNic};
+
+struct Entry {
+    base: VirtAddr,
+    len: u64,
+    handle: MemHandle,
+    last_use: u64,
+}
+
+struct CacheState {
+    /// Keyed by base address; containment queries scan (few live buffers in
+    /// practice — MPI-IO reuses its transfer buffers).
+    entries: HashMap<u64, Entry>,
+    pinned: u64,
+    tick: u64,
+}
+
+/// An LRU cache of live NIC registrations.
+pub struct RegCache {
+    nic: ViaNic,
+    ptag: ProtectionTag,
+    attrs_for: fn(ProtectionTag) -> MemAttributes,
+    capacity: u64,
+    enabled: bool,
+    state: Mutex<CacheState>,
+    /// Cache hits (no registration performed).
+    pub hits: Counter,
+    /// Cache misses (a registration was performed).
+    pub misses: Counter,
+    /// Evictions (a registration was torn down for capacity).
+    pub evictions: Counter,
+}
+
+impl RegCache {
+    /// Create a cache over `nic` registering with `ptag`. `attrs_for`
+    /// selects the registration rights (DAFS clients register direct-I/O
+    /// buffers as RDMA-write targets and, where supported, read sources).
+    pub fn new(
+        nic: ViaNic,
+        ptag: ProtectionTag,
+        attrs_for: fn(ProtectionTag) -> MemAttributes,
+        capacity: u64,
+        enabled: bool,
+    ) -> RegCache {
+        RegCache {
+            nic,
+            ptag,
+            attrs_for,
+            capacity,
+            enabled,
+            state: Mutex::new(CacheState {
+                entries: HashMap::new(),
+                pinned: 0,
+                tick: 0,
+            }),
+            hits: Counter::new(),
+            misses: Counter::new(),
+            evictions: Counter::new(),
+        }
+    }
+
+    /// Obtain a registration covering `[addr, addr+len)`. Returns the
+    /// handle and, when the cache is disabled, a token obliging the caller
+    /// to [`release`](RegCache::release) it.
+    pub fn acquire(&self, ctx: &ActorCtx, addr: VirtAddr, len: u64) -> (MemHandle, bool) {
+        if !self.enabled {
+            self.misses.inc();
+            let h = self
+                .nic
+                .register_mem(ctx, addr, len, (self.attrs_for)(self.ptag));
+            return (h, true);
+        }
+        let mut st = self.state.lock();
+        st.tick += 1;
+        let tick = st.tick;
+        // Containment: any cached entry covering the range?
+        for e in st.entries.values_mut() {
+            if addr >= e.base && addr.as_u64() + len <= e.base.as_u64() + e.len {
+                e.last_use = tick;
+                self.hits.inc();
+                return (e.handle, false);
+            }
+        }
+        self.misses.inc();
+        // Evict LRU entries until the new buffer fits.
+        while st.pinned + len > self.capacity && !st.entries.is_empty() {
+            let lru = *st
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(k, _)| k)
+                .unwrap();
+            let e = st.entries.remove(&lru).unwrap();
+            st.pinned -= e.len;
+            self.evictions.inc();
+            self.nic
+                .deregister_mem(ctx, e.handle)
+                .expect("cache entry must be live");
+        }
+        let handle = self
+            .nic
+            .register_mem(ctx, addr, len, (self.attrs_for)(self.ptag));
+        st.pinned += len;
+        st.entries.insert(
+            addr.as_u64(),
+            Entry {
+                base: addr,
+                len,
+                handle,
+                last_use: tick,
+            },
+        );
+        (handle, false)
+    }
+
+    /// Release a transient (cache-disabled) registration.
+    pub fn release(&self, ctx: &ActorCtx, handle: MemHandle, transient: bool) {
+        if transient {
+            self.nic
+                .deregister_mem(ctx, handle)
+                .expect("transient handle must be live");
+        }
+    }
+
+    /// Drop every cached registration (session teardown).
+    pub fn flush(&self, ctx: &ActorCtx) {
+        let mut st = self.state.lock();
+        for (_, e) in st.entries.drain() {
+            let _ = self.nic.deregister_mem(ctx, e.handle);
+        }
+        st.pinned = 0;
+    }
+
+    /// Bytes currently pinned by the cache.
+    pub fn pinned(&self) -> u64 {
+        self.state.lock().pinned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{Cluster, SimKernel};
+    use via::ViaCost;
+
+    fn attrs(ptag: ProtectionTag) -> MemAttributes {
+        MemAttributes::rdma_write_target(ptag)
+    }
+
+    fn with_cache(capacity: u64, enabled: bool, f: impl Fn(&ActorCtx, &RegCache, &ViaNic) + Send + 'static) {
+        let kernel = SimKernel::new();
+        let cluster = Cluster::new();
+        let host = cluster.add_host("h");
+        let nic = ViaNic::open(host, ViaCost::default());
+        kernel.spawn("t", move |ctx| {
+            let ptag = nic.create_ptag();
+            let cache = RegCache::new(nic.clone(), ptag, attrs, capacity, enabled);
+            f(ctx, &cache, &nic);
+        });
+        kernel.run();
+    }
+
+    #[test]
+    fn repeat_acquire_hits() {
+        with_cache(1 << 20, true, |ctx, cache, nic| {
+            let buf = nic.host().mem.alloc(64 << 10);
+            let (h1, t1) = cache.acquire(ctx, buf, 64 << 10);
+            assert!(!t1);
+            let (h2, _) = cache.acquire(ctx, buf, 64 << 10);
+            assert_eq!(h1, h2);
+            assert_eq!((cache.hits.get(), cache.misses.get()), (1, 1));
+            // Sub-range of a cached registration also hits.
+            let (h3, _) = cache.acquire(ctx, buf.offset(4096), 4096);
+            assert_eq!(h1, h3);
+            assert_eq!(cache.hits.get(), 2);
+        });
+    }
+
+    #[test]
+    fn second_acquire_costs_no_cpu() {
+        with_cache(1 << 20, true, |ctx, cache, nic| {
+            let buf = nic.host().mem.alloc(256 << 10);
+            cache.acquire(ctx, buf, 256 << 10);
+            let busy = nic.host().cpu.busy();
+            cache.acquire(ctx, buf, 256 << 10);
+            assert_eq!(nic.host().cpu.busy(), busy, "hit must be free");
+        });
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity() {
+        with_cache(128 << 10, true, |ctx, cache, nic| {
+            let a = nic.host().mem.alloc(64 << 10);
+            let b = nic.host().mem.alloc(64 << 10);
+            let c = nic.host().mem.alloc(64 << 10);
+            cache.acquire(ctx, a, 64 << 10);
+            cache.acquire(ctx, b, 64 << 10);
+            // Touch a so b is LRU.
+            cache.acquire(ctx, a, 64 << 10);
+            cache.acquire(ctx, c, 64 << 10); // evicts b
+            assert_eq!(cache.evictions.get(), 1);
+            assert_eq!(cache.pinned(), 128 << 10);
+            // a still cached, b gone.
+            cache.acquire(ctx, a, 64 << 10);
+            assert_eq!(cache.hits.get(), 2);
+            cache.acquire(ctx, b, 64 << 10); // miss again (re-registers, evicting LRU)
+            assert_eq!(cache.misses.get(), 4);
+        });
+    }
+
+    #[test]
+    fn disabled_cache_registers_every_time() {
+        with_cache(1 << 20, false, |ctx, cache, nic| {
+            let buf = nic.host().mem.alloc(32 << 10);
+            let (h1, t1) = cache.acquire(ctx, buf, 32 << 10);
+            assert!(t1);
+            cache.release(ctx, h1, t1);
+            let (h2, t2) = cache.acquire(ctx, buf, 32 << 10);
+            cache.release(ctx, h2, t2);
+            assert_ne!(h1, h2);
+            let (regs, _, deregs) = nic.registration_stats();
+            assert_eq!((regs, deregs), (2, 2));
+        });
+    }
+
+    #[test]
+    fn flush_deregisters_everything() {
+        with_cache(1 << 20, true, |ctx, cache, nic| {
+            let a = nic.host().mem.alloc(4096);
+            let b = nic.host().mem.alloc(4096);
+            cache.acquire(ctx, a, 4096);
+            cache.acquire(ctx, b, 4096);
+            assert_eq!(nic.table().live_regions(), 2);
+            cache.flush(ctx);
+            assert_eq!(nic.table().live_regions(), 0);
+            assert_eq!(cache.pinned(), 0);
+        });
+    }
+}

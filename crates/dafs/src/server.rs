@@ -1,0 +1,620 @@
+//! The DAFS server: a CQ-driven event loop over per-session VIs.
+//!
+//! Shape of the real thing: an acceptor admits sessions (one VI each,
+//! receive queues bound to one shared completion queue, `credits` receive
+//! descriptors pre-posted into registered session buffers), and a single
+//! worker drains the CQ, executing requests against the shared [`MemFs`].
+//! New sessions reach the worker through a timed port, so the worker owns
+//! all session state — no lock is ever held across a virtual-time yield.
+//!
+//! Data paths:
+//! * **inline** — payload travels in the message; the server pays a
+//!   buffer-cache copy;
+//! * **direct read** — the server RDMA-Writes file data straight into the
+//!   client's advertised buffer, then sends a small completion response;
+//! * **direct write** — the server RDMA-Reads from the client's buffer
+//!   (only if the NIC supports RDMA Read; otherwise the op is rejected and
+//!   the client falls back to inline).
+//!
+//! With `registered_buffer_cache` (the NetApp-prototype configuration) the
+//! server pays no per-byte CPU on direct transfers at all.
+
+use std::collections::{HashMap, VecDeque};
+
+use memfs::{MemFs, NodeId, SetAttr};
+use simnet::{ActorCtx, ByteMeter, Counter, Host, Port, SimKernel, VirtAddr};
+use via::{
+    Cq, DataSegment, MemAttributes, MemHandle, RecvDesc, RemoteSegment, SendDesc, ViAttributes,
+    Vi, ViId, ViaFabric, ViaNic, ViaStatus, WhichQueue,
+};
+
+use crate::cost::DafsServerCost;
+use crate::proto::{self, DafsOp, DafsStatus};
+use crate::wire::{Dec, Enc};
+
+/// Message-buffer size for each session slot: inline_max plus header slack.
+pub(crate) const SLOT: u64 = 66 << 10;
+/// Server staging area per session for direct transfers; larger transfers
+/// are chunked through it (the chunks pipeline on the wire).
+const STAGING: u64 = 4 << 20;
+/// Server-granted credits per session.
+pub(crate) const CREDITS: u32 = 8;
+/// Largest inline payload the server accepts.
+pub(crate) const INLINE_MAX: u64 = 32 << 10;
+
+/// Observable server counters.
+#[derive(Clone, Default)]
+pub struct DafsServerStats {
+    /// Requests served.
+    pub ops: Counter,
+    /// Inline READ traffic.
+    pub inline_reads: ByteMeter,
+    /// Inline WRITE traffic.
+    pub inline_writes: ByteMeter,
+    /// Direct (RDMA) READ traffic.
+    pub direct_reads: ByteMeter,
+    /// Direct (RDMA) WRITE traffic.
+    pub direct_writes: ByteMeter,
+    /// Sessions admitted.
+    pub sessions: Counter,
+}
+
+/// Handle returned by [`spawn_dafs_server`].
+pub struct DafsServerHandle {
+    /// Server counters.
+    pub stats: DafsServerStats,
+    /// The server host (CPU meter).
+    pub host: Host,
+    /// The server NIC (wire utilization, registration stats).
+    pub nic: ViaNic,
+}
+
+struct Session {
+    vi: Vi,
+    /// Receive buffers, in descriptor-post order (VIA consumes FIFO).
+    recv_ring: VecDeque<(VirtAddr, MemHandle)>,
+    /// Response send buffers, used round-robin.
+    resp_ring: Vec<(VirtAddr, MemHandle)>,
+    resp_next: usize,
+    /// Staging buffer for direct transfers.
+    staging: (VirtAddr, MemHandle),
+}
+
+#[derive(Default)]
+struct LockState {
+    holder: Option<ViId>,
+    waiters: VecDeque<(ViId, u32)>,
+}
+
+/// Start a DAFS server on `nic`'s host, exporting `fs` at `port`.
+pub fn spawn_dafs_server(
+    kernel: &SimKernel,
+    fabric: &ViaFabric,
+    nic: ViaNic,
+    fs: MemFs,
+    port: u16,
+    cost: DafsServerCost,
+) -> DafsServerHandle {
+    let stats = DafsServerStats::default();
+    let cq = Cq::new("dafs-cq");
+    let new_sessions: Port<Session> = Port::new("dafs-new-sessions");
+    let host = nic.host().clone();
+
+    // Acceptor: admit sessions, arm their receive queues, hand them to the
+    // worker.
+    {
+        let fabric = fabric.clone();
+        let nic = nic.clone();
+        let cq = cq.clone();
+        let new_sessions = new_sessions.clone();
+        let stats = stats.clone();
+        kernel.spawn_daemon("dafs-acceptor", move |ctx| {
+            let listener = fabric.listen(&nic, port);
+            loop {
+                let attrs = ViAttributes {
+                    recv_cq: Some(cq.clone()),
+                    ..Default::default()
+                };
+                let Some(vi) = listener.accept(ctx, attrs) else {
+                    break;
+                };
+                stats.sessions.inc();
+                let tag = vi.ptag();
+                // Session buffers come from the server's boot-time
+                // pre-registered pool (NetApp-prototype style): no
+                // registration cost at session setup, just the binding to
+                // this session's protection tag.
+                let mut recv_ring = VecDeque::new();
+                for _ in 0..CREDITS {
+                    let buf = nic.host().mem.alloc(SLOT as usize);
+                    let h = nic.register_mem_prepinned(buf, SLOT, MemAttributes::local(tag));
+                    vi.post_recv(
+                        ctx,
+                        RecvDesc::new(vec![DataSegment::new(buf, SLOT as u32, h)]),
+                    );
+                    recv_ring.push_back((buf, h));
+                }
+                let mut resp_ring = Vec::new();
+                for _ in 0..CREDITS {
+                    let buf = nic.host().mem.alloc(SLOT as usize);
+                    let h = nic.register_mem_prepinned(buf, SLOT, MemAttributes::local(tag));
+                    resp_ring.push((buf, h));
+                }
+                let sbuf = nic.host().mem.alloc(STAGING as usize);
+                let sh = nic.register_mem_prepinned(sbuf, STAGING, MemAttributes::local(tag));
+                new_sessions.send(
+                    ctx,
+                    Session {
+                        vi,
+                        recv_ring,
+                        resp_ring,
+                        resp_next: 0,
+                        staging: (sbuf, sh),
+                    },
+                    ctx.now(),
+                );
+            }
+        });
+    }
+
+    // Worker: drain the CQ and execute requests. Owns all session state.
+    {
+        let nic = nic.clone();
+        let stats = stats.clone();
+        let host = host.clone();
+        kernel.spawn_daemon("dafs-worker", move |ctx| {
+            let mut sessions: HashMap<ViId, Session> = HashMap::new();
+            let mut retired: std::collections::HashSet<ViId> = std::collections::HashSet::new();
+            let mut locks: HashMap<u64, LockState> = HashMap::new();
+            'tokens: while let Some(token) = cq.wait(ctx) {
+                // Admit any sessions registered up to now.
+                while let Some(s) = new_sessions.try_recv(ctx) {
+                    sessions.insert(s.vi.id(), s);
+                }
+                if token.queue != WhichQueue::Recv {
+                    continue;
+                }
+                let vi_id = token.vi;
+                // A token can outrun its session's hand-off (the acceptor is
+                // still registering buffers); wait for the hand-off — unless
+                // the token is a stale leftover of a retired session.
+                while !sessions.contains_key(&vi_id) {
+                    if retired.contains(&vi_id) {
+                        continue 'tokens;
+                    }
+                    match new_sessions.recv(ctx) {
+                        Some(s) => {
+                            sessions.insert(s.vi.id(), s);
+                        }
+                        None => continue 'tokens,
+                    }
+                }
+                let req = {
+                    let Some(sess) = sessions.get_mut(&vi_id) else {
+                        continue; // already torn down
+                    };
+                    // Drain old send completions so ports stay bounded.
+                    while sess.vi.send_done(ctx).is_some() {}
+                    let Some(completion) = sess.vi.recv_done(ctx) else {
+                        continue;
+                    };
+                    if completion.status == ViaStatus::ConnectionLost {
+                        sessions.remove(&vi_id);
+                        retired.insert(vi_id);
+                        release_locks_of(ctx, &mut sessions, &mut locks, vi_id);
+                        continue;
+                    }
+                    if !completion.status.is_ok() {
+                        continue;
+                    }
+                    // The message landed in the oldest posted buffer; re-arm.
+                    let (buf, h) = sess.recv_ring.pop_front().expect("descriptor ring");
+                    let req = nic.host().mem.read_vec(buf, completion.len as usize);
+                    sess.vi.post_recv(
+                        ctx,
+                        RecvDesc::new(vec![DataSegment::new(buf, SLOT as u32, h)]),
+                    );
+                    sess.recv_ring.push_back((buf, h));
+                    req
+                };
+                let disconnect = serve_one(
+                    ctx,
+                    &nic,
+                    &host,
+                    &fs,
+                    &cost,
+                    &stats,
+                    &mut sessions,
+                    vi_id,
+                    &mut locks,
+                    &req,
+                );
+                if disconnect {
+                    sessions.remove(&vi_id);
+                    retired.insert(vi_id);
+                    release_locks_of(ctx, &mut sessions, &mut locks, vi_id);
+                }
+            }
+        });
+    }
+
+    DafsServerHandle { stats, host, nic }
+}
+
+/// Send `resp` on the session's next response slot.
+fn respond(ctx: &ActorCtx, nic: &ViaNic, sess: &mut Session, resp: &[u8]) {
+    assert!(resp.len() as u64 <= SLOT, "response overflows session slot");
+    let (buf, h) = sess.resp_ring[sess.resp_next];
+    sess.resp_next = (sess.resp_next + 1) % sess.resp_ring.len();
+    nic.host().mem.write(buf, resp);
+    sess.vi.post_send(
+        ctx,
+        SendDesc::send(vec![DataSegment::new(buf, resp.len() as u32, h)]),
+    );
+}
+
+/// On session teardown, release any lock the session held and grant to the
+/// next waiter; drop its queued waits.
+fn release_locks_of(
+    ctx: &ActorCtx,
+    sessions: &mut HashMap<ViId, Session>,
+    locks: &mut HashMap<u64, LockState>,
+    vi: ViId,
+) {
+    for st in locks.values_mut() {
+        st.waiters.retain(|(w, _)| *w != vi);
+        if st.holder == Some(vi) {
+            st.holder = None;
+            grant_next(ctx, sessions, st);
+        }
+    }
+}
+
+fn grant_next(ctx: &ActorCtx, sessions: &mut HashMap<ViId, Session>, st: &mut LockState) {
+    while let Some((next, reqid)) = st.waiters.pop_front() {
+        if let Some(sess) = sessions.get_mut(&next) {
+            st.holder = Some(next);
+            let mut e = Enc::new();
+            proto::enc_resp_header(&mut e, reqid, DafsStatus::Ok);
+            let nic = sess.vi.nic().clone();
+            respond(ctx, &nic, sess, &e.finish());
+            return;
+        }
+        // Waiter's session vanished; try the next one.
+    }
+}
+
+/// Execute one request; returns true if the session should be torn down.
+#[allow(clippy::too_many_arguments)]
+fn serve_one(
+    ctx: &ActorCtx,
+    nic: &ViaNic,
+    host: &Host,
+    fs: &MemFs,
+    cost: &DafsServerCost,
+    stats: &DafsServerStats,
+    sessions: &mut HashMap<ViId, Session>,
+    vi_id: ViId,
+    locks: &mut HashMap<u64, LockState>,
+    req: &[u8],
+) -> bool {
+    stats.ops.inc();
+    host.compute(ctx, cost.per_op);
+
+    let mut d = Dec::new(req);
+    let Ok((reqid, op)) = proto::dec_req_header(&mut d) else {
+        return false; // unparseable; drop
+    };
+
+    macro_rules! sess {
+        () => {
+            sessions.get_mut(&vi_id).expect("live session")
+        };
+    }
+    macro_rules! reply {
+        ($e:expr) => {{
+            let bytes = $e.finish();
+            respond(ctx, nic, sess!(), &bytes);
+            return false;
+        }};
+    }
+    macro_rules! fail {
+        ($st:expr) => {{
+            let mut e2 = Enc::new();
+            proto::enc_resp_header(&mut e2, reqid, $st);
+            reply!(e2);
+        }};
+    }
+    macro_rules! try_fs {
+        ($r:expr) => {
+            match $r {
+                Ok(v) => v,
+                Err(err) => fail!(DafsStatus::from(err)),
+            }
+        };
+    }
+    macro_rules! try_wire {
+        ($r:expr) => {
+            match $r {
+                Ok(v) => v,
+                Err(_) => fail!(DafsStatus::Inval),
+            }
+        };
+    }
+
+    let mut e = Enc::new();
+    match op {
+        DafsOp::Hello => {
+            proto::enc_resp_header(&mut e, reqid, DafsStatus::Ok);
+            e.u8(nic.cost().rdma_read_supported as u8);
+            e.u32(CREDITS);
+            e.u64(INLINE_MAX);
+            reply!(e);
+        }
+        DafsOp::GetAttr => {
+            let fh = NodeId(try_wire!(d.u64()));
+            let a = try_fs!(fs.getattr(fh));
+            proto::enc_resp_header(&mut e, reqid, DafsStatus::Ok);
+            proto::enc_attr(&mut e, &a);
+            reply!(e);
+        }
+        DafsOp::SetAttr => {
+            let fh = NodeId(try_wire!(d.u64()));
+            let has = try_wire!(d.u8());
+            let size = if has != 0 {
+                Some(try_wire!(d.u64()))
+            } else {
+                None
+            };
+            let a = try_fs!(fs.setattr(fh, SetAttr { size }));
+            host.compute(ctx, cost.sync);
+            proto::enc_resp_header(&mut e, reqid, DafsStatus::Ok);
+            proto::enc_attr(&mut e, &a);
+            reply!(e);
+        }
+        DafsOp::Lookup => {
+            let dir = NodeId(try_wire!(d.u64()));
+            let name = try_wire!(d.str());
+            let a = try_fs!(fs.lookup(dir, &name));
+            proto::enc_resp_header(&mut e, reqid, DafsStatus::Ok);
+            proto::enc_attr(&mut e, &a);
+            reply!(e);
+        }
+        DafsOp::Create => {
+            let dir = NodeId(try_wire!(d.u64()));
+            let name = try_wire!(d.str());
+            let a = try_fs!(fs.create(dir, &name));
+            host.compute(ctx, cost.sync);
+            proto::enc_resp_header(&mut e, reqid, DafsStatus::Ok);
+            proto::enc_attr(&mut e, &a);
+            reply!(e);
+        }
+        DafsOp::Mkdir => {
+            let dir = NodeId(try_wire!(d.u64()));
+            let name = try_wire!(d.str());
+            let a = try_fs!(fs.mkdir(dir, &name));
+            host.compute(ctx, cost.sync);
+            proto::enc_resp_header(&mut e, reqid, DafsStatus::Ok);
+            proto::enc_attr(&mut e, &a);
+            reply!(e);
+        }
+        DafsOp::Remove => {
+            let dir = NodeId(try_wire!(d.u64()));
+            let name = try_wire!(d.str());
+            try_fs!(fs.remove(dir, &name));
+            host.compute(ctx, cost.sync);
+            proto::enc_resp_header(&mut e, reqid, DafsStatus::Ok);
+            reply!(e);
+        }
+        DafsOp::Rmdir => {
+            let dir = NodeId(try_wire!(d.u64()));
+            let name = try_wire!(d.str());
+            try_fs!(fs.rmdir(dir, &name));
+            host.compute(ctx, cost.sync);
+            proto::enc_resp_header(&mut e, reqid, DafsStatus::Ok);
+            reply!(e);
+        }
+        DafsOp::Rename => {
+            let from = NodeId(try_wire!(d.u64()));
+            let name = try_wire!(d.str());
+            let to = NodeId(try_wire!(d.u64()));
+            let to_name = try_wire!(d.str());
+            try_fs!(fs.rename(from, &name, to, &to_name));
+            host.compute(ctx, cost.sync);
+            proto::enc_resp_header(&mut e, reqid, DafsStatus::Ok);
+            reply!(e);
+        }
+        DafsOp::ReadDir => {
+            let dir = NodeId(try_wire!(d.u64()));
+            let entries = try_fs!(fs.readdir(dir));
+            proto::enc_resp_header(&mut e, reqid, DafsStatus::Ok);
+            e.u32(entries.len() as u32);
+            for (name, id) in entries {
+                e.u64(id.0);
+                e.str(&name);
+            }
+            reply!(e);
+        }
+        DafsOp::ReadInline => {
+            let fh = NodeId(try_wire!(d.u64()));
+            let off = try_wire!(d.u64());
+            let len = try_wire!(d.u64());
+            if len > INLINE_MAX {
+                fail!(DafsStatus::Inval);
+            }
+            let data = try_fs!(fs.read(fh, off, len));
+            // Buffer-cache copy into the response message.
+            host.compute(ctx, cost.host.copy(data.len() as u64));
+            stats.inline_reads.record(data.len() as u64);
+            proto::enc_resp_header(&mut e, reqid, DafsStatus::Ok);
+            e.bytes(&data);
+            reply!(e);
+        }
+        DafsOp::Append => {
+            let fh = NodeId(try_wire!(d.u64()));
+            let data = try_wire!(d.bytes());
+            if data.len() as u64 > INLINE_MAX {
+                fail!(DafsStatus::Inval);
+            }
+            host.compute(ctx, cost.host.copy(data.len() as u64));
+            // The single serial worker makes size-probe + write atomic.
+            let at = try_fs!(fs.getattr(fh)).size;
+            let a = try_fs!(fs.write(fh, at, &data));
+            stats.inline_writes.record(data.len() as u64);
+            proto::enc_resp_header(&mut e, reqid, DafsStatus::Ok);
+            e.u64(at);
+            proto::enc_attr(&mut e, &a);
+            reply!(e);
+        }
+        DafsOp::WriteInline => {
+            let fh = NodeId(try_wire!(d.u64()));
+            let off = try_wire!(d.u64());
+            let data = try_wire!(d.bytes());
+            if data.len() as u64 > INLINE_MAX {
+                fail!(DafsStatus::Inval);
+            }
+            host.compute(ctx, cost.host.copy(data.len() as u64));
+            let a = try_fs!(fs.write(fh, off, &data));
+            stats.inline_writes.record(data.len() as u64);
+            proto::enc_resp_header(&mut e, reqid, DafsStatus::Ok);
+            proto::enc_attr(&mut e, &a);
+            reply!(e);
+        }
+        DafsOp::ReadDirect => {
+            let fh = NodeId(try_wire!(d.u64()));
+            let off = try_wire!(d.u64());
+            let len = try_wire!(d.u64());
+            let raddr = VirtAddr(try_wire!(d.u64()));
+            let rhandle = MemHandle(try_wire!(d.u64()));
+            let data = try_fs!(fs.read(fh, off, len));
+            if !cost.registered_buffer_cache {
+                host.compute(ctx, cost.host.copy(data.len() as u64));
+            }
+            // RDMA-write the data into the client's buffer, chunked through
+            // the session staging area (chunks pipeline on the wire).
+            let sess = sess!();
+            let (sbuf, sh) = sess.staging;
+            let mut sent = 0usize;
+            let mut failed = false;
+            while sent < data.len() {
+                let n = (data.len() - sent).min(STAGING as usize);
+                nic.host().mem.write(sbuf, &data[sent..sent + n]);
+                sess.vi.post_send(
+                    ctx,
+                    SendDesc::rdma_write(
+                        vec![DataSegment::new(sbuf, n as u32, sh)],
+                        RemoteSegment {
+                            addr: raddr.offset(sent as u64),
+                            handle: rhandle,
+                        },
+                    ),
+                );
+                // Chunk boundaries serialize through the staging buffer:
+                // wait for the NIC to finish each chunk before overwriting.
+                let c = sess.vi.send_wait(ctx);
+                if !c.status.is_ok() {
+                    failed = true;
+                    break;
+                }
+                sent += n;
+            }
+            if failed {
+                fail!(DafsStatus::XferError);
+            }
+            stats.direct_reads.record(data.len() as u64);
+            proto::enc_resp_header(&mut e, reqid, DafsStatus::Ok);
+            e.u64(data.len() as u64);
+            reply!(e);
+        }
+        DafsOp::WriteDirect => {
+            if !nic.cost().rdma_read_supported {
+                fail!(DafsStatus::NotSupported);
+            }
+            let fh = NodeId(try_wire!(d.u64()));
+            let off = try_wire!(d.u64());
+            let len = try_wire!(d.u64());
+            let raddr = VirtAddr(try_wire!(d.u64()));
+            let rhandle = MemHandle(try_wire!(d.u64()));
+            let (sbuf, sh) = sess!().staging;
+            let mut got = 0u64;
+            let mut failed = false;
+            while got < len {
+                let n = (len - got).min(STAGING);
+                let sess = sess!();
+                sess.vi.post_send(
+                    ctx,
+                    SendDesc::rdma_read(
+                        vec![DataSegment::new(sbuf, n as u32, sh)],
+                        RemoteSegment {
+                            addr: raddr.offset(got),
+                            handle: rhandle,
+                        },
+                    ),
+                );
+                let c = sess.vi.send_wait(ctx);
+                if !c.status.is_ok() {
+                    failed = true;
+                    break;
+                }
+                let chunk = nic.host().mem.read_vec(sbuf, n as usize);
+                if !cost.registered_buffer_cache {
+                    host.compute(ctx, cost.host.copy(n));
+                }
+                if fs.write(fh, off + got, &chunk).is_err() {
+                    failed = true;
+                    break;
+                }
+                got += n;
+            }
+            if failed {
+                fail!(DafsStatus::XferError);
+            }
+            stats.direct_writes.record(len);
+            let a = try_fs!(fs.getattr(fh));
+            proto::enc_resp_header(&mut e, reqid, DafsStatus::Ok);
+            proto::enc_attr(&mut e, &a);
+            reply!(e);
+        }
+        DafsOp::Flush => {
+            let _fh = NodeId(try_wire!(d.u64()));
+            host.compute(ctx, cost.sync);
+            proto::enc_resp_header(&mut e, reqid, DafsStatus::Ok);
+            reply!(e);
+        }
+        DafsOp::Lock => {
+            let fh = try_wire!(d.u64());
+            let st = locks.entry(fh).or_default();
+            match st.holder {
+                None => {
+                    st.holder = Some(vi_id);
+                    proto::enc_resp_header(&mut e, reqid, DafsStatus::Ok);
+                    reply!(e);
+                }
+                Some(_) => {
+                    // Defer the response until the lock is released.
+                    st.waiters.push_back((vi_id, reqid));
+                    false
+                }
+            }
+        }
+        DafsOp::Unlock => {
+            let fh = try_wire!(d.u64());
+            proto::enc_resp_header(&mut e, reqid, DafsStatus::Ok);
+            let bytes = e.finish();
+            respond(ctx, nic, sess!(), &bytes);
+            if let Some(st) = locks.get_mut(&fh) {
+                if st.holder == Some(vi_id) {
+                    st.holder = None;
+                    grant_next(ctx, sessions, st);
+                }
+            }
+            false
+        }
+        DafsOp::Disconnect => {
+            proto::enc_resp_header(&mut e, reqid, DafsStatus::Ok);
+            let bytes = e.finish();
+            respond(ctx, nic, sess!(), &bytes);
+            true
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! DAFS wire encoding: a compact little-endian TLV-free format.
+//!
+//! DAFS defined its own marshalling (not XDR); we keep the same spirit:
+//! fixed-width little-endian integers, length-prefixed byte strings, no
+//! padding. Request and response payloads are built with [`Enc`] and parsed
+//! with [`Dec`].
+
+/// Wire encoder.
+#[derive(Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// Fresh encoder.
+    pub fn new() -> Enc {
+        Enc::default()
+    }
+
+    /// Append a u8.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Append a little-endian u32.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a little-endian u64.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.bytes(s.as_bytes())
+    }
+
+    /// Finish, returning the wire bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes encoded so far.
+    #[allow(dead_code)]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been encoded.
+    #[allow(dead_code)]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Decode failure (truncated or malformed message).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireError;
+
+/// Wire decoder.
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Decode from `buf`.
+    pub fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a u8.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a u32.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a u64.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let n = self.u32()? as usize;
+        if n > self.buf.len() - self.pos {
+            return Err(WireError);
+        }
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Read a length-prefixed string.
+    pub fn str(&mut self) -> Result<String, WireError> {
+        String::from_utf8(self.bytes()?).map_err(|_| WireError)
+    }
+
+    /// Bytes not yet consumed.
+    #[allow(dead_code)]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed() {
+        let mut e = Enc::new();
+        e.u8(7).u32(0xABCD).u64(1 << 40).str("file.dat").bytes(b"xyz");
+        let b = e.finish();
+        let mut d = Dec::new(&b);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u32().unwrap(), 0xABCD);
+        assert_eq!(d.u64().unwrap(), 1 << 40);
+        assert_eq!(d.str().unwrap(), "file.dat");
+        assert_eq!(d.bytes().unwrap(), b"xyz");
+        assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut e = Enc::new();
+        e.u32(10).u8(1);
+        let b = e.finish();
+        let mut d = Dec::new(&b);
+        assert_eq!(d.bytes(), Err(WireError));
+        let mut d2 = Dec::new(&[1, 2]);
+        assert_eq!(d2.u32(), Err(WireError));
+    }
+
+    #[test]
+    fn empty_bytes_ok() {
+        let mut e = Enc::new();
+        e.bytes(b"");
+        let b = e.finish();
+        assert_eq!(Dec::new(&b).bytes().unwrap(), b"");
+    }
+}

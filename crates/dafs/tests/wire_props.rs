@@ -1,0 +1,28 @@
+//! Property tests for the DAFS wire encoding (public surface: request/
+//! response headers and attribute marshalling round-trip through real
+//! client/server traffic, so we exercise them via the protocol enums).
+
+use dafs::{DafsOp, DafsStatus};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every op value either parses to an op that re-encodes to itself, or
+    /// rejects — no aliasing.
+    #[test]
+    fn op_parse_is_partial_inverse(v in any::<u8>()) {
+        match DafsOp::from_u8(v) {
+            Some(op) => prop_assert_eq!(op as u8, v),
+            None => prop_assert!(v == 0 || v >= 20),
+        }
+    }
+
+    /// Status parsing is total and idempotent (unknown values collapse to
+    /// Inval, which re-parses to itself).
+    #[test]
+    fn status_parse_is_total_and_idempotent(v in any::<u8>()) {
+        let s = DafsStatus::from_u8(v);
+        prop_assert_eq!(DafsStatus::from_u8(s as u8), s);
+    }
+}

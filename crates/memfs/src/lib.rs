@@ -1,0 +1,18 @@
+//! # memfs — an in-memory filesystem backend
+//!
+//! The shared storage substrate behind both servers in this reproduction:
+//! the DAFS server and the NFSv3 baseline server mount the *same* filesystem
+//! implementation, so every performance difference measured between them is
+//! attributable to the transport and protocol stack, never to storage.
+//!
+//! 2001-era DAFS evaluations ran server-cached (memory-resident) workloads
+//! to isolate the network path; `memfs` reproduces exactly that regime: an
+//! inode table, hierarchical directories, and extent-growable file data held
+//! in memory. The crate is pure logic — no simulation dependency — and the
+//! servers layer their own CPU cost models on top.
+
+#![warn(missing_docs)]
+
+mod fs;
+
+pub use fs::{FileAttr, FileType, FsError, FsResult, MemFs, NodeId, SetAttr, ROOT_ID};

@@ -1,0 +1,623 @@
+//! `MPI_File`: open/close, file views, independent I/O (with data
+//! sieving), file pointers (individual and shared), nonblocking requests,
+//! and consistency operations.
+//!
+//! Offsets follow MPI: explicit offsets and file pointers count in
+//! **etypes** relative to the current view; transfer lengths are given in
+//! bytes (a multiple of the etype size, as MPI's `count × datatype`
+//! implies). Memory buffers are contiguous simulated-memory ranges — the
+//! common case; noncontiguity lives on the *file* side via the view.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use simnet::{ActorCtx, Host, VirtAddr};
+
+use crate::adio::{AdioError, AdioFile, AdioFs, AdioResult};
+use crate::datatype::Datatype;
+use crate::hints::{Hints, Toggle};
+use crate::view::FileView;
+
+/// Open mode.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpenMode {
+    /// Create the file (and missing parent directories) if absent.
+    pub create: bool,
+    /// Delete the file when closed (scratch files).
+    pub delete_on_close: bool,
+}
+
+impl OpenMode {
+    /// `MPI_MODE_CREATE | MPI_MODE_RDWR`.
+    pub fn create() -> OpenMode {
+        OpenMode {
+            create: true,
+            delete_on_close: false,
+        }
+    }
+
+    /// Plain read/write of an existing file.
+    pub fn open() -> OpenMode {
+        OpenMode::default()
+    }
+}
+
+/// Whence modes for [`MpiFile::seek_whence`] (`MPI_SEEK_*`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeekWhence {
+    /// Absolute (`MPI_SEEK_SET`).
+    Set,
+    /// Relative to the individual pointer (`MPI_SEEK_CUR`).
+    Cur,
+    /// Relative to the view's end of file (`MPI_SEEK_END`).
+    End,
+}
+
+/// A completed-or-pending nonblocking operation (`MPI_Request`).
+///
+/// This implementation completes operations eagerly at post time (the DAFS
+/// driver already pipelines batches internally); `Request::wait` returns
+/// the stored outcome. The API shape lets applications written against
+/// nonblocking MPI-IO run unchanged.
+#[must_use = "requests must be waited on"]
+pub struct Request {
+    result: AdioResult<u64>,
+}
+
+impl Request {
+    /// Complete the request, returning bytes transferred.
+    pub fn wait(self, _ctx: &ActorCtx) -> AdioResult<u64> {
+        self.result
+    }
+
+    /// Nonblocking completion test (always ready here).
+    pub fn test(&self) -> bool {
+        true
+    }
+}
+
+/// An open MPI file handle (per rank).
+pub struct MpiFile {
+    file: Arc<dyn AdioFile>,
+    path: String,
+    mode: OpenMode,
+    driver: &'static str,
+    host: Host,
+    view: Mutex<FileView>,
+    /// Individual file pointer, in etypes.
+    fp: Mutex<u64>,
+    hints: Hints,
+    atomic: AtomicBool,
+}
+
+impl MpiFile {
+    /// Open `path` on `fs` (each rank calls this; collective open is the
+    /// harness calling it on every rank).
+    pub fn open(
+        ctx: &ActorCtx,
+        fs: &dyn AdioFs,
+        host: &Host,
+        path: &str,
+        mode: OpenMode,
+        hints: Hints,
+    ) -> AdioResult<MpiFile> {
+        let file = fs.open(ctx, path, mode.create)?;
+        Ok(MpiFile {
+            file,
+            path: path.to_string(),
+            mode,
+            driver: fs.name(),
+            host: host.clone(),
+            view: Mutex::new(FileView::contiguous()),
+            fp: Mutex::new(0),
+            hints,
+            atomic: AtomicBool::new(false),
+        })
+    }
+
+    /// Close; honors delete_on_close.
+    pub fn close(self, ctx: &ActorCtx, fs: &dyn AdioFs) -> AdioResult<()> {
+        if self.mode.delete_on_close {
+            fs.delete(ctx, &self.path)?;
+        }
+        Ok(())
+    }
+
+    /// Driver name ("dafs" / "nfs" / "ufs").
+    pub fn driver(&self) -> &'static str {
+        self.driver
+    }
+
+    /// The hints in effect.
+    pub fn hints(&self) -> &Hints {
+        &self.hints
+    }
+
+    /// The rank-local host (for buffer allocation in helpers).
+    pub fn host(&self) -> &Host {
+        &self.host
+    }
+
+    /// The underlying ADIO handle (collective I/O uses it directly).
+    pub(crate) fn adio(&self) -> &Arc<dyn AdioFile> {
+        &self.file
+    }
+
+    /// Set the file view (`MPI_File_set_view`); resets file pointers.
+    pub fn set_view(&self, disp: u64, etype: &Datatype, filetype: &Datatype) {
+        *self.view.lock() = FileView::new(disp, etype, filetype);
+        *self.fp.lock() = 0;
+    }
+
+    /// Current view (cloned).
+    pub fn view(&self) -> FileView {
+        self.view.lock().clone()
+    }
+
+    /// `MPI_File_set_atomicity`.
+    pub fn set_atomicity(&self, on: bool) {
+        self.atomic.store(on, Ordering::Relaxed);
+    }
+
+    /// Current atomicity mode.
+    pub fn atomicity(&self) -> bool {
+        self.atomic.load(Ordering::Relaxed)
+    }
+
+    /// File size in bytes (`MPI_File_get_size`).
+    pub fn get_size(&self, ctx: &ActorCtx) -> AdioResult<u64> {
+        self.file.get_size(ctx)
+    }
+
+    /// Truncate / extend (`MPI_File_set_size`).
+    pub fn set_size(&self, ctx: &ActorCtx, size: u64) -> AdioResult<()> {
+        self.file.set_size(ctx, size)
+    }
+
+    /// Ensure at least `size` bytes exist (`MPI_File_preallocate`).
+    pub fn preallocate(&self, ctx: &ActorCtx, size: u64) -> AdioResult<()> {
+        if self.file.get_size(ctx)? < size {
+            self.file.set_size(ctx, size)?;
+        }
+        Ok(())
+    }
+
+    /// Flush to stable storage (`MPI_File_sync`).
+    pub fn sync(&self, ctx: &ActorCtx) -> AdioResult<()> {
+        self.file.flush(ctx)
+    }
+
+    // --- explicit-offset independent I/O -----------------------------------
+
+    /// `MPI_File_read_at`: read `nbytes` at view offset `offset_etypes`
+    /// into `dst`. Returns bytes read.
+    pub fn read_at(
+        &self,
+        ctx: &ActorCtx,
+        offset_etypes: u64,
+        dst: VirtAddr,
+        nbytes: u64,
+    ) -> AdioResult<u64> {
+        let view = self.view.lock().clone();
+        let logical = offset_etypes * view.etype_size();
+        let ranges = view.map(logical, nbytes);
+        self.read_ranges(ctx, &ranges, dst)
+    }
+
+    /// `MPI_File_write_at`.
+    pub fn write_at(
+        &self,
+        ctx: &ActorCtx,
+        offset_etypes: u64,
+        src: VirtAddr,
+        nbytes: u64,
+    ) -> AdioResult<u64> {
+        let view = self.view.lock().clone();
+        let logical = offset_etypes * view.etype_size();
+        let ranges = view.map(logical, nbytes);
+        self.write_ranges(ctx, &ranges, src)?;
+        Ok(nbytes)
+    }
+
+    // --- individual file pointer -------------------------------------------
+
+    /// Absolute seek of the individual pointer (etypes).
+    pub fn seek(&self, offset_etypes: u64) {
+        *self.fp.lock() = offset_etypes;
+    }
+
+    /// `MPI_File_seek` with a whence mode. Offsets are in etypes and may be
+    /// negative for `Cur`/`End`.
+    pub fn seek_whence(&self, ctx: &ActorCtx, offset: i64, whence: SeekWhence) -> AdioResult<u64> {
+        let new = match whence {
+            SeekWhence::Set => {
+                assert!(offset >= 0, "absolute seek to a negative offset");
+                offset as u64
+            }
+            SeekWhence::Cur => {
+                let cur = *self.fp.lock() as i64;
+                let n = cur + offset;
+                assert!(n >= 0, "seek before the start of the view");
+                n as u64
+            }
+            SeekWhence::End => {
+                let view = self.view.lock().clone();
+                let size = self.file.get_size(ctx)?;
+                let logical_etypes = (view.logical_size(size) / view.etype_size()) as i64;
+                let n = logical_etypes + offset;
+                assert!(n >= 0, "seek before the start of the view");
+                n as u64
+            }
+        };
+        *self.fp.lock() = new;
+        Ok(new)
+    }
+
+    /// `MPI_File_get_byte_offset`: the absolute file byte offset of a view
+    /// offset (in etypes).
+    pub fn get_byte_offset(&self, offset_etypes: u64) -> u64 {
+        let view = self.view.lock().clone();
+        let logical = offset_etypes * view.etype_size();
+        view.map(logical, 1)
+            .first()
+            .map(|(o, _)| *o)
+            .unwrap_or_else(|| view.physical_end(logical))
+    }
+
+    /// Current individual pointer (etypes).
+    pub fn position(&self) -> u64 {
+        *self.fp.lock()
+    }
+
+    /// `MPI_File_read`: read at the individual pointer, then advance it.
+    pub fn read(&self, ctx: &ActorCtx, dst: VirtAddr, nbytes: u64) -> AdioResult<u64> {
+        let etype = self.view.lock().etype_size();
+        assert!(nbytes.is_multiple_of(etype), "transfer not a whole number of etypes");
+        let off = {
+            let mut fp = self.fp.lock();
+            let o = *fp;
+            *fp += nbytes / etype;
+            o
+        };
+        self.read_at(ctx, off, dst, nbytes)
+    }
+
+    /// `MPI_File_write`.
+    pub fn write(&self, ctx: &ActorCtx, src: VirtAddr, nbytes: u64) -> AdioResult<u64> {
+        let etype = self.view.lock().etype_size();
+        assert!(nbytes.is_multiple_of(etype), "transfer not a whole number of etypes");
+        let off = {
+            let mut fp = self.fp.lock();
+            let o = *fp;
+            *fp += nbytes / etype;
+            o
+        };
+        self.write_at(ctx, off, src, nbytes)
+    }
+
+    // --- shared file pointer -------------------------------------------------
+
+    /// `MPI_File_read_shared`: atomically claim the next `nbytes` of the
+    /// shared stream and read them. Requires a driver with a shared-pointer
+    /// primitive (DAFS).
+    pub fn read_shared(&self, ctx: &ActorCtx, dst: VirtAddr, nbytes: u64) -> AdioResult<u64> {
+        let logical = self.file.shared_fetch_add(ctx, nbytes)?;
+        let view = self.view.lock().clone();
+        let ranges = view.map(logical, nbytes);
+        self.read_ranges(ctx, &ranges, dst)
+    }
+
+    /// `MPI_File_write_shared`.
+    pub fn write_shared(&self, ctx: &ActorCtx, src: VirtAddr, nbytes: u64) -> AdioResult<u64> {
+        let logical = self.file.shared_fetch_add(ctx, nbytes)?;
+        let view = self.view.lock().clone();
+        let ranges = view.map(logical, nbytes);
+        self.write_ranges(ctx, &ranges, src)?;
+        Ok(nbytes)
+    }
+
+    /// `MPI_File_seek_shared` (callers must make this collective).
+    pub fn seek_shared(&self, ctx: &ActorCtx, offset_etypes: u64) -> AdioResult<()> {
+        let etype = self.view.lock().etype_size();
+        self.file.shared_set(ctx, offset_etypes * etype)
+    }
+
+    // --- memory-side datatypes ----------------------------------------------
+
+    /// `MPI_File_read_at` with a *memory* datatype: the file-side stream
+    /// (selected by the view) is scattered into memory at `dst_base`
+    /// through `memtype`'s typemap (tiled by its extent).
+    pub fn read_at_mem(
+        &self,
+        ctx: &ActorCtx,
+        offset_etypes: u64,
+        dst_base: VirtAddr,
+        memtype: &Datatype,
+        nbytes: u64,
+    ) -> AdioResult<u64> {
+        let flat = memtype.flatten();
+        assert!(flat.size > 0, "zero-size memory datatype");
+        assert!(flat.lb >= 0, "negative memory lower bound unsupported");
+        // Fast path: dense memory type ≡ contiguous buffer.
+        if flat.runs.len() == 1 && flat.runs[0] == (0, flat.extent) {
+            return self.read_at(ctx, offset_etypes, dst_base, nbytes);
+        }
+        // Stage contiguously, then scatter through the typemap.
+        let stage = self.host.mem.alloc(nbytes as usize);
+        let n = self.read_at(ctx, offset_etypes, stage, nbytes)?;
+        let data = self.host.mem.read_vec(stage, n as usize);
+        let mut consumed = 0usize;
+        let mut tile = 0u64;
+        'outer: loop {
+            for (roff, rlen) in &flat.runs {
+                if consumed >= data.len() {
+                    break 'outer;
+                }
+                let take = (*rlen as usize).min(data.len() - consumed);
+                let dst = dst_base.offset(tile * flat.extent + (*roff - flat.lb) as u64);
+                self.host.mem.write(dst, &data[consumed..consumed + take]);
+                consumed += take;
+            }
+            tile += 1;
+        }
+        self.host
+            .compute(ctx, simnet::cost::HostCost::default().copy(n));
+        self.host.mem.free(stage);
+        Ok(n)
+    }
+
+    /// `MPI_File_write_at` with a memory datatype: gather from memory
+    /// through `memtype`, then write the stream through the view.
+    pub fn write_at_mem(
+        &self,
+        ctx: &ActorCtx,
+        offset_etypes: u64,
+        src_base: VirtAddr,
+        memtype: &Datatype,
+        nbytes: u64,
+    ) -> AdioResult<u64> {
+        let flat = memtype.flatten();
+        assert!(flat.size > 0, "zero-size memory datatype");
+        assert!(flat.lb >= 0, "negative memory lower bound unsupported");
+        if flat.runs.len() == 1 && flat.runs[0] == (0, flat.extent) {
+            return self.write_at(ctx, offset_etypes, src_base, nbytes);
+        }
+        let stage = self.host.mem.alloc(nbytes as usize);
+        let mut gathered = 0u64;
+        let mut tile = 0u64;
+        'outer: loop {
+            for (roff, rlen) in &flat.runs {
+                if gathered >= nbytes {
+                    break 'outer;
+                }
+                let take = (*rlen).min(nbytes - gathered);
+                let src = src_base.offset(tile * flat.extent + (*roff - flat.lb) as u64);
+                let piece = self.host.mem.read_vec(src, take as usize);
+                self.host.mem.write(stage.offset(gathered), &piece);
+                gathered += take;
+            }
+            tile += 1;
+        }
+        self.host
+            .compute(ctx, simnet::cost::HostCost::default().copy(nbytes));
+        let r = self.write_at(ctx, offset_etypes, stage, nbytes);
+        self.host.mem.free(stage);
+        r
+    }
+
+    // --- nonblocking ---------------------------------------------------------
+
+    /// `MPI_File_iread_at`.
+    pub fn iread_at(
+        &self,
+        ctx: &ActorCtx,
+        offset_etypes: u64,
+        dst: VirtAddr,
+        nbytes: u64,
+    ) -> Request {
+        Request {
+            result: self.read_at(ctx, offset_etypes, dst, nbytes),
+        }
+    }
+
+    /// `MPI_File_iwrite_at`.
+    pub fn iwrite_at(
+        &self,
+        ctx: &ActorCtx,
+        offset_etypes: u64,
+        src: VirtAddr,
+        nbytes: u64,
+    ) -> Request {
+        Request {
+            result: self.write_at(ctx, offset_etypes, src, nbytes),
+        }
+    }
+
+    // --- strided engine ------------------------------------------------------
+
+    /// Decide whether to data-sieve a range list.
+    fn should_sieve(&self, ranges: &[(u64, u64)], toggle: Toggle) -> bool {
+        match toggle {
+            Toggle::Disable => false,
+            Toggle::Enable => ranges.len() > 1,
+            Toggle::Automatic => {
+                if ranges.len() <= 4 {
+                    return false;
+                }
+                let payload: u64 = ranges.iter().map(|r| r.1).sum();
+                let span = ranges.last().unwrap().0 + ranges.last().unwrap().1
+                    - ranges.first().unwrap().0;
+                // Sieve when the holes are less than ~2x the payload.
+                payload * 3 >= span
+            }
+        }
+    }
+
+    /// Read a mapped range list into `dst` (ranges consume the buffer in
+    /// order). Chooses between batched range reads and data sieving.
+    pub(crate) fn read_ranges(
+        &self,
+        ctx: &ActorCtx,
+        ranges: &[(u64, u64)],
+        dst: VirtAddr,
+    ) -> AdioResult<u64> {
+        match ranges {
+            [] => Ok(0),
+            [(off, len)] => self.file.read_contig(ctx, *off, dst, *len),
+            _ if self.should_sieve(ranges, self.hints.ds_read) => {
+                self.sieve_read(ctx, ranges, dst)
+            }
+            _ => {
+                let mut reqs = Vec::with_capacity(ranges.len());
+                let mut consumed = 0u64;
+                for (off, len) in ranges {
+                    reqs.push((*off, dst.offset(consumed), *len));
+                    consumed += *len;
+                }
+                self.file.read_batch(ctx, &reqs)
+            }
+        }
+    }
+
+    /// Write a mapped range list from `src`.
+    pub(crate) fn write_ranges(
+        &self,
+        ctx: &ActorCtx,
+        ranges: &[(u64, u64)],
+        src: VirtAddr,
+    ) -> AdioResult<()> {
+        match ranges {
+            [] => Ok(()),
+            [(off, len)] => self.file.write_contig(ctx, *off, src, *len),
+            _ if self.should_sieve(ranges, self.hints.ds_write) => {
+                // Sieved writes read-modify-write whole windows, which
+                // would clobber concurrent writers' bytes without a lock
+                // (ROMIO requires fcntl locks for ds writes). Fall back to
+                // per-range batched writes where the driver has no lock.
+                match self.file.lock_file(ctx) {
+                    Ok(()) => {
+                        let r = self.sieve_write(ctx, ranges, src);
+                        self.file.unlock_file(ctx)?;
+                        r
+                    }
+                    Err(AdioError::NotSupported) => self.batch_write(ctx, ranges, src),
+                    Err(e) => Err(e),
+                }
+            }
+            _ => self.batch_write(ctx, ranges, src),
+        }
+    }
+
+    fn batch_write(&self, ctx: &ActorCtx, ranges: &[(u64, u64)], src: VirtAddr) -> AdioResult<()> {
+        let mut reqs = Vec::with_capacity(ranges.len());
+        let mut consumed = 0u64;
+        for (off, len) in ranges {
+            reqs.push((*off, src.offset(consumed), *len));
+            consumed += *len;
+        }
+        self.file.write_batch(ctx, &reqs)
+    }
+
+    /// Data-sieving read: fetch whole windows, pick out the pieces.
+    fn sieve_read(&self, ctx: &ActorCtx, ranges: &[(u64, u64)], dst: VirtAddr) -> AdioResult<u64> {
+        let bufsize = self.hints.ind_rd_buffer_size.max(4096);
+        let sieve = self.host.mem.alloc(bufsize as usize);
+        let mut consumed = 0u64;
+        let mut total = 0u64;
+        let mut i = 0;
+        while i < ranges.len() {
+            let wstart = ranges[i].0;
+            // Extend the window over as many ranges as fit.
+            let mut j = i;
+            while j < ranges.len() && ranges[j].0 + ranges[j].1 <= wstart + bufsize {
+                j += 1;
+            }
+            if j == i {
+                // Single range larger than the sieve buffer: read directly.
+                let (off, len) = ranges[i];
+                let n = self.file.read_contig(ctx, off, dst.offset(consumed), len)?;
+                total += n;
+                consumed += len;
+                i += 1;
+                continue;
+            }
+            let wend = ranges[j - 1].0 + ranges[j - 1].1;
+            let wlen = wend - wstart;
+            let got = self.file.read_contig(ctx, wstart, sieve, wlen)?;
+            for (off, len) in &ranges[i..j] {
+                let s = off - wstart;
+                let avail = got.saturating_sub(s).min(*len);
+                if avail > 0 {
+                    // Copy out of the sieve buffer (charged like any copy).
+                    let piece = self.host.mem.read_vec(sieve.offset(s), avail as usize);
+                    self.host.mem.write(dst.offset(consumed), &piece);
+                    self.host.compute(
+                        ctx,
+                        simnet::cost::HostCost::default().copy(avail),
+                    );
+                    total += avail;
+                }
+                consumed += *len;
+            }
+            i = j;
+        }
+        self.host.mem.free(sieve);
+        Ok(total)
+    }
+
+    /// Data-sieving write: read-modify-write whole windows.
+    fn sieve_write(&self, ctx: &ActorCtx, ranges: &[(u64, u64)], src: VirtAddr) -> AdioResult<()> {
+        let bufsize = self.hints.ind_wr_buffer_size.max(4096);
+        let sieve = self.host.mem.alloc(bufsize as usize);
+        let mut consumed = 0u64;
+        let mut i = 0;
+        while i < ranges.len() {
+            let wstart = ranges[i].0;
+            let mut j = i;
+            while j < ranges.len() && ranges[j].0 + ranges[j].1 <= wstart + bufsize {
+                j += 1;
+            }
+            if j == i {
+                let (off, len) = ranges[i];
+                self.file.write_contig(ctx, off, src.offset(consumed), len)?;
+                consumed += len;
+                i += 1;
+                continue;
+            }
+            let wend = ranges[j - 1].0 + ranges[j - 1].1;
+            let wlen = wend - wstart;
+            // RMW: read the window, overlay the pieces, write it back.
+            self.file.read_contig(ctx, wstart, sieve, wlen)?;
+            for (off, len) in &ranges[i..j] {
+                let s = off - wstart;
+                let piece = self.host.mem.read_vec(src.offset(consumed), *len as usize);
+                self.host.mem.write(sieve.offset(s), &piece);
+                self.host
+                    .compute(ctx, simnet::cost::HostCost::default().copy(*len));
+                consumed += *len;
+            }
+            self.file.write_contig(ctx, wstart, sieve, wlen)?;
+            i = j;
+        }
+        self.host.mem.free(sieve);
+        Ok(())
+    }
+}
+
+/// Delete a file by path (`MPI_File_delete`).
+pub fn mpi_file_delete(ctx: &ActorCtx, fs: &dyn AdioFs, path: &str) -> AdioResult<()> {
+    fs.delete(ctx, path)
+}
+
+impl std::fmt::Debug for MpiFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MpiFile")
+            .field("path", &self.path)
+            .field("driver", &self.driver)
+            .finish()
+    }
+}
+
+#[allow(unused_imports)]
+use AdioError as _AdioErrorUsed;

@@ -1,0 +1,169 @@
+//! MPI_Info hints, with the ROMIO-compatible key set.
+
+use std::collections::BTreeMap;
+
+/// Tri-state used by the `romio_cb_*` / `romio_ds_*` hints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Toggle {
+    /// Use the optimization whenever it applies.
+    Enable,
+    /// Never use it.
+    Disable,
+    /// Let the implementation decide (the default).
+    #[default]
+    Automatic,
+}
+
+/// Parsed hints controlling the I/O strategies.
+#[derive(Debug, Clone)]
+pub struct Hints {
+    /// Number of collective-buffering aggregators (0 = all ranks).
+    pub cb_nodes: usize,
+    /// Collective buffer size per aggregator, per phase.
+    pub cb_buffer_size: u64,
+    /// Data-sieving read buffer size.
+    pub ind_rd_buffer_size: u64,
+    /// Data-sieving write buffer size.
+    pub ind_wr_buffer_size: u64,
+    /// Collective buffering on reads.
+    pub cb_read: Toggle,
+    /// Collective buffering on writes.
+    pub cb_write: Toggle,
+    /// Data sieving on independent reads.
+    pub ds_read: Toggle,
+    /// Data sieving on independent writes.
+    pub ds_write: Toggle,
+    /// Raw key/value pairs as supplied (inert keys are preserved, like
+    /// `striping_unit` on filesystems that ignore it).
+    pub raw: BTreeMap<String, String>,
+}
+
+impl Default for Hints {
+    fn default() -> Self {
+        Hints {
+            cb_nodes: 0,
+            cb_buffer_size: 4 << 20,
+            ind_rd_buffer_size: 4 << 20,
+            ind_wr_buffer_size: 512 << 10,
+            cb_read: Toggle::Automatic,
+            cb_write: Toggle::Automatic,
+            ds_read: Toggle::Automatic,
+            ds_write: Toggle::Automatic,
+            raw: BTreeMap::new(),
+        }
+    }
+}
+
+fn parse_toggle(v: &str) -> Toggle {
+    match v {
+        "enable" | "true" => Toggle::Enable,
+        "disable" | "false" => Toggle::Disable,
+        _ => Toggle::Automatic,
+    }
+}
+
+impl Hints {
+    /// Parse `(key, value)` pairs, ROMIO-style. Unknown keys are kept in
+    /// `raw` and otherwise ignored.
+    pub fn from_pairs<'a>(pairs: impl IntoIterator<Item = (&'a str, &'a str)>) -> Hints {
+        let mut h = Hints::default();
+        for (k, v) in pairs {
+            h.set(k, v);
+        }
+        h
+    }
+
+    /// Set one hint.
+    pub fn set(&mut self, key: &str, value: &str) {
+        self.raw.insert(key.to_string(), value.to_string());
+        match key {
+            "cb_nodes" => {
+                if let Ok(n) = value.parse() {
+                    self.cb_nodes = n;
+                }
+            }
+            "cb_buffer_size" => {
+                if let Ok(n) = value.parse::<u64>() {
+                    self.cb_buffer_size = n.max(4096);
+                }
+            }
+            "ind_rd_buffer_size" => {
+                if let Ok(n) = value.parse::<u64>() {
+                    self.ind_rd_buffer_size = n.max(4096);
+                }
+            }
+            "ind_wr_buffer_size" => {
+                if let Ok(n) = value.parse::<u64>() {
+                    self.ind_wr_buffer_size = n.max(4096);
+                }
+            }
+            "romio_cb_read" => self.cb_read = parse_toggle(value),
+            "romio_cb_write" => self.cb_write = parse_toggle(value),
+            "romio_ds_read" => self.ds_read = parse_toggle(value),
+            "romio_ds_write" => self.ds_write = parse_toggle(value),
+            _ => {}
+        }
+    }
+
+    /// Effective number of aggregators for a `size`-rank communicator.
+    pub fn aggregators(&self, size: usize) -> usize {
+        if self.cb_nodes == 0 {
+            size
+        } else {
+            self.cb_nodes.min(size).max(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_sane() {
+        let h = Hints::default();
+        assert_eq!(h.cb_buffer_size, 4 << 20);
+        assert_eq!(h.aggregators(8), 8);
+        assert_eq!(h.cb_read, Toggle::Automatic);
+    }
+
+    #[test]
+    fn parse_known_keys() {
+        let h = Hints::from_pairs([
+            ("cb_nodes", "2"),
+            ("cb_buffer_size", "1048576"),
+            ("romio_cb_write", "disable"),
+            ("romio_ds_read", "enable"),
+            ("striping_unit", "65536"), // inert, kept in raw
+        ]);
+        assert_eq!(h.cb_nodes, 2);
+        assert_eq!(h.aggregators(8), 2);
+        assert_eq!(h.cb_buffer_size, 1 << 20);
+        assert_eq!(h.cb_write, Toggle::Disable);
+        assert_eq!(h.ds_read, Toggle::Enable);
+        assert_eq!(h.raw["striping_unit"], "65536");
+    }
+
+    #[test]
+    fn bad_values_fall_back() {
+        let h = Hints::from_pairs([("cb_buffer_size", "banana"), ("romio_cb_read", "maybe")]);
+        assert_eq!(h.cb_buffer_size, 4 << 20);
+        assert_eq!(h.cb_read, Toggle::Automatic);
+    }
+
+    #[test]
+    fn aggregator_clamping() {
+        let mut h = Hints::default();
+        h.set("cb_nodes", "100");
+        assert_eq!(h.aggregators(4), 4);
+        h.set("cb_nodes", "0");
+        assert_eq!(h.aggregators(4), 4);
+    }
+
+    #[test]
+    fn tiny_buffers_clamped() {
+        let mut h = Hints::default();
+        h.set("cb_buffer_size", "1");
+        assert_eq!(h.cb_buffer_size, 4096);
+    }
+}

@@ -1,0 +1,259 @@
+//! File views: the `(displacement, etype, filetype)` triple of
+//! `MPI_File_set_view`, and the logical→physical offset translation every
+//! read and write goes through.
+//!
+//! A view tiles the file with copies of the flattened filetype, one per
+//! extent, starting at `disp`. Logical byte `n` of the stream maps to the
+//! n-th payload byte of that tiling. [`FileView::map`] translates a
+//! logical `(offset, len)` request into the corresponding list of physical
+//! `(offset, len)` ranges, which the independent and collective I/O paths
+//! then hand to the ADIO drivers.
+
+use crate::datatype::{Datatype, Flattened};
+
+/// An active file view.
+#[derive(Debug, Clone)]
+pub struct FileView {
+    disp: u64,
+    etype_size: u64,
+    flat: Flattened,
+}
+
+impl FileView {
+    /// Construct a view. The filetype's payload size must be a multiple of
+    /// the etype size (MPI requirement).
+    pub fn new(disp: u64, etype: &Datatype, filetype: &Datatype) -> FileView {
+        let etype_size = etype.size().max(1);
+        let flat = filetype.flatten();
+        assert!(
+            flat.size.is_multiple_of(etype_size),
+            "filetype size {} not a multiple of etype size {}",
+            flat.size,
+            etype_size
+        );
+        assert!(flat.lb >= 0, "negative filetype lower bound unsupported");
+        FileView { disp, etype_size, flat }
+    }
+
+    /// The trivial byte-stream view at displacement 0.
+    pub fn contiguous() -> FileView {
+        FileView::new(0, &Datatype::bytes(1), &Datatype::bytes(1))
+    }
+
+    /// Bytes of payload per filetype tile.
+    pub fn tile_size(&self) -> u64 {
+        self.flat.size
+    }
+
+    /// The etype size in bytes (file pointers count in etypes).
+    pub fn etype_size(&self) -> u64 {
+        self.etype_size
+    }
+
+    /// True if the view is a pure byte stream (fast path).
+    pub fn is_contiguous(&self) -> bool {
+        self.disp == 0
+            && self.flat.runs.len() == 1
+            && self.flat.runs[0] == (0, self.flat.extent)
+    }
+
+    /// Translate a logical byte range into physical `(offset, len)` ranges,
+    /// in stream order, adjacent ranges merged.
+    ///
+    /// `logical` is a byte offset into the view's data stream (callers
+    /// convert etype offsets by multiplying with [`FileView::etype_size`]).
+    pub fn map(&self, logical: u64, len: u64) -> Vec<(u64, u64)> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let tile = self.flat.size;
+        assert!(tile > 0, "I/O through a zero-size filetype");
+        let mut out: Vec<(u64, u64)> = Vec::new();
+        let mut remaining = len;
+        let mut tile_idx = logical / tile;
+        let mut within = logical % tile; // payload bytes to skip in this tile
+        while remaining > 0 {
+            let tile_base = self.disp + tile_idx * self.flat.extent;
+            for (roff, rlen) in &self.flat.runs {
+                if remaining == 0 {
+                    break;
+                }
+                if within >= *rlen {
+                    within -= *rlen;
+                    continue;
+                }
+                let take = (*rlen - within).min(remaining);
+                let phys = tile_base + (*roff - self.flat.lb) as u64 + within;
+                match out.last_mut() {
+                    Some((poff, plen)) if *poff + *plen == phys => *plen += take,
+                    _ => out.push((phys, take)),
+                }
+                remaining -= take;
+                within = 0;
+            }
+            tile_idx += 1;
+        }
+        out
+    }
+
+    /// Physical end offset of the logical position `logical` (useful for
+    /// size computations): the physical offset just past the last byte of
+    /// `map(0, logical)`.
+    pub fn physical_end(&self, logical: u64) -> u64 {
+        if logical == 0 {
+            return self.disp;
+        }
+        let ranges = self.map(logical - 1, 1);
+        ranges.last().map(|(o, l)| o + l).unwrap_or(self.disp)
+    }
+
+    /// Inverse mapping for `MPI_File_seek(..., MPI_SEEK_END)`: the number
+    /// of logical payload bytes whose physical offsets lie strictly below
+    /// `phys_size` (the file's current size).
+    pub fn logical_size(&self, phys_size: u64) -> u64 {
+        if phys_size <= self.disp {
+            return 0;
+        }
+        let span = phys_size - self.disp;
+        let full_tiles = span / self.flat.extent.max(1);
+        let mut logical = full_tiles * self.flat.size;
+        // Scan the partial tile.
+        let tile_base = full_tiles * self.flat.extent;
+        for (roff, rlen) in &self.flat.runs {
+            let start = tile_base + (*roff - self.flat.lb) as u64;
+            if start >= span {
+                continue;
+            }
+            logical += (*rlen).min(span - start);
+        }
+        logical
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_view_is_identity() {
+        let v = FileView::contiguous();
+        assert!(v.is_contiguous());
+        assert_eq!(v.map(0, 100), vec![(0, 100)]);
+        assert_eq!(v.map(42, 8), vec![(42, 8)]);
+        assert_eq!(v.etype_size(), 1);
+    }
+
+    #[test]
+    fn displacement_shifts_everything() {
+        let v = FileView::new(1000, &Datatype::bytes(1), &Datatype::bytes(1));
+        assert_eq!(v.map(0, 10), vec![(1000, 10)]);
+        assert_eq!(v.map(5, 10), vec![(1005, 10)]);
+        assert!(!v.is_contiguous());
+    }
+
+    #[test]
+    fn strided_view_maps_to_blocks() {
+        // Filetype: take 4 bytes, skip 12 (vector 1×4 stride 16 via resized).
+        let ft = Datatype::resized(&Datatype::bytes(4), 0, 16);
+        let v = FileView::new(0, &Datatype::bytes(1), &ft);
+        assert_eq!(v.tile_size(), 4);
+        // 10 logical bytes = tiles 0,1 full + 2 bytes of tile 2.
+        assert_eq!(v.map(0, 10), vec![(0, 4), (16, 4), (32, 2)]);
+        // Mid-tile start.
+        assert_eq!(v.map(2, 4), vec![(2, 2), (16, 2)]);
+    }
+
+    #[test]
+    fn multi_run_tile() {
+        // Filetype: bytes 0..2 and 6..8 of a 10-byte tile.
+        let ft = Datatype::resized(
+            &Datatype::hindexed(&[(1, 0), (1, 6)], &Datatype::bytes(2)),
+            0,
+            10,
+        );
+        let v = FileView::new(100, &Datatype::bytes(1), &ft);
+        assert_eq!(v.tile_size(), 4);
+        assert_eq!(
+            v.map(0, 8),
+            vec![(100, 2), (106, 2), (110, 2), (116, 2)]
+        );
+        // Skip the first run entirely.
+        assert_eq!(v.map(2, 2), vec![(106, 2)]);
+        // Start inside the second run.
+        assert_eq!(v.map(3, 2), vec![(107, 1), (110, 1)]);
+    }
+
+    #[test]
+    fn rank_partitioned_views_interleave() {
+        // Classic 2-rank interleave: each rank sees alternate 8-byte blocks.
+        let el = Datatype::bytes(8);
+        let mk = |rank: i64| {
+            let ft = Datatype::resized(
+                &Datatype::hindexed(&[(1, rank * 8)], &el),
+                0,
+                16,
+            );
+            FileView::new(0, &el, &ft)
+        };
+        let v0 = mk(0);
+        let v1 = mk(1);
+        assert_eq!(v0.map(0, 16), vec![(0, 8), (16, 8)]);
+        assert_eq!(v1.map(0, 16), vec![(8, 8), (24, 8)]);
+        // Together they cover the file without overlap.
+    }
+
+    #[test]
+    fn adjacent_tiles_merge_when_contiguous() {
+        // Filetype = 8 contiguous bytes with extent 8: tiling is seamless.
+        let v = FileView::new(0, &Datatype::bytes(1), &Datatype::bytes(8));
+        assert_eq!(v.map(0, 64), vec![(0, 64)]);
+    }
+
+    #[test]
+    fn physical_end_tracks_mapping() {
+        let ft = Datatype::resized(&Datatype::bytes(4), 0, 16);
+        let v = FileView::new(0, &Datatype::bytes(1), &ft);
+        assert_eq!(v.physical_end(0), 0);
+        assert_eq!(v.physical_end(4), 4);
+        assert_eq!(v.physical_end(5), 17);
+        assert_eq!(v.physical_end(8), 20);
+    }
+
+    #[test]
+    fn zero_len_maps_to_nothing() {
+        let v = FileView::contiguous();
+        assert!(v.map(123, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn etype_mismatch_rejected() {
+        // Filetype carries 6 bytes; etype is 4: not a multiple.
+        let ft = Datatype::bytes(6);
+        FileView::new(0, &Datatype::bytes(4), &ft);
+    }
+
+    #[test]
+    fn logical_size_inverts_physical_end() {
+        // 4 bytes taken every 16, displacement 8.
+        let ft = Datatype::resized(&Datatype::bytes(4), 0, 16);
+        let v = FileView::new(8, &Datatype::bytes(1), &ft);
+        for logical in [0u64, 1, 3, 4, 5, 9, 16, 17] {
+            let phys = v.physical_end(logical);
+            assert_eq!(v.logical_size(phys), logical, "logical={logical}");
+        }
+        // A physical size mid-hole counts only the data before it.
+        // Tile 0 data = [8, 12); size 14 is in the hole.
+        assert_eq!(v.logical_size(14), 4);
+        // Size below the displacement: nothing.
+        assert_eq!(v.logical_size(5), 0);
+    }
+
+    #[test]
+    fn subarray_view_2d_row_block() {
+        // 2 ranks split a 4x4 byte matrix by rows; rank 1's view.
+        let ft = Datatype::subarray(&[4, 4], &[2, 4], &[2, 0], &Datatype::bytes(1));
+        let v = FileView::new(0, &Datatype::bytes(1), &ft);
+        assert_eq!(v.map(0, 8), vec![(8, 8)]);
+    }
+}

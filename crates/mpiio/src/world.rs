@@ -1,0 +1,267 @@
+//! Job harness: assemble a whole simulated cluster — ranks, interconnect,
+//! file server, transport — and run an MPI-IO program on it.
+//!
+//! This is what the examples, integration tests, and every experiment in
+//! `EXPERIMENTS.md` use: pick a [`Backend`] (DAFS-over-VIA, NFS-over-TCP,
+//! or node-local UFS), a rank count, and a closure of MPI-IO calls; get
+//! back a [`JobReport`] of virtual time and resource accounting.
+
+use std::sync::Arc;
+
+use dafs::{DafsClient, DafsClientConfig, DafsServerCost};
+use memfs::MemFs;
+use nfsv3::{NfsClient, NfsClientConfig, NfsServerCost};
+use parking_lot::Mutex;
+use simnet::{ActorCtx, Cluster, Host, SimDuration, SimKernel, SimTime};
+use tcpnet::{TcpCost, TcpFabric};
+use via::{ViaCost, ViaFabric};
+
+use crate::adio::{set_current_host, AdioFs, DafsAdio, NfsAdio, UfsAdio, UfsCost};
+use crate::comm::{Comm, CommCost};
+
+/// Which file-access stack the job runs on.
+#[derive(Clone)]
+pub enum Backend {
+    /// The paper's system: DAFS over VIA.
+    Dafs {
+        /// VIA fabric cost model (set `rdma_read_supported` for the
+        /// direct-write ablation).
+        via: ViaCost,
+        /// Server cost model.
+        server: DafsServerCost,
+        /// Per-rank client/session configuration.
+        client: DafsClientConfig,
+    },
+    /// The baseline: NFSv3 over the kernel TCP path.
+    Nfs {
+        /// TCP path cost model.
+        tcp: TcpCost,
+        /// Server cost model.
+        server: NfsServerCost,
+        /// Per-rank mount configuration.
+        client: NfsClientConfig,
+    },
+    /// Node-local in-memory filesystem (each rank its own; the "local
+    /// bound" comparator).
+    Ufs {
+        /// Local filesystem cost model.
+        cost: UfsCost,
+    },
+}
+
+impl Backend {
+    /// Default DAFS backend (cLAN-like fabric).
+    pub fn dafs() -> Backend {
+        Backend::Dafs {
+            via: ViaCost::default(),
+            server: DafsServerCost::default(),
+            client: DafsClientConfig::default(),
+        }
+    }
+
+    /// Default NFS backend.
+    pub fn nfs() -> Backend {
+        Backend::Nfs {
+            tcp: TcpCost::default(),
+            server: NfsServerCost::default(),
+            client: NfsClientConfig::default(),
+        }
+    }
+
+    /// Default UFS backend.
+    pub fn ufs() -> Backend {
+        Backend::Ufs {
+            cost: UfsCost::default(),
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Dafs { .. } => "dafs",
+            Backend::Nfs { .. } => "nfs",
+            Backend::Ufs { .. } => "ufs",
+        }
+    }
+}
+
+/// Post-run accounting.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// Virtual time when the last rank finished.
+    pub end_time: SimTime,
+    /// Server host CPU busy time (zero for UFS).
+    pub server_cpu: SimDuration,
+    /// Server kernel (softirq) time — NFS only.
+    pub server_kernel: SimDuration,
+    /// Sum of rank-host CPU busy time.
+    pub ranks_cpu: SimDuration,
+    /// Server requests served.
+    pub server_ops: u64,
+    /// Backend name.
+    pub backend: &'static str,
+}
+
+/// A fully assembled simulated cluster ready to run one job.
+pub struct Testbed {
+    kernel: SimKernel,
+    cluster: Cluster,
+    backend: Backend,
+    /// The exported filesystem (server-side handle for test verification).
+    pub fs: MemFs,
+    dafs_handle: Option<dafs::DafsServerHandle>,
+    nfs_handle: Option<nfsv3::NfsServerHandle>,
+    via_fabric: Option<ViaFabric>,
+    tcp_fabric: Option<TcpFabric>,
+}
+
+const PORT: u16 = 2049;
+
+impl Testbed {
+    /// Build the server side of a testbed.
+    pub fn new(backend: Backend) -> Testbed {
+        let kernel = SimKernel::new();
+        let cluster = Cluster::new();
+        let fs = MemFs::new();
+        let mut dafs_handle = None;
+        let mut nfs_handle = None;
+        let mut via_fabric = None;
+        let mut tcp_fabric = None;
+        match &backend {
+            Backend::Dafs { via, server, .. } => {
+                let fabric = ViaFabric::new(*via);
+                let nic = fabric.open_nic(cluster.add_host("server"));
+                dafs_handle = Some(dafs::spawn_dafs_server(
+                    &kernel,
+                    &fabric,
+                    nic,
+                    fs.clone(),
+                    PORT,
+                    *server,
+                ));
+                via_fabric = Some(fabric);
+            }
+            Backend::Nfs { tcp, server, .. } => {
+                let fabric = TcpFabric::new(*tcp);
+                let host = cluster.add_host("server");
+                nfs_handle = Some(nfsv3::spawn_nfs_server(
+                    &kernel,
+                    &fabric,
+                    host,
+                    fs.clone(),
+                    PORT,
+                    *server,
+                ));
+                tcp_fabric = Some(fabric);
+            }
+            Backend::Ufs { .. } => {}
+        }
+        Testbed {
+            kernel,
+            cluster,
+            backend,
+            fs,
+            dafs_handle,
+            nfs_handle,
+            via_fabric,
+            tcp_fabric,
+        }
+    }
+
+    /// Spawn `ranks` MPI processes running `body`, drive the simulation to
+    /// completion, and return the accounting report.
+    ///
+    /// The closure receives `(ctx, comm, adio_fs)`; each rank gets its own
+    /// client session (DAFS/NFS) or local filesystem (UFS).
+    pub fn run<F>(self, ranks: usize, body: F) -> JobReport
+    where
+        F: Fn(&ActorCtx, &Comm, &dyn AdioFs) + Send + Sync + 'static,
+    {
+        let backend = self.backend.clone();
+        let via_fabric = self.via_fabric.clone();
+        let tcp_fabric = self.tcp_fabric.clone();
+        let server_host_id = self
+            .dafs_handle
+            .as_ref()
+            .map(|h| h.host.id)
+            .or(self.nfs_handle.as_ref().map(|h| h.host.id));
+        let rank_hosts: Arc<Mutex<Vec<Host>>> = Arc::new(Mutex::new(Vec::new()));
+        let rh = rank_hosts.clone();
+        let shared_fs = self.fs.clone();
+        let body = Arc::new(body);
+        crate::comm::spawn_ranks(
+            &self.kernel,
+            &self.cluster,
+            CommCost::default(),
+            ranks,
+            move |ctx, comm| {
+                let host = comm.host().clone();
+                rh.lock().push(host.clone());
+                set_current_host(&host);
+                match &backend {
+                    Backend::Dafs { client, .. } => {
+                        let fabric = via_fabric.as_ref().unwrap();
+                        let nic = fabric.open_nic(host.clone());
+                        let c = DafsClient::connect(
+                            ctx,
+                            fabric,
+                            &nic,
+                            server_host_id.unwrap(),
+                            PORT,
+                            *client,
+                        )
+                        .expect("DAFS session");
+                        let adio = DafsAdio::new(Arc::new(c));
+                        body(ctx, comm, &adio);
+                    }
+                    Backend::Nfs { client, .. } => {
+                        let fabric = tcp_fabric.as_ref().unwrap();
+                        let c = NfsClient::mount(
+                            ctx,
+                            fabric,
+                            &host,
+                            server_host_id.unwrap(),
+                            PORT,
+                            *client,
+                        )
+                        .expect("NFS mount");
+                        let adio = NfsAdio::new(Arc::new(c));
+                        body(ctx, comm, &adio);
+                    }
+                    Backend::Ufs { cost } => {
+                        // Node-local model: all ranks share one filesystem
+                        // object (an idealized shared local disk) so parallel
+                        // jobs still see one namespace.
+                        let adio = UfsAdio::new(shared_fs.clone(), host.clone(), *cost);
+                        body(ctx, comm, &adio);
+                    }
+                }
+            },
+        );
+        let end_time = self.kernel.run();
+        let ranks_cpu = rank_hosts
+            .lock()
+            .iter()
+            .fold(SimDuration::ZERO, |acc, h| acc + h.cpu.busy());
+        let (server_cpu, server_ops) = if let Some(h) = &self.dafs_handle {
+            (h.host.cpu.busy(), h.stats.ops.get())
+        } else if let Some(h) = &self.nfs_handle {
+            (h.host.cpu.busy(), h.stats.ops.get())
+        } else {
+            (SimDuration::ZERO, 0)
+        };
+        let server_kernel = match (&self.nfs_handle, &self.tcp_fabric) {
+            (Some(h), Some(f)) => f.kernel_busy(&h.host),
+            _ => SimDuration::ZERO,
+        };
+        JobReport {
+            end_time,
+            server_cpu,
+            server_kernel,
+            ranks_cpu,
+            server_ops,
+            backend: self.backend.name(),
+        }
+    }
+}
+

@@ -1,0 +1,480 @@
+//! The NFS client: synchronous RPCs over a TCP socket, an attribute cache,
+//! and rsize/wsize transfer chunking — the pieces of a 2001 kernel NFS
+//! client that matter for I/O performance.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use memfs::{FileAttr, NodeId};
+use parking_lot::Mutex;
+use simnet::cost::HostCost;
+use simnet::time::units::*;
+use simnet::{ActorCtx, ByteMeter, Host, HostId, SimDuration, SimTime};
+use tcpnet::{TcpError, TcpFabric};
+
+use crate::proto::{self, NfsProc, NfsStatus, Stable};
+use crate::xdr::{XdrDec, XdrEnc};
+
+/// Client configuration (mount options).
+#[derive(Debug, Clone, Copy)]
+pub struct NfsClientConfig {
+    /// Maximum READ transfer per RPC.
+    pub rsize: u64,
+    /// Maximum WRITE transfer per RPC.
+    pub wsize: u64,
+    /// Attribute cache lifetime (acregmin-style).
+    pub ac_timeout: SimDuration,
+    /// Default stability for writes.
+    pub stable: Stable,
+    /// Enable the client data (page) cache. 2001 kernel clients cached
+    /// reads in the page cache with attribute-based revalidation — fast for
+    /// re-reads, but only weakly consistent across clients (the reason
+    /// ROMIO required `noac`-style mounts for correct MPI-IO). Default off
+    /// to keep multi-client runs strongly consistent.
+    pub data_cache: bool,
+    /// Page size of the data cache.
+    pub cache_page: u64,
+    /// Client CPU per RPC (encode/decode + RPC layer), beyond socket costs.
+    pub per_rpc_cpu: SimDuration,
+    /// Host primitives.
+    pub host_cost: HostCost,
+}
+
+impl Default for NfsClientConfig {
+    fn default() -> Self {
+        NfsClientConfig {
+            rsize: 32 << 10,
+            wsize: 32 << 10,
+            ac_timeout: SimDuration::from_millis(30),
+            data_cache: false,
+            cache_page: 4096,
+            stable: Stable::FileSync,
+            per_rpc_cpu: us(6),
+            host_cost: HostCost::default(),
+        }
+    }
+}
+
+/// NFS client errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NfsError {
+    /// Server returned a non-OK status.
+    Status(NfsStatus),
+    /// Transport failure.
+    Transport,
+    /// Malformed reply.
+    Protocol,
+}
+
+impl From<TcpError> for NfsError {
+    fn from(_: TcpError) -> NfsError {
+        NfsError::Transport
+    }
+}
+
+/// Convenience alias.
+pub type NfsResult<T> = Result<T, NfsError>;
+
+/// Client-side counters.
+#[derive(Clone, Default)]
+pub struct NfsClientStats {
+    /// RPCs issued.
+    pub rpcs: simnet::Counter,
+    /// READ traffic.
+    pub reads: ByteMeter,
+    /// WRITE traffic.
+    pub writes: ByteMeter,
+    /// Attribute-cache hits.
+    pub ac_hits: simnet::Counter,
+    /// Attribute-cache misses.
+    pub ac_misses: simnet::Counter,
+    /// Data-cache page hits.
+    pub dc_hits: simnet::Counter,
+    /// Data-cache page misses.
+    pub dc_misses: simnet::Counter,
+}
+
+/// Page-cache storage: (file id, page index) -> (bytes, version fetched).
+type PageCache = HashMap<(u64, u64), (Vec<u8>, u64)>;
+
+/// A mounted NFS client.
+pub struct NfsClient {
+    sock: tcpnet::Socket,
+    host: Host,
+    config: NfsClientConfig,
+    xid: AtomicU32,
+    attr_cache: Mutex<HashMap<u64, (FileAttr, SimTime)>>,
+    /// Page cache: (fh, page index) -> (bytes, file version when fetched).
+    data_cache: Mutex<PageCache>,
+    /// Client-side counters.
+    pub stats: NfsClientStats,
+}
+
+impl NfsClient {
+    /// Mount: connect to the server at `(server, port)` from `host`.
+    pub fn mount(
+        ctx: &ActorCtx,
+        fabric: &TcpFabric,
+        host: &Host,
+        server: HostId,
+        port: u16,
+        config: NfsClientConfig,
+    ) -> NfsResult<NfsClient> {
+        let sock = fabric.connect(ctx, host, server, port)?;
+        Ok(NfsClient {
+            sock,
+            host: host.clone(),
+            config,
+            xid: AtomicU32::new(1),
+            attr_cache: Mutex::new(HashMap::new()),
+            data_cache: Mutex::new(HashMap::new()),
+            stats: NfsClientStats::default(),
+        })
+    }
+
+    /// The mount's configuration.
+    pub fn config(&self) -> &NfsClientConfig {
+        &self.config
+    }
+
+    /// One synchronous RPC: frame, send, await the matching reply.
+    fn call(&self, ctx: &ActorCtx, proc_: NfsProc, args: XdrEnc) -> NfsResult<Vec<u8>> {
+        let xid = self.xid.fetch_add(1, Ordering::Relaxed);
+        self.stats.rpcs.inc();
+        self.host.compute(ctx, self.config.per_rpc_cpu);
+        let mut e = XdrEnc::new();
+        e.u32(xid);
+        e.u32(proc_ as u32);
+        let mut body = e.finish();
+        body.extend_from_slice(&args.finish());
+        self.sock.send(ctx, &proto::frame(&body));
+
+        let hdr = self.sock.recv_exact(ctx, 4)?;
+        let len = u32::from_be_bytes(hdr.try_into().unwrap()) as usize;
+        let reply = self.sock.recv_exact(ctx, len)?;
+        let mut d = XdrDec::new(&reply);
+        let rxid = d.u32().map_err(|_| NfsError::Protocol)?;
+        if rxid != xid {
+            return Err(NfsError::Protocol);
+        }
+        let status = NfsStatus::from_u32(d.u32().map_err(|_| NfsError::Protocol)?);
+        if status != NfsStatus::Ok {
+            return Err(NfsError::Status(status));
+        }
+        Ok(reply[8..].to_vec())
+    }
+
+    fn cache_attr(&self, ctx: &ActorCtx, a: FileAttr) {
+        self.attr_cache
+            .lock()
+            .insert(a.id.0, (a, ctx.now() + self.config.ac_timeout));
+    }
+
+    /// Drop a cached attribute entry (close-to-open consistency point).
+    pub fn invalidate_attr(&self, fh: NodeId) {
+        self.attr_cache.lock().remove(&fh.0);
+    }
+
+    /// NULL ping.
+    pub fn null(&self, ctx: &ActorCtx) -> NfsResult<()> {
+        self.call(ctx, NfsProc::Null, XdrEnc::new()).map(|_| ())
+    }
+
+    /// GETATTR, served from the attribute cache when fresh.
+    pub fn getattr(&self, ctx: &ActorCtx, fh: NodeId) -> NfsResult<FileAttr> {
+        if let Some((a, exp)) = self.attr_cache.lock().get(&fh.0) {
+            if *exp > ctx.now() {
+                self.stats.ac_hits.inc();
+                return Ok(*a);
+            }
+        }
+        self.stats.ac_misses.inc();
+        self.getattr_uncached(ctx, fh)
+    }
+
+    /// GETATTR bypassing the cache.
+    pub fn getattr_uncached(&self, ctx: &ActorCtx, fh: NodeId) -> NfsResult<FileAttr> {
+        let mut e = XdrEnc::new();
+        e.u64(fh.0);
+        let r = self.call(ctx, NfsProc::GetAttr, e)?;
+        let a = proto::dec_attr(&mut XdrDec::new(&r)).map_err(|_| NfsError::Protocol)?;
+        self.cache_attr(ctx, a);
+        Ok(a)
+    }
+
+    /// SETATTR (truncate to `size`).
+    pub fn truncate(&self, ctx: &ActorCtx, fh: NodeId, size: u64) -> NfsResult<FileAttr> {
+        let mut e = XdrEnc::new();
+        e.u64(fh.0).u32(1).u64(size);
+        let r = self.call(ctx, NfsProc::SetAttr, e)?;
+        let a = proto::dec_attr(&mut XdrDec::new(&r)).map_err(|_| NfsError::Protocol)?;
+        self.cache_attr(ctx, a);
+        self.invalidate_data(fh);
+        Ok(a)
+    }
+
+    /// LOOKUP `name` in directory `dir`.
+    pub fn lookup(&self, ctx: &ActorCtx, dir: NodeId, name: &str) -> NfsResult<FileAttr> {
+        let mut e = XdrEnc::new();
+        e.u64(dir.0).string(name);
+        let r = self.call(ctx, NfsProc::Lookup, e)?;
+        let a = proto::dec_attr(&mut XdrDec::new(&r)).map_err(|_| NfsError::Protocol)?;
+        self.cache_attr(ctx, a);
+        Ok(a)
+    }
+
+    /// CREATE a regular file.
+    pub fn create(&self, ctx: &ActorCtx, dir: NodeId, name: &str) -> NfsResult<FileAttr> {
+        let mut e = XdrEnc::new();
+        e.u64(dir.0).string(name);
+        let r = self.call(ctx, NfsProc::Create, e)?;
+        let a = proto::dec_attr(&mut XdrDec::new(&r)).map_err(|_| NfsError::Protocol)?;
+        self.cache_attr(ctx, a);
+        Ok(a)
+    }
+
+    /// MKDIR.
+    pub fn mkdir(&self, ctx: &ActorCtx, dir: NodeId, name: &str) -> NfsResult<FileAttr> {
+        let mut e = XdrEnc::new();
+        e.u64(dir.0).string(name);
+        let r = self.call(ctx, NfsProc::Mkdir, e)?;
+        proto::dec_attr(&mut XdrDec::new(&r)).map_err(|_| NfsError::Protocol)
+    }
+
+    /// REMOVE a regular file.
+    pub fn remove(&self, ctx: &ActorCtx, dir: NodeId, name: &str) -> NfsResult<()> {
+        let mut e = XdrEnc::new();
+        e.u64(dir.0).string(name);
+        self.call(ctx, NfsProc::Remove, e).map(|_| ())
+    }
+
+    /// RMDIR.
+    pub fn rmdir(&self, ctx: &ActorCtx, dir: NodeId, name: &str) -> NfsResult<()> {
+        let mut e = XdrEnc::new();
+        e.u64(dir.0).string(name);
+        self.call(ctx, NfsProc::Rmdir, e).map(|_| ())
+    }
+
+    /// RENAME.
+    pub fn rename(
+        &self,
+        ctx: &ActorCtx,
+        from: NodeId,
+        name: &str,
+        to: NodeId,
+        to_name: &str,
+    ) -> NfsResult<()> {
+        let mut e = XdrEnc::new();
+        e.u64(from.0).string(name).u64(to.0).string(to_name);
+        self.call(ctx, NfsProc::Rename, e).map(|_| ())
+    }
+
+    /// READDIR: (name, file id) pairs.
+    pub fn readdir(&self, ctx: &ActorCtx, dir: NodeId) -> NfsResult<Vec<(String, NodeId)>> {
+        let mut e = XdrEnc::new();
+        e.u64(dir.0);
+        let r = self.call(ctx, NfsProc::ReadDir, e)?;
+        let mut d = XdrDec::new(&r);
+        let n = d.u32().map_err(|_| NfsError::Protocol)?;
+        let mut out = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let id = NodeId(d.u64().map_err(|_| NfsError::Protocol)?);
+            let name = d.string().map_err(|_| NfsError::Protocol)?;
+            out.push((name, id));
+        }
+        Ok(out)
+    }
+
+    /// One READ RPC, at most `rsize` bytes. Returns (data, eof).
+    fn read_rpc(&self, ctx: &ActorCtx, fh: NodeId, off: u64, len: u64) -> NfsResult<(Vec<u8>, bool)> {
+        let mut e = XdrEnc::new();
+        e.u64(fh.0).u64(off).u32(len.min(self.config.rsize) as u32);
+        let r = self.call(ctx, NfsProc::Read, e)?;
+        let mut d = XdrDec::new(&r);
+        let _count = d.u32().map_err(|_| NfsError::Protocol)?;
+        let eof = d.u32().map_err(|_| NfsError::Protocol)? != 0;
+        let data = d.opaque().map_err(|_| NfsError::Protocol)?;
+        // Copy from the RPC buffer into the application buffer.
+        self.host
+            .compute(ctx, self.config.host_cost.copy(data.len() as u64));
+        self.stats.reads.record(data.len() as u64);
+        Ok((data, eof))
+    }
+
+    /// Read `len` bytes at `off`, issuing as many READ RPCs as rsize
+    /// requires. Short result at EOF. With `data_cache` enabled, pages are
+    /// served from the client page cache after attribute revalidation.
+    pub fn read(&self, ctx: &ActorCtx, fh: NodeId, off: u64, len: u64) -> NfsResult<Vec<u8>> {
+        if self.config.data_cache {
+            self.cached_read(ctx, fh, off, len)
+        } else {
+            self.uncached_read(ctx, fh, off, len)
+        }
+    }
+
+    fn uncached_read(
+        &self,
+        ctx: &ActorCtx,
+        fh: NodeId,
+        mut off: u64,
+        len: u64,
+    ) -> NfsResult<Vec<u8>> {
+        let mut out = Vec::with_capacity(len as usize);
+        let mut remaining = len;
+        while remaining > 0 {
+            let (data, eof) = self.read_rpc(ctx, fh, off, remaining)?;
+            let n = data.len() as u64;
+            out.extend_from_slice(&data);
+            off += n;
+            remaining -= n.min(remaining);
+            if eof || n == 0 {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Page-cache read path: revalidate via (attribute-cached) GETATTR,
+    /// serve hits from memory, fetch missing page runs in rsize chunks.
+    ///
+    /// Consistency caveat, faithful to 2001 kernel clients: another
+    /// client's write is only noticed once the attribute cache entry
+    /// expires — the weak model that forced `noac` mounts under MPI-IO.
+    fn cached_read(&self, ctx: &ActorCtx, fh: NodeId, off: u64, len: u64) -> NfsResult<Vec<u8>> {
+        let page = self.config.cache_page.max(512);
+        let attr = self.getattr(ctx, fh)?;
+        let v = attr.version;
+        let end = (off + len).min(attr.size);
+        if off >= end {
+            return Ok(Vec::new());
+        }
+        let first = off / page;
+        let last = (end - 1) / page;
+        // Collect runs of pages that miss (absent or stale).
+        let mut missing: Vec<(u64, u64)> = Vec::new(); // [start, end) page runs
+        {
+            let dc = self.data_cache.lock();
+            let mut run_start: Option<u64> = None;
+            for p in first..=last {
+                let hit = dc
+                    .get(&(fh.0, p))
+                    .is_some_and(|(_, pv)| *pv == v);
+                if hit {
+                    self.stats.dc_hits.inc();
+                    if let Some(s) = run_start {
+                        missing.push((s, p));
+                        run_start = None;
+                    }
+                } else {
+                    self.stats.dc_misses.inc();
+                    if run_start.is_none() {
+                        run_start = Some(p);
+                    }
+                }
+            }
+            if let Some(s) = run_start {
+                missing.push((s, last + 1));
+            }
+        }
+        for (a, b) in missing {
+            let fetch_off = a * page;
+            let fetch_len = (b * page).min(attr.size) - fetch_off;
+            let data = self.uncached_read(ctx, fh, fetch_off, fetch_len)?;
+            let mut dc = self.data_cache.lock();
+            for (i, chunk) in data.chunks(page as usize).enumerate() {
+                dc.insert((fh.0, a + i as u64), (chunk.to_vec(), v));
+            }
+        }
+        // Assemble the answer from the cache (memory copy charged).
+        let mut out = Vec::with_capacity((end - off) as usize);
+        {
+            let dc = self.data_cache.lock();
+            for p in first..=last {
+                let page_base = p * page;
+                let empty: (Vec<u8>, u64) = (Vec::new(), 0);
+                let (bytes, _) = dc.get(&(fh.0, p)).unwrap_or(&empty);
+                let s = off.max(page_base) - page_base;
+                let e = end.min(page_base + page).saturating_sub(page_base);
+                if (s as usize) < bytes.len() {
+                    out.extend_from_slice(&bytes[s as usize..(e as usize).min(bytes.len())]);
+                }
+            }
+        }
+        self.host
+            .compute(ctx, self.config.host_cost.copy(out.len() as u64));
+        Ok(out)
+    }
+
+    /// Drop every cached page of a file (close-to-open consistency point).
+    pub fn invalidate_data(&self, fh: NodeId) {
+        self.data_cache.lock().retain(|(f, _), _| *f != fh.0);
+    }
+
+    /// Write `data` at `off`, chunked by wsize, at the mount's stability
+    /// level. UNSTABLE writes are followed by a COMMIT when `commit_after`.
+    pub fn write(&self, ctx: &ActorCtx, fh: NodeId, mut off: u64, data: &[u8]) -> NfsResult<FileAttr> {
+        let mut attr = None;
+        for chunk in data.chunks(self.config.wsize.max(1) as usize) {
+            // Application buffer into the RPC buffer.
+            self.host
+                .compute(ctx, self.config.host_cost.copy(chunk.len() as u64));
+            let mut e = XdrEnc::new();
+            e.u64(fh.0).u64(off).u32(self.config.stable as u32).opaque(chunk);
+            let r = self.call(ctx, NfsProc::Write, e)?;
+            let mut d = XdrDec::new(&r);
+            let _count = d.u32().map_err(|_| NfsError::Protocol)?;
+            let _committed = d.u32().map_err(|_| NfsError::Protocol)?;
+            let a = proto::dec_attr(&mut d).map_err(|_| NfsError::Protocol)?;
+            self.cache_attr(ctx, a);
+            if self.config.data_cache {
+                let page = self.config.cache_page.max(512);
+                let cover_first = off / page;
+                let cover_last = (off + chunk.len() as u64 - 1) / page;
+                let mut dc = self.data_cache.lock();
+                dc.retain(|(f, p), _| *f != fh.0 || *p < cover_first || *p > cover_last);
+                // Our own write bumped the version; the surviving pages are
+                // still current from this client's point of view.
+                for ((f, _), entry) in dc.iter_mut() {
+                    if *f == fh.0 {
+                        entry.1 = a.version;
+                    }
+                }
+            }
+            attr = Some(a);
+            off += chunk.len() as u64;
+            self.stats.writes.record(chunk.len() as u64);
+        }
+        match attr {
+            Some(a) => Ok(a),
+            // Zero-length write: behave like getattr.
+            None => self.getattr(ctx, fh),
+        }
+    }
+
+    /// COMMIT unstable writes to stable storage.
+    pub fn commit(&self, ctx: &ActorCtx, fh: NodeId) -> NfsResult<()> {
+        let mut e = XdrEnc::new();
+        e.u64(fh.0);
+        self.call(ctx, NfsProc::Commit, e).map(|_| ())
+    }
+
+    /// Resolve a slash-separated path from the root, LOOKUP by LOOKUP.
+    pub fn resolve(&self, ctx: &ActorCtx, path: &str) -> NfsResult<FileAttr> {
+        let mut cur = memfs::ROOT_ID;
+        let mut attr = self.getattr(ctx, cur)?;
+        for part in path.split('/').filter(|p| !p.is_empty()) {
+            attr = self.lookup(ctx, cur, part)?;
+            cur = attr.id;
+        }
+        Ok(attr)
+    }
+
+    /// Tear down the mount.
+    pub fn unmount(&self, ctx: &ActorCtx) {
+        self.sock.close(ctx);
+    }
+}
+
+/// Shared handle: several actors on one host may share a mount via `Arc`.
+pub type SharedNfsClient = Arc<NfsClient>;

@@ -1,0 +1,279 @@
+//! The NFS server: a connection-per-client front end feeding a single
+//! serial `nfsd` worker.
+//!
+//! Structure mirrors a 2001-era single-CPU NFS server: per-connection
+//! readers do only stream reassembly; all protocol decode, filesystem work,
+//! and reply encoding run serially in one `nfsd` actor, so request
+//! processing contends on one CPU — which is exactly what saturates first
+//! in the multi-client experiments.
+
+use memfs::{MemFs, NodeId, SetAttr};
+use simnet::cost::HostCost;
+use simnet::time::units::*;
+use simnet::{ActorCtx, ByteMeter, Counter, Host, Port, SimDuration, SimKernel};
+use tcpnet::{Socket, TcpFabric};
+
+use crate::proto::{self, NfsProc, NfsStatus, Stable};
+use crate::xdr::{XdrDec, XdrEnc};
+
+/// Server-side CPU cost constants.
+#[derive(Debug, Clone, Copy)]
+pub struct NfsServerCost {
+    /// Fixed RPC dispatch + VFS cost per operation.
+    pub per_op: SimDuration,
+    /// Additional cost of a FILE_SYNC write or COMMIT (stable-storage
+    /// flush; NVRAM-backed, so modest).
+    pub sync: SimDuration,
+    /// Host primitives (the buffer-cache copy for data ops).
+    pub host: HostCost,
+}
+
+impl Default for NfsServerCost {
+    fn default() -> Self {
+        NfsServerCost {
+            per_op: us(20),
+            sync: us(40),
+            host: HostCost::default(),
+        }
+    }
+}
+
+/// Observable server counters.
+#[derive(Clone, Default)]
+pub struct NfsServerStats {
+    /// Total RPCs served.
+    pub ops: Counter,
+    /// READ traffic (ops, bytes).
+    pub reads: ByteMeter,
+    /// WRITE traffic (ops, bytes).
+    pub writes: ByteMeter,
+}
+
+/// Handle returned by [`spawn_nfs_server`].
+pub struct NfsServerHandle {
+    /// The server's counters.
+    pub stats: NfsServerStats,
+    /// The host the server runs on (CPU meter for utilization reports).
+    pub host: Host,
+}
+
+/// Start an NFS server on `host`, exporting `fs`, listening at `port`.
+///
+/// Spawns daemon actors on `kernel`; returns the stats handle immediately.
+pub fn spawn_nfs_server(
+    kernel: &SimKernel,
+    fabric: &TcpFabric,
+    host: Host,
+    fs: MemFs,
+    port: u16,
+    cost: NfsServerCost,
+) -> NfsServerHandle {
+    let stats = NfsServerStats::default();
+    // (request bytes, socket to reply on)
+    let work: Port<(Vec<u8>, Socket)> = Port::new("nfsd-work");
+
+    // Acceptor: one reader daemon per connection.
+    {
+        let fabric = fabric.clone();
+        let host = host.clone();
+        let work = work.clone();
+        kernel.spawn_daemon("nfs-acceptor", move |ctx| {
+            let listener = fabric.listen(&host, port);
+            let mut n = 0u32;
+            while let Some(sock) = listener.accept(ctx) {
+                let work = work.clone();
+                n += 1;
+                ctx.spawn_daemon(&format!("nfs-conn{n}"), move |cctx| {
+                    while let Ok(hdr) = sock.recv_exact(cctx, 4) {
+                        let len = u32::from_be_bytes(hdr.try_into().unwrap()) as usize;
+                        let Ok(body) = sock.recv_exact(cctx, len) else {
+                            break;
+                        };
+                        work.send(cctx, (body, sock.clone()), cctx.now());
+                    }
+                });
+            }
+        });
+    }
+
+    // The serial nfsd worker.
+    {
+        let host = host.clone();
+        let stats = stats.clone();
+        let work = work.clone();
+        kernel.spawn_daemon("nfsd", move |ctx| {
+            while let Some((req, sock)) = work.recv(ctx) {
+                let reply = serve_one(ctx, &host, &fs, &cost, &stats, &req);
+                sock.send(ctx, &proto::frame(&reply));
+            }
+        });
+    }
+
+    NfsServerHandle { stats, host }
+}
+
+/// Decode, execute, and encode one RPC. Charges nfsd CPU time.
+fn serve_one(
+    ctx: &ActorCtx,
+    host: &Host,
+    fs: &MemFs,
+    cost: &NfsServerCost,
+    stats: &NfsServerStats,
+    req: &[u8],
+) -> Vec<u8> {
+    stats.ops.inc();
+    host.compute(ctx, cost.per_op);
+
+    let mut d = XdrDec::new(req);
+    let mut e = XdrEnc::new();
+    let (xid, procnum) = match (d.u32(), d.u32()) {
+        (Ok(x), Ok(p)) => (x, p),
+        _ => return Vec::new(),
+    };
+    e.u32(xid);
+
+    let Some(proc_) = NfsProc::from_u32(procnum) else {
+        e.u32(NfsStatus::Io as u32);
+        return e.finish();
+    };
+
+    macro_rules! status {
+        ($st:expr) => {{
+            e.u32($st as u32);
+            return e.finish();
+        }};
+    }
+    macro_rules! try_fs {
+        ($r:expr) => {
+            match $r {
+                Ok(v) => v,
+                Err(err) => status!(NfsStatus::from(err)),
+            }
+        };
+    }
+    macro_rules! try_xdr {
+        ($r:expr) => {
+            match $r {
+                Ok(v) => v,
+                Err(_) => status!(NfsStatus::Io),
+            }
+        };
+    }
+
+    match proc_ {
+        NfsProc::Null => {
+            e.u32(NfsStatus::Ok as u32);
+        }
+        NfsProc::GetAttr => {
+            let fh = NodeId(try_xdr!(d.u64()));
+            let a = try_fs!(fs.getattr(fh));
+            e.u32(NfsStatus::Ok as u32);
+            proto::enc_attr(&mut e, &a);
+        }
+        NfsProc::SetAttr => {
+            let fh = NodeId(try_xdr!(d.u64()));
+            let has_size = try_xdr!(d.u32());
+            let size = if has_size != 0 {
+                Some(try_xdr!(d.u64()))
+            } else {
+                None
+            };
+            let a = try_fs!(fs.setattr(fh, SetAttr { size }));
+            host.compute(ctx, cost.sync);
+            e.u32(NfsStatus::Ok as u32);
+            proto::enc_attr(&mut e, &a);
+        }
+        NfsProc::Lookup => {
+            let dir = NodeId(try_xdr!(d.u64()));
+            let name = try_xdr!(d.string());
+            let a = try_fs!(fs.lookup(dir, &name));
+            e.u32(NfsStatus::Ok as u32);
+            proto::enc_attr(&mut e, &a);
+        }
+        NfsProc::Read => {
+            let fh = NodeId(try_xdr!(d.u64()));
+            let off = try_xdr!(d.u64());
+            let len = try_xdr!(d.u32()) as u64;
+            let data = try_fs!(fs.read(fh, off, len));
+            // Buffer-cache copy into the reply.
+            host.compute(ctx, cost.host.copy(data.len() as u64));
+            stats.reads.record(data.len() as u64);
+            let eof = off + data.len() as u64 >= try_fs!(fs.getattr(fh)).size;
+            e.u32(NfsStatus::Ok as u32);
+            e.u32(data.len() as u32);
+            e.u32(eof as u32);
+            e.opaque(&data);
+        }
+        NfsProc::Write => {
+            let fh = NodeId(try_xdr!(d.u64()));
+            let off = try_xdr!(d.u64());
+            let stable = Stable::from_u32(try_xdr!(d.u32()));
+            let data = try_xdr!(d.opaque());
+            host.compute(ctx, cost.host.copy(data.len() as u64));
+            let a = try_fs!(fs.write(fh, off, &data));
+            if stable != Stable::Unstable {
+                host.compute(ctx, cost.sync);
+            }
+            stats.writes.record(data.len() as u64);
+            e.u32(NfsStatus::Ok as u32);
+            e.u32(data.len() as u32);
+            e.u32(stable as u32);
+            proto::enc_attr(&mut e, &a);
+        }
+        NfsProc::Create => {
+            let dir = NodeId(try_xdr!(d.u64()));
+            let name = try_xdr!(d.string());
+            let a = try_fs!(fs.create(dir, &name));
+            host.compute(ctx, cost.sync);
+            e.u32(NfsStatus::Ok as u32);
+            proto::enc_attr(&mut e, &a);
+        }
+        NfsProc::Mkdir => {
+            let dir = NodeId(try_xdr!(d.u64()));
+            let name = try_xdr!(d.string());
+            let a = try_fs!(fs.mkdir(dir, &name));
+            host.compute(ctx, cost.sync);
+            e.u32(NfsStatus::Ok as u32);
+            proto::enc_attr(&mut e, &a);
+        }
+        NfsProc::Remove => {
+            let dir = NodeId(try_xdr!(d.u64()));
+            let name = try_xdr!(d.string());
+            try_fs!(fs.remove(dir, &name));
+            host.compute(ctx, cost.sync);
+            e.u32(NfsStatus::Ok as u32);
+        }
+        NfsProc::Rmdir => {
+            let dir = NodeId(try_xdr!(d.u64()));
+            let name = try_xdr!(d.string());
+            try_fs!(fs.rmdir(dir, &name));
+            host.compute(ctx, cost.sync);
+            e.u32(NfsStatus::Ok as u32);
+        }
+        NfsProc::Rename => {
+            let from = NodeId(try_xdr!(d.u64()));
+            let name = try_xdr!(d.string());
+            let to = NodeId(try_xdr!(d.u64()));
+            let to_name = try_xdr!(d.string());
+            try_fs!(fs.rename(from, &name, to, &to_name));
+            host.compute(ctx, cost.sync);
+            e.u32(NfsStatus::Ok as u32);
+        }
+        NfsProc::ReadDir => {
+            let dir = NodeId(try_xdr!(d.u64()));
+            let entries = try_fs!(fs.readdir(dir));
+            e.u32(NfsStatus::Ok as u32);
+            e.u32(entries.len() as u32);
+            for (name, id) in entries {
+                e.u64(id.0);
+                e.string(&name);
+            }
+        }
+        NfsProc::Commit => {
+            let _fh = NodeId(try_xdr!(d.u64()));
+            host.compute(ctx, cost.sync);
+            e.u32(NfsStatus::Ok as u32);
+        }
+    }
+    e.finish()
+}

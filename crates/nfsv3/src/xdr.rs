@@ -1,0 +1,189 @@
+//! Minimal XDR (RFC 1832) encoding, as used by ONC RPC / NFSv3.
+//!
+//! Big-endian fixed-width integers; opaque byte strings carry a length and
+//! are padded to 4-byte alignment. Only the subset the NFS procedures need.
+
+/// XDR encoder over a growable buffer.
+#[derive(Default)]
+pub struct XdrEnc {
+    buf: Vec<u8>,
+}
+
+impl XdrEnc {
+    /// Fresh encoder.
+    pub fn new() -> XdrEnc {
+        XdrEnc::default()
+    }
+
+    /// Append an unsigned 32-bit integer.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Append an unsigned 64-bit integer (XDR hyper).
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Append a variable-length opaque: length, bytes, pad to 4.
+    pub fn opaque(&mut self, v: &[u8]) -> &mut Self {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+        let pad = (4 - v.len() % 4) % 4;
+        self.buf.extend(std::iter::repeat_n(0u8, pad));
+        self
+    }
+
+    /// Append a string (XDR string == opaque of its UTF-8 bytes).
+    pub fn string(&mut self, s: &str) -> &mut Self {
+        self.opaque(s.as_bytes())
+    }
+
+    /// Finish, returning the wire bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes encoded so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been encoded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Decode errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XdrError {
+    /// Ran out of bytes.
+    Truncated,
+    /// A length field exceeded the remaining buffer.
+    BadLength,
+}
+
+/// XDR decoder over a byte slice.
+pub struct XdrDec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> XdrDec<'a> {
+    /// Decode from `buf`.
+    pub fn new(buf: &'a [u8]) -> XdrDec<'a> {
+        XdrDec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], XdrError> {
+        if self.pos + n > self.buf.len() {
+            return Err(XdrError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a u32.
+    pub fn u32(&mut self) -> Result<u32, XdrError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a u64.
+    pub fn u64(&mut self) -> Result<u64, XdrError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a variable-length opaque.
+    pub fn opaque(&mut self) -> Result<Vec<u8>, XdrError> {
+        let len = self.u32()? as usize;
+        if len > self.buf.len() - self.pos {
+            return Err(XdrError::BadLength);
+        }
+        let data = self.take(len)?.to_vec();
+        let pad = (4 - len % 4) % 4;
+        self.take(pad)?;
+        Ok(data)
+    }
+
+    /// Read a string.
+    pub fn string(&mut self) -> Result<String, XdrError> {
+        String::from_utf8(self.opaque()?).map_err(|_| XdrError::BadLength)
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ints_roundtrip() {
+        let mut e = XdrEnc::new();
+        e.u32(0xDEADBEEF).u64(0x0123456789ABCDEF);
+        let b = e.finish();
+        assert_eq!(b.len(), 12);
+        let mut d = XdrDec::new(&b);
+        assert_eq!(d.u32().unwrap(), 0xDEADBEEF);
+        assert_eq!(d.u64().unwrap(), 0x0123456789ABCDEF);
+        assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn opaque_pads_to_four() {
+        for n in 0..9usize {
+            let data: Vec<u8> = (0..n as u8).collect();
+            let mut e = XdrEnc::new();
+            e.opaque(&data);
+            let b = e.finish();
+            assert_eq!(b.len() % 4, 0, "n={n}");
+            let mut d = XdrDec::new(&b);
+            assert_eq!(d.opaque().unwrap(), data);
+            assert_eq!(d.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn string_roundtrip() {
+        let mut e = XdrEnc::new();
+        e.string("héllo.dat");
+        let b = e.finish();
+        let mut d = XdrDec::new(&b);
+        assert_eq!(d.string().unwrap(), "héllo.dat");
+    }
+
+    #[test]
+    fn truncated_detected() {
+        let mut d = XdrDec::new(&[0, 0]);
+        assert_eq!(d.u32(), Err(XdrError::Truncated));
+    }
+
+    #[test]
+    fn bad_length_detected() {
+        // Claims 100 bytes but only 2 follow.
+        let mut e = XdrEnc::new();
+        e.u32(100).u32(0);
+        let b = e.finish();
+        let mut d = XdrDec::new(&b);
+        assert_eq!(d.opaque(), Err(XdrError::BadLength));
+    }
+
+    #[test]
+    fn mixed_sequence() {
+        let mut e = XdrEnc::new();
+        e.u32(7).string("x").u64(9).opaque(b"abc");
+        let b = e.finish();
+        let mut d = XdrDec::new(&b);
+        assert_eq!(d.u32().unwrap(), 7);
+        assert_eq!(d.string().unwrap(), "x");
+        assert_eq!(d.u64().unwrap(), 9);
+        assert_eq!(d.opaque().unwrap(), b"abc");
+    }
+}

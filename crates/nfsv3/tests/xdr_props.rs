@@ -1,0 +1,62 @@
+//! Property tests for the XDR codec: arbitrary sequences of fields must
+//! round-trip, with every opaque padded to 4-byte alignment.
+
+use nfsv3::xdr::{XdrDec, XdrEnc};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Field {
+    U32(u32),
+    U64(u64),
+    Opaque(Vec<u8>),
+    Str(String),
+}
+
+fn arb_field() -> impl Strategy<Value = Field> {
+    prop_oneof![
+        any::<u32>().prop_map(Field::U32),
+        any::<u64>().prop_map(Field::U64),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(Field::Opaque),
+        "[a-zA-Z0-9._/-]{0,24}".prop_map(Field::Str),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn sequences_roundtrip(fields in proptest::collection::vec(arb_field(), 0..16)) {
+        let mut e = XdrEnc::new();
+        for f in &fields {
+            match f {
+                Field::U32(v) => { e.u32(*v); }
+                Field::U64(v) => { e.u64(*v); }
+                Field::Opaque(v) => { e.opaque(v); }
+                Field::Str(s) => { e.string(s); }
+            }
+        }
+        let bytes = e.finish();
+        prop_assert_eq!(bytes.len() % 4, 0, "XDR stream must stay 4-aligned");
+        let mut d = XdrDec::new(&bytes);
+        for f in &fields {
+            match f {
+                Field::U32(v) => prop_assert_eq!(d.u32().unwrap(), *v),
+                Field::U64(v) => prop_assert_eq!(d.u64().unwrap(), *v),
+                Field::Opaque(v) => prop_assert_eq!(&d.opaque().unwrap(), v),
+                Field::Str(s) => prop_assert_eq!(&d.string().unwrap(), s),
+            }
+        }
+        prop_assert_eq!(d.remaining(), 0);
+    }
+
+    /// Decoding random garbage never panics — it either yields values or
+    /// errors.
+    #[test]
+    fn decoder_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut d = XdrDec::new(&bytes);
+        let _ = d.u32();
+        let _ = d.opaque();
+        let _ = d.string();
+        let _ = d.u64();
+    }
+}

@@ -1,0 +1,71 @@
+//! Shared host-side cost model constants, calibrated to the 2001-era
+//! platform the paper's testbed represents (Pentium-III class nodes,
+//! GigaNet cLAN VIA NICs, Fast/Gigabit Ethernet kernel path).
+//!
+//! Every constant lives in [`HostCost`] so that ablation experiments can
+//! sweep them; the transport-specific models (`via::ViaCost`,
+//! `tcpnet::TcpCost`) reference these for the host-side terms.
+
+use crate::time::{Bandwidth, SimDuration};
+
+/// Host-side (CPU) cost constants.
+#[derive(Debug, Clone, Copy)]
+pub struct HostCost {
+    /// One user↔kernel crossing (trap + return).
+    pub syscall: SimDuration,
+    /// Fixed cost of starting any memcpy (cache-line setup, call overhead).
+    pub memcpy_setup: SimDuration,
+    /// Sustainable copy bandwidth of the host memory system.
+    pub memcpy_bw: Bandwidth,
+    /// Taking one device interrupt (dispatch + handler prologue/epilogue).
+    pub interrupt: SimDuration,
+    /// One context switch (schedule + register/TLB state).
+    pub context_switch: SimDuration,
+}
+
+impl Default for HostCost {
+    fn default() -> Self {
+        HostCost {
+            syscall: SimDuration::from_nanos(3_000),
+            memcpy_setup: SimDuration::from_nanos(150),
+            // P-III era SDRAM copy bandwidth.
+            memcpy_bw: Bandwidth::mb_per_sec(400),
+            interrupt: SimDuration::from_micros(5),
+            context_switch: SimDuration::from_micros(4),
+        }
+    }
+}
+
+impl HostCost {
+    /// CPU time to copy `bytes` once.
+    pub fn copy(&self, bytes: u64) -> SimDuration {
+        if bytes == 0 {
+            return SimDuration::ZERO;
+        }
+        self.memcpy_setup + self.memcpy_bw.time_for(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::units::*;
+
+    #[test]
+    fn default_values_sane() {
+        let c = HostCost::default();
+        assert_eq!(c.syscall, us(3));
+        assert!(c.interrupt > c.syscall);
+    }
+
+    #[test]
+    fn copy_scales_with_size() {
+        let c = HostCost::default();
+        assert_eq!(c.copy(0), SimDuration::ZERO);
+        let small = c.copy(64);
+        let big = c.copy(1 << 20);
+        assert!(big > small * 100);
+        // 1 MiB at 400 MB/s ≈ 2.62 ms.
+        assert!(big.as_secs_f64() > 0.0025 && big.as_secs_f64() < 0.0028);
+    }
+}

@@ -1,0 +1,110 @@
+//! Point-to-point links: propagation latency + serialized wire bandwidth.
+//!
+//! A [`Link`] is directional. Transfers occupy the wire (a [`Resource`]) for
+//! `bytes / bandwidth`, then propagate for `latency`; the returned arrival
+//! instant is used to stamp the message on the far end's port. Back-to-back
+//! transfers pipeline exactly as on a real serial medium.
+
+use crate::resource::Resource;
+use crate::time::{Bandwidth, SimDuration, SimTime};
+
+/// A directional point-to-point link.
+#[derive(Clone)]
+pub struct Link {
+    wire: Resource,
+    latency: SimDuration,
+    bandwidth: Bandwidth,
+}
+
+impl Link {
+    /// Create a new instance with default state.
+    pub fn new(name: &str, latency: SimDuration, bandwidth: Bandwidth) -> Link {
+        Link {
+            wire: Resource::new(name),
+            latency,
+            bandwidth,
+        }
+    }
+
+    /// Build a full-duplex pair of identical links (forward, reverse).
+    pub fn duplex(
+        name: &str,
+        latency: SimDuration,
+        bandwidth: Bandwidth,
+    ) -> (Link, Link) {
+        (
+            Link::new(&format!("{name}.fwd"), latency, bandwidth),
+            Link::new(&format!("{name}.rev"), latency, bandwidth),
+        )
+    }
+
+    /// Propagation latency.
+    pub fn latency(&self) -> SimDuration {
+        self.latency
+    }
+
+    /// Configured wire rate.
+    pub fn bandwidth(&self) -> Bandwidth {
+        self.bandwidth
+    }
+
+    /// Pure serialization delay of `bytes` (no queueing, no latency).
+    pub fn serialization_delay(&self, bytes: u64) -> SimDuration {
+        self.bandwidth.time_for(bytes)
+    }
+
+    /// Occupy the wire for a transfer injected at `depart`; returns the
+    /// arrival instant at the far end.
+    pub fn transfer(&self, depart: SimTime, bytes: u64) -> SimTime {
+        let wire_done = self.wire.book(depart, self.bandwidth.time_for(bytes));
+        wire_done + self.latency
+    }
+
+    /// Total bytes·time booked on the wire so far, for utilization reports.
+    pub fn wire_busy(&self) -> SimDuration {
+        self.wire.busy_total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::units::*;
+
+    fn link() -> Link {
+        // 10us latency, 100 MB/s => 10ns per byte.
+        Link::new("l", us(10), Bandwidth::mb_per_sec(100))
+    }
+
+    #[test]
+    fn single_transfer_latency_plus_serialization() {
+        let l = link();
+        let arrival = l.transfer(SimTime::ZERO, 1000);
+        // 1000 B * 10 ns/B = 10us serialization + 10us latency.
+        assert_eq!(arrival, SimTime::ZERO + us(20));
+    }
+
+    #[test]
+    fn back_to_back_transfers_pipeline() {
+        let l = link();
+        let a1 = l.transfer(SimTime::ZERO, 1000);
+        let a2 = l.transfer(SimTime::ZERO, 1000);
+        // Second must wait for the wire, not for the first's arrival.
+        assert_eq!(a1, SimTime::ZERO + us(20));
+        assert_eq!(a2, SimTime::ZERO + us(30));
+    }
+
+    #[test]
+    fn zero_byte_message_is_latency_only() {
+        let l = link();
+        assert_eq!(l.transfer(SimTime(5), 0), SimTime(5) + us(10));
+    }
+
+    #[test]
+    fn duplex_directions_independent() {
+        let (f, r) = Link::duplex("d", us(1), Bandwidth::mb_per_sec(100));
+        let a = f.transfer(SimTime::ZERO, 100_000);
+        let b = r.transfer(SimTime::ZERO, 100_000);
+        assert_eq!(a, b, "opposite directions must not contend");
+    }
+}

@@ -1,0 +1,133 @@
+//! Stress and property tests for the DES substrate.
+
+use proptest::prelude::*;
+use simnet::time::units::*;
+use simnet::{Cluster, Port, Resource, SimDuration, SimKernel, SimTime};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// 32 actors exchanging messages in a ring for many rounds: time-ordering
+/// and termination under load.
+#[test]
+fn ring_of_32_actors_many_rounds() {
+    const N: usize = 32;
+    const ROUNDS: usize = 50;
+    let kernel = SimKernel::new();
+    let ports: Vec<Port<u64>> = (0..N).map(|i| Port::new(&format!("ring{i}"))).collect();
+    let done = Arc::new(AtomicU64::new(0));
+    for i in 0..N {
+        let my = ports[i].clone();
+        let next = ports[(i + 1) % N].clone();
+        let done = done.clone();
+        kernel.spawn(&format!("node{i}"), move |ctx| {
+            if i == 0 {
+                next.send(ctx, 0, ctx.now() + us(3));
+            }
+            // Each node receives exactly ROUNDS messages; node 0 does not
+            // forward its last one, so every port drains exactly.
+            for r in 0..ROUNDS {
+                let v = my.recv(ctx).expect("ring message");
+                let last = i == 0 && r == ROUNDS - 1;
+                if !last {
+                    next.send(ctx, v + 1, ctx.now() + us(3));
+                }
+                if last {
+                    done.store(r as u64 + 1, Ordering::Relaxed);
+                }
+            }
+        });
+    }
+    let end = kernel.run();
+    // Node 0 saw one message per completed round.
+    assert_eq!(done.load(Ordering::Relaxed), ROUNDS as u64);
+    // Total virtual time ≈ rounds × ring latency.
+    let hops = (ROUNDS * N) as u64;
+    assert!(end >= SimTime::ZERO + us(3 * (hops - N as u64)));
+}
+
+/// The deadlock detector must name the stuck actor, not hang.
+#[test]
+fn deadlock_report_names_culprit() {
+    let result = std::panic::catch_unwind(|| {
+        let kernel = SimKernel::new();
+        let p: Port<u8> = Port::new("never");
+        kernel.spawn("starved", move |ctx| {
+            p.recv(ctx);
+        });
+        kernel.run();
+    });
+    let msg = *result.unwrap_err().downcast::<String>().unwrap();
+    assert!(msg.contains("starved"), "diagnostic was: {msg}");
+}
+
+/// Spawning from inside actors composes (tree of actors).
+#[test]
+fn nested_spawn_tree() {
+    let kernel = SimKernel::new();
+    let count = Arc::new(AtomicU64::new(0));
+    let c = count.clone();
+    kernel.spawn("root", move |ctx| {
+        ctx.advance(us(1));
+        for i in 0..4 {
+            let c = c.clone();
+            ctx.spawn(&format!("child{i}"), move |cctx| {
+                cctx.advance(us(2));
+                let c = c.clone();
+                cctx.spawn(&format!("grandchild{i}"), move |gctx| {
+                    gctx.advance(us(3));
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        }
+    });
+    let end = kernel.run();
+    assert_eq!(count.load(Ordering::Relaxed), 4);
+    assert_eq!(end, SimTime::ZERO + us(6));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Resource FIFO algebra: completions are nondecreasing when arrivals
+    /// are nondecreasing, total busy equals the sum of services, and no
+    /// service starts before its arrival.
+    #[test]
+    fn resource_fifo_invariants(jobs in proptest::collection::vec((0u64..1000, 1u64..100), 1..40)) {
+        let r = Resource::new("x");
+        let mut arrivals: Vec<(u64, u64)> = jobs.clone();
+        arrivals.sort_unstable();
+        let mut last_completion = 0u64;
+        let mut total = 0u64;
+        for (arr, svc) in &arrivals {
+            let (start, done) = r.book_span(SimTime(*arr), SimDuration(*svc));
+            prop_assert!(start.as_nanos() >= *arr);
+            prop_assert!(start.as_nanos() >= last_completion);
+            prop_assert_eq!(done.as_nanos(), start.as_nanos() + svc);
+            last_completion = done.as_nanos();
+            total += svc;
+        }
+        prop_assert_eq!(r.busy_total().as_nanos(), total);
+        prop_assert_eq!(r.bookings(), arrivals.len() as u64);
+    }
+
+    /// HostMem: random disjoint allocations keep their contents.
+    #[test]
+    fn hostmem_allocations_are_isolated(
+        sizes in proptest::collection::vec(1usize..4096, 1..12),
+        patterns in proptest::collection::vec(any::<u8>(), 1..12),
+    ) {
+        let cluster = Cluster::new();
+        let host = cluster.add_host("h");
+        let n = sizes.len().min(patterns.len());
+        let mut bufs = Vec::new();
+        for i in 0..n {
+            let a = host.mem.alloc(sizes[i]);
+            host.mem.fill(a, sizes[i], patterns[i]);
+            bufs.push((a, sizes[i], patterns[i]));
+        }
+        for (a, len, pat) in &bufs {
+            let got = host.mem.read_vec(*a, *len);
+            prop_assert!(got.iter().all(|b| b == pat));
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! The VIA fabric: NIC registry and connection management
+//! (`VipConnectWait` / `VipConnectRequest` / `VipConnectAccept`).
+//!
+//! Connection endpoints are discriminated by `(host, port)` — standing in
+//! for the VIA spec's opaque discriminator bytes. The handshake costs one
+//! round trip at small-message latency, like the real connection manager.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use simnet::{ActorCtx, HostId, Port};
+
+use crate::cost::ViaCost;
+use crate::nic::ViaNic;
+use crate::vi::{Vi, ViAttributes, ViEnd};
+
+/// Errors from connection establishment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnectError {
+    /// No listener at the requested (host, port).
+    NoListener,
+    /// The listener rejected the request.
+    Rejected,
+}
+
+struct ConnRequest {
+    client_end: Arc<ViEnd>,
+    client_nic: ViaNic,
+    reply: Port<ConnReply>,
+}
+
+enum ConnReply {
+    Accept {
+        server_end: Arc<ViEnd>,
+        server_nic: ViaNic,
+    },
+    Reject,
+}
+
+#[derive(Default)]
+struct FabricState {
+    listeners: HashMap<(HostId, u16), Port<ConnRequest>>,
+}
+
+/// The fabric connecting all VIA NICs in the simulation.
+#[derive(Clone)]
+pub struct ViaFabric {
+    state: Arc<Mutex<FabricState>>,
+    cost: ViaCost,
+}
+
+impl ViaFabric {
+    /// Create a fabric with the given cost model (shared by all NICs opened
+    /// through [`ViaFabric::open_nic`]).
+    pub fn new(cost: ViaCost) -> ViaFabric {
+        ViaFabric {
+            state: Arc::new(Mutex::new(FabricState::default())),
+            cost,
+        }
+    }
+
+    /// The fabric-wide cost model.
+    pub fn cost(&self) -> &ViaCost {
+        &self.cost
+    }
+
+    /// Open a NIC on `host`, attached to this fabric.
+    pub fn open_nic(&self, host: simnet::Host) -> ViaNic {
+        ViaNic::open(host, self.cost)
+    }
+
+    /// Start listening on `(nic's host, port)`. Returns the listener handle.
+    /// Panics if the address is already in use (simulator-bug detection).
+    pub fn listen(&self, nic: &ViaNic, port: u16) -> Listener {
+        let key = (nic.host().id, port);
+        let p: Port<ConnRequest> = Port::new(&format!("listen:{}:{}", nic.host().name(), port));
+        let prev = self.state.lock().listeners.insert(key, p.clone());
+        assert!(prev.is_none(), "address {key:?} already in use");
+        Listener {
+            requests: p,
+            nic: nic.clone(),
+        }
+    }
+
+    /// Connect from `nic` to a listener at `(remote, port)` with the given
+    /// endpoint attributes (`VipConnectRequest` + wait for accept).
+    ///
+    /// The client's protection tag is allocated from its NIC.
+    pub fn connect(
+        &self,
+        ctx: &ActorCtx,
+        nic: &ViaNic,
+        remote: HostId,
+        port: u16,
+        attrs: ViAttributes,
+    ) -> Result<Vi, ConnectError> {
+        let listener = {
+            let st = self.state.lock();
+            st.listeners.get(&(remote, port)).cloned()
+        }
+        .ok_or(ConnectError::NoListener)?;
+
+        let ptag = nic.create_ptag();
+        let client_end = ViEnd::new(attrs, ptag);
+        let reply: Port<ConnReply> = Port::new("conn-reply");
+        // Request travels one way at small-message latency.
+        let there = ctx.now() + self.cost.unloaded_one_way(64);
+        listener.send(
+            ctx,
+            ConnRequest {
+                client_end: client_end.clone(),
+                client_nic: nic.clone(),
+                reply: reply.clone(),
+            },
+            there,
+        );
+        match reply.recv(ctx) {
+            Some(ConnReply::Accept {
+                server_end,
+                server_nic,
+            }) => Ok(Vi {
+                local: client_end,
+                peer: server_end,
+                nic: nic.clone(),
+                peer_nic: server_nic,
+            }),
+            Some(ConnReply::Reject) | None => Err(ConnectError::Rejected),
+        }
+    }
+}
+
+/// A listening endpoint (`VipConnectWait` side).
+pub struct Listener {
+    requests: Port<ConnRequest>,
+    nic: ViaNic,
+}
+
+impl Listener {
+    /// Block until a connection request arrives, then accept it with the
+    /// given server-side endpoint attributes. Returns the server's VI.
+    pub fn accept(&self, ctx: &ActorCtx, attrs: ViAttributes) -> Option<Vi> {
+        let req = self.requests.recv(ctx)?;
+        let ptag = self.nic.create_ptag();
+        let server_end = ViEnd::new(attrs, ptag);
+        let back = ctx.now() + self.nic.cost().unloaded_one_way(64);
+        req.reply.send(
+            ctx,
+            ConnReply::Accept {
+                server_end: server_end.clone(),
+                server_nic: self.nic.clone(),
+            },
+            back,
+        );
+        Some(Vi {
+            local: server_end,
+            peer: req.client_end,
+            nic: self.nic.clone(),
+            peer_nic: req.client_nic,
+        })
+    }
+
+    /// Reject the next pending request (blocks for one).
+    pub fn reject(&self, ctx: &ActorCtx) {
+        if let Some(req) = self.requests.recv(ctx) {
+            let back = ctx.now() + self.nic.cost().unloaded_one_way(64);
+            req.reply.send(ctx, ConnReply::Reject, back);
+        }
+    }
+
+    /// Stop listening; pending and future `connect` calls fail.
+    pub fn close(&self, ctx: &ActorCtx) {
+        self.requests.close(ctx);
+    }
+}

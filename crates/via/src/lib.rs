@@ -1,0 +1,727 @@
+//! # via — a Virtual Interface Architecture (VIA) provider library
+//!
+//! A faithful, simulation-backed reimplementation of the user-level
+//! networking layer the paper's MPI-IO stack runs on: the Intel/Compaq/
+//! Microsoft *Virtual Interface Architecture* as provided by the GigaNet
+//! cLAN VIPL library (1997–2002 era, the direct ancestor of InfiniBand
+//! verbs).
+//!
+//! The API mirrors VIPL's object model under Rust naming:
+//!
+//! | VIPL                        | here                                          |
+//! |-----------------------------|-----------------------------------------------|
+//! | `VipOpenNic`                | [`ViaFabric::open_nic`]                       |
+//! | `VipCreatePtag`             | [`ViaNic::create_ptag`]                       |
+//! | `VipRegisterMem`            | [`ViaNic::register_mem`]                      |
+//! | `VipCreateVi` + connect     | [`ViaFabric::connect`] / [`Listener::accept`] |
+//! | `VipPostSend`/`VipPostRecv` | [`Vi::post_send`] / [`Vi::post_recv`]         |
+//! | `VipSendDone`/`VipRecvWait` | [`Vi::send_done`] / [`Vi::recv_wait`]         |
+//! | `VipCQCreate`/`VipCQWait`   | [`Cq::new`] / [`Cq::wait`]                    |
+//!
+//! Hardware is replaced by a calibrated cost model ([`ViaCost`]) over the
+//! deterministic `simnet` substrate; protection is enforced for real (RDMA
+//! to an unregistered or wrongly-tagged range completes in error), and data
+//! really moves between simulated host memories.
+
+#![warn(missing_docs)]
+
+mod cq;
+mod desc;
+mod fabric;
+mod nic;
+mod vi;
+
+pub mod cost;
+pub mod mem;
+
+pub use cost::ViaCost;
+pub use cq::{Cq, CqToken};
+pub use desc::{
+    Completion, DataSegment, RecvDesc, RemoteSegment, SendDesc, SendOp, ViaStatus, WhichQueue,
+};
+pub use fabric::{ConnectError, Listener, ViaFabric};
+pub use mem::{AccessKind, MemAttributes, MemError, MemHandle, ProtectionTag};
+pub use nic::ViaNic;
+pub use vi::{Reliability, Vi, ViAttributes, ViId, ViState};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::time::units::*;
+    use simnet::{Cluster, SimKernel, SimTime, VirtAddr};
+    use std::sync::Arc;
+
+    /// Everything a two-host test needs.
+    struct TestBed {
+        kernel: SimKernel,
+        fabric: ViaFabric,
+        client_nic: ViaNic,
+        server_nic: ViaNic,
+    }
+
+    fn testbed() -> TestBed {
+        testbed_with(ViaCost::default())
+    }
+
+    fn testbed_with(cost: ViaCost) -> TestBed {
+        let kernel = SimKernel::new();
+        let cluster = Cluster::new();
+        let fabric = ViaFabric::new(cost);
+        let client_nic = fabric.open_nic(cluster.add_host("client"));
+        let server_nic = fabric.open_nic(cluster.add_host("server"));
+        TestBed {
+            kernel,
+            fabric,
+            client_nic,
+            server_nic,
+        }
+    }
+
+    /// Register a fresh buffer and return (addr, handle).
+    fn reg_buf(
+        ctx: &simnet::ActorCtx,
+        nic: &ViaNic,
+        len: usize,
+        attrs: MemAttributes,
+    ) -> (VirtAddr, MemHandle) {
+        let addr = nic.host().mem.alloc(len);
+        let h = nic.register_mem(ctx, addr, len as u64, attrs);
+        (addr, h)
+    }
+
+    #[test]
+    fn connect_send_recv_roundtrip() {
+        let tb = testbed();
+        let server_host = tb.server_nic.host().id;
+        let fabric = tb.fabric.clone();
+        let snic = tb.server_nic.clone();
+        tb.kernel.spawn_daemon("server", move |ctx| {
+            let listener = fabric.listen(&snic, 7);
+            let vi = listener.accept(ctx, ViAttributes::default()).unwrap();
+            let tag = vi.ptag();
+            let (buf, h) = reg_buf(ctx, &snic, 4096, MemAttributes::local(tag));
+            vi.post_recv(ctx, RecvDesc::new(vec![DataSegment::new(buf, 4096, h)]));
+            let c = vi.recv_wait(ctx);
+            assert!(c.status.is_ok());
+            assert_eq!(c.len, 11);
+            assert_eq!(snic.host().mem.read_vec(buf, 11), b"hello, via!");
+            // Echo back.
+            vi.post_send(ctx, SendDesc::send(vec![DataSegment::new(buf, 11, h)]));
+            assert!(vi.send_wait(ctx).status.is_ok());
+        });
+
+        let fabric = tb.fabric.clone();
+        let cnic = tb.client_nic.clone();
+        tb.kernel.spawn("client", move |ctx| {
+            let vi = fabric
+                .connect(ctx, &cnic, server_host, 7, ViAttributes::default())
+                .unwrap();
+            let tag = vi.ptag();
+            let (sbuf, sh) = reg_buf(ctx, &cnic, 64, MemAttributes::local(tag));
+            let (rbuf, rh) = reg_buf(ctx, &cnic, 64, MemAttributes::local(tag));
+            cnic.host().mem.write(sbuf, b"hello, via!");
+            vi.post_recv(ctx, RecvDesc::new(vec![DataSegment::new(rbuf, 64, rh)]));
+            vi.post_send(ctx, SendDesc::send(vec![DataSegment::new(sbuf, 11, sh)]));
+            assert!(vi.send_wait(ctx).status.is_ok());
+            let c = vi.recv_wait(ctx);
+            assert!(c.status.is_ok());
+            assert_eq!(cnic.host().mem.read_vec(rbuf, 11), b"hello, via!");
+        });
+        tb.kernel.run();
+    }
+
+    #[test]
+    fn small_message_one_way_latency_in_envelope() {
+        let tb = testbed();
+        let server_host = tb.server_nic.host().id;
+        let fabric = tb.fabric.clone();
+        let snic = tb.server_nic.clone();
+        let recv_time = Arc::new(parking_lot::Mutex::new((SimTime::ZERO, SimTime::ZERO)));
+        let rt = recv_time.clone();
+        tb.kernel.spawn_daemon("server", move |ctx| {
+            let listener = fabric.listen(&snic, 7);
+            let vi = listener.accept(ctx, ViAttributes::default()).unwrap();
+            let tag = vi.ptag();
+            let (buf, h) = reg_buf(ctx, &snic, 64, MemAttributes::local(tag));
+            vi.post_recv(ctx, RecvDesc::new(vec![DataSegment::new(buf, 64, h)]));
+            let c = vi.recv_wait(ctx);
+            rt.lock().1 = c.at;
+        });
+        let fabric = tb.fabric.clone();
+        let cnic = tb.client_nic.clone();
+        let st = recv_time.clone();
+        tb.kernel.spawn("client", move |ctx| {
+            let vi = fabric
+                .connect(ctx, &cnic, server_host, 7, ViAttributes::default())
+                .unwrap();
+            let tag = vi.ptag();
+            let (sbuf, sh) = reg_buf(ctx, &cnic, 64, MemAttributes::local(tag));
+            st.lock().0 = ctx.now();
+            vi.post_send(ctx, SendDesc::send(vec![DataSegment::new(sbuf, 16, sh)]));
+            vi.send_wait(ctx);
+        });
+        tb.kernel.run();
+        let (sent, delivered) = *recv_time.lock();
+        let one_way = delivered.since(sent).as_micros_f64();
+        assert!(
+            (7.0..10.0).contains(&one_way),
+            "16B one-way latency {one_way}us outside the cLAN envelope"
+        );
+    }
+
+    #[test]
+    fn rdma_write_places_data_without_peer_cpu() {
+        let tb = testbed();
+        let server_host = tb.server_nic.host().id;
+        let fabric = tb.fabric.clone();
+        let snic = tb.server_nic.clone();
+        let shared: Arc<parking_lot::Mutex<Option<(VirtAddr, MemHandle)>>> =
+            Arc::new(parking_lot::Mutex::new(None));
+        let slot = shared.clone();
+        tb.kernel.spawn_daemon("server", move |ctx| {
+            let listener = fabric.listen(&snic, 7);
+            let vi = listener.accept(ctx, ViAttributes::default()).unwrap();
+            let tag = vi.ptag();
+            let (buf, h) = reg_buf(ctx, &snic, 4096, MemAttributes::rdma_write_target(tag));
+            *slot.lock() = Some((buf, h));
+            // Wait for the RDMA-with-immediate completion.
+            let (ibuf, ih) = reg_buf(ctx, &snic, 64, MemAttributes::local(tag));
+            vi.post_recv(ctx, RecvDesc::new(vec![DataSegment::new(ibuf, 64, ih)]));
+            let cpu_before = snic.host().cpu.busy();
+            let c = vi.recv_wait(ctx);
+            assert!(c.status.is_ok());
+            assert_eq!(c.imm, Some(99));
+            assert_eq!(c.len, 2048);
+            assert_eq!(snic.host().mem.read_vec(buf, 4), vec![0xAB; 4]);
+            // Only the poll itself cost CPU; placement was free.
+            let spent = snic.host().cpu.busy() - cpu_before;
+            assert!(spent <= snic.cost().poll + us(1));
+        });
+
+        let fabric = tb.fabric.clone();
+        let cnic = tb.client_nic.clone();
+        tb.kernel.spawn("client", move |ctx| {
+            let vi = fabric
+                .connect(ctx, &cnic, server_host, 7, ViAttributes::default())
+                .unwrap();
+            // Busy-wait (virtual) until the server published its buffer.
+            let (raddr, rh) = loop {
+                if let Some(x) = *shared.lock() {
+                    break x;
+                }
+                ctx.advance(us(10));
+            };
+            let tag = vi.ptag();
+            let (sbuf, sh) = reg_buf(ctx, &cnic, 2048, MemAttributes::local(tag));
+            cnic.host().mem.fill(sbuf, 2048, 0xAB);
+            vi.post_send(
+                ctx,
+                SendDesc::rdma_write_imm(
+                    vec![DataSegment::new(sbuf, 2048, sh)],
+                    RemoteSegment {
+                        addr: raddr,
+                        handle: rh,
+                    },
+                    99,
+                ),
+            );
+            assert!(vi.send_wait(ctx).status.is_ok());
+        });
+        tb.kernel.run();
+    }
+
+    #[test]
+    fn rdma_write_to_unwritable_region_is_protection_error() {
+        let tb = testbed();
+        let server_host = tb.server_nic.host().id;
+        let fabric = tb.fabric.clone();
+        let snic = tb.server_nic.clone();
+        let shared: Arc<parking_lot::Mutex<Option<(VirtAddr, MemHandle)>>> =
+            Arc::new(parking_lot::Mutex::new(None));
+        let slot = shared.clone();
+        tb.kernel.spawn_daemon("server", move |ctx| {
+            let listener = fabric.listen(&snic, 7);
+            let vi = listener.accept(ctx, ViAttributes::default()).unwrap();
+            let tag = vi.ptag();
+            // Local-only registration: remote writes must be denied.
+            let (buf, h) = reg_buf(ctx, &snic, 4096, MemAttributes::local(tag));
+            *slot.lock() = Some((buf, h));
+            // Park forever; nothing should arrive.
+            let _ = vi.recv_wait(ctx);
+        });
+        let fabric = tb.fabric.clone();
+        let cnic = tb.client_nic.clone();
+        tb.kernel.spawn("client", move |ctx| {
+            let vi = fabric
+                .connect(ctx, &cnic, server_host, 7, ViAttributes::default())
+                .unwrap();
+            let (raddr, rh) = loop {
+                if let Some(x) = *shared.lock() {
+                    break x;
+                }
+                ctx.advance(us(10));
+            };
+            let tag = vi.ptag();
+            let (sbuf, sh) = reg_buf(ctx, &cnic, 64, MemAttributes::local(tag));
+            vi.post_send(
+                ctx,
+                SendDesc::rdma_write(
+                    vec![DataSegment::new(sbuf, 64, sh)],
+                    RemoteSegment {
+                        addr: raddr,
+                        handle: rh,
+                    },
+                ),
+            );
+            let c = vi.send_wait(ctx);
+            assert_eq!(c.status, ViaStatus::RemoteProtectionError);
+            assert_eq!(vi.state(), ViState::Error);
+        });
+        tb.kernel.run();
+    }
+
+    #[test]
+    fn send_without_posted_recv_breaks_reliable_vi() {
+        let tb = testbed();
+        let server_host = tb.server_nic.host().id;
+        let fabric = tb.fabric.clone();
+        let snic = tb.server_nic.clone();
+        tb.kernel.spawn_daemon("server", move |ctx| {
+            let listener = fabric.listen(&snic, 7);
+            let vi = listener.accept(ctx, ViAttributes::default()).unwrap();
+            // No post_recv: reliable VI must break on arrival.
+            let c = vi.recv_wait(ctx);
+            assert_eq!(c.status, ViaStatus::ConnectionLost);
+            assert_eq!(vi.state(), ViState::Error);
+        });
+        let fabric = tb.fabric.clone();
+        let cnic = tb.client_nic.clone();
+        tb.kernel.spawn("client", move |ctx| {
+            let vi = fabric
+                .connect(ctx, &cnic, server_host, 7, ViAttributes::default())
+                .unwrap();
+            let tag = vi.ptag();
+            let (sbuf, sh) = reg_buf(ctx, &cnic, 64, MemAttributes::local(tag));
+            vi.post_send(ctx, SendDesc::send(vec![DataSegment::new(sbuf, 8, sh)]));
+            vi.send_wait(ctx);
+        });
+        tb.kernel.run();
+    }
+
+    #[test]
+    fn unreliable_vi_drops_without_descriptor() {
+        let attrs = ViAttributes {
+            reliability: Reliability::Unreliable,
+            ..Default::default()
+        };
+        let tb = testbed();
+        let server_host = tb.server_nic.host().id;
+        let fabric = tb.fabric.clone();
+        let snic = tb.server_nic.clone();
+        let sattrs = attrs.clone();
+        tb.kernel.spawn_daemon("server", move |ctx| {
+            let listener = fabric.listen(&snic, 7);
+            let vi = listener.accept(ctx, sattrs).unwrap();
+            let c = vi.recv_wait(ctx);
+            assert_eq!(c.status, ViaStatus::DescriptorError);
+            assert_eq!(vi.state(), ViState::Connected, "unreliable VI survives");
+        });
+        let fabric = tb.fabric.clone();
+        let cnic = tb.client_nic.clone();
+        tb.kernel.spawn("client", move |ctx| {
+            let vi = fabric
+                .connect(ctx, &cnic, server_host, 7, attrs)
+                .unwrap();
+            let tag = vi.ptag();
+            let (sbuf, sh) = reg_buf(ctx, &cnic, 64, MemAttributes::local(tag));
+            vi.post_send(ctx, SendDesc::send(vec![DataSegment::new(sbuf, 8, sh)]));
+            vi.send_wait(ctx);
+        });
+        tb.kernel.run();
+    }
+
+    #[test]
+    fn oversized_send_is_descriptor_error() {
+        let tb = testbed();
+        let server_host = tb.server_nic.host().id;
+        let fabric = tb.fabric.clone();
+        let snic = tb.server_nic.clone();
+        tb.kernel.spawn_daemon("server", move |ctx| {
+            let listener = fabric.listen(&snic, 7);
+            let _vi = listener.accept(ctx, ViAttributes::default());
+            ctx.advance(secs(1));
+        });
+        let fabric = tb.fabric.clone();
+        let cnic = tb.client_nic.clone();
+        tb.kernel.spawn("client", move |ctx| {
+            let vi = fabric
+                .connect(ctx, &cnic, server_host, 7, ViAttributes::default())
+                .unwrap();
+            let tag = vi.ptag();
+            let big = 128 << 10; // over the 64 KiB MTU
+            let (sbuf, sh) = reg_buf(ctx, &cnic, big, MemAttributes::local(tag));
+            vi.post_send(
+                ctx,
+                SendDesc::send(vec![DataSegment::new(sbuf, big as u32, sh)]),
+            );
+            assert_eq!(vi.send_wait(ctx).status, ViaStatus::DescriptorError);
+        });
+        tb.kernel.run();
+    }
+
+    #[test]
+    fn unregistered_send_buffer_is_local_protection_error() {
+        let tb = testbed();
+        let server_host = tb.server_nic.host().id;
+        let fabric = tb.fabric.clone();
+        let snic = tb.server_nic.clone();
+        tb.kernel.spawn_daemon("server", move |ctx| {
+            let listener = fabric.listen(&snic, 7);
+            let _vi = listener.accept(ctx, ViAttributes::default());
+            ctx.advance(secs(1));
+        });
+        let fabric = tb.fabric.clone();
+        let cnic = tb.client_nic.clone();
+        tb.kernel.spawn("client", move |ctx| {
+            let vi = fabric
+                .connect(ctx, &cnic, server_host, 7, ViAttributes::default())
+                .unwrap();
+            let tag = vi.ptag();
+            let (sbuf, sh) = reg_buf(ctx, &cnic, 64, MemAttributes::local(tag));
+            // Deregister, then try to send under the stale handle.
+            cnic.deregister_mem(ctx, sh).unwrap();
+            vi.post_send(ctx, SendDesc::send(vec![DataSegment::new(sbuf, 8, sh)]));
+            assert_eq!(vi.send_wait(ctx).status, ViaStatus::LocalProtectionError);
+        });
+        tb.kernel.run();
+    }
+
+    #[test]
+    fn rdma_read_unsupported_on_default_nic() {
+        let tb = testbed();
+        let server_host = tb.server_nic.host().id;
+        let fabric = tb.fabric.clone();
+        let snic = tb.server_nic.clone();
+        tb.kernel.spawn_daemon("server", move |ctx| {
+            let listener = fabric.listen(&snic, 7);
+            let _vi = listener.accept(ctx, ViAttributes::default());
+            ctx.advance(secs(1));
+        });
+        let fabric = tb.fabric.clone();
+        let cnic = tb.client_nic.clone();
+        tb.kernel.spawn("client", move |ctx| {
+            let vi = fabric
+                .connect(ctx, &cnic, server_host, 7, ViAttributes::default())
+                .unwrap();
+            let tag = vi.ptag();
+            let (b, h) = reg_buf(ctx, &cnic, 64, MemAttributes::local(tag));
+            vi.post_send(
+                ctx,
+                SendDesc::rdma_read(
+                    vec![DataSegment::new(b, 64, h)],
+                    RemoteSegment {
+                        addr: VirtAddr(0x1000),
+                        handle: MemHandle(1),
+                    },
+                ),
+            );
+            assert_eq!(vi.send_wait(ctx).status, ViaStatus::NotSupported);
+        });
+        tb.kernel.run();
+    }
+
+    #[test]
+    fn rdma_read_works_when_enabled() {
+        let cost = ViaCost {
+            rdma_read_supported: true,
+            ..ViaCost::default()
+        };
+        let tb = testbed_with(cost);
+        let server_host = tb.server_nic.host().id;
+        let fabric = tb.fabric.clone();
+        let snic = tb.server_nic.clone();
+        let shared: Arc<parking_lot::Mutex<Option<(VirtAddr, MemHandle)>>> =
+            Arc::new(parking_lot::Mutex::new(None));
+        let slot = shared.clone();
+        tb.kernel.spawn_daemon("server", move |ctx| {
+            let listener = fabric.listen(&snic, 7);
+            let vi = listener.accept(ctx, ViAttributes::default()).unwrap();
+            let tag = vi.ptag();
+            let (buf, h) = reg_buf(ctx, &snic, 256, MemAttributes::rdma_read_source(tag));
+            snic.host().mem.write(buf, b"read me remotely");
+            *slot.lock() = Some((buf, h));
+            ctx.advance(secs(1));
+        });
+        let fabric = tb.fabric.clone();
+        let cnic = tb.client_nic.clone();
+        tb.kernel.spawn("client", move |ctx| {
+            let vi = fabric
+                .connect(ctx, &cnic, server_host, 7, ViAttributes::default())
+                .unwrap();
+            let (raddr, rh) = loop {
+                if let Some(x) = *shared.lock() {
+                    break x;
+                }
+                ctx.advance(us(10));
+            };
+            let tag = vi.ptag();
+            let (dst, dh) = reg_buf(ctx, &cnic, 16, MemAttributes::local(tag));
+            vi.post_send(
+                ctx,
+                SendDesc::rdma_read(
+                    vec![DataSegment::new(dst, 16, dh)],
+                    RemoteSegment {
+                        addr: raddr,
+                        handle: rh,
+                    },
+                ),
+            );
+            let c = vi.send_wait(ctx);
+            assert!(c.status.is_ok());
+            assert_eq!(cnic.host().mem.read_vec(dst, 16), b"read me remotely");
+        });
+        tb.kernel.run();
+    }
+
+    #[test]
+    fn completion_queue_multiplexes_vis() {
+        let tb = testbed();
+        let server_host = tb.server_nic.host().id;
+        let fabric = tb.fabric.clone();
+        let snic = tb.server_nic.clone();
+        const CLIENTS: usize = 4;
+        tb.kernel.spawn_daemon("server", move |ctx| {
+            let cq = Cq::new("server-cq");
+            let listener = fabric.listen(&snic, 7);
+            let mut vis = std::collections::HashMap::new();
+            for _ in 0..CLIENTS {
+                let attrs = ViAttributes {
+                    recv_cq: Some(cq.clone()),
+                    ..Default::default()
+                };
+                let vi = listener.accept(ctx, attrs).unwrap();
+                let tag = vi.ptag();
+                let (buf, h) = reg_buf(ctx, &snic, 64, MemAttributes::local(tag));
+                vi.post_recv(ctx, RecvDesc::new(vec![DataSegment::new(buf, 64, h)]));
+                vis.insert(vi.id(), (vi, buf));
+            }
+            let mut seen = Vec::new();
+            for _ in 0..CLIENTS {
+                let tok = cq.wait(ctx).unwrap();
+                assert_eq!(tok.queue, WhichQueue::Recv);
+                let (vi, buf) = &vis[&tok.vi];
+                let c = vi.recv_done(ctx).expect("token implies a message");
+                assert!(c.status.is_ok());
+                seen.push(snic.host().mem.read_vec(*buf, 1)[0]);
+            }
+            seen.sort_unstable();
+            assert_eq!(seen, (0..CLIENTS as u8).collect::<Vec<_>>());
+        });
+        for i in 0..CLIENTS {
+            let fabric = tb.fabric.clone();
+            let cnic = tb.client_nic.clone();
+            tb.kernel.spawn(&format!("client{i}"), move |ctx| {
+                // Stagger so arrival order is deterministic but distinct.
+                ctx.advance(us(i as u64 * 50));
+                let vi = fabric
+                    .connect(ctx, &cnic, server_host, 7, ViAttributes::default())
+                    .unwrap();
+                let tag = vi.ptag();
+                let (sbuf, sh) = reg_buf(ctx, &cnic, 8, MemAttributes::local(tag));
+                cnic.host().mem.write(sbuf, &[i as u8]);
+                vi.post_send(ctx, SendDesc::send(vec![DataSegment::new(sbuf, 1, sh)]));
+                vi.send_wait(ctx);
+            });
+        }
+        tb.kernel.run();
+    }
+
+    #[test]
+    fn disconnect_is_observed_by_peer() {
+        let tb = testbed();
+        let server_host = tb.server_nic.host().id;
+        let fabric = tb.fabric.clone();
+        let snic = tb.server_nic.clone();
+        tb.kernel.spawn_daemon("server", move |ctx| {
+            let listener = fabric.listen(&snic, 7);
+            let vi = listener.accept(ctx, ViAttributes::default()).unwrap();
+            let c = vi.recv_wait(ctx);
+            assert_eq!(c.status, ViaStatus::ConnectionLost);
+            assert_eq!(vi.state(), ViState::Disconnected);
+        });
+        let fabric = tb.fabric.clone();
+        let cnic = tb.client_nic.clone();
+        tb.kernel.spawn("client", move |ctx| {
+            let vi = fabric
+                .connect(ctx, &cnic, server_host, 7, ViAttributes::default())
+                .unwrap();
+            vi.disconnect(ctx);
+        });
+        tb.kernel.run();
+    }
+
+    #[test]
+    fn connect_to_missing_listener_fails() {
+        let tb = testbed();
+        let server_host = tb.server_nic.host().id;
+        let fabric = tb.fabric.clone();
+        let cnic = tb.client_nic.clone();
+        tb.kernel.spawn("client", move |ctx| {
+            let r = fabric.connect(ctx, &cnic, server_host, 99, ViAttributes::default());
+            assert_eq!(r.err(), Some(ConnectError::NoListener));
+        });
+        tb.kernel.run();
+    }
+
+    #[test]
+    fn multi_segment_gather_scatter() {
+        // Sender gathers from three disjoint registered segments; receiver
+        // scatters into two — byte order must be preserved across both
+        // descriptor shapes.
+        let tb = testbed();
+        let server_host = tb.server_nic.host().id;
+        let fabric = tb.fabric.clone();
+        let snic = tb.server_nic.clone();
+        tb.kernel.spawn_daemon("server", move |ctx| {
+            let listener = fabric.listen(&snic, 7);
+            let vi = listener.accept(ctx, ViAttributes::default()).unwrap();
+            let tag = vi.ptag();
+            let (b1, h1) = reg_buf(ctx, &snic, 64, MemAttributes::local(tag));
+            let (b2, h2) = reg_buf(ctx, &snic, 64, MemAttributes::local(tag));
+            vi.post_recv(
+                ctx,
+                RecvDesc::new(vec![
+                    DataSegment::new(b1, 4, h1),
+                    DataSegment::new(b2, 64, h2),
+                ]),
+            );
+            let c = vi.recv_wait(ctx);
+            assert!(c.status.is_ok());
+            assert_eq!(c.len, 9);
+            // First 4 bytes scatter into b1, the remaining 5 into b2.
+            assert_eq!(snic.host().mem.read_vec(b1, 4), b"AABB");
+            assert_eq!(snic.host().mem.read_vec(b2, 5), b"BCCCC");
+        });
+        let fabric = tb.fabric.clone();
+        let cnic = tb.client_nic.clone();
+        tb.kernel.spawn("client", move |ctx| {
+            let vi = fabric
+                .connect(ctx, &cnic, server_host, 7, ViAttributes::default())
+                .unwrap();
+            let tag = vi.ptag();
+            let (s1, h1) = reg_buf(ctx, &cnic, 16, MemAttributes::local(tag));
+            let (s2, h2) = reg_buf(ctx, &cnic, 16, MemAttributes::local(tag));
+            let (s3, h3) = reg_buf(ctx, &cnic, 16, MemAttributes::local(tag));
+            cnic.host().mem.write(s1, b"AA");
+            cnic.host().mem.write(s2, b"BBB");
+            cnic.host().mem.write(s3, b"CCCC");
+            vi.post_send(
+                ctx,
+                SendDesc::send(vec![
+                    DataSegment::new(s1, 2, h1),
+                    DataSegment::new(s2, 3, h2),
+                    DataSegment::new(s3, 4, h3),
+                ]),
+            );
+            assert!(vi.send_wait(ctx).status.is_ok());
+        });
+        tb.kernel.run();
+    }
+
+    #[test]
+    fn scatter_overflow_is_length_error() {
+        // A message larger than the posted descriptor's total capacity must
+        // complete with LengthError, not corrupt memory.
+        let tb = testbed();
+        let server_host = tb.server_nic.host().id;
+        let fabric = tb.fabric.clone();
+        let snic = tb.server_nic.clone();
+        tb.kernel.spawn_daemon("server", move |ctx| {
+            let listener = fabric.listen(&snic, 7);
+            let vi = listener.accept(ctx, ViAttributes::default()).unwrap();
+            let tag = vi.ptag();
+            let (buf, h) = reg_buf(ctx, &snic, 64, MemAttributes::local(tag));
+            snic.host().mem.fill(buf, 8, 0xEE);
+            vi.post_recv(ctx, RecvDesc::new(vec![DataSegment::new(buf, 8, h)]));
+            let c = vi.recv_wait(ctx);
+            assert_eq!(c.status, ViaStatus::LengthError);
+            // The undersized buffer was not touched.
+            assert_eq!(snic.host().mem.read_vec(buf, 8), vec![0xEE; 8]);
+        });
+        let fabric = tb.fabric.clone();
+        let cnic = tb.client_nic.clone();
+        tb.kernel.spawn("client", move |ctx| {
+            let vi = fabric
+                .connect(ctx, &cnic, server_host, 7, ViAttributes::default())
+                .unwrap();
+            let tag = vi.ptag();
+            let (sbuf, sh) = reg_buf(ctx, &cnic, 64, MemAttributes::local(tag));
+            vi.post_send(ctx, SendDesc::send(vec![DataSegment::new(sbuf, 16, sh)]));
+            vi.send_wait(ctx);
+        });
+        tb.kernel.run();
+    }
+
+    #[test]
+    fn large_transfer_bandwidth_approaches_wire_rate() {
+        let tb = testbed();
+        let server_host = tb.server_nic.host().id;
+        let fabric = tb.fabric.clone();
+        let snic = tb.server_nic.clone();
+        const MSG: usize = 64 << 10;
+        const COUNT: usize = 64;
+        let span = Arc::new(parking_lot::Mutex::new((SimTime::ZERO, SimTime::ZERO)));
+        let sp = span.clone();
+        tb.kernel.spawn_daemon("server", move |ctx| {
+            let listener = fabric.listen(&snic, 7);
+            let vi = listener.accept(ctx, ViAttributes::default()).unwrap();
+            let tag = vi.ptag();
+            let (buf, h) = reg_buf(ctx, &snic, MSG, MemAttributes::local(tag));
+            for _ in 0..COUNT {
+                vi.post_recv(
+                    ctx,
+                    RecvDesc::new(vec![DataSegment::new(buf, MSG as u32, h)]),
+                );
+            }
+            let mut first = SimTime::ZERO;
+            let mut last = SimTime::ZERO;
+            for i in 0..COUNT {
+                let c = vi.recv_wait(ctx);
+                assert!(c.status.is_ok());
+                if i == 0 {
+                    first = c.at;
+                }
+                last = c.at;
+            }
+            *sp.lock() = (first, last);
+        });
+        let fabric = tb.fabric.clone();
+        let cnic = tb.client_nic.clone();
+        tb.kernel.spawn("client", move |ctx| {
+            let vi = fabric
+                .connect(ctx, &cnic, server_host, 7, ViAttributes::default())
+                .unwrap();
+            let tag = vi.ptag();
+            let (sbuf, sh) = reg_buf(ctx, &cnic, MSG, MemAttributes::local(tag));
+            // Pipeline all sends; the NIC wire serializes them.
+            for _ in 0..COUNT {
+                vi.post_send(
+                    ctx,
+                    SendDesc::send(vec![DataSegment::new(sbuf, MSG as u32, sh)]),
+                );
+            }
+            for _ in 0..COUNT {
+                vi.send_wait(ctx);
+            }
+        });
+        tb.kernel.run();
+        let (first, last) = *span.lock();
+        // (COUNT-1) messages delivered between first and last arrival.
+        let bytes = (MSG * (COUNT - 1)) as f64;
+        let rate = bytes / last.since(first).as_secs_f64() / 1e6;
+        assert!(
+            (100.0..=110.5).contains(&rate),
+            "pipelined bandwidth {rate} MB/s should approach the 110 MB/s wire"
+        );
+    }
+}

@@ -1,0 +1,617 @@
+//! The Virtual Interface itself: paired send/receive work queues, the data
+//! path, and RDMA.
+//!
+//! Posting is asynchronous, as on hardware: `post_send` returns after the
+//! doorbell write; the data path (NIC processing, wire serialization,
+//! cut-through through the peer's receive port) is modeled with serial
+//! resources, and the completion is deposited on the send queue (and CQ) at
+//! its future completion instant. Receive-side data placement is performed
+//! by the simulated NIC with no host CPU charge — the essence of why DAFS
+//! direct I/O leaves the client CPU idle.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use simnet::{ActorCtx, Port, SimTime};
+
+use crate::cq::{Cq, CqToken};
+use crate::desc::{Completion, RecvDesc, SendDesc, SendOp, ViaStatus, WhichQueue};
+use crate::mem::{AccessKind, ProtectionTag};
+use crate::nic::ViaNic;
+
+/// Globally unique VI endpoint id (per fabric).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ViId(pub u64);
+
+static NEXT_VI_ID: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) fn alloc_vi_id() -> ViId {
+    ViId(NEXT_VI_ID.fetch_add(1, Ordering::Relaxed))
+}
+
+/// Reliability level of a VI (the VIA spec's three levels collapse to two
+/// observable behaviours in this model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Reliability {
+    /// Messages with no posted receive descriptor are silently dropped.
+    Unreliable,
+    /// A message with no posted receive descriptor is a connection error
+    /// (VIA reliable-delivery semantics). DAFS runs on this level.
+    #[default]
+    Reliable,
+}
+
+/// Creation-time attributes of a VI.
+#[derive(Clone, Default)]
+pub struct ViAttributes {
+    /// Reliability level.
+    pub reliability: Reliability,
+    /// Maximum bytes in a two-sided send (the cLAN's 64 KiB MTU). RDMA
+    /// transfers are not subject to this limit. `None` = 64 KiB default.
+    pub max_transfer: Option<u64>,
+    /// CQ to notify on send completions.
+    pub send_cq: Option<Cq>,
+    /// CQ to notify on receive completions.
+    pub recv_cq: Option<Cq>,
+}
+
+impl ViAttributes {
+    /// Effective two-sided-send MTU.
+    pub fn max_transfer(&self) -> u64 {
+        self.max_transfer.unwrap_or(64 << 10)
+    }
+}
+
+/// Connection state of an endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViState {
+    /// Connected and healthy.
+    Connected,
+    /// Peer disconnected cleanly.
+    Disconnected,
+    /// A reliability violation or protection error broke the connection.
+    Error,
+}
+
+pub(crate) struct Arrived {
+    pub at: SimTime,
+    pub msg: WireMsg,
+}
+
+pub(crate) enum WireMsg {
+    /// Two-sided message payload.
+    Data { bytes: Vec<u8>, imm: Option<u32> },
+    /// RDMA Write with immediate data: payload already placed; this consumes
+    /// a receive descriptor to signal the peer.
+    RdmaWriteImm { imm: u32, len: u64 },
+    /// Clean disconnect notification.
+    Disconnect,
+}
+
+struct PostedRecv {
+    desc: RecvDesc,
+    posted_at: SimTime,
+}
+
+/// One endpoint's queues and state; shared with the peer for delivery.
+pub(crate) struct ViEnd {
+    pub id: ViId,
+    pub incoming: Port<Arrived>,
+    pub send_completions: Port<Completion>,
+    posted_recvs: Mutex<VecDeque<PostedRecv>>,
+    state: Mutex<ViState>,
+    pub attrs: ViAttributes,
+    pub ptag: ProtectionTag,
+}
+
+impl ViEnd {
+    pub(crate) fn new(attrs: ViAttributes, ptag: ProtectionTag) -> Arc<ViEnd> {
+        let id = alloc_vi_id();
+        Arc::new(ViEnd {
+            id,
+            incoming: Port::new(&format!("vi{}.rq", id.0)),
+            send_completions: Port::new(&format!("vi{}.sq", id.0)),
+            posted_recvs: Mutex::new(VecDeque::new()),
+            state: Mutex::new(ViState::Connected),
+            attrs,
+            ptag,
+        })
+    }
+}
+
+/// A connected Virtual Interface endpoint.
+///
+/// Owned by exactly one actor; the handle is not `Clone` because VIA work
+/// queues are single-owner objects.
+pub struct Vi {
+    pub(crate) local: Arc<ViEnd>,
+    pub(crate) peer: Arc<ViEnd>,
+    pub(crate) nic: ViaNic,
+    pub(crate) peer_nic: ViaNic,
+}
+
+impl Vi {
+    /// This endpoint's id (appears in CQ tokens).
+    pub fn id(&self) -> ViId {
+        self.local.id
+    }
+
+    /// Current connection state.
+    pub fn state(&self) -> ViState {
+        *self.local.state.lock()
+    }
+
+    /// The local NIC.
+    pub fn nic(&self) -> &ViaNic {
+        &self.nic
+    }
+
+    /// The protection tag this endpoint was created with.
+    pub fn ptag(&self) -> ProtectionTag {
+        self.local.ptag
+    }
+
+    fn complete_send(&self, ctx: &ActorCtx, c: Completion) {
+        let at = c.at;
+        self.local.send_completions.send(ctx, c, at);
+        if let Some(cq) = &self.local.attrs.send_cq {
+            cq.notify(
+                ctx,
+                CqToken {
+                    vi: self.local.id,
+                    queue: WhichQueue::Send,
+                },
+                at,
+            );
+        }
+    }
+
+    fn notify_peer_recv_cq(&self, ctx: &ActorCtx, at: SimTime) {
+        if let Some(cq) = &self.peer.attrs.recv_cq {
+            cq.notify(
+                ctx,
+                CqToken {
+                    vi: self.peer.id,
+                    queue: WhichQueue::Recv,
+                },
+                at,
+            );
+        }
+    }
+
+    /// Post a receive descriptor (`VipPostRecv`). Returns immediately.
+    pub fn post_recv(&self, ctx: &ActorCtx, desc: RecvDesc) {
+        let cost = self.nic.cost().post_recv
+            + self.nic.cost().per_segment.saturating_mul(desc.segs.len() as u64);
+        self.nic.host().compute(ctx, cost);
+        self.local.posted_recvs.lock().push_back(PostedRecv {
+            desc,
+            posted_at: ctx.now(),
+        });
+    }
+
+    /// Number of receive descriptors currently posted.
+    pub fn posted_recvs(&self) -> usize {
+        self.local.posted_recvs.lock().len()
+    }
+
+    /// Post a send descriptor (`VipPostSend`): two-sided send, RDMA Write,
+    /// or RDMA Read, per `desc.op`. Returns after the doorbell; the
+    /// completion arrives asynchronously on the send queue / CQ.
+    pub fn post_send(&self, ctx: &ActorCtx, desc: SendDesc) {
+        let cost = self.nic.cost().post_send
+            + self.nic.cost().per_segment.saturating_mul(desc.segs.len() as u64);
+        self.nic.host().compute(ctx, cost);
+
+        if self.state() != ViState::Connected {
+            return self.complete_send(
+                ctx,
+                Completion {
+                    status: ViaStatus::ConnectionLost,
+                    len: 0,
+                    imm: None,
+                    queue: WhichQueue::Send,
+                    at: ctx.now(),
+                },
+            );
+        }
+
+        // Validate local segments against the TPT.
+        for s in &desc.segs {
+            if let Err(e) = self.nic.table().check(
+                s.handle,
+                self.local.ptag,
+                s.addr,
+                s.len as u64,
+                AccessKind::Local,
+            ) {
+                return self.complete_send(
+                    ctx,
+                    Completion {
+                        status: e.into(),
+                        len: 0,
+                        imm: None,
+                        queue: WhichQueue::Send,
+                        at: ctx.now(),
+                    },
+                );
+            }
+        }
+
+        match desc.op {
+            SendOp::Send => self.do_send(ctx, desc),
+            SendOp::RdmaWrite => self.do_rdma_write(ctx, desc),
+            SendOp::RdmaRead => self.do_rdma_read(ctx, desc),
+        }
+    }
+
+    /// Compute (tx_done, delivery) for a message of `bytes` injected now:
+    /// tx NIC processing, transmit-wire serialization, cut-through into the
+    /// peer's receive wire, propagation, receive NIC processing.
+    fn wire_times(&self, ctx: &ActorCtx, bytes: u64) -> (SimTime, SimTime) {
+        let c = self.nic.cost();
+        let ser = c.wire_bw.time_for(bytes);
+        let (tx_start, tx_done) = self
+            .nic
+            .inner
+            .tx_wire
+            .book_span(ctx.now() + c.tx_nic_proc, ser);
+        // Cut-through: the peer's receive port starts taking bits one
+        // propagation delay after the first bit leaves.
+        let rx_done = self
+            .peer_nic
+            .inner
+            .rx_wire
+            .book(tx_start + c.wire_latency, ser);
+        (tx_done, rx_done + c.rx_nic_proc)
+    }
+
+    fn gather(&self, desc: &SendDesc) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(desc.total_len() as usize);
+        for s in &desc.segs {
+            let mut part = vec![0u8; s.len as usize];
+            self.nic.host().mem.read(s.addr, &mut part);
+            bytes.extend_from_slice(&part);
+        }
+        bytes
+    }
+
+    fn do_send(&self, ctx: &ActorCtx, desc: SendDesc) {
+        let len = desc.total_len();
+        if len > self.local.attrs.max_transfer() {
+            return self.complete_send(
+                ctx,
+                Completion {
+                    status: ViaStatus::DescriptorError,
+                    len: 0,
+                    imm: None,
+                    queue: WhichQueue::Send,
+                    at: ctx.now(),
+                },
+            );
+        }
+        let bytes = self.gather(&desc);
+        let (tx_done, delivery) = self.wire_times(ctx, len);
+        self.peer.incoming.send(
+            ctx,
+            Arrived {
+                at: delivery,
+                msg: WireMsg::Data {
+                    bytes,
+                    imm: desc.imm,
+                },
+            },
+            delivery,
+        );
+        self.notify_peer_recv_cq(ctx, delivery);
+        self.complete_send(
+            ctx,
+            Completion {
+                status: ViaStatus::Success,
+                len,
+                imm: None,
+                queue: WhichQueue::Send,
+                at: tx_done,
+            },
+        );
+    }
+
+    fn do_rdma_write(&self, ctx: &ActorCtx, desc: SendDesc) {
+        let remote = match desc.remote {
+            Some(r) => r,
+            None => {
+                return self.complete_send(
+                    ctx,
+                    Completion {
+                        status: ViaStatus::DescriptorError,
+                        len: 0,
+                        imm: None,
+                        queue: WhichQueue::Send,
+                        at: ctx.now(),
+                    },
+                )
+            }
+        };
+        let len = desc.total_len();
+        // The remote NIC validates the target against its own TPT under the
+        // *peer* endpoint's protection tag.
+        if let Err(_e) = self.peer_nic.table().check(
+            remote.handle,
+            self.peer.ptag,
+            remote.addr,
+            len,
+            AccessKind::RemoteWrite,
+        ) {
+            *self.local.state.lock() = ViState::Error;
+            return self.complete_send(
+                ctx,
+                Completion {
+                    status: ViaStatus::RemoteProtectionError,
+                    len: 0,
+                    imm: None,
+                    queue: WhichQueue::Send,
+                    at: ctx.now(),
+                },
+            );
+        }
+        // Move the bytes (the peer host CPU is *not* involved).
+        let bytes = self.gather(&desc);
+        self.peer_nic.host().mem.write(remote.addr, &bytes);
+        let (tx_done, delivery) = self.wire_times(ctx, len);
+        if let Some(imm) = desc.imm {
+            self.peer.incoming.send(
+                ctx,
+                Arrived {
+                    at: delivery,
+                    msg: WireMsg::RdmaWriteImm { imm, len },
+                },
+                delivery,
+            );
+            self.notify_peer_recv_cq(ctx, delivery);
+        }
+        self.complete_send(
+            ctx,
+            Completion {
+                status: ViaStatus::Success,
+                len,
+                imm: None,
+                queue: WhichQueue::Send,
+                at: tx_done,
+            },
+        );
+    }
+
+    fn do_rdma_read(&self, ctx: &ActorCtx, desc: SendDesc) {
+        if !self.nic.cost().rdma_read_supported {
+            return self.complete_send(
+                ctx,
+                Completion {
+                    status: ViaStatus::NotSupported,
+                    len: 0,
+                    imm: None,
+                    queue: WhichQueue::Send,
+                    at: ctx.now(),
+                },
+            );
+        }
+        let remote = match desc.remote {
+            Some(r) => r,
+            None => {
+                return self.complete_send(
+                    ctx,
+                    Completion {
+                        status: ViaStatus::DescriptorError,
+                        len: 0,
+                        imm: None,
+                        queue: WhichQueue::Send,
+                        at: ctx.now(),
+                    },
+                )
+            }
+        };
+        let len = desc.total_len();
+        if let Err(_e) = self.peer_nic.table().check(
+            remote.handle,
+            self.peer.ptag,
+            remote.addr,
+            len,
+            AccessKind::RemoteRead,
+        ) {
+            *self.local.state.lock() = ViState::Error;
+            return self.complete_send(
+                ctx,
+                Completion {
+                    status: ViaStatus::RemoteProtectionError,
+                    len: 0,
+                    imm: None,
+                    queue: WhichQueue::Send,
+                    at: ctx.now(),
+                },
+            );
+        }
+        let c = self.nic.cost();
+        // Request (small control message) to the peer NIC...
+        let req_at = ctx.now() + c.tx_nic_proc + c.wire_latency;
+        // ...peer NIC streams the payload back, occupying its transmit wire
+        // and our receive wire.
+        let ser = c.wire_bw.time_for(len);
+        let (peer_tx_start, _peer_tx_done) =
+            self.peer_nic.inner.tx_wire.book_span(req_at, ser);
+        let rx_done = self
+            .nic
+            .inner
+            .rx_wire
+            .book(peer_tx_start + c.wire_latency, ser);
+        let delivery = rx_done + c.rx_nic_proc;
+        // Scatter remote bytes into the local segments.
+        let bytes = self.peer_nic.host().mem.read_vec(remote.addr, len as usize);
+        let mut off = 0usize;
+        for s in &desc.segs {
+            self.nic
+                .host()
+                .mem
+                .write(s.addr, &bytes[off..off + s.len as usize]);
+            off += s.len as usize;
+        }
+        self.complete_send(
+            ctx,
+            Completion {
+                status: ViaStatus::Success,
+                len,
+                imm: None,
+                queue: WhichQueue::Send,
+                at: delivery,
+            },
+        );
+    }
+
+    /// Non-blocking send-completion poll (`VipSendDone`).
+    pub fn send_done(&self, ctx: &ActorCtx) -> Option<Completion> {
+        self.nic.host().compute(ctx, self.nic.cost().poll);
+        self.local.send_completions.try_recv(ctx)
+    }
+
+    /// Blocking send-completion wait (`VipSendWait`).
+    pub fn send_wait(&self, ctx: &ActorCtx) -> Completion {
+        self.nic.host().compute(ctx, self.nic.cost().poll);
+        self.local
+            .send_completions
+            .recv(ctx)
+            .expect("send completion port never closes")
+    }
+
+    /// Non-blocking receive poll (`VipRecvDone`): processes the next arrived
+    /// message, if any.
+    pub fn recv_done(&self, ctx: &ActorCtx) -> Option<Completion> {
+        self.nic.host().compute(ctx, self.nic.cost().poll);
+        let arrived = self.local.incoming.try_recv(ctx)?;
+        Some(self.deliver(ctx, arrived))
+    }
+
+    /// Blocking receive wait (`VipRecvWait`).
+    pub fn recv_wait(&self, ctx: &ActorCtx) -> Completion {
+        self.nic.host().compute(ctx, self.nic.cost().poll);
+        match self.local.incoming.recv(ctx) {
+            Some(arrived) => self.deliver(ctx, arrived),
+            None => Completion {
+                status: ViaStatus::ConnectionLost,
+                len: 0,
+                imm: None,
+                queue: WhichQueue::Recv,
+                at: ctx.now(),
+            },
+        }
+    }
+
+    /// Consume one arrived wire message against the posted receive queue.
+    fn deliver(&self, ctx: &ActorCtx, arrived: Arrived) -> Completion {
+        let at = arrived.at;
+        match arrived.msg {
+            WireMsg::Disconnect => {
+                *self.local.state.lock() = ViState::Disconnected;
+                Completion {
+                    status: ViaStatus::ConnectionLost,
+                    len: 0,
+                    imm: None,
+                    queue: WhichQueue::Recv,
+                    at,
+                }
+            }
+            WireMsg::RdmaWriteImm { imm, len } => {
+                match self.take_posted(at) {
+                    Some(_) => Completion {
+                        status: ViaStatus::Success,
+                        len,
+                        imm: Some(imm),
+                        queue: WhichQueue::Recv,
+                        at,
+                    },
+                    None => self.missing_descriptor(ctx, at),
+                }
+            }
+            WireMsg::Data { bytes, imm } => match self.take_posted(at) {
+                None => self.missing_descriptor(ctx, at),
+                Some(desc) => {
+                    if (bytes.len() as u64) > desc.capacity() {
+                        return Completion {
+                            status: ViaStatus::LengthError,
+                            len: 0,
+                            imm,
+                            queue: WhichQueue::Recv,
+                            at,
+                        };
+                    }
+                    // Scatter: NIC data placement, no host CPU charge.
+                    let mut off = 0usize;
+                    for s in &desc.segs {
+                        if off >= bytes.len() {
+                            break;
+                        }
+                        let n = (s.len as usize).min(bytes.len() - off);
+                        self.nic.host().mem.write(s.addr, &bytes[off..off + n]);
+                        off += n;
+                    }
+                    Completion {
+                        status: ViaStatus::Success,
+                        len: bytes.len() as u64,
+                        imm,
+                        queue: WhichQueue::Recv,
+                        at,
+                    }
+                }
+            },
+        }
+    }
+
+    /// Pop the head receive descriptor if it was posted before `arrival`.
+    fn take_posted(&self, arrival: SimTime) -> Option<RecvDesc> {
+        let mut q = self.local.posted_recvs.lock();
+        match q.front() {
+            Some(p) if p.posted_at <= arrival => Some(q.pop_front().unwrap().desc),
+            _ => None,
+        }
+    }
+
+    fn missing_descriptor(&self, _ctx: &ActorCtx, at: SimTime) -> Completion {
+        match self.local.attrs.reliability {
+            Reliability::Unreliable => Completion {
+                // Dropped silently on the wire; surfaced to the caller as a
+                // descriptor error so tests can observe the drop.
+                status: ViaStatus::DescriptorError,
+                len: 0,
+                imm: None,
+                queue: WhichQueue::Recv,
+                at,
+            },
+            Reliability::Reliable => {
+                *self.local.state.lock() = ViState::Error;
+                Completion {
+                    status: ViaStatus::ConnectionLost,
+                    len: 0,
+                    imm: None,
+                    queue: WhichQueue::Recv,
+                    at,
+                }
+            }
+        }
+    }
+
+    /// Cleanly disconnect (`VipDisconnect`). The peer observes a
+    /// `ConnectionLost` receive completion.
+    pub fn disconnect(&self, ctx: &ActorCtx) {
+        let c = self.nic.cost();
+        *self.local.state.lock() = ViState::Disconnected;
+        let at = ctx.now() + c.tx_nic_proc + c.wire_latency + c.rx_nic_proc;
+        self.peer.incoming.send(
+            ctx,
+            Arrived {
+                at,
+                msg: WireMsg::Disconnect,
+            },
+            at,
+        );
+        self.notify_peer_recv_cq(ctx, at);
+    }
+}

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Insert one-line doc comments for undocumented public items flagged by
+`cargo build` with #![warn(missing_docs)].
+
+Only used for trivial accessors; substantive items are documented by hand.
+Docs are derived from the item name via a small phrase table; anything not
+recognized gets a name-derived sentence that the author then reviews.
+"""
+import json
+import re
+import subprocess
+import sys
+from collections import defaultdict
+
+PHRASES = {
+    "new": "Create a new instance with default state.",
+    "ZERO": "The zero value.",
+    "NULL": "The null address (never mapped).",
+    "get": "Current value.",
+    "inc": "Increment by one.",
+    "add": "Add `n` to the value.",
+    "reset": "Reset to zero, returning the previous value.",
+    "as_nanos": "Value in nanoseconds.",
+    "as_micros_f64": "Value in microseconds, as a float (reporting only).",
+    "as_secs_f64": "Value in seconds, as a float (reporting only).",
+    "is_zero": "True if this is the zero value.",
+    "max": "The larger of the two values.",
+    "min": "The smaller of the two values.",
+    "as_u64": "Raw integer value.",
+    "as_bytes_per_sec": "Rate in bytes per second.",
+    "len": "Number of contained elements.",
+    "is_empty": "True if there are no elements.",
+    "name": "Human-readable name (diagnostics).",
+    "count": "Number of recorded samples.",
+    "mean": "Arithmetic mean of recorded samples (0 if none).",
+    "record": "Record one sample.",
+    "record_duration": "Record a duration sample in nanoseconds.",
+    "busy": "Accumulated busy time.",
+    "offset": "Address `delta` bytes past this one.",
+    "id": "Stable identifier.",
+    "ops": "Operation count.",
+    "bytes": "Byte count.",
+    "mem": "This host's memory arena.",
+    "cpu": "This host's CPU busy-time meter.",
+    "latency": "Propagation latency.",
+    "bandwidth": "Configured wire rate.",
+}
+
+
+def main(packages):
+    cmd = ["cargo", "build", "--message-format=json"] + sum(
+        [["-p", p] for p in packages], []
+    )
+    out = subprocess.run(cmd, capture_output=True, text=True).stdout
+    # file -> list of (line_number, item_name)
+    targets = defaultdict(list)
+    for line in out.splitlines():
+        try:
+            msg = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if msg.get("reason") != "compiler-message":
+            continue
+        d = msg["message"]
+        if "missing documentation" not in d.get("message", ""):
+            continue
+        span = d["spans"][0]
+        text = span["text"][0]["text"] if span["text"] else ""
+        m = re.search(r"(?:fn|const|struct|enum|static)\s+(\w+)", text)
+        name = m.group(1) if m else None
+        if name is None:
+            m = re.search(r"pub\s+(\w+)\s*:", text)  # struct field
+            name = m.group(1) if m else "item"
+        targets[span["file_name"]].append((span["line_start"], name, text.strip()))
+
+    for fname, items in targets.items():
+        with open(fname) as f:
+            lines = f.readlines()
+        # Insert from the bottom up so line numbers stay valid.
+        for lineno, name, text in sorted(items, reverse=True):
+            phrase = PHRASES.get(name)
+            if phrase is None:
+                words = name.replace("_", " ")
+                phrase = f"{words[0].upper()}{words[1:]}."
+            indent = re.match(r"\s*", lines[lineno - 1]).group(0)
+            lines.insert(lineno - 1, f"{indent}/// {phrase}\n")
+            print(f"{fname}:{lineno}: {name} -> {phrase}")
+        with open(fname, "w") as f:
+            f.writelines(lines)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:] or ["simnet"])

@@ -1,0 +1,29 @@
+//! # mpio-dafs — MPI/IO on DAFS over VIA, reproduced in Rust
+//!
+//! Umbrella crate: re-exports the whole stack so examples and integration
+//! tests can use one dependency. See `DESIGN.md` for the system inventory
+//! and `EXPERIMENTS.md` for the reconstructed evaluation.
+//!
+//! The stack, bottom to top:
+//!
+//! * [`simnet`] — deterministic discrete-event substrate (virtual time,
+//!   actors, links, host CPU/memory models).
+//! * [`via`] — Virtual Interface Architecture provider (VIPL-style API:
+//!   VIs, registered memory, descriptors, completion queues, RDMA).
+//! * [`memfs`] — in-memory filesystem backend shared by both servers.
+//! * [`tcpnet`] — the kernel network path (sockets, TCP segmentation,
+//!   copy/interrupt cost model) for the baseline.
+//! * [`nfsv3`] — NFSv3-subset RPC client/server: the baseline file access
+//!   path the paper compares against.
+//! * [`dafs`] — the Direct Access File System protocol: sessions, inline
+//!   and direct (RDMA) I/O, client registration cache, server event loop.
+//! * [`mpiio`] — the paper's contribution: an MPI-IO implementation whose
+//!   ADIO bottom end speaks DAFS-over-VIA (plus NFS and local drivers).
+
+pub use dafs;
+pub use memfs;
+pub use mpiio;
+pub use nfsv3;
+pub use simnet;
+pub use tcpnet;
+pub use via;

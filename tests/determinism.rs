@@ -1,0 +1,71 @@
+//! Determinism: the discrete-event substrate must produce bit-identical
+//! virtual timelines for identical programs — the property every number in
+//! EXPERIMENTS.md rests on.
+
+use mpio_dafs::mpiio::{write_at_all, Backend, Datatype, Hints, MpiFile, OpenMode, Testbed};
+
+fn run_once(backend: Backend, ranks: usize) -> (u64, u64, Vec<u8>) {
+    let tb = Testbed::new(backend);
+    let fs = tb.fs.clone();
+    let report = tb.run(ranks, move |ctx, comm, adio| {
+        let host = comm.host().clone();
+        let f = MpiFile::open(ctx, adio, &host, "/det", OpenMode::create(), Hints::default())
+            .unwrap();
+        let block = 16 << 10;
+        let el = Datatype::bytes(block);
+        let ft = Datatype::resized(
+            &Datatype::hindexed(&[(1, (comm.rank() as u64 * block) as i64)], &el),
+            0,
+            ranks as u64 * block,
+        );
+        f.set_view(0, &el, &ft);
+        let src = host.mem.alloc(3 * block as usize);
+        host.mem.fill(src, 3 * block as usize, comm.rank() as u8 + 1);
+        write_at_all(ctx, comm, &f, 0, src, 3 * block).unwrap();
+        // Some independent traffic too.
+        let dst = host.mem.alloc(block as usize);
+        f.read_at(ctx, comm.rank() as u64, dst, block).unwrap();
+    });
+    let attr = fs.resolve("/det").unwrap();
+    let bytes = fs.read(attr.id, 0, attr.size).unwrap();
+    (
+        report.end_time.as_nanos(),
+        report.server_cpu.as_nanos(),
+        bytes,
+    )
+}
+
+#[test]
+fn dafs_runs_are_bit_identical() {
+    let a = run_once(Backend::dafs(), 4);
+    let b = run_once(Backend::dafs(), 4);
+    assert_eq!(a.0, b.0, "virtual end times differ");
+    assert_eq!(a.1, b.1, "server CPU accounting differs");
+    assert_eq!(a.2, b.2, "file contents differ");
+}
+
+#[test]
+fn nfs_runs_are_bit_identical() {
+    let a = run_once(Backend::nfs(), 4);
+    let b = run_once(Backend::nfs(), 4);
+    assert_eq!((a.0, a.1), (b.0, b.1));
+    assert_eq!(a.2, b.2);
+}
+
+#[test]
+fn rank_count_changes_timeline_not_contents_shape() {
+    let two = run_once(Backend::dafs(), 2);
+    let four = run_once(Backend::dafs(), 4);
+    assert_ne!(two.0, four.0, "different jobs, different timelines");
+    // Two-rank file covers 2 blocks per round, four-rank 4.
+    assert_eq!(two.2.len(), 3 * 2 * (16 << 10));
+    assert_eq!(four.2.len(), 3 * 4 * (16 << 10));
+}
+
+#[test]
+fn backend_swap_changes_time_not_bytes() {
+    let dafs = run_once(Backend::dafs(), 3);
+    let nfs = run_once(Backend::nfs(), 3);
+    assert_ne!(dafs.0, nfs.0);
+    assert_eq!(dafs.2, nfs.2, "same program, same bytes, any backend");
+}

@@ -1,0 +1,264 @@
+//! Integration tests spanning all crates: whole-stack scenarios through
+//! the umbrella crate, with byte-level verification on the server
+//! filesystem and cross-backend behavioural assertions.
+
+use mpio_dafs::dafs::DafsClientConfig;
+use mpio_dafs::mpiio::{
+    read_at_all, write_at_all, Backend, Datatype, Hints, MpiFile, OpenMode, Testbed,
+};
+use mpio_dafs::simnet::SimDuration;
+use mpio_dafs::via::ViaCost;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Eight ranks, nested-strided (matrix-column) access, collective write,
+/// independent read-back, full byte verification.
+#[test]
+fn eight_rank_column_partitioned_matrix() {
+    const N: usize = 256; // N x N matrix of 8-byte elements
+    const RANKS: usize = 8;
+    let tb = Testbed::new(Backend::dafs());
+    let fs = tb.fs.clone();
+    tb.run(RANKS, |ctx, comm, adio| {
+        let host = comm.host().clone();
+        let cols = N / comm.size();
+        let file = MpiFile::open(
+            ctx,
+            adio,
+            &host,
+            "/matrix.bin",
+            OpenMode::create(),
+            Hints::default(),
+        )
+        .unwrap();
+        // Column-block view: rank r owns columns [r*cols, (r+1)*cols).
+        let ft = Datatype::subarray(
+            &[N as u64, N as u64],
+            &[N as u64, cols as u64],
+            &[0, (comm.rank() * cols) as u64],
+            &Datatype::bytes(8),
+        );
+        file.set_view(0, &Datatype::bytes(8), &ft);
+        let mine = N * cols * 8;
+        let src = host.mem.alloc(mine);
+        // Values encode (row, col) so placement errors are detectable.
+        for row in 0..N {
+            for c in 0..cols {
+                let col = comm.rank() * cols + c;
+                let v = ((row as u64) << 32 | col as u64).to_le_bytes();
+                host.mem.write(src.offset(((row * cols + c) * 8) as u64), &v);
+            }
+        }
+        write_at_all(ctx, comm, &file, 0, src, mine as u64).unwrap();
+        comm.barrier(ctx);
+        // Independent strided read-back of my own columns.
+        let dst = host.mem.alloc(mine);
+        let n = file.read_at(ctx, 0, dst, mine as u64).unwrap();
+        assert_eq!(n as usize, mine);
+        assert_eq!(host.mem.read_vec(dst, mine), host.mem.read_vec(src, mine));
+    });
+    // Server-side: element (row, col) must hold (row<<32 | col).
+    let attr = fs.resolve("/matrix.bin").unwrap();
+    assert_eq!(attr.size, (N * N * 8) as u64);
+    for (row, col) in [(0usize, 0usize), (1, 37), (100, 200), (255, 255), (17, 31)] {
+        let raw = fs.read(attr.id, ((row * N + col) * 8) as u64, 8).unwrap();
+        let v = u64::from_le_bytes(raw.try_into().unwrap());
+        assert_eq!(v, (row as u64) << 32 | col as u64, "element ({row},{col})");
+    }
+}
+
+/// The same workload on DAFS and NFS must produce byte-identical files;
+/// only the timing differs.
+#[test]
+fn backends_agree_on_file_contents() {
+    fn run(backend: Backend) -> (Vec<u8>, u64) {
+        let tb = Testbed::new(backend);
+        let fs = tb.fs.clone();
+        let report = tb.run(3, |ctx, comm, adio| {
+            let host = comm.host().clone();
+            let f = MpiFile::open(ctx, adio, &host, "/x", OpenMode::create(), Hints::default())
+                .unwrap();
+            // Interleaved 10 KiB blocks via hindexed view.
+            let el = Datatype::bytes(10 << 10);
+            let ft = Datatype::resized(
+                &Datatype::hindexed(&[(1, (comm.rank() * (10 << 10)) as i64)], &el),
+                0,
+                3 * (10 << 10),
+            );
+            f.set_view(0, &el, &ft);
+            let src = host.mem.alloc(2 * (10 << 10));
+            host.mem.fill(src, 2 * (10 << 10), comm.rank() as u8 * 3 + 1);
+            write_at_all(ctx, comm, &f, 0, src, 2 * (10 << 10)).unwrap();
+        });
+        let attr = fs.resolve("/x").unwrap();
+        (
+            fs.read(attr.id, 0, attr.size).unwrap(),
+            report.end_time.as_nanos(),
+        )
+    }
+    let (dafs_bytes, dafs_time) = run(Backend::dafs());
+    let (nfs_bytes, nfs_time) = run(Backend::nfs());
+    let (ufs_bytes, _) = run(Backend::ufs());
+    assert_eq!(dafs_bytes, nfs_bytes);
+    assert_eq!(dafs_bytes, ufs_bytes);
+    assert!(
+        dafs_time < nfs_time,
+        "DAFS ({dafs_time}ns) must finish before NFS ({nfs_time}ns)"
+    );
+}
+
+/// Client CPU overhead: a large sequential DAFS direct read must burn far
+/// less client CPU than the same read over NFS (zero-copy vs copies).
+#[test]
+fn dafs_client_cpu_is_far_below_nfs() {
+    const LEN: usize = 16 << 20;
+    fn run(backend: Backend) -> SimDuration {
+        let tb = Testbed::new(backend);
+        // Pre-populate on the server.
+        let f = tb.fs.create(memfs::ROOT_ID, "big").unwrap();
+        tb.fs.write(f.id, 0, &vec![7u8; LEN]).unwrap();
+        let report = tb.run(1, |ctx, comm, adio| {
+            let host = comm.host().clone();
+            let f = MpiFile::open(ctx, adio, &host, "/big", OpenMode::open(), Hints::default())
+                .unwrap();
+            let dst = host.mem.alloc(LEN);
+            let n = f.read_at(ctx, 0, dst, LEN as u64).unwrap();
+            assert_eq!(n as usize, LEN);
+        });
+        report.ranks_cpu
+    }
+    let dafs = run(Backend::dafs());
+    let nfs = run(Backend::nfs());
+    assert!(
+        dafs.as_nanos() * 5 < nfs.as_nanos(),
+        "client CPU: dafs {dafs} vs nfs {nfs}; expected ≥5x gap"
+    );
+}
+
+/// Inline vs direct switchover: small requests stay inline, large go
+/// direct, both with correct data.
+#[test]
+fn inline_direct_threshold_behaviour() {
+    let tb = Testbed::new(Backend::dafs());
+    let fs = tb.fs.clone();
+    tb.run(1, |ctx, comm, adio| {
+        let host = comm.host().clone();
+        let f = MpiFile::open(ctx, adio, &host, "/t", OpenMode::create(), Hints::default())
+            .unwrap();
+        // 4 KiB (inline) then 64 KiB (direct) at disjoint offsets.
+        let small = host.mem.alloc(4 << 10);
+        host.mem.fill(small, 4 << 10, 0xAA);
+        f.write_at(ctx, 0, small, 4 << 10).unwrap();
+        let large = host.mem.alloc(64 << 10);
+        host.mem.fill(large, 64 << 10, 0xBB);
+        f.write_at(ctx, 4 << 10, large, 64 << 10).unwrap();
+        let back = host.mem.alloc(68 << 10);
+        assert_eq!(f.read_at(ctx, 0, back, 68 << 10).unwrap(), 68 << 10);
+        assert_eq!(host.mem.read_vec(back, 1), vec![0xAA]);
+        assert_eq!(host.mem.read_vec(back.offset(4 << 10), 1), vec![0xBB]);
+    });
+    let attr = fs.resolve("/t").unwrap();
+    assert_eq!(attr.size, 68 << 10);
+}
+
+/// RDMA-Read-capable fabric: large writes go direct and still verify.
+#[test]
+fn rdma_read_fabric_write_direct_end_to_end() {
+    let backend = Backend::Dafs {
+        via: ViaCost {
+            rdma_read_supported: true,
+            ..ViaCost::default()
+        },
+        server: Default::default(),
+        client: DafsClientConfig::default(),
+    };
+    let tb = Testbed::new(backend);
+    let fs = tb.fs.clone();
+    const LEN: usize = 1 << 20;
+    tb.run(2, |ctx, comm, adio| {
+        let host = comm.host().clone();
+        let f = MpiFile::open(ctx, adio, &host, "/wd", OpenMode::create(), Hints::default())
+            .unwrap();
+        let src = host.mem.alloc(LEN);
+        host.mem.fill(src, LEN, comm.rank() as u8 + 0x10);
+        f.write_at(ctx, (comm.rank() * LEN) as u64, src, LEN as u64)
+            .unwrap();
+    });
+    let attr = fs.resolve("/wd").unwrap();
+    assert_eq!(attr.size, (2 * LEN) as u64);
+    for r in 0..2 {
+        let b = fs.read(attr.id, (r * LEN + LEN / 2) as u64, 1).unwrap();
+        assert_eq!(b, vec![r as u8 + 0x10]);
+    }
+}
+
+/// Collective read after collective write with a *different* number of
+/// aggregators (cb_nodes hint) still returns the right bytes.
+#[test]
+fn cb_nodes_hint_changes_aggregators_not_answers() {
+    for cb_nodes in ["1", "2", "4"] {
+        let tb = Testbed::new(Backend::dafs());
+        let expected_block = 32 << 10;
+        tb.run(4, move |ctx, comm, adio| {
+            let host = comm.host().clone();
+            let mut hints = Hints::default();
+            hints.set("cb_nodes", cb_nodes);
+            let f = MpiFile::open(ctx, adio, &host, "/agg", OpenMode::create(), hints).unwrap();
+            let el = Datatype::bytes(expected_block);
+            let ft = Datatype::resized(
+                &Datatype::hindexed(&[(1, (comm.rank() as u64 * expected_block) as i64)], &el),
+                0,
+                4 * expected_block,
+            );
+            f.set_view(0, &el, &ft);
+            let src = host.mem.alloc(2 * expected_block as usize);
+            host.mem
+                .fill(src, 2 * expected_block as usize, comm.rank() as u8 + 1);
+            write_at_all(ctx, comm, &f, 0, src, 2 * expected_block).unwrap();
+            comm.barrier(ctx);
+            let dst = host.mem.alloc(2 * expected_block as usize);
+            let n = read_at_all(ctx, comm, &f, 0, dst, 2 * expected_block).unwrap();
+            assert_eq!(n, 2 * expected_block);
+            assert_eq!(
+                host.mem.read_vec(dst, 2 * expected_block as usize),
+                vec![comm.rank() as u8 + 1; 2 * expected_block as usize],
+                "cb_nodes={cb_nodes}"
+            );
+        });
+    }
+}
+
+/// Aggregate DAFS bandwidth grows with client count until the server NIC
+/// saturates near the wire rate.
+#[test]
+fn scaling_reaches_server_wire_saturation() {
+    const PER_RANK: usize = 4 << 20;
+    fn agg_bw(ranks: usize) -> f64 {
+        let tb = Testbed::new(Backend::dafs());
+        let end = Arc::new(AtomicU64::new(0));
+        let e2 = end.clone();
+        tb.run(ranks, move |ctx, comm, adio| {
+            let host = comm.host().clone();
+            let f = MpiFile::open(ctx, adio, &host, "/s", OpenMode::create(), Hints::default())
+                .unwrap();
+            let src = host.mem.alloc(PER_RANK);
+            comm.barrier(ctx);
+            let t0 = ctx.now();
+            f.write_at(ctx, (comm.rank() * PER_RANK) as u64, src, PER_RANK as u64)
+                .unwrap();
+            comm.barrier(ctx);
+            e2.fetch_max(ctx.now().since(t0).as_nanos(), Ordering::Relaxed);
+        });
+        (ranks * PER_RANK) as f64 / (end.load(Ordering::Relaxed) as f64 / 1e9) / 1e6
+    }
+    let bw1 = agg_bw(1);
+    let bw4 = agg_bw(4);
+    let bw8 = agg_bw(8);
+    // One client nearly saturates a DAFS server on large writes; more
+    // clients must not exceed the wire and must not collapse.
+    assert!(bw4 <= 111.0 && bw8 <= 111.0, "over the wire? {bw4} {bw8}");
+    assert!(bw8 > 95.0, "saturated aggregate should hold near wire: {bw8}");
+    assert!(bw1 > 80.0, "single client underperforms: {bw1}");
+}
+
+use mpio_dafs::memfs;

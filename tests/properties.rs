@@ -1,0 +1,264 @@
+//! Property-based tests (proptest) on the core invariants:
+//! datatype flattening, view translation, the in-memory filesystem, the
+//! VIA queue discipline, and end-to-end parallel-write correctness.
+
+use mpio_dafs::memfs::{MemFs, ROOT_ID};
+use mpio_dafs::mpiio::{write_at_all, Backend, Datatype, Hints, MpiFile, OpenMode, Testbed};
+use mpio_dafs::mpiio::FileView;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Datatype algebra
+// ---------------------------------------------------------------------------
+
+/// A recursive strategy for small random datatypes.
+fn arb_datatype() -> impl Strategy<Value = Datatype> {
+    let leaf = (1u64..16).prop_map(Datatype::bytes);
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (1u64..4, inner.clone()).prop_map(|(c, d)| Datatype::contiguous(c, &d)),
+            (1u64..4, 1u64..3, 0i64..6, inner.clone()).prop_map(|(c, b, extra, d)| {
+                // stride >= blocklen keeps lb at 0 and runs forward.
+                Datatype::vector(c, b, b as i64 + extra, &d)
+            }),
+            (proptest::collection::vec((1u64..3, 0i64..8), 1..4), inner.clone())
+                .prop_map(|(blocks, d)| Datatype::indexed(&blocks, &d)),
+            (inner.clone(), 0u64..8).prop_map(|(d, pad)| {
+                let ext = d.extent();
+                Datatype::resized(&d, 0, ext + pad)
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// flatten() == type_map() with adjacent runs merged; size is the sum.
+    #[test]
+    fn flatten_matches_merged_typemap(dt in arb_datatype()) {
+        let f = dt.flatten();
+        let tm = dt.type_map();
+        let mut merged: Vec<(i64, u64)> = Vec::new();
+        for (off, len) in tm {
+            match merged.last_mut() {
+                Some((lo, ll)) if *lo + *ll as i64 == off => *ll += len,
+                _ => merged.push((off, len)),
+            }
+        }
+        prop_assert_eq!(&f.runs, &merged);
+        prop_assert_eq!(f.size, merged.iter().map(|r| r.1).sum::<u64>());
+        // Note: runs need NOT fit inside [lb, lb+extent) — a Resized type
+        // may legally shrink the extent below the data span (overlapping
+        // tiling). Only the natural (non-resized) bound is universal:
+        if f.size > 0 {
+            prop_assert!(f.extent > 0, "nonempty type with zero extent");
+        }
+    }
+
+    /// Tiling property: contiguous(2, dt) == dt runs followed by dt runs
+    /// shifted by the extent.
+    #[test]
+    fn contiguous_two_is_shifted_self(dt in arb_datatype()) {
+        let two = Datatype::contiguous(2, &dt).flatten();
+        let one = dt.flatten();
+        let mut expect = one.runs.clone();
+        for (off, len) in &one.runs {
+            let shifted = (*off + one.extent as i64, *len);
+            match expect.last_mut() {
+                Some((lo, ll)) if *lo + *ll as i64 == shifted.0 => *ll += shifted.1,
+                _ => expect.push(shifted),
+            }
+        }
+        prop_assert_eq!(two.runs, expect);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// View translation
+// ---------------------------------------------------------------------------
+
+/// Reference implementation: map one logical byte at a time.
+fn naive_map(view: &FileView, logical: u64, len: u64) -> Vec<u64> {
+    (logical..logical + len)
+        .map(|l| {
+            let r = view.map(l, 1);
+            assert_eq!(r.len(), 1);
+            assert_eq!(r[0].1, 1);
+            r[0].0
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// map(l, n) must equal n single-byte mappings, in order, and the
+    /// physical bytes of distinct logical bytes must be distinct.
+    #[test]
+    fn view_map_agrees_with_bytewise(
+        disp in 0u64..64,
+        take in 1u64..12,
+        skip in 0u64..12,
+        logical in 0u64..64,
+        len in 1u64..48,
+    ) {
+        let ft = Datatype::resized(&Datatype::bytes(take), 0, take + skip);
+        let view = FileView::new(disp, &Datatype::bytes(1), &ft);
+        let ranges = view.map(logical, len);
+        let flat: Vec<u64> = ranges
+            .iter()
+            .flat_map(|(off, l)| *off..*off + *l)
+            .collect();
+        let naive = naive_map(&view, logical, len);
+        prop_assert_eq!(&flat, &naive);
+        prop_assert_eq!(flat.len() as u64, len);
+        // Injectivity.
+        let mut sorted = flat.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len() as u64, len);
+    }
+
+    /// Disjoint rank views tile the file: the union of all ranks' physical
+    /// bytes for the same logical range is disjoint.
+    #[test]
+    fn rank_views_partition_disjointly(
+        ranks in 2usize..5,
+        block in 1u64..16,
+        len in 1u64..64,
+    ) {
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..ranks {
+            let el = Datatype::bytes(block);
+            let ft = Datatype::resized(
+                &Datatype::hindexed(&[(1, (r as u64 * block) as i64)], &el),
+                0,
+                ranks as u64 * block,
+            );
+            let view = FileView::new(0, &Datatype::bytes(1), &ft);
+            for (off, l) in view.map(0, len) {
+                for b in off..off + l {
+                    prop_assert!(seen.insert(b), "byte {b} claimed twice");
+                }
+            }
+        }
+        prop_assert_eq!(seen.len() as u64, ranks as u64 * len);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Filesystem model
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum FsOp {
+    Write { off: u64, data: Vec<u8> },
+    Truncate { size: u64 },
+    Read { off: u64, len: u64 },
+}
+
+fn arb_fsop() -> impl Strategy<Value = FsOp> {
+    prop_oneof![
+        (0u64..512, proptest::collection::vec(any::<u8>(), 1..64))
+            .prop_map(|(off, data)| FsOp::Write { off, data }),
+        (0u64..600).prop_map(|size| FsOp::Truncate { size }),
+        (0u64..600, 0u64..128).prop_map(|(off, len)| FsOp::Read { off, len }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// memfs agrees with a Vec<u8> reference model under random op
+    /// sequences.
+    #[test]
+    fn memfs_matches_reference_model(ops in proptest::collection::vec(arb_fsop(), 1..40)) {
+        let fs = MemFs::new();
+        let f = fs.create(ROOT_ID, "model").unwrap();
+        let mut model: Vec<u8> = Vec::new();
+        for op in ops {
+            match op {
+                FsOp::Write { off, data } => {
+                    fs.write(f.id, off, &data).unwrap();
+                    let end = off as usize + data.len();
+                    if end > model.len() {
+                        model.resize(end, 0);
+                    }
+                    model[off as usize..end].copy_from_slice(&data);
+                }
+                FsOp::Truncate { size } => {
+                    fs.setattr(f.id, mpio_dafs::memfs::SetAttr { size: Some(size) }).unwrap();
+                    model.resize(size as usize, 0);
+                }
+                FsOp::Read { off, len } => {
+                    let got = fs.read(f.id, off, len).unwrap();
+                    let s = (off as usize).min(model.len());
+                    let e = ((off + len) as usize).min(model.len());
+                    prop_assert_eq!(&got, &model[s..e]);
+                }
+            }
+            prop_assert_eq!(fs.getattr(f.id).unwrap().size, model.len() as u64);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end parallel write
+// ---------------------------------------------------------------------------
+
+proptest! {
+    // Whole-cluster simulations are comparatively expensive; a few cases
+    // with random geometry still cover the interesting interleavings.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Collective interleaved writes through the full DAFS stack equal the
+    /// analytically constructed file, for random block sizes / rounds /
+    /// rank counts.
+    #[test]
+    fn collective_write_equals_reference(
+        ranks in 2usize..5,
+        block_kb in 1u64..9,
+        rounds in 1usize..4,
+    ) {
+        let block = block_kb * 1024;
+        let tb = Testbed::new(Backend::dafs());
+        let fs = tb.fs.clone();
+        tb.run(ranks, move |ctx, comm, adio| {
+            let host = comm.host().clone();
+            let f = MpiFile::open(ctx, adio, &host, "/p", OpenMode::create(), Hints::default())
+                .unwrap();
+            let el = Datatype::bytes(block);
+            let ft = Datatype::resized(
+                &Datatype::hindexed(&[(1, (comm.rank() as u64 * block) as i64)], &el),
+                0,
+                ranks as u64 * block,
+            );
+            f.set_view(0, &el, &ft);
+            let src = host.mem.alloc((rounds as u64 * block) as usize);
+            for round in 0..rounds {
+                host.mem.fill(
+                    src.offset(round as u64 * block),
+                    block as usize,
+                    (comm.rank() * rounds + round + 1) as u8,
+                );
+            }
+            write_at_all(ctx, comm, &f, 0, src, rounds as u64 * block).unwrap();
+        });
+        let attr = fs.resolve("/p").unwrap();
+        prop_assert_eq!(attr.size, rounds as u64 * ranks as u64 * block);
+        let data = fs.read(attr.id, 0, attr.size).unwrap();
+        for round in 0..rounds {
+            for r in 0..ranks {
+                let start = (round * ranks + r) as u64 * block;
+                let expect = (r * rounds + round + 1) as u8;
+                prop_assert!(
+                    data[start as usize..(start + block) as usize]
+                        .iter()
+                        .all(|&b| b == expect),
+                    "round {} rank {}", round, r
+                );
+            }
+        }
+    }
+}
