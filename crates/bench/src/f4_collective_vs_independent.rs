@@ -6,9 +6,9 @@
 //! independent data-sieving (RMW windows) which in turn beats the naive
 //! per-range path (one request per tiny block).
 
-use mpiio::{write_at_all, Backend, Datatype, Hints, MpiFile, OpenMode, Testbed};
+use mpiio::{write_at_all, Backend, Datatype, Hints, JobReport, MpiFile, OpenMode, Testbed};
 
-use crate::report::{mb_per_s, Table};
+use crate::report::{layer_breakdown, mb_per_s, Table};
 use crate::testbeds::Cell;
 
 const BLOCK: u64 = 512; // fine-grained interleave: per-op costs dominate
@@ -27,12 +27,13 @@ enum Method {
     Naive,
 }
 
-/// Virtual ns to write the interleaved pattern with the given strategy.
-fn run_pattern(ranks: usize, method: Method) -> u64 {
+/// Virtual ns to write the interleaved pattern with the given strategy,
+/// plus the job's accounting report (metrics snapshot included).
+fn run_pattern(ranks: usize, method: Method) -> (u64, JobReport) {
     let tb = Testbed::new(Backend::dafs());
     let dur = Cell::new();
     let d = dur.clone();
-    tb.run(ranks, move |ctx, comm, adio| {
+    let report = tb.run(ranks, move |ctx, comm, adio| {
         let host = comm.host().clone();
         let mut hints = Hints::default();
         match method {
@@ -78,7 +79,7 @@ fn run_pattern(ranks: usize, method: Method) -> u64 {
         }
         d.max(ctx.now().since(t0).as_nanos());
     });
-    dur.get()
+    (dur.get(), report)
 }
 
 /// Run R-F4.
@@ -87,12 +88,14 @@ pub fn run() -> Table {
         "R-F4: collective vs independent write, 512 B interleave (aggregate MB/s)",
         &["ranks", "two-phase", "indep batched", "indep sieved", "indep naive"],
     );
+    let mut last_twophase: Option<JobReport> = None;
     for ranks in [4usize, 8, 16] {
         let total = ranks as u64 * ROUNDS * BLOCK;
-        let two_phase = run_pattern(ranks, Method::TwoPhase);
-        let batched = run_pattern(ranks, Method::Batched);
-        let sieving = run_pattern(ranks, Method::Sieving);
-        let naive = run_pattern(ranks, Method::Naive);
+        let (two_phase, tp_report) = run_pattern(ranks, Method::TwoPhase);
+        let (batched, _) = run_pattern(ranks, Method::Batched);
+        let (sieving, _) = run_pattern(ranks, Method::Sieving);
+        let (naive, _) = run_pattern(ranks, Method::Naive);
+        last_twophase = Some(tp_report);
         t.row(vec![
             ranks.to_string(),
             format!("{:.1}", mb_per_s(total, two_phase)),
@@ -104,5 +107,13 @@ pub fn run() -> Table {
     t.note("expect two-phase >> sieved/naive; at this grain the server pays per-op cost per 512B block");
     t.note("sieved writes pay locked read-modify-write windows; naive pays one round trip per block");
     t.note("DAFS batch pipelining hides client latency but not the server per-op work");
+    // With MPIO_DAFS_TRACE set, split the 16-rank two-phase run into
+    // aggregation / exchange / I/O / barrier-wait virtual time.
+    if let Some(report) = last_twophase.filter(|r| r.traced) {
+        t.push_extra(layer_breakdown(
+            "R-F4a: two-phase per-layer time breakdown (16 ranks)",
+            &report.snapshot,
+        ));
+    }
     t
 }

@@ -1,9 +1,10 @@
 //! Table formatting for the experiment harness.
 
-use serde::Serialize;
+use obs::json;
+use obs::Snapshot;
 
 /// A rendered experiment result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Experiment title (includes the R-Tn/R-Fn id).
     pub title: String,
@@ -13,6 +14,10 @@ pub struct Table {
     pub rows: Vec<Vec<String>>,
     /// Expected-shape notes shown under the table.
     pub notes: Vec<String>,
+    /// Follow-on tables (per-layer breakdowns), printed after the main one.
+    /// Experiments attach these only when tracing is enabled, so default
+    /// output is unchanged.
+    pub extras: Vec<Table>,
 }
 
 impl Table {
@@ -23,7 +28,13 @@ impl Table {
             headers: headers.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
             notes: Vec::new(),
+            extras: Vec::new(),
         }
+    }
+
+    /// Attach a follow-on table rendered after this one.
+    pub fn push_extra(&mut self, t: Table) {
+        self.extras.push(t);
     }
 
     /// Append a row.
@@ -66,6 +77,9 @@ impl Table {
         for n in &self.notes {
             out.push_str(&format!("  note: {n}\n"));
         }
+        for extra in &self.extras {
+            out.push_str(&extra.render());
+        }
         out
     }
 
@@ -76,8 +90,68 @@ impl Table {
 
     /// Serialize to one JSON object (headers, rows, notes).
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("table serializes")
+        let quoted = |cells: &[String]| -> Vec<String> {
+            cells.iter().map(|c| json::quote(c)).collect()
+        };
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"title\":");
+        json::push_str(&mut out, &self.title);
+        out.push_str(",\"headers\":");
+        json::push_array(&mut out, &quoted(&self.headers));
+        out.push_str(",\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_array(&mut out, &quoted(row));
+        }
+        out.push_str("],\"notes\":");
+        json::push_array(&mut out, &quoted(&self.notes));
+        if !self.extras.is_empty() {
+            out.push_str(",\"extras\":");
+            let rendered: Vec<String> = self.extras.iter().map(|t| t.to_json()).collect();
+            json::push_array(&mut out, &rendered);
+        }
+        out.push('}');
+        out
     }
+}
+
+/// Build a per-layer virtual-time breakdown table from a metrics snapshot.
+///
+/// Every counter named `{layer}.{op}_ns` is an accumulated span (see
+/// `ActorCtx::span`); this groups them by the layer prefix and reports each
+/// op's total time and call count, so an experiment can show *where* virtual
+/// time went (e.g. `mpiio.twophase.exchange_ns` vs `via.rdma` vs `nfs.rpc`).
+pub fn layer_breakdown(title: &str, snap: &Snapshot) -> Table {
+    let mut t = Table::new(title, &["layer", "op", "total_ms", "calls", "avg_us"]);
+    for e in &snap.entries {
+        let Some(op_ns) = e.name.strip_suffix("_ns") else {
+            continue;
+        };
+        let Some((layer, op)) = op_ns.split_once('.') else {
+            continue;
+        };
+        let total = e.value();
+        let calls = snap
+            .get(&format!("{op_ns}.calls"))
+            .map(|c| c.value())
+            .unwrap_or(0);
+        let avg_us = if calls > 0 {
+            total as f64 / calls as f64 / 1e3
+        } else {
+            0.0
+        };
+        t.row(vec![
+            layer.to_string(),
+            op.to_string(),
+            format!("{:.3}", total as f64 / 1e6),
+            calls.to_string(),
+            format!("{avg_us:.1}"),
+        ]);
+    }
+    t.note(&format!("snapshot at t={} ns", snap.t_ns));
+    t
 }
 
 /// MB/s (decimal) from bytes moved in `ns` virtual nanoseconds.
@@ -117,15 +191,29 @@ mod tests {
     }
 
     #[test]
-    fn json_roundtrips_structure() {
+    fn json_shape_is_exact() {
         let mut t = Table::new("R-X: json", &["a", "b"]);
-        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["1".into(), "2\"q".into()]);
         t.note("n");
-        let j = t.to_json();
-        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
-        assert_eq!(v["title"], "R-X: json");
-        assert_eq!(v["rows"][0][1], "2");
-        assert_eq!(v["notes"][0], "n");
+        assert_eq!(
+            t.to_json(),
+            r#"{"title":"R-X: json","headers":["a","b"],"rows":[["1","2\"q"]],"notes":["n"]}"#
+        );
+    }
+
+    #[test]
+    fn breakdown_groups_span_counters() {
+        let r = obs::Registry::new();
+        r.counter("mpiio.twophase.exchange_ns").add(2_000_000);
+        r.counter("mpiio.twophase.exchange.calls").add(4);
+        r.counter("via.rdma.bytes").add(999); // not a span: ignored
+        let t = layer_breakdown("X: breakdown", &r.snapshot(77));
+        assert_eq!(t.rows.len(), 1);
+        assert_eq!(t.rows[0][0], "mpiio");
+        assert_eq!(t.rows[0][1], "twophase.exchange");
+        assert_eq!(t.rows[0][2], "2.000");
+        assert_eq!(t.rows[0][3], "4");
+        assert!(t.notes[0].contains("t=77"));
     }
 
     #[test]

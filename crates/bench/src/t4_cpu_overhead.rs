@@ -11,15 +11,15 @@ use nfsv3::{NfsClientConfig, NfsServerCost};
 use tcpnet::TcpCost;
 use via::ViaCost;
 
-use crate::report::Table;
-use crate::testbeds::{with_dafs_client, with_nfs_client};
+use crate::report::{layer_breakdown, Table};
+use crate::testbeds::{with_dafs_client, with_nfs_client, RunObs};
 
 const LEN: u64 = 64 << 20;
 
-/// (client cpu ns, client kernel ns, elapsed ns) for a 64 MiB sequential
-/// read + write on DAFS.
-fn dafs_overhead() -> (u64, u64, u64) {
-    let (_, _, client_host) = with_dafs_client(
+/// (client cpu ns, client kernel ns, run observability) for a 64 MiB
+/// sequential read + write on DAFS.
+fn dafs_overhead() -> (u64, u64, RunObs) {
+    let (_, _, client_host, run) = with_dafs_client(
         ViaCost::default(),
         DafsServerCost::default(),
         DafsClientConfig::default(),
@@ -34,11 +34,11 @@ fn dafs_overhead() -> (u64, u64, u64) {
             c.write(ctx, f.id, 0, buf, LEN).unwrap();
         },
     );
-    (client_host.cpu.busy().as_nanos(), 0, 0)
+    (client_host.cpu.busy().as_nanos(), 0, run)
 }
 
-fn nfs_overhead() -> (u64, u64, u64) {
-    let (_, _, client_host, fabric) = with_nfs_client(
+fn nfs_overhead() -> (u64, u64, RunObs) {
+    let (_, _, client_host, fabric, run) = with_nfs_client(
         TcpCost::default(),
         NfsServerCost::default(),
         NfsClientConfig::default(),
@@ -55,7 +55,7 @@ fn nfs_overhead() -> (u64, u64, u64) {
     (
         client_host.cpu.busy().as_nanos(),
         fabric.kernel_busy(&client_host).as_nanos(),
-        0,
+        run,
     )
 }
 
@@ -65,8 +65,8 @@ pub fn run() -> Table {
         "R-T4: client CPU overhead for 64 MiB read + 64 MiB write",
         &["stack", "user CPU (ms)", "kernel CPU (ms)", "CPU ms / MiB moved"],
     );
-    let (d_cpu, d_k, _) = dafs_overhead();
-    let (n_cpu, n_k, _) = nfs_overhead();
+    let (d_cpu, d_k, d_run) = dafs_overhead();
+    let (n_cpu, n_k, n_run) = nfs_overhead();
     let mib_moved = 2.0 * (LEN >> 20) as f64;
     for (name, cpu, kernel) in [("dafs", d_cpu, d_k), ("nfs", n_cpu, n_k)] {
         let total_ms = (cpu + kernel) as f64 / 1e6;
@@ -82,5 +82,18 @@ pub fn run() -> Table {
         "NFS/DAFS client CPU ratio = {ratio:.1}x — direct I/O leaves the client CPU nearly idle"
     ));
     t.note("the NFS write path (inline fallback on DAFS too) still pays copies; reads show the full gap");
+    // With MPIO_DAFS_TRACE set, show where each stack's virtual time went.
+    if d_run.traced() {
+        t.push_extra(layer_breakdown(
+            "R-T4a: DAFS per-layer time breakdown",
+            &d_run.snapshot(),
+        ));
+    }
+    if n_run.traced() {
+        t.push_extra(layer_breakdown(
+            "R-T4b: NFS per-layer time breakdown",
+            &n_run.snapshot(),
+        ));
+    }
     t
 }

@@ -7,12 +7,36 @@ use std::sync::Arc;
 use dafs::{DafsClient, DafsClientConfig, DafsServerCost, DafsServerHandle};
 use memfs::MemFs;
 use nfsv3::{NfsClient, NfsClientConfig, NfsServerCost, NfsServerHandle};
-use simnet::{ActorCtx, Cluster, Host, SimKernel};
+use simnet::obs::{Obs, Snapshot};
+use simnet::{ActorCtx, Cluster, Host, SimKernel, SimTime};
 use tcpnet::{TcpCost, TcpFabric};
 use via::{ViaCost, ViaFabric, ViaNic};
 
 /// The well-known service port used by all experiments.
 pub const PORT: u16 = 2049;
+
+/// The observability side of a completed testbed run: the kernel's [`Obs`]
+/// handle plus the virtual end time, so experiments can snapshot the
+/// registry and (when `MPIO_DAFS_TRACE` is set) render per-layer breakdown
+/// tables.
+pub struct RunObs {
+    /// The kernel's observability handle.
+    pub obs: Obs,
+    /// Virtual time when the run completed.
+    pub end: SimTime,
+}
+
+impl RunObs {
+    /// Whether trace output was enabled for the run.
+    pub fn traced(&self) -> bool {
+        self.obs.enabled()
+    }
+
+    /// The metrics registry frozen at the end of the run.
+    pub fn snapshot(&self) -> Snapshot {
+        self.obs.snapshot(self.end.as_nanos())
+    }
+}
 
 /// A shared cell for extracting one u64 measurement from an actor.
 #[derive(Clone, Default)]
@@ -48,7 +72,7 @@ pub fn with_dafs_client<F>(
     client_cfg: DafsClientConfig,
     prefill: impl FnOnce(&MemFs),
     body: F,
-) -> (MemFs, DafsServerHandle, Host)
+) -> (MemFs, DafsServerHandle, Host, RunObs)
 where
     F: FnOnce(&ActorCtx, &DafsClient, &ViaNic) + Send + 'static,
 {
@@ -68,8 +92,9 @@ where
         body(ctx, &c, &nic);
         c.disconnect(ctx);
     });
-    kernel.run();
-    (fs, server, client_host)
+    let obs = kernel.obs().clone();
+    let end = kernel.run();
+    (fs, server, client_host, RunObs { obs, end })
 }
 
 /// Run one client actor against a fresh NFS server.
@@ -79,7 +104,7 @@ pub fn with_nfs_client<F>(
     client_cfg: NfsClientConfig,
     prefill: impl FnOnce(&MemFs),
     body: F,
-) -> (MemFs, NfsServerHandle, Host, TcpFabric)
+) -> (MemFs, NfsServerHandle, Host, TcpFabric, RunObs)
 where
     F: FnOnce(&ActorCtx, &NfsClient) + Send + 'static,
 {
@@ -99,6 +124,7 @@ where
         body(ctx, &c);
         c.unmount(ctx);
     });
-    kernel.run();
-    (fs, server, client_host, fabric)
+    let obs = kernel.obs().clone();
+    let end = kernel.run();
+    (fs, server, client_host, fabric, RunObs { obs, end })
 }

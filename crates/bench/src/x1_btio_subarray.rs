@@ -84,7 +84,7 @@ pub fn run() -> Table {
         &["backend", "slab write", "cross read"],
     );
     for backend in [Backend::dafs(), Backend::nfs()] {
-        let name = backend.name();
+        let name = backend.kind();
         let (w, r) = run_backend(backend);
         t.row(vec![name.to_string(), format!("{w:.1}"), format!("{r:.1}")]);
     }

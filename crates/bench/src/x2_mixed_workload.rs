@@ -12,9 +12,7 @@
 use dafs::{DafsClientConfig, DafsServerCost};
 use memfs::{MemFs, NodeId, ROOT_ID};
 use nfsv3::{NfsClientConfig, NfsServerCost};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use simnet::Histogram;
+use simnet::{DurationMetric, Histogram, Rng64};
 use tcpnet::TcpCost;
 use via::ViaCost;
 
@@ -35,12 +33,12 @@ enum Op {
 }
 
 fn script() -> Vec<Op> {
-    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut rng = Rng64::new(SEED);
     (0..OPS)
         .map(|_| {
-            let file = rng.gen_range(0..FILES);
-            let off = rng.gen_range(0..16u64) * IO;
-            match rng.gen_range(0..10) {
+            let file = rng.range_usize(0, FILES);
+            let off = rng.below(16) * IO;
+            match rng.below(10) {
                 0..7 => Op::Read { file, off },
                 7..9 => Op::Write { file, off },
                 _ => Op::GetAttr { file },

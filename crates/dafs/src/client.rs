@@ -19,8 +19,8 @@ use memfs::{FileAttr, NodeId};
 use parking_lot::Mutex;
 use simnet::{ActorCtx, ByteMeter, Counter, HostId, VirtAddr};
 use via::{
-    DataSegment, MemAttributes, MemHandle, ProtectionTag, RecvDesc, SendDesc, ViAttributes,
-    Vi, ViState, ViaFabric, ViaNic, ViaStatus,
+    ConnectError, DataSegment, MemAttributes, MemHandle, ProtectionTag, RecvDesc, SendDesc,
+    ViAttributes, Vi, ViState, ViaFabric, ViaNic, ViaStatus,
 };
 
 use crate::cost::DafsClientConfig;
@@ -34,12 +34,40 @@ use crate::wire::{Dec, Enc};
 pub enum DafsError {
     /// Server returned a non-OK status.
     Status(DafsStatus),
-    /// The session's VI broke or disconnected.
-    Transport,
+    /// The session's VI broke or disconnected; carries the VIA completion
+    /// status that killed it.
+    Transport(ViaStatus),
     /// Malformed response.
     Protocol,
     /// Connection could not be established.
-    Connect,
+    Connect(ConnectError),
+}
+
+impl From<ConnectError> for DafsError {
+    fn from(e: ConnectError) -> DafsError {
+        DafsError::Connect(e)
+    }
+}
+
+impl std::fmt::Display for DafsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DafsError::Status(s) => write!(f, "DAFS server returned {s:?}"),
+            DafsError::Transport(s) => write!(f, "DAFS session transport failure: {s}"),
+            DafsError::Protocol => write!(f, "malformed DAFS response"),
+            DafsError::Connect(e) => write!(f, "DAFS session setup failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DafsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DafsError::Transport(s) => Some(s),
+            DafsError::Connect(e) => Some(e),
+            _ => None,
+        }
+    }
 }
 
 /// Convenience alias.
@@ -123,7 +151,7 @@ impl DafsClient {
     ) -> DafsResult<DafsClient> {
         let vi = fabric
             .connect(ctx, nic, server, port, ViAttributes::default())
-            .map_err(|_| DafsError::Connect)?;
+            .map_err(DafsError::Connect)?;
         let tag = vi.ptag();
         let mut req_ring = Vec::new();
         let mut recv_ring = VecDeque::new();
@@ -184,6 +212,17 @@ impl DafsClient {
             credits,
             inline_max: inline_max.min(client.config.inline_max),
         };
+        ctx.metrics().counter("dafs.sessions").inc();
+        ctx.trace(
+            "dafs",
+            "session.connect",
+            &[
+                ("server", obs::Value::U64(server.0 as u64)),
+                ("rdma_read", obs::Value::Bool(client.caps.rdma_read)),
+                ("credits", obs::Value::U64(client.caps.credits as u64)),
+                ("inline_max", obs::Value::U64(client.caps.inline_max)),
+            ],
+        );
         Ok(client)
     }
 
@@ -217,6 +256,7 @@ impl DafsClient {
     fn post_request(&self, ctx: &ActorCtx, op: DafsOp, args: &mut Enc) -> u32 {
         let reqid = self.reqid.fetch_add(1, Ordering::Relaxed);
         self.stats.ops.inc();
+        ctx.metrics().counter("dafs.ops").inc();
         self.nic.host().compute(ctx, self.config.per_op);
         let mut e = Enc::new();
         proto::enc_req_header(&mut e, reqid, op);
@@ -252,12 +292,12 @@ impl DafsClient {
                 return Ok(resp);
             }
             if self.vi.state() != ViState::Connected {
-                return Err(DafsError::Transport);
+                return Err(DafsError::Transport(ViaStatus::ConnectionLost));
             }
             let completion = self.vi.recv_wait(ctx);
             match completion.status {
                 ViaStatus::Success => {}
-                _ => return Err(DafsError::Transport),
+                status => return Err(DafsError::Transport(status)),
             }
             let (buf, h) = {
                 let mut ring = self.recv_ring.lock();
@@ -384,6 +424,9 @@ impl DafsClient {
         e.u64(fh.0).bytes(data);
         let payload = self.call(ctx, DafsOp::Append, &mut e)?;
         self.stats.inline_writes.record(data.len() as u64);
+        ctx.metrics()
+            .byte_meter("dafs.inline.bytes")
+            .record(data.len() as u64);
         Dec::new(&payload).u64().map_err(|_| DafsError::Protocol)
     }
 
@@ -414,6 +457,7 @@ impl DafsClient {
         let _ = self.call(ctx, DafsOp::Disconnect, &mut e);
         self.regcache.flush(ctx);
         self.vi.disconnect(ctx);
+        ctx.trace("dafs", "session.disconnect", &[]);
     }
 
     /// Abruptly drop the VIA connection with no protocol goodbye — the
@@ -422,6 +466,7 @@ impl DafsClient {
     pub fn abort(&self, ctx: &ActorCtx) {
         self.vi.disconnect(ctx);
         self.regcache.flush(ctx);
+        ctx.trace("dafs", "session.abort", &[]);
     }
 
     /// Resolve a slash-separated path from the root.
@@ -452,7 +497,18 @@ impl DafsClient {
         dst: VirtAddr,
         len: u64,
     ) -> DafsResult<u64> {
-        if !self.is_direct(len) {
+        let _span = ctx.span("dafs", "read");
+        let direct = self.is_direct(len);
+        ctx.trace(
+            "dafs",
+            "xfer",
+            &[
+                ("op", obs::Value::Str("read")),
+                ("mode", obs::Value::Str(if direct { "direct" } else { "inline" })),
+                ("len", obs::Value::U64(len)),
+            ],
+        );
+        if !direct {
             return self.read_inline(ctx, fh, off, dst, len);
         }
         let (handle, transient) = self.regcache.acquire(ctx, dst, len);
@@ -463,6 +519,7 @@ impl DafsClient {
         let payload = r?;
         let count = Dec::new(&payload).u64().map_err(|_| DafsError::Protocol)?;
         self.stats.direct_reads.record(count);
+        ctx.metrics().byte_meter("dafs.direct.bytes").record(count);
         Ok(count)
     }
 
@@ -487,6 +544,9 @@ impl DafsClient {
                 .compute(ctx, self.config.host.copy(data.len() as u64));
             self.nic.host().mem.write(dst.offset(done), &data);
             self.stats.inline_reads.record(data.len() as u64);
+            ctx.metrics()
+                .byte_meter("dafs.inline.bytes")
+                .record(data.len() as u64);
             let got = data.len() as u64;
             done += got;
             off += got;
@@ -506,7 +566,18 @@ impl DafsClient {
         src: VirtAddr,
         len: u64,
     ) -> DafsResult<FileAttr> {
-        if self.is_direct(len) && self.caps.rdma_read {
+        let _span = ctx.span("dafs", "write");
+        let direct = self.is_direct(len) && self.caps.rdma_read;
+        ctx.trace(
+            "dafs",
+            "xfer",
+            &[
+                ("op", obs::Value::Str("write")),
+                ("mode", obs::Value::Str(if direct { "direct" } else { "inline" })),
+                ("len", obs::Value::U64(len)),
+            ],
+        );
+        if direct {
             let (handle, transient) = self.regcache.acquire(ctx, src, len);
             let mut e = Enc::new();
             e.u64(fh.0).u64(off).u64(len).u64(src.as_u64()).u64(handle.0);
@@ -514,6 +585,7 @@ impl DafsClient {
             self.regcache.release(ctx, handle, transient);
             let a = r?;
             self.stats.direct_writes.record(len);
+            ctx.metrics().byte_meter("dafs.direct.bytes").record(len);
             return Ok(a);
         }
         // Inline path (small writes, or the cLAN no-RDMA-Read fallback).
@@ -525,6 +597,7 @@ impl DafsClient {
             e.u64(fh.0).u64(off).bytes(&data);
             let a = self.call_attr(ctx, DafsOp::WriteInline, &mut e)?;
             self.stats.inline_writes.record(len);
+            ctx.metrics().byte_meter("dafs.inline.bytes").record(len);
             return Ok(a);
         }
         // Multi-chunk: pipeline the chunks over the session credits rather
@@ -651,6 +724,7 @@ impl DafsClient {
                 if sb.direct {
                     let count = d.u64().map_err(|_| DafsError::Protocol)?;
                     self.stats.direct_reads.record(count);
+                    ctx.metrics().byte_meter("dafs.direct.bytes").record(count);
                     Ok(count)
                 } else {
                     let data = d.bytes().map_err(|_| DafsError::Protocol)?;
@@ -659,6 +733,9 @@ impl DafsClient {
                         .compute(ctx, self.config.host.copy(data.len() as u64));
                     self.nic.host().mem.write(sb.dst, &data);
                     self.stats.inline_reads.record(data.len() as u64);
+                    ctx.metrics()
+                        .byte_meter("dafs.inline.bytes")
+                        .record(data.len() as u64);
                     Ok(data.len() as u64)
                 }
             })();
@@ -718,6 +795,7 @@ impl DafsClient {
                     e.u64(sb.fh.0).u64(sb.off).u64(sb.len).u64(sb.src.as_u64()).u64(handle.0);
                     let id = self.post_request(ctx, DafsOp::WriteDirect, &mut e);
                     self.stats.direct_writes.record(sb.len);
+                    ctx.metrics().byte_meter("dafs.direct.bytes").record(sb.len);
                     inflight.push_back((id, next, handle, transient));
                 } else {
                     let data = self.nic.host().mem.read_vec(sb.src, sb.len as usize);
@@ -725,6 +803,7 @@ impl DafsClient {
                     e.u64(sb.fh.0).u64(sb.off).bytes(&data);
                     let id = self.post_request(ctx, DafsOp::WriteInline, &mut e);
                     self.stats.inline_writes.record(sb.len);
+                    ctx.metrics().byte_meter("dafs.inline.bytes").record(sb.len);
                     inflight.push_back((id, next, MemHandle(0), false));
                 }
                 next += 1;

@@ -78,6 +78,7 @@ impl RegCache {
     pub fn acquire(&self, ctx: &ActorCtx, addr: VirtAddr, len: u64) -> (MemHandle, bool) {
         if !self.enabled {
             self.misses.inc();
+            ctx.metrics().counter("dafs.regcache.misses").inc();
             let h = self
                 .nic
                 .register_mem(ctx, addr, len, (self.attrs_for)(self.ptag));
@@ -91,10 +92,12 @@ impl RegCache {
             if addr >= e.base && addr.as_u64() + len <= e.base.as_u64() + e.len {
                 e.last_use = tick;
                 self.hits.inc();
+                ctx.metrics().counter("dafs.regcache.hits").inc();
                 return (e.handle, false);
             }
         }
         self.misses.inc();
+        ctx.metrics().counter("dafs.regcache.misses").inc();
         // Evict LRU entries until the new buffer fits.
         while st.pinned + len > self.capacity && !st.entries.is_empty() {
             let lru = *st
@@ -106,6 +109,7 @@ impl RegCache {
             let e = st.entries.remove(&lru).unwrap();
             st.pinned -= e.len;
             self.evictions.inc();
+            ctx.metrics().counter("dafs.regcache.evictions").inc();
             self.nic
                 .deregister_mem(ctx, e.handle)
                 .expect("cache entry must be live");

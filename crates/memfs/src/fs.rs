@@ -65,6 +65,23 @@ pub enum FsError {
     InvalidName,
 }
 
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FsError::NotFound => "no such file or directory",
+            FsError::Stale => "stale file handle",
+            FsError::NotDirectory => "not a directory",
+            FsError::IsDirectory => "is a directory",
+            FsError::Exists => "file exists",
+            FsError::NotEmpty => "directory not empty",
+            FsError::InvalidName => "invalid name",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for FsError {}
+
 /// Convenience alias.
 pub type FsResult<T> = Result<T, FsError>;
 

@@ -19,6 +19,44 @@ use simnet::cost::HostCost;
 use simnet::time::units::*;
 use simnet::{ActorCtx, Host, SimDuration, VirtAddr};
 
+/// The driver-level cause behind an [`AdioError::Io`]. Preserves the
+/// original error from whichever filesystem client failed, so callers (and
+/// reports) can distinguish a lost VIA connection from a malformed NFS
+/// reply without each driver leaking its error type into every signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFault {
+    /// The DAFS driver failed (session, transport, or protocol status).
+    Dafs(DafsError),
+    /// The NFS driver failed (RPC transport or server status).
+    Nfs(NfsError),
+    /// The local filesystem failed.
+    Fs(FsError),
+    /// ADIO-internal corruption (e.g. a short shared-pointer file).
+    Protocol,
+}
+
+impl std::fmt::Display for IoFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoFault::Dafs(_) => write!(f, "DAFS driver failure"),
+            IoFault::Nfs(_) => write!(f, "NFS driver failure"),
+            IoFault::Fs(_) => write!(f, "local filesystem failure"),
+            IoFault::Protocol => write!(f, "ADIO-internal protocol corruption"),
+        }
+    }
+}
+
+impl std::error::Error for IoFault {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoFault::Dafs(e) => Some(e),
+            IoFault::Nfs(e) => Some(e),
+            IoFault::Fs(e) => Some(e),
+            IoFault::Protocol => None,
+        }
+    }
+}
+
 /// Driver-independent I/O errors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AdioError {
@@ -29,12 +67,33 @@ pub enum AdioError {
     /// The driver cannot perform this operation (e.g. shared pointers on
     /// NFS).
     NotSupported,
-    /// Transport or protocol failure.
-    Io,
+    /// Transport or protocol failure; the payload names the driver-level
+    /// cause and is reachable through [`std::error::Error::source`].
+    Io(IoFault),
 }
 
 /// Convenience alias.
 pub type AdioResult<T> = Result<T, AdioError>;
+
+impl std::fmt::Display for AdioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdioError::NoSuchFile => write!(f, "no such file"),
+            AdioError::Exists => write!(f, "file already exists"),
+            AdioError::NotSupported => write!(f, "operation not supported by this driver"),
+            AdioError::Io(fault) => write!(f, "I/O failure: {fault}"),
+        }
+    }
+}
+
+impl std::error::Error for AdioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AdioError::Io(fault) => Some(fault),
+            _ => None,
+        }
+    }
+}
 
 impl From<DafsError> for AdioError {
     fn from(e: DafsError) -> AdioError {
@@ -43,7 +102,7 @@ impl From<DafsError> for AdioError {
             DafsError::Status(dafs::DafsStatus::Stale) => AdioError::NoSuchFile,
             DafsError::Status(dafs::DafsStatus::Exists) => AdioError::Exists,
             DafsError::Status(dafs::DafsStatus::NotSupported) => AdioError::NotSupported,
-            _ => AdioError::Io,
+            other => AdioError::Io(IoFault::Dafs(other)),
         }
     }
 }
@@ -54,7 +113,7 @@ impl From<NfsError> for AdioError {
             NfsError::Status(nfsv3::NfsStatus::NoEnt) => AdioError::NoSuchFile,
             NfsError::Status(nfsv3::NfsStatus::Stale) => AdioError::NoSuchFile,
             NfsError::Status(nfsv3::NfsStatus::Exist) => AdioError::Exists,
-            _ => AdioError::Io,
+            other => AdioError::Io(IoFault::Nfs(other)),
         }
     }
 }
@@ -64,8 +123,40 @@ impl From<FsError> for AdioError {
         match e {
             FsError::NotFound | FsError::Stale => AdioError::NoSuchFile,
             FsError::Exists => AdioError::Exists,
-            _ => AdioError::Io,
+            other => AdioError::Io(IoFault::Fs(other)),
         }
+    }
+}
+
+/// Which ADIO driver backs a filesystem or open file.
+///
+/// Typed replacement for the old stringly `name() -> &'static str`:
+/// dispatch sites match exhaustively, and reports render it through
+/// [`DriverKind::as_str`] / `Display`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DriverKind {
+    /// DAFS over VIA (the paper's system).
+    Dafs,
+    /// NFSv3 over TCP (the baseline).
+    Nfs,
+    /// Node-local in-memory filesystem.
+    Ufs,
+}
+
+impl DriverKind {
+    /// Short lower-case name for reports ("dafs" / "nfs" / "ufs").
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DriverKind::Dafs => "dafs",
+            DriverKind::Nfs => "nfs",
+            DriverKind::Ufs => "ufs",
+        }
+    }
+}
+
+impl std::fmt::Display for DriverKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 
@@ -139,8 +230,8 @@ pub trait AdioFs: Send + Sync {
     /// Remove a file.
     fn delete(&self, ctx: &ActorCtx, path: &str) -> AdioResult<()>;
 
-    /// Short driver name for reports ("dafs", "nfs", "ufs").
-    fn name(&self) -> &'static str;
+    /// Which driver this is.
+    fn kind(&self) -> DriverKind;
 }
 
 // ---------------------------------------------------------------------------
@@ -251,8 +342,8 @@ impl AdioFs for DafsAdio {
         Ok(())
     }
 
-    fn name(&self) -> &'static str {
-        "dafs"
+    fn kind(&self) -> DriverKind {
+        DriverKind::Dafs
     }
 }
 
@@ -327,7 +418,11 @@ impl AdioFile for DafsFileHandle {
                 .client
                 .read_to_vec(ctx, self.shfp, 0, 8)
                 .map_err(AdioError::from)?;
-            let old = u64::from_le_bytes(cur.as_slice().try_into().map_err(|_| AdioError::Io)?);
+            let old = u64::from_le_bytes(
+                cur.as_slice()
+                    .try_into()
+                    .map_err(|_| AdioError::Io(IoFault::Protocol))?,
+            );
             self.client
                 .write_bytes(ctx, self.shfp, 0, &(old + nbytes).to_le_bytes())
                 .map_err(AdioError::from)?;
@@ -438,8 +533,8 @@ impl AdioFs for NfsAdio {
         self.client.remove(ctx, dir, &name).map_err(AdioError::from)
     }
 
-    fn name(&self) -> &'static str {
-        "nfs"
+    fn kind(&self) -> DriverKind {
+        DriverKind::Nfs
     }
 }
 
@@ -589,8 +684,8 @@ impl AdioFs for UfsAdio {
         self.fs.remove(dir, name).map_err(AdioError::from)
     }
 
-    fn name(&self) -> &'static str {
-        "ufs"
+    fn kind(&self) -> DriverKind {
+        DriverKind::Ufs
     }
 }
 

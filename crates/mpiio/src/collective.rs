@@ -17,12 +17,22 @@
 //! strided accesses become a few large contiguous transfers, at the price
 //! of an interconnect exchange — cheap on a VIA-class network.
 
-use simnet::{ActorCtx, VirtAddr};
+use simnet::{ActorCtx, SimTime, VirtAddr};
 
 use crate::adio::AdioResult;
 use crate::comm::Comm;
 use crate::file::MpiFile;
 use crate::hints::Toggle;
+
+/// Accumulate virtual time since `*since` into the named `_ns` counter and
+/// advance the mark. The two-phase sweep calls this at each phase boundary
+/// so `bench::report::layer_breakdown` can split collective time into
+/// aggregation / exchange / I/O.
+fn charge_phase(ctx: &ActorCtx, name: &'static str, since: &mut SimTime) {
+    let now = ctx.now();
+    ctx.metrics().counter(name).add((now - *since).as_nanos());
+    *since = now;
+}
 
 /// One mapped piece of a rank's request.
 #[derive(Debug, Clone, Copy)]
@@ -177,6 +187,17 @@ pub fn write_at_all(
     let host = file.host().clone();
     let is_agg = comm.rank() < sweep.naggs;
     let cbuf = is_agg.then(|| host.mem.alloc(sweep.cb as usize));
+    ctx.metrics().counter("mpiio.twophase.writes").inc();
+    ctx.trace(
+        "mpiio",
+        "twophase.write",
+        &[
+            ("naggs", obs::Value::U64(sweep.naggs as u64)),
+            ("phases", obs::Value::U64(sweep.phases)),
+            ("extent", obs::Value::U64(sweep.gmax - sweep.gmin)),
+        ],
+    );
+    let mut mark = ctx.now();
 
     for phase in 0..sweep.phases {
         // Ship my pieces to each aggregator's current window.
@@ -197,7 +218,9 @@ pub fn write_at_all(
                 }
             }
         }
+        charge_phase(ctx, "mpiio.twophase.aggregation_ns", &mut mark);
         let received = comm.alltoallv(ctx, sends);
+        charge_phase(ctx, "mpiio.twophase.exchange_ns", &mut mark);
         // Aggregate and write my window.
         if let (Some(cbuf), Some((ws, we))) = (cbuf, sweep.window(comm.rank(), phase)) {
             let mut covered: Vec<(u64, u64)> = Vec::new();
@@ -219,13 +242,18 @@ pub fn write_at_all(
                 .map(|(off, len)| (*off, cbuf.offset(off - ws), *len))
                 .collect();
             debug_assert!(runs.iter().all(|(o, l)| *o >= ws && o + l <= we));
+            charge_phase(ctx, "mpiio.twophase.aggregation_ns", &mut mark);
             file.adio().write_batch(ctx, &reqs)?;
+            charge_phase(ctx, "mpiio.twophase.io_ns", &mut mark);
         }
     }
     if let Some(cbuf) = cbuf {
         host.mem.free(cbuf);
     }
+    mark = ctx.now();
     comm.barrier(ctx);
+    // Time blocked at the closing barrier — mostly waiting on aggregator I/O.
+    charge_phase(ctx, "mpiio.twophase.wait_ns", &mut mark);
     Ok(nbytes)
 }
 
@@ -254,6 +282,17 @@ pub fn read_at_all(
     let is_agg = comm.rank() < sweep.naggs;
     let cbuf = is_agg.then(|| host.mem.alloc(sweep.cb as usize));
     let mut total = 0u64;
+    ctx.metrics().counter("mpiio.twophase.reads").inc();
+    ctx.trace(
+        "mpiio",
+        "twophase.read",
+        &[
+            ("naggs", obs::Value::U64(sweep.naggs as u64)),
+            ("phases", obs::Value::U64(sweep.phases)),
+            ("extent", obs::Value::U64(sweep.gmax - sweep.gmin)),
+        ],
+    );
+    let mut mark = ctx.now();
 
     for phase in 0..sweep.phases {
         // Send piece descriptors to aggregators.
@@ -270,7 +309,9 @@ pub fn read_at_all(
                 }
             }
         }
+        charge_phase(ctx, "mpiio.twophase.aggregation_ns", &mut mark);
         let requests = comm.alltoallv(ctx, sends);
+        charge_phase(ctx, "mpiio.twophase.exchange_ns", &mut mark);
         // Aggregator: read coalesced coverage, ship pieces back.
         let mut replies: Vec<Vec<u8>> = vec![Vec::new(); comm.size()];
         if let (Some(cbuf), Some((ws, _we))) = (cbuf, sweep.window(comm.rank(), phase)) {
@@ -288,7 +329,9 @@ pub fn read_at_all(
                 .iter()
                 .map(|(off, len)| (*off, cbuf.offset(off - ws), *len))
                 .collect();
+            charge_phase(ctx, "mpiio.twophase.aggregation_ns", &mut mark);
             file.adio().read_batch(ctx, &reqs)?;
+            charge_phase(ctx, "mpiio.twophase.io_ns", &mut mark);
             // Build per-rank replies in request order.
             for (r, msg) in requests.iter().enumerate() {
                 let mut pos = 0usize;
@@ -304,7 +347,9 @@ pub fn read_at_all(
                 }
             }
         }
+        charge_phase(ctx, "mpiio.twophase.aggregation_ns", &mut mark);
         let incoming = comm.alltoallv(ctx, replies);
+        charge_phase(ctx, "mpiio.twophase.exchange_ns", &mut mark);
         // Scatter the pieces I got back into my user buffer.
         for msg in &incoming {
             let mut pos = 0usize;
@@ -327,7 +372,10 @@ pub fn read_at_all(
     if let Some(cbuf) = cbuf {
         host.mem.free(cbuf);
     }
+    mark = ctx.now();
     comm.barrier(ctx);
+    // Time blocked at the closing barrier — mostly waiting on aggregator I/O.
+    charge_phase(ctx, "mpiio.twophase.wait_ns", &mut mark);
     Ok(total)
 }
 

@@ -14,7 +14,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use simnet::{ActorCtx, Host, VirtAddr};
 
-use crate::adio::{AdioError, AdioFile, AdioFs, AdioResult};
+use crate::adio::{AdioError, AdioFile, AdioFs, AdioResult, DriverKind};
 use crate::datatype::Datatype;
 use crate::hints::{Hints, Toggle};
 use crate::view::FileView;
@@ -40,6 +40,63 @@ impl OpenMode {
     /// Plain read/write of an existing file.
     pub fn open() -> OpenMode {
         OpenMode::default()
+    }
+}
+
+/// Builder-style open, so new knobs extend the builder instead of growing
+/// the [`MpiFile::open`] signature:
+///
+/// ```ignore
+/// let file = OpenOptions::new()
+///     .create(true)
+///     .hints(hints)
+///     .open(ctx, adio, &host, "/data.out")?;
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OpenOptions {
+    mode: OpenMode,
+    hints: Hints,
+}
+
+impl OpenOptions {
+    /// Defaults: plain read/write of an existing file, default hints.
+    pub fn new() -> OpenOptions {
+        OpenOptions::default()
+    }
+
+    /// Create the file (and missing parents) if absent (`MPI_MODE_CREATE`).
+    pub fn create(mut self, yes: bool) -> OpenOptions {
+        self.mode.create = yes;
+        self
+    }
+
+    /// Delete the file when closed (`MPI_MODE_DELETE_ON_CLOSE`).
+    pub fn delete_on_close(mut self, yes: bool) -> OpenOptions {
+        self.mode.delete_on_close = yes;
+        self
+    }
+
+    /// Replace the whole mode at once.
+    pub fn mode(mut self, mode: OpenMode) -> OpenOptions {
+        self.mode = mode;
+        self
+    }
+
+    /// I/O-strategy hints (`MPI_Info`).
+    pub fn hints(mut self, hints: Hints) -> OpenOptions {
+        self.hints = hints;
+        self
+    }
+
+    /// Open `path` on `fs` with the collected options.
+    pub fn open(
+        &self,
+        ctx: &ActorCtx,
+        fs: &dyn AdioFs,
+        host: &Host,
+        path: &str,
+    ) -> AdioResult<MpiFile> {
+        MpiFile::open(ctx, fs, host, path, self.mode, self.hints.clone())
     }
 }
 
@@ -82,7 +139,7 @@ pub struct MpiFile {
     file: Arc<dyn AdioFile>,
     path: String,
     mode: OpenMode,
-    driver: &'static str,
+    driver: DriverKind,
     host: Host,
     view: Mutex<FileView>,
     /// Individual file pointer, in etypes.
@@ -107,7 +164,7 @@ impl MpiFile {
             file,
             path: path.to_string(),
             mode,
-            driver: fs.name(),
+            driver: fs.kind(),
             host: host.clone(),
             view: Mutex::new(FileView::contiguous()),
             fp: Mutex::new(0),
@@ -124,8 +181,8 @@ impl MpiFile {
         Ok(())
     }
 
-    /// Driver name ("dafs" / "nfs" / "ufs").
-    pub fn driver(&self) -> &'static str {
+    /// Which driver backs this file.
+    pub fn driver(&self) -> DriverKind {
         self.driver
     }
 

@@ -33,14 +33,17 @@ pub mod hints;
 pub mod view;
 pub mod world;
 
-pub use adio::{AdioError, AdioFile, AdioFs, AdioResult, DafsAdio, NfsAdio, UfsAdio, UfsCost};
+pub use adio::{
+    AdioError, AdioFile, AdioFs, AdioResult, DafsAdio, DriverKind, IoFault, NfsAdio, UfsAdio,
+    UfsCost,
+};
 pub use collective::{
     read_all, read_at_all, read_at_all_begin, read_at_all_end, read_ordered, write_all,
     write_at_all, write_at_all_begin, write_at_all_end, write_ordered, SplitColl,
 };
 pub use comm::{Comm, CommCost, CommWorld, ReduceOp};
 pub use datatype::{Datatype, Flattened};
-pub use file::{mpi_file_delete, MpiFile, OpenMode, Request, SeekWhence};
+pub use file::{mpi_file_delete, MpiFile, OpenMode, OpenOptions, Request, SeekWhence};
 pub use hints::{Hints, Toggle};
 pub use view::FileView;
 pub use world::{Backend, JobReport, Testbed};
@@ -634,7 +637,7 @@ mod tests {
             f.write_at(ctx, (comm.rank() * (64 << 10)) as u64, b, 64 << 10)
                 .unwrap();
         });
-        assert_eq!(report.backend, "nfs");
+        assert_eq!(report.backend, DriverKind::Nfs);
         assert!(report.server_ops > 0);
         assert!(report.server_cpu > SimDuration::ZERO);
         assert!(report.server_kernel > SimDuration::ZERO);

@@ -11,12 +11,13 @@ use std::sync::Arc;
 use dafs::{DafsClient, DafsClientConfig, DafsServerCost};
 use memfs::MemFs;
 use nfsv3::{NfsClient, NfsClientConfig, NfsServerCost};
+use obs::{Obs, Snapshot};
 use parking_lot::Mutex;
 use simnet::{ActorCtx, Cluster, Host, SimDuration, SimKernel, SimTime};
 use tcpnet::{TcpCost, TcpFabric};
 use via::{ViaCost, ViaFabric};
 
-use crate::adio::{set_current_host, AdioFs, DafsAdio, NfsAdio, UfsAdio, UfsCost};
+use crate::adio::{set_current_host, AdioFs, DafsAdio, DriverKind, NfsAdio, UfsAdio, UfsCost};
 use crate::comm::{Comm, CommCost};
 
 /// Which file-access stack the job runs on.
@@ -75,12 +76,12 @@ impl Backend {
         }
     }
 
-    /// Short name for reports.
-    pub fn name(&self) -> &'static str {
+    /// Which ADIO driver this backend mounts.
+    pub fn kind(&self) -> DriverKind {
         match self {
-            Backend::Dafs { .. } => "dafs",
-            Backend::Nfs { .. } => "nfs",
-            Backend::Ufs { .. } => "ufs",
+            Backend::Dafs { .. } => DriverKind::Dafs,
+            Backend::Nfs { .. } => DriverKind::Nfs,
+            Backend::Ufs { .. } => DriverKind::Ufs,
         }
     }
 }
@@ -98,8 +99,12 @@ pub struct JobReport {
     pub ranks_cpu: SimDuration,
     /// Server requests served.
     pub server_ops: u64,
-    /// Backend name.
-    pub backend: &'static str,
+    /// Which backend the job ran on.
+    pub backend: DriverKind,
+    /// Whether trace output (`MPIO_DAFS_TRACE`) was enabled for the run.
+    pub traced: bool,
+    /// The metrics registry frozen at `end_time`.
+    pub snapshot: Snapshot,
 }
 
 /// A fully assembled simulated cluster ready to run one job.
@@ -118,9 +123,16 @@ pub struct Testbed {
 const PORT: u16 = 2049;
 
 impl Testbed {
-    /// Build the server side of a testbed.
+    /// Build the server side of a testbed. Observability follows the
+    /// environment (`MPIO_DAFS_TRACE`); use [`Testbed::with_obs`] to inject
+    /// a specific sink (deterministic trace tests).
     pub fn new(backend: Backend) -> Testbed {
-        let kernel = SimKernel::new();
+        Testbed::with_obs(backend, Obs::from_env())
+    }
+
+    /// Build a testbed whose kernel uses the given observability handle.
+    pub fn with_obs(backend: Backend, obs: Obs) -> Testbed {
+        let kernel = SimKernel::with_obs(obs);
         let cluster = Cluster::new();
         let fs = MemFs::new();
         let mut dafs_handle = None;
@@ -238,6 +250,7 @@ impl Testbed {
                 }
             },
         );
+        let obs = self.kernel.obs().clone();
         let end_time = self.kernel.run();
         let ranks_cpu = rank_hosts
             .lock()
@@ -260,8 +273,15 @@ impl Testbed {
             server_kernel,
             ranks_cpu,
             server_ops,
-            backend: self.backend.name(),
+            backend: self.backend.kind(),
+            traced: obs.enabled(),
+            snapshot: obs.snapshot(end_time.as_nanos()),
         }
+    }
+
+    /// The kernel's observability handle (registry + tracer).
+    pub fn obs(&self) -> &Obs {
+        self.kernel.obs()
     }
 }
 

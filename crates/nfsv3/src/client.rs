@@ -61,15 +61,34 @@ impl Default for NfsClientConfig {
 pub enum NfsError {
     /// Server returned a non-OK status.
     Status(NfsStatus),
-    /// Transport failure.
-    Transport,
+    /// Transport failure; carries the socket-level cause.
+    Transport(TcpError),
     /// Malformed reply.
     Protocol,
 }
 
 impl From<TcpError> for NfsError {
-    fn from(_: TcpError) -> NfsError {
-        NfsError::Transport
+    fn from(e: TcpError) -> NfsError {
+        NfsError::Transport(e)
+    }
+}
+
+impl std::fmt::Display for NfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NfsError::Status(s) => write!(f, "NFS server returned {s:?}"),
+            NfsError::Transport(e) => write!(f, "NFS transport failure: {e}"),
+            NfsError::Protocol => write!(f, "malformed NFS reply"),
+        }
+    }
+}
+
+impl std::error::Error for NfsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NfsError::Transport(e) => Some(e),
+            _ => None,
+        }
     }
 }
 
@@ -142,6 +161,20 @@ impl NfsClient {
     fn call(&self, ctx: &ActorCtx, proc_: NfsProc, args: XdrEnc) -> NfsResult<Vec<u8>> {
         let xid = self.xid.fetch_add(1, Ordering::Relaxed);
         self.stats.rpcs.inc();
+        // Whole-RPC virtual-time span: accrues nfs.rpc_ns / nfs.rpc.calls
+        // for the per-layer breakdown, and one trace event on completion.
+        let span = ctx.span("nfs", "rpc");
+        if ctx.obs().enabled() {
+            ctx.trace(
+                "nfs",
+                "rpc.start",
+                &[
+                    ("xid", obs::Value::U64(xid as u64)),
+                    ("proc", obs::Value::Str(&format!("{proc_:?}"))),
+                ],
+            );
+        }
+        let _span = span;
         self.host.compute(ctx, self.config.per_rpc_cpu);
         let mut e = XdrEnc::new();
         e.u32(xid);
@@ -186,10 +219,12 @@ impl NfsClient {
         if let Some((a, exp)) = self.attr_cache.lock().get(&fh.0) {
             if *exp > ctx.now() {
                 self.stats.ac_hits.inc();
+                ctx.metrics().counter("nfs.attrcache.hits").inc();
                 return Ok(*a);
             }
         }
         self.stats.ac_misses.inc();
+        ctx.metrics().counter("nfs.attrcache.misses").inc();
         self.getattr_uncached(ctx, fh)
     }
 
@@ -362,12 +397,14 @@ impl NfsClient {
                     .is_some_and(|(_, pv)| *pv == v);
                 if hit {
                     self.stats.dc_hits.inc();
+                    ctx.metrics().counter("nfs.pagecache.hits").inc();
                     if let Some(s) = run_start {
                         missing.push((s, p));
                         run_start = None;
                     }
                 } else {
                     self.stats.dc_misses.inc();
+                    ctx.metrics().counter("nfs.pagecache.misses").inc();
                     if run_start.is_none() {
                         run_start = Some(p);
                     }

@@ -1,8 +1,11 @@
 //! Property tests for the XDR codec: arbitrary sequences of fields must
 //! round-trip, with every opaque padded to 4-byte alignment.
+//!
+//! Field sequences come from the in-tree deterministic PRNG
+//! ([`simnet::Rng64`]); every run checks the same 256 cases.
 
 use nfsv3::xdr::{XdrDec, XdrEnc};
-use proptest::prelude::*;
+use simnet::Rng64;
 
 #[derive(Debug, Clone)]
 enum Field {
@@ -12,47 +15,74 @@ enum Field {
     Str(String),
 }
 
-fn arb_field() -> impl Strategy<Value = Field> {
-    prop_oneof![
-        any::<u32>().prop_map(Field::U32),
-        any::<u64>().prop_map(Field::U64),
-        proptest::collection::vec(any::<u8>(), 0..64).prop_map(Field::Opaque),
-        "[a-zA-Z0-9._/-]{0,24}".prop_map(Field::Str),
-    ]
+const STR_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._/-";
+
+fn gen_field(rng: &mut Rng64) -> Field {
+    match rng.below(4) {
+        0 => Field::U32(rng.next_u64() as u32),
+        1 => Field::U64(rng.next_u64()),
+        2 => {
+            let len = rng.range_usize(0, 64);
+            Field::Opaque(rng.bytes(len))
+        }
+        _ => {
+            let len = rng.range_usize(0, 25);
+            Field::Str(
+                (0..len)
+                    .map(|_| STR_CHARS[rng.range_usize(0, STR_CHARS.len())] as char)
+                    .collect(),
+            )
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn sequences_roundtrip(fields in proptest::collection::vec(arb_field(), 0..16)) {
+#[test]
+fn sequences_roundtrip() {
+    let mut rng = Rng64::new(0x0DD5_0001);
+    for case in 0..256 {
+        let fields: Vec<Field> = (0..rng.range_usize(0, 16))
+            .map(|_| gen_field(&mut rng))
+            .collect();
         let mut e = XdrEnc::new();
         for f in &fields {
             match f {
-                Field::U32(v) => { e.u32(*v); }
-                Field::U64(v) => { e.u64(*v); }
-                Field::Opaque(v) => { e.opaque(v); }
-                Field::Str(s) => { e.string(s); }
+                Field::U32(v) => {
+                    e.u32(*v);
+                }
+                Field::U64(v) => {
+                    e.u64(*v);
+                }
+                Field::Opaque(v) => {
+                    e.opaque(v);
+                }
+                Field::Str(s) => {
+                    e.string(s);
+                }
             }
         }
         let bytes = e.finish();
-        prop_assert_eq!(bytes.len() % 4, 0, "XDR stream must stay 4-aligned");
+        assert_eq!(bytes.len() % 4, 0, "XDR stream must stay 4-aligned");
         let mut d = XdrDec::new(&bytes);
         for f in &fields {
             match f {
-                Field::U32(v) => prop_assert_eq!(d.u32().unwrap(), *v),
-                Field::U64(v) => prop_assert_eq!(d.u64().unwrap(), *v),
-                Field::Opaque(v) => prop_assert_eq!(&d.opaque().unwrap(), v),
-                Field::Str(s) => prop_assert_eq!(&d.string().unwrap(), s),
+                Field::U32(v) => assert_eq!(d.u32().unwrap(), *v, "case {case}"),
+                Field::U64(v) => assert_eq!(d.u64().unwrap(), *v, "case {case}"),
+                Field::Opaque(v) => assert_eq!(&d.opaque().unwrap(), v, "case {case}"),
+                Field::Str(s) => assert_eq!(&d.string().unwrap(), s, "case {case}"),
             }
         }
-        prop_assert_eq!(d.remaining(), 0);
+        assert_eq!(d.remaining(), 0);
     }
+}
 
-    /// Decoding random garbage never panics — it either yields values or
-    /// errors.
-    #[test]
-    fn decoder_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+/// Decoding random garbage never panics — it either yields values or
+/// errors.
+#[test]
+fn decoder_is_total() {
+    let mut rng = Rng64::new(0x0DD5_0002);
+    for _ in 0..256 {
+        let len = rng.range_usize(0, 64);
+        let bytes = rng.bytes(len);
         let mut d = XdrDec::new(&bytes);
         let _ = d.u32();
         let _ = d.opaque();

@@ -1,0 +1,82 @@
+//! Hand-rolled JSON emission (the build environment has no serde): enough
+//! to write valid JSON-lines trace records and snapshot objects.
+
+/// Append `s` to `out` as a JSON string literal (quoted, escaped).
+pub fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A JSON string literal for `s`.
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    push_str(&mut out, s);
+    out
+}
+
+/// Append a finite `f64` (JSON has no NaN/Inf; those become null).
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Append a `[...]` array of pre-rendered JSON values.
+pub fn push_array(out: &mut String, items: &[String]) {
+    out.push('[');
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(item);
+    }
+    out.push(']');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(quote("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(quote("plain"), r#""plain""#);
+    }
+
+    #[test]
+    fn control_chars_become_unicode_escapes() {
+        assert_eq!(quote("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn f64_nonfinite_is_null() {
+        let mut s = String::new();
+        push_f64(&mut s, f64::INFINITY);
+        assert_eq!(s, "null");
+        s.clear();
+        push_f64(&mut s, 1.5);
+        assert_eq!(s, "1.5");
+    }
+
+    #[test]
+    fn arrays_join_with_commas() {
+        let mut s = String::new();
+        push_array(&mut s, &["1".into(), "2".into()]);
+        assert_eq!(s, "[1,2]");
+    }
+}

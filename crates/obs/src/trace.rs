@@ -1,0 +1,201 @@
+//! The structured event tracer: virtual-time-stamped JSON-lines records.
+//!
+//! The tracer is either **enabled** (holds a shared sink) or **disabled**
+//! (`sink == None`) — the disabled form is a single branch on the hot path
+//! and writes nothing, so tracing can stay compiled in everywhere without
+//! perturbing the simulation.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use crate::json;
+
+/// One typed field value in a trace event.
+#[derive(Debug, Clone, Copy)]
+pub enum Value<'a> {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (non-finite renders as null).
+    F64(f64),
+    /// String.
+    Str(&'a str),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value<'_> {
+    fn push_json(&self, out: &mut String) {
+        match self {
+            Value::U64(v) => out.push_str(&v.to_string()),
+            Value::I64(v) => out.push_str(&v.to_string()),
+            Value::F64(v) => json::push_f64(out, *v),
+            Value::Str(s) => json::push_str(out, s),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        }
+    }
+}
+
+impl From<u64> for Value<'_> {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl<'a> From<&'a str> for Value<'a> {
+    fn from(v: &'a str) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value<'_> {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+type SharedSink = Arc<Mutex<Box<dyn Write + Send>>>;
+
+/// A JSON-lines event sink, cheaply cloneable.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    sink: Option<SharedSink>,
+}
+
+impl Tracer {
+    /// A tracer that drops everything (one branch per call).
+    pub fn disabled() -> Tracer {
+        Tracer { sink: None }
+    }
+
+    /// A tracer writing JSON lines to `w`.
+    pub fn to_writer(w: Box<dyn Write + Send>) -> Tracer {
+        Tracer {
+            sink: Some(Arc::new(Mutex::new(w))),
+        }
+    }
+
+    /// Whether events are being recorded.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Write one event record. No-op when disabled.
+    pub fn event(
+        &self,
+        t_ns: u64,
+        actor: &str,
+        layer: &str,
+        event: &str,
+        fields: &[(&str, Value<'_>)],
+    ) {
+        let Some(sink) = &self.sink else { return };
+        let mut line = String::with_capacity(96 + fields.len() * 24);
+        line.push_str("{\"type\":\"event\",\"t_ns\":");
+        line.push_str(&t_ns.to_string());
+        line.push_str(",\"actor\":");
+        json::push_str(&mut line, actor);
+        line.push_str(",\"layer\":");
+        json::push_str(&mut line, layer);
+        line.push_str(",\"event\":");
+        json::push_str(&mut line, event);
+        if !fields.is_empty() {
+            line.push_str(",\"fields\":{");
+            for (i, (k, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                json::push_str(&mut line, k);
+                line.push(':');
+                v.push_json(&mut line);
+            }
+            line.push('}');
+        }
+        line.push_str("}\n");
+        let mut w = sink.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = w.write_all(line.as_bytes());
+    }
+
+    /// Write one pre-rendered JSON line (snapshots). No-op when disabled.
+    pub fn raw_line(&self, line: &str) {
+        let Some(sink) = &self.sink else { return };
+        let mut w = sink.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = w.write_all(line.as_bytes());
+        let _ = w.write_all(b"\n");
+    }
+
+    /// Flush the sink (end of a simulation run).
+    pub fn flush(&self) {
+        if let Some(sink) = &self.sink {
+            let _ = sink.lock().unwrap_or_else(|e| e.into_inner()).flush();
+        }
+    }
+}
+
+/// An in-memory trace sink for tests: the tracer side writes, the holder
+/// reads the accumulated bytes afterwards.
+#[derive(Clone, Default)]
+pub struct TraceBuffer {
+    buf: Arc<Mutex<Vec<u8>>>,
+}
+
+impl TraceBuffer {
+    /// Create an empty buffer.
+    pub fn new() -> TraceBuffer {
+        TraceBuffer::default()
+    }
+
+    /// The bytes written so far.
+    pub fn contents(&self) -> Vec<u8> {
+        self.buf.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+}
+
+impl Write for TraceBuffer {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.buf
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .extend_from_slice(data);
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_writes_nothing() {
+        let t = Tracer::disabled();
+        assert!(!t.enabled());
+        t.event(1, "a", "sim", "noop", &[]);
+        t.flush();
+    }
+
+    #[test]
+    fn event_lines_are_json_objects() {
+        let buf = TraceBuffer::new();
+        let t = Tracer::to_writer(Box::new(buf.clone()));
+        t.event(
+            7_000,
+            "rank0",
+            "via",
+            "doorbell",
+            &[("bytes", Value::U64(4096)), ("kind", Value::Str("send"))],
+        );
+        t.flush();
+        let s = String::from_utf8(buf.contents()).unwrap();
+        assert_eq!(
+            s,
+            "{\"type\":\"event\",\"t_ns\":7000,\"actor\":\"rank0\",\"layer\":\"via\",\
+             \"event\":\"doorbell\",\"fields\":{\"bytes\":4096,\"kind\":\"send\"}}\n"
+        );
+    }
+}

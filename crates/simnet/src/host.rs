@@ -234,6 +234,15 @@ impl Host {
     /// charges the host CPU meter.
     pub fn compute(&self, ctx: &ActorCtx, d: SimDuration) {
         self.cpu.add(d);
+        ctx.metrics().counter("sim.cpu_ns").add(d.as_nanos());
+        ctx.trace(
+            "sim",
+            "cpu.compute",
+            &[
+                ("host", obs::Value::Str(&self.name)),
+                ("busy_ns", obs::Value::U64(d.as_nanos())),
+            ],
+        );
         ctx.advance(d);
     }
 

@@ -21,6 +21,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use obs::{Obs, Registry, Value};
 use parking_lot::{Condvar, Mutex};
 
 use crate::time::{SimDuration, SimTime};
@@ -94,6 +95,9 @@ pub(crate) struct KernelInner {
     clocks: Mutex<Vec<Arc<AtomicU64>>>,
     /// Global trace flag (diagnostics only).
     trace: AtomicU64,
+    /// Observability handle shared by every actor: structured tracer plus
+    /// the metrics registry. Never advances virtual time.
+    obs: Obs,
 }
 
 impl KernelInner {
@@ -115,8 +119,17 @@ impl Default for SimKernel {
 }
 
 impl SimKernel {
-    /// Create a new instance with default state.
+    /// Create a new instance with default state. Structured tracing follows
+    /// the environment: when `MPIO_DAFS_TRACE=<path>` is set, every actor's
+    /// events append to that file as JSON lines.
     pub fn new() -> SimKernel {
+        SimKernel::with_obs(Obs::from_env())
+    }
+
+    /// Create a kernel with an explicit observability handle (tests use
+    /// [`Obs::buffered`] to capture the trace deterministically in memory;
+    /// [`Obs::disabled`] turns event emission off).
+    pub fn with_obs(obs: Obs) -> SimKernel {
         SimKernel {
             inner: Arc::new(KernelInner {
                 state: Mutex::new(SchedState::default()),
@@ -124,8 +137,14 @@ impl SimKernel {
                 actors_cv: Condvar::new(),
                 clocks: Mutex::new(Vec::new()),
                 trace: AtomicU64::new(0),
+                obs,
             }),
         }
+    }
+
+    /// The kernel's observability handle.
+    pub fn obs(&self) -> &Obs {
+        &self.inner.obs
     }
 
     /// Enable or disable stderr event tracing (debugging aid).
@@ -163,8 +182,10 @@ impl SimKernel {
 
         let thread_inner = inner.clone();
         let thread_name = format!("sim-{}-{}", id.0, name);
+        inner.obs.registry().counter("sim.actors.spawned").inc();
         let ctx = ActorCtx {
             id,
+            name: Arc::from(name),
             kernel: thread_inner.clone(),
             clock,
         };
@@ -173,7 +194,9 @@ impl SimKernel {
             .spawn(move || {
                 // Wait for our first turn before touching any shared state.
                 ctx.wait_for_turn();
+                ctx.trace("sim", "actor.start", &[("daemon", Value::Bool(daemon))]);
                 let result = panic::catch_unwind(AssertUnwindSafe(|| body(&ctx)));
+                ctx.trace("sim", "actor.exit", &[("ok", Value::Bool(result.is_ok()))]);
                 let mut st = thread_inner.state.lock();
                 if let Err(payload) = result {
                     let msg = payload
@@ -278,6 +301,9 @@ impl SimKernel {
                         let end = st.horizon;
                         drop(st);
                         self.detach_threads();
+                        // Close out the trace: final registry snapshot at the
+                        // virtual end time, then flush the sink.
+                        inner.obs.emit_snapshot(end.as_nanos());
                         return end;
                     }
                     drop(st);
@@ -319,6 +345,7 @@ impl SimKernel {
 /// thread and must not leak to another.
 pub struct ActorCtx {
     id: ActorId,
+    name: Arc<str>,
     kernel: Arc<KernelInner>,
     clock: Arc<AtomicU64>,
 }
@@ -327,6 +354,44 @@ impl ActorCtx {
     /// This actor's id.
     pub fn id(&self) -> ActorId {
         self.id
+    }
+
+    /// This actor's name (as passed to `spawn`); stamps trace events.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The simulation-wide observability handle.
+    pub fn obs(&self) -> &Obs {
+        &self.kernel.obs
+    }
+
+    /// The simulation-wide metrics registry (always live).
+    pub fn metrics(&self) -> &Registry {
+        self.kernel.obs.registry()
+    }
+
+    /// Emit one structured trace event stamped with this actor's name and
+    /// current virtual time. Costs a single branch when tracing is off.
+    #[inline]
+    pub fn trace(&self, layer: &str, event: &str, fields: &[(&str, Value<'_>)]) {
+        let obs = &self.kernel.obs;
+        if obs.enabled() {
+            obs.emit(self.now().as_nanos(), &self.name, layer, event, fields);
+        }
+    }
+
+    /// Open a timed span over `{layer}.{op}`. On drop the span adds the
+    /// elapsed virtual time to the `{layer}.{op}_ns` counter, bumps
+    /// `{layer}.{op}.calls`, and (when tracing) emits one event carrying
+    /// both endpoints. Spans never advance time themselves.
+    pub fn span(&self, layer: &'static str, op: &'static str) -> Span<'_> {
+        Span {
+            ctx: self,
+            layer,
+            op,
+            start: self.now(),
+        }
     }
 
     /// Current local virtual time.
@@ -470,7 +535,38 @@ impl ActorCtx {
             generation,
         }));
     }
+}
 
+/// RAII virtual-time span (see [`ActorCtx::span`]).
+///
+/// Time spent between construction and drop — as measured on the actor's
+/// *virtual* clock — accrues to the `{layer}.{op}_ns` counter, which the
+/// bench reports aggregate into per-layer time-breakdown tables.
+#[must_use = "a span measures the time until it is dropped"]
+pub struct Span<'a> {
+    ctx: &'a ActorCtx,
+    layer: &'static str,
+    op: &'static str,
+    start: SimTime,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let start = self.start.as_nanos();
+        let end = self.ctx.now().as_nanos();
+        let elapsed = end.saturating_sub(start);
+        let reg = self.ctx.kernel.obs.registry();
+        reg.counter(&format!("{}.{}_ns", self.layer, self.op)).add(elapsed);
+        reg.counter(&format!("{}.{}.calls", self.layer, self.op)).inc();
+        self.ctx.trace(
+            self.layer,
+            self.op,
+            &[
+                ("start_ns", Value::U64(start)),
+                ("elapsed_ns", Value::U64(elapsed)),
+            ],
+        );
+    }
 }
 
 #[cfg(test)]

@@ -50,12 +50,18 @@ mod stats;
 
 pub mod cost;
 pub mod host;
+pub mod rng;
 pub mod time;
 
+/// Re-export of the observability crate so downstream layers can name
+/// `simnet::obs::...` without a separate dependency edge.
+pub use obs;
+
 pub use host::{Cluster, CpuMeter, Host, HostId, HostMem, Stopwatch, VirtAddr};
-pub use kernel::{ActorCtx, ActorId, SimKernel};
+pub use kernel::{ActorCtx, ActorId, SimKernel, Span};
 pub use link::Link;
 pub use port::Port;
 pub use resource::Resource;
-pub use stats::{ByteMeter, Counter, Histogram};
+pub use rng::Rng64;
+pub use stats::{ByteMeter, Counter, DurationMetric, Histogram, WindowedRate};
 pub use time::{units, Bandwidth, SimDuration, SimTime};

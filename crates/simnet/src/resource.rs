@@ -69,7 +69,17 @@ impl Resource {
 
     /// Convenience: book at the caller's current time and sleep until done.
     pub fn use_blocking(&self, ctx: &ActorCtx, service: SimDuration) -> SimTime {
-        let done = self.book(ctx.now(), service);
+        let arrival = ctx.now();
+        let done = self.book(arrival, service);
+        ctx.trace(
+            "sim",
+            "resource.acquire",
+            &[
+                ("resource", obs::Value::Str(&self.name)),
+                ("service_ns", obs::Value::U64(service.as_nanos())),
+                ("queued_ns", obs::Value::U64((done - arrival).as_nanos() - service.as_nanos())),
+            ],
+        );
         ctx.sleep_until(done);
         done
     }

@@ -1,172 +1,37 @@
-//! Lightweight metrics: counters, byte meters, and log₂-bucketed histograms.
+//! Metrics instruments, re-exported from [`obs`].
 //!
-//! Everything here is lock-free (`AtomicU64`) and cloneable; the experiment
-//! harness collects them after `SimKernel::run` returns.
+//! Historically `simnet` defined its own `Counter`/`ByteMeter`/`Histogram`;
+//! they now live in the `obs` crate so the whole stack shares one set of
+//! instrument types and the [`obs::Registry`] can vend them behind named
+//! handles. The re-export keeps `simnet::{Counter, ByteMeter, Histogram}`
+//! working for every existing layer.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+pub use obs::{ByteMeter, Counter, Histogram};
 
 use crate::time::SimDuration;
 
-/// A monotone event counter.
-#[derive(Clone, Default)]
-pub struct Counter {
-    n: Arc<AtomicU64>,
+/// Duration-flavored helpers bridging [`obs`]'s plain-`u64` instruments to
+/// the simulator's time types.
+pub trait DurationMetric {
+    /// Record a virtual-time duration sample (stored as nanoseconds).
+    fn record_duration(&self, d: SimDuration);
 }
 
-impl Counter {
-    /// Create a new instance with default state.
-    pub fn new() -> Counter {
-        Counter::default()
-    }
-
-    #[inline]
-    /// Increment by one.
-    pub fn inc(&self) {
-        self.add(1);
-    }
-
-    #[inline]
-    /// Add `n` to the value.
-    pub fn add(&self, n: u64) {
-        self.n.fetch_add(n, Ordering::Relaxed);
-    }
-
-    /// Current value.
-    pub fn get(&self) -> u64 {
-        self.n.load(Ordering::Relaxed)
-    }
-
-    /// Reset to zero, returning the previous value.
-    pub fn reset(&self) -> u64 {
-        self.n.swap(0, Ordering::Relaxed)
-    }
-}
-
-/// Counts operations and the bytes they moved.
-#[derive(Clone, Default)]
-pub struct ByteMeter {
-    /// Operation count.
-    pub ops: Counter,
-    /// Byte count.
-    pub bytes: Counter,
-}
-
-impl ByteMeter {
-    /// Create a new instance with default state.
-    pub fn new() -> ByteMeter {
-        ByteMeter::default()
-    }
-
-    /// Record one sample.
-    pub fn record(&self, bytes: u64) {
-        self.ops.inc();
-        self.bytes.add(bytes);
-    }
-
-    /// Mean bytes per operation (0 if no ops).
-    pub fn mean_size(&self) -> f64 {
-        let ops = self.ops.get();
-        if ops == 0 {
-            0.0
-        } else {
-            self.bytes.get() as f64 / ops as f64
-        }
-    }
-
-    /// Throughput over a window, bytes/second.
-    pub fn throughput(&self, window: SimDuration) -> f64 {
-        if window.is_zero() {
-            return 0.0;
-        }
-        self.bytes.get() as f64 / window.as_secs_f64()
-    }
-}
-
-const BUCKETS: usize = 64;
-
-/// A log₂-bucketed histogram of u64 samples (latencies in ns, sizes in
-/// bytes). Bucket `i` holds samples with `highest_set_bit == i` (bucket 0
-/// holds 0 and 1).
-#[derive(Clone)]
-pub struct Histogram {
-    buckets: Arc<[AtomicU64; BUCKETS]>,
-    count: Counter,
-    sum: Counter,
-    max: Arc<AtomicU64>,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Histogram {
-    /// Create a new instance with default state.
-    pub fn new() -> Histogram {
-        Histogram {
-            buckets: Arc::new(std::array::from_fn(|_| AtomicU64::new(0))),
-            count: Counter::new(),
-            sum: Counter::new(),
-            max: Arc::new(AtomicU64::new(0)),
-        }
-    }
-
-    #[inline]
-    fn bucket_of(v: u64) -> usize {
-        (63 - v.max(1).leading_zeros()) as usize
-    }
-
-    /// Record one sample.
-    pub fn record(&self, v: u64) {
-        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
-        self.count.inc();
-        self.sum.add(v);
-        self.max.fetch_max(v, Ordering::Relaxed);
-    }
-
-    /// Record a duration sample in nanoseconds.
-    pub fn record_duration(&self, d: SimDuration) {
+impl DurationMetric for Histogram {
+    fn record_duration(&self, d: SimDuration) {
         self.record(d.as_nanos());
     }
+}
 
-    /// Number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.count.get()
-    }
+/// Throughput helper over a virtual-time window.
+pub trait WindowedRate {
+    /// Bytes/second moved during `window` of virtual time.
+    fn throughput(&self, window: SimDuration) -> f64;
+}
 
-    /// Arithmetic mean of recorded samples (0 if none).
-    pub fn mean(&self) -> f64 {
-        let c = self.count.get();
-        if c == 0 {
-            0.0
-        } else {
-            self.sum.get() as f64 / c as f64
-        }
-    }
-
-    /// The larger of the two values.
-    pub fn max(&self) -> u64 {
-        self.max.load(Ordering::Relaxed)
-    }
-
-    /// Approximate quantile from the log₂ buckets (returns the upper bound of
-    /// the bucket containing the q-quantile sample).
-    pub fn quantile(&self, q: f64) -> u64 {
-        let total = self.count.get();
-        if total == 0 {
-            return 0;
-        }
-        let target = ((total as f64) * q).ceil() as u64;
-        let mut seen = 0;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= target {
-                return 1u64 << (i + 1).min(63);
-            }
-        }
-        u64::MAX
+impl WindowedRate for ByteMeter {
+    fn throughput(&self, window: SimDuration) -> f64 {
+        self.throughput_ns(window.as_nanos())
     }
 }
 
@@ -176,53 +41,13 @@ mod tests {
     use crate::time::units::*;
 
     #[test]
-    fn counter_basics() {
-        let c = Counter::new();
-        c.inc();
-        c.add(4);
-        assert_eq!(c.get(), 5);
-        assert_eq!(c.reset(), 5);
-        assert_eq!(c.get(), 0);
-    }
-
-    #[test]
-    fn counter_clone_shares_state() {
-        let c = Counter::new();
-        let c2 = c.clone();
-        c2.add(7);
-        assert_eq!(c.get(), 7);
-    }
-
-    #[test]
-    fn byte_meter_math() {
+    fn duration_bridges_to_nanos() {
+        let h = Histogram::new();
+        h.record_duration(us(3));
+        assert_eq!(h.max(), 3_000);
         let m = ByteMeter::new();
-        m.record(100);
-        m.record(300);
-        assert_eq!(m.ops.get(), 2);
-        assert_eq!(m.bytes.get(), 400);
-        assert!((m.mean_size() - 200.0).abs() < 1e-9);
+        m.record(400);
         // 400 B in 4us = 100 MB/s.
         assert!((m.throughput(us(4)) - 1e8).abs() < 1.0);
-    }
-
-    #[test]
-    fn histogram_buckets_and_stats() {
-        let h = Histogram::new();
-        for v in [0u64, 1, 2, 3, 1000, 1_000_000] {
-            h.record(v);
-        }
-        assert_eq!(h.count(), 6);
-        assert_eq!(h.max(), 1_000_000);
-        assert!((h.mean() - (1_001_006.0 / 6.0)).abs() < 1e-6);
-        // Median lands in a small bucket.
-        assert!(h.quantile(0.5) <= 8);
-        assert!(h.quantile(1.0) >= 1_000_000);
-    }
-
-    #[test]
-    fn histogram_empty_quantile_is_zero() {
-        let h = Histogram::new();
-        assert_eq!(h.quantile(0.99), 0);
-        assert_eq!(h.mean(), 0.0);
     }
 }

@@ -1,8 +1,10 @@
 //! Stress and property tests for the DES substrate.
+//!
+//! Randomized cases are driven by the in-tree deterministic PRNG
+//! ([`simnet::Rng64`]) so every run checks identical inputs.
 
-use proptest::prelude::*;
 use simnet::time::units::*;
-use simnet::{Cluster, Port, Resource, SimDuration, SimKernel, SimTime};
+use simnet::{Cluster, Port, Resource, Rng64, SimDuration, SimKernel, SimTime};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -85,49 +87,52 @@ fn nested_spawn_tree() {
     assert_eq!(end, SimTime::ZERO + us(6));
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Resource FIFO algebra: completions are nondecreasing when arrivals
-    /// are nondecreasing, total busy equals the sum of services, and no
-    /// service starts before its arrival.
-    #[test]
-    fn resource_fifo_invariants(jobs in proptest::collection::vec((0u64..1000, 1u64..100), 1..40)) {
+/// Resource FIFO algebra: completions are nondecreasing when arrivals
+/// are nondecreasing, total busy equals the sum of services, and no
+/// service starts before its arrival.
+#[test]
+fn resource_fifo_invariants() {
+    let mut rng = Rng64::new(0x5E55_0001);
+    for case in 0..64 {
         let r = Resource::new("x");
-        let mut arrivals: Vec<(u64, u64)> = jobs.clone();
+        let mut arrivals: Vec<(u64, u64)> = (0..rng.range_usize(1, 40))
+            .map(|_| (rng.below(1000), rng.range(1, 100)))
+            .collect();
         arrivals.sort_unstable();
         let mut last_completion = 0u64;
         let mut total = 0u64;
         for (arr, svc) in &arrivals {
             let (start, done) = r.book_span(SimTime(*arr), SimDuration(*svc));
-            prop_assert!(start.as_nanos() >= *arr);
-            prop_assert!(start.as_nanos() >= last_completion);
-            prop_assert_eq!(done.as_nanos(), start.as_nanos() + svc);
+            assert!(start.as_nanos() >= *arr, "case {case}");
+            assert!(start.as_nanos() >= last_completion, "case {case}");
+            assert_eq!(done.as_nanos(), start.as_nanos() + svc);
             last_completion = done.as_nanos();
             total += svc;
         }
-        prop_assert_eq!(r.busy_total().as_nanos(), total);
-        prop_assert_eq!(r.bookings(), arrivals.len() as u64);
+        assert_eq!(r.busy_total().as_nanos(), total);
+        assert_eq!(r.bookings(), arrivals.len() as u64);
     }
+}
 
-    /// HostMem: random disjoint allocations keep their contents.
-    #[test]
-    fn hostmem_allocations_are_isolated(
-        sizes in proptest::collection::vec(1usize..4096, 1..12),
-        patterns in proptest::collection::vec(any::<u8>(), 1..12),
-    ) {
+/// HostMem: random disjoint allocations keep their contents.
+#[test]
+fn hostmem_allocations_are_isolated() {
+    let mut rng = Rng64::new(0x5E55_0002);
+    for _ in 0..64 {
         let cluster = Cluster::new();
         let host = cluster.add_host("h");
-        let n = sizes.len().min(patterns.len());
+        let n = rng.range_usize(1, 12);
         let mut bufs = Vec::new();
-        for i in 0..n {
-            let a = host.mem.alloc(sizes[i]);
-            host.mem.fill(a, sizes[i], patterns[i]);
-            bufs.push((a, sizes[i], patterns[i]));
+        for _ in 0..n {
+            let size = rng.range_usize(1, 4096);
+            let pat = rng.byte();
+            let a = host.mem.alloc(size);
+            host.mem.fill(a, size, pat);
+            bufs.push((a, size, pat));
         }
         for (a, len, pat) in &bufs {
             let got = host.mem.read_vec(*a, *len);
-            prop_assert!(got.iter().all(|b| b == pat));
+            assert!(got.iter().all(|b| b == pat));
         }
     }
 }

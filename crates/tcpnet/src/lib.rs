@@ -91,6 +91,17 @@ pub enum TcpError {
     ConnectionRefused,
 }
 
+impl std::fmt::Display for TcpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TcpError::Closed => write!(f, "connection closed by peer"),
+            TcpError::ConnectionRefused => write!(f, "connection refused"),
+        }
+    }
+}
+
+impl std::error::Error for TcpError {}
+
 enum Chunk {
     Data(Vec<u8>),
     Fin,
@@ -300,6 +311,16 @@ impl Socket {
         let n = bytes.len() as u64;
         s.local_host.compute(ctx, s.cost.send_cpu(n));
         let npkts = s.cost.packets(n);
+        ctx.metrics().byte_meter("tcp.tx.bytes").record(n);
+        ctx.metrics().counter("tcp.packets").add(npkts);
+        ctx.trace(
+            "tcp",
+            "segment.tx",
+            &[
+                ("bytes", obs::Value::U64(n)),
+                ("packets", obs::Value::U64(npkts)),
+            ],
+        );
         let wire_bytes = n + npkts * s.cost.header_bytes;
         let ser = s.cost.wire_bw.time_for(wire_bytes);
         let (tx_start, _tx_done) = s.local_net.tx_wire.book_span(ctx.now(), ser);
@@ -328,6 +349,8 @@ impl Socket {
                     let out: Vec<u8> = buf.drain(..n).collect();
                     drop(buf);
                     s.local_host.compute(ctx, s.cost.recv_cpu(n as u64));
+                    ctx.metrics().byte_meter("tcp.rx.bytes").record(n as u64);
+                    ctx.trace("tcp", "segment.rx", &[("bytes", obs::Value::U64(n as u64))]);
                     return Ok(out);
                 }
                 if *s.fin_seen.lock() {

@@ -37,6 +37,23 @@ impl ViaStatus {
     }
 }
 
+impl std::fmt::Display for ViaStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ViaStatus::Success => "success",
+            ViaStatus::LocalProtectionError => "local protection error",
+            ViaStatus::RemoteProtectionError => "remote protection error",
+            ViaStatus::LengthError => "receive descriptor too small",
+            ViaStatus::DescriptorError => "malformed descriptor",
+            ViaStatus::ConnectionLost => "connection lost",
+            ViaStatus::NotSupported => "operation not supported by NIC",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for ViaStatus {}
+
 impl From<MemError> for ViaStatus {
     fn from(e: MemError) -> ViaStatus {
         match e {

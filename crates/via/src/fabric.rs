@@ -6,6 +6,7 @@
 //! round trip at small-message latency, like the real connection manager.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -13,7 +14,7 @@ use simnet::{ActorCtx, HostId, Port};
 
 use crate::cost::ViaCost;
 use crate::nic::ViaNic;
-use crate::vi::{Vi, ViAttributes, ViEnd};
+use crate::vi::{Vi, ViAttributes, ViEnd, ViId};
 
 /// Errors from connection establishment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,6 +24,17 @@ pub enum ConnectError {
     /// The listener rejected the request.
     Rejected,
 }
+
+impl std::fmt::Display for ConnectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConnectError::NoListener => write!(f, "no listener at the requested address"),
+            ConnectError::Rejected => write!(f, "connection rejected by listener"),
+        }
+    }
+}
+
+impl std::error::Error for ConnectError {}
 
 struct ConnRequest {
     client_end: Arc<ViEnd>,
@@ -48,6 +60,9 @@ struct FabricState {
 pub struct ViaFabric {
     state: Arc<Mutex<FabricState>>,
     cost: ViaCost,
+    /// Per-fabric VI id allocator — fabric-scoped (not process-global) so
+    /// identical runs hand out identical ids and traces stay reproducible.
+    next_vi_id: Arc<AtomicU64>,
 }
 
 impl ViaFabric {
@@ -57,7 +72,12 @@ impl ViaFabric {
         ViaFabric {
             state: Arc::new(Mutex::new(FabricState::default())),
             cost,
+            next_vi_id: Arc::new(AtomicU64::new(1)),
         }
+    }
+
+    fn alloc_vi_id(&self) -> ViId {
+        ViId(self.next_vi_id.fetch_add(1, Ordering::Relaxed))
     }
 
     /// The fabric-wide cost model.
@@ -80,6 +100,7 @@ impl ViaFabric {
         Listener {
             requests: p,
             nic: nic.clone(),
+            vi_ids: self.next_vi_id.clone(),
         }
     }
 
@@ -102,7 +123,7 @@ impl ViaFabric {
         .ok_or(ConnectError::NoListener)?;
 
         let ptag = nic.create_ptag();
-        let client_end = ViEnd::new(attrs, ptag);
+        let client_end = ViEnd::new(self.alloc_vi_id(), attrs, ptag);
         let reply: Port<ConnReply> = Port::new("conn-reply");
         // Request travels one way at small-message latency.
         let there = ctx.now() + self.cost.unloaded_one_way(64);
@@ -134,6 +155,7 @@ impl ViaFabric {
 pub struct Listener {
     requests: Port<ConnRequest>,
     nic: ViaNic,
+    vi_ids: Arc<AtomicU64>,
 }
 
 impl Listener {
@@ -142,7 +164,11 @@ impl Listener {
     pub fn accept(&self, ctx: &ActorCtx, attrs: ViAttributes) -> Option<Vi> {
         let req = self.requests.recv(ctx)?;
         let ptag = self.nic.create_ptag();
-        let server_end = ViEnd::new(attrs, ptag);
+        let server_end = ViEnd::new(
+            ViId(self.vi_ids.fetch_add(1, Ordering::Relaxed)),
+            attrs,
+            ptag,
+        );
         let back = ctx.now() + self.nic.cost().unloaded_one_way(64);
         req.reply.send(
             ctx,

@@ -90,7 +90,18 @@ impl ViaNic {
         self.inner
             .reg_cpu
             .fetch_add(cost.as_nanos(), Ordering::Relaxed);
-        self.inner.table.register(addr, len, attrs)
+        ctx.metrics().byte_meter("via.mem.registered").record(len);
+        let h = self.inner.table.register(addr, len, attrs);
+        ctx.trace(
+            "via",
+            "mem.register",
+            &[
+                ("handle", obs::Value::U64(h.0)),
+                ("len", obs::Value::U64(len)),
+                ("cost_ns", obs::Value::U64(cost.as_nanos())),
+            ],
+        );
+        h
     }
 
     /// Register memory that was pinned and programmed at boot time (server
@@ -118,6 +129,15 @@ impl ViaNic {
         self.inner
             .reg_cpu
             .fetch_add(self.inner.cost.dereg.as_nanos(), Ordering::Relaxed);
+        ctx.metrics().counter("via.mem.deregistered").inc();
+        ctx.trace(
+            "via",
+            "mem.deregister",
+            &[
+                ("handle", obs::Value::U64(h.0)),
+                ("len", obs::Value::U64(len)),
+            ],
+        );
         Ok(())
     }
 

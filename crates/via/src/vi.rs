@@ -10,7 +10,6 @@
 //! direct I/O leaves the client CPU idle.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -21,15 +20,11 @@ use crate::desc::{Completion, RecvDesc, SendDesc, SendOp, ViaStatus, WhichQueue}
 use crate::mem::{AccessKind, ProtectionTag};
 use crate::nic::ViaNic;
 
-/// Globally unique VI endpoint id (per fabric).
+/// Unique VI endpoint id, allocated per fabric (so two simulations in the
+/// same process — or the same simulation run twice — see identical ids,
+/// keeping trace streams byte-reproducible).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ViId(pub u64);
-
-static NEXT_VI_ID: AtomicU64 = AtomicU64::new(1);
-
-pub(crate) fn alloc_vi_id() -> ViId {
-    ViId(NEXT_VI_ID.fetch_add(1, Ordering::Relaxed))
-}
 
 /// Reliability level of a VI (the VIA spec's three levels collapse to two
 /// observable behaviours in this model).
@@ -107,8 +102,7 @@ pub(crate) struct ViEnd {
 }
 
 impl ViEnd {
-    pub(crate) fn new(attrs: ViAttributes, ptag: ProtectionTag) -> Arc<ViEnd> {
-        let id = alloc_vi_id();
+    pub(crate) fn new(id: ViId, attrs: ViAttributes, ptag: ProtectionTag) -> Arc<ViEnd> {
         Arc::new(ViEnd {
             id,
             incoming: Port::new(&format!("vi{}.rq", id.0)),
@@ -155,6 +149,19 @@ impl Vi {
 
     fn complete_send(&self, ctx: &ActorCtx, c: Completion) {
         let at = c.at;
+        ctx.metrics().counter("via.completions").inc();
+        if ctx.obs().enabled() {
+            ctx.trace(
+                "via",
+                "completion",
+                &[
+                    ("vi", obs::Value::U64(self.local.id.0)),
+                    ("status", obs::Value::Str(&format!("{:?}", c.status))),
+                    ("len", obs::Value::U64(c.len)),
+                    ("at_ns", obs::Value::U64(at.as_nanos())),
+                ],
+            );
+        }
         self.local.send_completions.send(ctx, c, at);
         if let Some(cq) = &self.local.attrs.send_cq {
             cq.notify(
@@ -186,6 +193,15 @@ impl Vi {
         let cost = self.nic.cost().post_recv
             + self.nic.cost().per_segment.saturating_mul(desc.segs.len() as u64);
         self.nic.host().compute(ctx, cost);
+        ctx.metrics().counter("via.descriptors.recv_posted").inc();
+        ctx.trace(
+            "via",
+            "post.recv",
+            &[
+                ("vi", obs::Value::U64(self.local.id.0)),
+                ("capacity", obs::Value::U64(desc.capacity())),
+            ],
+        );
         self.local.posted_recvs.lock().push_back(PostedRecv {
             desc,
             posted_at: ctx.now(),
@@ -204,6 +220,25 @@ impl Vi {
         let cost = self.nic.cost().post_send
             + self.nic.cost().per_segment.saturating_mul(desc.segs.len() as u64);
         self.nic.host().compute(ctx, cost);
+        // The doorbell write is the user-level I/O submission the paper's
+        // VIA path is built around: count every ring.
+        ctx.metrics().counter("via.doorbells").inc();
+        ctx.trace(
+            "via",
+            "doorbell",
+            &[
+                ("vi", obs::Value::U64(self.local.id.0)),
+                (
+                    "op",
+                    obs::Value::Str(match desc.op {
+                        SendOp::Send => "send",
+                        SendOp::RdmaWrite => "rdma_write",
+                        SendOp::RdmaRead => "rdma_read",
+                    }),
+                ),
+                ("len", obs::Value::U64(desc.total_len())),
+            ],
+        );
 
         if self.state() != ViState::Connected {
             return self.complete_send(
@@ -292,6 +327,7 @@ impl Vi {
                 },
             );
         }
+        ctx.metrics().byte_meter("via.send.bytes").record(len);
         let bytes = self.gather(&desc);
         let (tx_done, delivery) = self.wire_times(ctx, len);
         self.peer.incoming.send(
@@ -357,6 +393,7 @@ impl Vi {
             );
         }
         // Move the bytes (the peer host CPU is *not* involved).
+        ctx.metrics().byte_meter("via.rdma.bytes").record(len);
         let bytes = self.gather(&desc);
         self.peer_nic.host().mem.write(remote.addr, &bytes);
         let (tx_done, delivery) = self.wire_times(ctx, len);
@@ -431,6 +468,7 @@ impl Vi {
                 },
             );
         }
+        ctx.metrics().byte_meter("via.rdma.bytes").record(len);
         let c = self.nic.cost();
         // Request (small control message) to the peer NIC...
         let req_at = ctx.now() + c.tx_nic_proc + c.wire_latency;

@@ -8,7 +8,7 @@
 //! cargo run --example perf_sweep --release
 //! ```
 
-use mpio_dafs::mpiio::{Backend, Hints, MpiFile, OpenMode, Testbed};
+use mpio_dafs::mpiio::{Backend, OpenOptions, Testbed};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -23,7 +23,7 @@ struct PerfRow {
 }
 
 fn run(backend: Backend) -> PerfRow {
-    let name = backend.name();
+    let name = backend.kind().as_str();
     let testbed = Testbed::new(backend);
     // (write_ns, write_sync_ns, read_ns) — max across ranks.
     let write_ns = Arc::new(AtomicU64::new(0));
@@ -33,15 +33,10 @@ fn run(backend: Backend) -> PerfRow {
 
     testbed.run(RANKS, move |ctx, comm, adio| {
         let host = comm.host().clone();
-        let file = MpiFile::open(
-            ctx,
-            adio,
-            &host,
-            "/perf.dat",
-            OpenMode::create(),
-            Hints::default(),
-        )
-        .expect("open");
+        let file = OpenOptions::new()
+            .create(true)
+            .open(ctx, adio, &host, "/perf.dat")
+            .expect("open");
         let buf = host.mem.alloc(SLAB);
         host.mem.fill(buf, SLAB, comm.rank() as u8 + 1);
         let my_off = (comm.rank() * SLAB) as u64;

@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Local CI: build, test, lint. Run from the repo root; fails fast.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci: OK"

@@ -6,6 +6,8 @@
 //!
 //! The stack, bottom to top:
 //!
+//! * [`obs`] — virtual-time structured tracing + the hierarchical metrics
+//!   registry every layer reports into (`MPIO_DAFS_TRACE` JSON-lines sink).
 //! * [`simnet`] — deterministic discrete-event substrate (virtual time,
 //!   actors, links, host CPU/memory models).
 //! * [`via`] — Virtual Interface Architecture provider (VIPL-style API:
@@ -24,6 +26,7 @@ pub use dafs;
 pub use memfs;
 pub use mpiio;
 pub use nfsv3;
+pub use obs;
 pub use simnet;
 pub use tcpnet;
 pub use via;

@@ -3,6 +3,7 @@
 //! EXPERIMENTS.md rests on.
 
 use mpio_dafs::mpiio::{write_at_all, Backend, Datatype, Hints, MpiFile, OpenMode, Testbed};
+use mpio_dafs::obs::{Obs, Snapshot};
 
 fn run_once(backend: Backend, ranks: usize) -> (u64, u64, Vec<u8>) {
     let tb = Testbed::new(backend);
@@ -68,4 +69,86 @@ fn backend_swap_changes_time_not_bytes() {
     let nfs = run_once(Backend::nfs(), 3);
     assert_ne!(dafs.0, nfs.0);
     assert_eq!(dafs.2, nfs.2, "same program, same bytes, any backend");
+}
+
+// --- observability determinism ---------------------------------------------
+//
+// The observability layer must be as deterministic as the timeline it
+// describes: two identical runs must produce byte-identical trace streams
+// and equal metrics snapshots, and turning tracing *on* must not move the
+// virtual clock.
+
+/// Same program as [`run_once`], but traced into an in-memory buffer.
+/// Returns (end ns, trace bytes, snapshot).
+fn run_traced(backend: Backend, ranks: usize) -> (u64, Vec<u8>, Snapshot) {
+    let (obs, buf) = Obs::buffered();
+    let tb = Testbed::with_obs(backend, obs);
+    let report = tb.run(ranks, move |ctx, comm, adio| {
+        let host = comm.host().clone();
+        let f = MpiFile::open(ctx, adio, &host, "/det", OpenMode::create(), Hints::default())
+            .unwrap();
+        let block = 16 << 10;
+        let el = Datatype::bytes(block);
+        let ft = Datatype::resized(
+            &Datatype::hindexed(&[(1, (comm.rank() as u64 * block) as i64)], &el),
+            0,
+            ranks as u64 * block,
+        );
+        f.set_view(0, &el, &ft);
+        let src = host.mem.alloc(3 * block as usize);
+        host.mem.fill(src, 3 * block as usize, comm.rank() as u8 + 1);
+        write_at_all(ctx, comm, &f, 0, src, 3 * block).unwrap();
+        let dst = host.mem.alloc(block as usize);
+        f.read_at(ctx, comm.rank() as u64, dst, block).unwrap();
+    });
+    assert!(report.traced);
+    (report.end_time.as_nanos(), buf.contents(), report.snapshot)
+}
+
+#[test]
+fn traced_runs_emit_byte_identical_streams() {
+    let a = run_traced(Backend::dafs(), 4);
+    let b = run_traced(Backend::dafs(), 4);
+    assert_eq!(a.0, b.0, "virtual end times differ");
+    assert_eq!(a.2, b.2, "metrics snapshots differ");
+    assert_eq!(a.1, b.1, "trace streams differ");
+    // The stream is real: non-empty JSON lines ending in a snapshot record.
+    let text = String::from_utf8(a.1).unwrap();
+    assert!(text.lines().count() > 10, "suspiciously short trace");
+    assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    assert!(text.lines().last().unwrap().contains("\"type\":\"snapshot\""));
+}
+
+#[test]
+fn nfs_traced_runs_emit_byte_identical_streams() {
+    let a = run_traced(Backend::nfs(), 3);
+    let b = run_traced(Backend::nfs(), 3);
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.2, b.2);
+    assert_eq!(a.1, b.1);
+}
+
+#[test]
+fn tracing_does_not_perturb_the_timeline() {
+    let silent = run_once(Backend::dafs(), 4);
+    let traced = run_traced(Backend::dafs(), 4);
+    assert_eq!(
+        silent.0, traced.0,
+        "enabling the trace sink moved the virtual clock"
+    );
+}
+
+#[test]
+fn metrics_collect_even_when_tracing_is_disabled() {
+    let tb = Testbed::new(Backend::dafs());
+    let report = tb.run(2, |ctx, comm, adio| {
+        let host = comm.host().clone();
+        let f = MpiFile::open(ctx, adio, &host, "/m", OpenMode::create(), Hints::default())
+            .unwrap();
+        let src = host.mem.alloc(4096);
+        f.write_at(ctx, (comm.rank() * 4096) as u64, src, 4096).unwrap();
+    });
+    assert!(!report.traced);
+    assert!(report.snapshot.get("dafs.ops").unwrap().value() > 0);
+    assert!(report.snapshot.get("via.doorbells").is_some());
 }

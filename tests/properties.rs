@@ -1,42 +1,61 @@
-//! Property-based tests (proptest) on the core invariants:
-//! datatype flattening, view translation, the in-memory filesystem, the
-//! VIA queue discipline, and end-to-end parallel-write correctness.
+//! Property-style tests on the core invariants: datatype flattening, view
+//! translation, the in-memory filesystem, and end-to-end parallel-write
+//! correctness.
+//!
+//! Inputs are generated with the in-tree deterministic PRNG
+//! ([`simnet::Rng64`]) instead of an external property-testing framework:
+//! every run explores exactly the same cases, so a failure seed is the test
+//! name itself.
 
 use mpio_dafs::memfs::{MemFs, ROOT_ID};
-use mpio_dafs::mpiio::{write_at_all, Backend, Datatype, Hints, MpiFile, OpenMode, Testbed};
 use mpio_dafs::mpiio::FileView;
-use proptest::prelude::*;
+use mpio_dafs::mpiio::{write_at_all, Backend, Datatype, Hints, MpiFile, OpenMode, Testbed};
+use mpio_dafs::simnet::Rng64;
 
 // ---------------------------------------------------------------------------
 // Datatype algebra
 // ---------------------------------------------------------------------------
 
-/// A recursive strategy for small random datatypes.
-fn arb_datatype() -> impl Strategy<Value = Datatype> {
-    let leaf = (1u64..16).prop_map(Datatype::bytes);
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            (1u64..4, inner.clone()).prop_map(|(c, d)| Datatype::contiguous(c, &d)),
-            (1u64..4, 1u64..3, 0i64..6, inner.clone()).prop_map(|(c, b, extra, d)| {
-                // stride >= blocklen keeps lb at 0 and runs forward.
-                Datatype::vector(c, b, b as i64 + extra, &d)
-            }),
-            (proptest::collection::vec((1u64..3, 0i64..8), 1..4), inner.clone())
-                .prop_map(|(blocks, d)| Datatype::indexed(&blocks, &d)),
-            (inner.clone(), 0u64..8).prop_map(|(d, pad)| {
-                let ext = d.extent();
-                Datatype::resized(&d, 0, ext + pad)
-            }),
-        ]
-    })
+/// A small random datatype, recursing up to `depth` constructor levels.
+fn gen_datatype(rng: &mut Rng64, depth: u32) -> Datatype {
+    if depth == 0 {
+        return Datatype::bytes(rng.range(1, 16));
+    }
+    match rng.below(5) {
+        0 => Datatype::bytes(rng.range(1, 16)),
+        1 => {
+            let inner = gen_datatype(rng, depth - 1);
+            Datatype::contiguous(rng.range(1, 4), &inner)
+        }
+        2 => {
+            let inner = gen_datatype(rng, depth - 1);
+            let c = rng.range(1, 4);
+            let b = rng.range(1, 3);
+            let extra = rng.below(6) as i64;
+            // stride >= blocklen keeps lb at 0 and runs forward.
+            Datatype::vector(c, b, b as i64 + extra, &inner)
+        }
+        3 => {
+            let inner = gen_datatype(rng, depth - 1);
+            let blocks: Vec<(u64, i64)> = (0..rng.range(1, 4))
+                .map(|_| (rng.range(1, 3), rng.below(8) as i64))
+                .collect();
+            Datatype::indexed(&blocks, &inner)
+        }
+        _ => {
+            let inner = gen_datatype(rng, depth - 1);
+            let ext = inner.extent();
+            Datatype::resized(&inner, 0, ext + rng.below(8))
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// flatten() == type_map() with adjacent runs merged; size is the sum.
-    #[test]
-    fn flatten_matches_merged_typemap(dt in arb_datatype()) {
+/// flatten() == type_map() with adjacent runs merged; size is the sum.
+#[test]
+fn flatten_matches_merged_typemap() {
+    let mut rng = Rng64::new(0xDA7A_0001);
+    for _ in 0..128 {
+        let dt = gen_datatype(&mut rng, 3);
         let f = dt.flatten();
         let tm = dt.type_map();
         let mut merged: Vec<(i64, u64)> = Vec::new();
@@ -46,20 +65,24 @@ proptest! {
                 _ => merged.push((off, len)),
             }
         }
-        prop_assert_eq!(&f.runs, &merged);
-        prop_assert_eq!(f.size, merged.iter().map(|r| r.1).sum::<u64>());
+        assert_eq!(&f.runs, &merged, "datatype {dt:?}");
+        assert_eq!(f.size, merged.iter().map(|r| r.1).sum::<u64>());
         // Note: runs need NOT fit inside [lb, lb+extent) — a Resized type
         // may legally shrink the extent below the data span (overlapping
         // tiling). Only the natural (non-resized) bound is universal:
         if f.size > 0 {
-            prop_assert!(f.extent > 0, "nonempty type with zero extent");
+            assert!(f.extent > 0, "nonempty type with zero extent: {dt:?}");
         }
     }
+}
 
-    /// Tiling property: contiguous(2, dt) == dt runs followed by dt runs
-    /// shifted by the extent.
-    #[test]
-    fn contiguous_two_is_shifted_self(dt in arb_datatype()) {
+/// Tiling property: contiguous(2, dt) == dt runs followed by dt runs
+/// shifted by the extent.
+#[test]
+fn contiguous_two_is_shifted_self() {
+    let mut rng = Rng64::new(0xDA7A_0002);
+    for _ in 0..128 {
+        let dt = gen_datatype(&mut rng, 3);
         let two = Datatype::contiguous(2, &dt).flatten();
         let one = dt.flatten();
         let mut expect = one.runs.clone();
@@ -70,7 +93,7 @@ proptest! {
                 _ => expect.push(shifted),
             }
         }
-        prop_assert_eq!(two.runs, expect);
+        assert_eq!(two.runs, expect, "datatype {dt:?}");
     }
 }
 
@@ -90,44 +113,41 @@ fn naive_map(view: &FileView, logical: u64, len: u64) -> Vec<u64> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// map(l, n) must equal n single-byte mappings, in order, and the
-    /// physical bytes of distinct logical bytes must be distinct.
-    #[test]
-    fn view_map_agrees_with_bytewise(
-        disp in 0u64..64,
-        take in 1u64..12,
-        skip in 0u64..12,
-        logical in 0u64..64,
-        len in 1u64..48,
-    ) {
+/// map(l, n) must equal n single-byte mappings, in order, and the physical
+/// bytes of distinct logical bytes must be distinct.
+#[test]
+fn view_map_agrees_with_bytewise() {
+    let mut rng = Rng64::new(0xDA7A_0003);
+    for _ in 0..64 {
+        let disp = rng.below(64);
+        let take = rng.range(1, 12);
+        let skip = rng.below(12);
+        let logical = rng.below(64);
+        let len = rng.range(1, 48);
         let ft = Datatype::resized(&Datatype::bytes(take), 0, take + skip);
         let view = FileView::new(disp, &Datatype::bytes(1), &ft);
         let ranges = view.map(logical, len);
-        let flat: Vec<u64> = ranges
-            .iter()
-            .flat_map(|(off, l)| *off..*off + *l)
-            .collect();
+        let flat: Vec<u64> = ranges.iter().flat_map(|(off, l)| *off..*off + *l).collect();
         let naive = naive_map(&view, logical, len);
-        prop_assert_eq!(&flat, &naive);
-        prop_assert_eq!(flat.len() as u64, len);
+        assert_eq!(&flat, &naive, "disp={disp} take={take} skip={skip}");
+        assert_eq!(flat.len() as u64, len);
         // Injectivity.
         let mut sorted = flat.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        prop_assert_eq!(sorted.len() as u64, len);
+        assert_eq!(sorted.len() as u64, len);
     }
+}
 
-    /// Disjoint rank views tile the file: the union of all ranks' physical
-    /// bytes for the same logical range is disjoint.
-    #[test]
-    fn rank_views_partition_disjointly(
-        ranks in 2usize..5,
-        block in 1u64..16,
-        len in 1u64..64,
-    ) {
+/// Disjoint rank views tile the file: the union of all ranks' physical
+/// bytes for the same logical range is disjoint.
+#[test]
+fn rank_views_partition_disjointly() {
+    let mut rng = Rng64::new(0xDA7A_0004);
+    for _ in 0..64 {
+        let ranks = rng.range_usize(2, 5);
+        let block = rng.range(1, 16);
+        let len = rng.range(1, 64);
         let mut seen = std::collections::HashSet::new();
         for r in 0..ranks {
             let el = Datatype::bytes(block);
@@ -139,11 +159,11 @@ proptest! {
             let view = FileView::new(0, &Datatype::bytes(1), &ft);
             for (off, l) in view.map(0, len) {
                 for b in off..off + l {
-                    prop_assert!(seen.insert(b), "byte {b} claimed twice");
+                    assert!(seen.insert(b), "byte {b} claimed twice");
                 }
             }
         }
-        prop_assert_eq!(seen.len() as u64, ranks as u64 * len);
+        assert_eq!(seen.len() as u64, ranks as u64 * len);
     }
 }
 
@@ -158,26 +178,36 @@ enum FsOp {
     Read { off: u64, len: u64 },
 }
 
-fn arb_fsop() -> impl Strategy<Value = FsOp> {
-    prop_oneof![
-        (0u64..512, proptest::collection::vec(any::<u8>(), 1..64))
-            .prop_map(|(off, data)| FsOp::Write { off, data }),
-        (0u64..600).prop_map(|size| FsOp::Truncate { size }),
-        (0u64..600, 0u64..128).prop_map(|(off, len)| FsOp::Read { off, len }),
-    ]
+fn gen_fsop(rng: &mut Rng64) -> FsOp {
+    match rng.below(3) {
+        0 => {
+            let off = rng.below(512);
+            let len = rng.range_usize(1, 64);
+            FsOp::Write {
+                off,
+                data: rng.bytes(len),
+            }
+        }
+        1 => FsOp::Truncate {
+            size: rng.below(600),
+        },
+        _ => FsOp::Read {
+            off: rng.below(600),
+            len: rng.below(128),
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// memfs agrees with a Vec<u8> reference model under random op
-    /// sequences.
-    #[test]
-    fn memfs_matches_reference_model(ops in proptest::collection::vec(arb_fsop(), 1..40)) {
+/// memfs agrees with a Vec<u8> reference model under random op sequences.
+#[test]
+fn memfs_matches_reference_model() {
+    let mut rng = Rng64::new(0xDA7A_0005);
+    for case in 0..128 {
         let fs = MemFs::new();
         let f = fs.create(ROOT_ID, "model").unwrap();
         let mut model: Vec<u8> = Vec::new();
-        for op in ops {
+        for _ in 0..rng.range_usize(1, 40) {
+            let op = gen_fsop(&mut rng);
             match op {
                 FsOp::Write { off, data } => {
                     fs.write(f.id, off, &data).unwrap();
@@ -188,17 +218,18 @@ proptest! {
                     model[off as usize..end].copy_from_slice(&data);
                 }
                 FsOp::Truncate { size } => {
-                    fs.setattr(f.id, mpio_dafs::memfs::SetAttr { size: Some(size) }).unwrap();
+                    fs.setattr(f.id, mpio_dafs::memfs::SetAttr { size: Some(size) })
+                        .unwrap();
                     model.resize(size as usize, 0);
                 }
                 FsOp::Read { off, len } => {
                     let got = fs.read(f.id, off, len).unwrap();
                     let s = (off as usize).min(model.len());
                     let e = ((off + len) as usize).min(model.len());
-                    prop_assert_eq!(&got, &model[s..e]);
+                    assert_eq!(&got, &model[s..e], "case {case}");
                 }
             }
-            prop_assert_eq!(fs.getattr(f.id).unwrap().size, model.len() as u64);
+            assert_eq!(fs.getattr(f.id).unwrap().size, model.len() as u64);
         }
     }
 }
@@ -207,21 +238,17 @@ proptest! {
 // End-to-end parallel write
 // ---------------------------------------------------------------------------
 
-proptest! {
-    // Whole-cluster simulations are comparatively expensive; a few cases
-    // with random geometry still cover the interesting interleavings.
-    #![proptest_config(ProptestConfig::with_cases(6))]
-
-    /// Collective interleaved writes through the full DAFS stack equal the
-    /// analytically constructed file, for random block sizes / rounds /
-    /// rank counts.
-    #[test]
-    fn collective_write_equals_reference(
-        ranks in 2usize..5,
-        block_kb in 1u64..9,
-        rounds in 1usize..4,
-    ) {
-        let block = block_kb * 1024;
+/// Collective interleaved writes through the full DAFS stack equal the
+/// analytically constructed file, for random block sizes / rounds / rank
+/// counts. Whole-cluster simulations are comparatively expensive; a few
+/// cases with random geometry still cover the interesting interleavings.
+#[test]
+fn collective_write_equals_reference() {
+    let mut rng = Rng64::new(0xDA7A_0006);
+    for _ in 0..6 {
+        let ranks = rng.range_usize(2, 5);
+        let block = rng.range(1, 9) * 1024;
+        let rounds = rng.range_usize(1, 4);
         let tb = Testbed::new(Backend::dafs());
         let fs = tb.fs.clone();
         tb.run(ranks, move |ctx, comm, adio| {
@@ -246,17 +273,17 @@ proptest! {
             write_at_all(ctx, comm, &f, 0, src, rounds as u64 * block).unwrap();
         });
         let attr = fs.resolve("/p").unwrap();
-        prop_assert_eq!(attr.size, rounds as u64 * ranks as u64 * block);
+        assert_eq!(attr.size, rounds as u64 * ranks as u64 * block);
         let data = fs.read(attr.id, 0, attr.size).unwrap();
         for round in 0..rounds {
             for r in 0..ranks {
                 let start = (round * ranks + r) as u64 * block;
                 let expect = (r * rounds + round + 1) as u8;
-                prop_assert!(
+                assert!(
                     data[start as usize..(start + block) as usize]
                         .iter()
                         .all(|&b| b == expect),
-                    "round {} rank {}", round, r
+                    "round {round} rank {r}"
                 );
             }
         }
