@@ -1,0 +1,24 @@
+//! Run the bandwidth-under-loss sweep:
+//! `cargo run -p mpio-dafs-bench --release --bin x4_bandwidth_under_loss [-- --fault-seed N]`.
+//!
+//! The same `--fault-seed` reproduces the same fault timeline — and the
+//! same table — bit for bit.
+fn main() {
+    let mut seed = mpio_dafs_bench::x4_bandwidth_under_loss::DEFAULT_SEED;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--fault-seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--fault-seed takes a u64");
+            }
+            other => {
+                eprintln!("unknown argument: {other} (supported: --fault-seed N)");
+                std::process::exit(2);
+            }
+        }
+    }
+    mpio_dafs_bench::x4_bandwidth_under_loss::run_with_seed(seed).print();
+}

@@ -27,6 +27,7 @@ pub mod t6_cb_buffer_sweep;
 pub mod x1_btio_subarray;
 pub mod x2_mixed_workload;
 pub mod x3_latency_sensitivity;
+pub mod x4_bandwidth_under_loss;
 
 pub use report::Table;
 
@@ -51,5 +52,6 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("X-1", x1_btio_subarray::run),
         ("X-2", x2_mixed_workload::run),
         ("X-3", x3_latency_sensitivity::run),
+        ("X-4", x4_bandwidth_under_loss::run),
     ]
 }

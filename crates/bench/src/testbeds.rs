@@ -8,7 +8,7 @@ use dafs::{DafsClient, DafsClientConfig, DafsServerCost, DafsServerHandle};
 use memfs::MemFs;
 use nfsv3::{NfsClient, NfsClientConfig, NfsServerCost, NfsServerHandle};
 use simnet::obs::{Obs, Snapshot};
-use simnet::{ActorCtx, Cluster, Host, SimKernel, SimTime};
+use simnet::{ActorCtx, Cluster, FaultPlan, Host, SimKernel, SimTime};
 use tcpnet::{TcpCost, TcpFabric};
 use via::{ViaCost, ViaFabric, ViaNic};
 
@@ -76,9 +76,29 @@ pub fn with_dafs_client<F>(
 where
     F: FnOnce(&ActorCtx, &DafsClient, &ViaNic) + Send + 'static,
 {
+    with_dafs_client_faults(via_cost, server_cost, client_cfg, None, prefill, body)
+}
+
+/// [`with_dafs_client`] with an optional seeded [`FaultPlan`] installed on
+/// the VIA fabric before the server spawns, so every message (including the
+/// session handshake) is judged against it.
+pub fn with_dafs_client_faults<F>(
+    via_cost: ViaCost,
+    server_cost: DafsServerCost,
+    client_cfg: DafsClientConfig,
+    plan: Option<FaultPlan>,
+    prefill: impl FnOnce(&MemFs),
+    body: F,
+) -> (MemFs, DafsServerHandle, Host, RunObs)
+where
+    F: FnOnce(&ActorCtx, &DafsClient, &ViaNic) + Send + 'static,
+{
     let kernel = SimKernel::new();
     let cluster = Cluster::new();
     let fabric = ViaFabric::new(via_cost);
+    if let Some(p) = plan {
+        fabric.set_fault_plan(p);
+    }
     let server_nic = fabric.open_nic(cluster.add_host("server"));
     let fs = MemFs::new();
     prefill(&fs);
@@ -108,9 +128,29 @@ pub fn with_nfs_client<F>(
 where
     F: FnOnce(&ActorCtx, &NfsClient) + Send + 'static,
 {
+    with_nfs_client_faults(tcp_cost, server_cost, client_cfg, None, prefill, body)
+}
+
+/// [`with_nfs_client`] with an optional seeded [`FaultPlan`] installed on
+/// the TCP fabric before the server spawns. A present plan also arms the
+/// client's RPC retransmission machinery at mount time.
+pub fn with_nfs_client_faults<F>(
+    tcp_cost: TcpCost,
+    server_cost: NfsServerCost,
+    client_cfg: NfsClientConfig,
+    plan: Option<FaultPlan>,
+    prefill: impl FnOnce(&MemFs),
+    body: F,
+) -> (MemFs, NfsServerHandle, Host, TcpFabric, RunObs)
+where
+    F: FnOnce(&ActorCtx, &NfsClient) + Send + 'static,
+{
     let kernel = SimKernel::new();
     let cluster = Cluster::new();
     let fabric = TcpFabric::new(tcp_cost);
+    if let Some(p) = plan {
+        fabric.set_fault_plan(p);
+    }
     let server_host = cluster.add_host("server");
     let fs = MemFs::new();
     prefill(&fs);

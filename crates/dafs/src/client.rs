@@ -123,13 +123,26 @@ fn rw_attrs(ptag: ProtectionTag) -> MemAttributes {
 }
 
 /// A DAFS session.
+///
+/// The session survives transport failures: when the VI breaks, operations
+/// routed through the retryable request path re-establish the session
+/// (bounded by `max_reconnects`) and replay the in-flight request under
+/// its **original** request id, which the server's replay cache uses to
+/// make non-idempotent operations exactly-once.
 pub struct DafsClient {
-    vi: Vi,
+    /// The live VI; swapped wholesale on reconnect.
+    vi: Mutex<Vi>,
     nic: ViaNic,
+    fabric: ViaFabric,
+    server: HostId,
+    port: u16,
     config: DafsClientConfig,
     caps: ServerCaps,
+    /// Stable client identity across reconnects: the VI id of the first
+    /// session (fabric-scoped, so identical runs get identical ids).
+    client_id: u64,
     reqid: AtomicU32,
-    req_ring: Vec<(VirtAddr, MemHandle)>,
+    req_ring: Mutex<Vec<(VirtAddr, MemHandle)>>,
     req_next: Mutex<usize>,
     recv_ring: Mutex<VecDeque<(VirtAddr, MemHandle)>>,
     regcache: RegCache,
@@ -176,17 +189,22 @@ impl DafsClient {
             config.regcache_capacity,
             config.use_regcache,
         );
+        let client_id = vi.id().0;
         let client = DafsClient {
-            vi,
+            vi: Mutex::new(vi),
             nic: nic.clone(),
+            fabric: fabric.clone(),
+            server,
+            port,
             config,
             caps: ServerCaps {
                 rdma_read: false,
                 credits: config.credits,
                 inline_max: config.inline_max,
             },
+            client_id,
             reqid: AtomicU32::new(1),
-            req_ring,
+            req_ring: Mutex::new(req_ring),
             req_next: Mutex::new(0),
             recv_ring: Mutex::new(recv_ring),
             regcache,
@@ -194,10 +212,25 @@ impl DafsClient {
             scratch: Mutex::new(None),
             stats: DafsClientStats::default(),
         };
-        // Capability exchange.
-        let mut e = Enc::new();
-        let reqid = client.post_request(ctx, DafsOp::Hello, &mut e);
-        let resp = client.wait_response(ctx, reqid)?;
+        // Capability exchange; carries our stable client id. The handshake
+        // itself rides the faulted fabric, so it gets the same bounded
+        // reconnect treatment as any other request.
+        let mut attempt = 0u32;
+        let resp = loop {
+            let mut e = Enc::new();
+            e.u64(client_id);
+            let reqid = client.post_request(ctx, DafsOp::Hello, &mut e);
+            match client.wait_response(ctx, reqid) {
+                Ok(r) => break r,
+                Err(DafsError::Transport(_) | DafsError::Connect(_))
+                    if attempt < client.config.max_reconnects =>
+                {
+                    attempt += 1;
+                    let _ = client.reconnect(ctx, attempt);
+                }
+                Err(e) => return Err(e),
+            }
+        };
         let mut d = Dec::new(&resp);
         let (_, status) = proto::dec_resp_header(&mut d).map_err(|_| DafsError::Protocol)?;
         if status != DafsStatus::Ok {
@@ -250,38 +283,52 @@ impl DafsClient {
         &self.nic
     }
 
+    /// Allocate the next request id.
+    fn next_reqid(&self) -> u32 {
+        self.reqid.fetch_add(1, Ordering::Relaxed)
+    }
+
     /// Build and post one request; returns its id. `body` receives the
     /// header; the caller must have appended the op arguments already —
     /// so this takes the op and an `Enc` holding only the arguments.
     fn post_request(&self, ctx: &ActorCtx, op: DafsOp, args: &mut Enc) -> u32 {
-        let reqid = self.reqid.fetch_add(1, Ordering::Relaxed);
+        let reqid = self.next_reqid();
+        self.post_request_raw(ctx, reqid, op, &std::mem::take(args).finish());
+        reqid
+    }
+
+    /// Post a request under a caller-chosen id — the replay path reuses an
+    /// id so the server can recognize a retransmitted operation.
+    fn post_request_raw(&self, ctx: &ActorCtx, reqid: u32, op: DafsOp, args: &[u8]) {
         self.stats.ops.inc();
         ctx.metrics().counter("dafs.ops").inc();
         self.nic.host().compute(ctx, self.config.per_op);
         let mut e = Enc::new();
         proto::enc_req_header(&mut e, reqid, op);
         let mut bytes = e.finish();
-        bytes.extend_from_slice(&std::mem::take(args).finish());
+        bytes.extend_from_slice(args);
         assert!(bytes.len() as u64 <= SLOT, "request overflows message slot");
         // Copy into the next registered request slot.
         self.nic
             .host()
             .compute(ctx, self.config.host.copy(bytes.len() as u64));
+        let ring = self.req_ring.lock();
         let slot = {
             let mut next = self.req_next.lock();
             let s = *next;
-            *next = (s + 1) % self.req_ring.len();
+            *next = (s + 1) % ring.len();
             s
         };
-        let (buf, h) = self.req_ring[slot];
+        let (buf, h) = ring[slot];
+        drop(ring);
         self.nic.host().mem.write(buf, &bytes);
+        let vi = self.vi.lock();
         // Drain stale send completions to keep the port bounded.
-        while self.vi.send_done(ctx).is_some() {}
-        self.vi.post_send(
+        while vi.send_done(ctx).is_some() {}
+        vi.post_send(
             ctx,
             SendDesc::send(vec![DataSegment::new(buf, bytes.len() as u32, h)]),
         );
-        reqid
     }
 
     /// Await the response for `reqid`, stashing any other responses that
@@ -291,10 +338,11 @@ impl DafsClient {
             if let Some(resp) = self.pending.lock().remove(&reqid) {
                 return Ok(resp);
             }
-            if self.vi.state() != ViState::Connected {
+            let vi = self.vi.lock();
+            if vi.state() != ViState::Connected {
                 return Err(DafsError::Transport(ViaStatus::ConnectionLost));
             }
-            let completion = self.vi.recv_wait(ctx);
+            let completion = vi.recv_wait(ctx);
             match completion.status {
                 ViaStatus::Success => {}
                 status => return Err(DafsError::Transport(status)),
@@ -306,26 +354,127 @@ impl DafsClient {
                 slot
             };
             let resp = self.nic.host().mem.read_vec(buf, completion.len as usize);
-            self.vi.post_recv(
+            vi.post_recv(
                 ctx,
                 RecvDesc::new(vec![DataSegment::new(buf, SLOT as u32, h)]),
             );
+            drop(vi);
             let mut d = Dec::new(&resp);
             let (rid, _) = proto::dec_resp_header(&mut d).map_err(|_| DafsError::Protocol)?;
             self.pending.lock().insert(rid, resp);
         }
     }
 
-    /// Synchronous request/response; returns the payload after the header.
-    fn call(&self, ctx: &ActorCtx, op: DafsOp, args: &mut Enc) -> DafsResult<Vec<u8>> {
-        let reqid = self.post_request(ctx, op, args);
-        let resp = self.wait_response(ctx, reqid)?;
-        let mut d = Dec::new(&resp);
+    /// Decode a response: check the status, return the payload.
+    fn decode_resp(resp: &[u8]) -> DafsResult<Vec<u8>> {
+        let mut d = Dec::new(resp);
         let (_, status) = proto::dec_resp_header(&mut d).map_err(|_| DafsError::Protocol)?;
         if status != DafsStatus::Ok {
             return Err(DafsError::Status(status));
         }
         Ok(resp[5..].to_vec())
+    }
+
+    /// Synchronous request/response with session recovery: a transport
+    /// failure re-establishes the session (bounded backoff) and replays the
+    /// request under its original id, so the server-side replay cache makes
+    /// non-idempotent operations exactly-once.
+    fn call(&self, ctx: &ActorCtx, op: DafsOp, args: &mut Enc) -> DafsResult<Vec<u8>> {
+        let args = std::mem::take(args).finish();
+        let reqid = self.next_reqid();
+        let mut attempt = 0u32;
+        loop {
+            self.post_request_raw(ctx, reqid, op, &args);
+            match self.wait_response(ctx, reqid) {
+                Ok(resp) => return Self::decode_resp(&resp),
+                Err(DafsError::Transport(_) | DafsError::Connect(_))
+                    if attempt < self.config.max_reconnects =>
+                {
+                    attempt += 1;
+                    // A failed redial falls through: the next iteration's
+                    // post fails fast on the dead VI and we land here again
+                    // with a longer backoff, until attempts are exhausted.
+                    let _ = self.reconnect(ctx, attempt);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Synchronous request/response with **no** recovery: used by the
+    /// direct-I/O paths, whose requests embed registration handles that die
+    /// with the session (the caller falls back to inline instead).
+    fn call_once(&self, ctx: &ActorCtx, op: DafsOp, args: &mut Enc) -> DafsResult<Vec<u8>> {
+        let reqid = self.post_request(ctx, op, args);
+        let resp = self.wait_response(ctx, reqid)?;
+        Self::decode_resp(&resp)
+    }
+
+    /// Tear down all old-session state and dial a fresh session. On
+    /// success the VI, rings, registration cache, and server-side client
+    /// binding (via Hello) are all re-established; `pending` responses from
+    /// the dead session are discarded.
+    fn reconnect(&self, ctx: &ActorCtx, attempt: u32) -> DafsResult<()> {
+        ctx.metrics().counter("dafs.reconnects").inc();
+        ctx.trace(
+            "dafs",
+            "session.reconnect",
+            &[("attempt", obs::Value::U64(attempt as u64))],
+        );
+        // Exponential backoff rides out transient outages (link flaps,
+        // server crash windows) without hammering the connection manager.
+        let backoff = self
+            .config
+            .reconnect_backoff
+            .saturating_mul(1u64 << (attempt - 1).min(20));
+        ctx.advance(backoff);
+        let vi = self
+            .fabric
+            .connect(ctx, &self.nic, self.server, self.port, ViAttributes::default())
+            .map_err(DafsError::Connect)?;
+        let tag = vi.ptag();
+        // Responses from the dead session can never arrive.
+        self.pending.lock().clear();
+        // Ring registrations were made under the old protection tag;
+        // re-register fresh buffers under the new one.
+        {
+            let mut ring = self.req_ring.lock();
+            for (_, h) in ring.drain(..) {
+                let _ = self.nic.deregister_mem(ctx, h);
+            }
+            for _ in 0..self.config.credits {
+                let buf = self.nic.host().mem.alloc(SLOT as usize);
+                let h = self.nic.register_mem(ctx, buf, SLOT, MemAttributes::local(tag));
+                ring.push((buf, h));
+            }
+        }
+        *self.req_next.lock() = 0;
+        {
+            let mut ring = self.recv_ring.lock();
+            for (_, h) in ring.drain(..) {
+                let _ = self.nic.deregister_mem(ctx, h);
+            }
+            for _ in 0..self.config.credits {
+                let buf = self.nic.host().mem.alloc(SLOT as usize);
+                let h = self.nic.register_mem(ctx, buf, SLOT, MemAttributes::local(tag));
+                vi.post_recv(
+                    ctx,
+                    RecvDesc::new(vec![DataSegment::new(buf, SLOT as u32, h)]),
+                );
+                ring.push_back((buf, h));
+            }
+        }
+        self.regcache.retarget(ctx, tag);
+        *self.vi.lock() = vi;
+        // Re-introduce ourselves so the server re-keys its replay cache to
+        // this client's stable id.
+        let mut e = Enc::new();
+        e.u64(self.client_id);
+        let hello = std::mem::take(&mut e).finish();
+        let reqid = self.next_reqid();
+        self.post_request_raw(ctx, reqid, DafsOp::Hello, &hello);
+        let resp = self.wait_response(ctx, reqid)?;
+        Self::decode_resp(&resp).map(|_| ())
     }
 
     fn call_attr(&self, ctx: &ActorCtx, op: DafsOp, args: &mut Enc) -> DafsResult<FileAttr> {
@@ -454,9 +603,9 @@ impl DafsClient {
     /// End the session.
     pub fn disconnect(&self, ctx: &ActorCtx) {
         let mut e = Enc::new();
-        let _ = self.call(ctx, DafsOp::Disconnect, &mut e);
+        let _ = self.call_once(ctx, DafsOp::Disconnect, &mut e);
         self.regcache.flush(ctx);
-        self.vi.disconnect(ctx);
+        self.vi.lock().disconnect(ctx);
         ctx.trace("dafs", "session.disconnect", &[]);
     }
 
@@ -464,7 +613,7 @@ impl DafsClient {
     /// client-crash path. The server observes `ConnectionLost` on the
     /// session's VI and must tear the session down (releasing its locks).
     pub fn abort(&self, ctx: &ActorCtx) {
-        self.vi.disconnect(ctx);
+        self.vi.lock().disconnect(ctx);
         self.regcache.flush(ctx);
         ctx.trace("dafs", "session.abort", &[]);
     }
@@ -514,9 +663,18 @@ impl DafsClient {
         let (handle, transient) = self.regcache.acquire(ctx, dst, len);
         let mut e = Enc::new();
         e.u64(fh.0).u64(off).u64(len).u64(dst.as_u64()).u64(handle.0);
-        let r = self.call(ctx, DafsOp::ReadDirect, &mut e);
+        let r = self.call_once(ctx, DafsOp::ReadDirect, &mut e);
         self.regcache.release(ctx, handle, transient);
-        let payload = r?;
+        let payload = match r {
+            Ok(p) => p,
+            // The registration handle in the request died with the session;
+            // recover the transfer through the (replayable) inline path.
+            Err(DafsError::Transport(_) | DafsError::Connect(_)) => {
+                ctx.metrics().counter("dafs.direct_fallbacks").inc();
+                return self.read_inline(ctx, fh, off, dst, len);
+            }
+            Err(e) => return Err(e),
+        };
         let count = Dec::new(&payload).u64().map_err(|_| DafsError::Protocol)?;
         self.stats.direct_reads.record(count);
         ctx.metrics().byte_meter("dafs.direct.bytes").record(count);
@@ -581,9 +739,23 @@ impl DafsClient {
             let (handle, transient) = self.regcache.acquire(ctx, src, len);
             let mut e = Enc::new();
             e.u64(fh.0).u64(off).u64(len).u64(src.as_u64()).u64(handle.0);
-            let r = self.call_attr(ctx, DafsOp::WriteDirect, &mut e);
+            let r = self.call_once(ctx, DafsOp::WriteDirect, &mut e);
             self.regcache.release(ctx, handle, transient);
-            let a = r?;
+            let a = match r {
+                Ok(payload) => {
+                    proto::dec_attr(&mut Dec::new(&payload)).map_err(|_| DafsError::Protocol)?
+                }
+                // Re-writing the same bytes at the same offsets is
+                // idempotent, so recovering a broken direct write through
+                // inline chunks cannot corrupt the file even if the RDMA
+                // transfer partially (or fully) landed.
+                Err(DafsError::Transport(_) | DafsError::Connect(_)) => {
+                    ctx.metrics().counter("dafs.direct_fallbacks").inc();
+                    self.write_inline_chunks(ctx, fh, off, src, len)?;
+                    return self.getattr(ctx, fh);
+                }
+                Err(e) => return Err(e),
+            };
             self.stats.direct_writes.record(len);
             ctx.metrics().byte_meter("dafs.direct.bytes").record(len);
             return Ok(a);
@@ -632,6 +804,33 @@ impl DafsClient {
         let src = self.scratch(data.len());
         self.nic.host().mem.write(src, data);
         self.write(ctx, fh, off, src, data.len() as u64)
+    }
+
+    /// Write `[src, src+len)` to `(fh, off)` as sequential inline chunks,
+    /// each routed through the replayable request path. This is the
+    /// recovery route for broken direct writes and failed batch writes:
+    /// slow, but exactly-once per chunk and immune to dead registration
+    /// handles.
+    fn write_inline_chunks(
+        &self,
+        ctx: &ActorCtx,
+        fh: NodeId,
+        off: u64,
+        src: VirtAddr,
+        len: u64,
+    ) -> DafsResult<u64> {
+        let mut done = 0u64;
+        while done < len {
+            let n = (len - done).min(self.caps.inline_max);
+            let data = self.nic.host().mem.read_vec(src.offset(done), n as usize);
+            let mut e = Enc::new();
+            e.u64(fh.0).u64(off + done).bytes(&data);
+            self.call(ctx, DafsOp::WriteInline, &mut e)?;
+            self.stats.inline_writes.record(n);
+            ctx.metrics().byte_meter("dafs.inline.bytes").record(n);
+            done += n;
+        }
+        Ok(done)
     }
 
     fn scratch(&self, len: usize) -> VirtAddr {
@@ -744,6 +943,16 @@ impl DafsClient {
             }
             finish(res, sb.owner, &mut results);
         }
+        // Requests that died with the session are re-read in full through
+        // the replayable inline path (reads are idempotent, so re-fetching
+        // already-landed chunks is safe).
+        for (i, slot) in results.iter_mut().enumerate() {
+            if matches!(slot, Err(DafsError::Transport(_) | DafsError::Connect(_))) {
+                ctx.metrics().counter("dafs.batch_recoveries").inc();
+                let r = reqs[i];
+                *slot = self.read_inline(ctx, r.fh, r.off, r.dst, r.len);
+            }
+        }
         results
     }
 
@@ -827,6 +1036,16 @@ impl DafsClient {
                 (Ok(total), Ok(n)) => *total += n,
                 (slot @ Ok(_), Err(e)) => *slot = Err(e),
                 (Err(_), _) => {}
+            }
+        }
+        // Requests that died with the session are re-written in full as
+        // sequential inline chunks (same bytes at the same offsets, so
+        // duplicated chunks are harmless).
+        for (i, slot) in results.iter_mut().enumerate() {
+            if matches!(slot, Err(DafsError::Transport(_) | DafsError::Connect(_))) {
+                ctx.metrics().counter("dafs.batch_recoveries").inc();
+                let r = reqs[i];
+                *slot = self.write_inline_chunks(ctx, r.fh, r.off, r.src, r.len);
             }
         }
         results

@@ -53,6 +53,14 @@ pub struct DafsClientConfig {
     pub per_op: SimDuration,
     /// Host primitives (the inline-path copies).
     pub host: HostCost,
+    /// Session re-establishment attempts after a transport failure before
+    /// the error surfaces to the caller. Only exercised when the fabric
+    /// carries a fault plan — a lossless fabric never breaks a session.
+    pub max_reconnects: u32,
+    /// Delay before the first reconnect attempt; doubles on each
+    /// subsequent attempt (so the default 1 ms rides out ~250 ms of server
+    /// downtime across 8 attempts).
+    pub reconnect_backoff: SimDuration,
 }
 
 impl Default for DafsClientConfig {
@@ -65,6 +73,8 @@ impl Default for DafsClientConfig {
             regcache_capacity: 64 << 20,
             per_op: us(4),
             host: HostCost::default(),
+            max_reconnects: 8,
+            reconnect_backoff: ms(1),
         }
     }
 }

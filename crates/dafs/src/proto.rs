@@ -49,6 +49,9 @@ pub enum DafsOp {
     /// End the session.
     Disconnect = 17,
     /// Session setup: exchange capabilities (first request on a session).
+    /// The request body carries the client's stable id (u64) — the VI id
+    /// of its first session — so the server can key its replay cache to
+    /// the client across session reconnects.
     Hello = 18,
     /// Atomic append: write inline data at the current end of file,
     /// returning the offset it landed at (DAFS's append mode).

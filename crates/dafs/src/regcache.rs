@@ -31,7 +31,9 @@ struct CacheState {
 /// An LRU cache of live NIC registrations.
 pub struct RegCache {
     nic: ViaNic,
-    ptag: ProtectionTag,
+    /// The session's protection tag; swapped by [`RegCache::retarget`] when
+    /// the session reconnects (the new VI carries a new tag).
+    ptag: Mutex<ProtectionTag>,
     attrs_for: fn(ProtectionTag) -> MemAttributes,
     capacity: u64,
     enabled: bool,
@@ -57,7 +59,7 @@ impl RegCache {
     ) -> RegCache {
         RegCache {
             nic,
-            ptag,
+            ptag: Mutex::new(ptag),
             attrs_for,
             capacity,
             enabled,
@@ -76,12 +78,13 @@ impl RegCache {
     /// handle and, when the cache is disabled, a token obliging the caller
     /// to [`release`](RegCache::release) it.
     pub fn acquire(&self, ctx: &ActorCtx, addr: VirtAddr, len: u64) -> (MemHandle, bool) {
+        let ptag = *self.ptag.lock();
         if !self.enabled {
             self.misses.inc();
             ctx.metrics().counter("dafs.regcache.misses").inc();
             let h = self
                 .nic
-                .register_mem(ctx, addr, len, (self.attrs_for)(self.ptag));
+                .register_mem(ctx, addr, len, (self.attrs_for)(ptag));
             return (h, true);
         }
         let mut st = self.state.lock();
@@ -116,7 +119,7 @@ impl RegCache {
         }
         let handle = self
             .nic
-            .register_mem(ctx, addr, len, (self.attrs_for)(self.ptag));
+            .register_mem(ctx, addr, len, (self.attrs_for)(ptag));
         st.pinned += len;
         st.entries.insert(
             addr.as_u64(),
@@ -146,6 +149,14 @@ impl RegCache {
             let _ = self.nic.deregister_mem(ctx, e.handle);
         }
         st.pinned = 0;
+    }
+
+    /// Re-key the cache to a new protection tag after a session reconnect:
+    /// every registration made under the old (dead) tag is dropped, and
+    /// future acquisitions register under `tag`.
+    pub fn retarget(&self, ctx: &ActorCtx, tag: ProtectionTag) {
+        self.flush(ctx);
+        *self.ptag.lock() = tag;
     }
 
     /// Bytes currently pinned by the cache.

@@ -25,7 +25,7 @@ use memfs::{MemFs, NodeId, SetAttr};
 use simnet::{ActorCtx, ByteMeter, Counter, Host, Port, SimKernel, VirtAddr};
 use via::{
     Cq, DataSegment, MemAttributes, MemHandle, RecvDesc, RemoteSegment, SendDesc, ViAttributes,
-    Vi, ViId, ViaFabric, ViaNic, ViaStatus, WhichQueue,
+    Vi, ViId, ViState, ViaFabric, ViaNic, ViaStatus, WhichQueue,
 };
 
 use crate::cost::DafsServerCost;
@@ -166,6 +166,11 @@ pub fn spawn_dafs_server(
             let mut sessions: HashMap<ViId, Session> = HashMap::new();
             let mut retired: std::collections::HashSet<ViId> = std::collections::HashSet::new();
             let mut locks: HashMap<u64, LockState> = HashMap::new();
+            // Stable client id (from Hello) per live session, and the
+            // replay cache that makes reconnect-replayed non-idempotent
+            // requests exactly-once.
+            let mut client_ids: HashMap<ViId, u64> = HashMap::new();
+            let mut replay = ReplayCache::new(REPLAY_CAPACITY);
             'tokens: while let Some(token) = cq.wait(ctx) {
                 // Admit any sessions registered up to now.
                 while let Some(s) = new_sessions.try_recv(ctx) {
@@ -201,6 +206,7 @@ pub fn spawn_dafs_server(
                     if completion.status == ViaStatus::ConnectionLost {
                         sessions.remove(&vi_id);
                         retired.insert(vi_id);
+                        client_ids.remove(&vi_id);
                         release_locks_of(ctx, &mut sessions, &mut locks, vi_id);
                         continue;
                     }
@@ -227,11 +233,20 @@ pub fn spawn_dafs_server(
                     &mut sessions,
                     vi_id,
                     &mut locks,
+                    &mut client_ids,
+                    &mut replay,
                     &req,
                 );
-                if disconnect {
+                // A response send can break the session too (the reply is
+                // judged against the fault plan); reap it here so its locks
+                // never leak while the client redials.
+                let broke = sessions
+                    .get(&vi_id)
+                    .is_some_and(|s| s.vi.state() != ViState::Connected);
+                if disconnect || broke {
                     sessions.remove(&vi_id);
                     retired.insert(vi_id);
+                    client_ids.remove(&vi_id);
                     release_locks_of(ctx, &mut sessions, &mut locks, vi_id);
                 }
             }
@@ -239,6 +254,70 @@ pub fn spawn_dafs_server(
     }
 
     DafsServerHandle { stats, host, nic }
+}
+
+/// Entries retained by the replay cache; covers every request id a client
+/// could replay across its bounded reconnect attempts.
+const REPLAY_CAPACITY: usize = 1024;
+
+/// Replay cache: `(client id, request id) -> encoded reply`, evicted FIFO.
+///
+/// A client that reconnects replays its in-flight request under the same
+/// request id; a hit here resends the first execution's reply without
+/// touching the filesystem, making non-idempotent operations (CREATE,
+/// APPEND, WRITE, RENAME, ...) exactly-once under any loss pattern.
+/// Lookups and inserts charge no virtual time, so fault-free runs are
+/// byte-identical with and without the cache.
+struct ReplayCache {
+    capacity: usize,
+    replies: HashMap<(u64, u32), Vec<u8>>,
+    order: VecDeque<(u64, u32)>,
+}
+
+impl ReplayCache {
+    fn new(capacity: usize) -> ReplayCache {
+        ReplayCache {
+            capacity,
+            replies: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn get(&self, key: (u64, u32)) -> Option<&Vec<u8>> {
+        self.replies.get(&key)
+    }
+
+    fn insert(&mut self, key: (u64, u32), reply: Vec<u8>) {
+        if self.replies.insert(key, reply).is_none() {
+            self.order.push_back(key);
+            if self.order.len() > self.capacity {
+                if let Some(old) = self.order.pop_front() {
+                    self.replies.remove(&old);
+                }
+            }
+        }
+    }
+}
+
+/// Whether an op's reply must be remembered for replay. Only ops whose
+/// re-execution would be observable need caching: reads, lookups, and
+/// flushes re-execute harmlessly, and Lock/Unlock must re-execute (the old
+/// session's teardown released its locks, so a replayed Lock has to be
+/// granted fresh). Direct transfers are excluded because the client never
+/// replays them by request id — their registration handles die with the
+/// session, so it falls back to inline instead.
+fn replay_cacheable(op: DafsOp) -> bool {
+    matches!(
+        op,
+        DafsOp::SetAttr
+            | DafsOp::Create
+            | DafsOp::Remove
+            | DafsOp::Mkdir
+            | DafsOp::Rmdir
+            | DafsOp::Rename
+            | DafsOp::WriteInline
+            | DafsOp::Append
+    )
 }
 
 /// Send `resp` on the session's next response slot.
@@ -296,6 +375,8 @@ fn serve_one(
     sessions: &mut HashMap<ViId, Session>,
     vi_id: ViId,
     locks: &mut HashMap<u64, LockState>,
+    client_ids: &mut HashMap<ViId, u64>,
+    replay: &mut ReplayCache,
     req: &[u8],
 ) -> bool {
     stats.ops.inc();
@@ -311,9 +392,37 @@ fn serve_one(
             sessions.get_mut(&vi_id).expect("live session")
         };
     }
+
+    // Replay short-circuit: a reconnected client re-sending a request we
+    // already executed gets the original reply verbatim.
+    let replay_key = if replay_cacheable(op) {
+        client_ids.get(&vi_id).map(|cid| (*cid, reqid))
+    } else {
+        None
+    };
+    if let Some(key) = replay_key {
+        if let Some(cached) = replay.get(key) {
+            ctx.metrics().counter("dafs.replay.hits").inc();
+            ctx.trace(
+                "dafs",
+                "replay.hit",
+                &[
+                    ("client", obs::Value::U64(key.0)),
+                    ("reqid", obs::Value::U64(reqid as u64)),
+                ],
+            );
+            let cached = cached.clone();
+            respond(ctx, nic, sess!(), &cached);
+            return false;
+        }
+    }
+
     macro_rules! reply {
         ($e:expr) => {{
             let bytes = $e.finish();
+            if let Some(key) = replay_key {
+                replay.insert(key, bytes.clone());
+            }
             respond(ctx, nic, sess!(), &bytes);
             return false;
         }};
@@ -345,6 +454,10 @@ fn serve_one(
     let mut e = Enc::new();
     match op {
         DafsOp::Hello => {
+            // The body carries the client's stable id (absent in legacy
+            // requests; 0 then, which simply never matches a replay key).
+            let cid = d.u64().unwrap_or(0);
+            client_ids.insert(vi_id, cid);
             proto::enc_resp_header(&mut e, reqid, DafsStatus::Ok);
             e.u8(nic.cost().rdma_read_supported as u8);
             e.u32(CREDITS);

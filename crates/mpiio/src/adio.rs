@@ -160,6 +160,51 @@ impl std::fmt::Display for DriverKind {
     }
 }
 
+impl std::str::FromStr for DriverKind {
+    type Err = ();
+
+    /// Inverse of [`DriverKind::as_str`] (case-insensitive).
+    fn from_str(s: &str) -> Result<DriverKind, ()> {
+        match s.to_ascii_lowercase().as_str() {
+            "dafs" => Ok(DriverKind::Dafs),
+            "nfs" => Ok(DriverKind::Nfs),
+            "ufs" => Ok(DriverKind::Ufs),
+            _ => Err(()),
+        }
+    }
+}
+
+/// How many times the ADIO data paths re-attempt an operation that failed
+/// with a *transient* fault (lost session, exhausted retransmits) after the
+/// driver's own recovery gave up. Last-resort graceful degradation: the
+/// layers below already retransmit (NFS) and reconnect/replay (DAFS).
+const ADIO_RETRIES: u32 = 2;
+
+/// Whether an error is worth re-attempting at this layer. Server status
+/// errors (NoEnt, Exists, ...) are deterministic and excluded.
+fn transient(e: &AdioError) -> bool {
+    matches!(
+        e,
+        AdioError::Io(IoFault::Dafs(DafsError::Transport(_) | DafsError::Connect(_)))
+            | AdioError::Io(IoFault::Nfs(NfsError::TimedOut | NfsError::Transport(_)))
+    )
+}
+
+/// Run `f`, re-attempting up to [`ADIO_RETRIES`] times on transient faults.
+/// Each retry bumps the `adio.retries` counter.
+fn with_retries<T>(ctx: &ActorCtx, f: impl Fn() -> AdioResult<T>) -> AdioResult<T> {
+    let mut attempts = 0u32;
+    loop {
+        match f() {
+            Err(e) if transient(&e) && attempts < ADIO_RETRIES => {
+                attempts += 1;
+                ctx.metrics().counter("adio.retries").inc();
+            }
+            r => return r,
+        }
+    }
+}
+
 /// An open file as seen by the MPI-IO core.
 pub trait AdioFile: Send + Sync {
     /// Read `len` bytes at `off` into `dst`; returns bytes read (short at
@@ -349,16 +394,20 @@ impl AdioFs for DafsAdio {
 
 impl AdioFile for DafsFileHandle {
     fn read_contig(&self, ctx: &ActorCtx, off: u64, dst: VirtAddr, len: u64) -> AdioResult<u64> {
-        self.client
-            .read(ctx, self.fh, off, dst, len)
-            .map_err(AdioError::from)
+        with_retries(ctx, || {
+            self.client
+                .read(ctx, self.fh, off, dst, len)
+                .map_err(AdioError::from)
+        })
     }
 
     fn write_contig(&self, ctx: &ActorCtx, off: u64, src: VirtAddr, len: u64) -> AdioResult<()> {
-        self.client
-            .write(ctx, self.fh, off, src, len)
-            .map(|_| ())
-            .map_err(AdioError::from)
+        with_retries(ctx, || {
+            self.client
+                .write(ctx, self.fh, off, src, len)
+                .map(|_| ())
+                .map_err(AdioError::from)
+        })
     }
 
     fn read_batch(&self, ctx: &ActorCtx, reqs: &[(u64, VirtAddr, u64)]) -> AdioResult<u64> {
@@ -371,11 +420,13 @@ impl AdioFile for DafsFileHandle {
                 len: *len,
             })
             .collect();
-        let mut total = 0;
-        for r in self.client.read_batch(ctx, &rs) {
-            total += r.map_err(AdioError::from)?;
-        }
-        Ok(total)
+        with_retries(ctx, || {
+            let mut total = 0;
+            for r in self.client.read_batch(ctx, &rs) {
+                total += r.map_err(AdioError::from)?;
+            }
+            Ok(total)
+        })
     }
 
     fn write_batch(&self, ctx: &ActorCtx, reqs: &[(u64, VirtAddr, u64)]) -> AdioResult<()> {
@@ -388,10 +439,12 @@ impl AdioFile for DafsFileHandle {
                 len: *len,
             })
             .collect();
-        for r in self.client.write_batch(ctx, &ws) {
-            r.map_err(AdioError::from)?;
-        }
-        Ok(())
+        with_retries(ctx, || {
+            for r in self.client.write_batch(ctx, &ws) {
+                r.map_err(AdioError::from)?;
+            }
+            Ok(())
+        })
     }
 
     fn get_size(&self, ctx: &ActorCtx) -> AdioResult<u64> {
@@ -560,20 +613,23 @@ fn hostof(_ctx: &ActorCtx) -> Host {
 
 impl AdioFile for NfsFileHandle {
     fn read_contig(&self, ctx: &ActorCtx, off: u64, dst: VirtAddr, len: u64) -> AdioResult<u64> {
-        let data = self
-            .client
-            .read(ctx, self.fh, off, len)
-            .map_err(AdioError::from)?;
+        let data = with_retries(ctx, || {
+            self.client
+                .read(ctx, self.fh, off, len)
+                .map_err(AdioError::from)
+        })?;
         self.host.mem.write(dst, &data);
         Ok(data.len() as u64)
     }
 
     fn write_contig(&self, ctx: &ActorCtx, off: u64, src: VirtAddr, len: u64) -> AdioResult<()> {
         let data = self.host.mem.read_vec(src, len as usize);
-        self.client
-            .write(ctx, self.fh, off, &data)
-            .map(|_| ())
-            .map_err(AdioError::from)
+        with_retries(ctx, || {
+            self.client
+                .write(ctx, self.fh, off, &data)
+                .map(|_| ())
+                .map_err(AdioError::from)
+        })
     }
 
     fn get_size(&self, ctx: &ActorCtx) -> AdioResult<u64> {

@@ -13,7 +13,7 @@ use memfs::MemFs;
 use nfsv3::{NfsClient, NfsClientConfig, NfsServerCost};
 use obs::{Obs, Snapshot};
 use parking_lot::Mutex;
-use simnet::{ActorCtx, Cluster, Host, SimDuration, SimKernel, SimTime};
+use simnet::{ActorCtx, Cluster, FaultPlan, Host, HostId, SimDuration, SimKernel, SimTime};
 use tcpnet::{TcpCost, TcpFabric};
 use via::{ViaCost, ViaFabric};
 
@@ -178,6 +178,42 @@ impl Testbed {
             via_fabric,
             tcp_fabric,
         }
+    }
+
+    /// Build a testbed whose transport fabric is judged by `plan`: every
+    /// DAFS/VIA or NFS/TCP message is subject to the plan's seeded loss,
+    /// jitter, link-down and host-crash schedule. UFS has no network and
+    /// ignores the plan.
+    ///
+    /// The plan is attached before any actor runs, so the server's accept
+    /// path and every rank's session see it. Host ids are assigned in
+    /// construction order — the file server is always host 0 and ranks are
+    /// hosts 1..=N — which is what `host_crash` windows should target (see
+    /// [`Testbed::server_host`]).
+    pub fn with_obs_and_faults(backend: Backend, obs: Obs, plan: FaultPlan) -> Testbed {
+        let tb = Testbed::with_obs(backend, obs);
+        if let Some(f) = &tb.via_fabric {
+            f.set_fault_plan(plan.clone());
+        }
+        if let Some(f) = &tb.tcp_fabric {
+            f.set_fault_plan(plan);
+        }
+        tb
+    }
+
+    /// [`Testbed::with_obs_and_faults`] with environment-driven observability.
+    pub fn with_faults(backend: Backend, plan: FaultPlan) -> Testbed {
+        Testbed::with_obs_and_faults(backend, Obs::from_env(), plan)
+    }
+
+    /// The file server's host id (None for UFS) — the target for
+    /// [`FaultPlanBuilder::host_crash`](simnet::FaultPlanBuilder::host_crash)
+    /// windows.
+    pub fn server_host(&self) -> Option<HostId> {
+        self.dafs_handle
+            .as_ref()
+            .map(|h| h.host.id)
+            .or(self.nfs_handle.as_ref().map(|h| h.host.id))
     }
 
     /// Spawn `ranks` MPI processes running `body`, drive the simulation to

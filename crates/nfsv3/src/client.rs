@@ -16,6 +16,42 @@ use tcpnet::{TcpError, TcpFabric};
 use crate::proto::{self, NfsProc, NfsStatus, Stable};
 use crate::xdr::{XdrDec, XdrEnc};
 
+/// RPC retransmit policy: what the `timeo`/`retrans` mount options control
+/// on a real NFS client.
+///
+/// `base_timeout` doubles as the attribute-cache lifetime (acregmin): the
+/// old hardcoded 30 ms `ac_timeout` became this knob, so one duration
+/// governs both how long the client trusts cached attributes and how long
+/// it waits before resending an unanswered RPC.
+///
+/// Retransmission is only *armed* when the mount's `TcpFabric` has a fault
+/// plan attached. On a fault-free fabric nothing can be lost, and leaving
+/// the timer unarmed keeps fault-free runs byte-identical regardless of
+/// server load (a heavily queued server must not trigger spurious
+/// retransmits in baseline experiments).
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Timeout before the first retransmit (`timeo`). Also the attribute
+    /// cache lifetime.
+    pub base_timeout: SimDuration,
+    /// Multiplier applied to the timeout after each unanswered attempt
+    /// (exponential backoff; values < 1 are treated as 1).
+    pub backoff_factor: u32,
+    /// Total send attempts before the call fails with
+    /// [`NfsError::TimedOut`] (`retrans` + 1; values < 1 are treated as 1).
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base_timeout: SimDuration::from_millis(30),
+            backoff_factor: 2,
+            max_attempts: 8,
+        }
+    }
+}
+
 /// Client configuration (mount options).
 #[derive(Debug, Clone, Copy)]
 pub struct NfsClientConfig {
@@ -23,8 +59,9 @@ pub struct NfsClientConfig {
     pub rsize: u64,
     /// Maximum WRITE transfer per RPC.
     pub wsize: u64,
-    /// Attribute cache lifetime (acregmin-style).
-    pub ac_timeout: SimDuration,
+    /// RPC retransmit policy; its `base_timeout` is also the attribute
+    /// cache lifetime (acregmin-style).
+    pub retry: RetryPolicy,
     /// Default stability for writes.
     pub stable: Stable,
     /// Enable the client data (page) cache. 2001 kernel clients cached
@@ -46,7 +83,7 @@ impl Default for NfsClientConfig {
         NfsClientConfig {
             rsize: 32 << 10,
             wsize: 32 << 10,
-            ac_timeout: SimDuration::from_millis(30),
+            retry: RetryPolicy::default(),
             data_cache: false,
             cache_page: 4096,
             stable: Stable::FileSync,
@@ -65,6 +102,8 @@ pub enum NfsError {
     Transport(TcpError),
     /// Malformed reply.
     Protocol,
+    /// Every retransmit attempt went unanswered (see [`RetryPolicy`]).
+    TimedOut,
 }
 
 impl From<TcpError> for NfsError {
@@ -79,6 +118,7 @@ impl std::fmt::Display for NfsError {
             NfsError::Status(s) => write!(f, "NFS server returned {s:?}"),
             NfsError::Transport(e) => write!(f, "NFS transport failure: {e}"),
             NfsError::Protocol => write!(f, "malformed NFS reply"),
+            NfsError::TimedOut => write!(f, "NFS call timed out after all retransmits"),
         }
     }
 }
@@ -126,6 +166,11 @@ pub struct NfsClient {
     attr_cache: Mutex<HashMap<u64, (FileAttr, SimTime)>>,
     /// Page cache: (fh, page index) -> (bytes, file version when fetched).
     data_cache: Mutex<PageCache>,
+    /// Whether the retransmit timer is armed. True only when the mount's
+    /// fabric carried a fault plan: on a lossless fabric a reply always
+    /// arrives, and never arming the timer keeps fault-free runs
+    /// byte-identical no matter how slow the server is.
+    retransmit: bool,
     /// Client-side counters.
     pub stats: NfsClientStats,
 }
@@ -140,6 +185,7 @@ impl NfsClient {
         port: u16,
         config: NfsClientConfig,
     ) -> NfsResult<NfsClient> {
+        let retransmit = fabric.fault_plan().is_some();
         let sock = fabric.connect(ctx, host, server, port)?;
         Ok(NfsClient {
             sock,
@@ -148,6 +194,7 @@ impl NfsClient {
             xid: AtomicU32::new(1),
             attr_cache: Mutex::new(HashMap::new()),
             data_cache: Mutex::new(HashMap::new()),
+            retransmit,
             stats: NfsClientStats::default(),
         })
     }
@@ -181,16 +228,24 @@ impl NfsClient {
         e.u32(proc_ as u32);
         let mut body = e.finish();
         body.extend_from_slice(&args.finish());
-        self.sock.send(ctx, &proto::frame(&body));
+        let framed = proto::frame(&body);
 
-        let hdr = self.sock.recv_exact(ctx, 4)?;
-        let len = u32::from_be_bytes(hdr.try_into().unwrap()) as usize;
-        let reply = self.sock.recv_exact(ctx, len)?;
+        let reply = if self.retransmit {
+            self.exchange_with_retransmit(ctx, xid, &framed)?
+        } else {
+            self.sock.send(ctx, &framed);
+            let hdr = self.sock.recv_exact(ctx, 4)?;
+            let len = u32::from_be_bytes(hdr.try_into().unwrap()) as usize;
+            let reply = self.sock.recv_exact(ctx, len)?;
+            let rxid = XdrDec::new(&reply).u32().map_err(|_| NfsError::Protocol)?;
+            if rxid != xid {
+                return Err(NfsError::Protocol);
+            }
+            reply
+        };
+
         let mut d = XdrDec::new(&reply);
-        let rxid = d.u32().map_err(|_| NfsError::Protocol)?;
-        if rxid != xid {
-            return Err(NfsError::Protocol);
-        }
+        d.u32().map_err(|_| NfsError::Protocol)?; // xid, already matched
         let status = NfsStatus::from_u32(d.u32().map_err(|_| NfsError::Protocol)?);
         if status != NfsStatus::Ok {
             return Err(NfsError::Status(status));
@@ -198,10 +253,69 @@ impl NfsClient {
         Ok(reply[8..].to_vec())
     }
 
+    /// Send `framed` and wait for the reply matching `xid`, retransmitting
+    /// on timeout per [`RetryPolicy`]. Replies whose xid doesn't match are
+    /// stale duplicates from an earlier retransmit round and are skipped
+    /// (counted in `nfs.stale_replies`). The server's duplicate-request
+    /// cache makes retransmits of non-idempotent procedures safe.
+    fn exchange_with_retransmit(
+        &self,
+        ctx: &ActorCtx,
+        xid: u32,
+        framed: &[u8],
+    ) -> NfsResult<Vec<u8>> {
+        let policy = self.config.retry;
+        let mut timeout = policy.base_timeout;
+        let mut attempt = 1u32;
+        loop {
+            self.sock.send(ctx, framed);
+            let deadline = ctx.now() + timeout;
+            // Drain replies until ours arrives or the deadline passes.
+            let timed_out = loop {
+                let Some(hdr) = self.sock.recv_exact_deadline(ctx, 4, deadline)? else {
+                    break true;
+                };
+                let len = u32::from_be_bytes(hdr.try_into().unwrap()) as usize;
+                // Header seen: the body is in flight; wait for all of it.
+                let reply = self.sock.recv_exact(ctx, len)?;
+                let rxid = XdrDec::new(&reply).u32().map_err(|_| NfsError::Protocol)?;
+                if rxid != xid {
+                    ctx.metrics().counter("nfs.stale_replies").inc();
+                    continue;
+                }
+                return Ok(reply);
+            };
+            debug_assert!(timed_out);
+            if attempt >= policy.max_attempts.max(1) {
+                ctx.metrics().counter("nfs.timeouts").inc();
+                ctx.trace(
+                    "nfs",
+                    "rpc.timeout",
+                    &[
+                        ("xid", obs::Value::U64(xid as u64)),
+                        ("attempts", obs::Value::U64(attempt as u64)),
+                    ],
+                );
+                return Err(NfsError::TimedOut);
+            }
+            attempt += 1;
+            ctx.metrics().counter("nfs.retrans").inc();
+            ctx.trace(
+                "nfs",
+                "rpc.retrans",
+                &[
+                    ("xid", obs::Value::U64(xid as u64)),
+                    ("attempt", obs::Value::U64(attempt as u64)),
+                ],
+            );
+            timeout = timeout * u64::from(policy.backoff_factor.max(1));
+        }
+    }
+
     fn cache_attr(&self, ctx: &ActorCtx, a: FileAttr) {
         self.attr_cache
             .lock()
-            .insert(a.id.0, (a, ctx.now() + self.config.ac_timeout));
+            .insert(a.id.0, (a, ctx.now() + self.config.retry.base_timeout));
     }
 
     /// Drop a cached attribute entry (close-to-open consistency point).

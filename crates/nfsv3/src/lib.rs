@@ -19,7 +19,9 @@ mod proto;
 mod server;
 pub mod xdr;
 
-pub use client::{NfsClient, NfsClientConfig, NfsClientStats, NfsError, NfsResult, SharedNfsClient};
+pub use client::{
+    NfsClient, NfsClientConfig, NfsClientStats, NfsError, NfsResult, RetryPolicy, SharedNfsClient,
+};
 pub use proto::{NfsProc, NfsStatus, Stable};
 pub use server::{spawn_nfs_server, NfsServerCost, NfsServerHandle, NfsServerStats};
 

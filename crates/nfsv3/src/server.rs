@@ -7,6 +7,8 @@
 //! processing contends on one CPU — which is exactly what saturates first
 //! in the multi-client experiments.
 
+use std::collections::{HashMap, VecDeque};
+
 use memfs::{MemFs, NodeId, SetAttr};
 use simnet::cost::HostCost;
 use simnet::time::units::*;
@@ -69,8 +71,8 @@ pub fn spawn_nfs_server(
     cost: NfsServerCost,
 ) -> NfsServerHandle {
     let stats = NfsServerStats::default();
-    // (request bytes, socket to reply on)
-    let work: Port<(Vec<u8>, Socket)> = Port::new("nfsd-work");
+    // (connection id, request bytes, socket to reply on)
+    let work: Port<(u32, Vec<u8>, Socket)> = Port::new("nfsd-work");
 
     // Acceptor: one reader daemon per connection.
     {
@@ -89,7 +91,7 @@ pub fn spawn_nfs_server(
                         let Ok(body) = sock.recv_exact(cctx, len) else {
                             break;
                         };
-                        work.send(cctx, (body, sock.clone()), cctx.now());
+                        work.send(cctx, (n, body, sock.clone()), cctx.now());
                     }
                 });
             }
@@ -102,14 +104,82 @@ pub fn spawn_nfs_server(
         let stats = stats.clone();
         let work = work.clone();
         kernel.spawn_daemon("nfsd", move |ctx| {
-            while let Some((req, sock)) = work.recv(ctx) {
+            let mut drc = Drc::new(DRC_CAPACITY);
+            while let Some((conn, req, sock)) = work.recv(ctx) {
+                // Duplicate-request cache: a retransmitted xid (same
+                // connection) gets the cached reply resent verbatim, so
+                // non-idempotent procedures execute at most once even when
+                // the client's retransmit timer fires.
+                let xid = XdrDec::new(&req).u32().ok();
+                if let Some(xid) = xid {
+                    if let Some(cached) = drc.get(conn, xid) {
+                        ctx.metrics().counter("nfs.drc.hits").inc();
+                        ctx.trace(
+                            "nfs",
+                            "drc.hit",
+                            &[
+                                ("conn", obs::Value::U64(conn as u64)),
+                                ("xid", obs::Value::U64(xid as u64)),
+                            ],
+                        );
+                        let cached = cached.clone();
+                        sock.send(ctx, &proto::frame(&cached));
+                        continue;
+                    }
+                }
                 let reply = serve_one(ctx, &host, &fs, &cost, &stats, &req);
+                if let Some(xid) = xid {
+                    drc.insert(conn, xid, reply.clone());
+                }
                 sock.send(ctx, &proto::frame(&reply));
             }
         });
     }
 
     NfsServerHandle { stats, host }
+}
+
+/// Entries retained by the duplicate-request cache. Sized like a 2001-era
+/// nfsd DRC: big enough to cover every xid still inside a client's
+/// retransmit window, small enough to be an afterthought in server memory.
+const DRC_CAPACITY: usize = 256;
+
+/// Duplicate-request cache: `(connection, xid) -> encoded reply`, evicted
+/// FIFO at `capacity`. Keyed per connection because xids are per-client
+/// counters (every client starts at 1).
+///
+/// Lookups and inserts charge no virtual time: the real cache probe is
+/// noise next to `per_op`, and keeping the miss path free means fault-free
+/// runs are byte-identical with and without this cache.
+struct Drc {
+    capacity: usize,
+    replies: HashMap<(u32, u32), Vec<u8>>,
+    order: VecDeque<(u32, u32)>,
+}
+
+impl Drc {
+    fn new(capacity: usize) -> Drc {
+        Drc {
+            capacity,
+            replies: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn get(&self, conn: u32, xid: u32) -> Option<&Vec<u8>> {
+        self.replies.get(&(conn, xid))
+    }
+
+    fn insert(&mut self, conn: u32, xid: u32, reply: Vec<u8>) {
+        if self.replies.insert((conn, xid), reply).is_none() {
+            self.order.push_back((conn, xid));
+            if self.order.len() > self.capacity {
+                if let Some(old) = self.order.pop_front() {
+                    self.replies.remove(&old);
+                }
+            }
+        }
+    }
 }
 
 /// Decode, execute, and encode one RPC. Charges nfsd CPU time.

@@ -49,6 +49,7 @@ mod resource;
 mod stats;
 
 pub mod cost;
+pub mod fault;
 pub mod host;
 pub mod rng;
 pub mod time;
@@ -57,10 +58,11 @@ pub mod time;
 /// `simnet::obs::...` without a separate dependency edge.
 pub use obs;
 
+pub use fault::{DropCause, FaultPlan, FaultPlanBuilder};
 pub use host::{Cluster, CpuMeter, Host, HostId, HostMem, Stopwatch, VirtAddr};
 pub use kernel::{ActorCtx, ActorId, SimKernel, Span};
 pub use link::Link;
-pub use port::Port;
+pub use port::{Port, RecvUntil};
 pub use resource::Resource;
 pub use rng::Rng64;
 pub use stats::{ByteMeter, Counter, DurationMetric, Histogram, WindowedRate};

@@ -185,6 +185,45 @@ impl<T: Send + 'static> Port<T> {
         }
     }
 
+    /// Like [`Port::recv`], but give up once the caller's clock reaches
+    /// `deadline` with no message arrived. The timeout consumes virtual
+    /// time (the clock advances to `deadline`), which is what a protocol
+    /// retransmit timer needs; the happy path is indistinguishable from
+    /// `recv`.
+    pub fn recv_until(&self, ctx: &ActorCtx, deadline: SimTime) -> RecvUntil<T> {
+        loop {
+            let decision = {
+                let mut st = self.inner.heap.lock();
+                match st.messages.peek() {
+                    Some(Reverse(t)) if t.arrival <= ctx.now() => {
+                        let Reverse(t) = st.messages.pop().unwrap();
+                        return RecvUntil::Msg(t.msg);
+                    }
+                    Some(Reverse(t)) => Some(t.arrival),
+                    None if st.closed => return RecvUntil::Closed,
+                    None => None,
+                }
+            };
+            if ctx.now() >= deadline {
+                return RecvUntil::TimedOut;
+            }
+            // Sleep toward the earlier of the next known arrival and the
+            // deadline, registered as waiter so an earlier send preempts.
+            let target = decision.map_or(deadline, |a| a.min(deadline));
+            {
+                let mut st = self.inner.heap.lock();
+                assert!(
+                    st.waiter.is_none(),
+                    "port '{}' already has a blocked receiver",
+                    self.inner.name
+                );
+                st.waiter = Some(ctx.id());
+            }
+            ctx.sleep_until(target);
+            self.inner.heap.lock().waiter = None;
+        }
+    }
+
     /// Take a message only if one has arrived by the caller's current time.
     pub fn try_recv(&self, ctx: &ActorCtx) -> Option<T> {
         let mut st = self.inner.heap.lock();
@@ -210,6 +249,18 @@ impl<T: Send + 'static> Port<T> {
 enum RecvWait {
     SleepUntil(SimTime),
     Park,
+}
+
+/// Outcome of [`Port::recv_until`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvUntil<T> {
+    /// A message arrived before the deadline.
+    Msg(T),
+    /// The port is closed and drained.
+    Closed,
+    /// The deadline passed with no message; the caller's clock is at (or
+    /// past) the deadline.
+    TimedOut,
 }
 
 #[cfg(test)]
@@ -353,6 +404,74 @@ mod tests {
             while let Some(v) = ab.recv(ctx) {
                 ba.send(ctx, v * 2, ctx.now() + one_way);
             }
+        });
+        k.run();
+    }
+
+    #[test]
+    fn recv_until_times_out_at_deadline() {
+        let k = SimKernel::new();
+        let p: Port<u64> = Port::new("p");
+        let rx = p.clone();
+        k.spawn("receiver", move |ctx| {
+            let deadline = ctx.now() + us(30);
+            assert_eq!(rx.recv_until(ctx, deadline), RecvUntil::TimedOut);
+            assert_eq!(ctx.now(), deadline, "timeout consumes virtual time");
+        });
+        k.run();
+    }
+
+    #[test]
+    fn recv_until_returns_message_before_deadline() {
+        let k = SimKernel::new();
+        let p: Port<u64> = Port::new("p");
+        let tx = p.clone();
+        k.spawn("sender", move |ctx| {
+            tx.send(ctx, 9, ctx.now() + us(10));
+        });
+        let rx = p;
+        k.spawn("receiver", move |ctx| {
+            assert_eq!(rx.recv_until(ctx, ctx.now() + us(30)), RecvUntil::Msg(9));
+            assert_eq!(ctx.now().as_nanos(), 10_000);
+            // Second recv with nothing pending times out at its deadline.
+            assert_eq!(rx.recv_until(ctx, ctx.now() + us(5)), RecvUntil::TimedOut);
+            assert_eq!(ctx.now().as_nanos(), 15_000);
+        });
+        k.run();
+    }
+
+    #[test]
+    fn recv_until_ignores_message_past_deadline() {
+        let k = SimKernel::new();
+        let p: Port<u64> = Port::new("p");
+        let tx = p.clone();
+        k.spawn("sender", move |ctx| {
+            tx.send(ctx, 1, ctx.now() + us(100));
+        });
+        let rx = p;
+        k.spawn("receiver", move |ctx| {
+            ctx.advance(us(1)); // let the future message queue up
+            assert_eq!(rx.recv_until(ctx, ctx.now() + us(10)), RecvUntil::TimedOut);
+            // The message is still there for a later recv.
+            assert_eq!(rx.recv(ctx), Some(1));
+            assert_eq!(ctx.now().as_nanos(), 100_000);
+        });
+        k.run();
+    }
+
+    #[test]
+    fn recv_until_sees_close() {
+        let k = SimKernel::new();
+        let p: Port<u64> = Port::new("p");
+        let tx = p.clone();
+        k.spawn("closer", move |ctx| {
+            ctx.advance(us(5));
+            tx.close(ctx);
+        });
+        let rx = p;
+        k.spawn("receiver", move |ctx| {
+            assert_eq!(rx.recv_until(ctx, ctx.now() + us(50)), RecvUntil::Closed);
+            assert!(ctx.now().as_nanos() <= 50_000);
         });
         k.run();
     }

@@ -26,8 +26,9 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use simnet::cost::HostCost;
+use simnet::fault::FaultPlan;
 use simnet::time::units::*;
-use simnet::{ActorCtx, Bandwidth, Host, HostId, Port, Resource, SimDuration};
+use simnet::{ActorCtx, Bandwidth, Host, HostId, Port, RecvUntil, Resource, SimDuration, SimTime};
 
 /// Timing constants of the kernel network path.
 #[derive(Debug, Clone, Copy)]
@@ -118,18 +119,21 @@ struct HostNet {
 struct ConnRequest {
     client_port: Port<Chunk>,
     client_net: Arc<HostNet>,
+    client_host: HostId,
     reply: Port<ConnReply>,
 }
 
 struct ConnReply {
     server_port: Port<Chunk>,
     server_net: Arc<HostNet>,
+    server_host: HostId,
 }
 
 #[derive(Default)]
 struct FabricState {
     listeners: HashMap<(HostId, u16), Port<ConnRequest>>,
     hosts: HashMap<HostId, Arc<HostNet>>,
+    faults: Option<FaultPlan>,
 }
 
 /// The TCP "internet" connecting all hosts in the simulation.
@@ -151,6 +155,18 @@ impl TcpFabric {
     /// The cost model in effect.
     pub fn cost(&self) -> &TcpCost {
         &self.cost
+    }
+
+    /// Attach a fault plan: sockets created after this call judge every
+    /// segment against it (drops and jitter). Existing sockets are
+    /// unaffected.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        self.state.lock().faults = Some(plan);
+    }
+
+    /// The currently attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.state.lock().faults.clone()
     }
 
     fn hostnet(&self, host: &Host) -> Arc<HostNet> {
@@ -210,6 +226,7 @@ impl TcpFabric {
             ConnRequest {
                 client_port: my_port.clone(),
                 client_net: self.hostnet(host),
+                client_host: host.id,
                 reply: reply.clone(),
             },
             ctx.now() + self.cost.wire_latency,
@@ -221,11 +238,13 @@ impl TcpFabric {
                 local_host: host.clone(),
                 local_net: self.hostnet(host),
                 peer_net: r.server_net,
+                peer_host: r.server_host,
                 peer_port: r.server_port,
                 incoming: my_port,
                 buffer: Mutex::new(VecDeque::new()),
                 fin_seen: Mutex::new(false),
                 last_deliver: Mutex::new(simnet::SimTime::ZERO),
+                faults: self.state.lock().faults.clone(),
             }),
         })
     }
@@ -250,6 +269,7 @@ impl TcpListener {
             ConnReply {
                 server_port: my_port.clone(),
                 server_net: self.fabric.hostnet(&self.host),
+                server_host: self.host.id,
             },
             ctx.now() + self.fabric.cost.wire_latency,
         );
@@ -259,11 +279,13 @@ impl TcpListener {
                 local_host: self.host.clone(),
                 local_net: self.fabric.hostnet(&self.host),
                 peer_net: req.client_net,
+                peer_host: req.client_host,
                 peer_port: req.client_port,
                 incoming: my_port,
                 buffer: Mutex::new(VecDeque::new()),
                 fin_seen: Mutex::new(false),
                 last_deliver: Mutex::new(simnet::SimTime::ZERO),
+                faults: self.fabric.state.lock().faults.clone(),
             }),
         })
     }
@@ -279,6 +301,7 @@ struct SocketInner {
     local_host: Host,
     local_net: Arc<HostNet>,
     peer_net: Arc<HostNet>,
+    peer_host: HostId,
     peer_port: Port<Chunk>,
     incoming: Port<Chunk>,
     buffer: Mutex<VecDeque<u8>>,
@@ -286,6 +309,9 @@ struct SocketInner {
     /// Latest delivery instant scheduled toward the peer; FIN is ordered
     /// after all data, as in a real TCP stream.
     last_deliver: Mutex<simnet::SimTime>,
+    /// Fault plan captured at connection time; `None` leaves the data path
+    /// byte-identical to the pre-fault-injection code.
+    faults: Option<FaultPlan>,
 }
 
 /// A connected stream socket.
@@ -324,13 +350,27 @@ impl Socket {
         let wire_bytes = n + npkts * s.cost.header_bytes;
         let ser = s.cost.wire_bw.time_for(wire_bytes);
         let (tx_start, _tx_done) = s.local_net.tx_wire.book_span(ctx.now(), ser);
+        // An injected fault loses the whole segment after the sender has
+        // paid its transmit cost; the receiver never sees it (no rx-side
+        // resource is booked). Message boundaries match `send` calls, so a
+        // drop always loses a whole framed RPC, never a partial frame.
+        if let Some(f) = &s.faults {
+            if f.should_drop(ctx, s.local_host.id, s.peer_host, tx_start + s.cost.wire_latency)
+                .is_some()
+            {
+                return;
+            }
+        }
         let rx_done = s.peer_net.rx_wire.book(tx_start + s.cost.wire_latency, ser);
         // Interrupt-context processing on the receiving host delays
         // delivery and accrues that host's kernel busy time.
-        let deliver = s
+        let mut deliver = s
             .peer_net
             .softirq
             .book(rx_done, s.cost.per_packet_rx.saturating_mul(npkts));
+        if let Some(f) = &s.faults {
+            deliver = f.jitter(ctx, s.local_host.id, s.peer_host, deliver);
+        }
         {
             let mut last = s.last_deliver.lock();
             *last = (*last).max(deliver);
@@ -362,6 +402,43 @@ impl Socket {
                 Some(Chunk::Fin) | None => {
                     *s.fin_seen.lock() = true;
                 }
+            }
+        }
+    }
+
+    /// Like [`Socket::recv_exact`], but give up once the caller's clock
+    /// reaches `deadline` without `n` bytes available. `Ok(None)` means the
+    /// deadline passed (the clock has advanced to it) — the retransmit
+    /// timer primitive for RPC layers. Already-buffered partial data is
+    /// kept for the next read.
+    pub fn recv_exact_deadline(
+        &self,
+        ctx: &ActorCtx,
+        n: usize,
+        deadline: SimTime,
+    ) -> Result<Option<Vec<u8>>, TcpError> {
+        let s = &self.inner;
+        loop {
+            {
+                let mut buf = s.buffer.lock();
+                if buf.len() >= n {
+                    let out: Vec<u8> = buf.drain(..n).collect();
+                    drop(buf);
+                    s.local_host.compute(ctx, s.cost.recv_cpu(n as u64));
+                    ctx.metrics().byte_meter("tcp.rx.bytes").record(n as u64);
+                    ctx.trace("tcp", "segment.rx", &[("bytes", obs::Value::U64(n as u64))]);
+                    return Ok(Some(out));
+                }
+                if *s.fin_seen.lock() {
+                    return Err(TcpError::Closed);
+                }
+            }
+            match s.incoming.recv_until(ctx, deadline) {
+                RecvUntil::Msg(Chunk::Data(d)) => s.buffer.lock().extend(d),
+                RecvUntil::Msg(Chunk::Fin) | RecvUntil::Closed => {
+                    *s.fin_seen.lock() = true;
+                }
+                RecvUntil::TimedOut => return Ok(None),
             }
         }
     }
@@ -583,6 +660,55 @@ mod tests {
         let pkts = TcpCost::default().packets(256 << 10) * 2;
         let expect = TcpCost::default().per_packet_rx.saturating_mul(pkts);
         assert_eq!(t.fabric.kernel_busy(&t.b), expect);
+    }
+
+    #[test]
+    fn lossy_link_drops_whole_segments() {
+        use simnet::fault::FaultPlan;
+        let t = bed();
+        // Loss probability 1 on the a<->b link: nothing gets through, and
+        // the receiver's deadline read observes the loss as a timeout.
+        t.fabric
+            .set_fault_plan(FaultPlan::builder(3).link_loss(t.a.id, t.b.id, 1.0).build());
+        let (f, b) = (t.fabric.clone(), t.b.clone());
+        t.kernel.spawn_daemon("server", move |ctx| {
+            let l = f.listen(&b, 80);
+            let s = l.accept(ctx).unwrap();
+            assert_eq!(
+                s.recv_exact_deadline(ctx, 4, ctx.now() + ms(10)).unwrap(),
+                None,
+                "every segment should be lost"
+            );
+        });
+        let (f, a, bid) = (t.fabric.clone(), t.a.clone(), t.b.id);
+        t.kernel.spawn("client", move |ctx| {
+            let s = f.connect(ctx, &a, bid, 80).unwrap();
+            s.send(ctx, b"gone");
+        });
+        t.kernel.run();
+    }
+
+    #[test]
+    fn recv_exact_deadline_happy_path_matches_recv_exact() {
+        let t = bed();
+        let (f, b) = (t.fabric.clone(), t.b.clone());
+        t.kernel.spawn_daemon("server", move |ctx| {
+            let l = f.listen(&b, 80);
+            let s = l.accept(ctx).unwrap();
+            let got = s
+                .recv_exact_deadline(ctx, 5, ctx.now() + ms(100))
+                .unwrap()
+                .unwrap();
+            assert_eq!(got, b"hello");
+            s.send(ctx, b"ok");
+        });
+        let (f, a, bid) = (t.fabric.clone(), t.a.clone(), t.b.id);
+        t.kernel.spawn("client", move |ctx| {
+            let s = f.connect(ctx, &a, bid, 80).unwrap();
+            s.send(ctx, b"hello");
+            assert_eq!(s.recv_exact(ctx, 2).unwrap(), b"ok");
+        });
+        t.kernel.run();
     }
 
     #[test]

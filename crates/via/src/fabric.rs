@@ -10,6 +10,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use simnet::fault::FaultPlan;
 use simnet::{ActorCtx, HostId, Port};
 
 use crate::cost::ViaCost;
@@ -23,6 +24,9 @@ pub enum ConnectError {
     NoListener,
     /// The listener rejected the request.
     Rejected,
+    /// The remote host is unreachable (crashed, or the link is down); the
+    /// connection attempt timed out.
+    Unreachable,
 }
 
 impl std::fmt::Display for ConnectError {
@@ -30,6 +34,7 @@ impl std::fmt::Display for ConnectError {
         match self {
             ConnectError::NoListener => write!(f, "no listener at the requested address"),
             ConnectError::Rejected => write!(f, "connection rejected by listener"),
+            ConnectError::Unreachable => write!(f, "remote host unreachable"),
         }
     }
 }
@@ -53,6 +58,7 @@ enum ConnReply {
 #[derive(Default)]
 struct FabricState {
     listeners: HashMap<(HostId, u16), Port<ConnRequest>>,
+    faults: Option<FaultPlan>,
 }
 
 /// The fabric connecting all VIA NICs in the simulation.
@@ -85,6 +91,18 @@ impl ViaFabric {
         &self.cost
     }
 
+    /// Attach a fault plan: every VI connected after this call judges its
+    /// wire deliveries against the plan, and connection attempts to a
+    /// crashed host fail with [`ConnectError::Unreachable`].
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        self.state.lock().faults = Some(plan);
+    }
+
+    /// The currently attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.state.lock().faults.clone()
+    }
+
     /// Open a NIC on `host`, attached to this fabric.
     pub fn open_nic(&self, host: simnet::Host) -> ViaNic {
         ViaNic::open(host, self.cost)
@@ -101,6 +119,7 @@ impl ViaFabric {
             requests: p,
             nic: nic.clone(),
             vi_ids: self.next_vi_id.clone(),
+            state: self.state.clone(),
         }
     }
 
@@ -116,11 +135,22 @@ impl ViaFabric {
         port: u16,
         attrs: ViAttributes,
     ) -> Result<Vi, ConnectError> {
-        let listener = {
+        let (listener, faults) = {
             let st = self.state.lock();
-            st.listeners.get(&(remote, port)).cloned()
+            (st.listeners.get(&(remote, port)).cloned(), st.faults.clone())
+        };
+        let listener = listener.ok_or(ConnectError::NoListener)?;
+
+        // A crashed host (either end) can't complete the handshake: the
+        // request or the accept is lost and the connection manager times
+        // out after one round trip.
+        if let Some(f) = &faults {
+            let there = ctx.now() + self.cost.unloaded_one_way(64);
+            if f.host_down_at(nic.host().id, ctx.now()) || f.host_down_at(remote, there) {
+                ctx.advance(self.cost.unloaded_one_way(64) * 2);
+                return Err(ConnectError::Unreachable);
+            }
         }
-        .ok_or(ConnectError::NoListener)?;
 
         let ptag = nic.create_ptag();
         let client_end = ViEnd::new(self.alloc_vi_id(), attrs, ptag);
@@ -145,6 +175,7 @@ impl ViaFabric {
                 peer: server_end,
                 nic: nic.clone(),
                 peer_nic: server_nic,
+                faults,
             }),
             Some(ConnReply::Reject) | None => Err(ConnectError::Rejected),
         }
@@ -156,6 +187,7 @@ pub struct Listener {
     requests: Port<ConnRequest>,
     nic: ViaNic,
     vi_ids: Arc<AtomicU64>,
+    state: Arc<Mutex<FabricState>>,
 }
 
 impl Listener {
@@ -183,6 +215,7 @@ impl Listener {
             peer: req.client_end,
             nic: self.nic.clone(),
             peer_nic: req.client_nic,
+            faults: self.state.lock().faults.clone(),
         })
     }
 

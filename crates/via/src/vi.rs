@@ -13,6 +13,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use simnet::fault::FaultPlan;
 use simnet::{ActorCtx, Port, SimTime};
 
 use crate::cq::{Cq, CqToken};
@@ -83,6 +84,9 @@ pub(crate) enum WireMsg {
     RdmaWriteImm { imm: u32, len: u64 },
     /// Clean disconnect notification.
     Disconnect,
+    /// The connection broke (injected fault on a reliable VI): the receiving
+    /// end transitions to `Error` and surfaces `ConnectionLost`.
+    Broken,
 }
 
 struct PostedRecv {
@@ -124,6 +128,9 @@ pub struct Vi {
     pub(crate) peer: Arc<ViEnd>,
     pub(crate) nic: ViaNic,
     pub(crate) peer_nic: ViaNic,
+    /// Fault plan captured from the fabric at connection time; `None` means
+    /// the data path is exactly the pre-fault-injection code path.
+    pub(crate) faults: Option<FaultPlan>,
 }
 
 impl Vi {
@@ -173,6 +180,57 @@ impl Vi {
                 at,
             );
         }
+    }
+
+    /// Judge a wire delivery against the fault plan. `Ok` carries the
+    /// (possibly jittered) arrival instant; `Err` means the message was
+    /// lost. With no plan this is a straight pass-through.
+    fn faulted_delivery(&self, ctx: &ActorCtx, delivery: SimTime) -> Result<SimTime, ()> {
+        let Some(f) = &self.faults else {
+            return Ok(delivery);
+        };
+        let (src, dst) = (self.nic.host().id, self.peer_nic.host().id);
+        if f.should_drop(ctx, src, dst, delivery).is_some() {
+            return Err(());
+        }
+        Ok(f.jitter(ctx, src, dst, delivery))
+    }
+
+    /// A wire message on this reliable VI was lost: VIA reliable-delivery
+    /// semantics break the connection. The local endpoint enters `Error`
+    /// and the lost descriptor completes with `ConnectionLost` (instead of
+    /// hanging); the peer observes `ConnectionLost` at the instant the data
+    /// would have arrived, so blocked receivers wake deterministically.
+    fn fault_break(&self, ctx: &ActorCtx, at: SimTime) {
+        *self.local.state.lock() = ViState::Error;
+        ctx.metrics().counter("via.conn_broken").inc();
+        ctx.trace(
+            "via",
+            "fault.break",
+            &[
+                ("vi", obs::Value::U64(self.local.id.0)),
+                ("at_ns", obs::Value::U64(at.as_nanos())),
+            ],
+        );
+        self.peer.incoming.send(
+            ctx,
+            Arrived {
+                at,
+                msg: WireMsg::Broken,
+            },
+            at,
+        );
+        self.notify_peer_recv_cq(ctx, at);
+        self.complete_send(
+            ctx,
+            Completion {
+                status: ViaStatus::ConnectionLost,
+                len: 0,
+                imm: None,
+                queue: WhichQueue::Send,
+                at,
+            },
+        );
     }
 
     fn notify_peer_recv_cq(&self, ctx: &ActorCtx, at: SimTime) {
@@ -330,6 +388,10 @@ impl Vi {
         ctx.metrics().byte_meter("via.send.bytes").record(len);
         let bytes = self.gather(&desc);
         let (tx_done, delivery) = self.wire_times(ctx, len);
+        let delivery = match self.faulted_delivery(ctx, delivery) {
+            Ok(d) => d,
+            Err(()) => return self.fault_break(ctx, delivery),
+        };
         self.peer.incoming.send(
             ctx,
             Arrived {
@@ -395,8 +457,13 @@ impl Vi {
         // Move the bytes (the peer host CPU is *not* involved).
         ctx.metrics().byte_meter("via.rdma.bytes").record(len);
         let bytes = self.gather(&desc);
-        self.peer_nic.host().mem.write(remote.addr, &bytes);
         let (tx_done, delivery) = self.wire_times(ctx, len);
+        // A lost RDMA write must not place any remote bytes.
+        let delivery = match self.faulted_delivery(ctx, delivery) {
+            Ok(d) => d,
+            Err(()) => return self.fault_break(ctx, delivery),
+        };
+        self.peer_nic.host().mem.write(remote.addr, &bytes);
         if let Some(imm) = desc.imm {
             self.peer.incoming.send(
                 ctx,
@@ -482,7 +549,15 @@ impl Vi {
             .inner
             .rx_wire
             .book(peer_tx_start + c.wire_latency, ser);
-        let delivery = rx_done + c.rx_nic_proc;
+        let mut delivery = rx_done + c.rx_nic_proc;
+        // The returning data stream is the judged delivery (peer -> local).
+        if let Some(f) = &self.faults {
+            let (src, dst) = (self.peer_nic.host().id, self.nic.host().id);
+            if f.should_drop(ctx, src, dst, delivery).is_some() {
+                return self.fault_break(ctx, delivery);
+            }
+            delivery = f.jitter(ctx, src, dst, delivery);
+        }
         // Scatter remote bytes into the local segments.
         let bytes = self.peer_nic.host().mem.read_vec(remote.addr, len as usize);
         let mut off = 0usize;
@@ -549,6 +624,16 @@ impl Vi {
         match arrived.msg {
             WireMsg::Disconnect => {
                 *self.local.state.lock() = ViState::Disconnected;
+                Completion {
+                    status: ViaStatus::ConnectionLost,
+                    len: 0,
+                    imm: None,
+                    queue: WhichQueue::Recv,
+                    at,
+                }
+            }
+            WireMsg::Broken => {
+                *self.local.state.lock() = ViState::Error;
                 Completion {
                     status: ViaStatus::ConnectionLost,
                     len: 0,
@@ -640,8 +725,23 @@ impl Vi {
     /// `ConnectionLost` receive completion.
     pub fn disconnect(&self, ctx: &ActorCtx) {
         let c = self.nic.cost();
-        *self.local.state.lock() = ViState::Disconnected;
+        {
+            // Disconnecting an already broken or disconnected VI is a no-op
+            // (the peer was notified when the connection died).
+            let mut st = self.local.state.lock();
+            if *st != ViState::Connected {
+                return;
+            }
+            *st = ViState::Disconnected;
+        }
         let at = ctx.now() + c.tx_nic_proc + c.wire_latency + c.rx_nic_proc;
+        // A disconnect notification rides the same faulty wire as data.
+        if let Some(f) = &self.faults {
+            let (src, dst) = (self.nic.host().id, self.peer_nic.host().id);
+            if f.should_drop(ctx, src, dst, at).is_some() {
+                return;
+            }
+        }
         self.peer.incoming.send(
             ctx,
             Arrived {

@@ -1,0 +1,364 @@
+//! Chaos suite: the full MPI-IO stack must survive seeded packet loss,
+//! link flaps, and a mid-run server crash — completing with byte-identical
+//! data and without hanging (every run is checked against a virtual-time
+//! deadline; a stuck retry loop would blow far past it).
+//!
+//! All faults come from a seeded [`FaultPlan`], so every failure here is
+//! exactly reproducible: rerun the test and the same messages drop at the
+//! same virtual instants.
+
+use mpio_dafs::memfs::ROOT_ID;
+use mpio_dafs::mpiio::{Backend, Hints, JobReport, MpiFile, OpenMode, Testbed};
+use mpio_dafs::simnet::units::*;
+use mpio_dafs::simnet::{ActorCtx, Cluster, FaultPlan, HostId, SimKernel, SimTime};
+use mpio_dafs::{dafs, nfsv3, tcpnet, via};
+
+/// The file server is always the first host a [`Testbed`] creates.
+const SERVER: HostId = HostId(0);
+
+/// Virtual-time deadline: the fault-free workloads below finish in well
+/// under a second of virtual time; recovery adds bounded backoff. Anything
+/// past this means a retry loop wedged.
+const DEADLINE_NS: u64 = 120 * 1_000_000_000;
+
+/// R-F2-shaped workload on a faulted testbed: every rank writes its slab,
+/// barriers, reads it back, and asserts byte-identical contents; afterwards
+/// the server filesystem is verified too.
+fn faulted_roundtrip(backend: Backend, plan: FaultPlan, ranks: usize, block: usize) -> JobReport {
+    let tb = Testbed::with_faults(backend, plan);
+    let fs = tb.fs.clone();
+    let report = tb.run(ranks, move |ctx, comm, adio| {
+        let host = comm.host().clone();
+        let f = MpiFile::open(ctx, adio, &host, "/chaos", OpenMode::create(), Hints::default())
+            .unwrap();
+        let src = host.mem.alloc(block);
+        host.mem.fill(src, block, comm.rank() as u8 + 1);
+        f.write_at(ctx, (comm.rank() * block) as u64, src, block as u64)
+            .unwrap();
+        comm.barrier(ctx);
+        let dst = host.mem.alloc(block);
+        let n = f
+            .read_at(ctx, (comm.rank() * block) as u64, dst, block as u64)
+            .unwrap();
+        assert_eq!(n, block as u64, "short read under faults");
+        assert_eq!(
+            host.mem.read_vec(dst, block),
+            vec![comm.rank() as u8 + 1; block],
+            "rank {} read back corrupt data",
+            comm.rank()
+        );
+    });
+    assert!(
+        report.end_time.as_nanos() < DEADLINE_NS,
+        "virtual-time deadline blown: {} ns (recovery wedged?)",
+        report.end_time.as_nanos()
+    );
+    let attr = fs.resolve("/chaos").unwrap();
+    assert_eq!(attr.size, (ranks * block) as u64);
+    let data = fs.read(attr.id, 0, attr.size).unwrap();
+    for r in 0..ranks {
+        assert!(
+            data[r * block..(r + 1) * block].iter().all(|&b| b == r as u8 + 1),
+            "server holds corrupt bytes for rank {r}"
+        );
+    }
+    report
+}
+
+// --- loss ladders -----------------------------------------------------------
+
+#[test]
+fn dafs_survives_loss_ladder() {
+    for (i, loss) in [0.001, 0.01, 0.05].into_iter().enumerate() {
+        let plan = FaultPlan::builder(0xC4A05 + i as u64).loss(loss).build();
+        faulted_roundtrip(Backend::dafs(), plan, 2, 256 << 10);
+    }
+}
+
+#[test]
+fn nfs_survives_loss_ladder() {
+    for (i, loss) in [0.001, 0.01, 0.05].into_iter().enumerate() {
+        let plan = FaultPlan::builder(0x9F5 + i as u64).loss(loss).build();
+        faulted_roundtrip(Backend::nfs(), plan, 2, 256 << 10);
+    }
+}
+
+#[test]
+fn heavy_loss_actually_exercises_recovery() {
+    // Guard against a silently disarmed fault plan: at 5% loss over a
+    // multi-hundred-message run, drops and recovery work must show up.
+    let plan = FaultPlan::builder(0xDEAD).loss(0.05).build();
+    let dafs = faulted_roundtrip(Backend::dafs(), plan, 2, 512 << 10);
+    let plan = FaultPlan::builder(0xDEAD).loss(0.05).build();
+    let nfs = faulted_roundtrip(Backend::nfs(), plan, 2, 512 << 10);
+    let dropped = |r: &JobReport| {
+        r.snapshot
+            .get("sim.faults.dropped")
+            .map(|e| e.value())
+            .unwrap_or(0)
+    };
+    assert!(dropped(&dafs) > 0, "no DAFS messages dropped at 5% loss");
+    assert!(dropped(&nfs) > 0, "no NFS messages dropped at 5% loss");
+    assert!(
+        dafs.snapshot.get("dafs.reconnects").map(|e| e.value()).unwrap_or(0) > 0,
+        "DAFS dropped messages but never reconnected"
+    );
+    assert!(
+        nfs.snapshot.get("nfs.retrans").map(|e| e.value()).unwrap_or(0) > 0,
+        "NFS dropped messages but never retransmitted"
+    );
+}
+
+// --- link flaps -------------------------------------------------------------
+
+fn flap_plan(seed: u64, ranks: usize) -> FaultPlan {
+    // Two short outages on every rank↔server link, early in the run.
+    let mut b = FaultPlan::builder(seed);
+    for r in 1..=ranks {
+        let h = HostId(r);
+        b = b
+            .link_down(SERVER, h, SimTime::ZERO + ms(1), SimTime::ZERO + ms(3))
+            .link_down(SERVER, h, SimTime::ZERO + ms(8), SimTime::ZERO + ms(9));
+    }
+    b.build()
+}
+
+#[test]
+fn dafs_survives_link_flaps() {
+    faulted_roundtrip(Backend::dafs(), flap_plan(0xF1A9, 2), 2, 256 << 10);
+}
+
+#[test]
+fn nfs_survives_link_flaps() {
+    faulted_roundtrip(Backend::nfs(), flap_plan(0xF1A9, 2), 2, 256 << 10);
+}
+
+// --- mid-run server crash ---------------------------------------------------
+
+fn crash_plan(seed: u64) -> FaultPlan {
+    // The server goes dark 1ms in and comes back at 15ms — mid-workload for
+    // both backends. Stable storage (the MemFs) survives; sessions and
+    // in-flight RPCs do not.
+    FaultPlan::builder(seed)
+        .host_crash(SERVER, SimTime::ZERO + ms(1), SimTime::ZERO + ms(15))
+        .build()
+}
+
+#[test]
+fn dafs_survives_server_crash() {
+    let report = faulted_roundtrip(Backend::dafs(), crash_plan(0xCA5), 2, 256 << 10);
+    assert!(
+        report.snapshot.get("dafs.reconnects").map(|e| e.value()).unwrap_or(0) > 0,
+        "a 14ms server outage must force at least one reconnect"
+    );
+}
+
+#[test]
+fn nfs_survives_server_crash() {
+    let report = faulted_roundtrip(Backend::nfs(), crash_plan(0xCA5), 2, 256 << 10);
+    assert!(
+        report.snapshot.get("nfs.retrans").map(|e| e.value()).unwrap_or(0) > 0,
+        "a 14ms server outage must force at least one retransmission"
+    );
+}
+
+// --- exactly-once properties ------------------------------------------------
+//
+// Retransmission and replay must not double-apply non-idempotent
+// operations. These drive the raw protocol clients (below the ADIO layer)
+// under seeded loss and check end-state exactness for every seed.
+
+/// Raw NFS client under `plan`; returns the server fs and total retransmits.
+fn raw_nfs_run(
+    plan: FaultPlan,
+    body: impl FnOnce(&ActorCtx, &nfsv3::NfsClient) + Send + 'static,
+) -> (mpio_dafs::memfs::MemFs, u64) {
+    let kernel = SimKernel::new();
+    let cluster = Cluster::new();
+    let fabric = tcpnet::TcpFabric::new(tcpnet::TcpCost::default());
+    fabric.set_fault_plan(plan);
+    let server_host = cluster.add_host("server");
+    let fs = mpio_dafs::memfs::MemFs::new();
+    let _server = nfsv3::spawn_nfs_server(
+        &kernel,
+        &fabric,
+        server_host.clone(),
+        fs.clone(),
+        2049,
+        nfsv3::NfsServerCost::default(),
+    );
+    let client_host = cluster.add_host("client");
+    let sid = server_host.id;
+    kernel.spawn("client", move |ctx| {
+        let c = nfsv3::NfsClient::mount(
+            ctx,
+            &fabric,
+            &client_host,
+            sid,
+            2049,
+            nfsv3::NfsClientConfig::default(),
+        )
+        .unwrap();
+        body(ctx, &c);
+        c.unmount(ctx);
+    });
+    let obs = kernel.obs().clone();
+    let end = kernel.run();
+    let retrans = obs
+        .snapshot(end.as_nanos())
+        .get("nfs.retrans")
+        .map(|e| e.value())
+        .unwrap_or(0);
+    (fs, retrans)
+}
+
+#[test]
+fn nfs_drc_makes_create_and_remove_exactly_once() {
+    // Without the server's duplicate-request cache, a retransmitted CREATE
+    // whose first execution succeeded returns Exists, and a retransmitted
+    // REMOVE returns NoEnt. With it, every retransmission gets the cached
+    // first reply. Sweep seeds so many distinct loss timelines are tried.
+    let mut total_retrans = 0;
+    for seed in 0..8u64 {
+        let plan = FaultPlan::builder(seed).loss(0.05).build();
+        let (fs, retrans) = raw_nfs_run(plan, |ctx, c| {
+            for i in 0..24 {
+                let name = format!("f{i}");
+                c.create(ctx, ROOT_ID, &name).unwrap();
+            }
+            for i in 0..12 {
+                let name = format!("f{i}");
+                c.remove(ctx, ROOT_ID, &name).unwrap();
+            }
+        });
+        // End state exact: files 12..24 exist, 0..12 do not.
+        for i in 0..24 {
+            let exists = fs.resolve(&format!("/f{i}")).is_ok();
+            assert_eq!(exists, i >= 12, "seed {seed}: f{i} wrong existence");
+        }
+        total_retrans += retrans;
+    }
+    assert!(
+        total_retrans > 0,
+        "no retransmission fired across the whole sweep — the property went untested"
+    );
+}
+
+#[test]
+fn nfs_writes_survive_retransmission_without_corruption() {
+    // Build a log from explicit-offset writes chained through the returned
+    // attributes. A double-applied or lost write would tear the sequence.
+    const REC: usize = 64;
+    const N: u64 = 32;
+    let mut total_retrans = 0;
+    for seed in 0..4u64 {
+        let plan = FaultPlan::builder(0xB10C + seed).loss(0.05).build();
+        let (fs, retrans) = raw_nfs_run(plan, |ctx, c| {
+            let f = c.create(ctx, ROOT_ID, "log").unwrap();
+            let mut off = 0;
+            for i in 0..N {
+                let attr = c.write(ctx, f.id, off, &[i as u8; REC]).unwrap();
+                off = attr.size;
+            }
+        });
+        let attr = fs.resolve("/log").unwrap();
+        assert_eq!(attr.size, N * REC as u64, "seed {seed}: log length wrong");
+        let data = fs.read(attr.id, 0, attr.size).unwrap();
+        for i in 0..N {
+            assert!(
+                data[(i as usize) * REC..(i as usize + 1) * REC]
+                    .iter()
+                    .all(|&b| b == i as u8),
+                "seed {seed}: record {i} torn"
+            );
+        }
+        total_retrans += retrans;
+    }
+    assert!(total_retrans > 0, "sweep never exercised a retransmission");
+}
+
+/// Raw DAFS client under `plan`; returns the server fs and total reconnects.
+fn raw_dafs_run(
+    plan: FaultPlan,
+    body: impl FnOnce(&ActorCtx, &dafs::DafsClient) + Send + 'static,
+) -> (mpio_dafs::memfs::MemFs, u64) {
+    let kernel = SimKernel::new();
+    let cluster = Cluster::new();
+    let fabric = via::ViaFabric::new(via::ViaCost::default());
+    fabric.set_fault_plan(plan);
+    let server_nic = fabric.open_nic(cluster.add_host("server"));
+    let sid = server_nic.host().id;
+    let fs = mpio_dafs::memfs::MemFs::new();
+    let _server = dafs::spawn_dafs_server(
+        &kernel,
+        &fabric,
+        server_nic,
+        fs.clone(),
+        2049,
+        dafs::DafsServerCost::default(),
+    );
+    let client_host = cluster.add_host("client");
+    kernel.spawn("client", move |ctx| {
+        let nic = fabric.open_nic(client_host.clone());
+        let c = dafs::DafsClient::connect(
+            ctx,
+            &fabric,
+            &nic,
+            sid,
+            2049,
+            dafs::DafsClientConfig::default(),
+        )
+        .unwrap();
+        body(ctx, &c);
+        c.disconnect(ctx);
+    });
+    let obs = kernel.obs().clone();
+    let end = kernel.run();
+    let reconnects = obs
+        .snapshot(end.as_nanos())
+        .get("dafs.reconnects")
+        .map(|e| e.value())
+        .unwrap_or(0);
+    (fs, reconnects)
+}
+
+#[test]
+fn dafs_replay_never_double_applies_appends() {
+    // APPEND writes at the server's current EOF, so a replayed execution
+    // (rather than a replayed *reply*) would duplicate the record and grow
+    // the file. The server replay cache must return the first reply for a
+    // retried request id instead of re-running it.
+    const REC: usize = 64;
+    const N: u64 = 32;
+    let mut total_reconnects = 0;
+    for seed in 0..8u64 {
+        let plan = FaultPlan::builder(0xA99E + seed).loss(0.05).build();
+        let (fs, reconnects) = raw_dafs_run(plan, |ctx, c| {
+            let f = c.create(ctx, ROOT_ID, "log").unwrap();
+            for i in 0..N {
+                let off = c.append(ctx, f.id, &[i as u8; REC]).unwrap();
+                assert_eq!(off, i * REC as u64, "append landed at the wrong offset");
+            }
+        });
+        let attr = fs.resolve("/log").unwrap();
+        assert_eq!(
+            attr.size,
+            N * REC as u64,
+            "seed {seed}: a replayed append double-applied (or one was lost)"
+        );
+        let data = fs.read(attr.id, 0, attr.size).unwrap();
+        for i in 0..N {
+            assert!(
+                data[(i as usize) * REC..(i as usize + 1) * REC]
+                    .iter()
+                    .all(|&b| b == i as u8),
+                "seed {seed}: record {i} wrong"
+            );
+        }
+        total_reconnects += reconnects;
+    }
+    assert!(
+        total_reconnects > 0,
+        "no session ever broke across the sweep — the property went untested"
+    );
+}
