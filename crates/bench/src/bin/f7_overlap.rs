@@ -1,0 +1,24 @@
+//! Run the overlapped two-phase sweep comparison:
+//! `cargo run -p mpio-dafs-bench --release --bin f7_overlap [-- --smoke]`.
+//!
+//! `--smoke` shrinks the sweep (16 rounds, 16 KiB collective buffer) for
+//! quick CI validation; the table shape and the pipelined-vs-synchronous
+//! comparison are the same.
+fn main() {
+    let mut smoke = false;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("unknown argument: {other} (supported: --smoke)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let table = if smoke {
+        mpio_dafs_bench::f7_overlap::run_sized(16, 16 << 10)
+    } else {
+        mpio_dafs_bench::f7_overlap::run()
+    };
+    table.print();
+}

@@ -18,6 +18,7 @@ pub mod f3_mpiio_scaling;
 pub mod f4_collective_vs_independent;
 pub mod f5_direct_threshold;
 pub mod f6_server_saturation;
+pub mod f7_overlap;
 pub mod t1_transport_latency;
 pub mod t2_registration_cost;
 pub mod t3_fileop_latency;
@@ -49,6 +50,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("R-F5", f5_direct_threshold::run),
         ("R-T6", t6_cb_buffer_sweep::run),
         ("R-F6", f6_server_saturation::run),
+        ("R-F7", f7_overlap::run),
         ("X-1", x1_btio_subarray::run),
         ("X-2", x2_mixed_workload::run),
         ("X-3", x3_latency_sensitivity::run),

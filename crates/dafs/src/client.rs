@@ -114,6 +114,58 @@ pub struct WriteReq {
     pub len: u64,
 }
 
+/// One expanded sub-operation of a batch: a whole direct transfer, or one
+/// inline-sized chunk of a larger request.
+struct Sub {
+    owner: usize,
+    fh: NodeId,
+    off: u64,
+    addr: VirtAddr,
+    len: u64,
+    direct: bool,
+}
+
+/// Which way a batch moves data.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum BatchDir {
+    Read,
+    Write,
+}
+
+/// A split-phase pipelined batch.
+///
+/// The issue half ([`DafsClient::read_batch_begin`] /
+/// [`DafsClient::write_batch_begin`]) posts as many sub-requests as the
+/// session's credit window allows and returns immediately, so the server
+/// processes them while the caller overlaps other work.
+/// [`DafsClient::batch_test`] opportunistically retires completions that
+/// already arrived without blocking; [`DafsClient::batch_finish`] blocks
+/// for the remainder and runs the transport-failure recovery pass.
+///
+/// The credit window is a hard invariant: the client owns exactly
+/// `credits` pre-posted receive descriptors, so at most one batch may be
+/// outstanding per session — finish one before beginning the next.
+pub struct DafsBatch {
+    dir: BatchDir,
+    subs: Vec<Sub>,
+    results: Vec<DafsResult<u64>>,
+    inflight: VecDeque<(u32, usize, MemHandle, bool)>,
+    next: usize,
+    read_reqs: Vec<ReadReq>,
+    write_reqs: Vec<WriteReq>,
+    /// Transport failure observed by the nonblocking poll; the finish half
+    /// fails the remaining in-flight subs with it instead of waiting on a
+    /// session that already died.
+    failed: Option<DafsError>,
+}
+
+impl DafsBatch {
+    /// Sub-requests posted but not yet retired.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+}
+
 fn rw_attrs(ptag: ProtectionTag) -> MemAttributes {
     MemAttributes {
         ptag,
@@ -331,6 +383,26 @@ impl DafsClient {
         );
     }
 
+    /// Pop the front recv-ring slot, copy the arrived response out,
+    /// re-post the descriptor, and stash the payload under its request id.
+    fn stash_response(&self, ctx: &ActorCtx, vi: &Vi, len: usize) -> DafsResult<()> {
+        let (buf, h) = {
+            let mut ring = self.recv_ring.lock();
+            let slot = ring.pop_front().expect("recv ring");
+            ring.push_back(slot);
+            slot
+        };
+        let resp = self.nic.host().mem.read_vec(buf, len);
+        vi.post_recv(
+            ctx,
+            RecvDesc::new(vec![DataSegment::new(buf, SLOT as u32, h)]),
+        );
+        let mut d = Dec::new(&resp);
+        let (rid, _) = proto::dec_resp_header(&mut d).map_err(|_| DafsError::Protocol)?;
+        self.pending.lock().insert(rid, resp);
+        Ok(())
+    }
+
     /// Await the response for `reqid`, stashing any other responses that
     /// arrive first.
     fn wait_response(&self, ctx: &ActorCtx, reqid: u32) -> DafsResult<Vec<u8>> {
@@ -347,22 +419,26 @@ impl DafsClient {
                 ViaStatus::Success => {}
                 status => return Err(DafsError::Transport(status)),
             }
-            let (buf, h) = {
-                let mut ring = self.recv_ring.lock();
-                let slot = ring.pop_front().expect("recv ring");
-                ring.push_back(slot);
-                slot
-            };
-            let resp = self.nic.host().mem.read_vec(buf, completion.len as usize);
-            vi.post_recv(
-                ctx,
-                RecvDesc::new(vec![DataSegment::new(buf, SLOT as u32, h)]),
-            );
-            drop(vi);
-            let mut d = Dec::new(&resp);
-            let (rid, _) = proto::dec_resp_header(&mut d).map_err(|_| DafsError::Protocol)?;
-            self.pending.lock().insert(rid, resp);
+            self.stash_response(ctx, &vi, completion.len as usize)?;
         }
+    }
+
+    /// Drain every response completion that has already arrived, without
+    /// blocking (the split-phase `test` path). Each VIA poll charges the
+    /// NIC's poll cost, so this is **not** virtual-time-free.
+    fn poll_responses(&self, ctx: &ActorCtx) -> DafsResult<()> {
+        let vi = self.vi.lock();
+        if vi.state() != ViState::Connected {
+            return Err(DafsError::Transport(ViaStatus::ConnectionLost));
+        }
+        while let Some(completion) = vi.recv_done(ctx) {
+            match completion.status {
+                ViaStatus::Success => {}
+                status => return Err(DafsError::Transport(status)),
+            }
+            self.stash_response(ctx, &vi, completion.len as usize)?;
+        }
+        Ok(())
     }
 
     /// Decode a response: check the status, return the payload.
@@ -846,23 +922,14 @@ impl DafsClient {
         }
     }
 
-    /// Pipelined batch read: up to `credits` requests in flight.
-    /// Returns per-request byte counts, in request order.
-    pub fn read_batch(&self, ctx: &ActorCtx, reqs: &[ReadReq]) -> Vec<DafsResult<u64>> {
-        // Expand inline requests that exceed one message into chunks; each
-        // chunk remembers which original request it belongs to.
-        struct Sub {
-            owner: usize,
-            fh: NodeId,
-            off: u64,
-            dst: VirtAddr,
-            len: u64,
-            direct: bool,
-        }
+    /// Expand batch requests into sub-operations: direct transfers go
+    /// whole; inline requests that exceed one message split into chunks,
+    /// each remembering which original request it belongs to.
+    fn expand_read_subs(&self, reqs: &[ReadReq]) -> Vec<Sub> {
         let mut subs = Vec::new();
         for (i, r) in reqs.iter().enumerate() {
             if self.is_direct(r.len) {
-                subs.push(Sub { owner: i, fh: r.fh, off: r.off, dst: r.dst, len: r.len, direct: true });
+                subs.push(Sub { owner: i, fh: r.fh, off: r.off, addr: r.dst, len: r.len, direct: true });
             } else {
                 let mut done = 0u64;
                 loop {
@@ -871,7 +938,7 @@ impl DafsClient {
                         owner: i,
                         fh: r.fh,
                         off: r.off + done,
-                        dst: r.dst.offset(done),
+                        addr: r.dst.offset(done),
                         len: n,
                         direct: false,
                     });
@@ -882,172 +949,255 @@ impl DafsClient {
                 }
             }
         }
-        let window = self.caps.credits.max(1) as usize;
-        let mut results: Vec<DafsResult<u64>> = vec![Ok(0); reqs.len()];
-        let mut inflight: VecDeque<(u32, usize, MemHandle, bool)> = VecDeque::new();
-        let mut next = 0usize;
-        let finish = |res: DafsResult<u64>, owner: usize, results: &mut Vec<DafsResult<u64>>| {
-            match (&mut results[owner], res) {
-                (Ok(total), Ok(n)) => *total += n,
-                (slot @ Ok(_), Err(e)) => *slot = Err(e),
-                (Err(_), _) => {}
-            }
-        };
-        while next < subs.len() || !inflight.is_empty() {
-            while next < subs.len() && inflight.len() < window {
-                let sb = &subs[next];
-                if sb.direct {
-                    let (handle, transient) = self.regcache.acquire(ctx, sb.dst, sb.len);
-                    let mut e = Enc::new();
-                    e.u64(sb.fh.0).u64(sb.off).u64(sb.len).u64(sb.dst.as_u64()).u64(handle.0);
-                    let id = self.post_request(ctx, DafsOp::ReadDirect, &mut e);
-                    inflight.push_back((id, next, handle, transient));
-                } else {
-                    let mut e = Enc::new();
-                    e.u64(sb.fh.0).u64(sb.off).u64(sb.len);
-                    let id = self.post_request(ctx, DafsOp::ReadInline, &mut e);
-                    inflight.push_back((id, next, MemHandle(0), false));
+        subs
+    }
+
+    fn expand_write_subs(&self, reqs: &[WriteReq]) -> Vec<Sub> {
+        let direct_ok = self.caps.rdma_read;
+        let mut subs = Vec::new();
+        for (i, r) in reqs.iter().enumerate() {
+            if self.is_direct(r.len) && direct_ok {
+                subs.push(Sub { owner: i, fh: r.fh, off: r.off, addr: r.src, len: r.len, direct: true });
+            } else {
+                let mut done = 0u64;
+                loop {
+                    let n = (r.len - done).min(self.caps.inline_max);
+                    subs.push(Sub {
+                        owner: i,
+                        fh: r.fh,
+                        off: r.off + done,
+                        addr: r.src.offset(done),
+                        len: n,
+                        direct: false,
+                    });
+                    done += n;
+                    if done >= r.len {
+                        break;
+                    }
                 }
-                next += 1;
             }
-            let (id, sub_idx, handle, transient) = inflight.pop_front().unwrap();
-            let sb = &subs[sub_idx];
-            let res = (|| -> DafsResult<u64> {
-                let resp = self.wait_response(ctx, id)?;
-                let mut d = Dec::new(&resp);
-                let (_, status) =
-                    proto::dec_resp_header(&mut d).map_err(|_| DafsError::Protocol)?;
-                if status != DafsStatus::Ok {
-                    return Err(DafsError::Status(status));
-                }
-                if sb.direct {
-                    let count = d.u64().map_err(|_| DafsError::Protocol)?;
-                    self.stats.direct_reads.record(count);
-                    ctx.metrics().byte_meter("dafs.direct.bytes").record(count);
-                    Ok(count)
-                } else {
-                    let data = d.bytes().map_err(|_| DafsError::Protocol)?;
-                    self.nic
-                        .host()
-                        .compute(ctx, self.config.host.copy(data.len() as u64));
-                    self.nic.host().mem.write(sb.dst, &data);
-                    self.stats.inline_reads.record(data.len() as u64);
-                    ctx.metrics()
-                        .byte_meter("dafs.inline.bytes")
-                        .record(data.len() as u64);
-                    Ok(data.len() as u64)
-                }
-            })();
-            if sb.direct {
-                self.regcache.release(ctx, handle, transient);
-            }
-            finish(res, sb.owner, &mut results);
         }
-        // Requests that died with the session are re-read in full through
-        // the replayable inline path (reads are idempotent, so re-fetching
-        // already-landed chunks is safe).
-        for (i, slot) in results.iter_mut().enumerate() {
+        subs
+    }
+
+    /// Post one expanded sub-request; returns its id plus the registration
+    /// handle (direct subs only).
+    fn post_sub(&self, ctx: &ActorCtx, dir: BatchDir, sb: &Sub) -> (u32, MemHandle, bool) {
+        match (dir, sb.direct) {
+            (BatchDir::Read, true) => {
+                let (handle, transient) = self.regcache.acquire(ctx, sb.addr, sb.len);
+                let mut e = Enc::new();
+                e.u64(sb.fh.0).u64(sb.off).u64(sb.len).u64(sb.addr.as_u64()).u64(handle.0);
+                let id = self.post_request(ctx, DafsOp::ReadDirect, &mut e);
+                (id, handle, transient)
+            }
+            (BatchDir::Read, false) => {
+                let mut e = Enc::new();
+                e.u64(sb.fh.0).u64(sb.off).u64(sb.len);
+                let id = self.post_request(ctx, DafsOp::ReadInline, &mut e);
+                (id, MemHandle(0), false)
+            }
+            (BatchDir::Write, true) => {
+                let (handle, transient) = self.regcache.acquire(ctx, sb.addr, sb.len);
+                let mut e = Enc::new();
+                e.u64(sb.fh.0).u64(sb.off).u64(sb.len).u64(sb.addr.as_u64()).u64(handle.0);
+                let id = self.post_request(ctx, DafsOp::WriteDirect, &mut e);
+                self.stats.direct_writes.record(sb.len);
+                ctx.metrics().byte_meter("dafs.direct.bytes").record(sb.len);
+                (id, handle, transient)
+            }
+            (BatchDir::Write, false) => {
+                let data = self.nic.host().mem.read_vec(sb.addr, sb.len as usize);
+                let mut e = Enc::new();
+                e.u64(sb.fh.0).u64(sb.off).bytes(&data);
+                let id = self.post_request(ctx, DafsOp::WriteInline, &mut e);
+                self.stats.inline_writes.record(sb.len);
+                ctx.metrics().byte_meter("dafs.inline.bytes").record(sb.len);
+                (id, MemHandle(0), false)
+            }
+        }
+    }
+
+    /// Top up the posted window from the batch's unposted sub list.
+    fn batch_fill(&self, ctx: &ActorCtx, b: &mut DafsBatch) {
+        let window = self.caps.credits.max(1) as usize;
+        while b.next < b.subs.len() && b.inflight.len() < window {
+            let (id, handle, transient) = self.post_sub(ctx, b.dir, &b.subs[b.next]);
+            b.inflight.push_back((id, b.next, handle, transient));
+            b.next += 1;
+        }
+    }
+
+    /// Decode one sub-response and perform its client-side completion work
+    /// (inline-read copy into the destination buffer, transfer stats).
+    fn sub_payload(
+        &self,
+        ctx: &ActorCtx,
+        dir: BatchDir,
+        sb: &Sub,
+        resp: &[u8],
+    ) -> DafsResult<u64> {
+        let mut d = Dec::new(resp);
+        let (_, status) = proto::dec_resp_header(&mut d).map_err(|_| DafsError::Protocol)?;
+        if status != DafsStatus::Ok {
+            return Err(DafsError::Status(status));
+        }
+        match (dir, sb.direct) {
+            (BatchDir::Read, true) => {
+                let count = d.u64().map_err(|_| DafsError::Protocol)?;
+                self.stats.direct_reads.record(count);
+                ctx.metrics().byte_meter("dafs.direct.bytes").record(count);
+                Ok(count)
+            }
+            (BatchDir::Read, false) => {
+                let data = d.bytes().map_err(|_| DafsError::Protocol)?;
+                self.nic
+                    .host()
+                    .compute(ctx, self.config.host.copy(data.len() as u64));
+                self.nic.host().mem.write(sb.addr, &data);
+                self.stats.inline_reads.record(data.len() as u64);
+                ctx.metrics()
+                    .byte_meter("dafs.inline.bytes")
+                    .record(data.len() as u64);
+                Ok(data.len() as u64)
+            }
+            (BatchDir::Write, _) => Ok(sb.len),
+        }
+    }
+
+    /// Retire the oldest in-flight sub: blocking, unless its response is
+    /// already stashed or the batch has already failed.
+    fn batch_retire_front(&self, ctx: &ActorCtx, b: &mut DafsBatch) {
+        let (id, sub_idx, handle, transient) = b.inflight.pop_front().expect("inflight");
+        let sb = &b.subs[sub_idx];
+        let res = match b.failed {
+            Some(e) => Err(e),
+            None => self
+                .wait_response(ctx, id)
+                .and_then(|resp| self.sub_payload(ctx, b.dir, sb, &resp)),
+        };
+        if sb.direct {
+            self.regcache.release(ctx, handle, transient);
+        }
+        match (&mut b.results[sb.owner], res) {
+            (Ok(total), Ok(n)) => *total += n,
+            (slot @ Ok(_), Err(e)) => *slot = Err(e),
+            (Err(_), _) => {}
+        }
+    }
+
+    /// Issue half of a split-phase batch read: expand the requests and
+    /// post up to the credit window, then return without waiting. At most
+    /// one batch may be outstanding per session.
+    pub fn read_batch_begin(&self, ctx: &ActorCtx, reqs: &[ReadReq]) -> DafsBatch {
+        let mut b = DafsBatch {
+            dir: BatchDir::Read,
+            subs: self.expand_read_subs(reqs),
+            results: vec![Ok(0); reqs.len()],
+            inflight: VecDeque::new(),
+            next: 0,
+            read_reqs: reqs.to_vec(),
+            write_reqs: Vec::new(),
+            failed: None,
+        };
+        self.batch_fill(ctx, &mut b);
+        b
+    }
+
+    /// Issue half of a split-phase batch write. See [`Self::read_batch_begin`].
+    pub fn write_batch_begin(&self, ctx: &ActorCtx, reqs: &[WriteReq]) -> DafsBatch {
+        let mut b = DafsBatch {
+            dir: BatchDir::Write,
+            subs: self.expand_write_subs(reqs),
+            results: vec![Ok(0); reqs.len()],
+            inflight: VecDeque::new(),
+            next: 0,
+            read_reqs: Vec::new(),
+            write_reqs: reqs.to_vec(),
+            failed: None,
+        };
+        self.batch_fill(ctx, &mut b);
+        b
+    }
+
+    /// Nonblocking progress on a split-phase batch: drain completions that
+    /// already arrived, retire finished subs in order, and post freed
+    /// credits. Returns true once every sub has retired (then
+    /// [`Self::batch_finish`] will not block).
+    pub fn batch_test(&self, ctx: &ActorCtx, b: &mut DafsBatch) -> bool {
+        if b.failed.is_none() {
+            if let Err(e) = self.poll_responses(ctx) {
+                // Leave the cleanup to batch_finish, which fails the
+                // outstanding subs and runs the recovery pass.
+                b.failed = Some(e);
+                return false;
+            }
+            loop {
+                match b.inflight.front() {
+                    Some((id, ..)) if self.pending.lock().contains_key(id) => {
+                        self.batch_retire_front(ctx, b);
+                        self.batch_fill(ctx, b);
+                    }
+                    _ => break,
+                }
+            }
+        }
+        b.failed.is_none() && b.next >= b.subs.len() && b.inflight.is_empty()
+    }
+
+    /// Completion half: block until every sub-request has retired, then
+    /// re-run any requests that died with the session through the
+    /// replayable inline path (idempotent — reads re-fetch and writes
+    /// re-put the same bytes at the same offsets).
+    pub fn batch_finish(&self, ctx: &ActorCtx, mut b: DafsBatch) -> Vec<DafsResult<u64>> {
+        if let Some(e) = b.failed {
+            // The nonblocking poll saw the session die: fail everything
+            // outstanding (releasing registrations) instead of waiting on
+            // completions that can never arrive.
+            while !b.inflight.is_empty() {
+                self.batch_retire_front(ctx, &mut b);
+            }
+            while b.next < b.subs.len() {
+                let owner = b.subs[b.next].owner;
+                if b.results[owner].is_ok() {
+                    b.results[owner] = Err(e);
+                }
+                b.next += 1;
+            }
+        }
+        while b.next < b.subs.len() || !b.inflight.is_empty() {
+            self.batch_fill(ctx, &mut b);
+            self.batch_retire_front(ctx, &mut b);
+        }
+        for (i, slot) in b.results.iter_mut().enumerate() {
             if matches!(slot, Err(DafsError::Transport(_) | DafsError::Connect(_))) {
                 ctx.metrics().counter("dafs.batch_recoveries").inc();
-                let r = reqs[i];
-                *slot = self.read_inline(ctx, r.fh, r.off, r.dst, r.len);
+                *slot = match b.dir {
+                    BatchDir::Read => {
+                        let r = b.read_reqs[i];
+                        self.read_inline(ctx, r.fh, r.off, r.dst, r.len)
+                    }
+                    BatchDir::Write => {
+                        let r = b.write_reqs[i];
+                        self.write_inline_chunks(ctx, r.fh, r.off, r.src, r.len)
+                    }
+                };
             }
         }
-        results
+        b.results
+    }
+
+    /// Pipelined batch read: up to `credits` requests in flight.
+    /// Returns per-request byte counts, in request order.
+    pub fn read_batch(&self, ctx: &ActorCtx, reqs: &[ReadReq]) -> Vec<DafsResult<u64>> {
+        let b = self.read_batch_begin(ctx, reqs);
+        self.batch_finish(ctx, b)
     }
 
     /// Pipelined batch write. Returns per-request written byte counts, in
     /// request order.
     pub fn write_batch(&self, ctx: &ActorCtx, reqs: &[WriteReq]) -> Vec<DafsResult<u64>> {
-        struct Sub {
-            owner: usize,
-            fh: NodeId,
-            off: u64,
-            src: VirtAddr,
-            len: u64,
-            direct: bool,
-        }
-        let direct_ok = self.caps.rdma_read;
-        let mut subs = Vec::new();
-        for (i, r) in reqs.iter().enumerate() {
-            if self.is_direct(r.len) && direct_ok {
-                subs.push(Sub { owner: i, fh: r.fh, off: r.off, src: r.src, len: r.len, direct: true });
-            } else {
-                let mut done = 0u64;
-                loop {
-                    let n = (r.len - done).min(self.caps.inline_max);
-                    subs.push(Sub {
-                        owner: i,
-                        fh: r.fh,
-                        off: r.off + done,
-                        src: r.src.offset(done),
-                        len: n,
-                        direct: false,
-                    });
-                    done += n;
-                    if done >= r.len {
-                        break;
-                    }
-                }
-            }
-        }
-        let window = self.caps.credits.max(1) as usize;
-        let mut results: Vec<DafsResult<u64>> = vec![Ok(0); reqs.len()];
-        let mut inflight: VecDeque<(u32, usize, MemHandle, bool)> = VecDeque::new();
-        let mut next = 0usize;
-        while next < subs.len() || !inflight.is_empty() {
-            while next < subs.len() && inflight.len() < window {
-                let sb = &subs[next];
-                if sb.direct {
-                    let (handle, transient) = self.regcache.acquire(ctx, sb.src, sb.len);
-                    let mut e = Enc::new();
-                    e.u64(sb.fh.0).u64(sb.off).u64(sb.len).u64(sb.src.as_u64()).u64(handle.0);
-                    let id = self.post_request(ctx, DafsOp::WriteDirect, &mut e);
-                    self.stats.direct_writes.record(sb.len);
-                    ctx.metrics().byte_meter("dafs.direct.bytes").record(sb.len);
-                    inflight.push_back((id, next, handle, transient));
-                } else {
-                    let data = self.nic.host().mem.read_vec(sb.src, sb.len as usize);
-                    let mut e = Enc::new();
-                    e.u64(sb.fh.0).u64(sb.off).bytes(&data);
-                    let id = self.post_request(ctx, DafsOp::WriteInline, &mut e);
-                    self.stats.inline_writes.record(sb.len);
-                    ctx.metrics().byte_meter("dafs.inline.bytes").record(sb.len);
-                    inflight.push_back((id, next, MemHandle(0), false));
-                }
-                next += 1;
-            }
-            let (id, sub_idx, handle, transient) = inflight.pop_front().unwrap();
-            let sb = &subs[sub_idx];
-            let res = (|| -> DafsResult<u64> {
-                let resp = self.wait_response(ctx, id)?;
-                let mut d = Dec::new(&resp);
-                let (_, status) =
-                    proto::dec_resp_header(&mut d).map_err(|_| DafsError::Protocol)?;
-                if status != DafsStatus::Ok {
-                    return Err(DafsError::Status(status));
-                }
-                Ok(sb.len)
-            })();
-            if sb.direct {
-                self.regcache.release(ctx, handle, transient);
-            }
-            match (&mut results[sb.owner], res) {
-                (Ok(total), Ok(n)) => *total += n,
-                (slot @ Ok(_), Err(e)) => *slot = Err(e),
-                (Err(_), _) => {}
-            }
-        }
-        // Requests that died with the session are re-written in full as
-        // sequential inline chunks (same bytes at the same offsets, so
-        // duplicated chunks are harmless).
-        for (i, slot) in results.iter_mut().enumerate() {
-            if matches!(slot, Err(DafsError::Transport(_) | DafsError::Connect(_))) {
-                ctx.metrics().counter("dafs.batch_recoveries").inc();
-                let r = reqs[i];
-                *slot = self.write_inline_chunks(ctx, r.fh, r.off, r.src, r.len);
-            }
-        }
-        results
+        let b = self.write_batch_begin(ctx, reqs);
+        self.batch_finish(ctx, b)
     }
 }

@@ -27,7 +27,7 @@ mod wire;
 pub mod cost;
 pub mod regcache;
 
-pub use client::{DafsClient, DafsClientStats, DafsError, DafsResult, ReadReq, WriteReq};
+pub use client::{DafsBatch, DafsClient, DafsClientStats, DafsError, DafsResult, ReadReq, WriteReq};
 pub use cost::{DafsClientConfig, DafsServerCost};
 pub use proto::{DafsOp, DafsStatus, ServerCaps};
 pub use server::{spawn_dafs_server, DafsServerHandle, DafsServerStats};

@@ -12,9 +12,9 @@
 
 use std::sync::Arc;
 
-use dafs::{DafsClient, DafsError, ReadReq, WriteReq};
+use dafs::{DafsBatch, DafsClient, DafsError, ReadReq, WriteReq};
 use memfs::{FsError, MemFs, NodeId, SetAttr};
-use nfsv3::{NfsClient, NfsError};
+use nfsv3::{NfsClient, NfsError, NfsPendingRead, NfsPendingWrite};
 use simnet::cost::HostCost;
 use simnet::time::units::*;
 use simnet::{ActorCtx, Host, SimDuration, VirtAddr};
@@ -205,6 +205,85 @@ fn with_retries<T>(ctx: &ActorCtx, f: impl Fn() -> AdioResult<T>) -> AdioResult<
     }
 }
 
+/// Driver-side completion half of a split-phase batch. Boxed inside an
+/// [`AdioRequest`]; drivers without real split-phase support never create
+/// one (their requests are born complete).
+pub trait PendingIo: Send {
+    /// Block until the batch completes. Returns total bytes transferred.
+    fn wait(self: Box<Self>, ctx: &ActorCtx) -> AdioResult<u64>;
+
+    /// Nonblocking progress poll: true when [`Self::wait`] will not
+    /// block. Advisory — drivers without completion polling return false.
+    fn test(&mut self, _ctx: &ActorCtx) -> bool {
+        false
+    }
+}
+
+enum ReqState {
+    Done(AdioResult<u64>),
+    Pending(Box<dyn PendingIo>),
+}
+
+thread_local! {
+    /// Split-phase batches outstanding on the calling actor (each rank
+    /// actor runs on its own thread). Feeds the `adio.inflight` depth
+    /// histogram; self-balancing because every request is waited.
+    static INFLIGHT: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Completion handle for a nonblocking ADIO batch ([`AdioFile::iread_batch`]
+/// / [`AdioFile::iwrite_batch`]): either born complete (eager drivers) or a
+/// split-phase operation in flight that [`AdioRequest::wait`] collects.
+#[must_use = "an AdioRequest must be waited, or its I/O may never complete"]
+pub struct AdioRequest {
+    state: ReqState,
+}
+
+impl AdioRequest {
+    /// A request that completed eagerly at issue time.
+    pub fn ready(result: AdioResult<u64>) -> AdioRequest {
+        AdioRequest {
+            state: ReqState::Done(result),
+        }
+    }
+
+    /// A genuinely in-flight split-phase request. Records the calling
+    /// actor's outstanding depth in the `adio.inflight` histogram.
+    pub fn pending(ctx: &ActorCtx, io: Box<dyn PendingIo>) -> AdioRequest {
+        let depth = INFLIGHT.with(|d| {
+            d.set(d.get() + 1);
+            d.get()
+        });
+        ctx.metrics().histogram("adio.inflight").record(depth);
+        AdioRequest {
+            state: ReqState::Pending(io),
+        }
+    }
+
+    /// Block until the I/O completes; returns total bytes transferred
+    /// (for writes, the bytes written).
+    pub fn wait(self, ctx: &ActorCtx) -> AdioResult<u64> {
+        match self.state {
+            ReqState::Done(r) => r,
+            ReqState::Pending(io) => {
+                INFLIGHT.with(|d| d.set(d.get().saturating_sub(1)));
+                io.wait(ctx)
+            }
+        }
+    }
+
+    /// Nonblocking completion poll (`MPI_Test` shape): true when
+    /// [`Self::wait`] will not block. Drivers that can make progress here
+    /// do (DAFS drains arrived VIA completions and posts freed credits);
+    /// others conservatively report false.
+    pub fn test(&mut self, ctx: &ActorCtx) -> bool {
+        match &mut self.state {
+            ReqState::Done(_) => true,
+            ReqState::Pending(io) => io.test(ctx),
+        }
+    }
+}
+
 /// An open file as seen by the MPI-IO core.
 pub trait AdioFile: Send + Sync {
     /// Read `len` bytes at `off` into `dst`; returns bytes read (short at
@@ -229,6 +308,22 @@ pub trait AdioFile: Send + Sync {
             self.write_contig(ctx, *off, *src, *len)?;
         }
         Ok(())
+    }
+
+    /// Nonblocking batched reads: issue the batch and return a handle the
+    /// caller overlaps work against before waiting. Default completes
+    /// eagerly (blocking) for drivers without split-phase support. At
+    /// most one nonblocking batch may be outstanding per file handle (the
+    /// DAFS driver shares one credit window per session).
+    fn iread_batch(&self, ctx: &ActorCtx, reqs: &[(u64, VirtAddr, u64)]) -> AdioRequest {
+        AdioRequest::ready(self.read_batch(ctx, reqs))
+    }
+
+    /// Nonblocking batched writes; the handle resolves to total bytes
+    /// written. Default completes eagerly.
+    fn iwrite_batch(&self, ctx: &ActorCtx, reqs: &[(u64, VirtAddr, u64)]) -> AdioRequest {
+        let total: u64 = reqs.iter().map(|(_, _, len)| *len).sum();
+        AdioRequest::ready(self.write_batch(ctx, reqs).map(|_| total))
     }
 
     /// Current file size.
@@ -447,6 +542,52 @@ impl AdioFile for DafsFileHandle {
         })
     }
 
+    fn iread_batch(&self, ctx: &ActorCtx, reqs: &[(u64, VirtAddr, u64)]) -> AdioRequest {
+        let rs: Vec<ReadReq> = reqs
+            .iter()
+            .map(|(off, dst, len)| ReadReq {
+                fh: self.fh,
+                off: *off,
+                dst: *dst,
+                len: *len,
+            })
+            .collect();
+        let batch = self.client.read_batch_begin(ctx, &rs);
+        AdioRequest::pending(
+            ctx,
+            Box::new(DafsPending {
+                client: self.client.clone(),
+                fh: self.fh,
+                batch,
+                reqs: reqs.to_vec(),
+                write: false,
+            }),
+        )
+    }
+
+    fn iwrite_batch(&self, ctx: &ActorCtx, reqs: &[(u64, VirtAddr, u64)]) -> AdioRequest {
+        let ws: Vec<WriteReq> = reqs
+            .iter()
+            .map(|(off, src, len)| WriteReq {
+                fh: self.fh,
+                off: *off,
+                src: *src,
+                len: *len,
+            })
+            .collect();
+        let batch = self.client.write_batch_begin(ctx, &ws);
+        AdioRequest::pending(
+            ctx,
+            Box::new(DafsPending {
+                client: self.client.clone(),
+                fh: self.fh,
+                batch,
+                reqs: reqs.to_vec(),
+                write: true,
+            }),
+        )
+    }
+
     fn get_size(&self, ctx: &ActorCtx) -> AdioResult<u64> {
         Ok(self.client.getattr(ctx, self.fh).map_err(AdioError::from)?.size)
     }
@@ -502,6 +643,71 @@ impl AdioFile for DafsFileHandle {
 
     fn unlock_file(&self, ctx: &ActorCtx) -> AdioResult<()> {
         self.client.unlock(ctx, self.fh).map_err(AdioError::from)
+    }
+}
+
+/// A split-phase DAFS batch in flight, plus what is needed to re-run it
+/// synchronously if the session dies (idempotent: reads re-fetch, writes
+/// re-put the same bytes at the same offsets).
+struct DafsPending {
+    client: Arc<DafsClient>,
+    fh: NodeId,
+    batch: DafsBatch,
+    reqs: Vec<(u64, VirtAddr, u64)>,
+    write: bool,
+}
+
+impl PendingIo for DafsPending {
+    fn test(&mut self, ctx: &ActorCtx) -> bool {
+        self.client.batch_test(ctx, &mut self.batch)
+    }
+
+    fn wait(self: Box<Self>, ctx: &ActorCtx) -> AdioResult<u64> {
+        let me = *self;
+        let sum = |results: Vec<dafs::DafsResult<u64>>| -> AdioResult<u64> {
+            let mut total = 0;
+            for r in results {
+                total += r.map_err(AdioError::from)?;
+            }
+            Ok(total)
+        };
+        match sum(me.client.batch_finish(ctx, me.batch)) {
+            Err(e) if transient(&e) => {
+                // Residual transient failure after the batch's own inline
+                // recovery: fall back to the synchronous batch path, which
+                // carries the usual ADIO retry budget.
+                ctx.metrics().counter("adio.retries").inc();
+                with_retries(ctx, || {
+                    let results = if me.write {
+                        let ws: Vec<WriteReq> = me
+                            .reqs
+                            .iter()
+                            .map(|(off, src, len)| WriteReq {
+                                fh: me.fh,
+                                off: *off,
+                                src: *src,
+                                len: *len,
+                            })
+                            .collect();
+                        me.client.write_batch(ctx, &ws)
+                    } else {
+                        let rs: Vec<ReadReq> = me
+                            .reqs
+                            .iter()
+                            .map(|(off, dst, len)| ReadReq {
+                                fh: me.fh,
+                                off: *off,
+                                dst: *dst,
+                                len: *len,
+                            })
+                            .collect();
+                        me.client.read_batch(ctx, &rs)
+                    };
+                    sum(results)
+                })
+            }
+            r => r,
+        }
     }
 }
 
@@ -647,10 +853,126 @@ impl AdioFile for NfsFileHandle {
             .map_err(AdioError::from)
     }
 
+    fn iread_batch(&self, ctx: &ActorCtx, reqs: &[(u64, VirtAddr, u64)]) -> AdioRequest {
+        let ps = reqs
+            .iter()
+            .map(|(off, _, len)| self.client.read_begin(ctx, self.fh, *off, *len))
+            .collect();
+        AdioRequest::pending(
+            ctx,
+            Box::new(NfsPending {
+                client: self.client.clone(),
+                fh: self.fh,
+                host: self.host.clone(),
+                ops: NfsPendingOps::Read(ps),
+                reqs: reqs.to_vec(),
+            }),
+        )
+    }
+
+    fn iwrite_batch(&self, ctx: &ActorCtx, reqs: &[(u64, VirtAddr, u64)]) -> AdioRequest {
+        let ps = reqs
+            .iter()
+            .map(|(off, src, len)| {
+                let data = self.host.mem.read_vec(*src, *len as usize);
+                self.client.write_begin(ctx, self.fh, *off, &data)
+            })
+            .collect();
+        AdioRequest::pending(
+            ctx,
+            Box::new(NfsPending {
+                client: self.client.clone(),
+                fh: self.fh,
+                host: self.host.clone(),
+                ops: NfsPendingOps::Write(ps),
+                reqs: reqs.to_vec(),
+            }),
+        )
+    }
+
     fn flush(&self, ctx: &ActorCtx) -> AdioResult<()> {
         // FILE_SYNC writes are already stable; COMMIT covers unstable mounts.
         let _ = self.host_cost;
         self.client.commit(ctx, self.fh).map_err(AdioError::from)
+    }
+}
+
+enum NfsPendingOps {
+    Read(Vec<NfsPendingRead>),
+    Write(Vec<NfsPendingWrite>),
+}
+
+/// Split-phase NFS RPCs in flight, one pending set per batch entry, plus
+/// what is needed to re-run the batch synchronously on a residual
+/// transient failure.
+struct NfsPending {
+    client: Arc<NfsClient>,
+    fh: NodeId,
+    host: Host,
+    ops: NfsPendingOps,
+    reqs: Vec<(u64, VirtAddr, u64)>,
+}
+
+impl PendingIo for NfsPending {
+    fn wait(self: Box<Self>, ctx: &ActorCtx) -> AdioResult<u64> {
+        let NfsPending {
+            client,
+            fh,
+            host,
+            ops,
+            reqs,
+        } = *self;
+        let is_write = matches!(ops, NfsPendingOps::Write(_));
+        let first = match ops {
+            NfsPendingOps::Read(ps) => {
+                let mut total = 0;
+                (|| {
+                    for (p, (_, dst, _)) in ps.into_iter().zip(&reqs) {
+                        let data = client.read_finish(ctx, p).map_err(AdioError::from)?;
+                        host.mem.write(*dst, &data);
+                        total += data.len() as u64;
+                    }
+                    Ok(total)
+                })()
+            }
+            NfsPendingOps::Write(ps) => {
+                let mut total = 0;
+                (|| {
+                    for (p, (_, _, len)) in ps.into_iter().zip(&reqs) {
+                        client.write_finish(ctx, p).map_err(AdioError::from)?;
+                        total += *len;
+                    }
+                    Ok(total)
+                })()
+            }
+        };
+        match first {
+            Err(e) if transient(&e) => {
+                // Residual transient failure after the RPC layer's own
+                // retransmits: re-run the whole batch synchronously
+                // (idempotent — reads re-fetch, writes re-put the same
+                // bytes). The retransmit-armed sync path treats any
+                // leftover replies on the stream as stale duplicates.
+                ctx.metrics().counter("adio.retries").inc();
+                with_retries(ctx, || {
+                    let mut total = 0;
+                    for (off, addr, len) in &reqs {
+                        if is_write {
+                            let data = host.mem.read_vec(*addr, *len as usize);
+                            client.write(ctx, fh, *off, &data).map_err(AdioError::from)?;
+                            total += *len;
+                        } else {
+                            let data =
+                                client.read(ctx, fh, *off, *len).map_err(AdioError::from)?;
+                            host.mem.write(*addr, &data);
+                            total += data.len() as u64;
+                        }
+                    }
+                    Ok(total)
+                })
+            }
+            r => r,
+        }
     }
 }
 

@@ -16,10 +16,20 @@
 //! The payoff is the paper-era argument for collective I/O: many tiny
 //! strided accesses become a few large contiguous transfers, at the price
 //! of an interconnect exchange — cheap on a VIA-class network.
+//!
+//! With `romio_cb_pipeline` left on (the default) the sweep is
+//! *double-buffered*: each aggregator owns two collective buffers and
+//! issues window k's filesystem batch nonblocking (`iwrite_batch` /
+//! `iread_batch`), so it drains while window k+1 is packed, exchanged and
+//! overlaid into the other buffer. Per window the sweep then costs
+//! roughly `max(exchange, io)` instead of `exchange + io`. Time the batch
+//! spent in flight before its wait is recorded in
+//! `mpiio.twophase.overlap_ns`; `romio_cb_pipeline=disable` restores the
+//! strictly synchronous sweep.
 
-use simnet::{ActorCtx, SimTime, VirtAddr};
+use simnet::{ActorCtx, Host, SimTime, VirtAddr};
 
-use crate::adio::AdioResult;
+use crate::adio::{AdioRequest, AdioResult};
 use crate::comm::Comm;
 use crate::file::MpiFile;
 use crate::hints::Toggle;
@@ -163,6 +173,101 @@ fn merge_runs(mut runs: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
     out
 }
 
+/// A read window whose replies are still owed: the per-rank request
+/// messages, plus `(cbuf, window_start)` if this rank aggregated it.
+type OwedWindow = (Vec<Vec<u8>>, Option<(VirtAddr, u64)>);
+
+/// Decode piece descriptors `(off u64, len u64)*` from each rank's
+/// request message into one flat list.
+fn piece_descs(requests: &[Vec<u8>]) -> Vec<(u64, u64)> {
+    let mut wanted = Vec::new();
+    for msg in requests {
+        let mut pos = 0usize;
+        while pos < msg.len() {
+            let off = get_u64(msg, &mut pos);
+            let len = get_u64(msg, &mut pos);
+            wanted.push((off, len));
+        }
+    }
+    wanted
+}
+
+/// Record how long a nonblocking window batch has been in flight, then
+/// complete it. The `overlap_ns` share is sweep time the synchronous
+/// path would have spent blocked in `io_ns`.
+fn drain_window_batch(
+    ctx: &ActorCtx,
+    pending: Option<(AdioRequest, SimTime)>,
+    mark: &mut SimTime,
+) -> AdioResult<()> {
+    if let Some((req, issued)) = pending {
+        ctx.metrics()
+            .counter("mpiio.twophase.overlap_ns")
+            .add((ctx.now() - issued).as_nanos());
+        req.wait(ctx)?;
+        charge_phase(ctx, "mpiio.twophase.io_ns", mark);
+    }
+    Ok(())
+}
+
+/// Answer a window's piece requests out of the collective buffer it was
+/// read into, exchange the replies, and scatter what came back into the
+/// user buffer. Runs on every rank each round — the reply `alltoallv` is
+/// collective — with `served` set only on the aggregator that holds data
+/// for these requests. Returns the bytes landed locally.
+#[allow(clippy::too_many_arguments)]
+fn ship_read_replies(
+    ctx: &ActorCtx,
+    comm: &Comm,
+    host: &Host,
+    pieces: &[Piece],
+    dst: VirtAddr,
+    requests: &[Vec<u8>],
+    served: Option<(VirtAddr, u64)>,
+    mark: &mut SimTime,
+) -> u64 {
+    // Build per-rank replies in request order.
+    let mut replies: Vec<Vec<u8>> = vec![Vec::new(); comm.size()];
+    if let Some((cbuf, ws)) = served {
+        for (r, msg) in requests.iter().enumerate() {
+            let mut pos = 0usize;
+            let reply = &mut replies[r];
+            while pos < msg.len() {
+                let off = get_u64(msg, &mut pos);
+                let len = get_u64(msg, &mut pos);
+                put_u64(reply, off);
+                put_u64(reply, len);
+                let data = host.mem.read_vec(cbuf.offset(off - ws), len as usize);
+                reply.extend_from_slice(&data);
+                host.compute(ctx, simnet::cost::HostCost::default().copy(len));
+            }
+        }
+    }
+    charge_phase(ctx, "mpiio.twophase.aggregation_ns", mark);
+    let incoming = comm.alltoallv(ctx, &replies);
+    charge_phase(ctx, "mpiio.twophase.exchange_ns", mark);
+    // Scatter the pieces I got back into my user buffer.
+    let mut total = 0u64;
+    for msg in &incoming {
+        let mut pos = 0usize;
+        while pos < msg.len() {
+            let off = get_u64(msg, &mut pos);
+            let len = get_u64(msg, &mut pos);
+            // Find the owning piece to recover the buffer offset.
+            let p = pieces
+                .iter()
+                .find(|p| off >= p.off && off + len <= p.off + p.len)
+                .expect("reply for an unrequested piece");
+            let boff = p.buf_off + (off - p.off);
+            host.mem.write(dst.offset(boff), &msg[pos..pos + len as usize]);
+            host.compute(ctx, simnet::cost::HostCost::default().copy(len));
+            pos += len as usize;
+            total += len;
+        }
+    }
+    total
+}
+
 /// `MPI_File_write_at_all`.
 #[allow(clippy::needless_range_loop)] // `a` indexes both windows and sends
 pub fn write_at_all(
@@ -186,7 +291,13 @@ pub fn write_at_all(
     };
     let host = file.host().clone();
     let is_agg = comm.rank() < sweep.naggs;
-    let cbuf = is_agg.then(|| host.mem.alloc(sweep.cb as usize));
+    let pipelined = file.hints().cb_pipeline != Toggle::Disable;
+    // Two collective buffers when pipelining: batch k-1 drains from one
+    // while phase k overlays into the other.
+    let nbufs = if pipelined { 2 } else { 1 };
+    let cbufs: Vec<VirtAddr> = (0..if is_agg { nbufs } else { 0 })
+        .map(|_| host.mem.alloc(sweep.cb as usize))
+        .collect();
     ctx.metrics().counter("mpiio.twophase.writes").inc();
     ctx.trace(
         "mpiio",
@@ -198,10 +309,14 @@ pub fn write_at_all(
         ],
     );
     let mut mark = ctx.now();
+    let mut sends: Vec<Vec<u8>> = vec![Vec::new(); comm.size()];
+    let mut pending: Option<(AdioRequest, SimTime)> = None;
 
     for phase in 0..sweep.phases {
         // Ship my pieces to each aggregator's current window.
-        let mut sends: Vec<Vec<u8>> = vec![Vec::new(); comm.size()];
+        for s in sends.iter_mut() {
+            s.clear();
+        }
         for a in 0..sweep.naggs {
             let Some((ws, we)) = sweep.window(a, phase) else {
                 continue;
@@ -219,10 +334,15 @@ pub fn write_at_all(
             }
         }
         charge_phase(ctx, "mpiio.twophase.aggregation_ns", &mut mark);
-        let received = comm.alltoallv(ctx, sends);
+        let received = comm.alltoallv(ctx, &sends);
         charge_phase(ctx, "mpiio.twophase.exchange_ns", &mut mark);
-        // Aggregate and write my window.
-        if let (Some(cbuf), Some((ws, we))) = (cbuf, sweep.window(comm.rank(), phase)) {
+        // Aggregate my window. When pipelining, the previous batch is still
+        // draining from the *other* collective buffer while this overlays.
+        let mut reqs: Option<Vec<(u64, VirtAddr, u64)>> = None;
+        if let (Some(&cbuf), Some((ws, we))) = (
+            cbufs.get(phase as usize % nbufs),
+            sweep.window(comm.rank(), phase),
+        ) {
             let mut covered: Vec<(u64, u64)> = Vec::new();
             for msg in &received {
                 let mut pos = 0usize;
@@ -237,17 +357,30 @@ pub fn write_at_all(
                 }
             }
             let runs = merge_runs(covered);
-            let reqs: Vec<(u64, VirtAddr, u64)> = runs
+            let r: Vec<(u64, VirtAddr, u64)> = runs
                 .iter()
                 .map(|(off, len)| (*off, cbuf.offset(off - ws), *len))
                 .collect();
             debug_assert!(runs.iter().all(|(o, l)| *o >= ws && o + l <= we));
             charge_phase(ctx, "mpiio.twophase.aggregation_ns", &mut mark);
-            file.adio().write_batch(ctx, &reqs)?;
+            reqs = Some(r);
+        }
+        if pipelined {
+            // Drain window k-1 only now — its filesystem time since issue
+            // ran under this phase's pack/exchange.
+            drain_window_batch(ctx, pending.take(), &mut mark)?;
+            if let Some(r) = reqs {
+                pending = Some((file.adio().iwrite_batch(ctx, &r), ctx.now()));
+                // Post cost of issuing the batch.
+                charge_phase(ctx, "mpiio.twophase.io_ns", &mut mark);
+            }
+        } else if let Some(r) = reqs {
+            file.adio().write_batch(ctx, &r)?;
             charge_phase(ctx, "mpiio.twophase.io_ns", &mut mark);
         }
     }
-    if let Some(cbuf) = cbuf {
+    drain_window_batch(ctx, pending.take(), &mut mark)?;
+    for cbuf in cbufs {
         host.mem.free(cbuf);
     }
     mark = ctx.now();
@@ -280,7 +413,13 @@ pub fn read_at_all(
     };
     let host = file.host().clone();
     let is_agg = comm.rank() < sweep.naggs;
-    let cbuf = is_agg.then(|| host.mem.alloc(sweep.cb as usize));
+    let pipelined = file.hints().cb_pipeline != Toggle::Disable;
+    // Two collective buffers when pipelining: window k reads into one
+    // while window k-1's replies ship from the other.
+    let nbufs = if pipelined { 2 } else { 1 };
+    let cbufs: Vec<VirtAddr> = (0..if is_agg { nbufs } else { 0 })
+        .map(|_| host.mem.alloc(sweep.cb as usize))
+        .collect();
     let mut total = 0u64;
     ctx.metrics().counter("mpiio.twophase.reads").inc();
     ctx.trace(
@@ -293,10 +432,19 @@ pub fn read_at_all(
         ],
     );
     let mut mark = ctx.now();
+    let mut sends: Vec<Vec<u8>> = vec![Vec::new(); comm.size()];
+    let mut pending: Option<(AdioRequest, SimTime)> = None;
+    // Pipelined sweep: the previous phase's request messages still owed
+    // replies, plus the buffer serving them if this rank aggregated that
+    // window. Kept `Some` on every rank so the reply exchange stays
+    // collective.
+    let mut owed: Option<OwedWindow> = None;
 
     for phase in 0..sweep.phases {
         // Send piece descriptors to aggregators.
-        let mut sends: Vec<Vec<u8>> = vec![Vec::new(); comm.size()];
+        for s in sends.iter_mut() {
+            s.clear();
+        }
         for a in 0..sweep.naggs {
             let Some((ws, we)) = sweep.window(a, phase) else {
                 continue;
@@ -310,66 +458,80 @@ pub fn read_at_all(
             }
         }
         charge_phase(ctx, "mpiio.twophase.aggregation_ns", &mut mark);
-        let requests = comm.alltoallv(ctx, sends);
+        let requests = comm.alltoallv(ctx, &sends);
         charge_phase(ctx, "mpiio.twophase.exchange_ns", &mut mark);
-        // Aggregator: read coalesced coverage, ship pieces back.
-        let mut replies: Vec<Vec<u8>> = vec![Vec::new(); comm.size()];
-        if let (Some(cbuf), Some((ws, _we))) = (cbuf, sweep.window(comm.rank(), phase)) {
-            let mut wanted: Vec<(u64, u64)> = Vec::new();
-            for msg in &requests {
-                let mut pos = 0usize;
-                while pos < msg.len() {
-                    let off = get_u64(msg, &mut pos);
-                    let len = get_u64(msg, &mut pos);
-                    wanted.push((off, len));
-                }
-            }
-            let runs = merge_runs(wanted);
-            let reqs: Vec<(u64, VirtAddr, u64)> = runs
-                .iter()
-                .map(|(off, len)| (*off, cbuf.offset(off - ws), *len))
-                .collect();
-            charge_phase(ctx, "mpiio.twophase.aggregation_ns", &mut mark);
-            file.adio().read_batch(ctx, &reqs)?;
-            charge_phase(ctx, "mpiio.twophase.io_ns", &mut mark);
-            // Build per-rank replies in request order.
-            for (r, msg) in requests.iter().enumerate() {
-                let mut pos = 0usize;
-                let reply = &mut replies[r];
-                while pos < msg.len() {
-                    let off = get_u64(msg, &mut pos);
-                    let len = get_u64(msg, &mut pos);
-                    put_u64(reply, off);
-                    put_u64(reply, len);
-                    let data = host.mem.read_vec(cbuf.offset(off - ws), len as usize);
-                    reply.extend_from_slice(&data);
-                    host.compute(ctx, simnet::cost::HostCost::default().copy(len));
-                }
-            }
-        }
-        charge_phase(ctx, "mpiio.twophase.aggregation_ns", &mut mark);
-        let incoming = comm.alltoallv(ctx, replies);
-        charge_phase(ctx, "mpiio.twophase.exchange_ns", &mut mark);
-        // Scatter the pieces I got back into my user buffer.
-        for msg in &incoming {
-            let mut pos = 0usize;
-            while pos < msg.len() {
-                let off = get_u64(msg, &mut pos);
-                let len = get_u64(msg, &mut pos);
-                // Find the owning piece to recover the buffer offset.
-                let p = pieces
+        if pipelined {
+            // Window k-1's batch must land before its buffer is answered
+            // from — and before the next issue: one batch outstanding
+            // keeps the DAFS credit window honest.
+            drain_window_batch(ctx, pending.take(), &mut mark)?;
+            // Issue my window's coalesced read nonblocking.
+            let mut served: Option<(VirtAddr, u64)> = None;
+            if let (Some(&cbuf), Some((ws, _we))) = (
+                cbufs.get(phase as usize % nbufs),
+                sweep.window(comm.rank(), phase),
+            ) {
+                let runs = merge_runs(piece_descs(&requests));
+                let reqs: Vec<(u64, VirtAddr, u64)> = runs
                     .iter()
-                    .find(|p| off >= p.off && off + len <= p.off + p.len)
-                    .expect("reply for an unrequested piece");
-                let boff = p.buf_off + (off - p.off);
-                host.mem.write(dst.offset(boff), &msg[pos..pos + len as usize]);
-                host.compute(ctx, simnet::cost::HostCost::default().copy(len));
-                pos += len as usize;
-                total += len;
+                    .map(|(off, len)| (*off, cbuf.offset(off - ws), *len))
+                    .collect();
+                charge_phase(ctx, "mpiio.twophase.aggregation_ns", &mut mark);
+                pending = Some((file.adio().iread_batch(ctx, &reqs), ctx.now()));
+                // Post cost of issuing the batch.
+                charge_phase(ctx, "mpiio.twophase.io_ns", &mut mark);
+                served = Some((cbuf, ws));
             }
+            // Ship window k-1's replies while this window's batch drains.
+            if let Some((prev_requests, prev_served)) = owed.take() {
+                total += ship_read_replies(
+                    ctx,
+                    comm,
+                    &host,
+                    &pieces,
+                    dst,
+                    &prev_requests,
+                    prev_served,
+                    &mut mark,
+                );
+            }
+            owed = Some((requests, served));
+        } else {
+            // Aggregator: read coalesced coverage, ship pieces back.
+            let mut served: Option<(VirtAddr, u64)> = None;
+            if let (Some(&cbuf), Some((ws, _we))) =
+                (cbufs.first(), sweep.window(comm.rank(), phase))
+            {
+                let runs = merge_runs(piece_descs(&requests));
+                let reqs: Vec<(u64, VirtAddr, u64)> = runs
+                    .iter()
+                    .map(|(off, len)| (*off, cbuf.offset(off - ws), *len))
+                    .collect();
+                charge_phase(ctx, "mpiio.twophase.aggregation_ns", &mut mark);
+                file.adio().read_batch(ctx, &reqs)?;
+                charge_phase(ctx, "mpiio.twophase.io_ns", &mut mark);
+                served = Some((cbuf, ws));
+            }
+            total += ship_read_replies(
+                ctx, comm, &host, &pieces, dst, &requests, served, &mut mark,
+            );
         }
     }
-    if let Some(cbuf) = cbuf {
+    // Pipelined epilogue: the last window's batch and its reply round.
+    drain_window_batch(ctx, pending.take(), &mut mark)?;
+    if let Some((prev_requests, prev_served)) = owed.take() {
+        total += ship_read_replies(
+            ctx,
+            comm,
+            &host,
+            &pieces,
+            dst,
+            &prev_requests,
+            prev_served,
+            &mut mark,
+        );
+    }
+    for cbuf in cbufs {
         host.mem.free(cbuf);
     }
     mark = ctx.now();

@@ -294,8 +294,9 @@ impl Comm {
     }
 
     /// Personalized all-to-all with per-destination payloads; returns the
-    /// payloads received, indexed by source.
-    pub fn alltoallv(&self, ctx: &ActorCtx, sends: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+    /// payloads received, indexed by source. Borrows the send buffers so
+    /// callers in a loop can clear and refill them each round.
+    pub fn alltoallv(&self, ctx: &ActorCtx, sends: &[Vec<u8>]) -> Vec<Vec<u8>> {
         let p = self.size();
         assert_eq!(sends.len(), p, "alltoallv needs one payload per rank");
         let tag = self.next_coll_tag();
@@ -492,7 +493,7 @@ mod tests {
             let sends: Vec<Vec<u8>> = (0..p)
                 .map(|d| vec![(comm.rank() * 10 + d) as u8; d + 1])
                 .collect();
-            let recvs = comm.alltoallv(ctx, sends);
+            let recvs = comm.alltoallv(ctx, &sends);
             for (s, got) in recvs.iter().enumerate() {
                 let expect = vec![(s * 10 + comm.rank()) as u8; comm.rank() + 1];
                 assert_eq!(got, &expect, "from rank {s}");
@@ -519,7 +520,7 @@ mod tests {
             assert_eq!(d, vec![1, 2, 3]);
             assert_eq!(comm.allgather(ctx, &d), vec![vec![1, 2, 3]]);
             assert_eq!(comm.allreduce_u64(ctx, ReduceOp::Sum, 9), 9);
-            assert_eq!(comm.alltoallv(ctx, vec![vec![7]]), vec![vec![7]]);
+            assert_eq!(comm.alltoallv(ctx, &[vec![7]]), vec![vec![7]]);
         });
     }
 

@@ -113,24 +113,26 @@ pub enum SeekWhence {
 
 /// A completed-or-pending nonblocking operation (`MPI_Request`).
 ///
-/// This implementation completes operations eagerly at post time (the DAFS
-/// driver already pipelines batches internally); `Request::wait` returns
-/// the stored outcome. The API shape lets applications written against
-/// nonblocking MPI-IO run unchanged.
+/// Wraps the driver-level [`AdioRequest`]: on DAFS and NFS the I/O is
+/// genuinely in flight (issued but not collected) until `wait`, so the
+/// caller can overlap computation or communication with it. Drivers
+/// without split-phase support complete eagerly at post time.
 #[must_use = "requests must be waited on"]
 pub struct Request {
-    result: AdioResult<u64>,
+    inner: crate::adio::AdioRequest,
 }
 
 impl Request {
     /// Complete the request, returning bytes transferred.
-    pub fn wait(self, _ctx: &ActorCtx) -> AdioResult<u64> {
-        self.result
+    pub fn wait(self, ctx: &ActorCtx) -> AdioResult<u64> {
+        self.inner.wait(ctx)
     }
 
-    /// Nonblocking completion test (always ready here).
-    pub fn test(&self) -> bool {
-        true
+    /// Nonblocking completion test (`MPI_Test`): true once the transfer
+    /// has fully landed. `wait` must still be called to collect the
+    /// result.
+    pub fn test(&mut self, ctx: &ActorCtx) -> bool {
+        self.inner.test(ctx)
     }
 }
 
@@ -465,7 +467,24 @@ impl MpiFile {
 
     // --- nonblocking ---------------------------------------------------------
 
-    /// `MPI_File_iread_at`.
+    /// Map a view range to batch requests consuming `buf` in order.
+    fn batch_reqs(&self, offset_etypes: u64, buf: VirtAddr, nbytes: u64) -> Vec<(u64, VirtAddr, u64)> {
+        let view = self.view.lock().clone();
+        let logical = offset_etypes * view.etype_size();
+        let mut consumed = 0u64;
+        view.map(logical, nbytes)
+            .into_iter()
+            .map(|(off, len)| {
+                let r = (off, buf.offset(consumed), len);
+                consumed += len;
+                r
+            })
+            .collect()
+    }
+
+    /// `MPI_File_iread_at`: issue the read split-phase and return a
+    /// [`Request`]. No data sieving on the nonblocking path — sieving
+    /// read-modify-writes staging buffers, which cannot stay in flight.
     pub fn iread_at(
         &self,
         ctx: &ActorCtx,
@@ -473,8 +492,9 @@ impl MpiFile {
         dst: VirtAddr,
         nbytes: u64,
     ) -> Request {
+        let reqs = self.batch_reqs(offset_etypes, dst, nbytes);
         Request {
-            result: self.read_at(ctx, offset_etypes, dst, nbytes),
+            inner: self.file.iread_batch(ctx, &reqs),
         }
     }
 
@@ -486,8 +506,9 @@ impl MpiFile {
         src: VirtAddr,
         nbytes: u64,
     ) -> Request {
+        let reqs = self.batch_reqs(offset_etypes, src, nbytes);
         Request {
-            result: self.write_at(ctx, offset_etypes, src, nbytes),
+            inner: self.file.iwrite_batch(ctx, &reqs),
         }
     }
 
@@ -495,6 +516,9 @@ impl MpiFile {
 
     /// Decide whether to data-sieve a range list.
     fn should_sieve(&self, ranges: &[(u64, u64)], toggle: Toggle) -> bool {
+        // The span heuristic and the sieve windows both assume the view
+        // mapper hands us offset-sorted ranges.
+        debug_assert!(ranges.windows(2).all(|w| w[0].0 <= w[1].0));
         match toggle {
             Toggle::Disable => false,
             Toggle::Enable => ranges.len() > 1,

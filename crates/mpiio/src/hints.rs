@@ -33,6 +33,11 @@ pub struct Hints {
     pub ds_read: Toggle,
     /// Data sieving on independent writes.
     pub ds_write: Toggle,
+    /// Double-buffered pipelining of the two-phase collective sweep
+    /// (window k's file I/O overlapped with window k+1's exchange).
+    /// `Automatic` means on; `disable` forces the strictly synchronous
+    /// sweep.
+    pub cb_pipeline: Toggle,
     /// Raw key/value pairs as supplied (inert keys are preserved, like
     /// `striping_unit` on filesystems that ignore it).
     pub raw: BTreeMap<String, String>,
@@ -49,6 +54,7 @@ impl Default for Hints {
             cb_write: Toggle::Automatic,
             ds_read: Toggle::Automatic,
             ds_write: Toggle::Automatic,
+            cb_pipeline: Toggle::Automatic,
             raw: BTreeMap::new(),
         }
     }
@@ -101,6 +107,7 @@ impl Hints {
             "romio_cb_write" => self.cb_write = parse_toggle(value),
             "romio_ds_read" => self.ds_read = parse_toggle(value),
             "romio_ds_write" => self.ds_write = parse_toggle(value),
+            "romio_cb_pipeline" => self.cb_pipeline = parse_toggle(value),
             _ => {}
         }
     }
@@ -165,5 +172,60 @@ mod tests {
         let mut h = Hints::default();
         h.set("cb_buffer_size", "1");
         assert_eq!(h.cb_buffer_size, 4096);
+    }
+
+    #[test]
+    fn sieving_buffer_sizes_parse_and_clamp() {
+        let h = Hints::from_pairs([
+            ("ind_rd_buffer_size", "65536"),
+            ("ind_wr_buffer_size", "131072"),
+        ]);
+        assert_eq!(h.ind_rd_buffer_size, 64 << 10);
+        assert_eq!(h.ind_wr_buffer_size, 128 << 10);
+        // Below the 4 KiB floor: clamped, not taken literally.
+        let h = Hints::from_pairs([("ind_rd_buffer_size", "16"), ("ind_wr_buffer_size", "0")]);
+        assert_eq!(h.ind_rd_buffer_size, 4096);
+        assert_eq!(h.ind_wr_buffer_size, 4096);
+    }
+
+    #[test]
+    fn sieving_buffer_garbage_keeps_defaults() {
+        let h = Hints::from_pairs([
+            ("ind_rd_buffer_size", "lots"),
+            ("ind_wr_buffer_size", "-4096"),
+        ]);
+        assert_eq!(h.ind_rd_buffer_size, 4 << 20);
+        assert_eq!(h.ind_wr_buffer_size, 512 << 10);
+    }
+
+    #[test]
+    fn ds_toggles_parse_all_spellings() {
+        let h = Hints::from_pairs([("romio_ds_read", "false"), ("romio_ds_write", "true")]);
+        assert_eq!(h.ds_read, Toggle::Disable);
+        assert_eq!(h.ds_write, Toggle::Enable);
+        let h = Hints::from_pairs([("romio_ds_write", "automatic")]);
+        assert_eq!(h.ds_write, Toggle::Automatic);
+    }
+
+    #[test]
+    fn cb_pipeline_toggle() {
+        assert_eq!(Hints::default().cb_pipeline, Toggle::Automatic);
+        let h = Hints::from_pairs([("romio_cb_pipeline", "disable")]);
+        assert_eq!(h.cb_pipeline, Toggle::Disable);
+        let h = Hints::from_pairs([("romio_cb_pipeline", "enable")]);
+        assert_eq!(h.cb_pipeline, Toggle::Enable);
+    }
+
+    #[test]
+    fn raw_preserves_known_and_unknown_keys_verbatim() {
+        let h = Hints::from_pairs([
+            ("ind_wr_buffer_size", "16"), // clamped in the parsed field...
+            ("romio_ds_read", "maybe"),   // ...fell back to Automatic...
+            ("mystery_knob", "7"),        // ...inert
+        ]);
+        // ...but raw always records what the application actually said.
+        assert_eq!(h.raw["ind_wr_buffer_size"], "16");
+        assert_eq!(h.raw["romio_ds_read"], "maybe");
+        assert_eq!(h.raw["mystery_knob"], "7");
     }
 }

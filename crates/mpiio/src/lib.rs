@@ -34,8 +34,8 @@ pub mod view;
 pub mod world;
 
 pub use adio::{
-    AdioError, AdioFile, AdioFs, AdioResult, DafsAdio, DriverKind, IoFault, NfsAdio, UfsAdio,
-    UfsCost,
+    AdioError, AdioFile, AdioFs, AdioRequest, AdioResult, DafsAdio, DriverKind, IoFault, NfsAdio,
+    PendingIo, UfsAdio, UfsCost,
 };
 pub use collective::{
     read_all, read_at_all, read_at_all_begin, read_at_all_end, read_ordered, write_all,
@@ -237,8 +237,9 @@ mod tests {
                 .unwrap();
             let src = host.mem.alloc(4096);
             host.mem.fill(src, 4096, 9);
-            let w = f.iwrite_at(ctx, 0, src, 4096);
-            assert!(w.test());
+            let mut w = f.iwrite_at(ctx, 0, src, 4096);
+            // Poll until the write lands, then collect it.
+            while !w.test(ctx) {}
             assert_eq!(w.wait(ctx).unwrap(), 4096);
             let dst = host.mem.alloc(4096);
             let r = f.iread_at(ctx, 0, dst, 4096);

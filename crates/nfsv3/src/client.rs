@@ -171,6 +171,10 @@ pub struct NfsClient {
     /// arrives, and never arming the timer keeps fault-free runs
     /// byte-identical no matter how slow the server is.
     retransmit: bool,
+    /// Replies that arrived while the split-phase path was draining the
+    /// stream for a different xid. The synchronous path never stashes
+    /// here: it matches replies in issue order.
+    async_replies: Mutex<HashMap<u32, Vec<u8>>>,
     /// Client-side counters.
     pub stats: NfsClientStats,
 }
@@ -195,6 +199,7 @@ impl NfsClient {
             attr_cache: Mutex::new(HashMap::new()),
             data_cache: Mutex::new(HashMap::new()),
             retransmit,
+            async_replies: Mutex::new(HashMap::new()),
             stats: NfsClientStats::default(),
         })
     }
@@ -244,13 +249,115 @@ impl NfsClient {
             reply
         };
 
-        let mut d = XdrDec::new(&reply);
+        Self::decode_reply(&reply)
+    }
+
+    /// Strip a matched reply's header: verify the status, return the
+    /// payload.
+    fn decode_reply(reply: &[u8]) -> NfsResult<Vec<u8>> {
+        let mut d = XdrDec::new(reply);
         d.u32().map_err(|_| NfsError::Protocol)?; // xid, already matched
         let status = NfsStatus::from_u32(d.u32().map_err(|_| NfsError::Protocol)?);
         if status != NfsStatus::Ok {
             return Err(NfsError::Status(status));
         }
         Ok(reply[8..].to_vec())
+    }
+
+    /// Issue half of one split-phase RPC: frame and send without waiting
+    /// for the reply. Returns the xid and the framed bytes (kept so the
+    /// completion half can retransmit). Unlike [`Self::call`] this opens
+    /// no `nfs.rpc` span — the wall time of a split-phase RPC overlaps the
+    /// caller's other work, so a blocking-style span would double-count.
+    fn send_rpc(&self, ctx: &ActorCtx, proc_: NfsProc, args: XdrEnc) -> (u32, Vec<u8>) {
+        let xid = self.xid.fetch_add(1, Ordering::Relaxed);
+        self.stats.rpcs.inc();
+        if ctx.obs().enabled() {
+            ctx.trace(
+                "nfs",
+                "rpc.issue",
+                &[
+                    ("xid", obs::Value::U64(xid as u64)),
+                    ("proc", obs::Value::Str(&format!("{proc_:?}"))),
+                ],
+            );
+        }
+        self.host.compute(ctx, self.config.per_rpc_cpu);
+        let mut e = XdrEnc::new();
+        e.u32(xid);
+        e.u32(proc_ as u32);
+        let mut body = e.finish();
+        body.extend_from_slice(&args.finish());
+        let framed = proto::frame(&body);
+        self.sock.send(ctx, &framed);
+        (xid, framed)
+    }
+
+    /// Completion half of one split-phase RPC: await the reply matching
+    /// `xid`, stashing replies to other outstanding split-phase RPCs that
+    /// arrive first. With the retransmit timer armed, unanswered deadlines
+    /// resend `framed` under the usual backoff; stale duplicates overwrite
+    /// their stash slot harmlessly (the server's duplicate-request cache
+    /// makes the replies identical).
+    fn recv_rpc(&self, ctx: &ActorCtx, xid: u32, framed: &[u8]) -> NfsResult<Vec<u8>> {
+        if !self.retransmit {
+            loop {
+                if let Some(reply) = self.async_replies.lock().remove(&xid) {
+                    return Self::decode_reply(&reply);
+                }
+                let hdr = self.sock.recv_exact(ctx, 4)?;
+                let len = u32::from_be_bytes(hdr.try_into().unwrap()) as usize;
+                let reply = self.sock.recv_exact(ctx, len)?;
+                let rxid = XdrDec::new(&reply).u32().map_err(|_| NfsError::Protocol)?;
+                if rxid == xid {
+                    return Self::decode_reply(&reply);
+                }
+                self.async_replies.lock().insert(rxid, reply);
+            }
+        }
+        let policy = self.config.retry;
+        let mut timeout = policy.base_timeout;
+        let mut attempt = 1u32;
+        loop {
+            if let Some(reply) = self.async_replies.lock().remove(&xid) {
+                return Self::decode_reply(&reply);
+            }
+            let deadline = ctx.now() + timeout;
+            while let Some(hdr) = self.sock.recv_exact_deadline(ctx, 4, deadline)? {
+                let len = u32::from_be_bytes(hdr.try_into().unwrap()) as usize;
+                // Header seen: the body is in flight; wait for all of it.
+                let reply = self.sock.recv_exact(ctx, len)?;
+                let rxid = XdrDec::new(&reply).u32().map_err(|_| NfsError::Protocol)?;
+                if rxid == xid {
+                    return Self::decode_reply(&reply);
+                }
+                self.async_replies.lock().insert(rxid, reply);
+            }
+            if attempt >= policy.max_attempts.max(1) {
+                ctx.metrics().counter("nfs.timeouts").inc();
+                ctx.trace(
+                    "nfs",
+                    "rpc.timeout",
+                    &[
+                        ("xid", obs::Value::U64(xid as u64)),
+                        ("attempts", obs::Value::U64(attempt as u64)),
+                    ],
+                );
+                return Err(NfsError::TimedOut);
+            }
+            attempt += 1;
+            ctx.metrics().counter("nfs.retrans").inc();
+            ctx.trace(
+                "nfs",
+                "rpc.retrans",
+                &[
+                    ("xid", obs::Value::U64(xid as u64)),
+                    ("attempt", obs::Value::U64(attempt as u64)),
+                ],
+            );
+            self.sock.send(ctx, framed);
+            timeout = timeout * u64::from(policy.backoff_factor.max(1));
+        }
     }
 
     /// Send `framed` and wait for the reply matching `xid`, retransmitting
@@ -603,6 +710,114 @@ impl NfsClient {
         }
     }
 
+    /// Issue half of a split-phase write: send every WRITE RPC (chunked
+    /// by wsize) without waiting for replies, so the server processes
+    /// them while the caller overlaps other work. Collect with
+    /// [`Self::write_finish`].
+    pub fn write_begin(
+        &self,
+        ctx: &ActorCtx,
+        fh: NodeId,
+        mut off: u64,
+        data: &[u8],
+    ) -> NfsPendingWrite {
+        let mut rpcs = Vec::new();
+        for chunk in data.chunks(self.config.wsize.max(1) as usize) {
+            // Application buffer into the RPC buffer.
+            self.host
+                .compute(ctx, self.config.host_cost.copy(chunk.len() as u64));
+            let mut e = XdrEnc::new();
+            e.u64(fh.0).u64(off).u32(self.config.stable as u32).opaque(chunk);
+            let (xid, framed) = self.send_rpc(ctx, NfsProc::Write, e);
+            rpcs.push((xid, framed, off, chunk.len() as u64));
+            off += chunk.len() as u64;
+            self.stats.writes.record(chunk.len() as u64);
+        }
+        NfsPendingWrite { fh, rpcs }
+    }
+
+    /// Completion half of [`Self::write_begin`]: await every reply in
+    /// issue order, refreshing the attribute cache and invalidating
+    /// written pages exactly as the synchronous path does. Zero-length
+    /// writes behave like getattr.
+    pub fn write_finish(&self, ctx: &ActorCtx, p: NfsPendingWrite) -> NfsResult<FileAttr> {
+        let mut attr = None;
+        for (xid, framed, off, len) in p.rpcs {
+            let r = self.recv_rpc(ctx, xid, &framed)?;
+            let mut d = XdrDec::new(&r);
+            let _count = d.u32().map_err(|_| NfsError::Protocol)?;
+            let _committed = d.u32().map_err(|_| NfsError::Protocol)?;
+            let a = proto::dec_attr(&mut d).map_err(|_| NfsError::Protocol)?;
+            self.cache_attr(ctx, a);
+            if self.config.data_cache {
+                let page = self.config.cache_page.max(512);
+                let cover_first = off / page;
+                let cover_last = (off + len - 1) / page;
+                let mut dc = self.data_cache.lock();
+                dc.retain(|(f, pg), _| *f != p.fh.0 || *pg < cover_first || *pg > cover_last);
+                // Our own write bumped the version; the surviving pages
+                // are still current from this client's point of view.
+                for ((f, _), entry) in dc.iter_mut() {
+                    if *f == p.fh.0 {
+                        entry.1 = a.version;
+                    }
+                }
+            }
+            attr = Some(a);
+        }
+        match attr {
+            Some(a) => Ok(a),
+            None => self.getattr(ctx, p.fh),
+        }
+    }
+
+    /// Issue half of a split-phase read: send a READ RPC for every rsize
+    /// chunk of `[off, off+len)` up front. The synchronous path stops
+    /// chunking when it sees EOF; here the tail RPCs are already posted,
+    /// so EOF shows up as short or empty replies that
+    /// [`Self::read_finish`] trims.
+    pub fn read_begin(&self, ctx: &ActorCtx, fh: NodeId, off: u64, len: u64) -> NfsPendingRead {
+        let mut rpcs = Vec::new();
+        let mut done = 0u64;
+        while done < len {
+            let n = (len - done).min(self.config.rsize.max(1));
+            let mut e = XdrEnc::new();
+            e.u64(fh.0).u64(off + done).u32(n as u32);
+            let (xid, framed) = self.send_rpc(ctx, NfsProc::Read, e);
+            rpcs.push((xid, framed, off + done, n));
+            done += n;
+        }
+        NfsPendingRead { rpcs }
+    }
+
+    /// Completion half of [`Self::read_begin`]: await every reply,
+    /// concatenating data until the first short chunk (EOF). Replies past
+    /// EOF are still drained so nothing is left orphaned on the stream.
+    pub fn read_finish(&self, ctx: &ActorCtx, p: NfsPendingRead) -> NfsResult<Vec<u8>> {
+        let mut out = Vec::new();
+        let mut eof = false;
+        for (xid, framed, _off, n) in &p.rpcs {
+            let r = self.recv_rpc(ctx, *xid, framed)?;
+            let mut d = XdrDec::new(&r);
+            let _count = d.u32().map_err(|_| NfsError::Protocol)?;
+            let chunk_eof = d.u32().map_err(|_| NfsError::Protocol)? != 0;
+            let data = d.opaque().map_err(|_| NfsError::Protocol)?;
+            if eof {
+                continue; // past EOF: drain only
+            }
+            // Copy from the RPC buffer into the application buffer.
+            self.host
+                .compute(ctx, self.config.host_cost.copy(data.len() as u64));
+            self.stats.reads.record(data.len() as u64);
+            let short = (data.len() as u64) < *n;
+            out.extend_from_slice(&data);
+            if chunk_eof || short {
+                eof = true;
+            }
+        }
+        Ok(out)
+    }
+
     /// COMMIT unstable writes to stable storage.
     pub fn commit(&self, ctx: &ActorCtx, fh: NodeId) -> NfsResult<()> {
         let mut e = XdrEnc::new();
@@ -624,6 +839,34 @@ impl NfsClient {
     /// Tear down the mount.
     pub fn unmount(&self, ctx: &ActorCtx) {
         self.sock.close(ctx);
+    }
+}
+
+/// A split-phase WRITE in flight: issued RPCs whose replies have not been
+/// collected yet. Created by [`NfsClient::write_begin`].
+pub struct NfsPendingWrite {
+    fh: NodeId,
+    /// (xid, framed request, chunk offset, chunk length), in issue order.
+    rpcs: Vec<(u32, Vec<u8>, u64, u64)>,
+}
+
+impl NfsPendingWrite {
+    /// RPCs issued and not yet collected.
+    pub fn in_flight(&self) -> usize {
+        self.rpcs.len()
+    }
+}
+
+/// A split-phase READ in flight. Created by [`NfsClient::read_begin`].
+pub struct NfsPendingRead {
+    /// (xid, framed request, chunk offset, chunk length), in issue order.
+    rpcs: Vec<(u32, Vec<u8>, u64, u64)>,
+}
+
+impl NfsPendingRead {
+    /// RPCs issued and not yet collected.
+    pub fn in_flight(&self) -> usize {
+        self.rpcs.len()
     }
 }
 

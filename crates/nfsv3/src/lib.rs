@@ -20,7 +20,8 @@ mod server;
 pub mod xdr;
 
 pub use client::{
-    NfsClient, NfsClientConfig, NfsClientStats, NfsError, NfsResult, RetryPolicy, SharedNfsClient,
+    NfsClient, NfsClientConfig, NfsClientStats, NfsError, NfsPendingRead, NfsPendingWrite,
+    NfsResult, RetryPolicy, SharedNfsClient,
 };
 pub use proto::{NfsProc, NfsStatus, Stable};
 pub use server::{spawn_nfs_server, NfsServerCost, NfsServerHandle, NfsServerStats};

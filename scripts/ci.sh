@@ -13,6 +13,14 @@ cargo test -q --workspace
 echo "==> chaos suite (deterministic fault injection)"
 cargo test -q --test chaos
 
+echo "==> R-F7 overlap smoke (pipelined two-phase sweep)"
+f7_out=$(cargo run --release -p mpio-dafs-bench --bin f7_overlap -- --smoke)
+echo "$f7_out"
+echo "$f7_out" | grep -q "pipelined" || {
+    echo "ci: R-F7 output missing the pipelined column" >&2
+    exit 1
+}
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -8,7 +8,9 @@
 //! same virtual instants.
 
 use mpio_dafs::memfs::ROOT_ID;
-use mpio_dafs::mpiio::{Backend, Hints, JobReport, MpiFile, OpenMode, Testbed};
+use mpio_dafs::mpiio::{
+    read_at_all, write_at_all, Backend, Datatype, Hints, JobReport, MpiFile, OpenMode, Testbed,
+};
 use mpio_dafs::simnet::units::*;
 use mpio_dafs::simnet::{ActorCtx, Cluster, FaultPlan, HostId, SimKernel, SimTime};
 use mpio_dafs::{dafs, nfsv3, tcpnet, via};
@@ -107,6 +109,70 @@ fn heavy_loss_actually_exercises_recovery() {
         nfs.snapshot.get("nfs.retrans").map(|e| e.value()).unwrap_or(0) > 0,
         "NFS dropped messages but never retransmitted"
     );
+}
+
+// --- pipelined collective sweep under faults --------------------------------
+
+/// The double-buffered two-phase sweep keeps a nonblocking filesystem
+/// batch in flight across fault windows; its split-phase recovery (fail
+/// the batch, rerun synchronously) must land the same bytes the
+/// synchronous sweep would. Interleaved rank views force a genuinely
+/// multi-phase sweep on both backends.
+#[test]
+fn pipelined_collective_survives_loss() {
+    for (backend, seed) in [(Backend::dafs(), 0x919E_u64), (Backend::nfs(), 0x919F_u64)] {
+        for (i, loss) in [0.005, 0.02].into_iter().enumerate() {
+            let plan = FaultPlan::builder(seed + i as u64).loss(loss).build();
+            let ranks = 2usize;
+            let block = 64u64 << 10;
+            let tb = Testbed::with_faults(backend.clone(), plan);
+            let fs = tb.fs.clone();
+            let report = tb.run(ranks, move |ctx, comm, adio| {
+                let host = comm.host().clone();
+                let mut hints = Hints::default();
+                // Small collective buffer: several windows, so batches
+                // overlap the exchange while faults fire.
+                hints.set("cb_buffer_size", "16384");
+                let f = MpiFile::open(ctx, adio, &host, "/coll", OpenMode::create(), hints)
+                    .unwrap();
+                let el = Datatype::bytes(block);
+                let ft = Datatype::resized(
+                    &Datatype::hindexed(&[(1, (comm.rank() as u64 * block) as i64)], &el),
+                    0,
+                    ranks as u64 * block,
+                );
+                f.set_view(0, &el, &ft);
+                let src = host.mem.alloc(block as usize);
+                host.mem.fill(src, block as usize, comm.rank() as u8 + 1);
+                write_at_all(ctx, comm, &f, 0, src, block).unwrap();
+                let dst = host.mem.alloc(block as usize);
+                let n = read_at_all(ctx, comm, &f, 0, dst, block).unwrap();
+                assert_eq!(n, block, "short collective read under faults");
+                assert_eq!(
+                    host.mem.read_vec(dst, block as usize),
+                    vec![comm.rank() as u8 + 1; block as usize],
+                    "rank {} collective read back corrupt data",
+                    comm.rank()
+                );
+            });
+            assert!(
+                report.end_time.as_nanos() < DEADLINE_NS,
+                "virtual-time deadline blown at loss {loss}: {} ns",
+                report.end_time.as_nanos()
+            );
+            let attr = fs.resolve("/coll").unwrap();
+            assert_eq!(attr.size, ranks as u64 * block);
+            let data = fs.read(attr.id, 0, attr.size).unwrap();
+            for r in 0..ranks as u64 {
+                assert!(
+                    data[(r * block) as usize..((r + 1) * block) as usize]
+                        .iter()
+                        .all(|&b| b == r as u8 + 1),
+                    "server holds corrupt bytes for rank {r} at loss {loss}"
+                );
+            }
+        }
+    }
 }
 
 // --- link flaps -------------------------------------------------------------
