@@ -43,7 +43,12 @@ fn bench_datatype_flatten() {
     bench("datatype_flatten_nested", 10, 1000, || {
         black_box(black_box(&dt).flatten());
     });
-    let sub = Datatype::subarray(&[64, 64, 64], &[16, 16, 16], &[8, 8, 8], &Datatype::bytes(8));
+    let sub = Datatype::subarray(
+        &[64, 64, 64],
+        &[16, 16, 16],
+        &[8, 8, 8],
+        &Datatype::bytes(8),
+    );
     bench("datatype_flatten_subarray_16x16x16", 5, 100, || {
         black_box(black_box(&sub).flatten());
     });

@@ -1,0 +1,32 @@
+//! Run the striped server-scaling sweep:
+//! `cargo run -p mpio-dafs-bench --release --bin f8_server_scaling [-- --smoke] [-- --fault-seed N]`.
+//!
+//! `--smoke` shrinks the per-client transfer (1 MiB instead of 4 MiB) for
+//! quick CI validation; the table shape, the monotone-scaling assertion,
+//! and the raw-vs-striped identity check are the same.
+fn main() {
+    let mut smoke = false;
+    let mut seed = mpio_dafs_bench::f8_server_scaling::DEFAULT_SEED;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--fault-seed" => {
+                let v = args.next().unwrap_or_default();
+                seed = v
+                    .parse()
+                    .or_else(|_| u64::from_str_radix(v.trim_start_matches("0x"), 16))
+                    .unwrap_or_else(|_| {
+                        eprintln!("bad --fault-seed value: {v}");
+                        std::process::exit(2);
+                    });
+            }
+            other => {
+                eprintln!("unknown argument: {other} (supported: --smoke, --fault-seed N)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let per_client = if smoke { 1 << 20 } else { 4 << 20 };
+    mpio_dafs_bench::f8_server_scaling::run_sized(per_client, seed).print();
+}

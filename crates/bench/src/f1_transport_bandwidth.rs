@@ -8,8 +8,7 @@
 use simnet::{Cluster, SimKernel, SimTime};
 use tcpnet::{TcpCost, TcpFabric};
 use via::{
-    DataSegment, MemAttributes, RecvDesc, RemoteSegment, SendDesc, ViAttributes, ViaCost,
-    ViaFabric,
+    DataSegment, MemAttributes, RecvDesc, RemoteSegment, SendDesc, ViAttributes, ViaCost, ViaFabric,
 };
 
 use crate::report::{human_size, mb_per_s, Table};
@@ -36,7 +35,10 @@ fn via_sendrecv_mb_s(size: u64) -> f64 {
         let buf = snic.host().mem.alloc(size as usize);
         let h = snic.register_mem(ctx, buf, size, MemAttributes::local(tag));
         for _ in 0..count {
-            vi.post_recv(ctx, RecvDesc::new(vec![DataSegment::new(buf, size as u32, h)]));
+            vi.post_recv(
+                ctx,
+                RecvDesc::new(vec![DataSegment::new(buf, size as u32, h)]),
+            );
         }
         let mut first = SimTime::ZERO;
         let mut last = SimTime::ZERO;
@@ -58,7 +60,10 @@ fn via_sendrecv_mb_s(size: u64) -> f64 {
         let buf = cnic.host().mem.alloc(size as usize);
         let h = cnic.register_mem(ctx, buf, size, MemAttributes::local(tag));
         for _ in 0..count {
-            vi.post_send(ctx, SendDesc::send(vec![DataSegment::new(buf, size as u32, h)]));
+            vi.post_send(
+                ctx,
+                SendDesc::send(vec![DataSegment::new(buf, size as u32, h)]),
+            );
         }
         for _ in 0..count {
             vi.send_wait(ctx);

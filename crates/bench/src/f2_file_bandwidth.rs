@@ -117,7 +117,9 @@ pub fn run() -> Table {
             format!("{nw:.1}"),
         ]);
     }
-    t.note("expect DAFS direct to pull away above the 8K threshold toward ~110; NFS flat-ish ~20-60");
+    t.note(
+        "expect DAFS direct to pull away above the 8K threshold toward ~110; NFS flat-ish ~20-60",
+    );
     t.note("DAFS-inline column shows the crossover: matches DAFS below 8K, trails above");
     t
 }

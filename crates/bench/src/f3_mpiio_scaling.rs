@@ -21,8 +21,15 @@ pub fn agg_rw(backend: Backend, ranks: usize) -> (f64, f64) {
     let (w, r) = (wns.clone(), rns.clone());
     tb.run(ranks, move |ctx, comm, adio| {
         let host = comm.host().clone();
-        let f = MpiFile::open(ctx, adio, &host, "/perf", OpenMode::create(), Hints::default())
-            .unwrap();
+        let f = MpiFile::open(
+            ctx,
+            adio,
+            &host,
+            "/perf",
+            OpenMode::create(),
+            Hints::default(),
+        )
+        .unwrap();
         let buf = host.mem.alloc(PER_RANK);
         let off = (comm.rank() * PER_RANK) as u64;
         comm.barrier(ctx);
@@ -59,7 +66,9 @@ pub fn run() -> Table {
             format!("{uw:.0}"),
         ]);
     }
-    t.note("expect DAFS to pin at ~105-110 (server wire); NFS to plateau lower (server CPU/packets)");
+    t.note(
+        "expect DAFS to pin at ~105-110 (server wire); NFS to plateau lower (server CPU/packets)",
+    );
     t.note("UFS is the no-network local bound and scales with ranks");
     t
 }

@@ -86,7 +86,13 @@ fn run_pattern(ranks: usize, method: Method) -> (u64, JobReport) {
 pub fn run() -> Table {
     let mut t = Table::new(
         "R-F4: collective vs independent write, 512 B interleave (aggregate MB/s)",
-        &["ranks", "two-phase", "indep batched", "indep sieved", "indep naive"],
+        &[
+            "ranks",
+            "two-phase",
+            "indep batched",
+            "indep sieved",
+            "indep naive",
+        ],
     );
     let mut last_twophase: Option<JobReport> = None;
     for ranks in [4usize, 8, 16] {
@@ -105,7 +111,9 @@ pub fn run() -> Table {
         ]);
     }
     t.note("expect two-phase >> sieved/naive; at this grain the server pays per-op cost per 512B block");
-    t.note("sieved writes pay locked read-modify-write windows; naive pays one round trip per block");
+    t.note(
+        "sieved writes pay locked read-modify-write windows; naive pays one round trip per block",
+    );
     t.note("DAFS batch pipelining hides client latency but not the server per-op work");
     // With MPIO_DAFS_TRACE set, split the 16-rank two-phase run into
     // aggregation / exchange / I/O / barrier-wait virtual time.

@@ -49,7 +49,12 @@ fn read_mb_s(req: u64, threshold: u64) -> f64 {
 pub fn run() -> Table {
     let mut t = Table::new(
         "R-F5: direct-threshold sweep, sequential reads (MB/s)",
-        &["request", "thresh 1K", "thresh 8K", "thresh 64K (inline-only)"],
+        &[
+            "request",
+            "thresh 1K",
+            "thresh 8K",
+            "thresh 64K (inline-only)",
+        ],
     );
     for req in [1u64 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10] {
         t.row(vec![

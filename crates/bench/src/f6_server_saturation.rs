@@ -30,8 +30,14 @@ fn aggregate_read_mb_s(clients: usize, wire_mb: u64) -> f64 {
     let fs = MemFs::new();
     let f = fs.create(ROOT_ID, "stream").unwrap();
     fs.write(f.id, 0, &vec![1u8; PER_CLIENT as usize]).unwrap();
-    let server =
-        dafs::spawn_dafs_server(&kernel, &fabric, server_nic, fs, PORT, DafsServerCost::default());
+    let server = dafs::spawn_dafs_server(
+        &kernel,
+        &fabric,
+        server_nic,
+        fs,
+        PORT,
+        DafsServerCost::default(),
+    );
     let sid = server.host.id;
     let span = Cell::new();
     let fabric = Arc::new(fabric);
@@ -41,9 +47,8 @@ fn aggregate_read_mb_s(clients: usize, wire_mb: u64) -> f64 {
         let span = span.clone();
         kernel.spawn(&format!("client{i}"), move |ctx| {
             let nic = fabric.open_nic(host.clone());
-            let c =
-                DafsClient::connect(ctx, &fabric, &nic, sid, PORT, DafsClientConfig::default())
-                    .unwrap();
+            let c = DafsClient::connect(ctx, &fabric, &nic, sid, PORT, DafsClientConfig::default())
+                .unwrap();
             let f = c.lookup(ctx, ROOT_ID, "stream").unwrap();
             let buf = nic.host().mem.alloc(PER_CLIENT as usize);
             let t0 = ctx.now();

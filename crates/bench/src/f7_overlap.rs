@@ -11,7 +11,9 @@
 //! `mpiio.twophase.overlap_ns` / `io_ns` counters (run with
 //! `MPIO_DAFS_TRACE=1` for the breakdown).
 
-use mpiio::{read_at_all, write_at_all, Backend, Datatype, Hints, JobReport, MpiFile, OpenMode, Testbed};
+use mpiio::{
+    read_at_all, write_at_all, Backend, Datatype, Hints, JobReport, MpiFile, OpenMode, Testbed,
+};
 
 use crate::report::{layer_breakdown, mb_per_s, Table};
 use crate::testbeds::Cell;

@@ -90,9 +90,8 @@ impl Table {
 
     /// Serialize to one JSON object (headers, rows, notes).
     pub fn to_json(&self) -> String {
-        let quoted = |cells: &[String]| -> Vec<String> {
-            cells.iter().map(|c| json::quote(c)).collect()
-        };
+        let quoted =
+            |cells: &[String]| -> Vec<String> { cells.iter().map(|c| json::quote(c)).collect() };
         let mut out = String::with_capacity(256);
         out.push_str("{\"title\":");
         json::push_str(&mut out, &self.title);

@@ -6,9 +6,7 @@
 
 use simnet::{Cluster, SimKernel};
 use tcpnet::{TcpCost, TcpFabric};
-use via::{
-    DataSegment, MemAttributes, RecvDesc, SendDesc, ViAttributes, ViaCost, ViaFabric,
-};
+use via::{DataSegment, MemAttributes, RecvDesc, SendDesc, ViAttributes, ViaCost, ViaFabric};
 
 use crate::report::{human_size, Table};
 use crate::testbeds::Cell;
@@ -32,10 +30,16 @@ fn via_one_way_ns(size: usize) -> u64 {
         let buf = snic.host().mem.alloc(size.max(64));
         let h = snic.register_mem(ctx, buf, size.max(64) as u64, MemAttributes::local(tag));
         for _ in 0..ITERS {
-            vi.post_recv(ctx, RecvDesc::new(vec![DataSegment::new(buf, size as u32, h)]));
+            vi.post_recv(
+                ctx,
+                RecvDesc::new(vec![DataSegment::new(buf, size as u32, h)]),
+            );
             let c = vi.recv_wait(ctx);
             assert!(c.status.is_ok());
-            vi.post_send(ctx, SendDesc::send(vec![DataSegment::new(buf, size as u32, h)]));
+            vi.post_send(
+                ctx,
+                SendDesc::send(vec![DataSegment::new(buf, size as u32, h)]),
+            );
             vi.send_wait(ctx);
         }
     });
@@ -48,8 +52,14 @@ fn via_one_way_ns(size: usize) -> u64 {
         let h = cnic.register_mem(ctx, buf, size.max(64) as u64, MemAttributes::local(tag));
         let t0 = ctx.now();
         for _ in 0..ITERS {
-            vi.post_recv(ctx, RecvDesc::new(vec![DataSegment::new(buf, size as u32, h)]));
-            vi.post_send(ctx, SendDesc::send(vec![DataSegment::new(buf, size as u32, h)]));
+            vi.post_recv(
+                ctx,
+                RecvDesc::new(vec![DataSegment::new(buf, size as u32, h)]),
+            );
+            vi.post_send(
+                ctx,
+                SendDesc::send(vec![DataSegment::new(buf, size as u32, h)]),
+            );
             vi.send_wait(ctx);
             let c = vi.recv_wait(ctx);
             assert!(c.status.is_ok());

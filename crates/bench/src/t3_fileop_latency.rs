@@ -37,21 +37,38 @@ fn dafs_ops_ns() -> [u64; 4] {
                 }
                 cell.set(ctx.now().since(t0).as_nanos() / ITERS);
             };
-            measure(&out[0], Box::new(|ctx| {
-                c.getattr(ctx, f.id).unwrap();
-            }));
-            measure(&out[1], Box::new(|ctx| {
-                c.lookup(ctx, ROOT_ID, "target").unwrap();
-            }));
-            measure(&out[2], Box::new(|ctx| {
-                c.read(ctx, f.id, 0, buf, 512).unwrap();
-            }));
-            measure(&out[3], Box::new(|ctx| {
-                c.write(ctx, f.id, 0, buf, 512).unwrap();
-            }));
+            measure(
+                &out[0],
+                Box::new(|ctx| {
+                    c.getattr(ctx, f.id).unwrap();
+                }),
+            );
+            measure(
+                &out[1],
+                Box::new(|ctx| {
+                    c.lookup(ctx, ROOT_ID, "target").unwrap();
+                }),
+            );
+            measure(
+                &out[2],
+                Box::new(|ctx| {
+                    c.read(ctx, f.id, 0, buf, 512).unwrap();
+                }),
+            );
+            measure(
+                &out[3],
+                Box::new(|ctx| {
+                    c.write(ctx, f.id, 0, buf, 512).unwrap();
+                }),
+            );
         },
     );
-    [cells[0].get(), cells[1].get(), cells[2].get(), cells[3].get()]
+    [
+        cells[0].get(),
+        cells[1].get(),
+        cells[2].get(),
+        cells[3].get(),
+    ]
 }
 
 fn nfs_ops_ns() -> [u64; 4] {
@@ -75,21 +92,38 @@ fn nfs_ops_ns() -> [u64; 4] {
                 }
                 cell.set(ctx.now().since(t0).as_nanos() / ITERS);
             };
-            measure(&out[0], Box::new(|ctx| {
-                c.getattr_uncached(ctx, f.id).unwrap();
-            }));
-            measure(&out[1], Box::new(|ctx| {
-                c.lookup(ctx, ROOT_ID, "target").unwrap();
-            }));
-            measure(&out[2], Box::new(|ctx| {
-                c.read(ctx, f.id, 0, 512).unwrap();
-            }));
-            measure(&out[3], Box::new(|ctx| {
-                c.write(ctx, f.id, 0, &data).unwrap();
-            }));
+            measure(
+                &out[0],
+                Box::new(|ctx| {
+                    c.getattr_uncached(ctx, f.id).unwrap();
+                }),
+            );
+            measure(
+                &out[1],
+                Box::new(|ctx| {
+                    c.lookup(ctx, ROOT_ID, "target").unwrap();
+                }),
+            );
+            measure(
+                &out[2],
+                Box::new(|ctx| {
+                    c.read(ctx, f.id, 0, 512).unwrap();
+                }),
+            );
+            measure(
+                &out[3],
+                Box::new(|ctx| {
+                    c.write(ctx, f.id, 0, &data).unwrap();
+                }),
+            );
         },
     );
-    [cells[0].get(), cells[1].get(), cells[2].get(), cells[3].get()]
+    [
+        cells[0].get(),
+        cells[1].get(),
+        cells[2].get(),
+        cells[3].get(),
+    ]
 }
 
 /// Run R-T3.

@@ -63,7 +63,12 @@ fn nfs_overhead() -> (u64, u64, RunObs) {
 pub fn run() -> Table {
     let mut t = Table::new(
         "R-T4: client CPU overhead for 64 MiB read + 64 MiB write",
-        &["stack", "user CPU (ms)", "kernel CPU (ms)", "CPU ms / MiB moved"],
+        &[
+            "stack",
+            "user CPU (ms)",
+            "kernel CPU (ms)",
+            "CPU ms / MiB moved",
+        ],
     );
     let (d_cpu, d_k, d_run) = dafs_overhead();
     let (n_cpu, n_k, n_run) = nfs_overhead();

@@ -5,12 +5,12 @@
 //! large-transfer throughput sags measurably; with it enabled the cost is
 //! paid once per buffer.
 
-use dafs::DafsClientConfig;
+use dafs::{DafsClientConfig, DafsServerCost};
 use mpiio::{Backend, Hints, MpiFile, OpenMode, Testbed};
 use via::ViaCost;
 
 use crate::report::{mb_per_s, Table};
-use crate::testbeds::Cell;
+use crate::testbeds::{with_dafs_client, Cell};
 
 const REQ: u64 = 1 << 20;
 const COUNT: u64 = 64;
@@ -33,8 +33,8 @@ fn run_case(use_regcache: bool) -> (f64, u64) {
     let (d, c) = (dur.clone(), cpu.clone());
     tb.run(1, move |ctx, comm, adio| {
         let host = comm.host().clone();
-        let f = MpiFile::open(ctx, adio, &host, "/big", OpenMode::open(), Hints::default())
-            .unwrap();
+        let f =
+            MpiFile::open(ctx, adio, &host, "/big", OpenMode::open(), Hints::default()).unwrap();
         let buf = host.mem.alloc(REQ as usize);
         let t0 = ctx.now();
         for _ in 0..COUNT {
@@ -46,12 +46,69 @@ fn run_case(use_regcache: bool) -> (f64, u64) {
     (mb_per_s(REQ * COUNT, dur.get()), cpu.get())
 }
 
+/// Silent invariant pass backing the table: the same direct-read workload
+/// at the protocol level, asserting the registration-cache bookkeeping
+/// balances. Any violation panics, aborting the run; nothing is printed,
+/// so the table output is unchanged.
+fn verify_regcache_invariants(use_regcache: bool) {
+    let stats = [Cell::new(), Cell::new(), Cell::new()];
+    let st = stats.clone();
+    let (_, _, _, obs) = with_dafs_client(
+        ViaCost::default(),
+        DafsServerCost::default(),
+        DafsClientConfig {
+            use_regcache,
+            ..Default::default()
+        },
+        |fs| {
+            let f = fs.create(memfs::ROOT_ID, "big").unwrap();
+            fs.write(f.id, 0, &vec![1u8; REQ as usize]).unwrap();
+        },
+        move |ctx, c, nic| {
+            let f = c.lookup(ctx, memfs::ROOT_ID, "big").unwrap();
+            let buf = nic.host().mem.alloc(REQ as usize);
+            for _ in 0..COUNT {
+                c.read(ctx, f.id, 0, buf, REQ).unwrap();
+                // Nothing is in flight between reads, so pinned bytes are
+                // exactly the cached working set: the one buffer when the
+                // cache holds it, zero when every registration is transient.
+                let expect = if use_regcache { REQ } else { 0 };
+                assert_eq!(c.regcache_pinned(), expect, "pinned bytes drifted");
+            }
+            let (hits, misses, evictions) = c.regcache_stats();
+            // Each 1 MiB direct read acquires the buffer exactly once.
+            assert_eq!(hits + misses, COUNT, "hit/miss counters must balance");
+            assert_eq!(evictions, 0, "64 MiB budget never evicts a 1 MiB set");
+            if use_regcache {
+                assert_eq!(misses, 1, "one registration, then all hits");
+            } else {
+                assert_eq!(hits, 0, "disabled cache never hits");
+            }
+            // Flush must return the pinned accounting to exactly zero.
+            c.regcache_flush(ctx);
+            assert_eq!(c.regcache_pinned(), 0, "pinned must be zero after flush");
+            st[0].set(hits);
+            st[1].set(misses);
+            st[2].set(evictions);
+        },
+    );
+    // The metrics registry and the client-local counters are independent
+    // accounting paths; they must agree.
+    let snap = obs.snapshot();
+    let counter = |n: &str| snap.get(n).map(|e| e.value()).unwrap_or(0);
+    assert_eq!(counter("dafs.regcache.hits"), stats[0].get());
+    assert_eq!(counter("dafs.regcache.misses"), stats[1].get());
+    assert_eq!(counter("dafs.regcache.evictions"), stats[2].get());
+}
+
 /// Run R-T5.
 pub fn run() -> Table {
     let mut t = Table::new(
         "R-T5: registration-cache ablation (64 x 1 MiB direct reads)",
         &["regcache", "throughput MB/s", "client CPU (ms)"],
     );
+    verify_regcache_invariants(true);
+    verify_regcache_invariants(false);
     let (on_bw, on_cpu) = run_case(true);
     let (off_bw, off_cpu) = run_case(false);
     t.row(vec![

@@ -102,7 +102,8 @@ where
     let server_nic = fabric.open_nic(cluster.add_host("server"));
     let fs = MemFs::new();
     prefill(&fs);
-    let server = dafs::spawn_dafs_server(&kernel, &fabric, server_nic, fs.clone(), PORT, server_cost);
+    let server =
+        dafs::spawn_dafs_server(&kernel, &fabric, server_nic, fs.clone(), PORT, server_cost);
     let client_host = cluster.add_host("client");
     let ch = client_host.clone();
     let sid = server.host.id;
@@ -115,6 +116,70 @@ where
     let obs = kernel.obs().clone();
     let end = kernel.run();
     (fs, server, client_host, RunObs { obs, end })
+}
+
+/// Run `clients` client actors against `servers` fresh DAFS servers, each
+/// exporting its own [`MemFs`] — the striped-topology fixture for the
+/// server-scaling experiments. Server hosts are created first, so their
+/// [`simnet::HostId`]s are `0..servers` and client hosts follow at
+/// `servers..servers+clients`; a [`FaultPlan`] can therefore target one
+/// server's links by id. Each client actor connects one session per server
+/// (in server order) before `body` runs and disconnects them all after.
+#[allow(clippy::too_many_arguments)]
+pub fn with_dafs_cluster<F>(
+    servers: usize,
+    clients: usize,
+    via_cost: ViaCost,
+    server_cost: DafsServerCost,
+    client_cfg: DafsClientConfig,
+    plan: Option<FaultPlan>,
+    prefill: impl FnOnce(&[MemFs]),
+    body: F,
+) -> (Vec<MemFs>, RunObs)
+where
+    F: Fn(&ActorCtx, usize, &[Arc<DafsClient>], &ViaNic) + Send + Sync + 'static,
+{
+    let kernel = SimKernel::new();
+    let cluster = Cluster::new();
+    let fabric = Arc::new(ViaFabric::new(via_cost));
+    if let Some(p) = plan {
+        fabric.set_fault_plan(p);
+    }
+    let mut fss = Vec::new();
+    let mut sids = Vec::new();
+    for s in 0..servers {
+        let nic = fabric.open_nic(cluster.add_host(&format!("server{s}")));
+        let fs = MemFs::new();
+        fss.push(fs.clone());
+        let h = dafs::spawn_dafs_server(&kernel, &fabric, nic, fs, PORT, server_cost);
+        sids.push(h.host.id);
+    }
+    prefill(&fss);
+    let body = Arc::new(body);
+    for i in 0..clients {
+        let fabric = fabric.clone();
+        let host = cluster.add_host(&format!("client{i}"));
+        let sids = sids.clone();
+        let body = body.clone();
+        kernel.spawn(&format!("client{i}"), move |ctx| {
+            let nic = fabric.open_nic(host.clone());
+            let cs: Vec<Arc<DafsClient>> = sids
+                .iter()
+                .map(|&sid| {
+                    Arc::new(
+                        DafsClient::connect(ctx, &fabric, &nic, sid, PORT, client_cfg).unwrap(),
+                    )
+                })
+                .collect();
+            body(ctx, i, &cs, &nic);
+            for c in &cs {
+                c.disconnect(ctx);
+            }
+        });
+    }
+    let obs = kernel.obs().clone();
+    let end = kernel.run();
+    (fss, RunObs { obs, end })
 }
 
 /// Run one client actor against a fresh NFS server.
@@ -154,7 +219,8 @@ where
     let server_host = cluster.add_host("server");
     let fs = MemFs::new();
     prefill(&fs);
-    let server = nfsv3::spawn_nfs_server(&kernel, &fabric, server_host, fs.clone(), PORT, server_cost);
+    let server =
+        nfsv3::spawn_nfs_server(&kernel, &fabric, server_host, fs.clone(), PORT, server_cost);
     let client_host = cluster.add_host("client");
     let ch = client_host.clone();
     let sid = server.host.id;

@@ -28,8 +28,15 @@ fn run_backend(backend: Backend) -> (f64, f64) {
     let (w, r) = (wns.clone(), rns.clone());
     tb.run(RANKS, move |ctx, comm, adio| {
         let host = comm.host().clone();
-        let f = MpiFile::open(ctx, adio, &host, "/bt.arr", OpenMode::create(), Hints::default())
-            .unwrap();
+        let f = MpiFile::open(
+            ctx,
+            adio,
+            &host,
+            "/bt.arr",
+            OpenMode::create(),
+            Hints::default(),
+        )
+        .unwrap();
         let slab = N / comm.size() as u64;
 
         // Phase 1: dump my slab along dim 0 (contiguous on disk).

@@ -51,7 +51,8 @@ fn prefill(fs: &MemFs) -> Vec<NodeId> {
     (0..FILES)
         .map(|i| {
             let f = fs.create(ROOT_ID, &format!("f{i}")).unwrap();
-            fs.write(f.id, 0, &vec![i as u8; (16 * IO) as usize]).unwrap();
+            fs.write(f.id, 0, &vec![i as u8; (16 * IO) as usize])
+                .unwrap();
             f.id
         })
         .collect()

@@ -126,7 +126,11 @@ fn nfs_case(seed: u64, loss: f64) -> (f64, f64, u64) {
     );
     let snap = obs.snapshot();
     let retrans = snap.get("nfs.retrans").map(|e| e.value()).unwrap_or(0);
-    (mb_per_s(FILE, wtime.get()), mb_per_s(FILE, rtime.get()), retrans)
+    (
+        mb_per_s(FILE, wtime.get()),
+        mb_per_s(FILE, rtime.get()),
+        retrans,
+    )
 }
 
 /// Run R-X4 with an explicit fault seed.

@@ -19,8 +19,8 @@ use memfs::{FileAttr, NodeId};
 use parking_lot::Mutex;
 use simnet::{ActorCtx, ByteMeter, Counter, HostId, VirtAddr};
 use via::{
-    ConnectError, DataSegment, MemAttributes, MemHandle, ProtectionTag, RecvDesc, SendDesc,
-    ViAttributes, Vi, ViState, ViaFabric, ViaNic, ViaStatus,
+    ConnectError, DataSegment, MemAttributes, MemHandle, ProtectionTag, RecvDesc, SendDesc, Vi,
+    ViAttributes, ViState, ViaFabric, ViaNic, ViaStatus,
 };
 
 use crate::cost::DafsClientConfig;
@@ -330,6 +330,18 @@ impl DafsClient {
         )
     }
 
+    /// Bytes currently pinned by the registration cache. With the cache
+    /// enabled this stays at the cached working-set size between
+    /// operations; it must return to zero after [`DafsClient::regcache_flush`].
+    pub fn regcache_pinned(&self) -> u64 {
+        self.regcache.pinned()
+    }
+
+    /// Deregister every cached registration now (also done on disconnect).
+    pub fn regcache_flush(&self, ctx: &ActorCtx) {
+        self.regcache.flush(ctx);
+    }
+
     /// The client NIC.
     pub fn nic(&self) -> &ViaNic {
         &self.nic
@@ -506,7 +518,13 @@ impl DafsClient {
         ctx.advance(backoff);
         let vi = self
             .fabric
-            .connect(ctx, &self.nic, self.server, self.port, ViAttributes::default())
+            .connect(
+                ctx,
+                &self.nic,
+                self.server,
+                self.port,
+                ViAttributes::default(),
+            )
             .map_err(DafsError::Connect)?;
         let tag = vi.ptag();
         // Responses from the dead session can never arrive.
@@ -520,7 +538,9 @@ impl DafsClient {
             }
             for _ in 0..self.config.credits {
                 let buf = self.nic.host().mem.alloc(SLOT as usize);
-                let h = self.nic.register_mem(ctx, buf, SLOT, MemAttributes::local(tag));
+                let h = self
+                    .nic
+                    .register_mem(ctx, buf, SLOT, MemAttributes::local(tag));
                 ring.push((buf, h));
             }
         }
@@ -532,7 +552,9 @@ impl DafsClient {
             }
             for _ in 0..self.config.credits {
                 let buf = self.nic.host().mem.alloc(SLOT as usize);
-                let h = self.nic.register_mem(ctx, buf, SLOT, MemAttributes::local(tag));
+                let h = self
+                    .nic
+                    .register_mem(ctx, buf, SLOT, MemAttributes::local(tag));
                 vi.post_recv(
                     ctx,
                     RecvDesc::new(vec![DataSegment::new(buf, SLOT as u32, h)]),
@@ -729,7 +751,10 @@ impl DafsClient {
             "xfer",
             &[
                 ("op", obs::Value::Str("read")),
-                ("mode", obs::Value::Str(if direct { "direct" } else { "inline" })),
+                (
+                    "mode",
+                    obs::Value::Str(if direct { "direct" } else { "inline" }),
+                ),
                 ("len", obs::Value::U64(len)),
             ],
         );
@@ -738,7 +763,11 @@ impl DafsClient {
         }
         let (handle, transient) = self.regcache.acquire(ctx, dst, len);
         let mut e = Enc::new();
-        e.u64(fh.0).u64(off).u64(len).u64(dst.as_u64()).u64(handle.0);
+        e.u64(fh.0)
+            .u64(off)
+            .u64(len)
+            .u64(dst.as_u64())
+            .u64(handle.0);
         let r = self.call_once(ctx, DafsOp::ReadDirect, &mut e);
         self.regcache.release(ctx, handle, transient);
         let payload = match r {
@@ -771,7 +800,9 @@ impl DafsClient {
             let mut e = Enc::new();
             e.u64(fh.0).u64(off).u64(n);
             let payload = self.call(ctx, DafsOp::ReadInline, &mut e)?;
-            let data = Dec::new(&payload).bytes().map_err(|_| DafsError::Protocol)?;
+            let data = Dec::new(&payload)
+                .bytes()
+                .map_err(|_| DafsError::Protocol)?;
             // Copy out of the message buffer into the user buffer.
             self.nic
                 .host()
@@ -807,14 +838,21 @@ impl DafsClient {
             "xfer",
             &[
                 ("op", obs::Value::Str("write")),
-                ("mode", obs::Value::Str(if direct { "direct" } else { "inline" })),
+                (
+                    "mode",
+                    obs::Value::Str(if direct { "direct" } else { "inline" }),
+                ),
                 ("len", obs::Value::U64(len)),
             ],
         );
         if direct {
             let (handle, transient) = self.regcache.acquire(ctx, src, len);
             let mut e = Enc::new();
-            e.u64(fh.0).u64(off).u64(len).u64(src.as_u64()).u64(handle.0);
+            e.u64(fh.0)
+                .u64(off)
+                .u64(len)
+                .u64(src.as_u64())
+                .u64(handle.0);
             let r = self.call_once(ctx, DafsOp::WriteDirect, &mut e);
             self.regcache.release(ctx, handle, transient);
             let a = match r {
@@ -929,7 +967,14 @@ impl DafsClient {
         let mut subs = Vec::new();
         for (i, r) in reqs.iter().enumerate() {
             if self.is_direct(r.len) {
-                subs.push(Sub { owner: i, fh: r.fh, off: r.off, addr: r.dst, len: r.len, direct: true });
+                subs.push(Sub {
+                    owner: i,
+                    fh: r.fh,
+                    off: r.off,
+                    addr: r.dst,
+                    len: r.len,
+                    direct: true,
+                });
             } else {
                 let mut done = 0u64;
                 loop {
@@ -957,7 +1002,14 @@ impl DafsClient {
         let mut subs = Vec::new();
         for (i, r) in reqs.iter().enumerate() {
             if self.is_direct(r.len) && direct_ok {
-                subs.push(Sub { owner: i, fh: r.fh, off: r.off, addr: r.src, len: r.len, direct: true });
+                subs.push(Sub {
+                    owner: i,
+                    fh: r.fh,
+                    off: r.off,
+                    addr: r.src,
+                    len: r.len,
+                    direct: true,
+                });
             } else {
                 let mut done = 0u64;
                 loop {
@@ -987,7 +1039,11 @@ impl DafsClient {
             (BatchDir::Read, true) => {
                 let (handle, transient) = self.regcache.acquire(ctx, sb.addr, sb.len);
                 let mut e = Enc::new();
-                e.u64(sb.fh.0).u64(sb.off).u64(sb.len).u64(sb.addr.as_u64()).u64(handle.0);
+                e.u64(sb.fh.0)
+                    .u64(sb.off)
+                    .u64(sb.len)
+                    .u64(sb.addr.as_u64())
+                    .u64(handle.0);
                 let id = self.post_request(ctx, DafsOp::ReadDirect, &mut e);
                 (id, handle, transient)
             }
@@ -1000,7 +1056,11 @@ impl DafsClient {
             (BatchDir::Write, true) => {
                 let (handle, transient) = self.regcache.acquire(ctx, sb.addr, sb.len);
                 let mut e = Enc::new();
-                e.u64(sb.fh.0).u64(sb.off).u64(sb.len).u64(sb.addr.as_u64()).u64(handle.0);
+                e.u64(sb.fh.0)
+                    .u64(sb.off)
+                    .u64(sb.len)
+                    .u64(sb.addr.as_u64())
+                    .u64(handle.0);
                 let id = self.post_request(ctx, DafsOp::WriteDirect, &mut e);
                 self.stats.direct_writes.record(sb.len);
                 ctx.metrics().byte_meter("dafs.direct.bytes").record(sb.len);
@@ -1030,13 +1090,7 @@ impl DafsClient {
 
     /// Decode one sub-response and perform its client-side completion work
     /// (inline-read copy into the destination buffer, transfer stats).
-    fn sub_payload(
-        &self,
-        ctx: &ActorCtx,
-        dir: BatchDir,
-        sb: &Sub,
-        resp: &[u8],
-    ) -> DafsResult<u64> {
+    fn sub_payload(&self, ctx: &ActorCtx, dir: BatchDir, sb: &Sub, resp: &[u8]) -> DafsResult<u64> {
         let mut d = Dec::new(resp);
         let (_, status) = proto::dec_resp_header(&mut d).map_err(|_| DafsError::Protocol)?;
         if status != DafsStatus::Ok {

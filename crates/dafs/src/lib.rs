@@ -26,11 +26,15 @@ mod wire;
 
 pub mod cost;
 pub mod regcache;
+pub mod striped;
 
-pub use client::{DafsBatch, DafsClient, DafsClientStats, DafsError, DafsResult, ReadReq, WriteReq};
+pub use client::{
+    DafsBatch, DafsClient, DafsClientStats, DafsError, DafsResult, ReadReq, WriteReq,
+};
 pub use cost::{DafsClientConfig, DafsServerCost};
 pub use proto::{DafsOp, DafsStatus, ServerCaps};
 pub use server::{spawn_dafs_server, DafsServerHandle, DafsServerStats};
+pub use striped::{DafsStripedBatch, DafsStripedFile};
 
 #[cfg(test)]
 mod tests {
@@ -473,7 +477,10 @@ mod tests {
                     // Header: record length, so the scanner can walk it.
                     rec[0] = (len / 100) as u8;
                     let off = c.append(ctx, f.id, &rec).unwrap();
-                    assert!((off as usize).is_multiple_of(100), "records are 100-byte multiples");
+                    assert!(
+                        (off as usize).is_multiple_of(100),
+                        "records are 100-byte multiples"
+                    );
                 }
                 c.disconnect(ctx);
             });
@@ -566,7 +573,10 @@ mod tests {
         }
         b.kernel.run();
         let t = got_lock.load(Ordering::Relaxed);
-        assert!(t > 500_000, "waiter must block until the holder vanished: {t}");
+        assert!(
+            t > 500_000,
+            "waiter must block until the holder vanished: {t}"
+        );
     }
 
     #[test]

@@ -18,12 +18,20 @@ struct Entry {
     len: u64,
     handle: MemHandle,
     last_use: u64,
+    /// Outstanding acquisitions (hits and fresh registrations both pin);
+    /// [`RegCache::release`] unpins. Entries with `refs > 0` are never
+    /// evicted — an in-flight RDMA op still holds the handle.
+    refs: u64,
 }
 
 struct CacheState {
     /// Keyed by base address; containment queries scan (few live buffers in
     /// practice — MPI-IO reuses its transfer buffers).
     entries: HashMap<u64, Entry>,
+    /// Registrations displaced by a same-base re-registration while an op
+    /// still held them: no longer served to new acquires, deregistered on
+    /// final release. Their bytes stay in `pinned` until then.
+    retired: Vec<Entry>,
     pinned: u64,
     tick: u64,
 }
@@ -65,6 +73,7 @@ impl RegCache {
             enabled,
             state: Mutex::new(CacheState {
                 entries: HashMap::new(),
+                retired: Vec::new(),
                 pinned: 0,
                 tick: 0,
             }),
@@ -75,8 +84,10 @@ impl RegCache {
     }
 
     /// Obtain a registration covering `[addr, addr+len)`. Returns the
-    /// handle and, when the cache is disabled, a token obliging the caller
-    /// to [`release`](RegCache::release) it.
+    /// handle and, when the cache is disabled, a token marking it
+    /// transient. Every acquisition — hit or fresh registration — pins the
+    /// entry against eviction; the caller must [`release`](RegCache::release)
+    /// the handle once the operation using it has completed.
     pub fn acquire(&self, ctx: &ActorCtx, addr: VirtAddr, len: u64) -> (MemHandle, bool) {
         let ptag = *self.ptag.lock();
         if !self.enabled {
@@ -94,6 +105,7 @@ impl RegCache {
         for e in st.entries.values_mut() {
             if addr >= e.base && addr.as_u64() + len <= e.base.as_u64() + e.len {
                 e.last_use = tick;
+                e.refs += 1;
                 self.hits.inc();
                 ctx.metrics().counter("dafs.regcache.hits").inc();
                 return (e.handle, false);
@@ -101,14 +113,33 @@ impl RegCache {
         }
         self.misses.inc();
         ctx.metrics().counter("dafs.regcache.misses").inc();
-        // Evict LRU entries until the new buffer fits.
-        while st.pinned + len > self.capacity && !st.entries.is_empty() {
-            let lru = *st
+        // Same base, shorter registration: the insert below would orphan
+        // the old entry's NIC registration and leak its bytes from the
+        // accounting. Deregister it now (or park it on the retired list
+        // until its in-flight ops release it) and register the longer one.
+        if let Some(old) = st.entries.remove(&addr.as_u64()) {
+            if old.refs > 0 {
+                st.retired.push(old);
+            } else {
+                st.pinned -= old.len;
+                self.nic
+                    .deregister_mem(ctx, old.handle)
+                    .expect("cache entry must be live");
+            }
+        }
+        // Evict LRU entries until the new buffer fits. Entries with
+        // outstanding acquisitions are skipped — deregistering under an
+        // in-flight RDMA op would invalidate its handle. If only pinned
+        // entries remain we register over budget rather than break a
+        // live transfer.
+        while st.pinned + len > self.capacity {
+            let lru = st
                 .entries
                 .iter()
+                .filter(|(_, e)| e.refs == 0)
                 .min_by_key(|(_, e)| e.last_use)
-                .map(|(k, _)| k)
-                .unwrap();
+                .map(|(k, _)| *k);
+            let Some(lru) = lru else { break };
             let e = st.entries.remove(&lru).unwrap();
             st.pinned -= e.len;
             self.evictions.inc();
@@ -128,24 +159,51 @@ impl RegCache {
                 len,
                 handle,
                 last_use: tick,
+                refs: 1,
             },
         );
         (handle, false)
     }
 
-    /// Release a transient (cache-disabled) registration.
+    /// Release one acquisition of `handle`. Transient (cache-disabled)
+    /// registrations are deregistered outright; cached ones are unpinned,
+    /// making them evictable again once no acquisition holds them. A
+    /// retired registration (displaced by a same-base re-registration) is
+    /// deregistered on its final release. Releasing a handle the cache no
+    /// longer knows (flushed by a reconnect under an in-flight op) is a
+    /// no-op — the registration died with the session.
     pub fn release(&self, ctx: &ActorCtx, handle: MemHandle, transient: bool) {
         if transient {
             self.nic
                 .deregister_mem(ctx, handle)
                 .expect("transient handle must be live");
+            return;
+        }
+        let mut st = self.state.lock();
+        if let Some(e) = st.entries.values_mut().find(|e| e.handle == handle) {
+            e.refs = e.refs.saturating_sub(1);
+            return;
+        }
+        if let Some(i) = st.retired.iter().position(|e| e.handle == handle) {
+            st.retired[i].refs = st.retired[i].refs.saturating_sub(1);
+            if st.retired[i].refs == 0 {
+                let e = st.retired.swap_remove(i);
+                st.pinned -= e.len;
+                let _ = self.nic.deregister_mem(ctx, e.handle);
+            }
         }
     }
 
-    /// Drop every cached registration (session teardown).
+    /// Drop every cached registration (session teardown). Pinned entries
+    /// are dropped too: the session — and with it every in-flight op that
+    /// held a handle — is already gone, and [`RegCache::release`] treats
+    /// their late releases as no-ops.
     pub fn flush(&self, ctx: &ActorCtx) {
         let mut st = self.state.lock();
         for (_, e) in st.entries.drain() {
+            let _ = self.nic.deregister_mem(ctx, e.handle);
+        }
+        for e in st.retired.drain(..) {
             let _ = self.nic.deregister_mem(ctx, e.handle);
         }
         st.pinned = 0;
@@ -175,7 +233,11 @@ mod tests {
         MemAttributes::rdma_write_target(ptag)
     }
 
-    fn with_cache(capacity: u64, enabled: bool, f: impl Fn(&ActorCtx, &RegCache, &ViaNic) + Send + 'static) {
+    fn with_cache(
+        capacity: u64,
+        enabled: bool,
+        f: impl Fn(&ActorCtx, &RegCache, &ViaNic) + Send + 'static,
+    ) {
         let kernel = SimKernel::new();
         let cluster = Cluster::new();
         let host = cluster.add_host("h");
@@ -215,24 +277,105 @@ mod tests {
         });
     }
 
+    /// Acquire and immediately release (the steady state between ops).
+    fn touch(ctx: &ActorCtx, cache: &RegCache, addr: VirtAddr, len: u64) -> MemHandle {
+        let (h, t) = cache.acquire(ctx, addr, len);
+        cache.release(ctx, h, t);
+        h
+    }
+
     #[test]
     fn lru_eviction_respects_capacity() {
         with_cache(128 << 10, true, |ctx, cache, nic| {
             let a = nic.host().mem.alloc(64 << 10);
             let b = nic.host().mem.alloc(64 << 10);
             let c = nic.host().mem.alloc(64 << 10);
-            cache.acquire(ctx, a, 64 << 10);
-            cache.acquire(ctx, b, 64 << 10);
+            touch(ctx, cache, a, 64 << 10);
+            touch(ctx, cache, b, 64 << 10);
             // Touch a so b is LRU.
-            cache.acquire(ctx, a, 64 << 10);
-            cache.acquire(ctx, c, 64 << 10); // evicts b
+            touch(ctx, cache, a, 64 << 10);
+            touch(ctx, cache, c, 64 << 10); // evicts b
             assert_eq!(cache.evictions.get(), 1);
             assert_eq!(cache.pinned(), 128 << 10);
             // a still cached, b gone.
-            cache.acquire(ctx, a, 64 << 10);
+            touch(ctx, cache, a, 64 << 10);
             assert_eq!(cache.hits.get(), 2);
-            cache.acquire(ctx, b, 64 << 10); // miss again (re-registers, evicting LRU)
+            touch(ctx, cache, b, 64 << 10); // miss again (re-registers, evicting LRU)
             assert_eq!(cache.misses.get(), 4);
+        });
+    }
+
+    #[test]
+    fn same_base_regrow_keeps_pinned_exact() {
+        // Re-acquiring the same base with a larger len used to orphan the
+        // old registration: never deregistered, its bytes never subtracted
+        // from `pinned`.
+        with_cache(1 << 20, true, |ctx, cache, nic| {
+            let buf = nic.host().mem.alloc(8 << 10);
+            touch(ctx, cache, buf, 4 << 10);
+            assert_eq!(cache.pinned(), 4 << 10);
+            touch(ctx, cache, buf, 8 << 10); // same base, longer: replaces
+            assert_eq!(cache.pinned(), 8 << 10, "old len must leave pinned");
+            assert_eq!(
+                nic.table().live_regions(),
+                1,
+                "old registration must be torn down"
+            );
+            let (regs, _, deregs) = nic.registration_stats();
+            assert_eq!((regs, deregs), (2, 1));
+            // The longer registration serves sub-range hits.
+            touch(ctx, cache, buf, 4 << 10);
+            assert_eq!(cache.hits.get(), 1);
+        });
+    }
+
+    #[test]
+    fn overwrite_under_hold_defers_deregistration() {
+        with_cache(1 << 20, true, |ctx, cache, nic| {
+            let buf = nic.host().mem.alloc(8 << 10);
+            let (h1, _) = cache.acquire(ctx, buf, 4 << 10); // held across the regrow
+            let (h2, t2) = cache.acquire(ctx, buf, 8 << 10);
+            assert_ne!(h1, h2);
+            // Both registrations are live and accounted while h1 is held.
+            assert_eq!(cache.pinned(), 12 << 10);
+            assert_eq!(nic.table().live_regions(), 2);
+            // Final release of the displaced registration tears it down.
+            cache.release(ctx, h1, false);
+            assert_eq!(cache.pinned(), 8 << 10);
+            assert_eq!(nic.table().live_regions(), 1);
+            cache.release(ctx, h2, t2);
+            assert_eq!(cache.pinned(), 8 << 10);
+        });
+    }
+
+    #[test]
+    fn eviction_never_invalidates_held_handle() {
+        // Capacity pressure while handles are outstanding: the cache must
+        // not deregister a handle an in-flight op still uses. It registers
+        // over budget instead and catches up once the holds drop.
+        with_cache(128 << 10, true, |ctx, cache, nic| {
+            let a = nic.host().mem.alloc(64 << 10);
+            let b = nic.host().mem.alloc(64 << 10);
+            let c = nic.host().mem.alloc(64 << 10);
+            let (ha, ta) = cache.acquire(ctx, a, 64 << 10);
+            let (hb, tb) = cache.acquire(ctx, b, 64 << 10);
+            // Over-capacity acquire with every entry held by an op.
+            let (hc, tc) = cache.acquire(ctx, c, 64 << 10);
+            assert_eq!(cache.evictions.get(), 0, "held handles must not be evicted");
+            assert_eq!(
+                nic.table().live_regions(),
+                3,
+                "a and b must stay registered"
+            );
+            assert_eq!(cache.pinned(), 192 << 10, "temporarily over budget");
+            cache.release(ctx, ha, ta);
+            cache.release(ctx, hb, tb);
+            cache.release(ctx, hc, tc);
+            // With the holds gone, the next miss evicts back under budget.
+            let d = nic.host().mem.alloc(64 << 10);
+            touch(ctx, cache, d, 64 << 10);
+            assert_eq!(cache.evictions.get(), 2);
+            assert_eq!(cache.pinned(), 128 << 10);
         });
     }
 

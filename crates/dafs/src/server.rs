@@ -24,8 +24,8 @@ use std::collections::{HashMap, VecDeque};
 use memfs::{MemFs, NodeId, SetAttr};
 use simnet::{ActorCtx, ByteMeter, Counter, Host, Port, SimKernel, VirtAddr};
 use via::{
-    Cq, DataSegment, MemAttributes, MemHandle, RecvDesc, RemoteSegment, SendDesc, ViAttributes,
-    Vi, ViId, ViState, ViaFabric, ViaNic, ViaStatus, WhichQueue,
+    Cq, DataSegment, MemAttributes, MemHandle, RecvDesc, RemoteSegment, SendDesc, Vi, ViAttributes,
+    ViId, ViState, ViaFabric, ViaNic, ViaStatus, WhichQueue,
 };
 
 use crate::cost::DafsServerCost;

@@ -1,0 +1,493 @@
+//! Round-robin striping of one logical file across several DAFS servers.
+//!
+//! The paper measures a single server; the striped driver is the scaling
+//! step beyond it (ViPIOS-style data distribution over I/O server
+//! processes). A [`DafsStripedFile`] holds one established session per
+//! server plus the per-server piece file, and round-robin stripes fixed
+//! `stripe_size` blocks of the logical byte stream across the servers:
+//! logical block `g` (bytes `[g*stripe, (g+1)*stripe)`) lives on server
+//! `g % n` at local block index `g / n`. Each server therefore stores a
+//! dense local **piece file** — no holes — which keeps per-server space
+//! accounting and truncation exact.
+//!
+//! Data ops decompose a contiguous logical range into per-server pieces
+//! and fan them out through the per-session batch machinery
+//! ([`DafsClient::read_batch_begin`] et al.), so every server's credit
+//! window fills at issue time and the servers stream concurrently. A range
+//! that lands on a single server (always the case for one server, since
+//! the local offsets then equal the logical offsets) delegates straight to
+//! the session's synchronous [`DafsClient::read`]/[`DafsClient::write`] —
+//! byte- and timing-identical to the unstriped client.
+
+use std::sync::Arc;
+
+use memfs::NodeId;
+use simnet::{ActorCtx, VirtAddr};
+
+use crate::client::{DafsBatch, DafsClient, DafsResult, ReadReq, WriteReq};
+
+/// One contiguous fragment of a logical range on one server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Piece {
+    /// Server index.
+    server: usize,
+    /// Offset in the server's local piece file.
+    local: u64,
+    /// Offset of this fragment within the caller's buffer.
+    rel: u64,
+    /// Fragment length in bytes.
+    len: u64,
+}
+
+/// Decompose the contiguous logical range `[off, off+len)` over `n`
+/// servers with `stripe`-byte blocks, in stream order. Adjacent fragments
+/// that stay on one server with contiguous local and buffer offsets are
+/// merged, so a single-server layout yields exactly one piece.
+fn split_range(n: u64, stripe: u64, off: u64, len: u64) -> Vec<Piece> {
+    let mut out: Vec<Piece> = Vec::new();
+    let mut cur = off;
+    let end = off + len;
+    while cur < end {
+        let g = cur / stripe;
+        let within = cur % stripe;
+        let take = (stripe - within).min(end - cur);
+        let piece = Piece {
+            server: (g % n) as usize,
+            local: (g / n) * stripe + within,
+            rel: cur - off,
+            len: take,
+        };
+        match out.last_mut() {
+            Some(p)
+                if p.server == piece.server
+                    && p.local + p.len == piece.local
+                    && p.rel + p.len == piece.rel =>
+            {
+                p.len += take;
+            }
+            _ => out.push(piece),
+        }
+        cur += take;
+    }
+    out
+}
+
+/// Logical end of a `piece`-byte piece file on server `s`: its last byte
+/// sits in logical block `((piece-1)/stripe)*n + s`, at offset
+/// `(piece-1) % stripe` within it.
+fn logical_end(n: u64, stripe: u64, s: u64, piece: u64) -> u64 {
+    if piece == 0 {
+        return 0;
+    }
+    let last = piece - 1;
+    ((last / stripe) * n + s) * stripe + last % stripe + 1
+}
+
+/// Server `s`'s piece-file length for a logical file of `size` bytes: with
+/// `full = size / stripe` whole blocks round-robined, server `s` holds
+/// `full/n` of them (+1 when `s < full % n`), and the partial tail block
+/// of `size % stripe` bytes lands on server `full % n`.
+fn piece_len(n: u64, stripe: u64, s: u64, size: u64) -> u64 {
+    let full = size / stripe;
+    let rem = size % stripe;
+    let mut piece = (full / n + u64::from(s < full % n)) * stripe;
+    if rem > 0 && s == full % n {
+        piece += rem;
+    }
+    piece
+}
+
+/// An in-flight striped batch: at most one per [`DafsStripedFile`] (each
+/// underlying session allows one outstanding [`DafsBatch`]).
+pub struct DafsStripedBatch {
+    per_server: Vec<Option<DafsBatch>>,
+}
+
+impl DafsStripedBatch {
+    /// Sub-requests posted but not yet retired, across all servers.
+    pub fn in_flight(&self) -> usize {
+        self.per_server
+            .iter()
+            .flatten()
+            .map(|b| b.in_flight())
+            .sum()
+    }
+}
+
+/// One logical file striped over N DAFS sessions.
+pub struct DafsStripedFile {
+    clients: Vec<Arc<DafsClient>>,
+    /// Per-server piece file (same index as `clients`).
+    fhs: Vec<NodeId>,
+    stripe: u64,
+}
+
+impl DafsStripedFile {
+    /// Assemble a striped file from established sessions and the
+    /// per-server piece-file handles (one per server, same order).
+    pub fn new(
+        clients: Vec<Arc<DafsClient>>,
+        fhs: Vec<NodeId>,
+        stripe_size: u64,
+    ) -> DafsStripedFile {
+        assert!(
+            !clients.is_empty(),
+            "striped file needs at least one server"
+        );
+        assert_eq!(clients.len(), fhs.len(), "one piece file per server");
+        assert!(stripe_size > 0, "stripe size must be nonzero");
+        DafsStripedFile {
+            clients,
+            fhs,
+            stripe: stripe_size,
+        }
+    }
+
+    /// Number of servers the file stripes over.
+    pub fn servers(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// The stripe (block) size in bytes.
+    pub fn stripe_size(&self) -> u64 {
+        self.stripe
+    }
+
+    /// The session for server `s` (bench harnesses use this for stats).
+    pub fn client(&self, s: usize) -> &Arc<DafsClient> {
+        &self.clients[s]
+    }
+
+    /// Decompose the contiguous logical range `[off, off+len)` into
+    /// per-server pieces, in stream order.
+    fn split(&self, off: u64, len: u64) -> Vec<Piece> {
+        split_range(self.clients.len() as u64, self.stripe, off, len)
+    }
+
+    /// Group pieces into per-server request lists, preserving stream order
+    /// within each server. Returns `(per-server indices into pieces)`.
+    fn per_server<'a>(&self, pieces: &'a [Piece]) -> Vec<Vec<&'a Piece>> {
+        let mut by_server: Vec<Vec<&Piece>> = vec![Vec::new(); self.clients.len()];
+        for p in pieces {
+            by_server[p.server].push(p);
+        }
+        by_server
+    }
+
+    // ----- synchronous data path ------------------------------------------
+
+    /// Read `len` logical bytes at `off` into `dst`. Returns bytes read in
+    /// stream order (short at the logical EOF).
+    pub fn read(&self, ctx: &ActorCtx, off: u64, dst: VirtAddr, len: u64) -> DafsResult<u64> {
+        let pieces = self.split(off, len);
+        if let [p] = pieces.as_slice() {
+            // Single server: delegate — identical op stream to an
+            // unstriped session.
+            return self.clients[p.server].read(ctx, self.fhs[p.server], p.local, dst, p.len);
+        }
+        let mut counts = vec![0u64; pieces.len()];
+        {
+            let by_server = self.per_server(&pieces);
+            let mut batches: Vec<Option<DafsBatch>> = Vec::with_capacity(self.clients.len());
+            // Issue every server's batch before finishing any, so all
+            // credit windows fill and the servers stream concurrently.
+            for (s, ps) in by_server.iter().enumerate() {
+                if ps.is_empty() {
+                    batches.push(None);
+                    continue;
+                }
+                let reqs: Vec<ReadReq> = ps
+                    .iter()
+                    .map(|p| ReadReq {
+                        fh: self.fhs[s],
+                        off: p.local,
+                        dst: dst.offset(p.rel),
+                        len: p.len,
+                    })
+                    .collect();
+                batches.push(Some(self.clients[s].read_batch_begin(ctx, &reqs)));
+            }
+            for (s, b) in batches.into_iter().enumerate() {
+                let Some(b) = b else { continue };
+                let rs = self.clients[s].batch_finish(ctx, b);
+                let mut it = rs.into_iter();
+                for (pi, p) in pieces.iter().enumerate() {
+                    if p.server == s {
+                        counts[pi] = it.next().expect("one result per sub-request")?;
+                    }
+                }
+            }
+        }
+        // Stream-order total: stop counting at the first short piece (a
+        // hole past the logical EOF).
+        let mut total = 0;
+        for (pi, p) in pieces.iter().enumerate() {
+            total += counts[pi];
+            if counts[pi] < p.len {
+                break;
+            }
+        }
+        Ok(total)
+    }
+
+    /// Write `len` logical bytes at `off` from `src`.
+    pub fn write(&self, ctx: &ActorCtx, off: u64, src: VirtAddr, len: u64) -> DafsResult<()> {
+        let pieces = self.split(off, len);
+        if let [p] = pieces.as_slice() {
+            return self.clients[p.server]
+                .write(ctx, self.fhs[p.server], p.local, src, p.len)
+                .map(|_| ());
+        }
+        let by_server = self.per_server(&pieces);
+        let mut batches: Vec<Option<DafsBatch>> = Vec::with_capacity(self.clients.len());
+        for (s, ps) in by_server.iter().enumerate() {
+            if ps.is_empty() {
+                batches.push(None);
+                continue;
+            }
+            let reqs: Vec<WriteReq> = ps
+                .iter()
+                .map(|p| WriteReq {
+                    fh: self.fhs[s],
+                    off: p.local,
+                    src: src.offset(p.rel),
+                    len: p.len,
+                })
+                .collect();
+            batches.push(Some(self.clients[s].write_batch_begin(ctx, &reqs)));
+        }
+        let mut first_err = None;
+        for (s, b) in batches.into_iter().enumerate() {
+            let Some(b) = b else { continue };
+            for r in self.clients[s].batch_finish(ctx, b) {
+                if let (Err(e), None) = (r, &first_err) {
+                    first_err = Some(e);
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    // ----- split-phase batch path -----------------------------------------
+
+    /// Issue a batch of logical-range reads across all servers and return
+    /// immediately; every server's credit window is filled before the
+    /// first completion is awaited, so window drains overlap across
+    /// servers. At most one striped batch may be outstanding per file.
+    pub fn read_batch_begin(
+        &self,
+        ctx: &ActorCtx,
+        reqs: &[(u64, VirtAddr, u64)],
+    ) -> DafsStripedBatch {
+        let mut per: Vec<Vec<ReadReq>> = vec![Vec::new(); self.clients.len()];
+        for (off, dst, len) in reqs {
+            for p in self.split(*off, *len) {
+                per[p.server].push(ReadReq {
+                    fh: self.fhs[p.server],
+                    off: p.local,
+                    dst: dst.offset(p.rel),
+                    len: p.len,
+                });
+            }
+        }
+        DafsStripedBatch {
+            per_server: per
+                .into_iter()
+                .enumerate()
+                .map(|(s, rs)| (!rs.is_empty()).then(|| self.clients[s].read_batch_begin(ctx, &rs)))
+                .collect(),
+        }
+    }
+
+    /// Issue a batch of logical-range writes across all servers; the
+    /// split-phase write analogue of [`DafsStripedFile::read_batch_begin`].
+    pub fn write_batch_begin(
+        &self,
+        ctx: &ActorCtx,
+        reqs: &[(u64, VirtAddr, u64)],
+    ) -> DafsStripedBatch {
+        let mut per: Vec<Vec<WriteReq>> = vec![Vec::new(); self.clients.len()];
+        for (off, src, len) in reqs {
+            for p in self.split(*off, *len) {
+                per[p.server].push(WriteReq {
+                    fh: self.fhs[p.server],
+                    off: p.local,
+                    src: src.offset(p.rel),
+                    len: p.len,
+                });
+            }
+        }
+        DafsStripedBatch {
+            per_server: per
+                .into_iter()
+                .enumerate()
+                .map(|(s, ws)| {
+                    (!ws.is_empty()).then(|| self.clients[s].write_batch_begin(ctx, &ws))
+                })
+                .collect(),
+        }
+    }
+
+    /// Nonblocking progress poll: retires completions that already arrived
+    /// on every server (freeing credits for queued sub-requests) and
+    /// returns true once the whole striped batch is drained.
+    pub fn batch_test(&self, ctx: &ActorCtx, b: &mut DafsStripedBatch) -> bool {
+        let mut done = true;
+        for (s, ob) in b.per_server.iter_mut().enumerate() {
+            if let Some(batch) = ob {
+                if !self.clients[s].batch_test(ctx, batch) {
+                    done = false;
+                }
+            }
+        }
+        done
+    }
+
+    /// Block until every server's half of the batch completes; returns
+    /// total bytes transferred (first error wins). Finishing is sequential
+    /// per server, but each server's window was posted at begin time, so
+    /// waiting on server 0 overlaps with servers 1..N streaming.
+    pub fn batch_finish(&self, ctx: &ActorCtx, b: DafsStripedBatch) -> DafsResult<u64> {
+        let mut total = 0;
+        let mut first_err = None;
+        for (s, ob) in b.per_server.into_iter().enumerate() {
+            let Some(batch) = ob else { continue };
+            for r in self.clients[s].batch_finish(ctx, batch) {
+                match (r, &first_err) {
+                    (Ok(n), _) => total += n,
+                    (Err(e), None) => first_err = Some(e),
+                    (Err(_), Some(_)) => {}
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(total),
+        }
+    }
+
+    // ----- metadata -------------------------------------------------------
+
+    /// Logical file size: the inverse of the block map — the maximum
+    /// logical end over the servers' piece files.
+    pub fn get_size(&self, ctx: &ActorCtx) -> DafsResult<u64> {
+        let n = self.clients.len() as u64;
+        let mut size = 0u64;
+        for (s, c) in self.clients.iter().enumerate() {
+            let p = c.getattr(ctx, self.fhs[s])?.size;
+            size = size.max(logical_end(n, self.stripe, s as u64, p));
+        }
+        Ok(size)
+    }
+
+    /// Truncate / extend the logical file to `size` bytes by truncating
+    /// each server's piece file to its share of the block map.
+    pub fn set_size(&self, ctx: &ActorCtx, size: u64) -> DafsResult<()> {
+        let n = self.clients.len() as u64;
+        for (s, c) in self.clients.iter().enumerate() {
+            c.truncate(ctx, self.fhs[s], piece_len(n, self.stripe, s as u64, size))?;
+        }
+        Ok(())
+    }
+
+    /// Flush every server's piece file.
+    pub fn flush(&self, ctx: &ActorCtx) -> DafsResult<()> {
+        for (s, c) in self.clients.iter().enumerate() {
+            c.flush(ctx, self.fhs[s])?;
+        }
+        Ok(())
+    }
+
+    /// Whole-file lock: server 0 is the lock authority (every client locks
+    /// through the same server, so the lock is global).
+    pub fn lock(&self, ctx: &ActorCtx) -> DafsResult<()> {
+        self.clients[0].lock(ctx, self.fhs[0])
+    }
+
+    /// Release the whole-file lock.
+    pub fn unlock(&self, ctx: &ActorCtx) -> DafsResult<()> {
+        self.clients[0].unlock(ctx, self.fhs[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Stripe math only; the data paths are covered by the integration
+    /// tests in `mpiio` and the R-F8 experiment.
+    fn split_for(n: usize, stripe: u64, off: u64, len: u64) -> Vec<(usize, u64, u64, u64)> {
+        split_range(n as u64, stripe, off, len)
+            .into_iter()
+            .map(|p| (p.server, p.local, p.rel, p.len))
+            .collect()
+    }
+
+    #[test]
+    fn single_server_is_one_identity_piece() {
+        assert_eq!(split_for(1, 4096, 0, 20_000), vec![(0, 0, 0, 20_000)]);
+        assert_eq!(split_for(1, 4096, 777, 5000), vec![(0, 777, 0, 5000)]);
+    }
+
+    #[test]
+    fn two_servers_alternate_blocks() {
+        // Blocks 0,2 → server 0 local blocks 0,1; blocks 1,3 → server 1.
+        assert_eq!(
+            split_for(2, 100, 0, 400),
+            vec![
+                (0, 0, 0, 100),
+                (1, 0, 100, 100),
+                (0, 100, 200, 100),
+                (1, 100, 300, 100),
+            ]
+        );
+        // Unaligned start and end.
+        assert_eq!(
+            split_for(2, 100, 150, 100),
+            vec![(1, 50, 0, 50), (0, 100, 50, 50)]
+        );
+    }
+
+    #[test]
+    fn size_math_round_trips() {
+        for n in 1u64..=4 {
+            for stripe in [1u64, 7, 100, 4096] {
+                for size in [0u64, 1, 99, 100, 101, 350, 4096, 12_345] {
+                    let pieces: Vec<u64> = (0..n).map(|s| piece_len(n, stripe, s, size)).collect();
+                    // Pieces partition the logical bytes exactly.
+                    assert_eq!(
+                        pieces.iter().sum::<u64>(),
+                        size,
+                        "n={n} stripe={stripe} size={size}"
+                    );
+                    // And the inverse map recovers the logical size.
+                    let recovered = (0..n)
+                        .map(|s| logical_end(n, stripe, s, pieces[s as usize]))
+                        .max()
+                        .unwrap();
+                    assert_eq!(recovered, size, "n={n} stripe={stripe} size={size}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pieces_tile_the_range_exactly() {
+        for n in [1usize, 2, 3, 4] {
+            for (off, len) in [(0u64, 1000u64), (37, 1), (99, 301), (256, 4096)] {
+                let ps = split_for(n, 128, off, len);
+                let total: u64 = ps.iter().map(|p| p.3).sum();
+                assert_eq!(total, len, "n={n} off={off} len={len}");
+                // rel offsets are dense and in order.
+                let mut rel = 0;
+                for p in &ps {
+                    assert_eq!(p.2, rel, "n={n} off={off} len={len}");
+                    rel += p.3;
+                }
+            }
+        }
+    }
+}

@@ -133,7 +133,11 @@ mod tests {
     #[test]
     fn roundtrip_mixed() {
         let mut e = Enc::new();
-        e.u8(7).u32(0xABCD).u64(1 << 40).str("file.dat").bytes(b"xyz");
+        e.u8(7)
+            .u32(0xABCD)
+            .u64(1 << 40)
+            .str("file.dat")
+            .bytes(b"xyz");
         let b = e.finish();
         let mut d = Dec::new(&b);
         assert_eq!(d.u8().unwrap(), 7);

@@ -173,7 +173,10 @@ impl MemFs {
     /// Attributes of an inode.
     pub fn getattr(&self, id: NodeId) -> FsResult<FileAttr> {
         let st = self.state.read();
-        st.nodes.get(&id.0).map(|n| n.attr(id)).ok_or(FsError::Stale)
+        st.nodes
+            .get(&id.0)
+            .map(|n| n.attr(id))
+            .ok_or(FsError::Stale)
     }
 
     /// Apply mutable attributes (currently: truncate/extend size).
@@ -546,9 +549,7 @@ mod tests {
         let fs = MemFs::new();
         let f = fs.create(ROOT_ID, "f").unwrap();
         fs.write(f.id, 0, b"0123456789").unwrap();
-        let a = fs
-            .setattr(f.id, SetAttr { size: Some(4) })
-            .unwrap();
+        let a = fs.setattr(f.id, SetAttr { size: Some(4) }).unwrap();
         assert_eq!(a.size, 4);
         assert_eq!(fs.read(f.id, 0, 10).unwrap(), b"0123");
         let a = fs.setattr(f.id, SetAttr { size: Some(8) }).unwrap();

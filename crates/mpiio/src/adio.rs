@@ -12,7 +12,9 @@
 
 use std::sync::Arc;
 
-use dafs::{DafsBatch, DafsClient, DafsError, ReadReq, WriteReq};
+use dafs::{
+    DafsBatch, DafsClient, DafsError, DafsStripedBatch, DafsStripedFile, ReadReq, WriteReq,
+};
 use memfs::{FsError, MemFs, NodeId, SetAttr};
 use nfsv3::{NfsClient, NfsError, NfsPendingRead, NfsPendingWrite};
 use simnet::cost::HostCost;
@@ -137,6 +139,8 @@ impl From<FsError> for AdioError {
 pub enum DriverKind {
     /// DAFS over VIA (the paper's system).
     Dafs,
+    /// One logical file striped round-robin across several DAFS servers.
+    DafsStriped,
     /// NFSv3 over TCP (the baseline).
     Nfs,
     /// Node-local in-memory filesystem.
@@ -144,10 +148,12 @@ pub enum DriverKind {
 }
 
 impl DriverKind {
-    /// Short lower-case name for reports ("dafs" / "nfs" / "ufs").
+    /// Short lower-case name for reports ("dafs" / "dafs-striped" / "nfs"
+    /// / "ufs").
     pub fn as_str(self) -> &'static str {
         match self {
             DriverKind::Dafs => "dafs",
+            DriverKind::DafsStriped => "dafs-striped",
             DriverKind::Nfs => "nfs",
             DriverKind::Ufs => "ufs",
         }
@@ -167,6 +173,7 @@ impl std::str::FromStr for DriverKind {
     fn from_str(s: &str) -> Result<DriverKind, ()> {
         match s.to_ascii_lowercase().as_str() {
             "dafs" => Ok(DriverKind::Dafs),
+            "dafs-striped" | "dafs_striped" => Ok(DriverKind::DafsStriped),
             "nfs" => Ok(DriverKind::Nfs),
             "ufs" => Ok(DriverKind::Ufs),
             _ => Err(()),
@@ -185,8 +192,9 @@ const ADIO_RETRIES: u32 = 2;
 fn transient(e: &AdioError) -> bool {
     matches!(
         e,
-        AdioError::Io(IoFault::Dafs(DafsError::Transport(_) | DafsError::Connect(_)))
-            | AdioError::Io(IoFault::Nfs(NfsError::TimedOut | NfsError::Transport(_)))
+        AdioError::Io(IoFault::Dafs(
+            DafsError::Transport(_) | DafsError::Connect(_)
+        )) | AdioError::Io(IoFault::Nfs(NfsError::TimedOut | NfsError::Transport(_)))
     )
 }
 
@@ -367,6 +375,19 @@ pub trait AdioFs: Send + Sync {
     /// POSIX, used by the harnesses).
     fn open(&self, ctx: &ActorCtx, path: &str, create: bool) -> AdioResult<Arc<dyn AdioFile>>;
 
+    /// Open with the application's `MPI_Info` hints in scope. Drivers that
+    /// interpret layout hints (the striped driver reads `striping_factor`
+    /// / `striping_unit`) override this; the default ignores the hints.
+    fn open_with_hints(
+        &self,
+        ctx: &ActorCtx,
+        path: &str,
+        create: bool,
+        _hints: &crate::hints::Hints,
+    ) -> AdioResult<Arc<dyn AdioFile>> {
+        self.open(ctx, path, create)
+    }
+
     /// Remove a file.
     fn delete(&self, ctx: &ActorCtx, path: &str) -> AdioResult<()>;
 
@@ -395,27 +416,132 @@ impl DafsAdio {
         path: &str,
         create: bool,
     ) -> AdioResult<(NodeId, String)> {
-        let mut parts: Vec<&str> = path.split('/').filter(|p| !p.is_empty()).collect();
-        let name = parts.pop().ok_or(AdioError::NoSuchFile)?.to_string();
-        let mut dir = memfs::ROOT_ID;
-        for part in parts {
-            dir = match self.client.lookup(ctx, dir, part) {
-                Ok(a) => a.id,
-                Err(DafsError::Status(dafs::DafsStatus::NoEnt)) if create => {
-                    match self.client.mkdir(ctx, dir, part) {
-                        Ok(a) => a.id,
-                        // Another rank created it concurrently.
-                        Err(DafsError::Status(dafs::DafsStatus::Exists)) => {
-                            self.client.lookup(ctx, dir, part).map_err(AdioError::from)?.id
-                        }
-                        Err(e) => return Err(e.into()),
-                    }
-                }
-                Err(e) => return Err(e.into()),
-            };
-        }
-        Ok((dir, name))
+        dafs_resolve_dir(&self.client, ctx, path, create)
     }
+}
+
+/// Walk `path`'s directory components on one DAFS session, creating
+/// missing directories when `create` is set; returns the parent directory
+/// and the final component.
+fn dafs_resolve_dir(
+    client: &DafsClient,
+    ctx: &ActorCtx,
+    path: &str,
+    create: bool,
+) -> AdioResult<(NodeId, String)> {
+    let mut parts: Vec<&str> = path.split('/').filter(|p| !p.is_empty()).collect();
+    let name = parts.pop().ok_or(AdioError::NoSuchFile)?.to_string();
+    let mut dir = memfs::ROOT_ID;
+    for part in parts {
+        dir = match client.lookup(ctx, dir, part) {
+            Ok(a) => a.id,
+            Err(DafsError::Status(dafs::DafsStatus::NoEnt)) if create => {
+                match client.mkdir(ctx, dir, part) {
+                    Ok(a) => a.id,
+                    // Another rank created it concurrently.
+                    Err(DafsError::Status(dafs::DafsStatus::Exists)) => {
+                        client.lookup(ctx, dir, part).map_err(AdioError::from)?.id
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            Err(e) => return Err(e.into()),
+        };
+    }
+    Ok((dir, name))
+}
+
+/// Look up (optionally creating) `name` in `dir`, racing politely with
+/// concurrent ranks.
+fn dafs_open_node(
+    client: &DafsClient,
+    ctx: &ActorCtx,
+    dir: NodeId,
+    name: &str,
+    create: bool,
+) -> AdioResult<NodeId> {
+    match client.lookup(ctx, dir, name) {
+        Ok(a) => Ok(a.id),
+        Err(DafsError::Status(dafs::DafsStatus::NoEnt)) if create => {
+            match client.create(ctx, dir, name) {
+                Ok(a) => Ok(a.id),
+                // Another rank won the race; open theirs.
+                Err(DafsError::Status(dafs::DafsStatus::Exists)) => {
+                    Ok(client.lookup(ctx, dir, name).map_err(AdioError::from)?.id)
+                }
+                Err(e) => Err(e.into()),
+            }
+        }
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Open (creating and zero-initializing if absent) the hidden
+/// shared-pointer companion of `name` in `dir`.
+fn dafs_open_shfp(
+    client: &DafsClient,
+    ctx: &ActorCtx,
+    dir: NodeId,
+    name: &str,
+) -> AdioResult<NodeId> {
+    let shfp_name = format!("{name}{SHFP_SUFFIX}");
+    match client.lookup(ctx, dir, &shfp_name) {
+        Ok(a) => Ok(a.id),
+        Err(DafsError::Status(dafs::DafsStatus::NoEnt)) => {
+            match client.create(ctx, dir, &shfp_name) {
+                Ok(a) => {
+                    client
+                        .write_bytes(ctx, a.id, 0, &0u64.to_le_bytes())
+                        .map_err(AdioError::from)?;
+                    Ok(a.id)
+                }
+                Err(DafsError::Status(dafs::DafsStatus::Exists)) => Ok(client
+                    .lookup(ctx, dir, &shfp_name)
+                    .map_err(AdioError::from)?
+                    .id),
+                Err(e) => Err(e.into()),
+            }
+        }
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// The ROMIO shared-pointer recipe — a DAFS file lock around a
+/// read-modify-write of the hidden pointer file.
+fn dafs_shfp_fetch_add(
+    client: &DafsClient,
+    ctx: &ActorCtx,
+    shfp: NodeId,
+    nbytes: u64,
+) -> AdioResult<u64> {
+    client.lock(ctx, shfp).map_err(AdioError::from)?;
+    let result = (|| -> AdioResult<u64> {
+        let cur = client
+            .read_to_vec(ctx, shfp, 0, 8)
+            .map_err(AdioError::from)?;
+        let old = u64::from_le_bytes(
+            cur.as_slice()
+                .try_into()
+                .map_err(|_| AdioError::Io(IoFault::Protocol))?,
+        );
+        client
+            .write_bytes(ctx, shfp, 0, &(old + nbytes).to_le_bytes())
+            .map_err(AdioError::from)?;
+        Ok(old)
+    })();
+    client.unlock(ctx, shfp).map_err(AdioError::from)?;
+    result
+}
+
+/// Reset the shared pointer under the same lock.
+fn dafs_shfp_set(client: &DafsClient, ctx: &ActorCtx, shfp: NodeId, value: u64) -> AdioResult<()> {
+    client.lock(ctx, shfp).map_err(AdioError::from)?;
+    let r = client
+        .write_bytes(ctx, shfp, 0, &value.to_le_bytes())
+        .map(|_| ())
+        .map_err(AdioError::from);
+    client.unlock(ctx, shfp).map_err(AdioError::from)?;
+    r
 }
 
 /// The hidden shared-file-pointer companion file suffix.
@@ -431,54 +557,24 @@ struct DafsFileHandle {
 impl AdioFs for DafsAdio {
     fn open(&self, ctx: &ActorCtx, path: &str, create: bool) -> AdioResult<Arc<dyn AdioFile>> {
         let (dir, name) = self.resolve_dir(ctx, path, create)?;
-        let attr = match self.client.lookup(ctx, dir, &name) {
-            Ok(a) => a,
-            Err(DafsError::Status(dafs::DafsStatus::NoEnt)) if create => {
-                match self.client.create(ctx, dir, &name) {
-                    Ok(a) => a,
-                    // Another rank won the race; open theirs.
-                    Err(DafsError::Status(dafs::DafsStatus::Exists)) => {
-                        self.client.lookup(ctx, dir, &name).map_err(AdioError::from)?
-                    }
-                    Err(e) => return Err(e.into()),
-                }
-            }
-            Err(e) => return Err(e.into()),
-        };
+        let fh = dafs_open_node(&self.client, ctx, dir, &name, create)?;
         // Shared-pointer companion.
-        let shfp_name = format!("{name}{SHFP_SUFFIX}");
-        let shfp = match self.client.lookup(ctx, dir, &shfp_name) {
-            Ok(a) => a.id,
-            Err(DafsError::Status(dafs::DafsStatus::NoEnt)) => {
-                match self.client.create(ctx, dir, &shfp_name) {
-                    Ok(a) => {
-                        self.client
-                            .write_bytes(ctx, a.id, 0, &0u64.to_le_bytes())
-                            .map_err(AdioError::from)?;
-                        a.id
-                    }
-                    Err(DafsError::Status(dafs::DafsStatus::Exists)) => {
-                        self.client
-                            .lookup(ctx, dir, &shfp_name)
-                            .map_err(AdioError::from)?
-                            .id
-                    }
-                    Err(e) => return Err(e.into()),
-                }
-            }
-            Err(e) => return Err(e.into()),
-        };
+        let shfp = dafs_open_shfp(&self.client, ctx, dir, &name)?;
         Ok(Arc::new(DafsFileHandle {
             client: self.client.clone(),
-            fh: attr.id,
+            fh,
             shfp,
         }))
     }
 
     fn delete(&self, ctx: &ActorCtx, path: &str) -> AdioResult<()> {
         let (dir, name) = self.resolve_dir(ctx, path, false)?;
-        self.client.remove(ctx, dir, &name).map_err(AdioError::from)?;
-        let _ = self.client.remove(ctx, dir, &format!("{name}{SHFP_SUFFIX}"));
+        self.client
+            .remove(ctx, dir, &name)
+            .map_err(AdioError::from)?;
+        let _ = self
+            .client
+            .remove(ctx, dir, &format!("{name}{SHFP_SUFFIX}"));
         Ok(())
     }
 
@@ -589,7 +685,11 @@ impl AdioFile for DafsFileHandle {
     }
 
     fn get_size(&self, ctx: &ActorCtx) -> AdioResult<u64> {
-        Ok(self.client.getattr(ctx, self.fh).map_err(AdioError::from)?.size)
+        Ok(self
+            .client
+            .getattr(ctx, self.fh)
+            .map_err(AdioError::from)?
+            .size)
     }
 
     fn set_size(&self, ctx: &ActorCtx, size: u64) -> AdioResult<()> {
@@ -604,37 +704,11 @@ impl AdioFile for DafsFileHandle {
     }
 
     fn shared_fetch_add(&self, ctx: &ActorCtx, nbytes: u64) -> AdioResult<u64> {
-        // DAFS file lock around a read-modify-write of the hidden pointer
-        // file — the ROMIO shared-pointer recipe, with real protocol locks.
-        self.client.lock(ctx, self.shfp).map_err(AdioError::from)?;
-        let result = (|| -> AdioResult<u64> {
-            let cur = self
-                .client
-                .read_to_vec(ctx, self.shfp, 0, 8)
-                .map_err(AdioError::from)?;
-            let old = u64::from_le_bytes(
-                cur.as_slice()
-                    .try_into()
-                    .map_err(|_| AdioError::Io(IoFault::Protocol))?,
-            );
-            self.client
-                .write_bytes(ctx, self.shfp, 0, &(old + nbytes).to_le_bytes())
-                .map_err(AdioError::from)?;
-            Ok(old)
-        })();
-        self.client.unlock(ctx, self.shfp).map_err(AdioError::from)?;
-        result
+        dafs_shfp_fetch_add(&self.client, ctx, self.shfp, nbytes)
     }
 
     fn shared_set(&self, ctx: &ActorCtx, value: u64) -> AdioResult<()> {
-        self.client.lock(ctx, self.shfp).map_err(AdioError::from)?;
-        let r = self
-            .client
-            .write_bytes(ctx, self.shfp, 0, &value.to_le_bytes())
-            .map(|_| ())
-            .map_err(AdioError::from);
-        self.client.unlock(ctx, self.shfp).map_err(AdioError::from)?;
-        r
+        dafs_shfp_set(&self.client, ctx, self.shfp, value)
     }
 
     fn lock_file(&self, ctx: &ActorCtx) -> AdioResult<()> {
@@ -712,6 +786,236 @@ impl PendingIo for DafsPending {
 }
 
 // ---------------------------------------------------------------------------
+// Striped DAFS driver
+// ---------------------------------------------------------------------------
+
+/// Default stripe size when no `striping_unit` hint is given (the classic
+/// ROMIO/PVFS default).
+const DEFAULT_STRIPE: u64 = 64 << 10;
+
+/// ADIO over several DAFS sessions, striping each file round-robin across
+/// the servers ([`dafs::DafsStripedFile`]). The `striping_factor` hint
+/// selects how many of the available servers a file stripes over (0 =
+/// all), `striping_unit` the block size — both honored at open time, PVFS
+/// style, so an existing file must be reopened with the layout it was
+/// created with.
+pub struct DafsStripedAdio {
+    clients: Vec<Arc<DafsClient>>,
+}
+
+impl DafsStripedAdio {
+    /// Wrap one established session per server, in server order.
+    pub fn new(clients: Vec<Arc<DafsClient>>) -> DafsStripedAdio {
+        assert!(
+            !clients.is_empty(),
+            "striped ADIO needs at least one server"
+        );
+        DafsStripedAdio { clients }
+    }
+
+    /// Number of servers available to stripe over.
+    pub fn servers(&self) -> usize {
+        self.clients.len()
+    }
+}
+
+struct DafsStripedFileHandle {
+    file: Arc<DafsStripedFile>,
+    /// Shared-pointer companion, on server 0 (the metadata authority).
+    shfp: NodeId,
+}
+
+impl AdioFs for DafsStripedAdio {
+    fn open(&self, ctx: &ActorCtx, path: &str, create: bool) -> AdioResult<Arc<dyn AdioFile>> {
+        self.open_with_hints(ctx, path, create, &crate::hints::Hints::default())
+    }
+
+    fn open_with_hints(
+        &self,
+        ctx: &ActorCtx,
+        path: &str,
+        create: bool,
+        hints: &crate::hints::Hints,
+    ) -> AdioResult<Arc<dyn AdioFile>> {
+        let factor = if hints.striping_factor == 0 {
+            self.clients.len()
+        } else {
+            hints.striping_factor.min(self.clients.len())
+        };
+        let stripe = if hints.striping_unit == 0 {
+            DEFAULT_STRIPE
+        } else {
+            hints.striping_unit
+        };
+        // One piece file per server, all under the same path (each server
+        // has its own namespace, so the paths never collide).
+        let mut clients = Vec::with_capacity(factor);
+        let mut fhs = Vec::with_capacity(factor);
+        let mut shfp = None;
+        for c in &self.clients[..factor] {
+            let (dir, name) = dafs_resolve_dir(c, ctx, path, create)?;
+            fhs.push(dafs_open_node(c, ctx, dir, &name, create)?);
+            clients.push(c.clone());
+            if shfp.is_none() {
+                shfp = Some(dafs_open_shfp(c, ctx, dir, &name)?);
+            }
+        }
+        Ok(Arc::new(DafsStripedFileHandle {
+            file: Arc::new(DafsStripedFile::new(clients, fhs, stripe)),
+            shfp: shfp.expect("factor >= 1"),
+        }))
+    }
+
+    fn delete(&self, ctx: &ActorCtx, path: &str) -> AdioResult<()> {
+        // Remove the piece on every server: the file may have been created
+        // with any striping factor up to the server count.
+        let mut found = false;
+        for (s, c) in self.clients.iter().enumerate() {
+            let (dir, name) = dafs_resolve_dir(c, ctx, path, false)?;
+            match c.remove(ctx, dir, &name) {
+                Ok(()) => found = true,
+                Err(DafsError::Status(dafs::DafsStatus::NoEnt)) => {}
+                Err(e) => return Err(e.into()),
+            }
+            if s == 0 {
+                let _ = c.remove(ctx, dir, &format!("{name}{SHFP_SUFFIX}"));
+            }
+        }
+        if found {
+            Ok(())
+        } else {
+            Err(AdioError::NoSuchFile)
+        }
+    }
+
+    fn kind(&self) -> DriverKind {
+        DriverKind::DafsStriped
+    }
+}
+
+impl AdioFile for DafsStripedFileHandle {
+    fn read_contig(&self, ctx: &ActorCtx, off: u64, dst: VirtAddr, len: u64) -> AdioResult<u64> {
+        with_retries(ctx, || {
+            self.file.read(ctx, off, dst, len).map_err(AdioError::from)
+        })
+    }
+
+    fn write_contig(&self, ctx: &ActorCtx, off: u64, src: VirtAddr, len: u64) -> AdioResult<()> {
+        with_retries(ctx, || {
+            self.file.write(ctx, off, src, len).map_err(AdioError::from)
+        })
+    }
+
+    fn read_batch(&self, ctx: &ActorCtx, reqs: &[(u64, VirtAddr, u64)]) -> AdioResult<u64> {
+        with_retries(ctx, || {
+            let b = self.file.read_batch_begin(ctx, reqs);
+            self.file.batch_finish(ctx, b).map_err(AdioError::from)
+        })
+    }
+
+    fn write_batch(&self, ctx: &ActorCtx, reqs: &[(u64, VirtAddr, u64)]) -> AdioResult<()> {
+        with_retries(ctx, || {
+            let b = self.file.write_batch_begin(ctx, reqs);
+            self.file
+                .batch_finish(ctx, b)
+                .map(|_| ())
+                .map_err(AdioError::from)
+        })
+    }
+
+    fn iread_batch(&self, ctx: &ActorCtx, reqs: &[(u64, VirtAddr, u64)]) -> AdioRequest {
+        let batch = self.file.read_batch_begin(ctx, reqs);
+        AdioRequest::pending(
+            ctx,
+            Box::new(DafsStripedPending {
+                file: self.file.clone(),
+                batch,
+                reqs: reqs.to_vec(),
+                write: false,
+            }),
+        )
+    }
+
+    fn iwrite_batch(&self, ctx: &ActorCtx, reqs: &[(u64, VirtAddr, u64)]) -> AdioRequest {
+        let batch = self.file.write_batch_begin(ctx, reqs);
+        AdioRequest::pending(
+            ctx,
+            Box::new(DafsStripedPending {
+                file: self.file.clone(),
+                batch,
+                reqs: reqs.to_vec(),
+                write: true,
+            }),
+        )
+    }
+
+    fn get_size(&self, ctx: &ActorCtx) -> AdioResult<u64> {
+        self.file.get_size(ctx).map_err(AdioError::from)
+    }
+
+    fn set_size(&self, ctx: &ActorCtx, size: u64) -> AdioResult<()> {
+        self.file.set_size(ctx, size).map_err(AdioError::from)
+    }
+
+    fn flush(&self, ctx: &ActorCtx) -> AdioResult<()> {
+        self.file.flush(ctx).map_err(AdioError::from)
+    }
+
+    fn shared_fetch_add(&self, ctx: &ActorCtx, nbytes: u64) -> AdioResult<u64> {
+        dafs_shfp_fetch_add(self.file.client(0), ctx, self.shfp, nbytes)
+    }
+
+    fn shared_set(&self, ctx: &ActorCtx, value: u64) -> AdioResult<()> {
+        dafs_shfp_set(self.file.client(0), ctx, self.shfp, value)
+    }
+
+    fn lock_file(&self, ctx: &ActorCtx) -> AdioResult<()> {
+        self.file.lock(ctx).map_err(AdioError::from)
+    }
+
+    fn unlock_file(&self, ctx: &ActorCtx) -> AdioResult<()> {
+        self.file.unlock(ctx).map_err(AdioError::from)
+    }
+}
+
+/// A split-phase striped batch in flight: per-server [`DafsBatch`]es plus
+/// what is needed to re-run the whole batch synchronously if a session
+/// dies (idempotent, like [`DafsPending`]).
+struct DafsStripedPending {
+    file: Arc<DafsStripedFile>,
+    batch: DafsStripedBatch,
+    reqs: Vec<(u64, VirtAddr, u64)>,
+    write: bool,
+}
+
+impl PendingIo for DafsStripedPending {
+    fn test(&mut self, ctx: &ActorCtx) -> bool {
+        self.file.batch_test(ctx, &mut self.batch)
+    }
+
+    fn wait(self: Box<Self>, ctx: &ActorCtx) -> AdioResult<u64> {
+        let me = *self;
+        match me.file.batch_finish(ctx, me.batch).map_err(AdioError::from) {
+            Err(e) if transient(&e) => {
+                // Residual transient failure after the per-session
+                // recovery: re-run the batch synchronously with the usual
+                // ADIO retry budget.
+                ctx.metrics().counter("adio.retries").inc();
+                with_retries(ctx, || {
+                    let b = if me.write {
+                        me.file.write_batch_begin(ctx, &me.reqs)
+                    } else {
+                        me.file.read_batch_begin(ctx, &me.reqs)
+                    };
+                    me.file.batch_finish(ctx, b).map_err(AdioError::from)
+                })
+            }
+            r => r,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // NFS driver
 // ---------------------------------------------------------------------------
 
@@ -743,7 +1047,10 @@ impl NfsAdio {
                         Ok(a) => a.id,
                         // Another rank created it concurrently.
                         Err(NfsError::Status(nfsv3::NfsStatus::Exist)) => {
-                            self.client.lookup(ctx, dir, part).map_err(AdioError::from)?.id
+                            self.client
+                                .lookup(ctx, dir, part)
+                                .map_err(AdioError::from)?
+                                .id
                         }
                         Err(e) => return Err(e.into()),
                     }
@@ -770,9 +1077,10 @@ impl AdioFs for NfsAdio {
             Err(NfsError::Status(nfsv3::NfsStatus::NoEnt)) if create => {
                 match self.client.create(ctx, dir, &name) {
                     Ok(a) => a,
-                    Err(NfsError::Status(nfsv3::NfsStatus::Exist)) => {
-                        self.client.lookup(ctx, dir, &name).map_err(AdioError::from)?
-                    }
+                    Err(NfsError::Status(nfsv3::NfsStatus::Exist)) => self
+                        .client
+                        .lookup(ctx, dir, &name)
+                        .map_err(AdioError::from)?,
                     Err(e) => return Err(e.into()),
                 }
             }
@@ -959,11 +1267,12 @@ impl PendingIo for NfsPending {
                     for (off, addr, len) in &reqs {
                         if is_write {
                             let data = host.mem.read_vec(*addr, *len as usize);
-                            client.write(ctx, fh, *off, &data).map_err(AdioError::from)?;
+                            client
+                                .write(ctx, fh, *off, &data)
+                                .map_err(AdioError::from)?;
                             total += *len;
                         } else {
-                            let data =
-                                client.read(ctx, fh, *off, *len).map_err(AdioError::from)?;
+                            let data = client.read(ctx, fh, *off, *len).map_err(AdioError::from)?;
                             host.mem.write(*addr, &data);
                             total += data.len() as u64;
                         }

@@ -259,7 +259,8 @@ fn ship_read_replies(
                 .find(|p| off >= p.off && off + len <= p.off + p.len)
                 .expect("reply for an unrequested piece");
             let boff = p.buf_off + (off - p.off);
-            host.mem.write(dst.offset(boff), &msg[pos..pos + len as usize]);
+            host.mem
+                .write(dst.offset(boff), &msg[pos..pos + len as usize]);
             host.compute(ctx, simnet::cost::HostCost::default().copy(len));
             pos += len as usize;
             total += len;
@@ -512,9 +513,8 @@ pub fn read_at_all(
                 charge_phase(ctx, "mpiio.twophase.io_ns", &mut mark);
                 served = Some((cbuf, ws));
             }
-            total += ship_read_replies(
-                ctx, comm, &host, &pieces, dst, &requests, served, &mut mark,
-            );
+            total +=
+                ship_read_replies(ctx, comm, &host, &pieces, dst, &requests, served, &mut mark);
         }
     }
     // Pipelined epilogue: the last window's batch and its reply round.
@@ -703,11 +703,11 @@ mod tests {
         assert_eq!(s.domain(0), (1000, 1400));
         assert_eq!(s.domain(1), (1400, 1800));
         assert_eq!(s.domain(2), (1800, 2000)); // clipped at gmax
-        // Windows sweep each domain in cb-sized steps.
+                                               // Windows sweep each domain in cb-sized steps.
         assert_eq!(s.window(0, 0), Some((1000, 1150)));
         assert_eq!(s.window(0, 1), Some((1150, 1300)));
         assert_eq!(s.window(0, 2), Some((1300, 1400))); // clipped at domain end
-        // The short last domain runs out of windows early.
+                                                        // The short last domain runs out of windows early.
         assert_eq!(s.window(2, 0), Some((1800, 1950)));
         assert_eq!(s.window(2, 1), Some((1950, 2000)));
         assert_eq!(s.window(2, 2), None);

@@ -11,7 +11,6 @@
 //! a *separate* rail from the storage network (dedicated MPI network, as on
 //! the paper-era clusters), so MPI traffic and file traffic don't contend.
 
-
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -178,9 +177,10 @@ impl Comm {
         loop {
             {
                 let mut q = self.unexpected.lock();
-                if let Some(pos) = q.iter().position(|e| {
-                    src.is_none_or(|s| s == e.src) && tag.is_none_or(|t| t == e.tag)
-                }) {
+                if let Some(pos) = q
+                    .iter()
+                    .position(|e| src.is_none_or(|s| s == e.src) && tag.is_none_or(|t| t == e.tag))
+                {
                     let e = q.remove(pos);
                     drop(q);
                     me.host.compute(ctx, w.cost.per_msg_cpu);
@@ -349,7 +349,9 @@ pub fn spawn_ranks<F>(
 where
     F: Fn(&ActorCtx, &Comm) + Send + Sync + 'static,
 {
-    let hosts: Vec<Host> = (0..n).map(|i| cluster.add_host(&format!("rank{i}"))).collect();
+    let hosts: Vec<Host> = (0..n)
+        .map(|i| cluster.add_host(&format!("rank{i}")))
+        .collect();
     let world = CommWorld::new(cost, hosts);
     let body = Arc::new(body);
     for r in 0..n {

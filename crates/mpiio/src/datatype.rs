@@ -152,12 +152,7 @@ impl Datatype {
     /// An n-dimensional subarray in C (row-major) order
     /// (MPI_Type_create_subarray). The child must be "dense"
     /// (size == extent), which holds for elementary types.
-    pub fn subarray(
-        sizes: &[u64],
-        subsizes: &[u64],
-        starts: &[u64],
-        child: &Datatype,
-    ) -> Datatype {
+    pub fn subarray(sizes: &[u64], subsizes: &[u64], starts: &[u64], child: &Datatype) -> Datatype {
         assert_eq!(sizes.len(), subsizes.len());
         assert_eq!(sizes.len(), starts.len());
         assert!(!sizes.is_empty(), "subarray needs at least one dimension");
@@ -178,8 +173,8 @@ impl Datatype {
         let last = sizes.len() - 1;
         let mut dt = Datatype::bytes(subsizes[last] * el);
         let mut row_bytes = el; // bytes per index step in the current dim
-        // Stride of dimension d = product of sizes of dims > d, in elements.
-        // Build from the innermost outward.
+                                // Stride of dimension d = product of sizes of dims > d, in elements.
+                                // Build from the innermost outward.
         for d in (0..last).rev() {
             let inner_stride: u64 = sizes[d + 1..].iter().product::<u64>() * el;
             // subsizes[d] blocks, each `dt`, spaced inner_stride apart.
@@ -206,7 +201,12 @@ impl Datatype {
         let rem = gsize % nprocs;
         let mine = base + u64::from(rank < rem);
         let offset = rank * base + rank.min(rem);
-        let dt = Datatype::subarray(&[gsize], &[mine.max(1)], &[offset.min(gsize - 1)], &Datatype::bytes(el));
+        let dt = Datatype::subarray(
+            &[gsize],
+            &[mine.max(1)],
+            &[offset.min(gsize - 1)],
+            &Datatype::bytes(el),
+        );
         if mine == 0 {
             // Empty block: zero-size type with full extent.
             let empty = Datatype::resized(&Datatype::bytes(0), 0, gsize * el);
@@ -443,10 +443,7 @@ mod tests {
         let inner = Datatype::vector(2, 1, 2, &Datatype::bytes(1)); // 0,2; extent 3
         let resized = Datatype::resized(&inner, 0, 8);
         let outer = Datatype::contiguous(2, &resized);
-        assert_eq!(
-            outer.flatten().runs,
-            vec![(0, 1), (2, 1), (8, 1), (10, 1)]
-        );
+        assert_eq!(outer.flatten().runs, vec![(0, 1), (2, 1), (8, 1), (10, 1)]);
     }
 
     #[test]

@@ -161,7 +161,7 @@ impl MpiFile {
         mode: OpenMode,
         hints: Hints,
     ) -> AdioResult<MpiFile> {
-        let file = fs.open(ctx, path, mode.create)?;
+        let file = fs.open_with_hints(ctx, path, mode.create, &hints)?;
         Ok(MpiFile {
             file,
             path: path.to_string(),
@@ -332,7 +332,10 @@ impl MpiFile {
     /// `MPI_File_read`: read at the individual pointer, then advance it.
     pub fn read(&self, ctx: &ActorCtx, dst: VirtAddr, nbytes: u64) -> AdioResult<u64> {
         let etype = self.view.lock().etype_size();
-        assert!(nbytes.is_multiple_of(etype), "transfer not a whole number of etypes");
+        assert!(
+            nbytes.is_multiple_of(etype),
+            "transfer not a whole number of etypes"
+        );
         let off = {
             let mut fp = self.fp.lock();
             let o = *fp;
@@ -345,7 +348,10 @@ impl MpiFile {
     /// `MPI_File_write`.
     pub fn write(&self, ctx: &ActorCtx, src: VirtAddr, nbytes: u64) -> AdioResult<u64> {
         let etype = self.view.lock().etype_size();
-        assert!(nbytes.is_multiple_of(etype), "transfer not a whole number of etypes");
+        assert!(
+            nbytes.is_multiple_of(etype),
+            "transfer not a whole number of etypes"
+        );
         let off = {
             let mut fp = self.fp.lock();
             let o = *fp;
@@ -468,7 +474,12 @@ impl MpiFile {
     // --- nonblocking ---------------------------------------------------------
 
     /// Map a view range to batch requests consuming `buf` in order.
-    fn batch_reqs(&self, offset_etypes: u64, buf: VirtAddr, nbytes: u64) -> Vec<(u64, VirtAddr, u64)> {
+    fn batch_reqs(
+        &self,
+        offset_etypes: u64,
+        buf: VirtAddr,
+        nbytes: u64,
+    ) -> Vec<(u64, VirtAddr, u64)> {
         let view = self.view.lock().clone();
         let logical = offset_etypes * view.etype_size();
         let mut consumed = 0u64;
@@ -516,23 +527,7 @@ impl MpiFile {
 
     /// Decide whether to data-sieve a range list.
     fn should_sieve(&self, ranges: &[(u64, u64)], toggle: Toggle) -> bool {
-        // The span heuristic and the sieve windows both assume the view
-        // mapper hands us offset-sorted ranges.
-        debug_assert!(ranges.windows(2).all(|w| w[0].0 <= w[1].0));
-        match toggle {
-            Toggle::Disable => false,
-            Toggle::Enable => ranges.len() > 1,
-            Toggle::Automatic => {
-                if ranges.len() <= 4 {
-                    return false;
-                }
-                let payload: u64 = ranges.iter().map(|r| r.1).sum();
-                let span = ranges.last().unwrap().0 + ranges.last().unwrap().1
-                    - ranges.first().unwrap().0;
-                // Sieve when the holes are less than ~2x the payload.
-                payload * 3 >= span
-            }
-        }
+        should_sieve_ranges(ranges, toggle)
     }
 
     /// Read a mapped range list into `dst` (ranges consume the buffer in
@@ -546,9 +541,7 @@ impl MpiFile {
         match ranges {
             [] => Ok(0),
             [(off, len)] => self.file.read_contig(ctx, *off, dst, *len),
-            _ if self.should_sieve(ranges, self.hints.ds_read) => {
-                self.sieve_read(ctx, ranges, dst)
-            }
+            _ if self.should_sieve(ranges, self.hints.ds_read) => self.sieve_read(ctx, ranges, dst),
             _ => {
                 let mut reqs = Vec::with_capacity(ranges.len());
                 let mut consumed = 0u64;
@@ -633,10 +626,8 @@ impl MpiFile {
                     // Copy out of the sieve buffer (charged like any copy).
                     let piece = self.host.mem.read_vec(sieve.offset(s), avail as usize);
                     self.host.mem.write(dst.offset(consumed), &piece);
-                    self.host.compute(
-                        ctx,
-                        simnet::cost::HostCost::default().copy(avail),
-                    );
+                    self.host
+                        .compute(ctx, simnet::cost::HostCost::default().copy(avail));
                     total += avail;
                 }
                 consumed += *len;
@@ -661,7 +652,8 @@ impl MpiFile {
             }
             if j == i {
                 let (off, len) = ranges[i];
-                self.file.write_contig(ctx, off, src.offset(consumed), len)?;
+                self.file
+                    .write_contig(ctx, off, src.offset(consumed), len)?;
                 consumed += len;
                 i += 1;
                 continue;
@@ -686,6 +678,33 @@ impl MpiFile {
     }
 }
 
+/// Decide whether a range list is worth data-sieving.
+///
+/// The span heuristic and the sieve windows both assume offset-sorted
+/// ranges. Ranges consume the user buffer ordinally, so *sorting* an
+/// unsorted list here would silently permute the data; instead an unsorted
+/// list is rejected — in release builds too, not just under `debug_assert`
+/// — and falls back to the order-preserving batch path.
+fn should_sieve_ranges(ranges: &[(u64, u64)], toggle: Toggle) -> bool {
+    if !ranges.windows(2).all(|w| w[0].0 <= w[1].0) {
+        return false;
+    }
+    match toggle {
+        Toggle::Disable => false,
+        Toggle::Enable => ranges.len() > 1,
+        Toggle::Automatic => {
+            if ranges.len() <= 4 {
+                return false;
+            }
+            let payload: u64 = ranges.iter().map(|r| r.1).sum();
+            let span =
+                ranges.last().unwrap().0 + ranges.last().unwrap().1 - ranges.first().unwrap().0;
+            // Sieve when the holes are less than ~2x the payload.
+            payload * 3 >= span
+        }
+    }
+}
+
 /// Delete a file by path (`MPI_File_delete`).
 pub fn mpi_file_delete(ctx: &ActorCtx, fs: &dyn AdioFs, path: &str) -> AdioResult<()> {
     fs.delete(ctx, path)
@@ -702,3 +721,23 @@ impl std::fmt::Debug for MpiFile {
 
 #[allow(unused_imports)]
 use AdioError as _AdioErrorUsed;
+
+#[cfg(test)]
+mod sieve_tests {
+    use super::*;
+
+    #[test]
+    fn unsorted_ranges_are_rejected_not_sorted() {
+        // Dense enough that the sorted version sieves under every policy…
+        let sorted = [(0u64, 64u64), (64, 64), (192, 64), (256, 64), (320, 64)];
+        assert!(should_sieve_ranges(&sorted, Toggle::Enable));
+        assert!(should_sieve_ranges(&sorted, Toggle::Automatic));
+        // …but any out-of-order list must take the order-preserving batch
+        // path, because sieving replays ranges in offset order while the
+        // user buffer is consumed in list order.
+        let unsorted = [(192u64, 64u64), (0, 64), (64, 64), (256, 64), (320, 64)];
+        assert!(!should_sieve_ranges(&unsorted, Toggle::Enable));
+        assert!(!should_sieve_ranges(&unsorted, Toggle::Automatic));
+        assert!(!should_sieve_ranges(&unsorted, Toggle::Disable));
+    }
+}

@@ -38,6 +38,13 @@ pub struct Hints {
     /// `Automatic` means on; `disable` forces the strictly synchronous
     /// sweep.
     pub cb_pipeline: Toggle,
+    /// Number of servers to stripe a new file over (PVFS/ROMIO
+    /// convention). 0 = all servers the filesystem has. Ignored by
+    /// unstriped drivers.
+    pub striping_factor: usize,
+    /// Stripe (block) size in bytes for striped filesystems. 0 = the
+    /// driver's default. Ignored by unstriped drivers.
+    pub striping_unit: u64,
     /// Raw key/value pairs as supplied (inert keys are preserved, like
     /// `striping_unit` on filesystems that ignore it).
     pub raw: BTreeMap<String, String>,
@@ -55,6 +62,8 @@ impl Default for Hints {
             ds_read: Toggle::Automatic,
             ds_write: Toggle::Automatic,
             cb_pipeline: Toggle::Automatic,
+            striping_factor: 0,
+            striping_unit: 0,
             raw: BTreeMap::new(),
         }
     }
@@ -108,6 +117,20 @@ impl Hints {
             "romio_ds_read" => self.ds_read = parse_toggle(value),
             "romio_ds_write" => self.ds_write = parse_toggle(value),
             "romio_cb_pipeline" => self.cb_pipeline = parse_toggle(value),
+            "striping_factor" => {
+                if let Ok(n) = value.parse() {
+                    self.striping_factor = n;
+                }
+            }
+            "striping_unit" => {
+                // Floor at 4 KiB like the buffer-size hints; 0 keeps the
+                // driver default.
+                if let Ok(n) = value.parse::<u64>() {
+                    if n > 0 {
+                        self.striping_unit = n.max(4096);
+                    }
+                }
+            }
             _ => {}
         }
     }
@@ -141,14 +164,32 @@ mod tests {
             ("cb_buffer_size", "1048576"),
             ("romio_cb_write", "disable"),
             ("romio_ds_read", "enable"),
-            ("striping_unit", "65536"), // inert, kept in raw
+            ("striping_unit", "65536"), // parsed by striped drivers, kept in raw
         ]);
         assert_eq!(h.cb_nodes, 2);
         assert_eq!(h.aggregators(8), 2);
         assert_eq!(h.cb_buffer_size, 1 << 20);
         assert_eq!(h.cb_write, Toggle::Disable);
         assert_eq!(h.ds_read, Toggle::Enable);
+        assert_eq!(h.striping_unit, 65536);
         assert_eq!(h.raw["striping_unit"], "65536");
+    }
+
+    #[test]
+    fn striping_hints_parse_and_clamp() {
+        let h = Hints::default();
+        assert_eq!(h.striping_factor, 0);
+        assert_eq!(h.striping_unit, 0);
+        let h = Hints::from_pairs([("striping_factor", "4"), ("striping_unit", "131072")]);
+        assert_eq!(h.striping_factor, 4);
+        assert_eq!(h.striping_unit, 128 << 10);
+        // Tiny units clamp to the 4 KiB floor; zero and garbage keep the
+        // driver default.
+        let h = Hints::from_pairs([("striping_unit", "16")]);
+        assert_eq!(h.striping_unit, 4096);
+        let h = Hints::from_pairs([("striping_unit", "0"), ("striping_factor", "lots")]);
+        assert_eq!(h.striping_unit, 0);
+        assert_eq!(h.striping_factor, 0);
     }
 
     #[test]

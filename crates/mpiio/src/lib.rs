@@ -34,8 +34,8 @@ pub mod view;
 pub mod world;
 
 pub use adio::{
-    AdioError, AdioFile, AdioFs, AdioRequest, AdioResult, DafsAdio, DriverKind, IoFault, NfsAdio,
-    PendingIo, UfsAdio, UfsCost,
+    AdioError, AdioFile, AdioFs, AdioRequest, AdioResult, DafsAdio, DafsStripedAdio, DriverKind,
+    IoFault, NfsAdio, PendingIo, UfsAdio, UfsCost,
 };
 pub use collective::{
     read_all, read_at_all, read_at_all_begin, read_at_all_end, read_ordered, write_all,
@@ -125,6 +125,106 @@ mod tests {
     }
 
     #[test]
+    fn striped_collective_roundtrip_dafs_striped() {
+        // The full MPI-level path (views + two-phase collective + sieving
+        // heuristics) over the striped driver, 2 servers.
+        let ranks = 4usize;
+        let block = 64 << 10; // == the stripe unit below
+        let servers = 2usize;
+        let tb = Testbed::new(Backend::dafs_striped(servers));
+        let fss = tb.server_fss.clone();
+        tb.run(ranks, move |ctx, comm, adio| {
+            let host = comm.host().clone();
+            let mut hints = Hints::default();
+            hints.set("striping_unit", &(64 << 10).to_string());
+            let file = MpiFile::open(
+                ctx,
+                adio,
+                &host,
+                "/data/striped.bin",
+                OpenMode::create(),
+                hints,
+            )
+            .unwrap();
+            let el = Datatype::bytes(block as u64);
+            let ft = Datatype::resized(
+                &Datatype::hindexed(&[(1, (comm.rank() * block) as i64)], &el),
+                0,
+                (ranks * block) as u64,
+            );
+            file.set_view(0, &el, &ft);
+            let src = host.mem.alloc(2 * block);
+            for b in 0..2 {
+                host.mem.fill(
+                    src.offset((b * block) as u64),
+                    block,
+                    (comm.rank() * 2 + b + 1) as u8,
+                );
+            }
+            write_at_all(ctx, comm, &file, 0, src, (2 * block) as u64).unwrap();
+            comm.barrier(ctx);
+            let dst = host.mem.alloc(2 * block);
+            let n = file.read_at(ctx, 0, dst, (2 * block) as u64).unwrap();
+            assert_eq!(n, (2 * block) as u64);
+            for b in 0..2 {
+                let got = host.mem.read_vec(dst.offset((b * block) as u64), block);
+                assert_eq!(got, vec![(comm.rank() * 2 + b + 1) as u8; block]);
+            }
+            // The logical size is assembled from per-server piece sizes.
+            let f = adio.open(ctx, "/data/striped.bin", false).unwrap();
+            assert_eq!(f.get_size(ctx).unwrap(), (2 * ranks * block) as u64);
+        });
+        // Server-side distribution check: logical block g (of 8) lives on
+        // server g % 2 at local block g / 2, and block g = b*ranks + r
+        // carries rank r's round-b fill byte.
+        let stripe = 64 << 10;
+        let blocks = 2 * ranks;
+        for (s, fs) in fss.iter().enumerate() {
+            let attr = fs.resolve("/data/striped.bin").unwrap();
+            assert_eq!(
+                attr.size,
+                (blocks / servers * stripe) as u64,
+                "server {s} piece size"
+            );
+        }
+        for g in 0..blocks {
+            let fs = &fss[g % servers];
+            let attr = fs.resolve("/data/striped.bin").unwrap();
+            let local = ((g / servers) * stripe) as u64;
+            let expect = ((g % ranks) * 2 + g / ranks + 1) as u8;
+            assert_eq!(
+                fs.read(attr.id, local, 4).unwrap(),
+                vec![expect; 4],
+                "logical block {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn striping_factor_hint_restricts_servers() {
+        // striping_factor=1 on a 2-server mount: all bytes land on server
+        // 0, server 1 never sees the file.
+        let tb = Testbed::new(Backend::dafs_striped(2));
+        let fss = tb.server_fss.clone();
+        tb.run(1, move |ctx, comm, adio| {
+            let hints = Hints::from_pairs([("striping_factor", "1")]);
+            let f = adio.open_with_hints(ctx, "/one.bin", true, &hints).unwrap();
+            let host = comm.host().clone();
+            let src = host.mem.alloc(256 << 10);
+            host.mem.fill(src, 256 << 10, 0x5A);
+            f.write_contig(ctx, 0, src, 256 << 10).unwrap();
+            assert_eq!(f.get_size(ctx).unwrap(), 256 << 10);
+        });
+        let attr = fss[0].resolve("/one.bin").unwrap();
+        assert_eq!(attr.size, 256 << 10);
+        assert_eq!(fss[0].read(attr.id, 0, 8).unwrap(), vec![0x5A; 8]);
+        assert!(
+            fss[1].resolve("/one.bin").is_err(),
+            "server 1 must stay empty"
+        );
+    }
+
+    #[test]
     fn independent_contiguous_partition() {
         // Each rank writes its own contiguous slab at an explicit offset.
         let tb = Testbed::new(Backend::dafs());
@@ -160,8 +260,15 @@ mod tests {
         let tb = Testbed::new(Backend::dafs());
         tb.run(1, |ctx, comm, adio| {
             let host = comm.host().clone();
-            let f = MpiFile::open(ctx, adio, &host, "/seq", OpenMode::create(), Hints::default())
-                .unwrap();
+            let f = MpiFile::open(
+                ctx,
+                adio,
+                &host,
+                "/seq",
+                OpenMode::create(),
+                Hints::default(),
+            )
+            .unwrap();
             let buf = host.mem.alloc(100);
             host.mem.fill(buf, 100, 1);
             f.write(ctx, buf, 100).unwrap();
@@ -233,8 +340,15 @@ mod tests {
         let tb = Testbed::new(Backend::dafs());
         tb.run(1, |ctx, comm, adio| {
             let host = comm.host().clone();
-            let f = MpiFile::open(ctx, adio, &host, "/nb", OpenMode::create(), Hints::default())
-                .unwrap();
+            let f = MpiFile::open(
+                ctx,
+                adio,
+                &host,
+                "/nb",
+                OpenMode::create(),
+                Hints::default(),
+            )
+            .unwrap();
             let src = host.mem.alloc(4096);
             host.mem.fill(src, 4096, 9);
             let mut w = f.iwrite_at(ctx, 0, src, 4096);
@@ -280,8 +394,7 @@ mod tests {
             let mut hints = Hints::default();
             hints.set("romio_ds_write", "enable");
             hints.set("romio_ds_read", "enable");
-            let f =
-                MpiFile::open(ctx, adio, &host, "/sieved", OpenMode::create(), hints).unwrap();
+            let f = MpiFile::open(ctx, adio, &host, "/sieved", OpenMode::create(), hints).unwrap();
             // Pre-fill so RMW has something to preserve.
             let fill = host.mem.alloc(1 << 10);
             host.mem.fill(fill, 1 << 10, 0xEE);
@@ -300,7 +413,11 @@ mod tests {
         let attr = fs.resolve("/sieved").unwrap();
         let data = fs.read(attr.id, 0, 1 << 10).unwrap();
         for (i, &b) in data.iter().enumerate() {
-            let expect = if i % 64 < 16 && i < 8 * 64 { 0x33 } else { 0xEE };
+            let expect = if i % 64 < 16 && i < 8 * 64 {
+                0x33
+            } else {
+                0xEE
+            };
             assert_eq!(b, expect, "byte {i}");
         }
     }
@@ -311,8 +428,15 @@ mod tests {
         let tb = Testbed::new(Backend::ufs());
         tb.run(1, |ctx, comm, adio| {
             let host = comm.host().clone();
-            let f = MpiFile::open(ctx, adio, &host, "/ints", OpenMode::create(), Hints::default())
-                .unwrap();
+            let f = MpiFile::open(
+                ctx,
+                adio,
+                &host,
+                "/ints",
+                OpenMode::create(),
+                Hints::default(),
+            )
+            .unwrap();
             let el = Datatype::bytes(8);
             f.set_view(0, &el, &el);
             let one = host.mem.alloc(8);
@@ -341,8 +465,7 @@ mod tests {
                 if !two_phase {
                     hints.set("romio_cb_write", "disable");
                 }
-                let f =
-                    MpiFile::open(ctx, adio, &host, "/cmp", OpenMode::create(), hints).unwrap();
+                let f = MpiFile::open(ctx, adio, &host, "/cmp", OpenMode::create(), hints).unwrap();
                 let el = Datatype::bytes(BLOCK as u64);
                 let ft = Datatype::resized(
                     &Datatype::hindexed(&[(1, (comm.rank() * BLOCK) as i64)], &el),
@@ -375,8 +498,15 @@ mod tests {
         const BLOCK: usize = 16 << 10;
         tb.run(4, move |ctx, comm, adio| {
             let host = comm.host().clone();
-            let f = MpiFile::open(ctx, adio, &host, "/cr", OpenMode::create(), Hints::default())
-                .unwrap();
+            let f = MpiFile::open(
+                ctx,
+                adio,
+                &host,
+                "/cr",
+                OpenMode::create(),
+                Hints::default(),
+            )
+            .unwrap();
             let el = Datatype::bytes(BLOCK as u64);
             let ft = Datatype::resized(
                 &Datatype::hindexed(&[(1, (comm.rank() * BLOCK) as i64)], &el),
@@ -403,8 +533,15 @@ mod tests {
         let tb = Testbed::new(Backend::ufs());
         tb.run(2, |ctx, comm, adio| {
             let host = comm.host().clone();
-            let f = MpiFile::open(ctx, adio, &host, "/wa", OpenMode::create(), Hints::default())
-                .unwrap();
+            let f = MpiFile::open(
+                ctx,
+                adio,
+                &host,
+                "/wa",
+                OpenMode::create(),
+                Hints::default(),
+            )
+            .unwrap();
             // Rank-interleaved 1 KiB blocks.
             let el = Datatype::bytes(1024);
             let ft = Datatype::resized(
@@ -435,8 +572,15 @@ mod tests {
         let tb = Testbed::new(Backend::ufs());
         tb.run(1, |ctx, comm, adio| {
             let host = comm.host().clone();
-            let f = MpiFile::open(ctx, adio, &host, "/sk", OpenMode::create(), Hints::default())
-                .unwrap();
+            let f = MpiFile::open(
+                ctx,
+                adio,
+                &host,
+                "/sk",
+                OpenMode::create(),
+                Hints::default(),
+            )
+            .unwrap();
             // 8-byte etypes; write 10 elements.
             let el = Datatype::bytes(8);
             f.set_view(0, &el, &el);
@@ -462,8 +606,15 @@ mod tests {
         let tb = Testbed::new(Backend::ufs());
         tb.run(1, |ctx, comm, adio| {
             let host = comm.host().clone();
-            let f = MpiFile::open(ctx, adio, &host, "/bo", OpenMode::create(), Hints::default())
-                .unwrap();
+            let f = MpiFile::open(
+                ctx,
+                adio,
+                &host,
+                "/bo",
+                OpenMode::create(),
+                Hints::default(),
+            )
+            .unwrap();
             let el = Datatype::bytes(4);
             let ft = Datatype::resized(&el, 0, 16);
             f.set_view(100, &el, &ft);
@@ -481,8 +632,15 @@ mod tests {
         let fs = tb.fs.clone();
         tb.run(1, move |ctx, comm, adio| {
             let host = comm.host().clone();
-            let f = MpiFile::open(ctx, adio, &host, "/mem", OpenMode::create(), Hints::default())
-                .unwrap();
+            let f = MpiFile::open(
+                ctx,
+                adio,
+                &host,
+                "/mem",
+                OpenMode::create(),
+                Hints::default(),
+            )
+            .unwrap();
             // Memory: 8 bytes taken every 32 (e.g. one field of a struct
             // array).
             let memtype = Datatype::resized(&Datatype::bytes(8), 0, 32);
@@ -508,7 +666,10 @@ mod tests {
         assert_eq!(attr.size, 128);
         let data = fs.read(attr.id, 0, 128).unwrap();
         for i in 0..16u64 {
-            assert_eq!(&data[(i * 8) as usize..(i * 8 + 8) as usize], i.to_le_bytes());
+            assert_eq!(
+                &data[(i * 8) as usize..(i * 8 + 8) as usize],
+                i.to_le_bytes()
+            );
         }
     }
 
@@ -518,8 +679,15 @@ mod tests {
         let fs = tb.fs.clone();
         tb.run(4, |ctx, comm, adio| {
             let host = comm.host().clone();
-            let f = MpiFile::open(ctx, adio, &host, "/ord", OpenMode::create(), Hints::default())
-                .unwrap();
+            let f = MpiFile::open(
+                ctx,
+                adio,
+                &host,
+                "/ord",
+                OpenMode::create(),
+                Hints::default(),
+            )
+            .unwrap();
             // Variable sizes per rank: (rank+1) KiB.
             let len = (comm.rank() + 1) * 1024;
             let src = host.mem.alloc(len);
@@ -533,7 +701,10 @@ mod tests {
             comm.barrier(ctx);
             let n = read_ordered(ctx, comm, &f, dst, len as u64).unwrap();
             assert_eq!(n, len as u64);
-            assert_eq!(host.mem.read_vec(dst, len), vec![comm.rank() as u8 + 1; len]);
+            assert_eq!(
+                host.mem.read_vec(dst, len),
+                vec![comm.rank() as u8 + 1; len]
+            );
         });
         // File layout: round 0 = 1K of 1s, 2K of 2s, 3K of 3s, 4K of 4s;
         // then round 1 repeats.
@@ -559,8 +730,15 @@ mod tests {
         let tb = Testbed::new(Backend::dafs());
         tb.run(2, |ctx, comm, adio| {
             let host = comm.host().clone();
-            let f = MpiFile::open(ctx, adio, &host, "/split", OpenMode::create(), Hints::default())
-                .unwrap();
+            let f = MpiFile::open(
+                ctx,
+                adio,
+                &host,
+                "/split",
+                OpenMode::create(),
+                Hints::default(),
+            )
+            .unwrap();
             let el = Datatype::bytes(4096);
             let ft = Datatype::resized(
                 &Datatype::hindexed(&[(1, (comm.rank() * 4096) as i64)], &el),
@@ -577,7 +755,10 @@ mod tests {
             let dst = host.mem.alloc(8192);
             let split = read_at_all_begin(ctx, comm, &f, 0, dst, 8192);
             assert_eq!(read_at_all_end(ctx, split).unwrap(), 8192);
-            assert_eq!(host.mem.read_vec(dst, 8192), vec![comm.rank() as u8 + 7; 8192]);
+            assert_eq!(
+                host.mem.read_vec(dst, 8192),
+                vec![comm.rank() as u8 + 7; 8192]
+            );
         });
     }
 
@@ -632,8 +813,15 @@ mod tests {
         let tb = Testbed::new(Backend::nfs());
         let report = tb.run(2, |ctx, comm, adio| {
             let host = comm.host().clone();
-            let f = MpiFile::open(ctx, adio, &host, "/acct", OpenMode::create(), Hints::default())
-                .unwrap();
+            let f = MpiFile::open(
+                ctx,
+                adio,
+                &host,
+                "/acct",
+                OpenMode::create(),
+                Hints::default(),
+            )
+            .unwrap();
             let b = host.mem.alloc(64 << 10);
             f.write_at(ctx, (comm.rank() * (64 << 10)) as u64, b, 64 << 10)
                 .unwrap();

@@ -32,7 +32,11 @@ impl FileView {
             etype_size
         );
         assert!(flat.lb >= 0, "negative filetype lower bound unsupported");
-        FileView { disp, etype_size, flat }
+        FileView {
+            disp,
+            etype_size,
+            flat,
+        }
     }
 
     /// The trivial byte-stream view at displacement 0.
@@ -52,9 +56,7 @@ impl FileView {
 
     /// True if the view is a pure byte stream (fast path).
     pub fn is_contiguous(&self) -> bool {
-        self.disp == 0
-            && self.flat.runs.len() == 1
-            && self.flat.runs[0] == (0, self.flat.extent)
+        self.disp == 0 && self.flat.runs.len() == 1 && self.flat.runs[0] == (0, self.flat.extent)
     }
 
     /// Translate a logical byte range into physical `(offset, len)` ranges,
@@ -173,10 +175,7 @@ mod tests {
         );
         let v = FileView::new(100, &Datatype::bytes(1), &ft);
         assert_eq!(v.tile_size(), 4);
-        assert_eq!(
-            v.map(0, 8),
-            vec![(100, 2), (106, 2), (110, 2), (116, 2)]
-        );
+        assert_eq!(v.map(0, 8), vec![(100, 2), (106, 2), (110, 2), (116, 2)]);
         // Skip the first run entirely.
         assert_eq!(v.map(2, 2), vec![(106, 2)]);
         // Start inside the second run.
@@ -188,11 +187,7 @@ mod tests {
         // Classic 2-rank interleave: each rank sees alternate 8-byte blocks.
         let el = Datatype::bytes(8);
         let mk = |rank: i64| {
-            let ft = Datatype::resized(
-                &Datatype::hindexed(&[(1, rank * 8)], &el),
-                0,
-                16,
-            );
+            let ft = Datatype::resized(&Datatype::hindexed(&[(1, rank * 8)], &el), 0, 16);
             FileView::new(0, &el, &ft)
         };
         let v0 = mk(0);
@@ -247,6 +242,68 @@ mod tests {
         assert_eq!(v.logical_size(14), 4);
         // Size below the displacement: nothing.
         assert_eq!(v.logical_size(5), 0);
+    }
+
+    #[test]
+    fn logical_size_inverts_physical_end_randomized() {
+        // Property test over randomized multi-run filetypes: for every
+        // logical length L, `logical_size(physical_end(L)) == L`, and the
+        // mapping itself hands back exactly L sorted, disjoint payload
+        // bytes. Exercises partial-tile edges the hand-picked cases miss.
+        let mut rng = simnet::Rng64::new(0xF11E_711E);
+        for trial in 0..200 {
+            let nruns = rng.range_usize(1, 5);
+            let mut entries = Vec::with_capacity(nruns);
+            let mut off = rng.range(0, 4) as i64;
+            for _ in 0..nruns {
+                let len = rng.range(1, 9);
+                entries.push((len, off));
+                off += len as i64 + rng.range(0, 9) as i64;
+            }
+            let extent = off as u64 + rng.range(0, 9);
+            let ft = Datatype::resized(
+                &Datatype::hindexed(&entries, &Datatype::bytes(1)),
+                0,
+                extent,
+            );
+            let disp = rng.range(0, 64);
+            let v = FileView::new(disp, &Datatype::bytes(1), &ft);
+            let tile = v.tile_size();
+            let probes = [
+                0,
+                1,
+                tile - 1,
+                tile,
+                tile + 1,
+                2 * tile - 1,
+                3 * tile,
+                rng.range(0, 4 * tile + 1),
+                rng.range(0, 4 * tile + 1),
+            ];
+            for &logical in &probes {
+                let phys = v.physical_end(logical);
+                assert_eq!(
+                    v.logical_size(phys),
+                    logical,
+                    "trial={trial} runs={entries:?} extent={extent} \
+                     disp={disp} logical={logical} phys={phys}"
+                );
+                let ranges = v.map(0, logical);
+                let total: u64 = ranges.iter().map(|r| r.1).sum();
+                assert_eq!(total, logical, "trial={trial} mapped payload short");
+                assert!(
+                    ranges.windows(2).all(|w| w[0].0 + w[0].1 <= w[1].0),
+                    "trial={trial} map produced unsorted/overlapping ranges: {ranges:?}"
+                );
+                if logical > 0 {
+                    assert_eq!(
+                        ranges.last().map(|(o, l)| o + l),
+                        Some(phys),
+                        "trial={trial} physical_end disagrees with map"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -17,7 +17,9 @@ use simnet::{ActorCtx, Cluster, FaultPlan, Host, HostId, SimDuration, SimKernel,
 use tcpnet::{TcpCost, TcpFabric};
 use via::{ViaCost, ViaFabric};
 
-use crate::adio::{set_current_host, AdioFs, DafsAdio, DriverKind, NfsAdio, UfsAdio, UfsCost};
+use crate::adio::{
+    set_current_host, AdioFs, DafsAdio, DafsStripedAdio, DriverKind, NfsAdio, UfsAdio, UfsCost,
+};
 use crate::comm::{Comm, CommCost};
 
 /// Which file-access stack the job runs on.
@@ -32,6 +34,18 @@ pub enum Backend {
         server: DafsServerCost,
         /// Per-rank client/session configuration.
         client: DafsClientConfig,
+    },
+    /// The paper's system striped round-robin across several DAFS
+    /// servers (one session per server per rank).
+    DafsStriped {
+        /// VIA fabric cost model.
+        via: ViaCost,
+        /// Per-server cost model.
+        server: DafsServerCost,
+        /// Per-rank, per-session client configuration.
+        client: DafsClientConfig,
+        /// Number of DAFS servers (hosts 0..servers-1).
+        servers: usize,
     },
     /// The baseline: NFSv3 over the kernel TCP path.
     Nfs {
@@ -60,6 +74,16 @@ impl Backend {
         }
     }
 
+    /// Default striped-DAFS backend over `servers` servers.
+    pub fn dafs_striped(servers: usize) -> Backend {
+        Backend::DafsStriped {
+            via: ViaCost::default(),
+            server: DafsServerCost::default(),
+            client: DafsClientConfig::default(),
+            servers,
+        }
+    }
+
     /// Default NFS backend.
     pub fn nfs() -> Backend {
         Backend::Nfs {
@@ -80,6 +104,7 @@ impl Backend {
     pub fn kind(&self) -> DriverKind {
         match self {
             Backend::Dafs { .. } => DriverKind::Dafs,
+            Backend::DafsStriped { .. } => DriverKind::DafsStriped,
             Backend::Nfs { .. } => DriverKind::Nfs,
             Backend::Ufs { .. } => DriverKind::Ufs,
         }
@@ -112,9 +137,13 @@ pub struct Testbed {
     kernel: SimKernel,
     cluster: Cluster,
     backend: Backend,
-    /// The exported filesystem (server-side handle for test verification).
+    /// The exported filesystem (server-side handle for test verification;
+    /// server 0's piece filesystem on the striped backend).
     pub fs: MemFs,
-    dafs_handle: Option<dafs::DafsServerHandle>,
+    /// All server-side filesystems, in server order (one entry for the
+    /// single-server backends; empty for UFS).
+    pub server_fss: Vec<MemFs>,
+    dafs_handles: Vec<dafs::DafsServerHandle>,
     nfs_handle: Option<nfsv3::NfsServerHandle>,
     via_fabric: Option<ViaFabric>,
     tcp_fabric: Option<TcpFabric>,
@@ -135,7 +164,8 @@ impl Testbed {
         let kernel = SimKernel::with_obs(obs);
         let cluster = Cluster::new();
         let fs = MemFs::new();
-        let mut dafs_handle = None;
+        let mut server_fss = Vec::new();
+        let mut dafs_handles = Vec::new();
         let mut nfs_handle = None;
         let mut via_fabric = None;
         let mut tcp_fabric = None;
@@ -143,7 +173,7 @@ impl Testbed {
             Backend::Dafs { via, server, .. } => {
                 let fabric = ViaFabric::new(*via);
                 let nic = fabric.open_nic(cluster.add_host("server"));
-                dafs_handle = Some(dafs::spawn_dafs_server(
+                dafs_handles.push(dafs::spawn_dafs_server(
                     &kernel,
                     &fabric,
                     nic,
@@ -151,6 +181,31 @@ impl Testbed {
                     PORT,
                     *server,
                 ));
+                server_fss.push(fs.clone());
+                via_fabric = Some(fabric);
+            }
+            Backend::DafsStriped {
+                via,
+                server,
+                servers,
+                ..
+            } => {
+                assert!(*servers >= 1, "striped backend needs at least one server");
+                let fabric = ViaFabric::new(*via);
+                for s in 0..*servers {
+                    // Server 0 exports the testbed's primary fs handle.
+                    let sfs = if s == 0 { fs.clone() } else { MemFs::new() };
+                    let nic = fabric.open_nic(cluster.add_host(&format!("server{s}")));
+                    dafs_handles.push(dafs::spawn_dafs_server(
+                        &kernel,
+                        &fabric,
+                        nic,
+                        sfs.clone(),
+                        PORT,
+                        *server,
+                    ));
+                    server_fss.push(sfs);
+                }
                 via_fabric = Some(fabric);
             }
             Backend::Nfs { tcp, server, .. } => {
@@ -164,6 +219,7 @@ impl Testbed {
                     PORT,
                     *server,
                 ));
+                server_fss.push(fs.clone());
                 tcp_fabric = Some(fabric);
             }
             Backend::Ufs { .. } => {}
@@ -173,7 +229,8 @@ impl Testbed {
             cluster,
             backend,
             fs,
-            dafs_handle,
+            server_fss,
+            dafs_handles,
             nfs_handle,
             via_fabric,
             tcp_fabric,
@@ -210,10 +267,18 @@ impl Testbed {
     /// [`FaultPlanBuilder::host_crash`](simnet::FaultPlanBuilder::host_crash)
     /// windows.
     pub fn server_host(&self) -> Option<HostId> {
-        self.dafs_handle
-            .as_ref()
-            .map(|h| h.host.id)
-            .or(self.nfs_handle.as_ref().map(|h| h.host.id))
+        self.server_hosts().first().copied()
+    }
+
+    /// All file-server host ids, in server order (construction order: the
+    /// servers are always hosts 0..N-1, ranks follow). Singleton for the
+    /// single-server backends; empty for UFS.
+    pub fn server_hosts(&self) -> Vec<HostId> {
+        if !self.dafs_handles.is_empty() {
+            self.dafs_handles.iter().map(|h| h.host.id).collect()
+        } else {
+            self.nfs_handle.iter().map(|h| h.host.id).collect()
+        }
     }
 
     /// Spawn `ranks` MPI processes running `body`, drive the simulation to
@@ -228,11 +293,8 @@ impl Testbed {
         let backend = self.backend.clone();
         let via_fabric = self.via_fabric.clone();
         let tcp_fabric = self.tcp_fabric.clone();
-        let server_host_id = self
-            .dafs_handle
-            .as_ref()
-            .map(|h| h.host.id)
-            .or(self.nfs_handle.as_ref().map(|h| h.host.id));
+        let server_host_ids = self.server_hosts();
+        let server_host_id = server_host_ids.first().copied();
         let rank_hosts: Arc<Mutex<Vec<Host>>> = Arc::new(Mutex::new(Vec::new()));
         let rh = rank_hosts.clone();
         let shared_fs = self.fs.clone();
@@ -260,6 +322,22 @@ impl Testbed {
                         )
                         .expect("DAFS session");
                         let adio = DafsAdio::new(Arc::new(c));
+                        body(ctx, comm, &adio);
+                    }
+                    Backend::DafsStriped { client, .. } => {
+                        let fabric = via_fabric.as_ref().unwrap();
+                        let nic = fabric.open_nic(host.clone());
+                        // One session per server, all over the rank's NIC.
+                        let clients: Vec<Arc<DafsClient>> = server_host_ids
+                            .iter()
+                            .map(|sid| {
+                                Arc::new(
+                                    DafsClient::connect(ctx, fabric, &nic, *sid, PORT, *client)
+                                        .expect("DAFS session"),
+                                )
+                            })
+                            .collect();
+                        let adio = DafsStripedAdio::new(clients);
                         body(ctx, comm, &adio);
                     }
                     Backend::Nfs { client, .. } => {
@@ -292,8 +370,12 @@ impl Testbed {
             .lock()
             .iter()
             .fold(SimDuration::ZERO, |acc, h| acc + h.cpu.busy());
-        let (server_cpu, server_ops) = if let Some(h) = &self.dafs_handle {
-            (h.host.cpu.busy(), h.stats.ops.get())
+        let (server_cpu, server_ops) = if !self.dafs_handles.is_empty() {
+            self.dafs_handles
+                .iter()
+                .fold((SimDuration::ZERO, 0), |(cpu, ops), h| {
+                    (cpu + h.host.cpu.busy(), ops + h.stats.ops.get())
+                })
         } else if let Some(h) = &self.nfs_handle {
             (h.host.cpu.busy(), h.stats.ops.get())
         } else {
@@ -320,4 +402,3 @@ impl Testbed {
         self.kernel.obs()
     }
 }
-

@@ -543,7 +543,13 @@ impl NfsClient {
     }
 
     /// One READ RPC, at most `rsize` bytes. Returns (data, eof).
-    fn read_rpc(&self, ctx: &ActorCtx, fh: NodeId, off: u64, len: u64) -> NfsResult<(Vec<u8>, bool)> {
+    fn read_rpc(
+        &self,
+        ctx: &ActorCtx,
+        fh: NodeId,
+        off: u64,
+        len: u64,
+    ) -> NfsResult<(Vec<u8>, bool)> {
         let mut e = XdrEnc::new();
         e.u64(fh.0).u64(off).u32(len.min(self.config.rsize) as u32);
         let r = self.call(ctx, NfsProc::Read, e)?;
@@ -597,14 +603,20 @@ impl NfsClient {
     /// Consistency caveat, faithful to 2001 kernel clients: another
     /// client's write is only noticed once the attribute cache entry
     /// expires — the weak model that forced `noac` mounts under MPI-IO.
+    /// The caveat covers *cached pages* only: where this path has to go to
+    /// the server it trusts the per-RPC `eof`, exactly like
+    /// [`NfsClient::uncached_read`], so the two paths return the same
+    /// length even for a read spanning another client's concurrent
+    /// extension. (It used to clamp the request to the attribute-cached
+    /// `attr.size`, silently shortening such reads.)
     fn cached_read(&self, ctx: &ActorCtx, fh: NodeId, off: u64, len: u64) -> NfsResult<Vec<u8>> {
         let page = self.config.cache_page.max(512);
         let attr = self.getattr(ctx, fh)?;
         let v = attr.version;
-        let end = (off + len).min(attr.size);
-        if off >= end {
+        if len == 0 {
             return Ok(Vec::new());
         }
+        let end = off + len;
         let first = off / page;
         let last = (end - 1) / page;
         // Collect runs of pages that miss (absent or stale).
@@ -613,9 +625,7 @@ impl NfsClient {
             let dc = self.data_cache.lock();
             let mut run_start: Option<u64> = None;
             for p in first..=last {
-                let hit = dc
-                    .get(&(fh.0, p))
-                    .is_some_and(|(_, pv)| *pv == v);
+                let hit = dc.get(&(fh.0, p)).is_some_and(|(_, pv)| *pv == v);
                 if hit {
                     self.stats.dc_hits.inc();
                     ctx.metrics().counter("nfs.pagecache.hits").inc();
@@ -637,25 +647,33 @@ impl NfsClient {
         }
         for (a, b) in missing {
             let fetch_off = a * page;
-            let fetch_len = (b * page).min(attr.size) - fetch_off;
+            let fetch_len = b * page - fetch_off;
+            // Short (or empty) at EOF per the server's authoritative word;
+            // pages past EOF stay absent rather than caching emptiness.
             let data = self.uncached_read(ctx, fh, fetch_off, fetch_len)?;
             let mut dc = self.data_cache.lock();
             for (i, chunk) in data.chunks(page as usize).enumerate() {
                 dc.insert((fh.0, a + i as u64), (chunk.to_vec(), v));
             }
         }
-        // Assemble the answer from the cache (memory copy charged).
-        let mut out = Vec::with_capacity((end - off) as usize);
+        // Assemble the answer from the cache (memory copy charged). An
+        // absent or short page marks EOF: nothing past it is appended.
+        let mut out = Vec::with_capacity(len as usize);
         {
             let dc = self.data_cache.lock();
             for p in first..=last {
                 let page_base = p * page;
-                let empty: (Vec<u8>, u64) = (Vec::new(), 0);
-                let (bytes, _) = dc.get(&(fh.0, p)).unwrap_or(&empty);
+                let Some((bytes, _)) = dc.get(&(fh.0, p)) else {
+                    break;
+                };
                 let s = off.max(page_base) - page_base;
-                let e = end.min(page_base + page).saturating_sub(page_base);
-                if (s as usize) < bytes.len() {
-                    out.extend_from_slice(&bytes[s as usize..(e as usize).min(bytes.len())]);
+                let e = end.min(page_base + page) - page_base;
+                if (s as usize) >= bytes.len() {
+                    break;
+                }
+                out.extend_from_slice(&bytes[s as usize..(e as usize).min(bytes.len())]);
+                if (e as usize) > bytes.len() {
+                    break;
                 }
             }
         }
@@ -671,14 +689,23 @@ impl NfsClient {
 
     /// Write `data` at `off`, chunked by wsize, at the mount's stability
     /// level. UNSTABLE writes are followed by a COMMIT when `commit_after`.
-    pub fn write(&self, ctx: &ActorCtx, fh: NodeId, mut off: u64, data: &[u8]) -> NfsResult<FileAttr> {
+    pub fn write(
+        &self,
+        ctx: &ActorCtx,
+        fh: NodeId,
+        mut off: u64,
+        data: &[u8],
+    ) -> NfsResult<FileAttr> {
         let mut attr = None;
         for chunk in data.chunks(self.config.wsize.max(1) as usize) {
             // Application buffer into the RPC buffer.
             self.host
                 .compute(ctx, self.config.host_cost.copy(chunk.len() as u64));
             let mut e = XdrEnc::new();
-            e.u64(fh.0).u64(off).u32(self.config.stable as u32).opaque(chunk);
+            e.u64(fh.0)
+                .u64(off)
+                .u32(self.config.stable as u32)
+                .opaque(chunk);
             let r = self.call(ctx, NfsProc::Write, e)?;
             let mut d = XdrDec::new(&r);
             let _count = d.u32().map_err(|_| NfsError::Protocol)?;
@@ -727,7 +754,10 @@ impl NfsClient {
             self.host
                 .compute(ctx, self.config.host_cost.copy(chunk.len() as u64));
             let mut e = XdrEnc::new();
-            e.u64(fh.0).u64(off).u32(self.config.stable as u32).opaque(chunk);
+            e.u64(fh.0)
+                .u64(off)
+                .u32(self.config.stable as u32)
+                .opaque(chunk);
             let (xid, framed) = self.send_rpc(ctx, NfsProc::Write, e);
             rpcs.push((xid, framed, off, chunk.len() as u64));
             off += chunk.len() as u64;

@@ -212,7 +212,11 @@ mod tests {
             // Re-read: all pages hit; only time passes, no READ RPCs.
             let again = c.read(ctx, fh.id, 1000, 10_000).unwrap();
             assert_eq!(again, vec![9u8; 10_000]);
-            assert_eq!(c.stats.rpcs.get(), rpcs_after_first, "re-read must be RPC-free");
+            assert_eq!(
+                c.stats.rpcs.get(),
+                rpcs_after_first,
+                "re-read must be RPC-free"
+            );
             assert!(c.stats.dc_hits.get() > 0);
             // Our own write invalidates covered pages but keeps the rest.
             c.write(ctx, fh.id, 0, &[1u8; 100]).unwrap();
@@ -268,13 +272,84 @@ mod tests {
         }
         kernel.spawn("writer", move |ctx| {
             ctx.advance(ms(2));
-            let c = NfsClient::mount(ctx, &fabric, &hb, sid, 2049, NfsClientConfig::default())
-                .unwrap();
+            let c =
+                NfsClient::mount(ctx, &fabric, &hb, sid, 2049, NfsClientConfig::default()).unwrap();
             let fh = c.lookup(ctx, ROOT_ID, "sharedfile").unwrap();
             c.write(ctx, fh.id, 0, &vec![0xBB; 4096]).unwrap();
             c.unmount(ctx);
         });
         kernel.run();
+    }
+
+    #[test]
+    fn cached_read_matches_uncached_across_concurrent_extension() {
+        // Two readers of the same file — one page-cached, one not — plus a
+        // writer that extends the file after both have (attribute-)cached
+        // its old 4 KiB size. A read spanning the extension must return
+        // the same bytes on both paths: the cached path may serve its old
+        // pages from memory, but for the region it has to fetch it trusts
+        // the server's per-RPC EOF, not the stale cached size.
+        use std::sync::Mutex;
+        let kernel = SimKernel::new();
+        let cluster = Cluster::new();
+        let fabric = TcpFabric::new(TcpCost::default());
+        let sh = cluster.add_host("s");
+        let hosts: Vec<_> = ["cached", "uncached"]
+            .iter()
+            .map(|n| cluster.add_host(n))
+            .collect();
+        let hw = cluster.add_host("writer");
+        let fs = MemFs::new();
+        let f = fs.create(ROOT_ID, "grow").unwrap();
+        fs.write(f.id, 0, &vec![0x11; 4096]).unwrap();
+        let server = spawn_nfs_server(&kernel, &fabric, sh, fs, 2049, NfsServerCost::default());
+        let sid = server.host.id;
+        let results: Arc<Mutex<Vec<Vec<u8>>>> = Arc::new(Mutex::new(Vec::new()));
+        for (host, data_cache) in hosts.into_iter().zip([true, false]) {
+            let fabric = fabric.clone();
+            let results = results.clone();
+            kernel.spawn(&format!("reader-{data_cache}"), move |ctx| {
+                let cfg = NfsClientConfig {
+                    data_cache,
+                    ..Default::default()
+                };
+                let c = NfsClient::mount(ctx, &fabric, &host, sid, 2049, cfg).unwrap();
+                let fh = c.lookup(ctx, ROOT_ID, "grow").unwrap();
+                // Prime the attribute (and page) caches at the old size.
+                assert_eq!(c.read(ctx, fh.id, 0, 4096).unwrap().len(), 4096);
+                // Let the writer extend the file on the server; stay well
+                // inside the 30 ms attribute-cache window.
+                ctx.advance(ms(5));
+                let got = c.read(ctx, fh.id, 0, 8192).unwrap();
+                results.lock().unwrap().push(got);
+                c.unmount(ctx);
+            });
+        }
+        {
+            let fabric = fabric.clone();
+            kernel.spawn("writer", move |ctx| {
+                ctx.advance(ms(2));
+                let c = NfsClient::mount(ctx, &fabric, &hw, sid, 2049, NfsClientConfig::default())
+                    .unwrap();
+                let fh = c.lookup(ctx, ROOT_ID, "grow").unwrap();
+                c.write(ctx, fh.id, 4096, &vec![0x22; 4096]).unwrap();
+                c.unmount(ctx);
+            });
+        }
+        kernel.run();
+        let results = results.lock().unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(
+            results[0].len(),
+            results[1].len(),
+            "cached and uncached reads must agree on length across a concurrent extension"
+        );
+        assert_eq!(results[0], results[1]);
+        assert_eq!(
+            results[0].len(),
+            8192,
+            "the extension is past the stale cached size"
+        );
     }
 
     #[test]

@@ -145,7 +145,13 @@ mod tests {
         let (o, buf) = Obs::buffered();
         assert!(o.enabled());
         o.registry().counter("dafs.ops").inc();
-        o.emit(5, "rank0", "dafs", "session.connect", &[("credits", Value::U64(8))]);
+        o.emit(
+            5,
+            "rank0",
+            "dafs",
+            "session.connect",
+            &[("credits", Value::U64(8))],
+        );
         o.emit_snapshot(10);
         let text = String::from_utf8(buf.contents()).unwrap();
         let lines: Vec<&str> = text.lines().collect();

@@ -167,7 +167,9 @@ impl Snapshot {
 
     /// Entries whose name starts with `prefix` (a layer or subtree).
     pub fn with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a SnapshotEntry> {
-        self.entries.iter().filter(move |e| e.name.starts_with(prefix))
+        self.entries
+            .iter()
+            .filter(move |e| e.name.starts_with(prefix))
     }
 
     /// Render as one JSON object (a single JSON-lines record).
@@ -230,7 +232,9 @@ mod tests {
         assert_eq!(names, vec!["a.y", "b.z", "c.x"]);
         assert_eq!(s1.get("a.y").unwrap().value(), 10);
         assert_eq!(s1.to_json_line(), s2.to_json_line());
-        assert!(s1.to_json_line().starts_with("{\"type\":\"snapshot\",\"t_ns\":42,"));
+        assert!(s1
+            .to_json_line()
+            .starts_with("{\"type\":\"snapshot\",\"t_ns\":42,"));
     }
 
     #[test]

@@ -122,10 +122,7 @@ impl FaultPlanBuilder {
     /// Override the loss probability on the link between `a` and `b`.
     pub fn link_loss(mut self, a: HostId, b: HostId, p: f64) -> Self {
         let d = self.default_spec.clone();
-        self.links
-            .entry(pair_key(a, b))
-            .or_insert(d)
-            .loss = p.clamp(0.0, 1.0);
+        self.links.entry(pair_key(a, b)).or_insert(d).loss = p.clamp(0.0, 1.0);
         self
     }
 
@@ -247,13 +244,7 @@ impl FaultPlan {
     /// Apply latency jitter to a delivery that survived [`should_drop`]
     /// (`FaultPlan::should_drop`). The result is clamped to be monotone per
     /// directed link so jitter never reorders a FIFO wire.
-    pub fn jitter(
-        &self,
-        ctx: &ActorCtx,
-        src: HostId,
-        dst: HostId,
-        nominal: SimTime,
-    ) -> SimTime {
+    pub fn jitter(&self, ctx: &ActorCtx, src: HostId, dst: HostId, nominal: SimTime) -> SimTime {
         let max = self.spec(src, dst).jitter;
         let mut st = self.inner.state.lock();
         let mut arrival = nominal;
@@ -313,7 +304,12 @@ mod tests {
     fn down_windows_drop_everything() {
         with_ctx(|ctx| {
             let plan = FaultPlan::builder(1)
-                .link_down(HostId(0), HostId(1), SimTime::ZERO + ms(1), SimTime::ZERO + ms(2))
+                .link_down(
+                    HostId(0),
+                    HostId(1),
+                    SimTime::ZERO + ms(1),
+                    SimTime::ZERO + ms(2),
+                )
                 .build();
             assert_eq!(plan.should_drop(ctx, HostId(0), HostId(1), ctx.now()), None);
             ctx.advance(ms(1));
@@ -353,7 +349,10 @@ mod tests {
                 let nominal = SimTime::ZERO + us(10 * i);
                 let j = plan.jitter(ctx, HostId(0), HostId(1), nominal);
                 assert!(j >= nominal, "jitter only delays");
-                assert!(j <= nominal + us(100) || j == prev, "bounded unless clamped");
+                assert!(
+                    j <= nominal + us(100) || j == prev,
+                    "bounded unless clamped"
+                );
                 assert!(j >= prev, "FIFO clamp must keep arrivals monotone");
                 prev = j;
             }

@@ -119,12 +119,7 @@ impl HostMem {
         self.state.read().allocated_bytes
     }
 
-    fn with_alloc<R>(
-        &self,
-        addr: VirtAddr,
-        len: usize,
-        f: impl FnOnce(&mut [u8]) -> R,
-    ) -> R {
+    fn with_alloc<R>(&self, addr: VirtAddr, len: usize, f: impl FnOnce(&mut [u8]) -> R) -> R {
         let mut st = self.state.write();
         let (_, alloc) = st
             .allocs

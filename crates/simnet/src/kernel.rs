@@ -277,9 +277,7 @@ impl SimKernel {
                     if inner.trace_on() {
                         eprintln!(
                             "[sim {:>12}] run {} ({})",
-                            ev.time,
-                            ev.actor,
-                            st.actors[ev.actor.0].name
+                            ev.time, ev.actor, st.actors[ev.actor.0].name
                         );
                     }
                     // Advance the actor's clock to the wake time; it may be
@@ -556,8 +554,10 @@ impl Drop for Span<'_> {
         let end = self.ctx.now().as_nanos();
         let elapsed = end.saturating_sub(start);
         let reg = self.ctx.kernel.obs.registry();
-        reg.counter(&format!("{}.{}_ns", self.layer, self.op)).add(elapsed);
-        reg.counter(&format!("{}.{}.calls", self.layer, self.op)).inc();
+        reg.counter(&format!("{}.{}_ns", self.layer, self.op))
+            .add(elapsed);
+        reg.counter(&format!("{}.{}.calls", self.layer, self.op))
+            .inc();
         self.ctx.trace(
             self.layer,
             self.op,

@@ -27,11 +27,7 @@ impl Link {
     }
 
     /// Build a full-duplex pair of identical links (forward, reverse).
-    pub fn duplex(
-        name: &str,
-        latency: SimDuration,
-        bandwidth: Bandwidth,
-    ) -> (Link, Link) {
+    pub fn duplex(name: &str, latency: SimDuration, bandwidth: Bandwidth) -> (Link, Link) {
         (
             Link::new(&format!("{name}.fwd"), latency, bandwidth),
             Link::new(&format!("{name}.rev"), latency, bandwidth),

@@ -228,9 +228,7 @@ impl<T: Send + 'static> Port<T> {
     pub fn try_recv(&self, ctx: &ActorCtx) -> Option<T> {
         let mut st = self.inner.heap.lock();
         match st.messages.peek() {
-            Some(Reverse(t)) if t.arrival <= ctx.now() => {
-                Some(st.messages.pop().unwrap().0.msg)
-            }
+            Some(Reverse(t)) if t.arrival <= ctx.now() => Some(st.messages.pop().unwrap().0.msg),
             _ => None,
         }
     }

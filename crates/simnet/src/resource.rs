@@ -77,7 +77,10 @@ impl Resource {
             &[
                 ("resource", obs::Value::Str(&self.name)),
                 ("service_ns", obs::Value::U64(service.as_nanos())),
-                ("queued_ns", obs::Value::U64((done - arrival).as_nanos() - service.as_nanos())),
+                (
+                    "queued_ns",
+                    obs::Value::U64((done - arrival).as_nanos() - service.as_nanos()),
+                ),
             ],
         );
         ctx.sleep_until(done);
@@ -120,10 +123,7 @@ mod tests {
         // First request: starts at its arrival.
         assert_eq!(r.book(SimTime(100), us(10)), SimTime(100) + us(10));
         // Second arrives while busy: queues.
-        assert_eq!(
-            r.book(SimTime(105), us(5)),
-            SimTime(100) + us(10) + us(5)
-        );
+        assert_eq!(r.book(SimTime(105), us(5)), SimTime(100) + us(10) + us(5));
         // Third arrives after idle gap: starts at its own arrival.
         let idle_arrival = SimTime(1_000_000);
         assert_eq!(r.book(idle_arrival, us(1)), idle_arrival + us(1));

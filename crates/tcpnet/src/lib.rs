@@ -355,8 +355,13 @@ impl Socket {
         // resource is booked). Message boundaries match `send` calls, so a
         // drop always loses a whole framed RPC, never a partial frame.
         if let Some(f) = &s.faults {
-            if f.should_drop(ctx, s.local_host.id, s.peer_host, tx_start + s.cost.wire_latency)
-                .is_some()
+            if f.should_drop(
+                ctx,
+                s.local_host.id,
+                s.peer_host,
+                tx_start + s.cost.wire_latency,
+            )
+            .is_some()
             {
                 return;
             }

@@ -152,11 +152,7 @@ impl SendDesc {
 
     /// An RDMA Write that also delivers immediate data (consumes a receive
     /// descriptor on the peer, signalling the write).
-    pub fn rdma_write_imm(
-        segs: Vec<DataSegment>,
-        remote: RemoteSegment,
-        imm: u32,
-    ) -> SendDesc {
+    pub fn rdma_write_imm(segs: Vec<DataSegment>, remote: RemoteSegment, imm: u32) -> SendDesc {
         SendDesc {
             op: SendOp::RdmaWrite,
             segs,

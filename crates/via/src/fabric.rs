@@ -137,7 +137,10 @@ impl ViaFabric {
     ) -> Result<Vi, ConnectError> {
         let (listener, faults) = {
             let st = self.state.lock();
-            (st.listeners.get(&(remote, port)).cloned(), st.faults.clone())
+            (
+                st.listeners.get(&(remote, port)).cloned(),
+                st.faults.clone(),
+            )
         };
         let listener = listener.ok_or(ConnectError::NoListener)?;
 

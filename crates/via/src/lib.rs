@@ -329,9 +329,7 @@ mod tests {
         let fabric = tb.fabric.clone();
         let cnic = tb.client_nic.clone();
         tb.kernel.spawn("client", move |ctx| {
-            let vi = fabric
-                .connect(ctx, &cnic, server_host, 7, attrs)
-                .unwrap();
+            let vi = fabric.connect(ctx, &cnic, server_host, 7, attrs).unwrap();
             let tag = vi.ptag();
             let (sbuf, sh) = reg_buf(ctx, &cnic, 64, MemAttributes::local(tag));
             vi.post_send(ctx, SendDesc::send(vec![DataSegment::new(sbuf, 8, sh)]));

@@ -227,11 +227,7 @@ mod tests {
     fn remote_access_rights() {
         let t = RegistrationTable::new();
         let local = t.register(VirtAddr(0x1000), 10, MemAttributes::local(TAG));
-        let wtarget = t.register(
-            VirtAddr(0x3000),
-            10,
-            MemAttributes::rdma_write_target(TAG),
-        );
+        let wtarget = t.register(VirtAddr(0x3000), 10, MemAttributes::rdma_write_target(TAG));
         let rsource = t.register(VirtAddr(0x5000), 10, MemAttributes::rdma_read_source(TAG));
 
         assert_eq!(

@@ -249,7 +249,11 @@ impl Vi {
     /// Post a receive descriptor (`VipPostRecv`). Returns immediately.
     pub fn post_recv(&self, ctx: &ActorCtx, desc: RecvDesc) {
         let cost = self.nic.cost().post_recv
-            + self.nic.cost().per_segment.saturating_mul(desc.segs.len() as u64);
+            + self
+                .nic
+                .cost()
+                .per_segment
+                .saturating_mul(desc.segs.len() as u64);
         self.nic.host().compute(ctx, cost);
         ctx.metrics().counter("via.descriptors.recv_posted").inc();
         ctx.trace(
@@ -276,7 +280,11 @@ impl Vi {
     /// completion arrives asynchronously on the send queue / CQ.
     pub fn post_send(&self, ctx: &ActorCtx, desc: SendDesc) {
         let cost = self.nic.cost().post_send
-            + self.nic.cost().per_segment.saturating_mul(desc.segs.len() as u64);
+            + self
+                .nic
+                .cost()
+                .per_segment
+                .saturating_mul(desc.segs.len() as u64);
         self.nic.host().compute(ctx, cost);
         // The doorbell write is the user-level I/O submission the paper's
         // VIA path is built around: count every ring.
@@ -542,8 +550,7 @@ impl Vi {
         // ...peer NIC streams the payload back, occupying its transmit wire
         // and our receive wire.
         let ser = c.wire_bw.time_for(len);
-        let (peer_tx_start, _peer_tx_done) =
-            self.peer_nic.inner.tx_wire.book_span(req_at, ser);
+        let (peer_tx_start, _peer_tx_done) = self.peer_nic.inner.tx_wire.book_span(req_at, ser);
         let rx_done = self
             .nic
             .inner
@@ -642,18 +649,16 @@ impl Vi {
                     at,
                 }
             }
-            WireMsg::RdmaWriteImm { imm, len } => {
-                match self.take_posted(at) {
-                    Some(_) => Completion {
-                        status: ViaStatus::Success,
-                        len,
-                        imm: Some(imm),
-                        queue: WhichQueue::Recv,
-                        at,
-                    },
-                    None => self.missing_descriptor(ctx, at),
-                }
-            }
+            WireMsg::RdmaWriteImm { imm, len } => match self.take_posted(at) {
+                Some(_) => Completion {
+                    status: ViaStatus::Success,
+                    len,
+                    imm: Some(imm),
+                    queue: WhichQueue::Recv,
+                    at,
+                },
+                None => self.missing_descriptor(ctx, at),
+            },
             WireMsg::Data { bytes, imm } => match self.take_posted(at) {
                 None => self.missing_descriptor(ctx, at),
                 Some(desc) => {

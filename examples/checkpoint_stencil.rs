@@ -41,7 +41,8 @@ fn run(backend: Backend) -> (SimDuration, f64) {
         );
         for step in 0..CHECKPOINTS {
             // "Compute" an iteration: refresh the band with a step pattern.
-            host.mem.fill(band, band_bytes, (step * RANKS + comm.rank()) as u8);
+            host.mem
+                .fill(band, band_bytes, (step * RANKS + comm.rank()) as u8);
             let file = MpiFile::open(
                 ctx,
                 adio,
@@ -83,10 +84,7 @@ fn main() {
     println!("backend   agg-bandwidth   server-cpu");
     println!("dafs      {dafs_bw:8.1} MB/s   {dafs_cpu}");
     println!("nfs       {nfs_bw:8.1} MB/s   {nfs_cpu}");
-    println!(
-        "\nDAFS/NFS checkpoint speedup: {:.2}x",
-        dafs_bw / nfs_bw
-    );
+    println!("\nDAFS/NFS checkpoint speedup: {:.2}x", dafs_bw / nfs_bw);
     assert!(dafs_bw > nfs_bw, "DAFS must beat the NFS baseline");
     println!("checkpoint_stencil: OK");
 }

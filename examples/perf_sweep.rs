@@ -82,7 +82,10 @@ fn main() {
         "ROMIO perf pattern: {RANKS} ranks × {} MiB contiguous partitions\n",
         SLAB >> 20
     );
-    println!("{:<8} {:>12} {:>14} {:>12}", "backend", "write MB/s", "write+sync", "read MB/s");
+    println!(
+        "{:<8} {:>12} {:>14} {:>12}",
+        "backend", "write MB/s", "write+sync", "read MB/s"
+    );
     let mut rows = Vec::new();
     for backend in [Backend::dafs(), Backend::nfs(), Backend::ufs()] {
         let row = run(backend);

@@ -61,7 +61,9 @@ fn main() {
         assert_eq!(n as usize, ROUNDS * BLOCK);
         for round in 0..ROUNDS {
             let got = host.mem.read_vec(dst.offset((round * BLOCK) as u64), BLOCK);
-            assert!(got.iter().all(|&b| b == (comm.rank() * ROUNDS + round) as u8));
+            assert!(got
+                .iter()
+                .all(|&b| b == (comm.rank() * ROUNDS + round) as u8));
         }
 
         if comm.rank() == 0 {

@@ -4,8 +4,11 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release --workspace
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release (warnings are errors)"
+RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo build --release --workspace
 
 echo "==> cargo test -q"
 cargo test -q --workspace
@@ -18,6 +21,14 @@ f7_out=$(cargo run --release -p mpio-dafs-bench --bin f7_overlap -- --smoke)
 echo "$f7_out"
 echo "$f7_out" | grep -q "pipelined" || {
     echo "ci: R-F7 output missing the pipelined column" >&2
+    exit 1
+}
+
+echo "==> R-F8 server-scaling smoke (striped multi-server DAFS)"
+f8_out=$(cargo run --release -p mpio-dafs-bench --bin f8_server_scaling -- --smoke)
+echo "$f8_out"
+echo "$f8_out" | grep -q "bit-identical" || {
+    echo "ci: R-F8 output missing the striped-vs-raw identity note" >&2
     exit 1
 }
 

@@ -12,7 +12,11 @@ use mpio_dafs::nfsv3::NfsError;
 fn driver_kind_round_trips_through_strings() {
     for k in [DriverKind::Dafs, DriverKind::Nfs, DriverKind::Ufs] {
         assert_eq!(DriverKind::from_str(k.as_str()), Ok(k));
-        assert_eq!(DriverKind::from_str(&k.to_string()), Ok(k), "Display agrees");
+        assert_eq!(
+            DriverKind::from_str(&k.to_string()),
+            Ok(k),
+            "Display agrees"
+        );
     }
     // Case-insensitive on the way in; canonical lowercase on the way out.
     assert_eq!(DriverKind::from_str("DAFS"), Ok(DriverKind::Dafs));
@@ -90,7 +94,9 @@ fn open_options_overrides_take_effect() {
 fn adio_error_source_chains_to_the_driver_error() {
     let e = AdioError::Io(IoFault::Nfs(NfsError::TimedOut));
     let fault = e.source().expect("Io must expose its fault");
-    let inner = fault.source().expect("the fault must expose the driver error");
+    let inner = fault
+        .source()
+        .expect("the fault must expose the driver error");
     assert!(
         inner.downcast_ref::<NfsError>().is_some(),
         "chain must bottom out at the driver's own error type"
@@ -98,5 +104,9 @@ fn adio_error_source_chains_to_the_driver_error() {
     assert!(inner.source().is_none(), "TimedOut is a leaf");
     // Non-Io variants are leaves.
     assert!(AdioError::NoSuchFile.source().is_none());
-    assert!(AdioError::Io(IoFault::Protocol).source().unwrap().source().is_none());
+    assert!(AdioError::Io(IoFault::Protocol)
+        .source()
+        .unwrap()
+        .source()
+        .is_none());
 }

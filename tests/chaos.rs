@@ -31,8 +31,15 @@ fn faulted_roundtrip(backend: Backend, plan: FaultPlan, ranks: usize, block: usi
     let fs = tb.fs.clone();
     let report = tb.run(ranks, move |ctx, comm, adio| {
         let host = comm.host().clone();
-        let f = MpiFile::open(ctx, adio, &host, "/chaos", OpenMode::create(), Hints::default())
-            .unwrap();
+        let f = MpiFile::open(
+            ctx,
+            adio,
+            &host,
+            "/chaos",
+            OpenMode::create(),
+            Hints::default(),
+        )
+        .unwrap();
         let src = host.mem.alloc(block);
         host.mem.fill(src, block, comm.rank() as u8 + 1);
         f.write_at(ctx, (comm.rank() * block) as u64, src, block as u64)
@@ -60,7 +67,9 @@ fn faulted_roundtrip(backend: Backend, plan: FaultPlan, ranks: usize, block: usi
     let data = fs.read(attr.id, 0, attr.size).unwrap();
     for r in 0..ranks {
         assert!(
-            data[r * block..(r + 1) * block].iter().all(|&b| b == r as u8 + 1),
+            data[r * block..(r + 1) * block]
+                .iter()
+                .all(|&b| b == r as u8 + 1),
             "server holds corrupt bytes for rank {r}"
         );
     }
@@ -102,11 +111,19 @@ fn heavy_loss_actually_exercises_recovery() {
     assert!(dropped(&dafs) > 0, "no DAFS messages dropped at 5% loss");
     assert!(dropped(&nfs) > 0, "no NFS messages dropped at 5% loss");
     assert!(
-        dafs.snapshot.get("dafs.reconnects").map(|e| e.value()).unwrap_or(0) > 0,
+        dafs.snapshot
+            .get("dafs.reconnects")
+            .map(|e| e.value())
+            .unwrap_or(0)
+            > 0,
         "DAFS dropped messages but never reconnected"
     );
     assert!(
-        nfs.snapshot.get("nfs.retrans").map(|e| e.value()).unwrap_or(0) > 0,
+        nfs.snapshot
+            .get("nfs.retrans")
+            .map(|e| e.value())
+            .unwrap_or(0)
+            > 0,
         "NFS dropped messages but never retransmitted"
     );
 }
@@ -133,8 +150,8 @@ fn pipelined_collective_survives_loss() {
                 // Small collective buffer: several windows, so batches
                 // overlap the exchange while faults fire.
                 hints.set("cb_buffer_size", "16384");
-                let f = MpiFile::open(ctx, adio, &host, "/coll", OpenMode::create(), hints)
-                    .unwrap();
+                let f =
+                    MpiFile::open(ctx, adio, &host, "/coll", OpenMode::create(), hints).unwrap();
                 let el = Datatype::bytes(block);
                 let ft = Datatype::resized(
                     &Datatype::hindexed(&[(1, (comm.rank() as u64 * block) as i64)], &el),
@@ -214,7 +231,12 @@ fn crash_plan(seed: u64) -> FaultPlan {
 fn dafs_survives_server_crash() {
     let report = faulted_roundtrip(Backend::dafs(), crash_plan(0xCA5), 2, 256 << 10);
     assert!(
-        report.snapshot.get("dafs.reconnects").map(|e| e.value()).unwrap_or(0) > 0,
+        report
+            .snapshot
+            .get("dafs.reconnects")
+            .map(|e| e.value())
+            .unwrap_or(0)
+            > 0,
         "a 14ms server outage must force at least one reconnect"
     );
 }
@@ -223,7 +245,12 @@ fn dafs_survives_server_crash() {
 fn nfs_survives_server_crash() {
     let report = faulted_roundtrip(Backend::nfs(), crash_plan(0xCA5), 2, 256 << 10);
     assert!(
-        report.snapshot.get("nfs.retrans").map(|e| e.value()).unwrap_or(0) > 0,
+        report
+            .snapshot
+            .get("nfs.retrans")
+            .map(|e| e.value())
+            .unwrap_or(0)
+            > 0,
         "a 14ms server outage must force at least one retransmission"
     );
 }

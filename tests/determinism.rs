@@ -12,8 +12,15 @@ fn run_once(backend: Backend, ranks: usize) -> (u64, u64, Vec<u8>) {
     let fs = tb.fs.clone();
     let report = tb.run(ranks, move |ctx, comm, adio| {
         let host = comm.host().clone();
-        let f = MpiFile::open(ctx, adio, &host, "/det", OpenMode::create(), Hints::default())
-            .unwrap();
+        let f = MpiFile::open(
+            ctx,
+            adio,
+            &host,
+            "/det",
+            OpenMode::create(),
+            Hints::default(),
+        )
+        .unwrap();
         let block = 16 << 10;
         let el = Datatype::bytes(block);
         let ft = Datatype::resized(
@@ -23,7 +30,8 @@ fn run_once(backend: Backend, ranks: usize) -> (u64, u64, Vec<u8>) {
         );
         f.set_view(0, &el, &ft);
         let src = host.mem.alloc(3 * block as usize);
-        host.mem.fill(src, 3 * block as usize, comm.rank() as u8 + 1);
+        host.mem
+            .fill(src, 3 * block as usize, comm.rank() as u8 + 1);
         write_at_all(ctx, comm, &f, 0, src, 3 * block).unwrap();
         // Some independent traffic too.
         let dst = host.mem.alloc(block as usize);
@@ -87,8 +95,15 @@ fn run_traced(backend: Backend, ranks: usize) -> (u64, Vec<u8>, Snapshot) {
     let tb = Testbed::with_obs(backend, obs);
     let report = tb.run(ranks, move |ctx, comm, adio| {
         let host = comm.host().clone();
-        let f = MpiFile::open(ctx, adio, &host, "/det", OpenMode::create(), Hints::default())
-            .unwrap();
+        let f = MpiFile::open(
+            ctx,
+            adio,
+            &host,
+            "/det",
+            OpenMode::create(),
+            Hints::default(),
+        )
+        .unwrap();
         let block = 16 << 10;
         let el = Datatype::bytes(block);
         let ft = Datatype::resized(
@@ -98,7 +113,8 @@ fn run_traced(backend: Backend, ranks: usize) -> (u64, Vec<u8>, Snapshot) {
         );
         f.set_view(0, &el, &ft);
         let src = host.mem.alloc(3 * block as usize);
-        host.mem.fill(src, 3 * block as usize, comm.rank() as u8 + 1);
+        host.mem
+            .fill(src, 3 * block as usize, comm.rank() as u8 + 1);
         write_at_all(ctx, comm, &f, 0, src, 3 * block).unwrap();
         let dst = host.mem.alloc(block as usize);
         f.read_at(ctx, comm.rank() as u64, dst, block).unwrap();
@@ -118,7 +134,11 @@ fn traced_runs_emit_byte_identical_streams() {
     let text = String::from_utf8(a.1).unwrap();
     assert!(text.lines().count() > 10, "suspiciously short trace");
     assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
-    assert!(text.lines().last().unwrap().contains("\"type\":\"snapshot\""));
+    assert!(text
+        .lines()
+        .last()
+        .unwrap()
+        .contains("\"type\":\"snapshot\""));
 }
 
 #[test]
@@ -155,8 +175,15 @@ fn run_faulted(seed: u64) -> (u64, Vec<u8>, Snapshot, Vec<u8>) {
     let fs = tb.fs.clone();
     let report = tb.run(2, |ctx, comm, adio| {
         let host = comm.host().clone();
-        let f = MpiFile::open(ctx, adio, &host, "/fdet", OpenMode::create(), Hints::default())
-            .unwrap();
+        let f = MpiFile::open(
+            ctx,
+            adio,
+            &host,
+            "/fdet",
+            OpenMode::create(),
+            Hints::default(),
+        )
+        .unwrap();
         let block = 128 << 10;
         let src = host.mem.alloc(block);
         host.mem.fill(src, block, comm.rank() as u8 + 1);
@@ -199,8 +226,14 @@ fn same_fault_seed_replays_identical_timeline() {
 fn different_fault_seed_changes_timeline_not_contents() {
     let a = run_faulted(0xFA17);
     let b = run_faulted(0xFA18);
-    assert_ne!(a.1, b.1, "different seeds should produce different fault timelines");
-    assert_eq!(a.3, b.3, "recovery must converge to identical bytes on any timeline");
+    assert_ne!(
+        a.1, b.1,
+        "different seeds should produce different fault timelines"
+    );
+    assert_eq!(
+        a.3, b.3,
+        "recovery must converge to identical bytes on any timeline"
+    );
 }
 
 #[test]
@@ -208,10 +241,11 @@ fn metrics_collect_even_when_tracing_is_disabled() {
     let tb = Testbed::new(Backend::dafs());
     let report = tb.run(2, |ctx, comm, adio| {
         let host = comm.host().clone();
-        let f = MpiFile::open(ctx, adio, &host, "/m", OpenMode::create(), Hints::default())
-            .unwrap();
+        let f =
+            MpiFile::open(ctx, adio, &host, "/m", OpenMode::create(), Hints::default()).unwrap();
         let src = host.mem.alloc(4096);
-        f.write_at(ctx, (comm.rank() * 4096) as u64, src, 4096).unwrap();
+        f.write_at(ctx, (comm.rank() * 4096) as u64, src, 4096)
+            .unwrap();
     });
     assert!(!report.traced);
     assert!(report.snapshot.get("dafs.ops").unwrap().value() > 0);

@@ -46,7 +46,8 @@ fn eight_rank_column_partitioned_matrix() {
             for c in 0..cols {
                 let col = comm.rank() * cols + c;
                 let v = ((row as u64) << 32 | col as u64).to_le_bytes();
-                host.mem.write(src.offset(((row * cols + c) * 8) as u64), &v);
+                host.mem
+                    .write(src.offset(((row * cols + c) * 8) as u64), &v);
             }
         }
         write_at_all(ctx, comm, &file, 0, src, mine as u64).unwrap();
@@ -87,7 +88,8 @@ fn backends_agree_on_file_contents() {
             );
             f.set_view(0, &el, &ft);
             let src = host.mem.alloc(2 * (10 << 10));
-            host.mem.fill(src, 2 * (10 << 10), comm.rank() as u8 * 3 + 1);
+            host.mem
+                .fill(src, 2 * (10 << 10), comm.rank() as u8 * 3 + 1);
             write_at_all(ctx, comm, &f, 0, src, 2 * (10 << 10)).unwrap();
         });
         let attr = fs.resolve("/x").unwrap();
@@ -143,8 +145,8 @@ fn inline_direct_threshold_behaviour() {
     let fs = tb.fs.clone();
     tb.run(1, |ctx, comm, adio| {
         let host = comm.host().clone();
-        let f = MpiFile::open(ctx, adio, &host, "/t", OpenMode::create(), Hints::default())
-            .unwrap();
+        let f =
+            MpiFile::open(ctx, adio, &host, "/t", OpenMode::create(), Hints::default()).unwrap();
         // 4 KiB (inline) then 64 KiB (direct) at disjoint offsets.
         let small = host.mem.alloc(4 << 10);
         host.mem.fill(small, 4 << 10, 0xAA);
@@ -177,8 +179,15 @@ fn rdma_read_fabric_write_direct_end_to_end() {
     const LEN: usize = 1 << 20;
     tb.run(2, |ctx, comm, adio| {
         let host = comm.host().clone();
-        let f = MpiFile::open(ctx, adio, &host, "/wd", OpenMode::create(), Hints::default())
-            .unwrap();
+        let f = MpiFile::open(
+            ctx,
+            adio,
+            &host,
+            "/wd",
+            OpenMode::create(),
+            Hints::default(),
+        )
+        .unwrap();
         let src = host.mem.alloc(LEN);
         host.mem.fill(src, LEN, comm.rank() as u8 + 0x10);
         f.write_at(ctx, (comm.rank() * LEN) as u64, src, LEN as u64)
@@ -257,7 +266,10 @@ fn scaling_reaches_server_wire_saturation() {
     // One client nearly saturates a DAFS server on large writes; more
     // clients must not exceed the wire and must not collapse.
     assert!(bw4 <= 111.0 && bw8 <= 111.0, "over the wire? {bw4} {bw8}");
-    assert!(bw8 > 95.0, "saturated aggregate should hold near wire: {bw8}");
+    assert!(
+        bw8 > 95.0,
+        "saturated aggregate should hold near wire: {bw8}"
+    );
     assert!(bw1 > 80.0, "single client underperforms: {bw1}");
 }
 

@@ -267,8 +267,7 @@ fn pipelined_collective_matches_synchronous() {
                 // so the pipeline actually has windows to overlap.
                 hints.set("cb_buffer_size", "4096");
                 hints.set("romio_cb_pipeline", pipeline);
-                let f =
-                    MpiFile::open(ctx, adio, &host, "/eq", OpenMode::create(), hints).unwrap();
+                let f = MpiFile::open(ctx, adio, &host, "/eq", OpenMode::create(), hints).unwrap();
                 let el = Datatype::bytes(block);
                 let ft = Datatype::resized(
                     &Datatype::hindexed(&[(1, (comm.rank() as u64 * block) as i64)], &el),
