@@ -1,0 +1,20 @@
+//! Run the list-I/O vs data-sieving comparison:
+//! `cargo run -p mpio-dafs-bench --release --bin f9_listio [-- --smoke]`.
+//!
+//! `--smoke` shrinks the swept span (2 MiB instead of 8 MiB) for quick CI
+//! validation; the table shape, the list-over-sieve speedup assertion, and
+//! the cross-routing image identity check are the same.
+fn main() {
+    let mut smoke = false;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("unknown argument: {other} (supported: --smoke)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let span = if smoke { 2 << 20 } else { 8 << 20 };
+    mpio_dafs_bench::f9_listio::run_sized(span).print();
+}

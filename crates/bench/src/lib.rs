@@ -20,6 +20,7 @@ pub mod f5_direct_threshold;
 pub mod f6_server_saturation;
 pub mod f7_overlap;
 pub mod f8_server_scaling;
+pub mod f9_listio;
 pub mod t1_transport_latency;
 pub mod t2_registration_cost;
 pub mod t3_fileop_latency;
@@ -53,6 +54,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("R-F6", f6_server_saturation::run),
         ("R-F7", f7_overlap::run),
         ("R-F8", f8_server_scaling::run),
+        ("R-F9", f9_listio::run),
         ("X-1", x1_btio_subarray::run),
         ("X-2", x2_mixed_workload::run),
         ("X-3", x3_latency_sensitivity::run),

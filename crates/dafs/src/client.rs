@@ -114,8 +114,45 @@ pub struct WriteReq {
     pub len: u64,
 }
 
-/// One expanded sub-operation of a batch: a whole direct transfer, or one
-/// inline-sized chunk of a larger request.
+/// One vectored request in a list batch: sorted non-overlapping file
+/// segments mapping into one client buffer. Segments are
+/// `(file offset, len, buffer offset)`; the buffer offsets let one list
+/// express a packed layout (prefix sums), an offset-aligned collective
+/// drain (`off - off0`), or striped fragment positions.
+#[derive(Debug, Clone)]
+pub struct ListReq {
+    /// File to access.
+    pub fh: NodeId,
+    /// Segments, ascending on both the file and the buffer axis.
+    pub segs: Vec<proto::ListSeg>,
+    /// Base buffer; segment `i` lives at `buf + segs[i].2`.
+    pub buf: VirtAddr,
+}
+
+impl ListReq {
+    /// A packed list: `ranges` consume `buf` back-to-back in list order.
+    pub fn packed(fh: NodeId, ranges: &[(u64, u64)], buf: VirtAddr) -> ListReq {
+        let mut rel = 0u64;
+        let segs = ranges
+            .iter()
+            .map(|&(off, len)| {
+                let s = (off, len, rel);
+                rel += len;
+                s
+            })
+            .collect();
+        ListReq { fh, segs, buf }
+    }
+
+    /// Total bytes the list covers.
+    pub fn total(&self) -> u64 {
+        self.segs.iter().map(|s| s.1).sum()
+    }
+}
+
+/// One expanded sub-operation of a batch: a whole direct transfer, one
+/// inline-sized chunk of a larger request, or one segment-capped slice of
+/// a vectored list request.
 struct Sub {
     owner: usize,
     fh: NodeId,
@@ -123,6 +160,9 @@ struct Sub {
     addr: VirtAddr,
     len: u64,
     direct: bool,
+    /// List sub: segments with buffer offsets rebased onto `addr`. `off`
+    /// is unused then; `len` is the segments' total byte count.
+    segs: Option<Vec<proto::ListSeg>>,
 }
 
 /// Which way a batch moves data.
@@ -153,6 +193,7 @@ pub struct DafsBatch {
     next: usize,
     read_reqs: Vec<ReadReq>,
     write_reqs: Vec<WriteReq>,
+    list_reqs: Vec<ListReq>,
     /// Transport failure observed by the nonblocking poll; the finish half
     /// fails the remaining in-flight subs with it instead of waiting on a
     /// session that already died.
@@ -974,6 +1015,7 @@ impl DafsClient {
                     addr: r.dst,
                     len: r.len,
                     direct: true,
+                    segs: None,
                 });
             } else {
                 let mut done = 0u64;
@@ -986,6 +1028,7 @@ impl DafsClient {
                         addr: r.dst.offset(done),
                         len: n,
                         direct: false,
+                        segs: None,
                     });
                     done += n;
                     if done >= r.len {
@@ -1009,6 +1052,7 @@ impl DafsClient {
                     addr: r.src,
                     len: r.len,
                     direct: true,
+                    segs: None,
                 });
             } else {
                 let mut done = 0u64;
@@ -1021,6 +1065,7 @@ impl DafsClient {
                         addr: r.src.offset(done),
                         len: n,
                         direct: false,
+                        segs: None,
                     });
                     done += n;
                     if done >= r.len {
@@ -1032,9 +1077,151 @@ impl DafsClient {
         subs
     }
 
+    /// Split a segment list into per-request groups honoring the wire
+    /// segment cap and a byte cap (inline message size); individual
+    /// segments may split across groups. Zero-length segments are dropped.
+    fn chunk_segs(
+        segs: &[proto::ListSeg],
+        seg_cap: usize,
+        byte_cap: u64,
+    ) -> Vec<Vec<proto::ListSeg>> {
+        let mut groups = Vec::new();
+        let mut cur: Vec<proto::ListSeg> = Vec::new();
+        let mut cur_bytes = 0u64;
+        for &(mut off, mut len, mut rel) in segs {
+            while len > 0 {
+                if cur.len() >= seg_cap || cur_bytes >= byte_cap {
+                    groups.push(std::mem::take(&mut cur));
+                    cur_bytes = 0;
+                }
+                let take = len.min(byte_cap - cur_bytes);
+                cur.push((off, take, rel));
+                cur_bytes += take;
+                off += take;
+                rel += take;
+                len -= take;
+            }
+        }
+        if !cur.is_empty() {
+            groups.push(cur);
+        }
+        groups
+    }
+
+    fn list_sub(
+        owner: usize,
+        r: &ListReq,
+        mut segs: Vec<proto::ListSeg>,
+        total: u64,
+        direct: bool,
+    ) -> Sub {
+        // Rebase buffer offsets onto the group's first segment so the
+        // registered region spans exactly the bytes this sub touches.
+        let base = segs[0].2;
+        for s in &mut segs {
+            s.2 -= base;
+        }
+        Sub {
+            owner,
+            fh: r.fh,
+            off: 0,
+            addr: r.buf.offset(base),
+            len: total,
+            direct,
+            segs: Some(segs),
+        }
+    }
+
+    /// Expand list requests into segment-capped sub-requests: groups whose
+    /// total clears the direct threshold go as one RDMA list op against a
+    /// single registration; the rest split further into inline-sized list
+    /// messages (the no-RDMA-Read write fallback also lands here).
+    fn expand_list_subs(&self, reqs: &[ListReq], write: bool) -> Vec<Sub> {
+        let direct_ok = !write || self.caps.rdma_read;
+        let mut subs = Vec::new();
+        for (i, r) in reqs.iter().enumerate() {
+            for group in Self::chunk_segs(&r.segs, proto::LIST_MAX_SEGMENTS, u64::MAX) {
+                let total: u64 = group.iter().map(|s| s.1).sum();
+                if direct_ok && self.is_direct(total) {
+                    subs.push(Self::list_sub(i, r, group, total, true));
+                } else {
+                    for g in
+                        Self::chunk_segs(&group, proto::LIST_MAX_SEGMENTS, self.caps.inline_max)
+                    {
+                        let t: u64 = g.iter().map(|s| s.1).sum();
+                        subs.push(Self::list_sub(i, r, g, t, false));
+                    }
+                }
+            }
+        }
+        subs
+    }
+
+    /// Post one list sub-request.
+    fn post_list_sub(&self, ctx: &ActorCtx, dir: BatchDir, sb: &Sub) -> (u32, MemHandle, bool) {
+        let segs = sb.segs.as_ref().expect("list sub");
+        ctx.metrics().counter("dafs.list.reqs").inc();
+        ctx.metrics()
+            .counter("dafs.list.segs")
+            .add(segs.len() as u64);
+        // The one registered region a direct list op transfers against:
+        // from the sub's base to the end of its last segment.
+        let span = segs.last().map(|s| s.2 + s.1).unwrap_or(0);
+        match (dir, sb.direct) {
+            (BatchDir::Read, true) => {
+                let (handle, transient) = self.regcache.acquire(ctx, sb.addr, span);
+                let mut e = Enc::new();
+                e.u64(sb.fh.0).u8(1).u64(sb.addr.as_u64()).u64(handle.0);
+                proto::enc_seg_list(&mut e, segs);
+                let id = self.post_request(ctx, DafsOp::ReadList, &mut e);
+                (id, handle, transient)
+            }
+            (BatchDir::Read, false) => {
+                let mut e = Enc::new();
+                e.u64(sb.fh.0).u8(0);
+                proto::enc_seg_list(&mut e, segs);
+                let id = self.post_request(ctx, DafsOp::ReadList, &mut e);
+                (id, MemHandle(0), false)
+            }
+            (BatchDir::Write, true) => {
+                let (handle, transient) = self.regcache.acquire(ctx, sb.addr, span);
+                let mut e = Enc::new();
+                e.u64(sb.fh.0).u8(1).u64(sb.addr.as_u64()).u64(handle.0);
+                proto::enc_seg_list(&mut e, segs);
+                let id = self.post_request(ctx, DafsOp::WriteList, &mut e);
+                self.stats.direct_writes.record(sb.len);
+                ctx.metrics().byte_meter("dafs.direct.bytes").record(sb.len);
+                (id, handle, transient)
+            }
+            (BatchDir::Write, false) => {
+                // Gather the segments into the packed inline payload.
+                let mut data = Vec::with_capacity(sb.len as usize);
+                for &(_, len, rel) in segs {
+                    let piece = self
+                        .nic
+                        .host()
+                        .mem
+                        .read_vec(sb.addr.offset(rel), len as usize);
+                    data.extend_from_slice(&piece);
+                }
+                let mut e = Enc::new();
+                e.u64(sb.fh.0).u8(0);
+                proto::enc_seg_list(&mut e, segs);
+                e.bytes(&data);
+                let id = self.post_request(ctx, DafsOp::WriteList, &mut e);
+                self.stats.inline_writes.record(sb.len);
+                ctx.metrics().byte_meter("dafs.inline.bytes").record(sb.len);
+                (id, MemHandle(0), false)
+            }
+        }
+    }
+
     /// Post one expanded sub-request; returns its id plus the registration
     /// handle (direct subs only).
     fn post_sub(&self, ctx: &ActorCtx, dir: BatchDir, sb: &Sub) -> (u32, MemHandle, bool) {
+        if sb.segs.is_some() {
+            return self.post_list_sub(ctx, dir, sb);
+        }
         match (dir, sb.direct) {
             (BatchDir::Read, true) => {
                 let (handle, transient) = self.regcache.acquire(ctx, sb.addr, sb.len);
@@ -1096,6 +1283,46 @@ impl DafsClient {
         if status != DafsStatus::Ok {
             return Err(DafsError::Status(status));
         }
+        if let Some(segs) = &sb.segs {
+            if dir == BatchDir::Write {
+                return Ok(sb.len);
+            }
+            // List read reply: per-segment counts, plus the packed payload
+            // in inline mode (direct data already landed via RDMA).
+            let n = d.u32().map_err(|_| DafsError::Protocol)? as usize;
+            if n != segs.len() {
+                return Err(DafsError::Protocol);
+            }
+            let mut counts = Vec::with_capacity(n);
+            for _ in 0..n {
+                counts.push(d.u64().map_err(|_| DafsError::Protocol)?);
+            }
+            let total: u64 = counts.iter().sum();
+            if sb.direct {
+                self.stats.direct_reads.record(total);
+                ctx.metrics().byte_meter("dafs.direct.bytes").record(total);
+            } else {
+                let data = d.bytes().map_err(|_| DafsError::Protocol)?;
+                self.nic
+                    .host()
+                    .compute(ctx, self.config.host.copy(data.len() as u64));
+                let mut pos = 0usize;
+                for (i, &(_, _, rel)) in segs.iter().enumerate() {
+                    let c = counts[i] as usize;
+                    if pos + c > data.len() {
+                        return Err(DafsError::Protocol);
+                    }
+                    self.nic
+                        .host()
+                        .mem
+                        .write(sb.addr.offset(rel), &data[pos..pos + c]);
+                    pos += c;
+                }
+                self.stats.inline_reads.record(total);
+                ctx.metrics().byte_meter("dafs.inline.bytes").record(total);
+            }
+            return Ok(total);
+        }
         match (dir, sb.direct) {
             (BatchDir::Read, true) => {
                 let count = d.u64().map_err(|_| DafsError::Protocol)?;
@@ -1152,6 +1379,7 @@ impl DafsClient {
             next: 0,
             read_reqs: reqs.to_vec(),
             write_reqs: Vec::new(),
+            list_reqs: Vec::new(),
             failed: None,
         };
         self.batch_fill(ctx, &mut b);
@@ -1168,10 +1396,82 @@ impl DafsClient {
             next: 0,
             read_reqs: Vec::new(),
             write_reqs: reqs.to_vec(),
+            list_reqs: Vec::new(),
             failed: None,
         };
         self.batch_fill(ctx, &mut b);
         b
+    }
+
+    /// Issue half of a split-phase vectored batch read: each request's
+    /// segment list is split across credit windows by the wire segment cap
+    /// and posted like any other batch. See [`Self::read_batch_begin`] for
+    /// the outstanding-batch invariant.
+    pub fn read_list_batch_begin(&self, ctx: &ActorCtx, reqs: &[ListReq]) -> DafsBatch {
+        for r in reqs {
+            assert!(
+                proto::list_acceptable(&r.segs),
+                "list request segments must be sorted and non-overlapping"
+            );
+        }
+        let mut b = DafsBatch {
+            dir: BatchDir::Read,
+            subs: self.expand_list_subs(reqs, false),
+            results: vec![Ok(0); reqs.len()],
+            inflight: VecDeque::new(),
+            next: 0,
+            read_reqs: Vec::new(),
+            write_reqs: Vec::new(),
+            list_reqs: reqs.to_vec(),
+            failed: None,
+        };
+        self.batch_fill(ctx, &mut b);
+        b
+    }
+
+    /// Issue half of a split-phase vectored batch write. See
+    /// [`Self::read_list_batch_begin`].
+    pub fn write_list_batch_begin(&self, ctx: &ActorCtx, reqs: &[ListReq]) -> DafsBatch {
+        for r in reqs {
+            assert!(
+                proto::list_acceptable(&r.segs),
+                "list request segments must be sorted and non-overlapping"
+            );
+        }
+        let mut b = DafsBatch {
+            dir: BatchDir::Write,
+            subs: self.expand_list_subs(reqs, true),
+            results: vec![Ok(0); reqs.len()],
+            inflight: VecDeque::new(),
+            next: 0,
+            read_reqs: Vec::new(),
+            write_reqs: Vec::new(),
+            list_reqs: reqs.to_vec(),
+            failed: None,
+        };
+        self.batch_fill(ctx, &mut b);
+        b
+    }
+
+    /// Per-segment recovery for a vectored read whose list requests died
+    /// with the session: re-fetch every segment through the replayable
+    /// inline path (idempotent).
+    fn read_list_fallback(&self, ctx: &ActorCtx, r: &ListReq) -> DafsResult<u64> {
+        let mut total = 0u64;
+        for &(off, len, rel) in &r.segs {
+            total += self.read_inline(ctx, r.fh, off, r.buf.offset(rel), len)?;
+        }
+        Ok(total)
+    }
+
+    /// Per-segment recovery for a vectored write: re-put every segment's
+    /// bytes through replayable inline chunks (idempotent).
+    fn write_list_fallback(&self, ctx: &ActorCtx, r: &ListReq) -> DafsResult<u64> {
+        let mut total = 0u64;
+        for &(off, len, rel) in &r.segs {
+            total += self.write_inline_chunks(ctx, r.fh, off, r.buf.offset(rel), len)?;
+        }
+        Ok(total)
     }
 
     /// Nonblocking progress on a split-phase batch: drain completions that
@@ -1226,14 +1526,22 @@ impl DafsClient {
         for (i, slot) in b.results.iter_mut().enumerate() {
             if matches!(slot, Err(DafsError::Transport(_) | DafsError::Connect(_))) {
                 ctx.metrics().counter("dafs.batch_recoveries").inc();
-                *slot = match b.dir {
-                    BatchDir::Read => {
-                        let r = b.read_reqs[i];
-                        self.read_inline(ctx, r.fh, r.off, r.dst, r.len)
+                *slot = if !b.list_reqs.is_empty() {
+                    let r = &b.list_reqs[i];
+                    match b.dir {
+                        BatchDir::Read => self.read_list_fallback(ctx, r),
+                        BatchDir::Write => self.write_list_fallback(ctx, r),
                     }
-                    BatchDir::Write => {
-                        let r = b.write_reqs[i];
-                        self.write_inline_chunks(ctx, r.fh, r.off, r.src, r.len)
+                } else {
+                    match b.dir {
+                        BatchDir::Read => {
+                            let r = b.read_reqs[i];
+                            self.read_inline(ctx, r.fh, r.off, r.dst, r.len)
+                        }
+                        BatchDir::Write => {
+                            let r = b.write_reqs[i];
+                            self.write_inline_chunks(ctx, r.fh, r.off, r.src, r.len)
+                        }
                     }
                 };
             }
@@ -1253,5 +1561,36 @@ impl DafsClient {
     pub fn write_batch(&self, ctx: &ActorCtx, reqs: &[WriteReq]) -> Vec<DafsResult<u64>> {
         let b = self.write_batch_begin(ctx, reqs);
         self.batch_finish(ctx, b)
+    }
+
+    /// Vectored read: fetch every `(offset, len)` range of `fh` in one
+    /// wire request (split across credit windows past the segment cap),
+    /// scattering packed data into `dst`. Ranges must be sorted ascending
+    /// and non-overlapping. Returns total bytes read.
+    pub fn read_list(
+        &self,
+        ctx: &ActorCtx,
+        fh: NodeId,
+        ranges: &[(u64, u64)],
+        dst: VirtAddr,
+    ) -> DafsResult<u64> {
+        let req = ListReq::packed(fh, ranges, dst);
+        let b = self.read_list_batch_begin(ctx, std::slice::from_ref(&req));
+        self.batch_finish(ctx, b).remove(0)
+    }
+
+    /// Vectored write: put every `(offset, len)` range of `fh` in one wire
+    /// request, gathering packed data from `src`. Ranges must be sorted
+    /// ascending and non-overlapping. Returns total bytes written.
+    pub fn write_list(
+        &self,
+        ctx: &ActorCtx,
+        fh: NodeId,
+        ranges: &[(u64, u64)],
+        src: VirtAddr,
+    ) -> DafsResult<u64> {
+        let req = ListReq::packed(fh, ranges, src);
+        let b = self.write_list_batch_begin(ctx, std::slice::from_ref(&req));
+        self.batch_finish(ctx, b).remove(0)
     }
 }

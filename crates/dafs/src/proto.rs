@@ -56,6 +56,15 @@ pub enum DafsOp {
     /// Atomic append: write inline data at the current end of file,
     /// returning the offset it landed at (DAFS's append mode).
     Append = 19,
+    /// Vectored read: one request carries a sorted `(offset, len)` list;
+    /// the server gathers every segment in one pass. Data returns inline
+    /// (small totals) or via a single RDMA Write stream into one
+    /// registered client buffer (large totals).
+    ReadList = 20,
+    /// Vectored write: the scatter analogue of [`DafsOp::ReadList`] —
+    /// inline payload carries the segments back-to-back, direct transfers
+    /// RDMA-Read them from one registered client buffer.
+    WriteList = 21,
 }
 
 impl DafsOp {
@@ -81,6 +90,8 @@ impl DafsOp {
             17 => DafsOp::Disconnect,
             18 => DafsOp::Hello,
             19 => DafsOp::Append,
+            20 => DafsOp::ReadList,
+            21 => DafsOp::WriteList,
             _ => return None,
         })
     }
@@ -180,6 +191,77 @@ pub fn dec_resp_header(d: &mut Dec) -> Result<(u32, DafsStatus), WireError> {
     Ok((d.u32()?, DafsStatus::from_u8(d.u8()?)))
 }
 
+/// Largest segment list one ReadList/WriteList request may carry. Long
+/// lists are split into multiple list requests by the client (they ride
+/// the same credit window as any other batch sub-request); the server
+/// rejects oversized lists with [`DafsStatus::Inval`].
+pub const LIST_MAX_SEGMENTS: usize = 256;
+
+/// One vectored-I/O segment: `(file offset, length, client-buffer offset)`.
+/// The third member places the segment inside the request's client buffer
+/// — prefix sums for a packed list, `off - off0` for an offset-aligned
+/// collective drain, or striping-layout positions for striped fragments.
+pub type ListSeg = (u64, u64, u64);
+
+/// Encode a segment list: `u32 count` then each segment as
+/// `(u64 offset, u64 len, u64 buf_rel)`.
+pub fn enc_seg_list(e: &mut Enc, segs: &[ListSeg]) {
+    e.u32(segs.len() as u32);
+    for &(off, len, rel) in segs {
+        e.u64(off);
+        e.u64(len);
+        e.u64(rel);
+    }
+}
+
+/// The list contract both vectored ops require: segments sorted by file
+/// offset and by buffer position, non-overlapping on both axes, non-empty,
+/// and free of u64 overflow. The server rejects violations with
+/// [`DafsStatus::Inval`]; the ADIO layer falls back to sieving for lists
+/// it cannot express this way instead of sending them.
+pub fn list_well_formed(segs: &[ListSeg]) -> bool {
+    let mut last_end = 0u64;
+    let mut last_rel_end = 0u64;
+    for (i, &(off, len, rel)) in segs.iter().enumerate() {
+        if len == 0 {
+            return false;
+        }
+        let (Some(end), Some(rel_end)) = (off.checked_add(len), rel.checked_add(len)) else {
+            return false;
+        };
+        if i > 0 && (off < last_end || rel < last_rel_end) {
+            return false;
+        }
+        last_end = end;
+        last_rel_end = rel_end;
+    }
+    true
+}
+
+/// Lax client-side variant of [`list_well_formed`]: zero-length segments
+/// are permitted (the client drops them before encoding requests).
+pub fn list_acceptable(segs: &[ListSeg]) -> bool {
+    let dense: Vec<ListSeg> = segs.iter().copied().filter(|s| s.1 > 0).collect();
+    list_well_formed(&dense)
+}
+
+/// Decode a segment list. Enforces [`LIST_MAX_SEGMENTS`] so a malformed
+/// count can't drive a huge allocation.
+pub fn dec_seg_list(d: &mut Dec) -> Result<Vec<ListSeg>, WireError> {
+    let n = d.u32()? as usize;
+    if n > LIST_MAX_SEGMENTS {
+        return Err(WireError);
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let off = d.u64()?;
+        let len = d.u64()?;
+        let rel = d.u64()?;
+        out.push((off, len, rel));
+    }
+    Ok(out)
+}
+
 /// Encode file attributes.
 pub fn enc_attr(e: &mut Enc, a: &FileAttr) {
     e.u8(match a.ftype {
@@ -215,12 +297,53 @@ mod tests {
 
     #[test]
     fn op_roundtrip() {
-        for v in 1..=19u8 {
+        for v in 1..=21u8 {
             let op = DafsOp::from_u8(v).unwrap();
             assert_eq!(op as u8, v);
         }
         assert_eq!(DafsOp::from_u8(0), None);
-        assert_eq!(DafsOp::from_u8(20), None);
+        assert_eq!(DafsOp::from_u8(22), None);
+    }
+
+    #[test]
+    fn seg_list_roundtrip() {
+        let lists: Vec<Vec<ListSeg>> = vec![
+            vec![],
+            vec![(0, 1, 0)],
+            vec![
+                (0, 4096, 0),
+                (8192, 4096, 4096),
+                (1 << 40, u64::MAX / 2, 8192),
+            ],
+        ];
+        for segs in lists {
+            let mut e = Enc::new();
+            enc_seg_list(&mut e, &segs);
+            let b = e.finish();
+            assert_eq!(b.len(), 4 + 24 * segs.len());
+            let mut d = Dec::new(&b);
+            assert_eq!(dec_seg_list(&mut d).unwrap(), segs);
+            assert_eq!(d.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn seg_list_truncation_and_bounds() {
+        let mut e = Enc::new();
+        enc_seg_list(&mut e, &[(5, 10, 0), (20, 30, 10)]);
+        let b = e.finish();
+        // Every truncated prefix must decode to an error, never panic.
+        for cut in 0..b.len() {
+            assert!(
+                dec_seg_list(&mut Dec::new(&b[..cut])).is_err(),
+                "truncation at {cut} decoded"
+            );
+        }
+        // A count past LIST_MAX_SEGMENTS is rejected up front.
+        let mut e = Enc::new();
+        e.u32(LIST_MAX_SEGMENTS as u32 + 1);
+        let b = e.finish();
+        assert!(dec_seg_list(&mut Dec::new(&b)).is_err());
     }
 
     #[test]

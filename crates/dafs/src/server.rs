@@ -317,7 +317,33 @@ fn replay_cacheable(op: DafsOp) -> bool {
             | DafsOp::Rename
             | DafsOp::WriteInline
             | DafsOp::Append
+            // Only inline-mode WriteList is ever replayed (direct mode uses
+            // call_once like WriteDirect); caching a direct reply is benign
+            // because request ids are never reused.
+            | DafsOp::WriteList
     )
+}
+
+use crate::proto::list_well_formed;
+
+/// Group a well-formed segment list into runs contiguous in the client
+/// buffer: each run is `(buffer rel, segments)` where the segments' buffer
+/// positions are back-to-back. A packed list collapses to one run; gapped
+/// layouts get one run per contiguous stretch. Direct transfers issue one
+/// RDMA stream per run.
+fn list_runs(segs: &[proto::ListSeg]) -> Vec<(u64, Vec<proto::ListSeg>)> {
+    let mut runs: Vec<(u64, Vec<proto::ListSeg>)> = Vec::new();
+    let mut end = 0u64;
+    for &seg in segs {
+        let (_, len, rel) = seg;
+        if rel == end && !runs.is_empty() {
+            runs.last_mut().unwrap().1.push(seg);
+        } else {
+            runs.push((rel, vec![seg]));
+        }
+        end = rel + len;
+    }
+    runs
 }
 
 /// Send `resp` on the session's next response slot.
@@ -683,6 +709,183 @@ fn serve_one(
                 fail!(DafsStatus::XferError);
             }
             stats.direct_writes.record(len);
+            let a = try_fs!(fs.getattr(fh));
+            proto::enc_resp_header(&mut e, reqid, DafsStatus::Ok);
+            proto::enc_attr(&mut e, &a);
+            reply!(e);
+        }
+        DafsOp::ReadList => {
+            let fh = NodeId(try_wire!(d.u64()));
+            let mode = try_wire!(d.u8());
+            let (raddr, rhandle) = if mode != 0 {
+                (VirtAddr(try_wire!(d.u64())), MemHandle(try_wire!(d.u64())))
+            } else {
+                (VirtAddr(0), MemHandle(0))
+            };
+            let segs = try_wire!(proto::dec_seg_list(&mut d));
+            if !list_well_formed(&segs) {
+                fail!(DafsStatus::Inval);
+            }
+            let total: u64 = segs.iter().map(|s| s.1).sum();
+            if mode == 0 && total > INLINE_MAX {
+                fail!(DafsStatus::Inval);
+            }
+            // One pass: gather every segment. Sorted lists mean a short
+            // segment (EOF) empties every later one, so the gathered bytes
+            // are a dense prefix of each buffer-contiguous run.
+            let mut counts = Vec::with_capacity(segs.len());
+            let mut data = Vec::new(); // inline reply payload (list order)
+            if mode == 0 {
+                for &(off, len, _) in &segs {
+                    let seg = try_fs!(fs.read(fh, off, len));
+                    counts.push(seg.len() as u64);
+                    data.extend_from_slice(&seg);
+                }
+                host.compute(ctx, cost.host.copy(data.len() as u64));
+                stats.inline_reads.record(data.len() as u64);
+            } else {
+                // Direct: one RDMA stream per buffer-contiguous run,
+                // chunked through the session staging area like ReadDirect
+                // (a packed list is a single run).
+                let mut moved = 0u64;
+                let mut failed = false;
+                'runs: for (run_rel, run) in list_runs(&segs) {
+                    let mut rdata = Vec::new();
+                    for &(off, len, _) in &run {
+                        let seg = try_fs!(fs.read(fh, off, len));
+                        counts.push(seg.len() as u64);
+                        rdata.extend_from_slice(&seg);
+                    }
+                    if !cost.registered_buffer_cache {
+                        host.compute(ctx, cost.host.copy(rdata.len() as u64));
+                    }
+                    let sess = sess!();
+                    let (sbuf, sh) = sess.staging;
+                    let mut sent = 0usize;
+                    while sent < rdata.len() {
+                        let n = (rdata.len() - sent).min(STAGING as usize);
+                        nic.host().mem.write(sbuf, &rdata[sent..sent + n]);
+                        sess.vi.post_send(
+                            ctx,
+                            SendDesc::rdma_write(
+                                vec![DataSegment::new(sbuf, n as u32, sh)],
+                                RemoteSegment {
+                                    addr: raddr.offset(run_rel + sent as u64),
+                                    handle: rhandle,
+                                },
+                            ),
+                        );
+                        let c = sess.vi.send_wait(ctx);
+                        if !c.status.is_ok() {
+                            failed = true;
+                            break 'runs;
+                        }
+                        sent += n;
+                    }
+                    moved += rdata.len() as u64;
+                }
+                if failed {
+                    fail!(DafsStatus::XferError);
+                }
+                stats.direct_reads.record(moved);
+            }
+            proto::enc_resp_header(&mut e, reqid, DafsStatus::Ok);
+            e.u32(counts.len() as u32);
+            for c in &counts {
+                e.u64(*c);
+            }
+            if mode == 0 {
+                e.bytes(&data);
+            }
+            reply!(e);
+        }
+        DafsOp::WriteList => {
+            let fh = NodeId(try_wire!(d.u64()));
+            let mode = try_wire!(d.u8());
+            if mode != 0 && !nic.cost().rdma_read_supported {
+                fail!(DafsStatus::NotSupported);
+            }
+            let (raddr, rhandle) = if mode != 0 {
+                (VirtAddr(try_wire!(d.u64())), MemHandle(try_wire!(d.u64())))
+            } else {
+                (VirtAddr(0), MemHandle(0))
+            };
+            let segs = try_wire!(proto::dec_seg_list(&mut d));
+            if !list_well_formed(&segs) {
+                fail!(DafsStatus::Inval);
+            }
+            let total: u64 = segs.iter().map(|s| s.1).sum();
+            if mode == 0 {
+                // Inline: the payload carries every segment back-to-back in
+                // list order; scatter it across the file in one pass.
+                let data = try_wire!(d.bytes());
+                if data.len() as u64 != total || total > INLINE_MAX {
+                    fail!(DafsStatus::Inval);
+                }
+                host.compute(ctx, cost.host.copy(total));
+                let mut pos = 0usize;
+                for &(off, len, _) in &segs {
+                    try_fs!(fs.write(fh, off, &data[pos..pos + len as usize]));
+                    pos += len as usize;
+                }
+                stats.inline_writes.record(total);
+            } else {
+                // Direct: per buffer-contiguous run, RDMA-Read the stream
+                // from the client buffer through staging, scattering
+                // segments to the filesystem as each chunk lands.
+                let mut failed = false;
+                'wruns: for (run_rel, run) in list_runs(&segs) {
+                    let run_total: u64 = run.iter().map(|s| s.1).sum();
+                    let (sbuf, sh) = sess!().staging;
+                    let mut got = 0u64;
+                    let mut ri = 0usize; // current segment of the run
+                    let mut rpos = 0u64; // bytes of it already written
+                    while got < run_total {
+                        let n = (run_total - got).min(STAGING);
+                        let sess = sess!();
+                        sess.vi.post_send(
+                            ctx,
+                            SendDesc::rdma_read(
+                                vec![DataSegment::new(sbuf, n as u32, sh)],
+                                RemoteSegment {
+                                    addr: raddr.offset(run_rel + got),
+                                    handle: rhandle,
+                                },
+                            ),
+                        );
+                        let c = sess.vi.send_wait(ctx);
+                        if !c.status.is_ok() {
+                            failed = true;
+                            break 'wruns;
+                        }
+                        let chunk = nic.host().mem.read_vec(sbuf, n as usize);
+                        if !cost.registered_buffer_cache {
+                            host.compute(ctx, cost.host.copy(n));
+                        }
+                        let mut cpos = 0u64;
+                        while cpos < n {
+                            let (off, len, _) = run[ri];
+                            let take = (len - rpos).min(n - cpos);
+                            let piece = &chunk[cpos as usize..(cpos + take) as usize];
+                            if fs.write(fh, off + rpos, piece).is_err() {
+                                failed = true;
+                                break 'wruns;
+                            }
+                            rpos += take;
+                            cpos += take;
+                            if rpos == len {
+                                ri += 1;
+                                rpos = 0;
+                            }
+                        }
+                        got += n;
+                    }
+                }
+                if failed {
+                    fail!(DafsStatus::XferError);
+                }
+                stats.direct_writes.record(total);
+            }
             let a = try_fs!(fs.getattr(fh));
             proto::enc_resp_header(&mut e, reqid, DafsStatus::Ok);
             proto::enc_attr(&mut e, &a);

@@ -13,7 +13,8 @@
 use std::sync::Arc;
 
 use dafs::{
-    DafsBatch, DafsClient, DafsError, DafsStripedBatch, DafsStripedFile, ReadReq, WriteReq,
+    DafsBatch, DafsClient, DafsError, DafsStripedBatch, DafsStripedFile, ListReq, ListSeg, ReadReq,
+    WriteReq,
 };
 use memfs::{FsError, MemFs, NodeId, SetAttr};
 use nfsv3::{NfsClient, NfsError, NfsPendingRead, NfsPendingWrite};
@@ -318,6 +319,40 @@ pub trait AdioFile: Send + Sync {
         Ok(())
     }
 
+    /// True when this open file ships a sorted batch of ranges as
+    /// wire-level vectored (list) requests — [`AdioFile::read_list`] et
+    /// al. are real ops, not loops. The DAFS drivers answer per the
+    /// `dafs_listio` hint captured at open; everything else says false and
+    /// the MPI-IO core keeps data sieving.
+    fn list_io_enabled(&self) -> bool {
+        false
+    }
+
+    /// Vectored batched reads: ship `reqs` — sorted ascending and
+    /// non-overlapping on both the file-offset and buffer-address axes —
+    /// as one list request per credit-window chunk. Returns total bytes
+    /// read. The default (and any unsorted batch) falls back to the
+    /// contiguous batch path.
+    fn read_list(&self, ctx: &ActorCtx, reqs: &[(u64, VirtAddr, u64)]) -> AdioResult<u64> {
+        self.read_batch(ctx, reqs)
+    }
+
+    /// Vectored batched writes; see [`AdioFile::read_list`].
+    fn write_list(&self, ctx: &ActorCtx, reqs: &[(u64, VirtAddr, u64)]) -> AdioResult<()> {
+        self.write_batch(ctx, reqs)
+    }
+
+    /// Nonblocking vectored batched reads; the split-phase analogue of
+    /// [`AdioFile::read_list`]. Default completes eagerly.
+    fn iread_list(&self, ctx: &ActorCtx, reqs: &[(u64, VirtAddr, u64)]) -> AdioRequest {
+        self.iread_batch(ctx, reqs)
+    }
+
+    /// Nonblocking vectored batched writes. Default completes eagerly.
+    fn iwrite_list(&self, ctx: &ActorCtx, reqs: &[(u64, VirtAddr, u64)]) -> AdioRequest {
+        self.iwrite_batch(ctx, reqs)
+    }
+
     /// Nonblocking batched reads: issue the batch and return a handle the
     /// caller overlaps work against before waiting. Default completes
     /// eagerly (blocking) for drivers without split-phase support. At
@@ -547,15 +582,49 @@ fn dafs_shfp_set(client: &DafsClient, ctx: &ActorCtx, shfp: NodeId, value: u64) 
 /// The hidden shared-file-pointer companion file suffix.
 const SHFP_SUFFIX: &str = ".shfp";
 
+/// Re-express a sorted batch of contiguous requests as the segments of one
+/// vectored request, relative to the lowest buffer address. `None` when
+/// the batch isn't ascending and non-overlapping on both the file-offset
+/// and buffer-address axes — the caller keeps the contiguous batch path.
+fn list_segments(reqs: &[(u64, VirtAddr, u64)]) -> Option<(VirtAddr, Vec<ListSeg>)> {
+    let base = reqs.first()?.1;
+    let mut segs = Vec::with_capacity(reqs.len());
+    for (off, addr, len) in reqs {
+        let rel = addr.as_u64().checked_sub(base.as_u64())?;
+        segs.push((*off, *len, rel));
+    }
+    dafs::list_acceptable(&segs).then_some((base, segs))
+}
+
+/// Whether the `dafs_listio` hint turns list I/O on. `Automatic` means on:
+/// the DAFS wire protocol always has the ops, so only an explicit
+/// `disable` keeps sieving.
+fn listio_on(hints: &crate::hints::Hints) -> bool {
+    hints.dafs_listio != crate::hints::Toggle::Disable
+}
+
 struct DafsFileHandle {
     client: Arc<DafsClient>,
     fh: NodeId,
     /// Hidden shared-pointer file (created lazily at open).
     shfp: NodeId,
+    /// `dafs_listio` hint captured at open: route sorted noncontiguous
+    /// batches through the wire-level list ops.
+    listio: bool,
 }
 
 impl AdioFs for DafsAdio {
     fn open(&self, ctx: &ActorCtx, path: &str, create: bool) -> AdioResult<Arc<dyn AdioFile>> {
+        self.open_with_hints(ctx, path, create, &crate::hints::Hints::default())
+    }
+
+    fn open_with_hints(
+        &self,
+        ctx: &ActorCtx,
+        path: &str,
+        create: bool,
+        hints: &crate::hints::Hints,
+    ) -> AdioResult<Arc<dyn AdioFile>> {
         let (dir, name) = self.resolve_dir(ctx, path, create)?;
         let fh = dafs_open_node(&self.client, ctx, dir, &name, create)?;
         // Shared-pointer companion.
@@ -564,6 +633,7 @@ impl AdioFs for DafsAdio {
             client: self.client.clone(),
             fh,
             shfp,
+            listio: listio_on(hints),
         }))
     }
 
@@ -636,6 +706,101 @@ impl AdioFile for DafsFileHandle {
             }
             Ok(())
         })
+    }
+
+    fn list_io_enabled(&self) -> bool {
+        self.listio
+    }
+
+    fn read_list(&self, ctx: &ActorCtx, reqs: &[(u64, VirtAddr, u64)]) -> AdioResult<u64> {
+        let Some((base, segs)) = self.listio.then(|| list_segments(reqs)).flatten() else {
+            return self.read_batch(ctx, reqs);
+        };
+        let lr = ListReq {
+            fh: self.fh,
+            segs,
+            buf: base,
+        };
+        with_retries(ctx, || {
+            let b = self
+                .client
+                .read_list_batch_begin(ctx, std::slice::from_ref(&lr));
+            let mut total = 0;
+            for r in self.client.batch_finish(ctx, b) {
+                total += r.map_err(AdioError::from)?;
+            }
+            Ok(total)
+        })
+    }
+
+    fn write_list(&self, ctx: &ActorCtx, reqs: &[(u64, VirtAddr, u64)]) -> AdioResult<()> {
+        let Some((base, segs)) = self.listio.then(|| list_segments(reqs)).flatten() else {
+            return self.write_batch(ctx, reqs);
+        };
+        let lr = ListReq {
+            fh: self.fh,
+            segs,
+            buf: base,
+        };
+        with_retries(ctx, || {
+            let b = self
+                .client
+                .write_list_batch_begin(ctx, std::slice::from_ref(&lr));
+            for r in self.client.batch_finish(ctx, b) {
+                r.map_err(AdioError::from)?;
+            }
+            Ok(())
+        })
+    }
+
+    fn iread_list(&self, ctx: &ActorCtx, reqs: &[(u64, VirtAddr, u64)]) -> AdioRequest {
+        let Some((base, segs)) = self.listio.then(|| list_segments(reqs)).flatten() else {
+            return self.iread_batch(ctx, reqs);
+        };
+        let lr = ListReq {
+            fh: self.fh,
+            segs,
+            buf: base,
+        };
+        let batch = self
+            .client
+            .read_list_batch_begin(ctx, std::slice::from_ref(&lr));
+        // Residual-transient fallback re-runs the same ranges through the
+        // contiguous batch path — byte-identical placement.
+        AdioRequest::pending(
+            ctx,
+            Box::new(DafsPending {
+                client: self.client.clone(),
+                fh: self.fh,
+                batch,
+                reqs: reqs.to_vec(),
+                write: false,
+            }),
+        )
+    }
+
+    fn iwrite_list(&self, ctx: &ActorCtx, reqs: &[(u64, VirtAddr, u64)]) -> AdioRequest {
+        let Some((base, segs)) = self.listio.then(|| list_segments(reqs)).flatten() else {
+            return self.iwrite_batch(ctx, reqs);
+        };
+        let lr = ListReq {
+            fh: self.fh,
+            segs,
+            buf: base,
+        };
+        let batch = self
+            .client
+            .write_list_batch_begin(ctx, std::slice::from_ref(&lr));
+        AdioRequest::pending(
+            ctx,
+            Box::new(DafsPending {
+                client: self.client.clone(),
+                fh: self.fh,
+                batch,
+                reqs: reqs.to_vec(),
+                write: true,
+            }),
+        )
     }
 
     fn iread_batch(&self, ctx: &ActorCtx, reqs: &[(u64, VirtAddr, u64)]) -> AdioRequest {
@@ -823,6 +988,8 @@ struct DafsStripedFileHandle {
     file: Arc<DafsStripedFile>,
     /// Shared-pointer companion, on server 0 (the metadata authority).
     shfp: NodeId,
+    /// `dafs_listio` hint captured at open.
+    listio: bool,
 }
 
 impl AdioFs for DafsStripedAdio {
@@ -863,6 +1030,7 @@ impl AdioFs for DafsStripedAdio {
         Ok(Arc::new(DafsStripedFileHandle {
             file: Arc::new(DafsStripedFile::new(clients, fhs, stripe)),
             shfp: shfp.expect("factor >= 1"),
+            listio: listio_on(hints),
         }))
     }
 
@@ -921,6 +1089,69 @@ impl AdioFile for DafsStripedFileHandle {
                 .map(|_| ())
                 .map_err(AdioError::from)
         })
+    }
+
+    fn list_io_enabled(&self) -> bool {
+        self.listio
+    }
+
+    fn read_list(&self, ctx: &ActorCtx, reqs: &[(u64, VirtAddr, u64)]) -> AdioResult<u64> {
+        let Some((base, segs)) = self.listio.then(|| list_segments(reqs)).flatten() else {
+            return self.read_batch(ctx, reqs);
+        };
+        with_retries(ctx, || {
+            let b = self
+                .file
+                .read_list_batch_begin(ctx, &[(segs.clone(), base)]);
+            self.file.batch_finish(ctx, b).map_err(AdioError::from)
+        })
+    }
+
+    fn write_list(&self, ctx: &ActorCtx, reqs: &[(u64, VirtAddr, u64)]) -> AdioResult<()> {
+        let Some((base, segs)) = self.listio.then(|| list_segments(reqs)).flatten() else {
+            return self.write_batch(ctx, reqs);
+        };
+        with_retries(ctx, || {
+            let b = self
+                .file
+                .write_list_batch_begin(ctx, &[(segs.clone(), base)]);
+            self.file
+                .batch_finish(ctx, b)
+                .map(|_| ())
+                .map_err(AdioError::from)
+        })
+    }
+
+    fn iread_list(&self, ctx: &ActorCtx, reqs: &[(u64, VirtAddr, u64)]) -> AdioRequest {
+        let Some((base, segs)) = self.listio.then(|| list_segments(reqs)).flatten() else {
+            return self.iread_batch(ctx, reqs);
+        };
+        let batch = self.file.read_list_batch_begin(ctx, &[(segs, base)]);
+        AdioRequest::pending(
+            ctx,
+            Box::new(DafsStripedPending {
+                file: self.file.clone(),
+                batch,
+                reqs: reqs.to_vec(),
+                write: false,
+            }),
+        )
+    }
+
+    fn iwrite_list(&self, ctx: &ActorCtx, reqs: &[(u64, VirtAddr, u64)]) -> AdioRequest {
+        let Some((base, segs)) = self.listio.then(|| list_segments(reqs)).flatten() else {
+            return self.iwrite_batch(ctx, reqs);
+        };
+        let batch = self.file.write_list_batch_begin(ctx, &[(segs, base)]);
+        AdioRequest::pending(
+            ctx,
+            Box::new(DafsStripedPending {
+                file: self.file.clone(),
+                batch,
+                reqs: reqs.to_vec(),
+                write: true,
+            }),
+        )
     }
 
     fn iread_batch(&self, ctx: &ActorCtx, reqs: &[(u64, VirtAddr, u64)]) -> AdioRequest {

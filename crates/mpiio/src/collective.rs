@@ -19,8 +19,10 @@
 //!
 //! With `romio_cb_pipeline` left on (the default) the sweep is
 //! *double-buffered*: each aggregator owns two collective buffers and
-//! issues window k's filesystem batch nonblocking (`iwrite_batch` /
-//! `iread_batch`), so it drains while window k+1 is packed, exchanged and
+//! issues window k's filesystem batch nonblocking (`iwrite_list` /
+//! `iread_list`, which DAFS handles carry as one vectored wire request and
+//! other drivers serve as the plain contiguous batch), so it drains while
+//! window k+1 is packed, exchanged and
 //! overlaid into the other buffer. Per window the sweep then costs
 //! roughly `max(exchange, io)` instead of `exchange + io`. Time the batch
 //! spent in flight before its wait is recorded in
@@ -371,12 +373,12 @@ pub fn write_at_all(
             // ran under this phase's pack/exchange.
             drain_window_batch(ctx, pending.take(), &mut mark)?;
             if let Some(r) = reqs {
-                pending = Some((file.adio().iwrite_batch(ctx, &r), ctx.now()));
+                pending = Some((file.adio().iwrite_list(ctx, &r), ctx.now()));
                 // Post cost of issuing the batch.
                 charge_phase(ctx, "mpiio.twophase.io_ns", &mut mark);
             }
         } else if let Some(r) = reqs {
-            file.adio().write_batch(ctx, &r)?;
+            file.adio().write_list(ctx, &r)?;
             charge_phase(ctx, "mpiio.twophase.io_ns", &mut mark);
         }
     }
@@ -478,7 +480,7 @@ pub fn read_at_all(
                     .map(|(off, len)| (*off, cbuf.offset(off - ws), *len))
                     .collect();
                 charge_phase(ctx, "mpiio.twophase.aggregation_ns", &mut mark);
-                pending = Some((file.adio().iread_batch(ctx, &reqs), ctx.now()));
+                pending = Some((file.adio().iread_list(ctx, &reqs), ctx.now()));
                 // Post cost of issuing the batch.
                 charge_phase(ctx, "mpiio.twophase.io_ns", &mut mark);
                 served = Some((cbuf, ws));
@@ -509,7 +511,7 @@ pub fn read_at_all(
                     .map(|(off, len)| (*off, cbuf.offset(off - ws), *len))
                     .collect();
                 charge_phase(ctx, "mpiio.twophase.aggregation_ns", &mut mark);
-                file.adio().read_batch(ctx, &reqs)?;
+                file.adio().read_list(ctx, &reqs)?;
                 charge_phase(ctx, "mpiio.twophase.io_ns", &mut mark);
                 served = Some((cbuf, ws));
             }

@@ -530,8 +530,30 @@ impl MpiFile {
         should_sieve_ranges(ranges, toggle)
     }
 
+    /// Whether a mapped range list ships as wire-level list requests
+    /// instead of sieving: the driver must have the vectored ops (per the
+    /// `dafs_listio` hint captured at open) and the list must be sorted
+    /// ascending and non-overlapping — the wire format's invariant.
+    /// Unsorted lists keep the sieving/batch fallback, which preserves
+    /// list-order buffer consumption.
+    fn use_list_io(&self, ranges: &[(u64, u64)]) -> bool {
+        self.file.list_io_enabled() && ranges.windows(2).all(|w| w[0].0 + w[0].1 <= w[1].0)
+    }
+
+    /// A range list as packed batch requests consuming `buf` in order.
+    fn packed_reqs(ranges: &[(u64, u64)], buf: VirtAddr) -> Vec<(u64, VirtAddr, u64)> {
+        let mut reqs = Vec::with_capacity(ranges.len());
+        let mut consumed = 0u64;
+        for (off, len) in ranges {
+            reqs.push((*off, buf.offset(consumed), *len));
+            consumed += *len;
+        }
+        reqs
+    }
+
     /// Read a mapped range list into `dst` (ranges consume the buffer in
-    /// order). Chooses between batched range reads and data sieving.
+    /// order). Chooses between wire-level list I/O, batched range reads,
+    /// and data sieving.
     pub(crate) fn read_ranges(
         &self,
         ctx: &ActorCtx,
@@ -541,16 +563,11 @@ impl MpiFile {
         match ranges {
             [] => Ok(0),
             [(off, len)] => self.file.read_contig(ctx, *off, dst, *len),
-            _ if self.should_sieve(ranges, self.hints.ds_read) => self.sieve_read(ctx, ranges, dst),
-            _ => {
-                let mut reqs = Vec::with_capacity(ranges.len());
-                let mut consumed = 0u64;
-                for (off, len) in ranges {
-                    reqs.push((*off, dst.offset(consumed), *len));
-                    consumed += *len;
-                }
-                self.file.read_batch(ctx, &reqs)
+            _ if self.use_list_io(ranges) => {
+                self.file.read_list(ctx, &Self::packed_reqs(ranges, dst))
             }
+            _ if self.should_sieve(ranges, self.hints.ds_read) => self.sieve_read(ctx, ranges, dst),
+            _ => self.file.read_batch(ctx, &Self::packed_reqs(ranges, dst)),
         }
     }
 
@@ -564,6 +581,11 @@ impl MpiFile {
         match ranges {
             [] => Ok(()),
             [(off, len)] => self.file.write_contig(ctx, *off, src, *len),
+            // List writes put exactly the requested bytes — no
+            // read-modify-write window, hence no whole-file lock.
+            _ if self.use_list_io(ranges) => {
+                self.file.write_list(ctx, &Self::packed_reqs(ranges, src))
+            }
             _ if self.should_sieve(ranges, self.hints.ds_write) => {
                 // Sieved writes read-modify-write whole windows, which
                 // would clobber concurrent writers' bytes without a lock
@@ -584,13 +606,7 @@ impl MpiFile {
     }
 
     fn batch_write(&self, ctx: &ActorCtx, ranges: &[(u64, u64)], src: VirtAddr) -> AdioResult<()> {
-        let mut reqs = Vec::with_capacity(ranges.len());
-        let mut consumed = 0u64;
-        for (off, len) in ranges {
-            reqs.push((*off, src.offset(consumed), *len));
-            consumed += *len;
-        }
-        self.file.write_batch(ctx, &reqs)
+        self.file.write_batch(ctx, &Self::packed_reqs(ranges, src))
     }
 
     /// Data-sieving read: fetch whole windows, pick out the pieces.
@@ -661,7 +677,18 @@ impl MpiFile {
             let wend = ranges[j - 1].0 + ranges[j - 1].1;
             let wlen = wend - wstart;
             // RMW: read the window, overlay the pieces, write it back.
-            self.file.read_contig(ctx, wstart, sieve, wlen)?;
+            let got = self.file.read_contig(ctx, wstart, sieve, wlen)?;
+            if got < wlen {
+                // The window tail is past EOF, so the read left that part
+                // of the sieve buffer untouched — and the buffer is reused
+                // across windows, so it may hold a previous window's bytes.
+                // Zero it: the write-back below must fill inter-range gaps
+                // past EOF with zeros, exactly like the per-range path's
+                // hole fill, not with stale data.
+                self.host
+                    .mem
+                    .fill(sieve.offset(got), (wlen - got) as usize, 0);
+            }
             for (off, len) in &ranges[i..j] {
                 let s = off - wstart;
                 let piece = self.host.mem.read_vec(src.offset(consumed), *len as usize);

@@ -38,6 +38,12 @@ pub struct Hints {
     /// `Automatic` means on; `disable` forces the strictly synchronous
     /// sweep.
     pub cb_pipeline: Toggle,
+    /// Vectored list I/O on DAFS backends: ship a sorted `(offset, len)`
+    /// list as one wire request instead of data-sieving the covering
+    /// extent. `Automatic` means on where the backend supports it (DAFS,
+    /// DafsStriped); `disable` keeps the sieving path. Inert on NFS/UFS,
+    /// which have no vectored op.
+    pub dafs_listio: Toggle,
     /// Number of servers to stripe a new file over (PVFS/ROMIO
     /// convention). 0 = all servers the filesystem has. Ignored by
     /// unstriped drivers.
@@ -48,6 +54,19 @@ pub struct Hints {
     /// Raw key/value pairs as supplied (inert keys are preserved, like
     /// `striping_unit` on filesystems that ignore it).
     pub raw: BTreeMap<String, String>,
+}
+
+/// Default for `dafs_listio`: `Automatic` unless the `MPIO_DAFS_LISTIO`
+/// environment variable says otherwise. The env knob is a sweep-wide kill
+/// switch — `MPIO_DAFS_LISTIO=disable` re-runs any workload on the
+/// pre-list-I/O sieving paths without touching its hint set (used to
+/// verify the bench sweep is byte-identical either way). An explicit
+/// `dafs_listio` hint still overrides it.
+fn listio_env_default() -> Toggle {
+    match std::env::var("MPIO_DAFS_LISTIO") {
+        Ok(v) => parse_toggle(&v),
+        Err(_) => Toggle::Automatic,
+    }
 }
 
 impl Default for Hints {
@@ -62,6 +81,7 @@ impl Default for Hints {
             ds_read: Toggle::Automatic,
             ds_write: Toggle::Automatic,
             cb_pipeline: Toggle::Automatic,
+            dafs_listio: listio_env_default(),
             striping_factor: 0,
             striping_unit: 0,
             raw: BTreeMap::new(),
@@ -117,6 +137,7 @@ impl Hints {
             "romio_ds_read" => self.ds_read = parse_toggle(value),
             "romio_ds_write" => self.ds_write = parse_toggle(value),
             "romio_cb_pipeline" => self.cb_pipeline = parse_toggle(value),
+            "dafs_listio" => self.dafs_listio = parse_toggle(value),
             "striping_factor" => {
                 if let Ok(n) = value.parse() {
                     self.striping_factor = n;
@@ -255,6 +276,17 @@ mod tests {
         assert_eq!(h.cb_pipeline, Toggle::Disable);
         let h = Hints::from_pairs([("romio_cb_pipeline", "enable")]);
         assert_eq!(h.cb_pipeline, Toggle::Enable);
+    }
+
+    #[test]
+    fn dafs_listio_toggle() {
+        assert_eq!(Hints::default().dafs_listio, Toggle::Automatic);
+        let h = Hints::from_pairs([("dafs_listio", "disable")]);
+        assert_eq!(h.dafs_listio, Toggle::Disable);
+        let h = Hints::from_pairs([("dafs_listio", "enable")]);
+        assert_eq!(h.dafs_listio, Toggle::Enable);
+        let h = Hints::from_pairs([("dafs_listio", "sometimes")]);
+        assert_eq!(h.dafs_listio, Toggle::Automatic);
     }
 
     #[test]

@@ -32,6 +32,14 @@ echo "$f8_out" | grep -q "bit-identical" || {
     exit 1
 }
 
+echo "==> R-F9 list-I/O smoke (vectored ops vs data sieving)"
+f9_out=$(cargo run --release -p mpio-dafs-bench --bin f9_listio -- --smoke)
+echo "$f9_out"
+echo "$f9_out" | grep -q "byte-identical" || {
+    echo "ci: R-F9 output missing the cross-routing identity note" >&2
+    exit 1
+}
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
