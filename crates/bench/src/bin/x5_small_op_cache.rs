@@ -1,0 +1,28 @@
+//! Run the small-op/re-read client-cache sweep:
+//! `cargo run -p mpio-dafs-bench --release --bin x5_small_op_cache [-- --smoke] [-- --fault-seed N]`.
+//!
+//! `--smoke` shrinks the timed passes (2 instead of 8) for quick CI
+//! validation; the table shape, the cached>=2x-uncached assertion, and the
+//! degraded-row fault plan are the same. The same `--fault-seed`
+//! reproduces the same degraded row bit for bit.
+fn main() {
+    let mut rounds = mpio_dafs_bench::x5_small_op_cache::DEFAULT_ROUNDS;
+    let mut seed = mpio_dafs_bench::x5_small_op_cache::DEFAULT_SEED;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => rounds = 2,
+            "--fault-seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--fault-seed takes a u64");
+            }
+            other => {
+                eprintln!("unknown argument: {other} (supported: --smoke, --fault-seed N)");
+                std::process::exit(2);
+            }
+        }
+    }
+    mpio_dafs_bench::x5_small_op_cache::run_with(rounds, seed).print();
+}

@@ -31,6 +31,7 @@ pub mod x1_btio_subarray;
 pub mod x2_mixed_workload;
 pub mod x3_latency_sensitivity;
 pub mod x4_bandwidth_under_loss;
+pub mod x5_small_op_cache;
 
 pub use report::Table;
 
@@ -59,5 +60,6 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("X-2", x2_mixed_workload::run),
         ("X-3", x3_latency_sensitivity::run),
         ("X-4", x4_bandwidth_under_loss::run),
+        ("X-5", x5_small_op_cache::run),
     ]
 }

@@ -59,8 +59,7 @@ fn workload_reg_cpu_ms(use_cache: bool) -> (f64, u64) {
             for _ in 0..50 {
                 c.read(ctx, f.id, 0, dst, LEN).unwrap();
             }
-            let (regs_n, _, _) = nic.registration_stats();
-            rg.set(regs_n);
+            rg.set(nic.registration_stats().registrations);
             cp.set(nic.registration_cpu().as_nanos());
         },
     );

@@ -12,7 +12,7 @@
 //! * larger writes use **WRITE_DIRECT** when the fabric supports RDMA Read,
 //!   else fall back to inline chunks (the cLAN configuration).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU32, Ordering};
 
 use memfs::{FileAttr, NodeId};
@@ -24,8 +24,8 @@ use via::{
 };
 
 use crate::cost::DafsClientConfig;
-use crate::proto::{self, DafsOp, DafsStatus, ServerCaps};
-use crate::regcache::RegCache;
+use crate::proto::{self, DafsOp, DafsStatus, LeaseKind, ServerCaps};
+use crate::regcache::{RegCache, RegCacheStats};
 use crate::server::SLOT;
 use crate::wire::{Dec, Enc};
 
@@ -86,6 +86,42 @@ pub struct DafsClientStats {
     pub direct_reads: ByteMeter,
     /// Direct WRITE traffic.
     pub direct_writes: ByteMeter,
+}
+
+/// Named counters for the lease-coherent client cache — the same objects
+/// back the `dafs.cache.*` metrics in the obs registry, so bench reports
+/// and live metrics can never disagree.
+#[derive(Clone, Default)]
+pub struct DafsCacheStats {
+    /// Cached reads served without touching the server.
+    pub hits: Counter,
+    /// Cached reads that had to fetch at least one page.
+    pub misses: Counter,
+    /// Attribute fetches served from the cache.
+    pub attr_hits: Counter,
+    /// Attribute fetches that went to the server.
+    pub attr_misses: Counter,
+    /// Lease recalls processed (flush + ack).
+    pub recalls: Counter,
+    /// Cached pages dropped (recall, eviction, overwrite, reconnect).
+    pub invalidations: Counter,
+}
+
+/// Lease-coherent cache state: pages and attributes the client may serve
+/// locally while it holds a lease, plus the recalls queued for service.
+/// All maps are ordered so flush/eviction sweeps are deterministic.
+#[derive(Default)]
+struct ClientCache {
+    /// Leases this session believes it holds.
+    leases: BTreeMap<u64, LeaseKind>,
+    /// Cached attributes, keyed by file handle.
+    attrs: BTreeMap<u64, FileAttr>,
+    /// Cached pages: `(fh, page index)` → bytes (full pages except at EOF).
+    pages: BTreeMap<(u64, u64), Vec<u8>>,
+    /// Write-back pages not yet flushed to the server.
+    dirty: BTreeSet<(u64, u64)>,
+    /// Recall pushes received but not yet serviced: `(fh, recall id)`.
+    recalls: VecDeque<(u64, u32)>,
 }
 
 /// One read request in a batch.
@@ -241,8 +277,11 @@ pub struct DafsClient {
     regcache: RegCache,
     pending: Mutex<HashMap<u32, Vec<u8>>>,
     scratch: Mutex<Option<(VirtAddr, usize)>>,
+    cache: Mutex<ClientCache>,
     /// Client counters.
     pub stats: DafsClientStats,
+    /// Lease-coherent cache counters.
+    pub cache_stats: DafsCacheStats,
 }
 
 impl DafsClient {
@@ -303,7 +342,9 @@ impl DafsClient {
             regcache,
             pending: Mutex::new(HashMap::new()),
             scratch: Mutex::new(None),
+            cache: Mutex::new(ClientCache::default()),
             stats: DafsClientStats::default(),
+            cache_stats: DafsCacheStats::default(),
         };
         // Capability exchange; carries our stable client id. The handshake
         // itself rides the faulted fabric, so it gets the same bounded
@@ -362,13 +403,9 @@ impl DafsClient {
         &self.config
     }
 
-    /// Registration-cache counters: (hits, misses, evictions).
-    pub fn regcache_stats(&self) -> (u64, u64, u64) {
-        (
-            self.regcache.hits.get(),
-            self.regcache.misses.get(),
-            self.regcache.evictions.get(),
-        )
+    /// Registration-cache counters, snapshotted by name.
+    pub fn regcache_stats(&self) -> RegCacheStats {
+        self.regcache.stats()
     }
 
     /// Bytes currently pinned by the registration cache. With the cache
@@ -452,6 +489,15 @@ impl DafsClient {
         );
         let mut d = Dec::new(&resp);
         let (rid, _) = proto::dec_resp_header(&mut d).map_err(|_| DafsError::Protocol)?;
+        if rid == 0 {
+            // Unsolicited server push (request ids start at 1): a lease
+            // recall. Only queue it here — this runs under the VI lock, and
+            // servicing means flushing and acking over that same VI.
+            if let Ok((fh, recall_id)) = proto::dec_recall_push(&mut d) {
+                self.cache.lock().recalls.push_back((fh.0, recall_id));
+            }
+            return Ok(());
+        }
         self.pending.lock().insert(rid, resp);
         Ok(())
     }
@@ -570,6 +616,26 @@ impl DafsClient {
         let tag = vi.ptag();
         // Responses from the dead session can never arrive.
         self.pending.lock().clear();
+        // Revalidate-on-reconnect: the server reclaimed our leases the
+        // moment it saw ConnectionLost, so every cached object is suspect.
+        // Clean state is dropped; dirty write-back pages survive and are
+        // re-flushed through the new session by the next cache entry point
+        // (those writes carry fresh request ids, so the replay cache keeps
+        // them exactly-once even if this session dies too).
+        {
+            let mut c = self.cache.lock();
+            c.leases.clear();
+            c.attrs.clear();
+            c.recalls.clear(); // acked implicitly by the session teardown
+            let dirty = std::mem::take(&mut c.dirty);
+            let before = c.pages.len();
+            c.pages.retain(|k, _| dirty.contains(k));
+            let dropped = (before - c.pages.len()) as u64;
+            c.dirty = dirty;
+            if dropped > 0 {
+                self.cache_stats.invalidations.add(dropped);
+            }
+        }
         // Ring registrations were made under the old protection tag;
         // re-register fresh buffers under the new one.
         {
@@ -632,7 +698,10 @@ impl DafsClient {
     pub fn truncate(&self, ctx: &ActorCtx, fh: NodeId, size: u64) -> DafsResult<FileAttr> {
         let mut e = Enc::new();
         e.u64(fh.0).u8(1).u64(size);
-        self.call_attr(ctx, DafsOp::SetAttr, &mut e)
+        let a = self.call_attr(ctx, DafsOp::SetAttr, &mut e)?;
+        // Resizing invalidates every cached page of the file.
+        self.cache_note_write(ctx, fh, 0, u64::MAX, Some(&a));
+        Ok(a)
     }
 
     /// Directory lookup.
@@ -715,7 +784,12 @@ impl DafsClient {
         ctx.metrics()
             .byte_meter("dafs.inline.bytes")
             .record(data.len() as u64);
-        Dec::new(&payload).u64().map_err(|_| DafsError::Protocol)
+        let mut d = Dec::new(&payload);
+        let at = d.u64().map_err(|_| DafsError::Protocol)?;
+        if let Ok(a) = proto::dec_attr(&mut d) {
+            self.cache_note_write(ctx, fh, at, data.len() as u64, Some(&a));
+        }
+        Ok(at)
     }
 
     /// Flush to stable storage (MPI_File_sync bottom half).
@@ -741,6 +815,10 @@ impl DafsClient {
 
     /// End the session.
     pub fn disconnect(&self, ctx: &ActorCtx) {
+        // Flush write-back data and hand leases back before the goodbye.
+        // A session that never cached skips this without touching the
+        // clock or the wire.
+        let _ = self.cache_shutdown(ctx);
         let mut e = Enc::new();
         let _ = self.call_once(ctx, DafsOp::Disconnect, &mut e);
         self.regcache.flush(ctx);
@@ -766,6 +844,511 @@ impl DafsClient {
             cur = attr.id;
         }
         Ok(attr)
+    }
+
+    // ----- lease-coherent cache -------------------------------------------
+    //
+    // Strictly opt-in: only the `*_cached` entry points (and the coherence
+    // hooks they arm) touch this machinery, so a session that never calls
+    // them runs byte-identically to one built before the cache existed.
+
+    /// Acquire (or refresh/upgrade) a `kind` lease on `fh`. Returns the
+    /// attr that rode along with a grant, `None` on denial. Routed through
+    /// the non-replaying path: grants are session state, so replaying one
+    /// across a reconnect would resurrect a lease the server already
+    /// reclaimed.
+    fn lease_acquire(
+        &self,
+        ctx: &ActorCtx,
+        fh: NodeId,
+        kind: LeaseKind,
+    ) -> DafsResult<Option<FileAttr>> {
+        let mut e = Enc::new();
+        e.u64(fh.0).u8(kind as u8);
+        let payload = self.call_once(ctx, DafsOp::LeaseGrant, &mut e)?;
+        let mut d = Dec::new(&payload);
+        let granted = d.u8().map_err(|_| DafsError::Protocol)? != 0;
+        let attr = proto::dec_attr(&mut d).map_err(|_| DafsError::Protocol)?;
+        if !granted {
+            return Ok(None);
+        }
+        let mut c = self.cache.lock();
+        let slot = c.leases.entry(fh.0).or_insert(kind);
+        *slot = (*slot).max(kind);
+        c.attrs.insert(fh.0, attr);
+        Ok(Some(attr))
+    }
+
+    /// Cache entry-point prologue: flush write-back data orphaned by a
+    /// reconnect, then notice and service any recalls the server pushed
+    /// since the last operation. A session with nothing cached returns
+    /// immediately without touching the clock or the wire.
+    fn cache_service(&self, ctx: &ActorCtx) -> DafsResult<()> {
+        {
+            let c = self.cache.lock();
+            if c.leases.is_empty() && c.recalls.is_empty() && c.dirty.is_empty() {
+                return Ok(());
+            }
+        }
+        // Dirty pages whose write-back lease died with a previous session
+        // get re-flushed through the new one before anything is served.
+        let orphans: Vec<u64> = {
+            let c = self.cache.lock();
+            let mut fhs: Vec<u64> = c.dirty.iter().map(|(fh, _)| *fh).collect();
+            fhs.dedup();
+            fhs.retain(|fh| c.leases.get(fh) != Some(&LeaseKind::Write));
+            fhs
+        };
+        for fh in orphans {
+            self.cache_flush_fh(ctx, NodeId(fh))?;
+        }
+        // Recall pushes land in the recv ring; drain it without blocking.
+        // A dead session surfaces on the next real request, not here.
+        self.poll_responses(ctx).ok();
+        loop {
+            let next = self.cache.lock().recalls.pop_front();
+            let Some((fh, recall_id)) = next else { break };
+            self.cache_recall_one(ctx, fh, recall_id)?;
+        }
+        Ok(())
+    }
+
+    /// Service one recall: flush the file's dirty pages, drop everything
+    /// cached under the lease, ack. The ack rides the replayable request
+    /// path — if the session dies mid-ack, the replayed ack re-drops an
+    /// already-absent lease on the server, a no-op, so recalls racing loss
+    /// stay exactly-once.
+    fn cache_recall_one(&self, ctx: &ActorCtx, fh: u64, recall_id: u32) -> DafsResult<()> {
+        self.cache_stats.recalls.inc();
+        ctx.metrics().counter("dafs.cache.recalls").inc();
+        ctx.trace(
+            "dafs",
+            "cache.recall",
+            &[
+                ("fh", obs::Value::U64(fh)),
+                ("recall", obs::Value::U64(recall_id as u64)),
+            ],
+        );
+        self.cache_flush_fh(ctx, NodeId(fh))?;
+        self.cache_drop_fh(ctx, fh);
+        let mut e = Enc::new();
+        e.u64(fh).u32(recall_id);
+        self.call(ctx, DafsOp::LeaseRecallAck, &mut e).map(|_| ())
+    }
+
+    /// Drop every cached object for `fh`: lease, attr, pages, dirty marks.
+    fn cache_drop_fh(&self, ctx: &ActorCtx, fh: u64) {
+        let mut c = self.cache.lock();
+        c.leases.remove(&fh);
+        c.attrs.remove(&fh);
+        let before = c.pages.len();
+        c.pages.retain(|(f, _), _| *f != fh);
+        c.dirty.retain(|(f, _)| *f != fh);
+        let dropped = (before - c.pages.len()) as u64;
+        drop(c);
+        if dropped > 0 {
+            self.cache_stats.invalidations.add(dropped);
+            ctx.metrics()
+                .counter("dafs.cache.invalidations")
+                .add(dropped);
+        }
+    }
+
+    /// Flush `fh`'s dirty write-back extents, lowest offset first. Each
+    /// write's self-coherence hook retires the pages it covers, so this
+    /// terminates with nothing dirty for the file.
+    fn cache_flush_fh(&self, ctx: &ActorCtx, fh: NodeId) -> DafsResult<()> {
+        let page = self.config.cache_page.max(1);
+        loop {
+            let extent = {
+                let c = self.cache.lock();
+                let mut it = c.dirty.iter().filter(|(f, _)| *f == fh.0).map(|(_, p)| *p);
+                match it.next() {
+                    None => None,
+                    Some(first) => {
+                        let mut last = first;
+                        let mut data = c
+                            .pages
+                            .get(&(fh.0, first))
+                            .expect("dirty page cached")
+                            .clone();
+                        for p in it {
+                            // Only extend over full pages: a short page is
+                            // the file's tail and must end the extent.
+                            if p != last + 1 || !(data.len() as u64).is_multiple_of(page) {
+                                break;
+                            }
+                            data.extend_from_slice(
+                                c.pages.get(&(fh.0, p)).expect("dirty page cached"),
+                            );
+                            last = p;
+                        }
+                        Some((first * page, data))
+                    }
+                }
+            };
+            let Some((off, data)) = extent else {
+                return Ok(());
+            };
+            self.write_bytes(ctx, fh, off, &data)?;
+        }
+    }
+
+    /// Self-coherence hook on every server-bound write: drop cached pages
+    /// the write covers (the cache would otherwise shadow newer server
+    /// state) and keep the cached attr in step. Pure map surgery — no
+    /// clock, no wire — so cache-less sessions are untouched.
+    fn cache_note_write(
+        &self,
+        ctx: &ActorCtx,
+        fh: NodeId,
+        off: u64,
+        len: u64,
+        attr: Option<&FileAttr>,
+    ) {
+        let mut c = self.cache.lock();
+        if c.attrs.is_empty() && c.pages.is_empty() {
+            return;
+        }
+        let mut dropped = 0u64;
+        if len > 0 {
+            let page = self.config.cache_page.max(1);
+            let p0 = off / page;
+            let p1 = (off.saturating_add(len) - 1) / page;
+            let keys: Vec<(u64, u64)> = c
+                .pages
+                .range((fh.0, p0)..=(fh.0, p1))
+                .map(|(k, _)| *k)
+                .collect();
+            for k in keys {
+                c.pages.remove(&k);
+                c.dirty.remove(&k);
+                dropped += 1;
+            }
+        }
+        match attr {
+            // Keep the attr only while a lease vouches for it.
+            Some(a) if c.leases.contains_key(&fh.0) => {
+                c.attrs.insert(fh.0, *a);
+            }
+            _ => {
+                c.attrs.remove(&fh.0);
+            }
+        }
+        drop(c);
+        if dropped > 0 {
+            self.cache_stats.invalidations.add(dropped);
+            ctx.metrics()
+                .counter("dafs.cache.invalidations")
+                .add(dropped);
+        }
+    }
+
+    /// Evict clean pages (lowest key first) beyond the configured
+    /// capacity. Dirty pages are never evicted — they hold unflushed data.
+    fn cache_evict_excess(&self, ctx: &ActorCtx) {
+        let cap = self.config.cache_capacity;
+        let mut c = self.cache.lock();
+        let mut dropped = 0u64;
+        while c.pages.len() > cap {
+            let victim = c.pages.keys().find(|k| !c.dirty.contains(k)).copied();
+            let Some(k) = victim else { break };
+            c.pages.remove(&k);
+            dropped += 1;
+        }
+        drop(c);
+        if dropped > 0 {
+            self.cache_stats.invalidations.add(dropped);
+            ctx.metrics()
+                .counter("dafs.cache.invalidations")
+                .add(dropped);
+        }
+    }
+
+    /// Fetch attributes through the cache: free while a lease is held,
+    /// one lease acquisition (which seeds the cache) otherwise, falling
+    /// back to a plain GETATTR when the server denies the lease.
+    pub fn getattr_cached(&self, ctx: &ActorCtx, fh: NodeId) -> DafsResult<FileAttr> {
+        self.cache_service(ctx)?;
+        let cached = {
+            let c = self.cache.lock();
+            if c.leases.contains_key(&fh.0) {
+                c.attrs.get(&fh.0).copied()
+            } else {
+                None
+            }
+        };
+        if let Some(a) = cached {
+            self.cache_stats.attr_hits.inc();
+            ctx.metrics().counter("dafs.cache.attr_hits").inc();
+            return Ok(a);
+        }
+        self.cache_stats.attr_misses.inc();
+        ctx.metrics().counter("dafs.cache.attr_misses").inc();
+        match self.lease_acquire(ctx, fh, LeaseKind::Read) {
+            Ok(Some(a)) => Ok(a),
+            // Denied (conflicting writer) or session trouble: stay coherent
+            // by asking the server directly.
+            Ok(None) => self.getattr(ctx, fh),
+            Err(DafsError::Transport(_) | DafsError::Connect(_)) => self.getattr(ctx, fh),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Read through the cache: pages already under a valid lease are
+    /// served with one local copy; missing pages are fetched from the
+    /// server in contiguous page-aligned runs and kept. Falls back to the
+    /// plain read path when the server denies a lease.
+    pub fn read_cached(
+        &self,
+        ctx: &ActorCtx,
+        fh: NodeId,
+        off: u64,
+        dst: VirtAddr,
+        len: u64,
+    ) -> DafsResult<u64> {
+        self.cache_service(ctx)?;
+        if len == 0 {
+            return Ok(0);
+        }
+        let attr = {
+            let c = self.cache.lock();
+            if c.leases.contains_key(&fh.0) {
+                c.attrs.get(&fh.0).copied()
+            } else {
+                None
+            }
+        };
+        let attr = match attr {
+            Some(a) => a,
+            None => match self.lease_acquire(ctx, fh, LeaseKind::Read) {
+                Ok(Some(a)) => a,
+                Ok(None) | Err(DafsError::Transport(_) | DafsError::Connect(_)) => {
+                    self.cache_stats.misses.inc();
+                    ctx.metrics().counter("dafs.cache.misses").inc();
+                    return self.read(ctx, fh, off, dst, len);
+                }
+                Err(e) => return Err(e),
+            },
+        };
+        let end = (off + len).min(attr.size);
+        if off >= end {
+            // Fully past EOF: answered from the cached attr alone.
+            self.cache_stats.hits.inc();
+            ctx.metrics().counter("dafs.cache.hits").inc();
+            return Ok(0);
+        }
+        let page = self.config.cache_page.max(1);
+        let p0 = off / page;
+        let p1 = (end - 1) / page;
+        let expected = |p: u64| ((attr.size - p * page).min(page)) as usize;
+        let missing: Vec<u64> = {
+            let c = self.cache.lock();
+            (p0..=p1)
+                .filter(|&p| {
+                    c.pages
+                        .get(&(fh.0, p))
+                        .is_none_or(|b| b.len() < expected(p))
+                })
+                .collect()
+        };
+        let served_locally = missing.is_empty();
+        // Fetch each contiguous missing run with one server read.
+        let mut i = 0usize;
+        while i < missing.len() {
+            let start = missing[i];
+            let mut stop = start;
+            while i + 1 < missing.len() && missing[i + 1] == stop + 1 {
+                i += 1;
+                stop = missing[i];
+            }
+            i += 1;
+            let foff = start * page;
+            let flen = ((stop + 1) * page).min(attr.size) - foff;
+            let sb = self.scratch(flen as usize);
+            let n = self.read(ctx, fh, foff, sb, flen)?;
+            let data = self.nic.host().mem.read_vec(sb, n as usize);
+            let mut c = self.cache.lock();
+            for p in start..=stop {
+                let lo = ((p - start) * page) as usize;
+                if lo >= data.len() {
+                    break;
+                }
+                let hi = data.len().min(lo + page as usize);
+                c.pages.insert((fh.0, p), data[lo..hi].to_vec());
+            }
+        }
+        if served_locally {
+            self.cache_stats.hits.inc();
+            ctx.metrics().counter("dafs.cache.hits").inc();
+        } else {
+            self.cache_stats.misses.inc();
+            ctx.metrics().counter("dafs.cache.misses").inc();
+        }
+        // Assemble into the user buffer: the one copy a local hit costs.
+        self.nic
+            .host()
+            .compute(ctx, self.config.host.copy(end - off));
+        {
+            let c = self.cache.lock();
+            for p in p0..=p1 {
+                let Some(bytes) = c.pages.get(&(fh.0, p)) else {
+                    continue;
+                };
+                let pstart = p * page;
+                let lo = off.max(pstart);
+                let hi = end.min(pstart + bytes.len() as u64);
+                if lo >= hi {
+                    continue;
+                }
+                let slice = &bytes[(lo - pstart) as usize..(hi - pstart) as usize];
+                self.nic.host().mem.write(dst.offset(lo - off), slice);
+            }
+        }
+        self.cache_evict_excess(ctx);
+        Ok(end - off)
+    }
+
+    /// Write through the cache. Under a write-back lease (opt-in via
+    /// [`DafsClientConfig::cache_write_back`]) the bytes buffer dirty at
+    /// the client — one local copy now, flushed on recall, sync, or close.
+    /// Otherwise this writes through, keeping the cached attr in step.
+    pub fn write_cached(
+        &self,
+        ctx: &ActorCtx,
+        fh: NodeId,
+        off: u64,
+        src: VirtAddr,
+        len: u64,
+    ) -> DafsResult<FileAttr> {
+        self.cache_service(ctx)?;
+        if self.config.cache_write_back && len > 0 {
+            let held = self.cache.lock().leases.get(&fh.0) == Some(&LeaseKind::Write);
+            let granted =
+                held || matches!(self.lease_acquire(ctx, fh, LeaseKind::Write), Ok(Some(_)));
+            if granted {
+                return self.write_buffered(ctx, fh, off, src, len);
+            }
+        }
+        self.write(ctx, fh, off, src, len)
+    }
+
+    /// Buffer a write into dirty pages under an already-held write lease.
+    fn write_buffered(
+        &self,
+        ctx: &ActorCtx,
+        fh: NodeId,
+        off: u64,
+        src: VirtAddr,
+        len: u64,
+    ) -> DafsResult<FileAttr> {
+        let page = self.config.cache_page.max(1);
+        // The attr is the EOF authority; the write lease guarantees nobody
+        // else can move it underneath us.
+        let attr = self.getattr_cached(ctx, fh)?;
+        // Pre-fault partial edge pages that overlap existing file data, so
+        // overlaying the write can't lose the bytes beside it.
+        let end = off + len;
+        let head = off / page;
+        let tail = (end - 1) / page;
+        if !off.is_multiple_of(page) && head * page < attr.size {
+            self.cache_fill_page(ctx, fh, head, attr.size)?;
+        }
+        if !end.is_multiple_of(page) && tail != head && tail * page < attr.size {
+            self.cache_fill_page(ctx, fh, tail, attr.size)?;
+        }
+        let data = self.nic.host().mem.read_vec(src, len as usize);
+        self.nic.host().compute(ctx, self.config.host.copy(len));
+        let out = {
+            let mut c = self.cache.lock();
+            let mut pos = 0usize;
+            let mut p = head;
+            while pos < data.len() {
+                let pstart = p * page;
+                let in_off = ((off + pos as u64) - pstart) as usize;
+                let take = (page as usize - in_off).min(data.len() - pos);
+                let entry = c.pages.entry((fh.0, p)).or_default();
+                if entry.len() < in_off + take {
+                    entry.resize(in_off + take, 0);
+                }
+                entry[in_off..in_off + take].copy_from_slice(&data[pos..pos + take]);
+                c.dirty.insert((fh.0, p));
+                pos += take;
+                p += 1;
+            }
+            let a = c.attrs.entry(fh.0).or_insert(attr);
+            a.size = a.size.max(end);
+            *a
+        };
+        self.cache_evict_excess(ctx);
+        Ok(out)
+    }
+
+    /// Ensure page `p` of `fh` is cached (fetching it if absent); `size`
+    /// is the current file size. Internal RMW helper — not a cache hit or
+    /// miss from the caller's point of view.
+    fn cache_fill_page(&self, ctx: &ActorCtx, fh: NodeId, p: u64, size: u64) -> DafsResult<()> {
+        let page = self.config.cache_page.max(1);
+        let plen = (size - p * page).min(page);
+        let have = self
+            .cache
+            .lock()
+            .pages
+            .get(&(fh.0, p))
+            .is_some_and(|b| b.len() as u64 >= plen);
+        if have {
+            return Ok(());
+        }
+        let sb = self.scratch(plen as usize);
+        let n = self.read(ctx, fh, p * page, sb, plen)?;
+        let bytes = self.nic.host().mem.read_vec(sb, n as usize);
+        self.cache.lock().pages.insert((fh.0, p), bytes);
+        Ok(())
+    }
+
+    /// Flush every dirty write-back page to the server (the cache half of
+    /// MPI_File_sync). Leases stay held.
+    pub fn cache_sync(&self, ctx: &ActorCtx) -> DafsResult<()> {
+        self.cache_service(ctx)?;
+        let fhs: Vec<u64> = {
+            let c = self.cache.lock();
+            let set: BTreeSet<u64> = c.dirty.iter().map(|(f, _)| *f).collect();
+            set.into_iter().collect()
+        };
+        for fh in fhs {
+            self.cache_flush_fh(ctx, NodeId(fh))?;
+        }
+        Ok(())
+    }
+
+    /// Voluntarily hand the lease on `fh` back after flushing it — the
+    /// recall-ack wire path with the reserved recall id 0.
+    pub fn cache_release(&self, ctx: &ActorCtx, fh: NodeId) -> DafsResult<()> {
+        if !self.cache.lock().leases.contains_key(&fh.0) {
+            return Ok(());
+        }
+        self.cache_flush_fh(ctx, fh)?;
+        self.cache_drop_fh(ctx, fh.0);
+        let mut e = Enc::new();
+        e.u64(fh.0).u32(0);
+        self.call(ctx, DafsOp::LeaseRecallAck, &mut e).map(|_| ())
+    }
+
+    /// Flush and release everything cached; runs ahead of `disconnect`.
+    fn cache_shutdown(&self, ctx: &ActorCtx) -> DafsResult<()> {
+        {
+            let c = self.cache.lock();
+            if c.leases.is_empty() && c.recalls.is_empty() && c.dirty.is_empty() {
+                return Ok(());
+            }
+        }
+        self.cache_service(ctx)?;
+        let fhs: Vec<u64> = self.cache.lock().leases.keys().copied().collect();
+        for fh in fhs {
+            self.cache_release(ctx, NodeId(fh))?;
+        }
+        // Dirty data without a lease was already flushed by cache_service.
+        Ok(())
     }
 
     // ----- data path ------------------------------------------------------
@@ -907,12 +1490,15 @@ impl DafsClient {
                 Err(DafsError::Transport(_) | DafsError::Connect(_)) => {
                     ctx.metrics().counter("dafs.direct_fallbacks").inc();
                     self.write_inline_chunks(ctx, fh, off, src, len)?;
-                    return self.getattr(ctx, fh);
+                    let a = self.getattr(ctx, fh)?;
+                    self.cache_note_write(ctx, fh, off, len, Some(&a));
+                    return Ok(a);
                 }
                 Err(e) => return Err(e),
             };
             self.stats.direct_writes.record(len);
             ctx.metrics().byte_meter("dafs.direct.bytes").record(len);
+            self.cache_note_write(ctx, fh, off, len, Some(&a));
             return Ok(a);
         }
         // Inline path (small writes, or the cLAN no-RDMA-Read fallback).
@@ -925,6 +1511,7 @@ impl DafsClient {
             let a = self.call_attr(ctx, DafsOp::WriteInline, &mut e)?;
             self.stats.inline_writes.record(len);
             ctx.metrics().byte_meter("dafs.inline.bytes").record(len);
+            self.cache_note_write(ctx, fh, off, len, Some(&a));
             return Ok(a);
         }
         // Multi-chunk: pipeline the chunks over the session credits rather
@@ -1544,6 +2131,18 @@ impl DafsClient {
                         }
                     }
                 };
+            }
+        }
+        if b.dir == BatchDir::Write {
+            // Self-coherence: drop any cached pages the batch overwrote.
+            for r in &b.write_reqs {
+                self.cache_note_write(ctx, r.fh, r.off, r.len, None);
+            }
+            for r in &b.list_reqs {
+                if let (Some(first), Some(last)) = (r.segs.first(), r.segs.last()) {
+                    let span = last.0 + last.1 - first.0;
+                    self.cache_note_write(ctx, r.fh, first.0, span, None);
+                }
             }
         }
         b.results

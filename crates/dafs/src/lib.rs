@@ -29,12 +29,15 @@ pub mod regcache;
 pub mod striped;
 
 pub use client::{
-    DafsBatch, DafsClient, DafsClientStats, DafsError, DafsResult, ListReq, ReadReq, WriteReq,
+    DafsBatch, DafsCacheStats, DafsClient, DafsClientStats, DafsError, DafsResult, ListReq,
+    ReadReq, WriteReq,
 };
 pub use cost::{DafsClientConfig, DafsServerCost};
 pub use proto::{
-    list_acceptable, list_well_formed, DafsOp, DafsStatus, ListSeg, ServerCaps, LIST_MAX_SEGMENTS,
+    list_acceptable, list_well_formed, DafsOp, DafsStatus, LeaseKind, ListSeg, ServerCaps,
+    LIST_MAX_SEGMENTS,
 };
+pub use regcache::RegCacheStats;
 pub use server::{spawn_dafs_server, DafsServerHandle, DafsServerStats};
 pub use striped::{DafsStripedBatch, DafsStripedFile};
 
@@ -315,9 +318,9 @@ mod tests {
             for _ in 0..10 {
                 c.read(ctx, f.id, 0, dst, LEN as u64).unwrap();
             }
-            let (hits, misses, _) = c.regcache_stats();
-            assert_eq!(misses, 1, "only the first read registers");
-            assert_eq!(hits, 9);
+            let rc = c.regcache_stats();
+            assert_eq!(rc.misses, 1, "only the first read registers");
+            assert_eq!(rc.hits, 9);
         });
         b.kernel.run();
     }
@@ -339,13 +342,13 @@ mod tests {
             for _ in 0..5 {
                 c.read(ctx, f.id, 0, dst, LEN as u64).unwrap();
             }
-            let (hits, misses, _) = c.regcache_stats();
-            assert_eq!((hits, misses), (0, 5));
+            let rc = c.regcache_stats();
+            assert_eq!((rc.hits, rc.misses), (0, 5));
             // All transient registrations were torn down again.
-            let (regs, _, deregs) = nic.registration_stats();
+            let rs = nic.registration_stats();
             // 16 session buffers + 5 transient.
-            assert_eq!(regs, 16 + 5);
-            assert_eq!(deregs, 5);
+            assert_eq!(rs.registrations, 16 + 5);
+            assert_eq!(rs.deregistrations, 5);
         });
         b.kernel.run();
     }
@@ -818,5 +821,236 @@ mod tests {
             let got = b.fs.read(fh, (i * (32 << 10)) as u64, 2).unwrap();
             assert_eq!(got, vec![i as u8 + 1; 2]);
         }
+    }
+
+    #[test]
+    fn cached_reread_is_wire_free() {
+        let b = bed();
+        b.fs.create(ROOT_ID, "hot").unwrap();
+        let fh = b.fs.resolve("/hot").unwrap().id;
+        let payload: Vec<u8> = (0..8192u32).map(|i| (i % 251) as u8).collect();
+        b.fs.write(fh, 0, &payload).unwrap();
+        with_client(&b, client_config(), move |ctx, c, nic| {
+            let f = c.lookup(ctx, ROOT_ID, "hot").unwrap();
+            let dst = nic.host().mem.alloc(8192);
+            let n = c.read_cached(ctx, f.id, 0, dst, 8192).unwrap();
+            assert_eq!(n, 8192);
+            assert_eq!(nic.host().mem.read_vec(dst, 8192), payload);
+            assert_eq!(c.cache_stats.misses.get(), 1);
+            assert_eq!(c.cache_stats.hits.get(), 0);
+            // Re-read: served from cached pages, nothing on the wire.
+            let wire = c.stats.inline_reads.bytes.get() + c.stats.direct_reads.bytes.get();
+            let ops = c.stats.ops.get();
+            nic.host().mem.fill(dst, 8192, 0);
+            let n = c.read_cached(ctx, f.id, 0, dst, 8192).unwrap();
+            assert_eq!(n, 8192);
+            assert_eq!(nic.host().mem.read_vec(dst, 8192), payload);
+            assert_eq!(c.cache_stats.hits.get(), 1);
+            assert_eq!(
+                c.stats.inline_reads.bytes.get() + c.stats.direct_reads.bytes.get(),
+                wire,
+                "cache hit moved bytes over the wire"
+            );
+            assert_eq!(c.stats.ops.get(), ops, "cache hit issued a request");
+            // Attributes ride the same lease: getattr is now free too.
+            let a = c.getattr_cached(ctx, f.id).unwrap();
+            assert_eq!(a.size, 8192);
+            assert_eq!(c.cache_stats.attr_hits.get(), 1);
+            assert_eq!(c.stats.ops.get(), ops);
+        });
+        b.kernel.run();
+    }
+
+    #[test]
+    fn conflicting_write_recalls_lease_and_reader_sees_new_bytes() {
+        let b = bed();
+        b.fs.create(ROOT_ID, "shared").unwrap();
+        let fh = b.fs.resolve("/shared").unwrap().id;
+        b.fs.write(fh, 0, &[0xAA; 4096]).unwrap();
+        let wrote = Arc::new(AtomicU64::new(0));
+        {
+            let fabric = b.fabric.clone();
+            let nic = fabric.open_nic(b.cluster.add_host("reader"));
+            let sid = b.server.host.id;
+            b.kernel.spawn("reader", move |ctx| {
+                let c =
+                    DafsClient::connect(ctx, &fabric, &nic, sid, 2049, client_config()).unwrap();
+                let f = c.lookup(ctx, ROOT_ID, "shared").unwrap();
+                let dst = nic.host().mem.alloc(4096);
+                c.read_cached(ctx, f.id, 0, dst, 4096).unwrap();
+                assert_eq!(nic.host().mem.read_vec(dst, 4096), vec![0xAA; 4096]);
+                // The writer shows up at ms(2); its WRITE parks behind our
+                // lease until the next cache entry point services the recall.
+                ctx.advance(ms(5));
+                let n = c.read_cached(ctx, f.id, 0, dst, 4096).unwrap();
+                assert_eq!(n, 4096);
+                assert_eq!(
+                    nic.host().mem.read_vec(dst, 4096),
+                    vec![0xBB; 4096],
+                    "recalled reader still served stale bytes"
+                );
+                assert_eq!(c.cache_stats.recalls.get(), 1);
+                assert!(c.cache_stats.invalidations.get() > 0);
+                c.disconnect(ctx);
+            });
+        }
+        {
+            let fabric = b.fabric.clone();
+            let nic = fabric.open_nic(b.cluster.add_host("writer"));
+            let sid = b.server.host.id;
+            let wrote = wrote.clone();
+            b.kernel.spawn("writer", move |ctx| {
+                ctx.advance(ms(2));
+                let c =
+                    DafsClient::connect(ctx, &fabric, &nic, sid, 2049, client_config()).unwrap();
+                let f = c.lookup(ctx, ROOT_ID, "shared").unwrap();
+                c.write_bytes(ctx, f.id, 0, &[0xBB; 4096]).unwrap();
+                wrote.store(ctx.now().as_nanos(), Ordering::SeqCst);
+                c.disconnect(ctx);
+            });
+        }
+        b.kernel.run();
+        // The write was deferred until the reader acked at ms(5).
+        assert!(wrote.load(Ordering::SeqCst) >= ms(5).as_nanos());
+        assert_eq!(b.fs.read(fh, 0, 4).unwrap(), vec![0xBB; 4]);
+    }
+
+    #[test]
+    fn write_back_holder_flushes_on_recall_before_reader_proceeds() {
+        let b = bed();
+        b.fs.create(ROOT_ID, "wb").unwrap();
+        {
+            let fabric = b.fabric.clone();
+            let nic = fabric.open_nic(b.cluster.add_host("wb-holder"));
+            let sid = b.server.host.id;
+            let fs = b.fs.clone();
+            let cfg = DafsClientConfig {
+                cache_write_back: true,
+                ..client_config()
+            };
+            b.kernel.spawn("wb-holder", move |ctx| {
+                let c = DafsClient::connect(ctx, &fabric, &nic, sid, 2049, cfg).unwrap();
+                let f = c.lookup(ctx, ROOT_ID, "wb").unwrap();
+                let src = nic.host().mem.alloc(4096);
+                nic.host().mem.fill(src, 4096, 0x5A);
+                let a = c.write_cached(ctx, f.id, 0, src, 4096).unwrap();
+                assert_eq!(a.size, 4096, "buffered write must report new EOF");
+                assert_eq!(
+                    fs.resolve("/wb").unwrap().size,
+                    0,
+                    "write-back data reached the server before any flush"
+                );
+                // A reader connects at ms(2); servicing its recall flushes
+                // the dirty pages before the ack releases the lease.
+                ctx.advance(ms(5));
+                c.getattr_cached(ctx, f.id).unwrap();
+                assert_eq!(c.cache_stats.recalls.get(), 1);
+                assert_eq!(fs.resolve("/wb").unwrap().size, 4096);
+                c.disconnect(ctx);
+            });
+        }
+        {
+            let fabric = b.fabric.clone();
+            let nic = fabric.open_nic(b.cluster.add_host("wb-reader"));
+            let sid = b.server.host.id;
+            b.kernel.spawn("wb-reader", move |ctx| {
+                ctx.advance(ms(2));
+                let c =
+                    DafsClient::connect(ctx, &fabric, &nic, sid, 2049, client_config()).unwrap();
+                let f = c.lookup(ctx, ROOT_ID, "wb").unwrap();
+                // Parked behind the write lease; must observe the flushed
+                // image, never the pre-write hole.
+                let got = c.read_to_vec(ctx, f.id, 0, 4096).unwrap();
+                assert_eq!(got, vec![0x5A; 4096]);
+                assert!(ctx.now().as_nanos() >= ms(5).as_nanos());
+                c.disconnect(ctx);
+            });
+        }
+        b.kernel.run();
+    }
+
+    #[test]
+    fn voluntary_release_lets_writers_through_without_recall() {
+        let b = bed();
+        b.fs.create(ROOT_ID, "rel").unwrap();
+        let fh = b.fs.resolve("/rel").unwrap().id;
+        b.fs.write(fh, 0, &[1u8; 4096]).unwrap();
+        {
+            let fabric = b.fabric.clone();
+            let nic = fabric.open_nic(b.cluster.add_host("releaser"));
+            let sid = b.server.host.id;
+            b.kernel.spawn("releaser", move |ctx| {
+                let c =
+                    DafsClient::connect(ctx, &fabric, &nic, sid, 2049, client_config()).unwrap();
+                let f = c.lookup(ctx, ROOT_ID, "rel").unwrap();
+                let dst = nic.host().mem.alloc(4096);
+                c.read_cached(ctx, f.id, 0, dst, 4096).unwrap();
+                c.cache_release(ctx, f.id).unwrap();
+                // Idle well past the writer; with the lease returned, no
+                // recall ever reaches us.
+                ctx.advance(ms(20));
+                assert_eq!(c.cache_stats.recalls.get(), 0);
+                c.disconnect(ctx);
+            });
+        }
+        let wrote = Arc::new(AtomicU64::new(u64::MAX));
+        {
+            let fabric = b.fabric.clone();
+            let nic = fabric.open_nic(b.cluster.add_host("late-writer"));
+            let sid = b.server.host.id;
+            let wrote = wrote.clone();
+            b.kernel.spawn("late-writer", move |ctx| {
+                ctx.advance(ms(2));
+                let c =
+                    DafsClient::connect(ctx, &fabric, &nic, sid, 2049, client_config()).unwrap();
+                let f = c.lookup(ctx, ROOT_ID, "rel").unwrap();
+                c.write_bytes(ctx, f.id, 0, &[2u8; 4096]).unwrap();
+                wrote.store(ctx.now().as_nanos(), Ordering::SeqCst);
+                c.disconnect(ctx);
+            });
+        }
+        b.kernel.run();
+        // The write sailed through at ~ms(2): it never waited for the
+        // releaser's ms(20) wakeup.
+        assert!(wrote.load(Ordering::SeqCst) < ms(10).as_nanos());
+        assert_eq!(b.fs.read(fh, 0, 4).unwrap(), vec![2u8; 4]);
+    }
+
+    #[test]
+    fn holder_disconnect_releases_leases_for_waiters() {
+        let b = bed();
+        b.fs.create(ROOT_ID, "gone").unwrap();
+        let fh = b.fs.resolve("/gone").unwrap().id;
+        b.fs.write(fh, 0, &[7u8; 1024]).unwrap();
+        {
+            let fabric = b.fabric.clone();
+            let nic = fabric.open_nic(b.cluster.add_host("leaver"));
+            let sid = b.server.host.id;
+            b.kernel.spawn("leaver", move |ctx| {
+                let c =
+                    DafsClient::connect(ctx, &fabric, &nic, sid, 2049, client_config()).unwrap();
+                let f = c.lookup(ctx, ROOT_ID, "gone").unwrap();
+                let dst = nic.host().mem.alloc(1024);
+                c.read_cached(ctx, f.id, 0, dst, 1024).unwrap();
+                // Disconnect with the lease held: the shutdown path must
+                // release it so waiting writers are replayed.
+                c.disconnect(ctx);
+            });
+        }
+        {
+            let fabric = b.fabric.clone();
+            let nic = fabric.open_nic(b.cluster.add_host("after"));
+            let sid = b.server.host.id;
+            b.kernel.spawn("after", move |ctx| {
+                ctx.advance(ms(2));
+                let c =
+                    DafsClient::connect(ctx, &fabric, &nic, sid, 2049, client_config()).unwrap();
+                let f = c.lookup(ctx, ROOT_ID, "gone").unwrap();
+                c.write_bytes(ctx, f.id, 0, &[8u8; 1024]).unwrap();
+                c.disconnect(ctx);
+            });
+        }
+        b.kernel.run();
+        assert_eq!(b.fs.read(fh, 0, 4).unwrap(), vec![8u8; 4]);
     }
 }

@@ -65,6 +65,24 @@ pub enum DafsOp {
     /// inline payload carries the segments back-to-back, direct transfers
     /// RDMA-Read them from one registered client buffer.
     WriteList = 21,
+    /// Request a cache lease on a file (the DAFS delegation model):
+    /// request carries `(fh, kind)` with kind 1 = read, 2 = write-back;
+    /// the response carries `granted: u8` plus the file's current
+    /// attributes, so a grant seeds the client attribute cache atomically.
+    /// Not replay-cacheable: a replayed stale grant after the server
+    /// reclaimed the lease would let the client cache incoherently.
+    LeaseGrant = 22,
+    /// Server→client recall push: an *unsolicited* frame on the session's
+    /// response ring, sent when a conflicting writer appears. Encoded as a
+    /// response with reqid 0 (client request ids start at 1) carrying
+    /// `(op=23 marker u8, fh, recall_id)`.
+    LeaseRecall = 23,
+    /// Client→server recall acknowledgement: `(fh, recall_id)` after the
+    /// client flushed dirty data and dropped the lease. `recall_id` 0
+    /// means a voluntary release (no recall outstanding). Re-execution is
+    /// a no-op on the server, so replayed acks after a reconnect are
+    /// harmless (replay-idempotent).
+    LeaseRecallAck = 24,
 }
 
 impl DafsOp {
@@ -92,6 +110,9 @@ impl DafsOp {
             19 => DafsOp::Append,
             20 => DafsOp::ReadList,
             21 => DafsOp::WriteList,
+            22 => DafsOp::LeaseGrant,
+            23 => DafsOp::LeaseRecall,
+            24 => DafsOp::LeaseRecallAck,
             _ => return None,
         })
     }
@@ -154,6 +175,49 @@ impl From<FsError> for DafsStatus {
             FsError::InvalidName => DafsStatus::Inval,
         }
     }
+}
+
+/// Lease kinds a client may request with [`DafsOp::LeaseGrant`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum LeaseKind {
+    /// Shared read lease: cached pages/attrs may be served locally.
+    Read = 1,
+    /// Exclusive write-back lease: additionally, small writes may be
+    /// buffered dirty at the client until flush or recall.
+    Write = 2,
+}
+
+impl LeaseKind {
+    /// Parse from a wire value.
+    pub fn from_u8(v: u8) -> Option<LeaseKind> {
+        match v {
+            1 => Some(LeaseKind::Read),
+            2 => Some(LeaseKind::Write),
+            _ => None,
+        }
+    }
+}
+
+/// Encode the unsolicited server→client lease-recall push frame: a
+/// response with reqid 0 (request ids start at 1), an op marker, the file
+/// handle, and the recall id the client must echo in its
+/// [`DafsOp::LeaseRecallAck`].
+pub fn enc_recall_push(fh: NodeId, recall_id: u32) -> Enc {
+    let mut e = Enc::new();
+    enc_resp_header(&mut e, 0, DafsStatus::Ok);
+    e.u8(DafsOp::LeaseRecall as u8);
+    e.u64(fh.0);
+    e.u32(recall_id);
+    e
+}
+
+/// Decode a recall push payload (everything after the response header).
+pub fn dec_recall_push(d: &mut Dec) -> Result<(NodeId, u32), WireError> {
+    if d.u8()? != DafsOp::LeaseRecall as u8 {
+        return Err(WireError);
+    }
+    Ok((NodeId(d.u64()?), d.u32()?))
 }
 
 /// Server capabilities advertised at session setup.
@@ -297,12 +361,28 @@ mod tests {
 
     #[test]
     fn op_roundtrip() {
-        for v in 1..=21u8 {
+        for v in 1..=24u8 {
             let op = DafsOp::from_u8(v).unwrap();
             assert_eq!(op as u8, v);
         }
         assert_eq!(DafsOp::from_u8(0), None);
-        assert_eq!(DafsOp::from_u8(22), None);
+        assert_eq!(DafsOp::from_u8(25), None);
+    }
+
+    #[test]
+    fn lease_kind_and_recall_roundtrip() {
+        assert_eq!(LeaseKind::from_u8(1), Some(LeaseKind::Read));
+        assert_eq!(LeaseKind::from_u8(2), Some(LeaseKind::Write));
+        assert_eq!(LeaseKind::from_u8(0), None);
+        assert_eq!(LeaseKind::from_u8(3), None);
+
+        let b = enc_recall_push(NodeId(7), 42).finish();
+        let mut d = Dec::new(&b);
+        // The push frame reads as a reqid-0 Ok response...
+        assert_eq!(dec_resp_header(&mut d).unwrap(), (0, DafsStatus::Ok));
+        // ...whose payload names the file and the recall.
+        assert_eq!(dec_recall_push(&mut d).unwrap(), (NodeId(7), 42));
+        assert_eq!(d.remaining(), 0);
     }
 
     #[test]

@@ -36,6 +36,19 @@ struct CacheState {
     tick: u64,
 }
 
+/// A point-in-time snapshot of registration-cache counters, read with
+/// [`RegCache::stats`]. Named fields replace the old positional tuple so
+/// call sites can't transpose hits and misses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegCacheStats {
+    /// Acquisitions served from a live registration.
+    pub hits: u64,
+    /// Acquisitions that performed a fresh registration.
+    pub misses: u64,
+    /// Registrations torn down for capacity.
+    pub evictions: u64,
+}
+
 /// An LRU cache of live NIC registrations.
 pub struct RegCache {
     nic: ViaNic,
@@ -221,6 +234,15 @@ impl RegCache {
     pub fn pinned(&self) -> u64 {
         self.state.lock().pinned
     }
+
+    /// Snapshot the cache counters.
+    pub fn stats(&self) -> RegCacheStats {
+        RegCacheStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -321,8 +343,8 @@ mod tests {
                 1,
                 "old registration must be torn down"
             );
-            let (regs, _, deregs) = nic.registration_stats();
-            assert_eq!((regs, deregs), (2, 1));
+            let rs = nic.registration_stats();
+            assert_eq!((rs.registrations, rs.deregistrations), (2, 1));
             // The longer registration serves sub-range hits.
             touch(ctx, cache, buf, 4 << 10);
             assert_eq!(cache.hits.get(), 1);
@@ -389,8 +411,8 @@ mod tests {
             let (h2, t2) = cache.acquire(ctx, buf, 32 << 10);
             cache.release(ctx, h2, t2);
             assert_ne!(h1, h2);
-            let (regs, _, deregs) = nic.registration_stats();
-            assert_eq!((regs, deregs), (2, 2));
+            let rs = nic.registration_stats();
+            assert_eq!((rs.registrations, rs.deregistrations), (2, 2));
         });
     }
 

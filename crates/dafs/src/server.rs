@@ -19,7 +19,7 @@
 //! With `registered_buffer_cache` (the NetApp-prototype configuration) the
 //! server pays no per-byte CPU on direct transfers at all.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use memfs::{MemFs, NodeId, SetAttr};
 use simnet::{ActorCtx, ByteMeter, Counter, Host, Port, SimKernel, VirtAddr};
@@ -84,6 +84,30 @@ struct Session {
 struct LockState {
     holder: Option<ViId>,
     waiters: VecDeque<(ViId, u32)>,
+}
+
+/// Lease table entry for one file handle. Grant rules keep the holder set
+/// homogeneous: either any number of read holders or exactly one write-back
+/// holder, never a mix.
+#[derive(Default)]
+struct LeaseState {
+    /// Holder sessions in grant order (recall fan-out is deterministic).
+    holders: Vec<(ViId, proto::LeaseKind)>,
+    /// In-flight recall, if a conflicting request is waiting.
+    recall: Option<RecallState>,
+}
+
+/// A recall in progress: every holder has been pushed a [`proto::enc_recall_push`]
+/// frame and the conflicting requests sit in `blocked` until the last
+/// holder flushes and acks (or dies — session teardown counts as an ack).
+/// The wire recall id is not kept here: dropping a holder is idempotent, so
+/// an ack from any round retires that holder's pending entry.
+struct RecallState {
+    /// Holders whose flush-and-ack is still outstanding.
+    pending: Vec<ViId>,
+    /// Raw request frames deferred until the recall completes, replayed
+    /// through `serve_one` in arrival order.
+    blocked: Vec<(ViId, Vec<u8>)>,
 }
 
 /// Start a DAFS server on `nic`'s host, exporting `fs` at `port`.
@@ -166,6 +190,10 @@ pub fn spawn_dafs_server(
             let mut sessions: HashMap<ViId, Session> = HashMap::new();
             let mut retired: std::collections::HashSet<ViId> = std::collections::HashSet::new();
             let mut locks: HashMap<u64, LockState> = HashMap::new();
+            // Lease table (BTreeMap: teardown sweeps it in handle order so
+            // unblocking deferred writers is deterministic).
+            let mut leases: BTreeMap<u64, LeaseState> = BTreeMap::new();
+            let mut next_recall_id: u32 = 1;
             // Stable client id (from Hello) per live session, and the
             // replay cache that makes reconnect-replayed non-idempotent
             // requests exactly-once.
@@ -208,6 +236,27 @@ pub fn spawn_dafs_server(
                         retired.insert(vi_id);
                         client_ids.remove(&vi_id);
                         release_locks_of(ctx, &mut sessions, &mut locks, vi_id);
+                        let frames = release_leases_of(ctx, &mut leases, vi_id);
+                        for (bvi, frame) in frames {
+                            if sessions.contains_key(&bvi) {
+                                serve_one(
+                                    ctx,
+                                    &nic,
+                                    &host,
+                                    &fs,
+                                    &cost,
+                                    &stats,
+                                    &mut sessions,
+                                    bvi,
+                                    &mut locks,
+                                    &mut leases,
+                                    &mut next_recall_id,
+                                    &mut client_ids,
+                                    &mut replay,
+                                    &frame,
+                                );
+                            }
+                        }
                         continue;
                     }
                     if !completion.status.is_ok() {
@@ -233,6 +282,8 @@ pub fn spawn_dafs_server(
                     &mut sessions,
                     vi_id,
                     &mut locks,
+                    &mut leases,
+                    &mut next_recall_id,
                     &mut client_ids,
                     &mut replay,
                     &req,
@@ -248,6 +299,27 @@ pub fn spawn_dafs_server(
                     retired.insert(vi_id);
                     client_ids.remove(&vi_id);
                     release_locks_of(ctx, &mut sessions, &mut locks, vi_id);
+                    let frames = release_leases_of(ctx, &mut leases, vi_id);
+                    for (bvi, frame) in frames {
+                        if sessions.contains_key(&bvi) {
+                            serve_one(
+                                ctx,
+                                &nic,
+                                &host,
+                                &fs,
+                                &cost,
+                                &stats,
+                                &mut sessions,
+                                bvi,
+                                &mut locks,
+                                &mut leases,
+                                &mut next_recall_id,
+                                &mut client_ids,
+                                &mut replay,
+                                &frame,
+                            );
+                        }
+                    }
                 }
             }
         });
@@ -375,6 +447,139 @@ fn release_locks_of(
     }
 }
 
+/// Gate one request against the lease table. Returns true when the request
+/// was deferred behind a recall — the caller must not reply; the raw frame
+/// is replayed through `serve_one` once every holder has flushed and acked.
+///
+/// Holds no virtual time and touches nothing observable when the table has
+/// no entry for `fh`, so runs without caching clients stay byte-identical.
+#[allow(clippy::too_many_arguments)]
+fn lease_defer(
+    ctx: &ActorCtx,
+    nic: &ViaNic,
+    sessions: &mut HashMap<ViId, Session>,
+    leases: &mut BTreeMap<u64, LeaseState>,
+    next_recall_id: &mut u32,
+    vi_id: ViId,
+    fh: u64,
+    mutating: bool,
+    req: &[u8],
+) -> bool {
+    let Some(st) = leases.get_mut(&fh) else {
+        return false;
+    };
+    if st.holders.iter().any(|(h, _)| *h == vi_id) {
+        // Holders pass through: a recalled holder must still be able to
+        // flush its dirty pages, and a holder's own ops are coherent by
+        // construction (its cache is the freshest copy).
+        return false;
+    }
+    let conflict = if mutating {
+        !st.holders.is_empty()
+    } else {
+        // Read and write leases never coexist on one handle, so a reader
+        // only conflicts with a write-back holder's dirty cache.
+        st.holders
+            .iter()
+            .any(|(_, k)| *k == proto::LeaseKind::Write)
+    };
+    if !conflict {
+        return false;
+    }
+    if let Some(rc) = st.recall.as_mut() {
+        // Recall already in flight: queue behind it in arrival order.
+        rc.blocked.push((vi_id, req.to_vec()));
+        return true;
+    }
+    let id = *next_recall_id;
+    *next_recall_id += 1;
+    let mut pending = Vec::new();
+    let mut dead = Vec::new();
+    for (h, _) in &st.holders {
+        if let Some(sess) = sessions.get_mut(h) {
+            let push = proto::enc_recall_push(NodeId(fh), id).finish();
+            respond(ctx, nic, sess, &push);
+            // The push itself can break the session (crashed holder): a
+            // dead holder can never ack, so waiting on it would wedge the
+            // deferred request forever. Reclaim its lease on the spot.
+            if sess.vi.state() == ViState::Connected {
+                ctx.metrics().counter("dafs.lease.recalls_sent").inc();
+                pending.push(*h);
+            } else {
+                ctx.metrics().counter("dafs.lease.reclaims").inc();
+                dead.push(*h);
+            }
+        } else {
+            dead.push(*h);
+        }
+    }
+    st.holders.retain(|(h, _)| !dead.contains(h));
+    if pending.is_empty() {
+        // Every holder's session is already gone; reclaim on the spot.
+        leases.remove(&fh);
+        return false;
+    }
+    ctx.trace(
+        "dafs",
+        "lease.recall",
+        &[
+            ("fh", obs::Value::U64(fh)),
+            ("recall", obs::Value::U64(id as u64)),
+            ("holders", obs::Value::U64(pending.len() as u64)),
+        ],
+    );
+    st.recall = Some(RecallState {
+        pending,
+        blocked: vec![(vi_id, req.to_vec())],
+    });
+    true
+}
+
+/// Drop `vi`'s lease on `fh` (recall ack, voluntary release, or teardown).
+/// When that completes an in-flight recall, the deferred frames come back
+/// for the caller to replay through `serve_one`.
+fn lease_drop(leases: &mut BTreeMap<u64, LeaseState>, fh: u64, vi: ViId) -> Vec<(ViId, Vec<u8>)> {
+    let Some(st) = leases.get_mut(&fh) else {
+        return Vec::new();
+    };
+    st.holders.retain(|(h, _)| *h != vi);
+    let mut frames = Vec::new();
+    if let Some(rc) = st.recall.as_mut() {
+        rc.pending.retain(|p| *p != vi);
+        if rc.pending.is_empty() {
+            frames = st.recall.take().expect("recall present").blocked;
+        }
+    }
+    if st.holders.is_empty() && st.recall.is_none() {
+        leases.remove(&fh);
+    }
+    frames
+}
+
+/// On session teardown, drop every lease the session held, abandon its own
+/// deferred frames, and complete any recall that was waiting only on it —
+/// a crashed holder must never wedge the writers queued behind a recall.
+fn release_leases_of(
+    ctx: &ActorCtx,
+    leases: &mut BTreeMap<u64, LeaseState>,
+    vi: ViId,
+) -> Vec<(ViId, Vec<u8>)> {
+    let mut frames = Vec::new();
+    let fhs: Vec<u64> = leases.keys().copied().collect();
+    for fh in fhs {
+        let st = leases.get_mut(&fh).expect("swept key");
+        if let Some(rc) = st.recall.as_mut() {
+            rc.blocked.retain(|(b, _)| *b != vi);
+        }
+        if st.holders.iter().any(|(h, _)| *h == vi) {
+            ctx.metrics().counter("dafs.lease.reclaims").inc();
+            ctx.trace("dafs", "lease.reclaim", &[("fh", obs::Value::U64(fh))]);
+        }
+        frames.extend(lease_drop(leases, fh, vi));
+    }
+    frames
+}
+
 fn grant_next(ctx: &ActorCtx, sessions: &mut HashMap<ViId, Session>, st: &mut LockState) {
     while let Some((next, reqid)) = st.waiters.pop_front() {
         if let Some(sess) = sessions.get_mut(&next) {
@@ -401,6 +606,8 @@ fn serve_one(
     sessions: &mut HashMap<ViId, Session>,
     vi_id: ViId,
     locks: &mut HashMap<u64, LockState>,
+    leases: &mut BTreeMap<u64, LeaseState>,
+    next_recall_id: &mut u32,
     client_ids: &mut HashMap<ViId, u64>,
     replay: &mut ReplayCache,
     req: &[u8],
@@ -440,6 +647,66 @@ fn serve_one(
             let cached = cached.clone();
             respond(ctx, nic, sess!(), &cached);
             return false;
+        }
+    }
+
+    // Lease coherence gate: ops that would observe or clobber a cached
+    // client's data are deferred behind a recall of the conflicting leases.
+    // Replay hits never reach here — an already-executed mutation must not
+    // be gated (or billed) twice.
+    if !leases.is_empty() {
+        let gate = match op {
+            DafsOp::SetAttr
+            | DafsOp::WriteInline
+            | DafsOp::WriteDirect
+            | DafsOp::WriteList
+            | DafsOp::Append => Some(true),
+            DafsOp::GetAttr | DafsOp::ReadInline | DafsOp::ReadDirect | DafsOp::ReadList => {
+                Some(false)
+            }
+            _ => None,
+        };
+        if let Some(mutating) = gate {
+            let mut peek = Dec::new(req);
+            if proto::dec_req_header(&mut peek).is_ok() {
+                if let Ok(fh) = peek.u64() {
+                    if lease_defer(
+                        ctx,
+                        nic,
+                        sessions,
+                        leases,
+                        next_recall_id,
+                        vi_id,
+                        fh,
+                        mutating,
+                        req,
+                    ) {
+                        return false;
+                    }
+                }
+            }
+        } else if op == DafsOp::Remove {
+            // The wire names (dir, name); the conflict is on the child.
+            let mut peek = Dec::new(req);
+            if proto::dec_req_header(&mut peek).is_ok() {
+                if let (Ok(dir), Ok(name)) = (peek.u64(), peek.str()) {
+                    if let Ok(a) = fs.lookup(NodeId(dir), &name) {
+                        if lease_defer(
+                            ctx,
+                            nic,
+                            sessions,
+                            leases,
+                            next_recall_id,
+                            vi_id,
+                            a.id.0,
+                            true,
+                            req,
+                        ) {
+                            return false;
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -931,6 +1198,81 @@ fn serve_one(
             let bytes = e.finish();
             respond(ctx, nic, sess!(), &bytes);
             true
+        }
+        DafsOp::LeaseGrant => {
+            // Not replay-cacheable: leases are per-session state, and a
+            // reconnected client starts cold (revalidate-on-reconnect), so
+            // replaying a stale grant would resurrect a dead lease.
+            let fh = NodeId(try_wire!(d.u64()));
+            let Some(kind) = proto::LeaseKind::from_u8(try_wire!(d.u8())) else {
+                fail!(DafsStatus::Inval);
+            };
+            let a = try_fs!(fs.getattr(fh));
+            let st = leases.entry(fh.0).or_default();
+            let others_any = st.holders.iter().any(|(h, _)| *h != vi_id);
+            let others_write = st
+                .holders
+                .iter()
+                .any(|(h, k)| *h != vi_id && *k == proto::LeaseKind::Write);
+            let deny = st.recall.is_some()
+                || match kind {
+                    proto::LeaseKind::Read => others_write,
+                    proto::LeaseKind::Write => others_any,
+                };
+            if deny {
+                if st.holders.is_empty() && st.recall.is_none() {
+                    leases.remove(&fh.0);
+                }
+                ctx.metrics().counter("dafs.lease.denials").inc();
+            } else {
+                if let Some(slot) = st.holders.iter_mut().find(|(h, _)| *h == vi_id) {
+                    slot.1 = slot.1.max(kind); // refresh / upgrade in place
+                } else {
+                    st.holders.push((vi_id, kind));
+                }
+                ctx.metrics().counter("dafs.lease.grants").inc();
+            }
+            proto::enc_resp_header(&mut e, reqid, DafsStatus::Ok);
+            e.u8(!deny as u8);
+            // The attr rides along so a granted client seeds its attribute
+            // cache atomically with the lease.
+            proto::enc_attr(&mut e, &a);
+            reply!(e);
+        }
+        DafsOp::LeaseRecall => {
+            // Server-to-client push marker only; never a valid request.
+            fail!(DafsStatus::Inval);
+        }
+        DafsOp::LeaseRecallAck => {
+            // Replay-idempotent by construction: re-dropping an absent
+            // lease is a no-op, so a reconnect-replayed ack is harmless.
+            let fh = try_wire!(d.u64());
+            let _recall_id = try_wire!(d.u32());
+            proto::enc_resp_header(&mut e, reqid, DafsStatus::Ok);
+            let bytes = e.finish();
+            respond(ctx, nic, sess!(), &bytes);
+            let frames = lease_drop(leases, fh, vi_id);
+            for (bvi, frame) in frames {
+                if sessions.contains_key(&bvi) {
+                    serve_one(
+                        ctx,
+                        nic,
+                        host,
+                        fs,
+                        cost,
+                        stats,
+                        sessions,
+                        bvi,
+                        locks,
+                        leases,
+                        next_recall_id,
+                        client_ids,
+                        replay,
+                        &frame,
+                    );
+                }
+            }
+            false
         }
     }
 }

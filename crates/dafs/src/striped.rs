@@ -275,6 +275,58 @@ impl DafsStripedFile {
         Ok(total)
     }
 
+    /// Read `len` logical bytes at `off` through each server's
+    /// lease-coherent client cache ([`DafsClient::read_cached`]). Pieces go
+    /// out sequentially rather than through the batch machinery: the cached
+    /// path targets small re-read traffic where hits are local memory
+    /// copies, so there is no credit window worth overlapping. Returns
+    /// bytes read in stream order (short at the logical EOF).
+    pub fn read_cached(
+        &self,
+        ctx: &ActorCtx,
+        off: u64,
+        dst: VirtAddr,
+        len: u64,
+    ) -> DafsResult<u64> {
+        let mut total = 0;
+        for p in self.split(off, len) {
+            let n = self.clients[p.server].read_cached(
+                ctx,
+                self.fhs[p.server],
+                p.local,
+                dst.offset(p.rel),
+                p.len,
+            )?;
+            total += n;
+            if n < p.len {
+                break;
+            }
+        }
+        Ok(total)
+    }
+
+    /// Write `len` logical bytes at `off` from `src` through each server's
+    /// client cache ([`DafsClient::write_cached`]); with write-back off
+    /// this writes through, only keeping the cache coherent.
+    pub fn write_cached(
+        &self,
+        ctx: &ActorCtx,
+        off: u64,
+        src: VirtAddr,
+        len: u64,
+    ) -> DafsResult<()> {
+        for p in self.split(off, len) {
+            self.clients[p.server].write_cached(
+                ctx,
+                self.fhs[p.server],
+                p.local,
+                src.offset(p.rel),
+                p.len,
+            )?;
+        }
+        Ok(())
+    }
+
     /// Write `len` logical bytes at `off` from `src`.
     pub fn write(&self, ctx: &ActorCtx, off: u64, src: VirtAddr, len: u64) -> DafsResult<()> {
         let pieces = self.split(off, len);
@@ -518,6 +570,28 @@ impl DafsStripedFile {
             size = size.max(logical_end(n, self.stripe, s as u64, p));
         }
         Ok(size)
+    }
+
+    /// Logical file size via each server's lease-coherent attribute cache
+    /// ([`DafsClient::getattr_cached`]): with leases held, a size poll is a
+    /// pure local lookup on every server.
+    pub fn get_size_cached(&self, ctx: &ActorCtx) -> DafsResult<u64> {
+        let n = self.clients.len() as u64;
+        let mut size = 0u64;
+        for (s, c) in self.clients.iter().enumerate() {
+            let p = c.getattr_cached(ctx, self.fhs[s])?.size;
+            size = size.max(logical_end(n, self.stripe, s as u64, p));
+        }
+        Ok(size)
+    }
+
+    /// Flush dirty cached pages and release every server's leases on this
+    /// file (close-time hygiene for cached sessions).
+    pub fn cache_release(&self, ctx: &ActorCtx) -> DafsResult<()> {
+        for (s, c) in self.clients.iter().enumerate() {
+            c.cache_release(ctx, self.fhs[s])?;
+        }
+        Ok(())
     }
 
     /// Truncate / extend the logical file to `size` bytes by truncating

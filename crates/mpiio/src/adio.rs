@@ -600,7 +600,15 @@ fn list_segments(reqs: &[(u64, VirtAddr, u64)]) -> Option<(VirtAddr, Vec<ListSeg
 /// the DAFS wire protocol always has the ops, so only an explicit
 /// `disable` keeps sieving.
 fn listio_on(hints: &crate::hints::Hints) -> bool {
-    hints.dafs_listio != crate::hints::Toggle::Disable
+    hints.dafs_listio != crate::hints::TriState::Disable
+}
+
+/// Whether the `dafs_cache` hint turns the lease-coherent client cache on.
+/// Unlike `dafs_listio`, `Automatic` means OFF: caching acquires leases and
+/// changes the op stream, so it is strictly opt-in — only an explicit
+/// `enable` routes reads and size polls through the cached entry points.
+fn cache_on(hints: &crate::hints::Hints) -> bool {
+    hints.dafs_cache == crate::hints::TriState::Enable
 }
 
 struct DafsFileHandle {
@@ -611,6 +619,9 @@ struct DafsFileHandle {
     /// `dafs_listio` hint captured at open: route sorted noncontiguous
     /// batches through the wire-level list ops.
     listio: bool,
+    /// `dafs_cache` hint captured at open: route contiguous reads and size
+    /// polls through the lease-coherent client cache.
+    cached: bool,
 }
 
 impl AdioFs for DafsAdio {
@@ -634,6 +645,7 @@ impl AdioFs for DafsAdio {
             fh,
             shfp,
             listio: listio_on(hints),
+            cached: cache_on(hints),
         }))
     }
 
@@ -656,18 +668,24 @@ impl AdioFs for DafsAdio {
 impl AdioFile for DafsFileHandle {
     fn read_contig(&self, ctx: &ActorCtx, off: u64, dst: VirtAddr, len: u64) -> AdioResult<u64> {
         with_retries(ctx, || {
-            self.client
-                .read(ctx, self.fh, off, dst, len)
-                .map_err(AdioError::from)
+            if self.cached {
+                self.client.read_cached(ctx, self.fh, off, dst, len)
+            } else {
+                self.client.read(ctx, self.fh, off, dst, len)
+            }
+            .map_err(AdioError::from)
         })
     }
 
     fn write_contig(&self, ctx: &ActorCtx, off: u64, src: VirtAddr, len: u64) -> AdioResult<()> {
         with_retries(ctx, || {
-            self.client
-                .write(ctx, self.fh, off, src, len)
-                .map(|_| ())
-                .map_err(AdioError::from)
+            if self.cached {
+                self.client.write_cached(ctx, self.fh, off, src, len)
+            } else {
+                self.client.write(ctx, self.fh, off, src, len)
+            }
+            .map(|_| ())
+            .map_err(AdioError::from)
         })
     }
 
@@ -850,11 +868,12 @@ impl AdioFile for DafsFileHandle {
     }
 
     fn get_size(&self, ctx: &ActorCtx) -> AdioResult<u64> {
-        Ok(self
-            .client
-            .getattr(ctx, self.fh)
-            .map_err(AdioError::from)?
-            .size)
+        let attr = if self.cached {
+            self.client.getattr_cached(ctx, self.fh)
+        } else {
+            self.client.getattr(ctx, self.fh)
+        };
+        Ok(attr.map_err(AdioError::from)?.size)
     }
 
     fn set_size(&self, ctx: &ActorCtx, size: u64) -> AdioResult<()> {
@@ -990,6 +1009,8 @@ struct DafsStripedFileHandle {
     shfp: NodeId,
     /// `dafs_listio` hint captured at open.
     listio: bool,
+    /// `dafs_cache` hint captured at open.
+    cached: bool,
 }
 
 impl AdioFs for DafsStripedAdio {
@@ -1031,6 +1052,7 @@ impl AdioFs for DafsStripedAdio {
             file: Arc::new(DafsStripedFile::new(clients, fhs, stripe)),
             shfp: shfp.expect("factor >= 1"),
             listio: listio_on(hints),
+            cached: cache_on(hints),
         }))
     }
 
@@ -1064,13 +1086,23 @@ impl AdioFs for DafsStripedAdio {
 impl AdioFile for DafsStripedFileHandle {
     fn read_contig(&self, ctx: &ActorCtx, off: u64, dst: VirtAddr, len: u64) -> AdioResult<u64> {
         with_retries(ctx, || {
-            self.file.read(ctx, off, dst, len).map_err(AdioError::from)
+            if self.cached {
+                self.file.read_cached(ctx, off, dst, len)
+            } else {
+                self.file.read(ctx, off, dst, len)
+            }
+            .map_err(AdioError::from)
         })
     }
 
     fn write_contig(&self, ctx: &ActorCtx, off: u64, src: VirtAddr, len: u64) -> AdioResult<()> {
         with_retries(ctx, || {
-            self.file.write(ctx, off, src, len).map_err(AdioError::from)
+            if self.cached {
+                self.file.write_cached(ctx, off, src, len)
+            } else {
+                self.file.write(ctx, off, src, len)
+            }
+            .map_err(AdioError::from)
         })
     }
 
@@ -1181,7 +1213,11 @@ impl AdioFile for DafsStripedFileHandle {
     }
 
     fn get_size(&self, ctx: &ActorCtx) -> AdioResult<u64> {
-        self.file.get_size(ctx).map_err(AdioError::from)
+        if self.cached {
+            self.file.get_size_cached(ctx).map_err(AdioError::from)
+        } else {
+            self.file.get_size(ctx).map_err(AdioError::from)
+        }
     }
 
     fn set_size(&self, ctx: &ActorCtx, size: u64) -> AdioResult<()> {
@@ -1378,9 +1414,12 @@ impl AdioFile for NfsFileHandle {
     }
 
     fn get_size(&self, ctx: &ActorCtx) -> AdioResult<u64> {
+        // Revalidate rather than just refetch: MPI_File_get_size is a
+        // consistency point, so a version change must also drop any pages
+        // the NFS data cache holds for this file.
         Ok(self
             .client
-            .getattr_uncached(ctx, self.fh)
+            .revalidate_attr(ctx, self.fh)
             .map_err(AdioError::from)?
             .size)
     }

@@ -34,7 +34,7 @@ use simnet::{ActorCtx, Host, SimTime, VirtAddr};
 use crate::adio::{AdioRequest, AdioResult};
 use crate::comm::Comm;
 use crate::file::MpiFile;
-use crate::hints::Toggle;
+use crate::hints::TriState;
 
 /// Accumulate virtual time since `*since` into the named `_ns` counter and
 /// advance the mark. The two-phase sweep calls this at each phase boundary
@@ -281,7 +281,7 @@ pub fn write_at_all(
     src: VirtAddr,
     nbytes: u64,
 ) -> AdioResult<u64> {
-    if file.hints().cb_write == Toggle::Disable {
+    if file.hints().cb_write == TriState::Disable {
         let pieces = mapped_pieces(file, offset_etypes, nbytes);
         let ranges: Vec<(u64, u64)> = pieces.iter().map(|p| (p.off, p.len)).collect();
         let r = file.write_ranges(ctx, &ranges, src).map(|_| nbytes);
@@ -294,7 +294,7 @@ pub fn write_at_all(
     };
     let host = file.host().clone();
     let is_agg = comm.rank() < sweep.naggs;
-    let pipelined = file.hints().cb_pipeline != Toggle::Disable;
+    let pipelined = file.hints().cb_pipeline != TriState::Disable;
     // Two collective buffers when pipelining: batch k-1 drains from one
     // while phase k overlays into the other.
     let nbufs = if pipelined { 2 } else { 1 };
@@ -403,7 +403,7 @@ pub fn read_at_all(
     dst: VirtAddr,
     nbytes: u64,
 ) -> AdioResult<u64> {
-    if file.hints().cb_read == Toggle::Disable {
+    if file.hints().cb_read == TriState::Disable {
         let pieces = mapped_pieces(file, offset_etypes, nbytes);
         let ranges: Vec<(u64, u64)> = pieces.iter().map(|p| (p.off, p.len)).collect();
         let r = file.read_ranges(ctx, &ranges, dst);
@@ -416,7 +416,7 @@ pub fn read_at_all(
     };
     let host = file.host().clone();
     let is_agg = comm.rank() < sweep.naggs;
-    let pipelined = file.hints().cb_pipeline != Toggle::Disable;
+    let pipelined = file.hints().cb_pipeline != TriState::Disable;
     // Two collective buffers when pipelining: window k reads into one
     // while window k-1's replies ship from the other.
     let nbufs = if pipelined { 2 } else { 1 };

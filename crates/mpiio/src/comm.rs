@@ -105,10 +105,23 @@ impl CommWorld {
         }
     }
 
-    /// (messages, bytes) sent so far.
-    pub fn traffic(&self) -> (u64, u64) {
-        (self.inner.msgs.get(), self.inner.bytes.get())
+    /// Snapshot of the communicator's traffic counters so far.
+    pub fn traffic(&self) -> TrafficStats {
+        TrafficStats {
+            msgs: self.inner.msgs.get(),
+            bytes: self.inner.bytes.get(),
+        }
     }
+}
+
+/// A point-in-time snapshot of message-layer traffic, read with
+/// [`CommWorld::traffic`]. Named fields replace the old positional tuple.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Point-to-point messages sent.
+    pub msgs: u64,
+    /// Payload bytes carried by those messages.
+    pub bytes: u64,
 }
 
 /// Tag space reserved for collectives (user tags must stay below).
@@ -535,9 +548,9 @@ mod tests {
                 comm.recv(ctx, Some(0), Some(1));
             }
         });
-        let (msgs, bytes) = w.traffic();
-        assert_eq!(msgs, 1);
-        assert_eq!(bytes, 1000);
+        let t = w.traffic();
+        assert_eq!(t.msgs, 1);
+        assert_eq!(t.bytes, 1000);
     }
 
     #[test]

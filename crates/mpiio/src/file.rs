@@ -16,7 +16,7 @@ use simnet::{ActorCtx, Host, VirtAddr};
 
 use crate::adio::{AdioError, AdioFile, AdioFs, AdioResult, DriverKind};
 use crate::datatype::Datatype;
-use crate::hints::{Hints, Toggle};
+use crate::hints::{Hints, TriState};
 use crate::view::FileView;
 
 /// Open mode.
@@ -161,6 +161,12 @@ impl MpiFile {
         mode: OpenMode,
         hints: Hints,
     ) -> AdioResult<MpiFile> {
+        // Surface inert hints the application supplied: counted (and
+        // traced) here because hint parsing itself has no metrics context.
+        for key in hints.unknown_keys() {
+            ctx.metrics().counter("mpiio.hints.unknown").inc();
+            ctx.trace("mpiio", "hints.unknown", &[("key", obs::Value::Str(key))]);
+        }
         let file = fs.open_with_hints(ctx, path, mode.create, &hints)?;
         Ok(MpiFile {
             file,
@@ -526,7 +532,7 @@ impl MpiFile {
     // --- strided engine ------------------------------------------------------
 
     /// Decide whether to data-sieve a range list.
-    fn should_sieve(&self, ranges: &[(u64, u64)], toggle: Toggle) -> bool {
+    fn should_sieve(&self, ranges: &[(u64, u64)], toggle: TriState) -> bool {
         should_sieve_ranges(ranges, toggle)
     }
 
@@ -712,14 +718,14 @@ impl MpiFile {
 /// unsorted list here would silently permute the data; instead an unsorted
 /// list is rejected — in release builds too, not just under `debug_assert`
 /// — and falls back to the order-preserving batch path.
-fn should_sieve_ranges(ranges: &[(u64, u64)], toggle: Toggle) -> bool {
+fn should_sieve_ranges(ranges: &[(u64, u64)], toggle: TriState) -> bool {
     if !ranges.windows(2).all(|w| w[0].0 <= w[1].0) {
         return false;
     }
     match toggle {
-        Toggle::Disable => false,
-        Toggle::Enable => ranges.len() > 1,
-        Toggle::Automatic => {
+        TriState::Disable => false,
+        TriState::Enable => ranges.len() > 1,
+        TriState::Automatic => {
             if ranges.len() <= 4 {
                 return false;
             }
@@ -757,14 +763,14 @@ mod sieve_tests {
     fn unsorted_ranges_are_rejected_not_sorted() {
         // Dense enough that the sorted version sieves under every policy…
         let sorted = [(0u64, 64u64), (64, 64), (192, 64), (256, 64), (320, 64)];
-        assert!(should_sieve_ranges(&sorted, Toggle::Enable));
-        assert!(should_sieve_ranges(&sorted, Toggle::Automatic));
+        assert!(should_sieve_ranges(&sorted, TriState::Enable));
+        assert!(should_sieve_ranges(&sorted, TriState::Automatic));
         // …but any out-of-order list must take the order-preserving batch
         // path, because sieving replays ranges in offset order while the
         // user buffer is consumed in list order.
         let unsorted = [(192u64, 64u64), (0, 64), (64, 64), (256, 64), (320, 64)];
-        assert!(!should_sieve_ranges(&unsorted, Toggle::Enable));
-        assert!(!should_sieve_ranges(&unsorted, Toggle::Automatic));
-        assert!(!should_sieve_ranges(&unsorted, Toggle::Disable));
+        assert!(!should_sieve_ranges(&unsorted, TriState::Enable));
+        assert!(!should_sieve_ranges(&unsorted, TriState::Automatic));
+        assert!(!should_sieve_ranges(&unsorted, TriState::Disable));
     }
 }

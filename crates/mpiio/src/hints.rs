@@ -1,10 +1,16 @@
 //! MPI_Info hints, with the ROMIO-compatible key set.
+//!
+//! Every known hint is described by one entry in the [`HINT_SPECS`] table:
+//! its key, its value kind ([`HintKind`]), and typed accessors. Parsing,
+//! clamping, environment-variable defaults, and round-tripping all flow
+//! through that single table, so adding a hint is one spec entry plus a
+//! field — not another ad-hoc `match` arm with its own string handling.
 
 use std::collections::BTreeMap;
 
-/// Tri-state used by the `romio_cb_*` / `romio_ds_*` hints.
+/// Tri-state used by the `romio_cb_*` / `romio_ds_*` / `dafs_*` hints.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Toggle {
+pub enum TriState {
     /// Use the optimization whenever it applies.
     Enable,
     /// Never use it.
@@ -12,6 +18,274 @@ pub enum Toggle {
     /// Let the implementation decide (the default).
     #[default]
     Automatic,
+}
+
+impl TriState {
+    /// Parse a hint value, ROMIO-style: `enable`/`true` and
+    /// `disable`/`false` are recognized; anything else (including garbage)
+    /// means `Automatic`.
+    pub fn parse(v: &str) -> TriState {
+        match v {
+            "enable" | "true" => TriState::Enable,
+            "disable" | "false" => TriState::Disable,
+            _ => TriState::Automatic,
+        }
+    }
+
+    /// Canonical hint spelling; `parse(as_str(t)) == t` for every value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TriState::Enable => "enable",
+            TriState::Disable => "disable",
+            TriState::Automatic => "automatic",
+        }
+    }
+}
+
+/// The value kind of one hint key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HintKind {
+    /// Tri-state (`enable` / `disable` / anything-else-is-automatic).
+    Tri,
+    /// Byte size with a 4 KiB floor. With `zero_keeps_default`, a literal
+    /// `0` leaves the field untouched (the driver default), like
+    /// `striping_unit`.
+    Size {
+        /// Values below this clamp up to it.
+        floor: u64,
+        /// `0` keeps the prior/default value instead of being clamped.
+        zero_keeps_default: bool,
+    },
+    /// Plain count (`cb_nodes`, `striping_factor`).
+    Count,
+}
+
+impl HintKind {
+    /// Parse one value of this kind. `None` means "keep the current
+    /// field value" (unparsable numbers, or `0` where zero keeps the
+    /// default); tri-states never return `None` — garbage parses to
+    /// `Automatic`, exactly like the historical per-hint parsers.
+    pub fn parse(self, v: &str) -> Option<HintValue> {
+        match self {
+            HintKind::Tri => Some(HintValue::Tri(TriState::parse(v))),
+            HintKind::Count => v.parse().ok().map(HintValue::Count),
+            HintKind::Size {
+                floor,
+                zero_keeps_default,
+            } => match v.parse::<u64>() {
+                Ok(0) if zero_keeps_default => None,
+                Ok(n) => Some(HintValue::Size(n.max(floor))),
+                Err(_) => None,
+            },
+        }
+    }
+}
+
+/// A typed hint value: what [`Hints::get`] returns and what the spec
+/// table's setters consume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HintValue {
+    /// Tri-state hints.
+    Tri(TriState),
+    /// Byte-size hints.
+    Size(u64),
+    /// Count hints.
+    Count(usize),
+}
+
+impl HintValue {
+    /// Canonical hint-string spelling: parsing it back through the same
+    /// spec yields an equal value (the round-trip property).
+    pub fn to_hint_string(self) -> String {
+        match self {
+            HintValue::Tri(t) => t.as_str().to_string(),
+            HintValue::Size(n) => n.to_string(),
+            HintValue::Count(n) => n.to_string(),
+        }
+    }
+}
+
+/// One known hint: key, value kind, and typed field accessors.
+pub struct HintSpec {
+    /// The `MPI_Info` key.
+    pub key: &'static str,
+    /// How its values parse.
+    pub kind: HintKind,
+    set: fn(&mut Hints, HintValue),
+    get: fn(&Hints) -> HintValue,
+}
+
+/// 4 KiB floor shared by every buffer-size hint.
+const SIZE_FLOOR: HintKind = HintKind::Size {
+    floor: 4096,
+    zero_keeps_default: false,
+};
+
+/// The one table every hint flows through.
+pub const HINT_SPECS: &[HintSpec] = &[
+    HintSpec {
+        key: "cb_nodes",
+        kind: HintKind::Count,
+        set: |h, v| {
+            if let HintValue::Count(n) = v {
+                h.cb_nodes = n;
+            }
+        },
+        get: |h| HintValue::Count(h.cb_nodes),
+    },
+    HintSpec {
+        key: "cb_buffer_size",
+        kind: SIZE_FLOOR,
+        set: |h, v| {
+            if let HintValue::Size(n) = v {
+                h.cb_buffer_size = n;
+            }
+        },
+        get: |h| HintValue::Size(h.cb_buffer_size),
+    },
+    HintSpec {
+        key: "ind_rd_buffer_size",
+        kind: SIZE_FLOOR,
+        set: |h, v| {
+            if let HintValue::Size(n) = v {
+                h.ind_rd_buffer_size = n;
+            }
+        },
+        get: |h| HintValue::Size(h.ind_rd_buffer_size),
+    },
+    HintSpec {
+        key: "ind_wr_buffer_size",
+        kind: SIZE_FLOOR,
+        set: |h, v| {
+            if let HintValue::Size(n) = v {
+                h.ind_wr_buffer_size = n;
+            }
+        },
+        get: |h| HintValue::Size(h.ind_wr_buffer_size),
+    },
+    HintSpec {
+        key: "romio_cb_read",
+        kind: HintKind::Tri,
+        set: |h, v| {
+            if let HintValue::Tri(t) = v {
+                h.cb_read = t;
+            }
+        },
+        get: |h| HintValue::Tri(h.cb_read),
+    },
+    HintSpec {
+        key: "romio_cb_write",
+        kind: HintKind::Tri,
+        set: |h, v| {
+            if let HintValue::Tri(t) = v {
+                h.cb_write = t;
+            }
+        },
+        get: |h| HintValue::Tri(h.cb_write),
+    },
+    HintSpec {
+        key: "romio_ds_read",
+        kind: HintKind::Tri,
+        set: |h, v| {
+            if let HintValue::Tri(t) = v {
+                h.ds_read = t;
+            }
+        },
+        get: |h| HintValue::Tri(h.ds_read),
+    },
+    HintSpec {
+        key: "romio_ds_write",
+        kind: HintKind::Tri,
+        set: |h, v| {
+            if let HintValue::Tri(t) = v {
+                h.ds_write = t;
+            }
+        },
+        get: |h| HintValue::Tri(h.ds_write),
+    },
+    HintSpec {
+        key: "romio_cb_pipeline",
+        kind: HintKind::Tri,
+        set: |h, v| {
+            if let HintValue::Tri(t) = v {
+                h.cb_pipeline = t;
+            }
+        },
+        get: |h| HintValue::Tri(h.cb_pipeline),
+    },
+    HintSpec {
+        key: "dafs_listio",
+        kind: HintKind::Tri,
+        set: |h, v| {
+            if let HintValue::Tri(t) = v {
+                h.dafs_listio = t;
+            }
+        },
+        get: |h| HintValue::Tri(h.dafs_listio),
+    },
+    HintSpec {
+        key: "dafs_cache",
+        kind: HintKind::Tri,
+        set: |h, v| {
+            if let HintValue::Tri(t) = v {
+                h.dafs_cache = t;
+            }
+        },
+        get: |h| HintValue::Tri(h.dafs_cache),
+    },
+    HintSpec {
+        key: "striping_factor",
+        kind: HintKind::Count,
+        set: |h, v| {
+            if let HintValue::Count(n) = v {
+                h.striping_factor = n;
+            }
+        },
+        get: |h| HintValue::Count(h.striping_factor),
+    },
+    HintSpec {
+        key: "striping_unit",
+        kind: HintKind::Size {
+            floor: 4096,
+            zero_keeps_default: true,
+        },
+        set: |h, v| {
+            if let HintValue::Size(n) = v {
+                h.striping_unit = n;
+            }
+        },
+        get: |h| HintValue::Size(h.striping_unit),
+    },
+];
+
+/// Look up the spec for `key`.
+pub fn hint_spec(key: &str) -> Option<&'static HintSpec> {
+    HINT_SPECS.iter().find(|s| s.key == key)
+}
+
+/// Tri-state hints whose sweep-wide default can come from an
+/// `MPIO_DAFS_*` environment variable: `(hint key, env var)`.
+pub const TRI_ENV_OVERRIDES: &[(&str, &str)] = &[
+    ("dafs_listio", "MPIO_DAFS_LISTIO"),
+    ("dafs_cache", "MPIO_DAFS_CACHE"),
+];
+
+/// The value an `MPIO_DAFS_*` override variable contributes: its parsed
+/// tri-state when set, `Automatic` when absent. Pure; the env read lives
+/// in [`tri_env_default`].
+pub fn tri_env_value(v: Option<&str>) -> TriState {
+    match v {
+        Some(v) => TriState::parse(v),
+        None => TriState::Automatic,
+    }
+}
+
+/// Uniform environment override for tri-state hints: the sweep-wide
+/// default for a hint comes from its `MPIO_DAFS_*` variable, and an
+/// explicit hint still wins. Used by every entry in
+/// [`TRI_ENV_OVERRIDES`].
+pub fn tri_env_default(var: &str) -> TriState {
+    tri_env_value(std::env::var(var).ok().as_deref())
 }
 
 /// Parsed hints controlling the I/O strategies.
@@ -26,24 +300,31 @@ pub struct Hints {
     /// Data-sieving write buffer size.
     pub ind_wr_buffer_size: u64,
     /// Collective buffering on reads.
-    pub cb_read: Toggle,
+    pub cb_read: TriState,
     /// Collective buffering on writes.
-    pub cb_write: Toggle,
+    pub cb_write: TriState,
     /// Data sieving on independent reads.
-    pub ds_read: Toggle,
+    pub ds_read: TriState,
     /// Data sieving on independent writes.
-    pub ds_write: Toggle,
+    pub ds_write: TriState,
     /// Double-buffered pipelining of the two-phase collective sweep
     /// (window k's file I/O overlapped with window k+1's exchange).
     /// `Automatic` means on; `disable` forces the strictly synchronous
     /// sweep.
-    pub cb_pipeline: Toggle,
+    pub cb_pipeline: TriState,
     /// Vectored list I/O on DAFS backends: ship a sorted `(offset, len)`
     /// list as one wire request instead of data-sieving the covering
     /// extent. `Automatic` means on where the backend supports it (DAFS,
     /// DafsStriped); `disable` keeps the sieving path. Inert on NFS/UFS,
     /// which have no vectored op.
-    pub dafs_listio: Toggle,
+    pub dafs_listio: TriState,
+    /// Lease-coherent client caching on DAFS backends: serve re-reads and
+    /// getattrs from a client page/attribute cache under a server-issued
+    /// lease, recalled when a conflicting writer appears. `Automatic`
+    /// means **off** — unlike `dafs_listio`, caching changes the
+    /// write-sharing cost model (recalls), so it is strictly opt-in via
+    /// `enable`. Inert on non-DAFS backends.
+    pub dafs_cache: TriState,
     /// Number of servers to stripe a new file over (PVFS/ROMIO
     /// convention). 0 = all servers the filesystem has. Ignored by
     /// unstriped drivers.
@@ -56,19 +337,6 @@ pub struct Hints {
     pub raw: BTreeMap<String, String>,
 }
 
-/// Default for `dafs_listio`: `Automatic` unless the `MPIO_DAFS_LISTIO`
-/// environment variable says otherwise. The env knob is a sweep-wide kill
-/// switch — `MPIO_DAFS_LISTIO=disable` re-runs any workload on the
-/// pre-list-I/O sieving paths without touching its hint set (used to
-/// verify the bench sweep is byte-identical either way). An explicit
-/// `dafs_listio` hint still overrides it.
-fn listio_env_default() -> Toggle {
-    match std::env::var("MPIO_DAFS_LISTIO") {
-        Ok(v) => parse_toggle(&v),
-        Err(_) => Toggle::Automatic,
-    }
-}
-
 impl Default for Hints {
     fn default() -> Self {
         Hints {
@@ -76,24 +344,17 @@ impl Default for Hints {
             cb_buffer_size: 4 << 20,
             ind_rd_buffer_size: 4 << 20,
             ind_wr_buffer_size: 512 << 10,
-            cb_read: Toggle::Automatic,
-            cb_write: Toggle::Automatic,
-            ds_read: Toggle::Automatic,
-            ds_write: Toggle::Automatic,
-            cb_pipeline: Toggle::Automatic,
-            dafs_listio: listio_env_default(),
+            cb_read: TriState::Automatic,
+            cb_write: TriState::Automatic,
+            ds_read: TriState::Automatic,
+            ds_write: TriState::Automatic,
+            cb_pipeline: TriState::Automatic,
+            dafs_listio: tri_env_default("MPIO_DAFS_LISTIO"),
+            dafs_cache: tri_env_default("MPIO_DAFS_CACHE"),
             striping_factor: 0,
             striping_unit: 0,
             raw: BTreeMap::new(),
         }
-    }
-}
-
-fn parse_toggle(v: &str) -> Toggle {
-    match v {
-        "enable" | "true" => Toggle::Enable,
-        "disable" | "false" => Toggle::Disable,
-        _ => Toggle::Automatic,
     }
 }
 
@@ -108,52 +369,30 @@ impl Hints {
         h
     }
 
-    /// Set one hint.
+    /// Set one hint. Known keys parse through their [`HintSpec`]; unknown
+    /// keys only land in `raw` (counted into `mpiio.hints.unknown` at
+    /// open, where a metrics context exists).
     pub fn set(&mut self, key: &str, value: &str) {
         self.raw.insert(key.to_string(), value.to_string());
-        match key {
-            "cb_nodes" => {
-                if let Ok(n) = value.parse() {
-                    self.cb_nodes = n;
-                }
+        if let Some(spec) = hint_spec(key) {
+            if let Some(v) = spec.kind.parse(value) {
+                (spec.set)(self, v);
             }
-            "cb_buffer_size" => {
-                if let Ok(n) = value.parse::<u64>() {
-                    self.cb_buffer_size = n.max(4096);
-                }
-            }
-            "ind_rd_buffer_size" => {
-                if let Ok(n) = value.parse::<u64>() {
-                    self.ind_rd_buffer_size = n.max(4096);
-                }
-            }
-            "ind_wr_buffer_size" => {
-                if let Ok(n) = value.parse::<u64>() {
-                    self.ind_wr_buffer_size = n.max(4096);
-                }
-            }
-            "romio_cb_read" => self.cb_read = parse_toggle(value),
-            "romio_cb_write" => self.cb_write = parse_toggle(value),
-            "romio_ds_read" => self.ds_read = parse_toggle(value),
-            "romio_ds_write" => self.ds_write = parse_toggle(value),
-            "romio_cb_pipeline" => self.cb_pipeline = parse_toggle(value),
-            "dafs_listio" => self.dafs_listio = parse_toggle(value),
-            "striping_factor" => {
-                if let Ok(n) = value.parse() {
-                    self.striping_factor = n;
-                }
-            }
-            "striping_unit" => {
-                // Floor at 4 KiB like the buffer-size hints; 0 keeps the
-                // driver default.
-                if let Ok(n) = value.parse::<u64>() {
-                    if n > 0 {
-                        self.striping_unit = n.max(4096);
-                    }
-                }
-            }
-            _ => {}
         }
+    }
+
+    /// The typed current value of a known hint key.
+    pub fn get(&self, key: &str) -> Option<HintValue> {
+        hint_spec(key).map(|spec| (spec.get)(self))
+    }
+
+    /// Raw keys that match no [`HintSpec`] — inert hints the application
+    /// supplied. Surfaced as `mpiio.hints.unknown` warnings at open.
+    pub fn unknown_keys(&self) -> impl Iterator<Item = &str> {
+        self.raw
+            .keys()
+            .map(String::as_str)
+            .filter(|k| hint_spec(k).is_none())
     }
 
     /// Effective number of aggregators for a `size`-rank communicator.
@@ -175,7 +414,7 @@ mod tests {
         let h = Hints::default();
         assert_eq!(h.cb_buffer_size, 4 << 20);
         assert_eq!(h.aggregators(8), 8);
-        assert_eq!(h.cb_read, Toggle::Automatic);
+        assert_eq!(h.cb_read, TriState::Automatic);
     }
 
     #[test]
@@ -190,8 +429,8 @@ mod tests {
         assert_eq!(h.cb_nodes, 2);
         assert_eq!(h.aggregators(8), 2);
         assert_eq!(h.cb_buffer_size, 1 << 20);
-        assert_eq!(h.cb_write, Toggle::Disable);
-        assert_eq!(h.ds_read, Toggle::Enable);
+        assert_eq!(h.cb_write, TriState::Disable);
+        assert_eq!(h.ds_read, TriState::Enable);
         assert_eq!(h.striping_unit, 65536);
         assert_eq!(h.raw["striping_unit"], "65536");
     }
@@ -217,7 +456,7 @@ mod tests {
     fn bad_values_fall_back() {
         let h = Hints::from_pairs([("cb_buffer_size", "banana"), ("romio_cb_read", "maybe")]);
         assert_eq!(h.cb_buffer_size, 4 << 20);
-        assert_eq!(h.cb_read, Toggle::Automatic);
+        assert_eq!(h.cb_read, TriState::Automatic);
     }
 
     #[test]
@@ -263,30 +502,41 @@ mod tests {
     #[test]
     fn ds_toggles_parse_all_spellings() {
         let h = Hints::from_pairs([("romio_ds_read", "false"), ("romio_ds_write", "true")]);
-        assert_eq!(h.ds_read, Toggle::Disable);
-        assert_eq!(h.ds_write, Toggle::Enable);
+        assert_eq!(h.ds_read, TriState::Disable);
+        assert_eq!(h.ds_write, TriState::Enable);
         let h = Hints::from_pairs([("romio_ds_write", "automatic")]);
-        assert_eq!(h.ds_write, Toggle::Automatic);
+        assert_eq!(h.ds_write, TriState::Automatic);
     }
 
     #[test]
     fn cb_pipeline_toggle() {
-        assert_eq!(Hints::default().cb_pipeline, Toggle::Automatic);
+        assert_eq!(Hints::default().cb_pipeline, TriState::Automatic);
         let h = Hints::from_pairs([("romio_cb_pipeline", "disable")]);
-        assert_eq!(h.cb_pipeline, Toggle::Disable);
+        assert_eq!(h.cb_pipeline, TriState::Disable);
         let h = Hints::from_pairs([("romio_cb_pipeline", "enable")]);
-        assert_eq!(h.cb_pipeline, Toggle::Enable);
+        assert_eq!(h.cb_pipeline, TriState::Enable);
     }
 
     #[test]
     fn dafs_listio_toggle() {
-        assert_eq!(Hints::default().dafs_listio, Toggle::Automatic);
+        assert_eq!(Hints::default().dafs_listio, TriState::Automatic);
         let h = Hints::from_pairs([("dafs_listio", "disable")]);
-        assert_eq!(h.dafs_listio, Toggle::Disable);
+        assert_eq!(h.dafs_listio, TriState::Disable);
         let h = Hints::from_pairs([("dafs_listio", "enable")]);
-        assert_eq!(h.dafs_listio, Toggle::Enable);
+        assert_eq!(h.dafs_listio, TriState::Enable);
         let h = Hints::from_pairs([("dafs_listio", "sometimes")]);
-        assert_eq!(h.dafs_listio, Toggle::Automatic);
+        assert_eq!(h.dafs_listio, TriState::Automatic);
+    }
+
+    #[test]
+    fn dafs_cache_toggle() {
+        assert_eq!(Hints::default().dafs_cache, TriState::Automatic);
+        let h = Hints::from_pairs([("dafs_cache", "enable")]);
+        assert_eq!(h.dafs_cache, TriState::Enable);
+        let h = Hints::from_pairs([("dafs_cache", "disable")]);
+        assert_eq!(h.dafs_cache, TriState::Disable);
+        let h = Hints::from_pairs([("dafs_cache", "sometimes")]);
+        assert_eq!(h.dafs_cache, TriState::Automatic);
     }
 
     #[test]
@@ -300,5 +550,85 @@ mod tests {
         assert_eq!(h.raw["ind_wr_buffer_size"], "16");
         assert_eq!(h.raw["romio_ds_read"], "maybe");
         assert_eq!(h.raw["mystery_knob"], "7");
+    }
+
+    #[test]
+    fn unknown_keys_are_detected() {
+        let h = Hints::from_pairs([
+            ("cb_nodes", "2"),
+            ("mystery_knob", "7"),
+            ("romio_no_such", "enable"),
+        ]);
+        let unknown: Vec<&str> = h.unknown_keys().collect();
+        assert_eq!(unknown, vec!["mystery_knob", "romio_no_such"]);
+    }
+
+    /// Round-trip property: for every tri-state hint and every spelling,
+    /// set → get → render → set again reproduces the same typed value
+    /// through the one spec-table path.
+    #[test]
+    fn tri_hints_round_trip() {
+        let tri_keys: Vec<&str> = HINT_SPECS
+            .iter()
+            .filter(|s| s.kind == HintKind::Tri)
+            .map(|s| s.key)
+            .collect();
+        assert!(tri_keys.len() >= 7, "all tri-state hints must be specs");
+        let spellings = [
+            ("enable", TriState::Enable),
+            ("true", TriState::Enable),
+            ("disable", TriState::Disable),
+            ("false", TriState::Disable),
+            ("automatic", TriState::Automatic),
+            ("garbage", TriState::Automatic),
+        ];
+        for key in &tri_keys {
+            for (spelling, want) in &spellings {
+                let mut h = Hints::default();
+                h.set(key, spelling);
+                let got = h.get(key).unwrap();
+                assert_eq!(got, HintValue::Tri(*want), "{key}={spelling}");
+                // Render and re-parse: the canonical spelling must map to
+                // the same typed value.
+                let rendered = got.to_hint_string();
+                let mut h2 = Hints::default();
+                h2.set(key, &rendered);
+                assert_eq!(h2.get(key).unwrap(), got, "{key} round-trip");
+            }
+        }
+    }
+
+    /// Numeric hints round-trip through the same single path.
+    #[test]
+    fn numeric_hints_round_trip() {
+        for spec in HINT_SPECS.iter().filter(|s| s.kind != HintKind::Tri) {
+            let mut h = Hints::default();
+            h.set(spec.key, "131072");
+            let got = h.get(spec.key).unwrap();
+            let rendered = got.to_hint_string();
+            let mut h2 = Hints::default();
+            h2.set(spec.key, &rendered);
+            assert_eq!(h2.get(spec.key).unwrap(), got, "{} round-trip", spec.key);
+        }
+    }
+
+    /// The uniform env-override helper: every `MPIO_DAFS_*` variable in
+    /// [`TRI_ENV_OVERRIDES`] contributes the same tri-state mapping, and
+    /// every tri-state spelling flows through [`TriState::parse`].
+    #[test]
+    fn env_override_mapping() {
+        assert_eq!(tri_env_value(None), TriState::Automatic);
+        assert_eq!(tri_env_value(Some("enable")), TriState::Enable);
+        assert_eq!(tri_env_value(Some("true")), TriState::Enable);
+        assert_eq!(tri_env_value(Some("disable")), TriState::Disable);
+        assert_eq!(tri_env_value(Some("false")), TriState::Disable);
+        assert_eq!(tri_env_value(Some("whatever")), TriState::Automatic);
+        // Every override entry names a known tri-state hint and a
+        // namespaced variable.
+        for (key, var) in TRI_ENV_OVERRIDES {
+            let spec = hint_spec(key).expect("override key must be a spec");
+            assert_eq!(spec.kind, HintKind::Tri, "{key}");
+            assert!(var.starts_with("MPIO_DAFS_"), "{var}");
+        }
     }
 }

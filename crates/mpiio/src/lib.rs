@@ -41,10 +41,10 @@ pub use collective::{
     read_all, read_at_all, read_at_all_begin, read_at_all_end, read_ordered, write_all,
     write_at_all, write_at_all_begin, write_at_all_end, write_ordered, SplitColl,
 };
-pub use comm::{Comm, CommCost, CommWorld, ReduceOp};
+pub use comm::{Comm, CommCost, CommWorld, ReduceOp, TrafficStats};
 pub use datatype::{Datatype, Flattened};
 pub use file::{mpi_file_delete, MpiFile, OpenMode, OpenOptions, Request, SeekWhence};
-pub use hints::{Hints, Toggle};
+pub use hints::{HintKind, HintValue, Hints, TriState};
 pub use view::FileView;
 pub use world::{Backend, JobReport, Testbed};
 

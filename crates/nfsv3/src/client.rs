@@ -435,7 +435,9 @@ impl NfsClient {
         self.call(ctx, NfsProc::Null, XdrEnc::new()).map(|_| ())
     }
 
-    /// GETATTR, served from the attribute cache when fresh.
+    /// GETATTR, served from the attribute cache when fresh. An expired
+    /// entry revalidates against the server (and drops stale cached pages)
+    /// rather than just refetching.
     pub fn getattr(&self, ctx: &ActorCtx, fh: NodeId) -> NfsResult<FileAttr> {
         if let Some((a, exp)) = self.attr_cache.lock().get(&fh.0) {
             if *exp > ctx.now() {
@@ -446,7 +448,25 @@ impl NfsClient {
         }
         self.stats.ac_misses.inc();
         ctx.metrics().counter("nfs.attrcache.misses").inc();
-        self.getattr_uncached(ctx, fh)
+        self.revalidate_attr(ctx, fh)
+    }
+
+    /// Force a round trip to the server and reconcile the caches against
+    /// its answer: the same revalidation contract the DAFS client applies
+    /// after lease loss, keyed on the [`FileAttr::version`] change token.
+    /// If the server's version differs from the cached attribute's, another
+    /// client wrote the file — every cached page is dropped rather than
+    /// left to dangle behind the stale tag. Callers that need
+    /// external-write visibility *now* (close-to-open points, `MPI_File_sync`)
+    /// use this instead of waiting out the attribute TTL.
+    pub fn revalidate_attr(&self, ctx: &ActorCtx, fh: NodeId) -> NfsResult<FileAttr> {
+        let prev = self.attr_cache.lock().get(&fh.0).map(|(a, _)| a.version);
+        let a = self.getattr_uncached(ctx, fh)?;
+        if prev.is_some_and(|p| p != a.version) {
+            ctx.metrics().counter("nfs.attrcache.revalidations").inc();
+            self.invalidate_data(fh);
+        }
+        Ok(a)
     }
 
     /// GETATTR bypassing the cache.
@@ -701,6 +721,7 @@ impl NfsClient {
             // Application buffer into the RPC buffer.
             self.host
                 .compute(ctx, self.config.host_cost.copy(chunk.len() as u64));
+            let prev = self.attr_cache.lock().get(&fh.0).map(|(a, _)| a.version);
             let mut e = XdrEnc::new();
             e.u64(fh.0)
                 .u64(off)
@@ -718,12 +739,21 @@ impl NfsClient {
                 let cover_last = (off + chunk.len() as u64 - 1) / page;
                 let mut dc = self.data_cache.lock();
                 dc.retain(|(f, p), _| *f != fh.0 || *p < cover_first || *p > cover_last);
-                // Our own write bumped the version; the surviving pages are
-                // still current from this client's point of view.
-                for ((f, _), entry) in dc.iter_mut() {
-                    if *f == fh.0 {
-                        entry.1 = a.version;
+                if prev.is_some_and(|p| p + 1 == a.version) {
+                    // The version advanced by exactly our write: the
+                    // surviving pages are still current from this client's
+                    // point of view, so carry their tags forward.
+                    for ((f, _), entry) in dc.iter_mut() {
+                        if *f == fh.0 {
+                            entry.1 = a.version;
+                        }
                     }
+                } else {
+                    // The change token jumped (or we had no attribute to
+                    // compare): another client wrote between our reads and
+                    // this write. Re-tagging would bless stale pages with
+                    // the fresh version forever — drop them instead.
+                    dc.retain(|(f, _), _| *f != fh.0);
                 }
             }
             attr = Some(a);

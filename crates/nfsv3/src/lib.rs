@@ -282,6 +282,119 @@ mod tests {
     }
 
     #[test]
+    fn revalidate_attr_sees_external_write_inside_ttl() {
+        // Regression: a client that cached a file's attributes keeps
+        // serving them for the full TTL even after another client wrote
+        // the file. `revalidate_attr` is the explicit consistency point —
+        // one GETATTR round trip, stale pages dropped on a version change —
+        // so callers need not wait out the window.
+        let kernel = SimKernel::new();
+        let cluster = Cluster::new();
+        let fabric = TcpFabric::new(TcpCost::default());
+        let ha = cluster.add_host("a");
+        let hb = cluster.add_host("b");
+        let sh = cluster.add_host("s");
+        let fs = MemFs::new();
+        let f = fs.create(ROOT_ID, "reval").unwrap();
+        fs.write(f.id, 0, &vec![0xAA; 4096]).unwrap();
+        let server = spawn_nfs_server(&kernel, &fabric, sh, fs, 2049, NfsServerCost::default());
+        let sid = server.host.id;
+        {
+            let fabric = fabric.clone();
+            kernel.spawn("reader", move |ctx| {
+                let cfg = NfsClientConfig {
+                    data_cache: true,
+                    ..Default::default()
+                };
+                let c = NfsClient::mount(ctx, &fabric, &ha, sid, 2049, cfg).unwrap();
+                let fh = c.lookup(ctx, ROOT_ID, "reval").unwrap();
+                let before = c.getattr(ctx, fh.id).unwrap();
+                assert_eq!(before.size, 4096);
+                assert_eq!(c.read(ctx, fh.id, 0, 16).unwrap(), vec![0xAA; 16]);
+                // B extends and overwrites on the server at 2 ms.
+                ctx.advance(ms(5));
+                // Still inside the 30 ms window: the plain path is stale.
+                assert_eq!(c.getattr(ctx, fh.id).unwrap().size, 4096);
+                // The revalidation interface sees the write immediately.
+                let after = c.revalidate_attr(ctx, fh.id).unwrap();
+                assert_eq!(after.size, 8192, "revalidation must see the new size");
+                assert!(after.version > before.version, "change token must advance");
+                // It also re-primed the attr cache with the fresh attr...
+                assert_eq!(c.getattr(ctx, fh.id).unwrap().size, 8192);
+                // ...and dropped the stale pages: the re-read refetches.
+                assert_eq!(c.read(ctx, fh.id, 0, 16).unwrap(), vec![0xBB; 16]);
+                c.unmount(ctx);
+            });
+        }
+        kernel.spawn("writer", move |ctx| {
+            ctx.advance(ms(2));
+            let c =
+                NfsClient::mount(ctx, &fabric, &hb, sid, 2049, NfsClientConfig::default()).unwrap();
+            let fh = c.lookup(ctx, ROOT_ID, "reval").unwrap();
+            c.write(ctx, fh.id, 0, &vec![0xBB; 8192]).unwrap();
+            c.unmount(ctx);
+        });
+        kernel.run();
+    }
+
+    #[test]
+    fn own_write_after_external_write_does_not_bless_stale_pages() {
+        // Regression: the write path used to re-tag every surviving cached
+        // page with the post-write version. If another client had written
+        // in between, that blessed stale pages with a fresh tag — served
+        // stale forever, even past the attribute TTL. The fix compares the
+        // version change token: a jump of more than our own write drops the
+        // file's pages instead.
+        let kernel = SimKernel::new();
+        let cluster = Cluster::new();
+        let fabric = TcpFabric::new(TcpCost::default());
+        let ha = cluster.add_host("a");
+        let hb = cluster.add_host("b");
+        let sh = cluster.add_host("s");
+        let fs = MemFs::new();
+        let f = fs.create(ROOT_ID, "blessed").unwrap();
+        fs.write(f.id, 0, &vec![0xAA; 8192]).unwrap();
+        let server = spawn_nfs_server(&kernel, &fabric, sh, fs, 2049, NfsServerCost::default());
+        let sid = server.host.id;
+        {
+            let fabric = fabric.clone();
+            kernel.spawn("reader-writer", move |ctx| {
+                let cfg = NfsClientConfig {
+                    data_cache: true,
+                    ..Default::default()
+                };
+                let c = NfsClient::mount(ctx, &fabric, &ha, sid, 2049, cfg).unwrap();
+                let fh = c.lookup(ctx, ROOT_ID, "blessed").unwrap();
+                // Cache page 0.
+                assert_eq!(c.read(ctx, fh.id, 0, 16).unwrap(), vec![0xAA; 16]);
+                // B overwrites page 0 on the server at 2 ms.
+                ctx.advance(ms(5));
+                // Our own write to page 1 must notice the version jump and
+                // drop the stale page 0 rather than re-tag it.
+                c.write(ctx, fh.id, 4096, &[0xCC; 16]).unwrap();
+                // Well past the attribute TTL, so only a wrongly-blessed
+                // page tag could still serve 0xAA here.
+                ctx.advance(ms(50));
+                assert_eq!(
+                    c.read(ctx, fh.id, 0, 16).unwrap(),
+                    vec![0xBB; 16],
+                    "stale page must not survive an external write"
+                );
+                c.unmount(ctx);
+            });
+        }
+        kernel.spawn("writer", move |ctx| {
+            ctx.advance(ms(2));
+            let c =
+                NfsClient::mount(ctx, &fabric, &hb, sid, 2049, NfsClientConfig::default()).unwrap();
+            let fh = c.lookup(ctx, ROOT_ID, "blessed").unwrap();
+            c.write(ctx, fh.id, 0, &vec![0xBB; 4096]).unwrap();
+            c.unmount(ctx);
+        });
+        kernel.run();
+    }
+
+    #[test]
     fn cached_read_matches_uncached_across_concurrent_extension() {
         // Two readers of the same file — one page-cached, one not — plus a
         // writer that extends the file after both have (attribute-)cached

@@ -41,7 +41,7 @@ pub use desc::{
 };
 pub use fabric::{ConnectError, Listener, ViaFabric};
 pub use mem::{AccessKind, MemAttributes, MemError, MemHandle, ProtectionTag};
-pub use nic::ViaNic;
+pub use nic::{RegistrationStats, ViaNic};
 pub use vi::{Reliability, Vi, ViAttributes, ViId, ViState};
 
 #[cfg(test)]

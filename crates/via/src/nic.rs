@@ -28,6 +28,19 @@ pub(crate) struct NicInner {
     pub reg_cpu: AtomicU64,
 }
 
+/// A point-in-time snapshot of the NIC's registration counters, read with
+/// [`ViaNic::registration_stats`]. Named fields replace the old positional
+/// tuple so call sites can't transpose the counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistrationStats {
+    /// `VipRegisterMem` calls completed.
+    pub registrations: u64,
+    /// Total bytes registered across those calls.
+    pub bytes: u64,
+    /// `VipDeregisterMem` calls completed.
+    pub deregistrations: u64,
+}
+
 /// Handle to a host's VIA NIC. Cloning shares the NIC.
 #[derive(Clone)]
 pub struct ViaNic {
@@ -147,13 +160,13 @@ impl ViaNic {
         &self.inner.table
     }
 
-    /// Registration counters: (registrations, bytes, deregistrations).
-    pub fn registration_stats(&self) -> (u64, u64, u64) {
-        (
-            self.inner.reg_meter.ops.get(),
-            self.inner.reg_meter.bytes.get(),
-            self.inner.dereg_meter.ops.get(),
-        )
+    /// Snapshot of the NIC's registration counters.
+    pub fn registration_stats(&self) -> RegistrationStats {
+        RegistrationStats {
+            registrations: self.inner.reg_meter.ops.get(),
+            bytes: self.inner.reg_meter.bytes.get(),
+            deregistrations: self.inner.dereg_meter.ops.get(),
+        }
     }
 
     /// Total host CPU consumed by registration/deregistration so far.
@@ -199,8 +212,11 @@ mod tests {
             n2.deregister_mem(ctx, h).unwrap();
         });
         k.run();
-        let (regs, bytes, deregs) = nic.registration_stats();
-        assert_eq!((regs, bytes, deregs), (1, 64 << 10, 1));
+        let rs = nic.registration_stats();
+        assert_eq!(
+            (rs.registrations, rs.bytes, rs.deregistrations),
+            (1, 64 << 10, 1)
+        );
         assert!(nic.registration_cpu() > SimDuration::ZERO);
         assert_eq!(nic.host().cpu.busy(), nic.registration_cpu());
     }

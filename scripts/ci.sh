@@ -40,6 +40,32 @@ echo "$f9_out" | grep -q "byte-identical" || {
     exit 1
 }
 
+echo "==> R-X5 client-cache smoke (lease-coherent re-read sweep)"
+x5_out=$(cargo run --release -p mpio-dafs-bench --bin x5_small_op_cache -- --smoke)
+echo "$x5_out"
+echo "$x5_out" | grep -q "cached+loss" || {
+    echo "ci: R-X5 output missing the degraded cached+loss row" >&2
+    exit 1
+}
+
+echo "==> bench suite byte-identity under MPIO_DAFS_CACHE=disable"
+# The client cache must be invisible when disabled: the full suite, run
+# with the cache hint forced off via the env override, must emit exactly
+# the checked-in goldens (which the default-env run also must match,
+# since dafs_cache defaults to off).
+tmp_json=$(mktemp) tmp_txt=$(mktemp)
+MPIO_DAFS_CACHE=disable MPIO_DAFS_JSON="$tmp_json" \
+    cargo run --release -p mpio-dafs-bench --bin all_experiments >"$tmp_txt"
+diff -u bench_output.txt "$tmp_txt" || {
+    echo "ci: bench_output.txt differs under MPIO_DAFS_CACHE=disable" >&2
+    exit 1
+}
+diff -u BENCH_6.json "$tmp_json" || {
+    echo "ci: BENCH_6.json differs under MPIO_DAFS_CACHE=disable" >&2
+    exit 1
+}
+rm -f "$tmp_json" "$tmp_txt"
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -370,6 +370,213 @@ fn nfs_writes_survive_retransmission_without_corruption() {
     assert!(total_retrans > 0, "sweep never exercised a retransmission");
 }
 
+// --- lease recalls under faults ---------------------------------------------
+//
+// The lease-coherent client cache adds a new wedge surface: a conflicting
+// request parks at the server until every lease holder flushes and acks.
+// A crashed holder can never ack, so the server must reclaim its lease —
+// whether the crash surfaces while pushing the recall or afterwards, when
+// the holder's own ack dies on the wire.
+
+/// Kernel + DAFS server over a VIA fabric with no plan armed yet: the
+/// tests add their client hosts first, then install a plan keyed on them.
+fn lease_chaos_bed() -> (
+    SimKernel,
+    via::ViaFabric,
+    Cluster,
+    HostId,
+    mpio_dafs::memfs::MemFs,
+) {
+    let kernel = SimKernel::new();
+    let cluster = Cluster::new();
+    let fabric = via::ViaFabric::new(via::ViaCost::default());
+    let server_nic = fabric.open_nic(cluster.add_host("server"));
+    let sid = server_nic.host().id;
+    let fs = mpio_dafs::memfs::MemFs::new();
+    let _server = dafs::spawn_dafs_server(
+        &kernel,
+        &fabric,
+        server_nic,
+        fs.clone(),
+        2049,
+        dafs::DafsServerCost::default(),
+    );
+    (kernel, fabric, cluster, sid, fs)
+}
+
+#[test]
+fn dafs_recall_push_to_crashed_holder_reclaims_lease() {
+    // The holder buffers one flushed page and one dirty page under a
+    // write-back lease, then its host goes dark before any recall fires.
+    // The reader's conflicting READ triggers the recall; the push breaks
+    // against the dead host, and the server must reclaim on the spot —
+    // serving the last *flushed* image, with the unflushed page lost.
+    let (kernel, fabric, cluster, sid, fs) = lease_chaos_bed();
+    let holder_host = cluster.add_host("holder");
+    let reader_host = cluster.add_host("reader");
+    let plan = FaultPlan::builder(0x1EA5E)
+        .host_crash(
+            holder_host.id,
+            SimTime::ZERO + ms(4),
+            SimTime::ZERO + ms(10_000),
+        )
+        .build();
+    fabric.set_fault_plan(plan);
+    fs.create(ROOT_ID, "x").unwrap();
+    {
+        let fabric = fabric.clone();
+        kernel.spawn("holder", move |ctx| {
+            let nic = fabric.open_nic(holder_host.clone());
+            let cfg = dafs::DafsClientConfig {
+                cache_write_back: true,
+                ..Default::default()
+            };
+            let c = dafs::DafsClient::connect(ctx, &fabric, &nic, sid, 2049, cfg).unwrap();
+            let f = c.lookup(ctx, ROOT_ID, "x").unwrap();
+            let src = nic.host().mem.alloc(4096);
+            nic.host().mem.fill(src, 4096, 0x5A);
+            c.write_cached(ctx, f.id, 0, src, 4096).unwrap();
+            c.cache_sync(ctx).unwrap(); // page 0 on stable storage
+            nic.host().mem.fill(src, 4096, 0x77);
+            c.write_cached(ctx, f.id, 4096, src, 4096).unwrap(); // dirty forever
+                                                                 // No disconnect: the host crashes at ms(4) with the lease held.
+        });
+    }
+    {
+        let fabric = fabric.clone();
+        kernel.spawn("reader", move |ctx| {
+            ctx.advance(ms(5));
+            let nic = fabric.open_nic(reader_host.clone());
+            let c = dafs::DafsClient::connect(
+                ctx,
+                &fabric,
+                &nic,
+                sid,
+                2049,
+                dafs::DafsClientConfig::default(),
+            )
+            .unwrap();
+            let f = c.lookup(ctx, ROOT_ID, "x").unwrap();
+            let got = c.read_to_vec(ctx, f.id, 0, 4096).unwrap();
+            assert_eq!(
+                got,
+                vec![0x5A; 4096],
+                "reader must see the holder's last flushed image"
+            );
+            assert!(
+                ctx.now().as_nanos() < ms(20).as_nanos(),
+                "recall against a dead holder wedged the reader"
+            );
+            c.disconnect(ctx);
+        });
+    }
+    let obs = kernel.obs().clone();
+    let end = kernel.run();
+    let snap = obs.snapshot(end.as_nanos());
+    assert!(
+        snap.get("dafs.lease.reclaims")
+            .map(|e| e.value())
+            .unwrap_or(0)
+            > 0,
+        "server never reclaimed the dead holder's lease"
+    );
+    // The dirty extension died with the holder: stable storage holds
+    // exactly the flushed prefix.
+    assert_eq!(fs.resolve("/x").unwrap().size, 4096);
+}
+
+#[test]
+fn dafs_holder_crash_mid_recall_unblocks_waiter_and_ack_replays_idempotently() {
+    // Here the holder *receives* the recall and crashes while its ack is
+    // on the wire. The broken ack tears the session down at the server,
+    // which must complete the recall (the waiter proceeds at ~ms(6), not
+    // at the holder's eventual reconnect); the holder's retried ack after
+    // reconnect must land as a harmless no-op.
+    let (kernel, fabric, cluster, sid, fs) = lease_chaos_bed();
+    let holder_host = cluster.add_host("holder");
+    let reader_host = cluster.add_host("reader");
+    let plan = FaultPlan::builder(0xACED)
+        .host_crash(
+            holder_host.id,
+            SimTime::ZERO + ms(8),
+            SimTime::ZERO + ms(50),
+        )
+        .build();
+    fabric.set_fault_plan(plan);
+    fs.create(ROOT_ID, "x").unwrap();
+    {
+        let fabric = fabric.clone();
+        kernel.spawn("holder", move |ctx| {
+            let nic = fabric.open_nic(holder_host.clone());
+            let cfg = dafs::DafsClientConfig {
+                cache_write_back: true,
+                ..Default::default()
+            };
+            let c = dafs::DafsClient::connect(ctx, &fabric, &nic, sid, 2049, cfg).unwrap();
+            let f = c.lookup(ctx, ROOT_ID, "x").unwrap();
+            let src = nic.host().mem.alloc(4096);
+            nic.host().mem.fill(src, 4096, 0x5A);
+            c.write_cached(ctx, f.id, 0, src, 4096).unwrap();
+            c.cache_sync(ctx).unwrap();
+            // The reader's recall push lands shortly after ms(5); service
+            // it at ms(9), inside the crash window: the flush is empty and
+            // the ack send breaks the session. The client rides its
+            // reconnect backoff past ms(50) and replays the ack against a
+            // server that already reclaimed the lease — a no-op by design.
+            ctx.advance(ms(9));
+            let a = c.getattr_cached(ctx, f.id).unwrap();
+            assert_eq!(a.size, 4096);
+            assert_eq!(c.cache_stats.recalls.get(), 1);
+            c.disconnect(ctx);
+        });
+    }
+    {
+        let fabric = fabric.clone();
+        kernel.spawn("reader", move |ctx| {
+            ctx.advance(ms(5));
+            let nic = fabric.open_nic(reader_host.clone());
+            let c = dafs::DafsClient::connect(
+                ctx,
+                &fabric,
+                &nic,
+                sid,
+                2049,
+                dafs::DafsClientConfig::default(),
+            )
+            .unwrap();
+            let f = c.lookup(ctx, ROOT_ID, "x").unwrap();
+            let got = c.read_to_vec(ctx, f.id, 0, 4096).unwrap();
+            assert_eq!(got, vec![0x5A; 4096], "waiter must see the flushed image");
+            assert!(
+                ctx.now().as_nanos() < ms(20).as_nanos(),
+                "waiter should be released by the session teardown at ~ms(9), \
+                 not the holder's ms(50)+ reconnect"
+            );
+            c.disconnect(ctx);
+        });
+    }
+    let obs = kernel.obs().clone();
+    let end = kernel.run();
+    assert!(
+        end.as_nanos() < DEADLINE_NS,
+        "virtual-time deadline blown: {} ns",
+        end.as_nanos()
+    );
+    let snap = obs.snapshot(end.as_nanos());
+    assert!(
+        snap.get("dafs.lease.reclaims")
+            .map(|e| e.value())
+            .unwrap_or(0)
+            > 0,
+        "teardown never reclaimed the holder's lease"
+    );
+    assert!(
+        snap.get("dafs.reconnects").map(|e| e.value()).unwrap_or(0) > 0,
+        "the holder never reconnected — the idempotent-ack replay went untested"
+    );
+    assert_eq!(fs.resolve("/x").unwrap().size, 4096);
+}
+
 /// Raw DAFS client under `plan`; returns the server fs and total reconnects.
 fn raw_dafs_run(
     plan: FaultPlan,

@@ -274,3 +274,50 @@ fn scaling_reaches_server_wire_saturation() {
 }
 
 use mpio_dafs::memfs;
+
+/// The `dafs_cache` hint end to end: `enable` routes the MPI-IO data path
+/// through the lease-coherent client cache (re-reads and get_size become
+/// client-local), the default leaves the op stream untouched.
+#[test]
+fn dafs_cache_hint_serves_rereads_from_client_cache() {
+    const LEN: usize = 64 << 10;
+    fn run(cache_hint: Option<&'static str>) -> (u64, u64) {
+        let tb = Testbed::new(Backend::dafs());
+        let f = tb.fs.create(memfs::ROOT_ID, "hot").unwrap();
+        let payload: Vec<u8> = (0..LEN as u32).map(|i| (i % 239) as u8).collect();
+        tb.fs.write(f.id, 0, &payload).unwrap();
+        let report = tb.run(1, move |ctx, comm, adio| {
+            let host = comm.host().clone();
+            let mut hints = Hints::default();
+            if let Some(v) = cache_hint {
+                hints.set("dafs_cache", v);
+            }
+            let f = MpiFile::open(ctx, adio, &host, "/hot", OpenMode::open(), hints).unwrap();
+            let dst = host.mem.alloc(LEN);
+            for _ in 0..4 {
+                host.mem.fill(dst, LEN, 0);
+                let n = f.read_at(ctx, 0, dst, LEN as u64).unwrap();
+                assert_eq!(n as usize, LEN);
+                assert_eq!(
+                    host.mem.read_vec(dst, LEN),
+                    (0..LEN as u32)
+                        .map(|i| (i % 239) as u8)
+                        .collect::<Vec<u8>>()
+                );
+                assert_eq!(f.get_size(ctx).unwrap(), LEN as u64);
+            }
+        });
+        let metric = |k: &str| report.snapshot.get(k).map(|e| e.value()).unwrap_or(0);
+        (metric("dafs.cache.hits"), metric("dafs.cache.attr_hits"))
+    }
+    let (hits, attr_hits) = run(Some("enable"));
+    assert!(hits >= 3, "re-reads never hit the cache: {hits}");
+    assert!(
+        attr_hits >= 3,
+        "get_size never hit the cached attr: {attr_hits}"
+    );
+    // Default (automatic) and explicit disable: strictly opt-in, so the
+    // cache must stay cold and unregistered.
+    assert_eq!(run(None), (0, 0));
+    assert_eq!(run(Some("disable")), (0, 0));
+}
