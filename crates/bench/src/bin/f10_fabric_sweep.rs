@@ -1,0 +1,24 @@
+//! Run the switched-fabric incast/oversubscription sweep:
+//! `cargo run -p mpio-dafs-bench --release --bin f10_fabric_sweep [-- --smoke]`.
+//!
+//! `--smoke` runs 4/16 clients against 2 servers (seconds, for CI) instead
+//! of the full 64–1024-client × {4,16}-server sweep; the table shape and
+//! the ordering/conservation assertions are the same, the plateau/knee
+//! assertions only arm at full scale.
+fn main() {
+    let mut smoke = false;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("unknown argument: {other} (supported: --smoke)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if smoke {
+        mpio_dafs_bench::f10_fabric_sweep::run_smoke().print();
+    } else {
+        mpio_dafs_bench::f10_fabric_sweep::run().print();
+    }
+}

@@ -22,8 +22,8 @@ fn via_sendrecv_mb_s(size: u64) -> f64 {
     let kernel = SimKernel::new();
     let cluster = Cluster::new();
     let fabric = ViaFabric::new(ViaCost::default());
-    let snic = fabric.open_nic(cluster.add_host("server"));
-    let cnic = fabric.open_nic(cluster.add_host("client"));
+    let snic = fabric.open_nic(cluster.add_host("server0"));
+    let cnic = fabric.open_nic(cluster.add_host("client0"));
     let sid = snic.host().id;
     let span = Cell::new();
     let sp = span.clone();
@@ -78,8 +78,8 @@ fn via_rdma_mb_s(size: u64) -> f64 {
     let kernel = SimKernel::new();
     let cluster = Cluster::new();
     let fabric = ViaFabric::new(ViaCost::default());
-    let snic = fabric.open_nic(cluster.add_host("server"));
-    let cnic = fabric.open_nic(cluster.add_host("client"));
+    let snic = fabric.open_nic(cluster.add_host("server0"));
+    let cnic = fabric.open_nic(cluster.add_host("client0"));
     let sid = snic.host().id;
     let span = Cell::new();
     let sp = span.clone();
@@ -154,8 +154,8 @@ fn tcp_mb_s(size: u64) -> f64 {
     let kernel = SimKernel::new();
     let cluster = Cluster::new();
     let fabric = TcpFabric::new(TcpCost::default());
-    let sh = cluster.add_host("server");
-    let ch = cluster.add_host("client");
+    let sh = cluster.add_host("server0");
+    let ch = cluster.add_host("client0");
     let sid = sh.id;
     let span = Cell::new();
     let sp = span.clone();

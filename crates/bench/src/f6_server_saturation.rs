@@ -26,7 +26,7 @@ fn aggregate_read_mb_s(clients: usize, wire_mb: u64) -> f64 {
         ..ViaCost::default()
     };
     let fabric = ViaFabric::new(via);
-    let server_nic = fabric.open_nic(cluster.add_host("server"));
+    let server_nic = fabric.open_nic(cluster.add_host("server0"));
     let fs = MemFs::new();
     let f = fs.create(ROOT_ID, "stream").unwrap();
     fs.write(f.id, 0, &vec![1u8; PER_CLIENT as usize]).unwrap();
@@ -43,7 +43,7 @@ fn aggregate_read_mb_s(clients: usize, wire_mb: u64) -> f64 {
     let fabric = Arc::new(fabric);
     for i in 0..clients {
         let fabric = fabric.clone();
-        let host = cluster.add_host(&format!("c{i}"));
+        let host = cluster.add_host(&format!("client{i}"));
         let span = span.clone();
         kernel.spawn(&format!("client{i}"), move |ctx| {
             let nic = fabric.open_nic(host.clone());

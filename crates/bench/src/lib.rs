@@ -12,6 +12,7 @@
 pub mod report;
 pub mod testbeds;
 
+pub mod f10_fabric_sweep;
 pub mod f1_transport_bandwidth;
 pub mod f2_file_bandwidth;
 pub mod f3_mpiio_scaling;
@@ -56,6 +57,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("R-F7", f7_overlap::run),
         ("R-F8", f8_server_scaling::run),
         ("R-F9", f9_listio::run),
+        ("R-F10", f10_fabric_sweep::run),
         ("X-1", x1_btio_subarray::run),
         ("X-2", x2_mixed_workload::run),
         ("X-3", x3_latency_sensitivity::run),

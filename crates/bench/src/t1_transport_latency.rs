@@ -17,8 +17,8 @@ fn via_one_way_ns(size: usize) -> u64 {
     let kernel = SimKernel::new();
     let cluster = Cluster::new();
     let fabric = ViaFabric::new(ViaCost::default());
-    let snic = fabric.open_nic(cluster.add_host("server"));
-    let cnic = fabric.open_nic(cluster.add_host("client"));
+    let snic = fabric.open_nic(cluster.add_host("server0"));
+    let cnic = fabric.open_nic(cluster.add_host("client0"));
     let sid = snic.host().id;
     let out = Cell::new();
     let o = out.clone();
@@ -75,8 +75,8 @@ fn tcp_one_way_ns(size: usize) -> u64 {
     let kernel = SimKernel::new();
     let cluster = Cluster::new();
     let fabric = TcpFabric::new(TcpCost::default());
-    let sh = cluster.add_host("server");
-    let ch = cluster.add_host("client");
+    let sh = cluster.add_host("server0");
+    let ch = cluster.add_host("client0");
     let sid = sh.id;
     let out = Cell::new();
     let o = out.clone();

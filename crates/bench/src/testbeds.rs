@@ -8,7 +8,8 @@ use dafs::{DafsClient, DafsClientConfig, DafsServerCost, DafsServerHandle};
 use memfs::MemFs;
 use nfsv3::{NfsClient, NfsClientConfig, NfsServerCost, NfsServerHandle};
 use simnet::obs::{Obs, Snapshot};
-use simnet::{ActorCtx, Cluster, FaultPlan, Host, SimKernel, SimTime};
+use simnet::topo::Topology;
+use simnet::{ActorCtx, Cluster, FaultPlan, Host, HostId, SimKernel, SimTime};
 use tcpnet::{TcpCost, TcpFabric};
 use via::{ViaCost, ViaFabric, ViaNic};
 
@@ -99,12 +100,12 @@ where
     if let Some(p) = plan {
         fabric.set_fault_plan(p);
     }
-    let server_nic = fabric.open_nic(cluster.add_host("server"));
+    let server_nic = fabric.open_nic(cluster.add_host("server0"));
     let fs = MemFs::new();
     prefill(&fs);
     let server =
         dafs::spawn_dafs_server(&kernel, &fabric, server_nic, fs.clone(), PORT, server_cost);
-    let client_host = cluster.add_host("client");
+    let client_host = cluster.add_host("client0");
     let ch = client_host.clone();
     let sid = server.host.id;
     kernel.spawn("client", move |ctx| {
@@ -182,6 +183,66 @@ where
     (fss, RunObs { obs, end })
 }
 
+/// Run `clients` client actors against `servers` DAFS servers **behind a
+/// switched fabric**, one session per client: client `i` shards onto
+/// server `i % servers`, so a 1024-client sweep stays at one session per
+/// client instead of `clients × servers`. Construction order matters:
+/// server hosts first (ids `0..servers`), then `topo` builds the topology
+/// (allocating its switch pseudo-hosts), then client hosts follow and ride
+/// the topology's default attachment. An optional [`FaultPlan`] is
+/// installed alongside, so rail-down windows can target the pseudo-hosts.
+#[allow(clippy::too_many_arguments)]
+pub fn with_sharded_dafs_fabric<F>(
+    servers: usize,
+    clients: usize,
+    via_cost: ViaCost,
+    server_cost: DafsServerCost,
+    client_cfg: DafsClientConfig,
+    plan: Option<FaultPlan>,
+    topo: impl FnOnce(&Cluster, &[HostId]) -> Topology,
+    prefill: impl FnOnce(&[MemFs]),
+    body: F,
+) -> (Vec<MemFs>, Arc<Topology>, RunObs)
+where
+    F: Fn(&ActorCtx, usize, &DafsClient, &ViaNic) + Send + Sync + 'static,
+{
+    let kernel = SimKernel::new();
+    let cluster = Cluster::new();
+    let fabric = Arc::new(ViaFabric::new(via_cost));
+    let mut fss = Vec::new();
+    let mut sids = Vec::new();
+    for s in 0..servers {
+        let nic = fabric.open_nic(cluster.add_host(&format!("server{s}")));
+        let fs = MemFs::new();
+        fss.push(fs.clone());
+        let h = dafs::spawn_dafs_server(&kernel, &fabric, nic, fs, PORT, server_cost);
+        sids.push(h.host.id);
+    }
+    let topology = Arc::new(topo(&cluster, &sids));
+    fabric.set_topology(topology.clone());
+    if let Some(p) = plan {
+        fabric.set_fault_plan(p);
+    }
+    prefill(&fss);
+    let body = Arc::new(body);
+    for i in 0..clients {
+        let fabric = fabric.clone();
+        let host = cluster.add_host(&format!("client{i}"));
+        let sid = sids[i % servers.max(1)];
+        let body = body.clone();
+        kernel.spawn(&format!("client{i}"), move |ctx| {
+            let nic = fabric.open_nic(host.clone());
+            let c = DafsClient::connect(ctx, &fabric, &nic, sid, PORT, client_cfg).unwrap();
+            body(ctx, i, &c, &nic);
+            c.disconnect(ctx);
+        });
+    }
+    let obs = kernel.obs().clone();
+    let end = kernel.run();
+    topology.publish_metrics(obs.registry());
+    (fss, topology, RunObs { obs, end })
+}
+
 /// Run one client actor against a fresh NFS server.
 pub fn with_nfs_client<F>(
     tcp_cost: TcpCost,
@@ -216,12 +277,12 @@ where
     if let Some(p) = plan {
         fabric.set_fault_plan(p);
     }
-    let server_host = cluster.add_host("server");
+    let server_host = cluster.add_host("server0");
     let fs = MemFs::new();
     prefill(&fs);
     let server =
         nfsv3::spawn_nfs_server(&kernel, &fabric, server_host, fs.clone(), PORT, server_cost);
-    let client_host = cluster.add_host("client");
+    let client_host = cluster.add_host("client0");
     let ch = client_host.clone();
     let sid = server.host.id;
     let f2 = fabric.clone();

@@ -13,7 +13,10 @@ use memfs::MemFs;
 use nfsv3::{NfsClient, NfsClientConfig, NfsServerCost};
 use obs::{Obs, Snapshot};
 use parking_lot::Mutex;
-use simnet::{ActorCtx, Cluster, FaultPlan, Host, HostId, SimDuration, SimKernel, SimTime};
+use simnet::topo::{DumbbellSpec, ForwardingMode, QueuePolicy, Topology};
+use simnet::{
+    ActorCtx, Bandwidth, Cluster, FaultPlan, Host, HostId, SimDuration, SimKernel, SimTime,
+};
 use tcpnet::{TcpCost, TcpFabric};
 use via::{ViaCost, ViaFabric};
 
@@ -147,6 +150,11 @@ pub struct Testbed {
     nfs_handle: Option<nfsv3::NfsServerHandle>,
     via_fabric: Option<ViaFabric>,
     tcp_fabric: Option<TcpFabric>,
+    /// Switched-fabric topology, when built via [`Testbed::switched`];
+    /// `None` keeps the point-to-point wires (all pre-fabric testbeds).
+    topology: Option<Arc<Topology>>,
+    /// Intended client/rank count of a switched testbed (0 otherwise).
+    clients: usize,
 }
 
 const PORT: u16 = 2049;
@@ -172,7 +180,7 @@ impl Testbed {
         match &backend {
             Backend::Dafs { via, server, .. } => {
                 let fabric = ViaFabric::new(*via);
-                let nic = fabric.open_nic(cluster.add_host("server"));
+                let nic = fabric.open_nic(cluster.add_host("server0"));
                 dafs_handles.push(dafs::spawn_dafs_server(
                     &kernel,
                     &fabric,
@@ -210,7 +218,7 @@ impl Testbed {
             }
             Backend::Nfs { tcp, server, .. } => {
                 let fabric = TcpFabric::new(*tcp);
-                let host = cluster.add_host("server");
+                let host = cluster.add_host("server0");
                 nfs_handle = Some(nfsv3::spawn_nfs_server(
                     &kernel,
                     &fabric,
@@ -234,7 +242,88 @@ impl Testbed {
             nfs_handle,
             via_fabric,
             tcp_fabric,
+            topology: None,
+            clients: 0,
         }
+    }
+
+    /// Build the canonical switched scale-out testbed: `servers` striped
+    /// DAFS servers on one leaf switch, `clients` ranks on another, joined
+    /// by a trunk carrying `servers × wire_bw ÷ oversub` — `oversub = 1` is
+    /// a non-blocking fabric, larger values converge the leaves onto a
+    /// thinner core. Ports forward cut-through with lossless backpressure
+    /// (VIA-style link-level flow control), so existing recovery machinery
+    /// is exercised only when a fault plan is attached.
+    pub fn switched(clients: usize, servers: usize, oversub: u64) -> Testbed {
+        Testbed::switched_with(clients, servers, oversub, 1, Obs::from_env(), None)
+    }
+
+    /// [`Testbed::switched`] with explicit rail count, observability sink,
+    /// and optional fault plan (rail-down windows target the switch
+    /// pseudo-hosts reachable via [`Testbed::topology`]).
+    pub fn switched_with(
+        clients: usize,
+        servers: usize,
+        oversub: u64,
+        rails: usize,
+        obs: Obs,
+        plan: Option<FaultPlan>,
+    ) -> Testbed {
+        assert!(oversub >= 1, "oversubscription factor must be >= 1");
+        let backend = Backend::dafs_striped(servers);
+        let (wire_bw, wire_latency) = match &backend {
+            Backend::DafsStriped { via, .. } => (via.wire_bw, via.wire_latency),
+            _ => unreachable!(),
+        };
+        let mut tb = Testbed::with_obs(backend, obs);
+        let trunk_bw = Bandwidth::bytes_per_sec(
+            (wire_bw.as_bytes_per_sec() * servers as u64 / oversub).max(1),
+        );
+        let topo = Arc::new(Topology::dumbbell(
+            &tb.cluster,
+            &tb.server_hosts(),
+            DumbbellSpec {
+                port_bw: wire_bw,
+                trunk_bw,
+                latency: wire_latency,
+                rails,
+                queue_capacity: 64,
+                pool_bytes: 0,
+                mode: ForwardingMode::CutThrough,
+                policy: QueuePolicy::Backpressure,
+            },
+        ));
+        let fabric = tb
+            .via_fabric
+            .as_ref()
+            .expect("striped backend has a VIA fabric");
+        fabric.set_topology(topo.clone());
+        if let Some(p) = plan {
+            fabric.set_fault_plan(p);
+        }
+        tb.topology = Some(topo);
+        tb.clients = clients;
+        tb
+    }
+
+    /// The switched-fabric topology, if this testbed has one.
+    pub fn topology(&self) -> Option<Arc<Topology>> {
+        self.topology.clone()
+    }
+
+    /// Intended rank count of a switched testbed (what the sweep passes to
+    /// [`Testbed::run`]); 0 for point-to-point testbeds.
+    pub fn clients(&self) -> usize {
+        self.clients
+    }
+
+    /// All host names in id order (servers first, then switch pseudo-hosts
+    /// for switched testbeds, then ranks as they spawn). Host naming is
+    /// uniform — `server<s>`/`rank<i>` — regardless of topology shape.
+    pub fn host_names(&self) -> Vec<String> {
+        (0..self.cluster.len())
+            .map(|i| self.cluster.host(HostId(i)).name().to_string())
+            .collect()
     }
 
     /// Build a testbed whose transport fabric is judged by `plan`: every
@@ -366,6 +455,13 @@ impl Testbed {
         );
         let obs = self.kernel.obs().clone();
         let end_time = self.kernel.run();
+        // Per-port fabric accounting lands in the report snapshot (the
+        // trace stream's closing snapshot was already emitted by the
+        // kernel; tests compare traces run-vs-rerun, so both miss it
+        // identically).
+        if let Some(t) = &self.topology {
+            t.publish_metrics(obs.registry());
+        }
         let ranks_cpu = rank_hosts
             .lock()
             .iter()

@@ -46,6 +46,9 @@ pub enum DropCause {
     LinkDown,
     /// The source or destination host was inside a crash window.
     HostDown,
+    /// A switch egress queue (or its shared buffer pool) overflowed under
+    /// [`QueuePolicy::Drop`](crate::topo::QueuePolicy::Drop).
+    QueueFull,
 }
 
 impl DropCause {
@@ -55,6 +58,7 @@ impl DropCause {
             DropCause::Loss => "loss",
             DropCause::LinkDown => "link_down",
             DropCause::HostDown => "host_down",
+            DropCause::QueueFull => "queue_full",
         }
     }
 }
@@ -189,6 +193,16 @@ impl FaultPlan {
             .links
             .get(&pair_key(src, dst))
             .unwrap_or(&self.inner.default_spec)
+    }
+
+    /// True if the `a`↔`b` link is inside a configured down window at time
+    /// `t`. A pure window query (no RNG draw, no metrics): the fabric layer
+    /// uses it to judge rail health without perturbing the loss stream.
+    pub fn link_down_at(&self, a: HostId, b: HostId, t: SimTime) -> bool {
+        self.spec(a, b)
+            .down
+            .iter()
+            .any(|&(from, until)| t >= from && t < until)
     }
 
     /// True if host `h` is inside a crash window at time `t`.

@@ -297,8 +297,13 @@ impl SimKernel {
                         .collect();
                     if blocked_nondaemon.is_empty() {
                         let end = st.horizon;
+                        // Total events ever scheduled (including superseded
+                        // wakes): the denominator for wall-clock
+                        // sim-events/sec harness throughput.
+                        let events = st.seq;
                         drop(st);
                         self.detach_threads();
+                        inner.obs.registry().counter("sim.events.total").add(events);
                         // Close out the trace: final registry snapshot at the
                         // virtual end time, then flush the sink.
                         inner.obs.emit_snapshot(end.as_nanos());

@@ -53,6 +53,7 @@ pub mod fault;
 pub mod host;
 pub mod rng;
 pub mod time;
+pub mod topo;
 
 /// Re-export of the observability crate so downstream layers can name
 /// `simnet::obs::...` without a separate dependency edge.
@@ -67,3 +68,7 @@ pub use resource::Resource;
 pub use rng::Rng64;
 pub use stats::{ByteMeter, Counter, DurationMetric, Histogram, WindowedRate};
 pub use time::{units, Bandwidth, SimDuration, SimTime};
+pub use topo::{
+    DumbbellSpec, FabricDrop, ForwardingMode, PortStats, QueuePolicy, SwitchConfig, SwitchRef,
+    Topology, TopologyBuilder,
+};

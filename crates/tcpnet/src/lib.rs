@@ -28,6 +28,7 @@ use parking_lot::Mutex;
 use simnet::cost::HostCost;
 use simnet::fault::FaultPlan;
 use simnet::time::units::*;
+use simnet::topo::Topology;
 use simnet::{ActorCtx, Bandwidth, Host, HostId, Port, RecvUntil, Resource, SimDuration, SimTime};
 
 /// Timing constants of the kernel network path.
@@ -134,6 +135,7 @@ struct FabricState {
     listeners: HashMap<(HostId, u16), Port<ConnRequest>>,
     hosts: HashMap<HostId, Arc<HostNet>>,
     faults: Option<FaultPlan>,
+    topology: Option<Arc<Topology>>,
 }
 
 /// The TCP "internet" connecting all hosts in the simulation.
@@ -167,6 +169,18 @@ impl TcpFabric {
     /// The currently attached fault plan, if any.
     pub fn fault_plan(&self) -> Option<FaultPlan> {
         self.state.lock().faults.clone()
+    }
+
+    /// Attach a switched-fabric topology: sockets created after this call
+    /// route their segments through the switch graph instead of a dedicated
+    /// point-to-point wire. Handshakes stay on the control path.
+    pub fn set_topology(&self, topo: Arc<Topology>) {
+        self.state.lock().topology = Some(topo);
+    }
+
+    /// The currently attached topology, if any.
+    pub fn topology(&self) -> Option<Arc<Topology>> {
+        self.state.lock().topology.clone()
     }
 
     fn hostnet(&self, host: &Host) -> Arc<HostNet> {
@@ -232,6 +246,10 @@ impl TcpFabric {
             ctx.now() + self.cost.wire_latency,
         );
         let r = reply.recv(ctx).ok_or(TcpError::ConnectionRefused)?;
+        let (faults, topology) = {
+            let st = self.state.lock();
+            (st.faults.clone(), st.topology.clone())
+        };
         Ok(Socket {
             inner: Arc::new(SocketInner {
                 cost: self.cost,
@@ -244,7 +262,8 @@ impl TcpFabric {
                 buffer: Mutex::new(VecDeque::new()),
                 fin_seen: Mutex::new(false),
                 last_deliver: Mutex::new(simnet::SimTime::ZERO),
-                faults: self.state.lock().faults.clone(),
+                faults,
+                topology,
             }),
         })
     }
@@ -273,6 +292,10 @@ impl TcpListener {
             },
             ctx.now() + self.fabric.cost.wire_latency,
         );
+        let (faults, topology) = {
+            let st = self.fabric.state.lock();
+            (st.faults.clone(), st.topology.clone())
+        };
         Some(Socket {
             inner: Arc::new(SocketInner {
                 cost: self.fabric.cost,
@@ -285,7 +308,8 @@ impl TcpListener {
                 buffer: Mutex::new(VecDeque::new()),
                 fin_seen: Mutex::new(false),
                 last_deliver: Mutex::new(simnet::SimTime::ZERO),
-                faults: self.fabric.state.lock().faults.clone(),
+                faults,
+                topology,
             }),
         })
     }
@@ -312,6 +336,9 @@ struct SocketInner {
     /// Fault plan captured at connection time; `None` leaves the data path
     /// byte-identical to the pre-fault-injection code.
     faults: Option<FaultPlan>,
+    /// Switched-fabric topology captured at connection time; `None` keeps
+    /// the point-to-point wire model.
+    topology: Option<Arc<Topology>>,
 }
 
 /// A connected stream socket.
@@ -349,7 +376,7 @@ impl Socket {
         );
         let wire_bytes = n + npkts * s.cost.header_bytes;
         let ser = s.cost.wire_bw.time_for(wire_bytes);
-        let (tx_start, _tx_done) = s.local_net.tx_wire.book_span(ctx.now(), ser);
+        let (tx_start, tx_done) = s.local_net.tx_wire.book_span(ctx.now(), ser);
         // An injected fault loses the whole segment after the sender has
         // paid its transmit cost; the receiver never sees it (no rx-side
         // resource is booked). Message boundaries match `send` calls, so a
@@ -366,7 +393,24 @@ impl Socket {
                 return;
             }
         }
-        let rx_done = s.peer_net.rx_wire.book(tx_start + s.cost.wire_latency, ser);
+        let rx_first = match &s.topology {
+            None => tx_start + s.cost.wire_latency,
+            Some(t) => match t.deliver(
+                ctx,
+                s.faults.as_ref(),
+                s.local_host.id,
+                s.peer_host,
+                wire_bytes,
+                tx_start,
+                tx_done,
+            ) {
+                Ok(at) => at,
+                // The fabric shed the segment: like a plan-based loss the
+                // receiver never sees it, and RPC retransmit recovers.
+                Err(_) => return,
+            },
+        };
+        let rx_done = s.peer_net.rx_wire.book(rx_first, ser);
         // Interrupt-context processing on the receiving host delays
         // delivery and accrues that host's kernel busy time.
         let mut deliver = s

@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use simnet::fault::FaultPlan;
+use simnet::topo::Topology;
 use simnet::{ActorCtx, HostId, Port};
 
 use crate::cost::ViaCost;
@@ -59,6 +60,7 @@ enum ConnReply {
 struct FabricState {
     listeners: HashMap<(HostId, u16), Port<ConnRequest>>,
     faults: Option<FaultPlan>,
+    topology: Option<Arc<Topology>>,
 }
 
 /// The fabric connecting all VIA NICs in the simulation.
@@ -103,6 +105,19 @@ impl ViaFabric {
         self.state.lock().faults.clone()
     }
 
+    /// Attach a switched-fabric topology: every VI connected after this
+    /// call routes its data-path wire deliveries through the switch graph
+    /// instead of a dedicated point-to-point wire. Connection management
+    /// stays on the control path.
+    pub fn set_topology(&self, topo: Arc<Topology>) {
+        self.state.lock().topology = Some(topo);
+    }
+
+    /// The currently attached topology, if any.
+    pub fn topology(&self) -> Option<Arc<Topology>> {
+        self.state.lock().topology.clone()
+    }
+
     /// Open a NIC on `host`, attached to this fabric.
     pub fn open_nic(&self, host: simnet::Host) -> ViaNic {
         ViaNic::open(host, self.cost)
@@ -135,11 +150,12 @@ impl ViaFabric {
         port: u16,
         attrs: ViAttributes,
     ) -> Result<Vi, ConnectError> {
-        let (listener, faults) = {
+        let (listener, faults, topology) = {
             let st = self.state.lock();
             (
                 st.listeners.get(&(remote, port)).cloned(),
                 st.faults.clone(),
+                st.topology.clone(),
             )
         };
         let listener = listener.ok_or(ConnectError::NoListener)?;
@@ -179,6 +195,7 @@ impl ViaFabric {
                 nic: nic.clone(),
                 peer_nic: server_nic,
                 faults,
+                topology,
             }),
             Some(ConnReply::Reject) | None => Err(ConnectError::Rejected),
         }
@@ -213,12 +230,17 @@ impl Listener {
             },
             back,
         );
+        let (faults, topology) = {
+            let st = self.state.lock();
+            (st.faults.clone(), st.topology.clone())
+        };
         Some(Vi {
             local: server_end,
             peer: req.client_end,
             nic: self.nic.clone(),
             peer_nic: req.client_nic,
-            faults: self.state.lock().faults.clone(),
+            faults,
+            topology,
         })
     }
 

@@ -14,6 +14,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use simnet::fault::FaultPlan;
+use simnet::topo::Topology;
 use simnet::{ActorCtx, Port, SimTime};
 
 use crate::cq::{Cq, CqToken};
@@ -131,6 +132,9 @@ pub struct Vi {
     /// Fault plan captured from the fabric at connection time; `None` means
     /// the data path is exactly the pre-fault-injection code path.
     pub(crate) faults: Option<FaultPlan>,
+    /// Switched-fabric topology captured from the fabric at connection
+    /// time; `None` means the point-to-point wire model (unchanged).
+    pub(crate) topology: Option<Arc<Topology>>,
 }
 
 impl Vi {
@@ -351,7 +355,12 @@ impl Vi {
     /// Compute (tx_done, delivery) for a message of `bytes` injected now:
     /// tx NIC processing, transmit-wire serialization, cut-through into the
     /// peer's receive wire, propagation, receive NIC processing.
-    fn wire_times(&self, ctx: &ActorCtx, bytes: u64) -> (SimTime, SimTime) {
+    ///
+    /// With a [`Topology`] configured, the frame traverses the switched
+    /// fabric between the two NICs instead of a dedicated wire; `Err`
+    /// carries the instant the fabric dropped it (queue overflow or every
+    /// rail down), which breaks the reliable VI like any other wire loss.
+    fn wire_times(&self, ctx: &ActorCtx, bytes: u64) -> Result<(SimTime, SimTime), SimTime> {
         let c = self.nic.cost();
         let ser = c.wire_bw.time_for(bytes);
         let (tx_start, tx_done) = self
@@ -360,13 +369,24 @@ impl Vi {
             .tx_wire
             .book_span(ctx.now() + c.tx_nic_proc, ser);
         // Cut-through: the peer's receive port starts taking bits one
-        // propagation delay after the first bit leaves.
-        let rx_done = self
-            .peer_nic
-            .inner
-            .rx_wire
-            .book(tx_start + c.wire_latency, ser);
-        (tx_done, rx_done + c.rx_nic_proc)
+        // propagation delay (or one fabric traversal) after the first bit
+        // leaves.
+        let rx_first = match &self.topology {
+            None => tx_start + c.wire_latency,
+            Some(t) => t
+                .deliver(
+                    ctx,
+                    self.faults.as_ref(),
+                    self.nic.host().id,
+                    self.peer_nic.host().id,
+                    bytes,
+                    tx_start,
+                    tx_done,
+                )
+                .map_err(|d| d.at)?,
+        };
+        let rx_done = self.peer_nic.inner.rx_wire.book(rx_first, ser);
+        Ok((tx_done, rx_done + c.rx_nic_proc))
     }
 
     fn gather(&self, desc: &SendDesc) -> Vec<u8> {
@@ -395,7 +415,10 @@ impl Vi {
         }
         ctx.metrics().byte_meter("via.send.bytes").record(len);
         let bytes = self.gather(&desc);
-        let (tx_done, delivery) = self.wire_times(ctx, len);
+        let (tx_done, delivery) = match self.wire_times(ctx, len) {
+            Ok(v) => v,
+            Err(at) => return self.fault_break(ctx, at),
+        };
         let delivery = match self.faulted_delivery(ctx, delivery) {
             Ok(d) => d,
             Err(()) => return self.fault_break(ctx, delivery),
@@ -465,7 +488,10 @@ impl Vi {
         // Move the bytes (the peer host CPU is *not* involved).
         ctx.metrics().byte_meter("via.rdma.bytes").record(len);
         let bytes = self.gather(&desc);
-        let (tx_done, delivery) = self.wire_times(ctx, len);
+        let (tx_done, delivery) = match self.wire_times(ctx, len) {
+            Ok(v) => v,
+            Err(at) => return self.fault_break(ctx, at),
+        };
         // A lost RDMA write must not place any remote bytes.
         let delivery = match self.faulted_delivery(ctx, delivery) {
             Ok(d) => d,
@@ -550,12 +576,26 @@ impl Vi {
         // ...peer NIC streams the payload back, occupying its transmit wire
         // and our receive wire.
         let ser = c.wire_bw.time_for(len);
-        let (peer_tx_start, _peer_tx_done) = self.peer_nic.inner.tx_wire.book_span(req_at, ser);
-        let rx_done = self
-            .nic
-            .inner
-            .rx_wire
-            .book(peer_tx_start + c.wire_latency, ser);
+        let (peer_tx_start, peer_tx_done) = self.peer_nic.inner.tx_wire.book_span(req_at, ser);
+        // The returning payload stream crosses the fabric peer -> local
+        // when a topology is configured (the tiny request stays on the
+        // control path, like connection management).
+        let rx_first = match &self.topology {
+            None => peer_tx_start + c.wire_latency,
+            Some(t) => match t.deliver(
+                ctx,
+                self.faults.as_ref(),
+                self.peer_nic.host().id,
+                self.nic.host().id,
+                len,
+                peer_tx_start,
+                peer_tx_done,
+            ) {
+                Ok(at) => at,
+                Err(d) => return self.fault_break(ctx, d.at),
+            },
+        };
+        let rx_done = self.nic.inner.rx_wire.book(rx_first, ser);
         let mut delivery = rx_done + c.rx_nic_proc;
         // The returning data stream is the judged delivery (peer -> local).
         if let Some(f) = &self.faults {

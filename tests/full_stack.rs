@@ -321,3 +321,38 @@ fn dafs_cache_hint_serves_rereads_from_client_cache() {
     assert_eq!(run(None), (0, 0));
     assert_eq!(run(Some("disable")), (0, 0));
 }
+
+/// Host naming is uniform across every testbed shape: `server<s>` hosts
+/// first, then (on switched testbeds) the `<switch>.r<rail>` pseudo-hosts,
+/// then `rank<i>` hosts — no more special-cased two-host `client`/`server`
+/// worlds.
+#[test]
+fn testbed_host_naming_is_uniform() {
+    for backend in [Backend::dafs(), Backend::nfs()] {
+        let tb = Testbed::new(backend);
+        tb.run(2, |_ctx, _comm, _adio| {});
+    }
+    // Point-to-point testbeds name the server host `server0`.
+    let tb = Testbed::new(Backend::dafs());
+    assert_eq!(tb.host_names(), vec!["server0"]);
+
+    // Switched testbeds insert the fabric pseudo-hosts between servers and
+    // ranks; rank hosts appear once the job spawns them.
+    let tb = Testbed::switched(2, 2, 1);
+    assert_eq!(
+        tb.host_names(),
+        vec!["server0", "server1", "leaf-srv.r0", "leaf-cli.r0"]
+    );
+    let names = Arc::new(std::sync::Mutex::new(Vec::new()));
+    let n2 = names.clone();
+    tb.run(2, move |_ctx, comm, _adio| {
+        n2.lock().unwrap().push(comm.host().name().to_string());
+    });
+    let mut ranks = names.lock().unwrap().clone();
+    ranks.sort();
+    assert_eq!(ranks, vec!["rank0", "rank1"]);
+
+    // Striped point-to-point testbeds count their servers the same way.
+    let tb = Testbed::new(Backend::dafs_striped(3));
+    assert_eq!(tb.host_names(), vec!["server0", "server1", "server2"]);
+}
