@@ -11,11 +11,15 @@ fn main() {
         .as_deref()
         .map(|p| std::fs::File::create(p).expect("create JSON output"));
     for (_id, run) in mpio_dafs_bench::all_experiments() {
-        let table = run();
-        table.print();
+        let (mut table, wall_note) = mpio_dafs_bench::run_timed(run);
+        // JSON first: the wall-clock note stays out of the JSON stream
+        // (one object per line — it would exclude the whole table from
+        // the byte-identity comparison instead of just its own line).
         if let Some(f) = json.as_mut() {
             writeln!(f, "{}", table.to_json()).expect("write JSON line");
         }
+        table.note(&wall_note);
+        table.print();
     }
     if let Some(p) = json_path {
         eprintln!("wrote JSON lines to {p}");

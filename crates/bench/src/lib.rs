@@ -22,6 +22,7 @@ pub mod f6_server_saturation;
 pub mod f7_overlap;
 pub mod f8_server_scaling;
 pub mod f9_listio;
+pub mod kernel_speed;
 pub mod t1_transport_latency;
 pub mod t2_registration_cost;
 pub mod t3_fileop_latency;
@@ -63,5 +64,32 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("X-3", x3_latency_sensitivity::run),
         ("X-4", x4_bandwidth_under_loss::run),
         ("X-5", x5_small_op_cache::run),
+        ("R-K1", kernel_speed::run),
     ]
+}
+
+/// Run one experiment, measuring wall-clock harness telemetry around it:
+/// sim-events/s, MiB of payload materialized per second, peak refcounted
+/// bytes alive. Returns the table untouched plus a `wall-clock:`-prefixed
+/// note line; callers append the note only to *rendered* output (its own
+/// line, so the byte-identity filter drops exactly it), never to the
+/// one-object-per-line JSON stream (where it would knock out the whole
+/// table from the comparison).
+pub fn run_timed(run: fn() -> Table) -> (Table, String) {
+    let ev0 = simnet::events_scheduled_global();
+    let bytes0 = simnet::buf::bytes_total();
+    simnet::buf::reset_bytes_peak();
+    let t0 = std::time::Instant::now();
+    let table = run();
+    let el = t0.elapsed().as_secs_f64().max(1e-9);
+    let events = simnet::events_scheduled_global() - ev0;
+    let bytes = simnet::buf::bytes_total() - bytes0;
+    let peak = simnet::buf::bytes_peak();
+    let note = format!(
+        "wall-clock: {events} sim events in {el:.2}s ({:.0} events/s, {:.1} MiB-sim/s, peak {} KiB buffered)",
+        events as f64 / el,
+        bytes as f64 / (1u64 << 20) as f64 / el,
+        peak >> 10,
+    );
+    (table, note)
 }

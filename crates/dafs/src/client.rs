@@ -17,10 +17,10 @@ use std::sync::atomic::{AtomicU32, Ordering};
 
 use memfs::{FileAttr, NodeId};
 use parking_lot::Mutex;
-use simnet::{ActorCtx, ByteMeter, Counter, HostId, VirtAddr};
+use simnet::{ActorCtx, ByteMeter, Bytes, Counter, HostId, VirtAddr};
 use via::{
-    ConnectError, DataSegment, MemAttributes, MemHandle, ProtectionTag, RecvDesc, SendDesc, Vi,
-    ViAttributes, ViState, ViaFabric, ViaNic, ViaStatus,
+    Completion, ConnectError, DataSegment, MemAttributes, MemHandle, ProtectionTag, RecvDesc,
+    SendDesc, Vi, ViAttributes, ViState, ViaFabric, ViaNic, ViaStatus,
 };
 
 use crate::cost::DafsClientConfig;
@@ -275,7 +275,7 @@ pub struct DafsClient {
     req_next: Mutex<usize>,
     recv_ring: Mutex<VecDeque<(VirtAddr, MemHandle)>>,
     regcache: RegCache,
-    pending: Mutex<HashMap<u32, Vec<u8>>>,
+    pending: Mutex<HashMap<u32, Bytes>>,
     scratch: Mutex<Option<(VirtAddr, usize)>>,
     cache: Mutex<ClientCache>,
     /// Client counters.
@@ -473,16 +473,21 @@ impl DafsClient {
         );
     }
 
-    /// Pop the front recv-ring slot, copy the arrived response out,
-    /// re-post the descriptor, and stash the payload under its request id.
-    fn stash_response(&self, ctx: &ActorCtx, vi: &Vi, len: usize) -> DafsResult<()> {
+    /// Pop the front recv-ring slot, take a zero-copy view of the arrived
+    /// response, re-post the descriptor, and stash the view under its
+    /// request id. The completion carries the delivered frame, so the
+    /// posted buffer is never re-read.
+    fn stash_response(&self, ctx: &ActorCtx, vi: &Vi, completion: Completion) -> DafsResult<()> {
+        let len = completion.len as usize;
         let (buf, h) = {
             let mut ring = self.recv_ring.lock();
             let slot = ring.pop_front().expect("recv ring");
             ring.push_back(slot);
             slot
         };
-        let resp = self.nic.host().mem.read_vec(buf, len);
+        let resp = completion
+            .payload
+            .unwrap_or_else(|| self.nic.host().mem.read_bytes(buf, len));
         vi.post_recv(
             ctx,
             RecvDesc::new(vec![DataSegment::new(buf, SLOT as u32, h)]),
@@ -504,7 +509,7 @@ impl DafsClient {
 
     /// Await the response for `reqid`, stashing any other responses that
     /// arrive first.
-    fn wait_response(&self, ctx: &ActorCtx, reqid: u32) -> DafsResult<Vec<u8>> {
+    fn wait_response(&self, ctx: &ActorCtx, reqid: u32) -> DafsResult<Bytes> {
         loop {
             if let Some(resp) = self.pending.lock().remove(&reqid) {
                 return Ok(resp);
@@ -518,7 +523,7 @@ impl DafsClient {
                 ViaStatus::Success => {}
                 status => return Err(DafsError::Transport(status)),
             }
-            self.stash_response(ctx, &vi, completion.len as usize)?;
+            self.stash_response(ctx, &vi, completion)?;
         }
     }
 
@@ -535,26 +540,26 @@ impl DafsClient {
                 ViaStatus::Success => {}
                 status => return Err(DafsError::Transport(status)),
             }
-            self.stash_response(ctx, &vi, completion.len as usize)?;
+            self.stash_response(ctx, &vi, completion)?;
         }
         Ok(())
     }
 
-    /// Decode a response: check the status, return the payload.
-    fn decode_resp(resp: &[u8]) -> DafsResult<Vec<u8>> {
+    /// Decode a response: check the status, return a view of the payload.
+    fn decode_resp(resp: &Bytes) -> DafsResult<Bytes> {
         let mut d = Dec::new(resp);
         let (_, status) = proto::dec_resp_header(&mut d).map_err(|_| DafsError::Protocol)?;
         if status != DafsStatus::Ok {
             return Err(DafsError::Status(status));
         }
-        Ok(resp[5..].to_vec())
+        Ok(resp.slice(5..))
     }
 
     /// Synchronous request/response with session recovery: a transport
     /// failure re-establishes the session (bounded backoff) and replays the
     /// request under its original id, so the server-side replay cache makes
     /// non-idempotent operations exactly-once.
-    fn call(&self, ctx: &ActorCtx, op: DafsOp, args: &mut Enc) -> DafsResult<Vec<u8>> {
+    fn call(&self, ctx: &ActorCtx, op: DafsOp, args: &mut Enc) -> DafsResult<Bytes> {
         let args = std::mem::take(args).finish();
         let reqid = self.next_reqid();
         let mut attempt = 0u32;
@@ -579,7 +584,7 @@ impl DafsClient {
     /// Synchronous request/response with **no** recovery: used by the
     /// direct-I/O paths, whose requests embed registration handles that die
     /// with the session (the caller falls back to inline instead).
-    fn call_once(&self, ctx: &ActorCtx, op: DafsOp, args: &mut Enc) -> DafsResult<Vec<u8>> {
+    fn call_once(&self, ctx: &ActorCtx, op: DafsOp, args: &mut Enc) -> DafsResult<Bytes> {
         let reqid = self.post_request(ctx, op, args);
         let resp = self.wait_response(ctx, reqid)?;
         Self::decode_resp(&resp)
@@ -1503,7 +1508,7 @@ impl DafsClient {
         }
         // Inline path (small writes, or the cLAN no-RDMA-Read fallback).
         if len <= self.caps.inline_max {
-            let data = self.nic.host().mem.read_vec(src, len as usize);
+            let data = self.nic.host().mem.read_bytes(src, len as usize);
             // App buffer into the message buffer (charged in post_request as
             // part of the body copy).
             let mut e = Enc::new();
@@ -1564,7 +1569,7 @@ impl DafsClient {
         let mut done = 0u64;
         while done < len {
             let n = (len - done).min(self.caps.inline_max);
-            let data = self.nic.host().mem.read_vec(src.offset(done), n as usize);
+            let data = self.nic.host().mem.read_bytes(src.offset(done), n as usize);
             let mut e = Enc::new();
             e.u64(fh.0).u64(off + done).bytes(&data);
             self.call(ctx, DafsOp::WriteInline, &mut e)?;
@@ -1788,7 +1793,7 @@ impl DafsClient {
                         .nic
                         .host()
                         .mem
-                        .read_vec(sb.addr.offset(rel), len as usize);
+                        .read_bytes(sb.addr.offset(rel), len as usize);
                     data.extend_from_slice(&piece);
                 }
                 let mut e = Enc::new();
@@ -1841,7 +1846,7 @@ impl DafsClient {
                 (id, handle, transient)
             }
             (BatchDir::Write, false) => {
-                let data = self.nic.host().mem.read_vec(sb.addr, sb.len as usize);
+                let data = self.nic.host().mem.read_bytes(sb.addr, sb.len as usize);
                 let mut e = Enc::new();
                 e.u64(sb.fh.0).u64(sb.off).bytes(&data);
                 let id = self.post_request(ctx, DafsOp::WriteInline, &mut e);

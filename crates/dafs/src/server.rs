@@ -22,7 +22,7 @@
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use memfs::{MemFs, NodeId, SetAttr};
-use simnet::{ActorCtx, ByteMeter, Counter, Host, Port, SimKernel, VirtAddr};
+use simnet::{ActorCtx, ByteMeter, Bytes, Counter, Host, Port, SimKernel, VirtAddr};
 use via::{
     Cq, DataSegment, MemAttributes, MemHandle, RecvDesc, RemoteSegment, SendDesc, Vi, ViAttributes,
     ViId, ViState, ViaFabric, ViaNic, ViaStatus, WhichQueue,
@@ -263,8 +263,13 @@ pub fn spawn_dafs_server(
                         continue;
                     }
                     // The message landed in the oldest posted buffer; re-arm.
+                    // The completion carries a zero-copy view of the frame,
+                    // so parsing does not re-read the posted buffer.
                     let (buf, h) = sess.recv_ring.pop_front().expect("descriptor ring");
-                    let req = nic.host().mem.read_vec(buf, completion.len as usize);
+                    let len = completion.len as usize;
+                    let req = completion
+                        .payload
+                        .unwrap_or_else(|| nic.host().mem.read_bytes(buf, len));
                     sess.vi.post_recv(
                         ctx,
                         RecvDesc::new(vec![DataSegment::new(buf, SLOT as u32, h)]),
@@ -342,7 +347,7 @@ const REPLAY_CAPACITY: usize = 1024;
 /// byte-identical with and without the cache.
 struct ReplayCache {
     capacity: usize,
-    replies: HashMap<(u64, u32), Vec<u8>>,
+    replies: HashMap<(u64, u32), Bytes>,
     order: VecDeque<(u64, u32)>,
 }
 
@@ -355,11 +360,11 @@ impl ReplayCache {
         }
     }
 
-    fn get(&self, key: (u64, u32)) -> Option<&Vec<u8>> {
+    fn get(&self, key: (u64, u32)) -> Option<&Bytes> {
         self.replies.get(&key)
     }
 
-    fn insert(&mut self, key: (u64, u32), reply: Vec<u8>) {
+    fn insert(&mut self, key: (u64, u32), reply: Bytes) {
         if self.replies.insert(key, reply).is_none() {
             self.order.push_back(key);
             if self.order.len() > self.capacity {
@@ -419,14 +424,18 @@ fn list_runs(segs: &[proto::ListSeg]) -> Vec<(u64, Vec<proto::ListSeg>)> {
 }
 
 /// Send `resp` on the session's next response slot.
-fn respond(ctx: &ActorCtx, nic: &ViaNic, sess: &mut Session, resp: &[u8]) {
+///
+/// The slot still describes the transfer (its registration is TPT-checked
+/// and its length drives every cost term), but the encoded reply rides as a
+/// zero-copy payload — the bounce through the slot's staging memory is
+/// skipped.
+fn respond(ctx: &ActorCtx, _nic: &ViaNic, sess: &mut Session, resp: Bytes) {
     assert!(resp.len() as u64 <= SLOT, "response overflows session slot");
     let (buf, h) = sess.resp_ring[sess.resp_next];
     sess.resp_next = (sess.resp_next + 1) % sess.resp_ring.len();
-    nic.host().mem.write(buf, resp);
     sess.vi.post_send(
         ctx,
-        SendDesc::send(vec![DataSegment::new(buf, resp.len() as u32, h)]),
+        SendDesc::send(vec![DataSegment::new(buf, resp.len() as u32, h)]).with_payload(resp),
     );
 }
 
@@ -498,7 +507,7 @@ fn lease_defer(
     for (h, _) in &st.holders {
         if let Some(sess) = sessions.get_mut(h) {
             let push = proto::enc_recall_push(NodeId(fh), id).finish();
-            respond(ctx, nic, sess, &push);
+            respond(ctx, nic, sess, push.into());
             // The push itself can break the session (crashed holder): a
             // dead holder can never ack, so waiting on it would wedge the
             // deferred request forever. Reclaim its lease on the spot.
@@ -587,7 +596,7 @@ fn grant_next(ctx: &ActorCtx, sessions: &mut HashMap<ViId, Session>, st: &mut Lo
             let mut e = Enc::new();
             proto::enc_resp_header(&mut e, reqid, DafsStatus::Ok);
             let nic = sess.vi.nic().clone();
-            respond(ctx, &nic, sess, &e.finish());
+            respond(ctx, &nic, sess, e.finish().into());
             return;
         }
         // Waiter's session vanished; try the next one.
@@ -645,7 +654,7 @@ fn serve_one(
                 ],
             );
             let cached = cached.clone();
-            respond(ctx, nic, sess!(), &cached);
+            respond(ctx, nic, sess!(), cached);
             return false;
         }
     }
@@ -712,11 +721,11 @@ fn serve_one(
 
     macro_rules! reply {
         ($e:expr) => {{
-            let bytes = $e.finish();
+            let bytes = Bytes::from_vec($e.finish());
             if let Some(key) = replay_key {
                 replay.insert(key, bytes.clone());
             }
-            respond(ctx, nic, sess!(), &bytes);
+            respond(ctx, nic, sess!(), bytes);
             return false;
         }};
     }
@@ -832,13 +841,18 @@ fn serve_one(
         }
         DafsOp::ReadDir => {
             let dir = NodeId(try_wire!(d.u64()));
-            let entries = try_fs!(fs.readdir(dir));
+            // Encode entries straight off the directory map, borrowed under
+            // the filesystem lock — no per-call Vec<(String, NodeId)>.
+            let mut n = 0u32;
+            let mut body = Enc::new();
+            try_fs!(fs.with_readdir(dir, |name, id| {
+                body.u64(id.0);
+                body.str(name);
+                n += 1;
+            }));
             proto::enc_resp_header(&mut e, reqid, DafsStatus::Ok);
-            e.u32(entries.len() as u32);
-            for (name, id) in entries {
-                e.u64(id.0);
-                e.str(&name);
-            }
+            e.u32(n);
+            e.raw(&body.finish());
             reply!(e);
         }
         DafsOp::ReadInline => {
@@ -848,7 +862,7 @@ fn serve_one(
             if len > INLINE_MAX {
                 fail!(DafsStatus::Inval);
             }
-            let data = try_fs!(fs.read(fh, off, len));
+            let data = try_fs!(fs.read_bytes(fh, off, len));
             // Buffer-cache copy into the response message.
             host.compute(ctx, cost.host.copy(data.len() as u64));
             stats.inline_reads.record(data.len() as u64);
@@ -892,19 +906,20 @@ fn serve_one(
             let len = try_wire!(d.u64());
             let raddr = VirtAddr(try_wire!(d.u64()));
             let rhandle = MemHandle(try_wire!(d.u64()));
-            let data = try_fs!(fs.read(fh, off, len));
+            let data = try_fs!(fs.read_bytes(fh, off, len));
             if !cost.registered_buffer_cache {
                 host.compute(ctx, cost.host.copy(data.len() as u64));
             }
-            // RDMA-write the data into the client's buffer, chunked through
-            // the session staging area (chunks pipeline on the wire).
+            // RDMA-write the data into the client's buffer, chunked as if
+            // through the session staging area (chunks pipeline on the
+            // wire). Each chunk rides as a zero-copy view of the file page:
+            // server page → wire → client buffer, no staging bounce.
             let sess = sess!();
             let (sbuf, sh) = sess.staging;
             let mut sent = 0usize;
             let mut failed = false;
             while sent < data.len() {
                 let n = (data.len() - sent).min(STAGING as usize);
-                nic.host().mem.write(sbuf, &data[sent..sent + n]);
                 sess.vi.post_send(
                     ctx,
                     SendDesc::rdma_write(
@@ -913,7 +928,8 @@ fn serve_one(
                             addr: raddr.offset(sent as u64),
                             handle: rhandle,
                         },
-                    ),
+                    )
+                    .with_payload(data.slice(sent..sent + n)),
                 );
                 // Chunk boundaries serialize through the staging buffer:
                 // wait for the NIC to finish each chunk before overwriting.
@@ -1004,7 +1020,7 @@ fn serve_one(
             let mut data = Vec::new(); // inline reply payload (list order)
             if mode == 0 {
                 for &(off, len, _) in &segs {
-                    let seg = try_fs!(fs.read(fh, off, len));
+                    let seg = try_fs!(fs.read_bytes(fh, off, len));
                     counts.push(seg.len() as u64);
                     data.extend_from_slice(&seg);
                 }
@@ -1017,12 +1033,23 @@ fn serve_one(
                 let mut moved = 0u64;
                 let mut failed = false;
                 'runs: for (run_rel, run) in list_runs(&segs) {
-                    let mut rdata = Vec::new();
-                    for &(off, len, _) in &run {
-                        let seg = try_fs!(fs.read(fh, off, len));
+                    // A single-segment run streams the file page view
+                    // directly; multi-segment runs gather once into a fresh
+                    // frame (the segments are discontiguous in the file).
+                    let rdata: Bytes = if run.len() == 1 {
+                        let (off, len, _) = run[0];
+                        let seg = try_fs!(fs.read_bytes(fh, off, len));
                         counts.push(seg.len() as u64);
-                        rdata.extend_from_slice(&seg);
-                    }
+                        seg
+                    } else {
+                        let mut v = Vec::new();
+                        for &(off, len, _) in &run {
+                            let seg = try_fs!(fs.read_bytes(fh, off, len));
+                            counts.push(seg.len() as u64);
+                            v.extend_from_slice(&seg);
+                        }
+                        Bytes::from_vec(v)
+                    };
                     if !cost.registered_buffer_cache {
                         host.compute(ctx, cost.host.copy(rdata.len() as u64));
                     }
@@ -1031,7 +1058,6 @@ fn serve_one(
                     let mut sent = 0usize;
                     while sent < rdata.len() {
                         let n = (rdata.len() - sent).min(STAGING as usize);
-                        nic.host().mem.write(sbuf, &rdata[sent..sent + n]);
                         sess.vi.post_send(
                             ctx,
                             SendDesc::rdma_write(
@@ -1040,7 +1066,8 @@ fn serve_one(
                                     addr: raddr.offset(run_rel + sent as u64),
                                     handle: rhandle,
                                 },
-                            ),
+                            )
+                            .with_payload(rdata.slice(sent..sent + n)),
                         );
                         let c = sess.vi.send_wait(ctx);
                         if !c.status.is_ok() {
@@ -1183,8 +1210,7 @@ fn serve_one(
         DafsOp::Unlock => {
             let fh = try_wire!(d.u64());
             proto::enc_resp_header(&mut e, reqid, DafsStatus::Ok);
-            let bytes = e.finish();
-            respond(ctx, nic, sess!(), &bytes);
+            respond(ctx, nic, sess!(), e.finish().into());
             if let Some(st) = locks.get_mut(&fh) {
                 if st.holder == Some(vi_id) {
                     st.holder = None;
@@ -1195,8 +1221,7 @@ fn serve_one(
         }
         DafsOp::Disconnect => {
             proto::enc_resp_header(&mut e, reqid, DafsStatus::Ok);
-            let bytes = e.finish();
-            respond(ctx, nic, sess!(), &bytes);
+            respond(ctx, nic, sess!(), e.finish().into());
             true
         }
         DafsOp::LeaseGrant => {
@@ -1249,8 +1274,7 @@ fn serve_one(
             let fh = try_wire!(d.u64());
             let _recall_id = try_wire!(d.u32());
             proto::enc_resp_header(&mut e, reqid, DafsStatus::Ok);
-            let bytes = e.finish();
-            respond(ctx, nic, sess!(), &bytes);
+            respond(ctx, nic, sess!(), e.finish().into());
             let frames = lease_drop(leases, fh, vi_id);
             for (bvi, frame) in frames {
                 if sessions.contains_key(&bvi) {

@@ -47,6 +47,12 @@ impl Enc {
         self.bytes(s.as_bytes())
     }
 
+    /// Append already-encoded wire bytes verbatim (no length prefix).
+    pub fn raw(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(v);
+        self
+    }
+
     /// Finish, returning the wire bytes.
     pub fn finish(self) -> Vec<u8> {
         self.buf

@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
+use simnet::buf::{Bytes, Slab};
 
 /// Identifies an inode. Also serves as the wire-visible file handle for
 /// both servers (DAFS and NFS wrap it in their own handle formats).
@@ -87,8 +88,16 @@ pub type FsResult<T> = Result<T, FsError>;
 
 #[derive(Debug)]
 enum NodeBody {
-    Regular { data: Vec<u8> },
-    Directory { entries: BTreeMap<String, NodeId> },
+    /// File data lives in one refcounted slab so reads hand out zero-copy
+    /// [`Bytes`] views. Writes go through `Arc::make_mut`: in place while
+    /// the file is the only owner, copy-on-write the moment read views are
+    /// still outstanding — a published view never observes a later write.
+    Regular {
+        data: Arc<Slab>,
+    },
+    Directory {
+        entries: BTreeMap<String, NodeId>,
+    },
 }
 
 #[derive(Debug)]
@@ -187,7 +196,9 @@ impl MemFs {
             match &mut node.body {
                 NodeBody::Regular { data } => {
                     let delta = sz as i64 - data.len() as i64;
-                    data.resize(sz as usize, 0);
+                    let slab = Arc::make_mut(data);
+                    slab.data_mut().resize(sz as usize, 0);
+                    slab.recharge();
                     node.version += 1;
                     let attr = node.attr(id);
                     st.total_data = (st.total_data as i64 + delta) as u64;
@@ -246,7 +257,13 @@ impl MemFs {
 
     /// Create an empty regular file.
     pub fn create(&self, dir: NodeId, name: &str) -> FsResult<FileAttr> {
-        self.insert_node(dir, name, NodeBody::Regular { data: Vec::new() })
+        self.insert_node(
+            dir,
+            name,
+            NodeBody::Regular {
+                data: Arc::new(Slab::from_vec(Vec::new())),
+            },
+        )
     }
 
     /// Create a directory.
@@ -361,19 +378,28 @@ impl MemFs {
         Ok(())
     }
 
-    /// Read up to `len` bytes at `offset`. Short reads at EOF, like read(2);
-    /// reads past EOF return empty.
-    pub fn read(&self, id: NodeId, offset: u64, len: u64) -> FsResult<Vec<u8>> {
+    /// Read up to `len` bytes at `offset` as a zero-copy view of the file
+    /// slab. Short reads at EOF, like read(2); reads past EOF return empty.
+    ///
+    /// The view stays valid (and immutable) across later writes: a write
+    /// while views are outstanding clones the slab instead of mutating it.
+    pub fn read_bytes(&self, id: NodeId, offset: u64, len: u64) -> FsResult<Bytes> {
         let st = self.state.read();
         let n = st.nodes.get(&id.0).ok_or(FsError::Stale)?;
         match &n.body {
             NodeBody::Regular { data } => {
                 let start = (offset as usize).min(data.len());
                 let end = (offset.saturating_add(len) as usize).min(data.len());
-                Ok(data[start..end].to_vec())
+                Ok(Bytes::from_slab(data.clone()).slice(start..end))
             }
             NodeBody::Directory { .. } => Err(FsError::IsDirectory),
         }
+    }
+
+    /// [`MemFs::read_bytes`], copied out into an owned vector (compat shim
+    /// for callers that need ownership).
+    pub fn read(&self, id: NodeId, offset: u64, len: u64) -> FsResult<Vec<u8>> {
+        Ok(self.read_bytes(id, offset, len)?.to_vec())
     }
 
     /// Write `buf` at `offset`, extending (and zero-filling any gap) as
@@ -385,10 +411,13 @@ impl MemFs {
             NodeBody::Regular { data } => {
                 let end = offset as usize + buf.len();
                 let grow = end.saturating_sub(data.len());
-                if end > data.len() {
-                    data.resize(end, 0);
+                let slab = Arc::make_mut(data);
+                let v = slab.data_mut();
+                if end > v.len() {
+                    v.resize(end, 0);
                 }
-                data[offset as usize..end].copy_from_slice(buf);
+                v[offset as usize..end].copy_from_slice(buf);
+                slab.recharge();
                 node.version += 1;
                 let attr = node.attr(id);
                 st.total_data += grow as u64;
@@ -398,16 +427,31 @@ impl MemFs {
         }
     }
 
-    /// List a directory: (name, id) pairs in name order.
-    pub fn readdir(&self, dir: NodeId) -> FsResult<Vec<(String, NodeId)>> {
+    /// Visit a directory's entries in name order without allocating: the
+    /// callback sees each borrowed name and id under the filesystem lock.
+    pub fn with_readdir<F>(&self, dir: NodeId, mut f: F) -> FsResult<()>
+    where
+        F: FnMut(&str, NodeId),
+    {
         let st = self.state.read();
         let d = st.nodes.get(&dir.0).ok_or(FsError::Stale)?;
         match &d.body {
             NodeBody::Directory { entries } => {
-                Ok(entries.iter().map(|(k, v)| (k.clone(), *v)).collect())
+                for (k, v) in entries.iter() {
+                    f(k, *v);
+                }
+                Ok(())
             }
             _ => Err(FsError::NotDirectory),
         }
+    }
+
+    /// List a directory: (name, id) pairs in name order (allocating compat
+    /// shim over [`MemFs::with_readdir`]).
+    pub fn readdir(&self, dir: NodeId) -> FsResult<Vec<(String, NodeId)>> {
+        let mut out = Vec::new();
+        self.with_readdir(dir, |name, id| out.push((name.to_string(), id)))?;
+        Ok(out)
     }
 
     /// Resolve a slash-separated path from the root. Convenience for tests

@@ -114,6 +114,42 @@ impl Backend {
     }
 }
 
+/// Wall-clock harness statistics for one run: how fast the *simulator
+/// itself* executed, measured on the host machine. Orthogonal to every
+/// virtual-time result — never fed into the metrics registry, and filtered
+/// out of all byte-identity comparisons.
+#[derive(Debug, Clone)]
+pub struct WallStats {
+    /// Host wall-clock time spent inside `kernel.run()`.
+    pub elapsed: std::time::Duration,
+    /// Simulation events dispatched during the run.
+    pub sim_events: u64,
+    /// Payload bytes that passed through refcounted buffers during the run
+    /// (slab charges, i.e. unique bytes materialized — zero-copy views are
+    /// free and do not count).
+    pub bytes_buffered: u64,
+    /// High-water mark of refcounted buffer bytes alive at once.
+    pub peak_bytes_alive: u64,
+}
+
+impl WallStats {
+    /// Simulation events dispatched per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.sim_events as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// MiB of buffered payload materialized per wall-clock second.
+    pub fn mib_per_sec(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.bytes_buffered as f64 / (1 << 20) as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
 /// Post-run accounting.
 #[derive(Debug, Clone)]
 pub struct JobReport {
@@ -133,6 +169,8 @@ pub struct JobReport {
     pub traced: bool,
     /// The metrics registry frozen at `end_time`.
     pub snapshot: Snapshot,
+    /// Wall-clock harness throughput for this run.
+    pub wall: WallStats,
 }
 
 /// A fully assembled simulated cluster ready to run one job.
@@ -454,7 +492,16 @@ impl Testbed {
             },
         );
         let obs = self.kernel.obs().clone();
+        let ev0 = simnet::events_scheduled_global();
+        let bytes0 = simnet::buf::bytes_total();
+        let t0 = std::time::Instant::now();
         let end_time = self.kernel.run();
+        let wall = WallStats {
+            elapsed: t0.elapsed(),
+            sim_events: simnet::events_scheduled_global() - ev0,
+            bytes_buffered: simnet::buf::bytes_total() - bytes0,
+            peak_bytes_alive: simnet::buf::bytes_peak(),
+        };
         // Per-port fabric accounting lands in the report snapshot (the
         // trace stream's closing snapshot was already emitted by the
         // kernel; tests compare traces run-vs-rerun, so both miss it
@@ -490,6 +537,7 @@ impl Testbed {
             backend: self.backend.kind(),
             traced: obs.enabled(),
             snapshot: obs.snapshot(end_time.as_nanos()),
+            wall,
         }
     }
 

@@ -123,7 +123,7 @@ pub fn spawn_nfs_server(
                             ],
                         );
                         let cached = cached.clone();
-                        sock.send(ctx, &proto::frame(&cached));
+                        sock.send_owned(ctx, proto::frame(&cached));
                         continue;
                     }
                 }
@@ -131,7 +131,7 @@ pub fn spawn_nfs_server(
                 if let Some(xid) = xid {
                     drc.insert(conn, xid, reply.clone());
                 }
-                sock.send(ctx, &proto::frame(&reply));
+                sock.send_owned(ctx, proto::frame(&reply));
             }
         });
     }
@@ -264,7 +264,7 @@ fn serve_one(
             let fh = NodeId(try_xdr!(d.u64()));
             let off = try_xdr!(d.u64());
             let len = try_xdr!(d.u32()) as u64;
-            let data = try_fs!(fs.read(fh, off, len));
+            let data = try_fs!(fs.read_bytes(fh, off, len));
             // Buffer-cache copy into the reply.
             host.compute(ctx, cost.host.copy(data.len() as u64));
             stats.reads.record(data.len() as u64);
@@ -331,13 +331,18 @@ fn serve_one(
         }
         NfsProc::ReadDir => {
             let dir = NodeId(try_xdr!(d.u64()));
-            let entries = try_fs!(fs.readdir(dir));
+            // Encode entries straight off the directory map, borrowed under
+            // the filesystem lock — no per-call Vec<(String, NodeId)>.
+            let mut n = 0u32;
+            let mut body = XdrEnc::new();
+            try_fs!(fs.with_readdir(dir, |name, id| {
+                body.u64(id.0);
+                body.string(name);
+                n += 1;
+            }));
             e.u32(NfsStatus::Ok as u32);
-            e.u32(entries.len() as u32);
-            for (name, id) in entries {
-                e.u64(id.0);
-                e.string(&name);
-            }
+            e.u32(n);
+            e.raw(&body.finish());
         }
         NfsProc::Commit => {
             let _fh = NodeId(try_xdr!(d.u64()));

@@ -41,6 +41,12 @@ impl XdrEnc {
         self.opaque(s.as_bytes())
     }
 
+    /// Append already-encoded XDR bytes verbatim (no length prefix).
+    pub fn raw(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(v);
+        self
+    }
+
     /// Finish, returning the wire bytes.
     pub fn finish(self) -> Vec<u8> {
         self.buf

@@ -11,7 +11,7 @@
 //! order with integer-only fields, so the same simulation produces a
 //! byte-identical snapshot on every run.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Mutex;
 
 use crate::json;
@@ -38,10 +38,17 @@ impl Metric {
     }
 }
 
+/// Interned `(layer, op)` key → (count, ns) counter-handle pair.
+type SpanCache = HashMap<(&'static str, &'static str), (Counter, Counter)>;
+
 /// A registry of named metrics, snapshotable at any virtual time.
 #[derive(Default)]
 pub struct Registry {
     metrics: Mutex<BTreeMap<String, Metric>>,
+    /// Interned counter-handle pairs for [`Registry::span_counters`]: hot
+    /// spans resolve their two counters with one map probe instead of
+    /// formatting two metric names per drop.
+    span_cache: Mutex<SpanCache>,
 }
 
 impl Registry {
@@ -87,6 +94,23 @@ impl Registry {
             Metric::Histogram(h) => h.clone(),
             other => panic!("metric '{name}' is a {}, not a histogram", other.kind()),
         }
+    }
+
+    /// The `({layer}.{op}_ns, {layer}.{op}.calls)` counter pair backing a
+    /// timed span, interned on first use. Metric names are identical to
+    /// calling [`Registry::counter`] with the formatted names — this is
+    /// purely an allocation-free fast path for per-event span drops.
+    pub fn span_counters(&self, layer: &'static str, op: &'static str) -> (Counter, Counter) {
+        let mut cache = self.span_cache.lock().unwrap_or_else(|e| e.into_inner());
+        cache
+            .entry((layer, op))
+            .or_insert_with(|| {
+                (
+                    self.counter(&format!("{layer}.{op}_ns")),
+                    self.counter(&format!("{layer}.{op}.calls")),
+                )
+            })
+            .clone()
     }
 
     /// Freeze every registered metric at virtual time `t_ns`.

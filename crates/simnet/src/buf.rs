@@ -1,0 +1,523 @@
+//! Shared payload buffers: refcounted byte slabs with zero-cost subslicing,
+//! plus a small freelist pool for short-lived wire frames.
+//!
+//! Every hop of the simulated data path used to re-own its payload —
+//! `gather` built a fresh `Vec<u8>` per send, `memfs` reads returned
+//! `to_vec` slices, and each port queue cloned frames again. [`Bytes`] makes
+//! payload hand-off a refcount bump: one backing [`Slab`] is materialized at
+//! the producer (a memfs page, a gathered send, a wire frame) and every
+//! consumer downstream holds a cheap `(slab, offset, len)` view. Actual
+//! copies remain only where the simulated machine genuinely copies — into
+//! and out of a host's registered-memory arena ([`crate::HostMem`]).
+//!
+//! Slabs are immutable once published: a `Bytes` view can never observe a
+//! later mutation (the aliasing property tested in `tests/determinism.rs`).
+//! Writable storage that *shares* slabs (the memfs `Regular` file body)
+//! clones-on-write via [`std::sync::Arc::make_mut`] — `Slab: Clone` exists
+//! for exactly that.
+//!
+//! All accounting here is **wall-clock harness telemetry** (bytes alive,
+//! peak, total materialized); it never feeds back into virtual time, so it
+//! cannot perturb the deterministic timeline.
+
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, Weak};
+
+use parking_lot::Mutex;
+
+/// Live payload bytes across all slabs (plain and pooled) in the process.
+static ALIVE: AtomicU64 = AtomicU64::new(0);
+/// High-water mark of [`ALIVE`].
+static PEAK: AtomicU64 = AtomicU64::new(0);
+/// Total payload bytes ever materialized into slabs (the "MiB simulated"
+/// numerator for harness throughput).
+static TOTAL: AtomicU64 = AtomicU64::new(0);
+
+fn charge(n: usize) {
+    if n == 0 {
+        return;
+    }
+    TOTAL.fetch_add(n as u64, Ordering::Relaxed);
+    let now = ALIVE.fetch_add(n as u64, Ordering::Relaxed) + n as u64;
+    PEAK.fetch_max(now, Ordering::Relaxed);
+}
+
+fn discharge(n: usize) {
+    if n != 0 {
+        ALIVE.fetch_sub(n as u64, Ordering::Relaxed);
+    }
+}
+
+/// Payload bytes currently alive (backing slabs still referenced).
+pub fn bytes_alive() -> u64 {
+    ALIVE.load(Ordering::Relaxed)
+}
+
+/// High-water mark of [`bytes_alive`] since process start.
+pub fn bytes_peak() -> u64 {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Total payload bytes ever materialized into slabs since process start.
+pub fn bytes_total() -> u64 {
+    TOTAL.load(Ordering::Relaxed)
+}
+
+/// Reset the high-water mark to the currently-alive total, so the next
+/// [`bytes_peak`] reading reports a per-interval peak (harness telemetry
+/// around one benchmark run).
+pub fn reset_bytes_peak() {
+    PEAK.store(ALIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// One refcounted backing allocation. Immutable once shared; mutable only
+/// through `Arc::make_mut` (which clones when other references exist —
+/// copy-on-write, never mutation-in-place of shared data).
+pub struct Slab {
+    data: Vec<u8>,
+    /// Bytes charged against the global accounting; adjusted by
+    /// [`Slab::recharge`] after in-place growth.
+    charged: usize,
+}
+
+impl Slab {
+    /// Wrap a vector, charging its length to the global accounting.
+    pub fn from_vec(data: Vec<u8>) -> Slab {
+        charge(data.len());
+        let charged = data.len();
+        Slab { data, charged }
+    }
+
+    /// The stored bytes.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable access to the backing vector. Only call on an unshared slab
+    /// (e.g. via `Arc::make_mut`); call [`Slab::recharge`] afterwards if the
+    /// length changed.
+    pub fn data_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.data
+    }
+
+    /// Re-sync the global byte accounting after an in-place length change.
+    pub fn recharge(&mut self) {
+        let len = self.data.len();
+        if len > self.charged {
+            charge(len - self.charged);
+        } else {
+            discharge(self.charged - len);
+        }
+        self.charged = len;
+    }
+
+    /// Stored length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Clone for Slab {
+    fn clone(&self) -> Slab {
+        Slab::from_vec(self.data.clone())
+    }
+}
+
+impl Drop for Slab {
+    fn drop(&mut self) {
+        discharge(self.charged);
+    }
+}
+
+impl Deref for Slab {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::fmt::Debug for Slab {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Slab({} bytes)", self.data.len())
+    }
+}
+
+/// A pooled backing buffer: on final release the vector returns to its
+/// pool's freelist instead of the allocator.
+struct PooledSlab {
+    data: Vec<u8>,
+    home: Weak<PoolState>,
+}
+
+impl Drop for PooledSlab {
+    fn drop(&mut self) {
+        discharge(self.data.len());
+        if let Some(pool) = self.home.upgrade() {
+            pool.put(std::mem::take(&mut self.data));
+        }
+    }
+}
+
+enum Repr {
+    Plain(Arc<Slab>),
+    Pooled(Arc<PooledSlab>),
+}
+
+impl Clone for Repr {
+    fn clone(&self) -> Repr {
+        match self {
+            Repr::Plain(s) => Repr::Plain(s.clone()),
+            Repr::Pooled(s) => Repr::Pooled(s.clone()),
+        }
+    }
+}
+
+/// A cheaply-cloneable view into a refcounted byte slab.
+///
+/// Cloning and subslicing are refcount/arithmetic only — no bytes move.
+/// The backing storage is immutable for as long as any view exists, so a
+/// frame delivered into a queue can never be mutated by a later writer.
+#[derive(Clone)]
+pub struct Bytes {
+    repr: Repr,
+    off: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// An empty buffer (no backing allocation charge).
+    pub fn new() -> Bytes {
+        Bytes::from_vec(Vec::new())
+    }
+
+    /// Take ownership of a vector without copying it.
+    pub fn from_vec(v: Vec<u8>) -> Bytes {
+        Bytes::from_slab(Arc::new(Slab::from_vec(v)))
+    }
+
+    /// View an existing shared slab without copying (zero-copy handoff from
+    /// storage that keeps the slab, e.g. a memfs file body).
+    pub fn from_slab(slab: Arc<Slab>) -> Bytes {
+        let len = slab.len();
+        Bytes {
+            repr: Repr::Plain(slab),
+            off: 0,
+            len,
+        }
+    }
+
+    /// Copy a slice into a fresh backing slab (the one copy an inline path
+    /// is allowed).
+    pub fn copy_from_slice(src: &[u8]) -> Bytes {
+        Bytes::from_vec(src.to_vec())
+    }
+
+    /// A zero-cost sub-view. Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&s) => s,
+            Bound::Excluded(&s) => s + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&e) => e + 1,
+            Bound::Excluded(&e) => e,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "slice {start}..{end} out of bounds for {} bytes",
+            self.len
+        );
+        Bytes {
+            repr: self.repr.clone(),
+            off: self.off + start,
+            len: end - start,
+        }
+    }
+
+    /// The viewed bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        let backing: &[u8] = match &self.repr {
+            Repr::Plain(s) => s,
+            Repr::Pooled(s) => &s.data,
+        };
+        &backing[self.off..self.off + self.len]
+    }
+
+    /// View length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Copy the view out into an owned vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes::from_vec(v)
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len)
+    }
+}
+
+/// How many spare vectors a pool retains before excess buffers fall back to
+/// the allocator.
+const POOL_RETAIN: usize = 64;
+
+struct PoolState {
+    free: Mutex<Vec<Vec<u8>>>,
+}
+
+impl PoolState {
+    fn put(&self, mut v: Vec<u8>) {
+        v.clear();
+        let mut free = self.free.lock();
+        if free.len() < POOL_RETAIN {
+            free.push(v);
+        }
+    }
+}
+
+/// A freelist of wire-frame buffers: [`BufPool::alloc`] hands out a
+/// writable buffer (recycled when available), and freezing it into a
+/// [`Bytes`] arranges for the vector to return to the pool when the last
+/// view drops.
+#[derive(Clone)]
+pub struct BufPool {
+    state: Arc<PoolState>,
+}
+
+impl BufPool {
+    /// Create an empty pool.
+    pub fn new() -> BufPool {
+        BufPool {
+            state: Arc::new(PoolState {
+                free: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// A zero-filled writable buffer of `len` bytes, recycled from the
+    /// freelist when possible.
+    pub fn alloc(&self, len: usize) -> PoolBuf {
+        let mut v = self.state.free.lock().pop().unwrap_or_default();
+        v.resize(len, 0);
+        PoolBuf {
+            data: v,
+            home: Arc::downgrade(&self.state),
+        }
+    }
+
+    /// Buffers currently parked in the freelist (test/diagnostic hook).
+    pub fn idle(&self) -> usize {
+        self.state.free.lock().len()
+    }
+}
+
+impl Default for BufPool {
+    fn default() -> BufPool {
+        BufPool::new()
+    }
+}
+
+/// The process-wide frame pool used by the transport layers for short-lived
+/// wire frames (gathered sends, TCP chunks).
+pub fn frame_pool() -> &'static BufPool {
+    static POOL: OnceLock<BufPool> = OnceLock::new();
+    POOL.get_or_init(BufPool::new)
+}
+
+/// A writable, pool-backed staging buffer; freeze it into an immutable
+/// [`Bytes`] once filled.
+pub struct PoolBuf {
+    data: Vec<u8>,
+    home: Weak<PoolState>,
+}
+
+impl PoolBuf {
+    /// Publish the buffer as an immutable shared payload. The backing
+    /// vector rejoins the pool when the last `Bytes` view drops.
+    pub fn freeze(self) -> Bytes {
+        charge(self.data.len());
+        let len = self.data.len();
+        Bytes {
+            repr: Repr::Pooled(Arc::new(PooledSlab {
+                data: self.data,
+                home: self.home,
+            })),
+            off: 0,
+            len,
+        }
+    }
+}
+
+impl Deref for PoolBuf {
+    type Target = Vec<u8>;
+    fn deref(&self) -> &Vec<u8> {
+        &self.data
+    }
+}
+
+impl std::ops::DerefMut for PoolBuf {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The alive/peak globals are process-wide; tests that assert on them
+    /// exactly must not overlap other slab-creating tests in this binary.
+    static ACCOUNTING: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn views_share_one_backing() {
+        let _serial = ACCOUNTING.lock();
+        let b = Bytes::from_vec(vec![1, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(s, [2, 3, 4].as_slice());
+        assert_eq!(s.slice(1..2), [3].as_slice());
+        let c = b.clone();
+        drop(b);
+        assert_eq!(c, vec![1, 2, 3, 4, 5]);
+        assert_eq!(c.slice(..0).len(), 0);
+        assert_eq!(c.slice(5..).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oversized_slice_panics() {
+        Bytes::from_vec(vec![0; 4]).slice(2..6);
+    }
+
+    #[test]
+    fn slab_views_are_zero_copy() {
+        let _serial = ACCOUNTING.lock();
+        let slab = Arc::new(Slab::from_vec(b"page data".to_vec()));
+        let view = Bytes::from_slab(slab.clone());
+        assert_eq!(view, b"page data".as_slice());
+        // Same backing allocation, not a copy.
+        assert!(std::ptr::eq(view.as_slice().as_ptr(), slab.data().as_ptr()));
+    }
+
+    #[test]
+    fn cow_slab_preserves_published_views() {
+        let _serial = ACCOUNTING.lock();
+        let mut file = Arc::new(Slab::from_vec(b"aaaa".to_vec()));
+        let delivered = Bytes::from_slab(file.clone());
+        // A later write while views are outstanding must clone, not mutate.
+        let body = Arc::make_mut(&mut file);
+        body.data_mut()[0] = b'z';
+        body.recharge();
+        assert_eq!(delivered, b"aaaa".as_slice());
+        assert_eq!(file.data(), b"zaaa");
+    }
+
+    #[test]
+    fn pool_recycles_buffers() {
+        let _serial = ACCOUNTING.lock();
+        let pool = BufPool::new();
+        let mut buf = pool.alloc(8);
+        buf.copy_from_slice(b"frame!!!");
+        let frozen = buf.freeze();
+        let copy = frozen.clone();
+        assert_eq!(pool.idle(), 0);
+        drop(frozen);
+        assert_eq!(pool.idle(), 0, "live view must keep the buffer out");
+        assert_eq!(copy, b"frame!!!".as_slice());
+        drop(copy);
+        assert_eq!(pool.idle(), 1, "last drop returns the vector");
+        // Reallocation hands back a cleared buffer of the right size.
+        let again = pool.alloc(3);
+        assert_eq!(&again[..], &[0, 0, 0]);
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn accounting_tracks_alive_and_peak() {
+        let _serial = ACCOUNTING.lock();
+        let before = bytes_alive();
+        let total_before = bytes_total();
+        let b = Bytes::from_vec(vec![0; 1024]);
+        let v = b.slice(..512);
+        assert_eq!(bytes_alive(), before + 1024, "views add no charge");
+        assert!(bytes_peak() >= before + 1024);
+        assert_eq!(bytes_total(), total_before + 1024);
+        drop(b);
+        assert_eq!(bytes_alive(), before + 1024, "slab alive while viewed");
+        drop(v);
+        assert_eq!(bytes_alive(), before);
+    }
+}

@@ -147,6 +147,14 @@ impl HostMem {
         v
     }
 
+    /// Copy bytes out into a pooled, refcounted frame. One copy out of the
+    /// arena; everything downstream shares the frame by reference.
+    pub fn read_bytes(&self, addr: VirtAddr, len: usize) -> crate::buf::Bytes {
+        let mut frame = crate::buf::frame_pool().alloc(len);
+        self.read(addr, &mut frame[..len]);
+        frame.freeze()
+    }
+
     /// Copy bytes into simulated memory.
     pub fn write(&self, addr: VirtAddr, data: &[u8]) {
         self.with_alloc(addr, data.len(), |m| m.copy_from_slice(data));

@@ -51,13 +51,25 @@ enum ActorState {
 }
 
 struct ActorSlot {
-    name: String,
+    name: Arc<str>,
     state: ActorState,
     /// Incremented on every block; wake events carry the generation they
     /// target, so stale wakes (superseded by an earlier one) are discarded.
     generation: u64,
     daemon: bool,
     join: Option<JoinHandle<()>>,
+    /// The actor's local clock, shared with its `ActorCtx` (which reads it
+    /// lock-free); kept in the slot so the scheduler and wakers touch it
+    /// under the one `state` lock they already hold.
+    clock: Arc<AtomicU64>,
+    /// Private wake signal: the scheduler wakes exactly the actor whose turn
+    /// it is instead of broadcasting to every parked thread.
+    cv: Arc<Condvar>,
+    /// Earliest wake already queued for the *current* generation, if any.
+    /// Later wakes at the same or a greater time are coalesced away (the
+    /// earlier event supersedes them once the actor re-blocks), which keeps
+    /// the heap small under fan-in.
+    pending_wake: Option<SimTime>,
 }
 
 /// One scheduled wake-up.
@@ -88,16 +100,23 @@ pub(crate) struct KernelInner {
     state: Mutex<SchedState>,
     /// Signalled whenever control should return to the scheduler loop.
     scheduler_cv: Condvar,
-    /// Signalled whenever `current` changes; actors wait here for their turn.
-    actors_cv: Condvar,
-    /// Per-actor clocks, readable lock-free by message senders that need the
-    /// receiver's local time when computing a wake.
-    clocks: Mutex<Vec<Arc<AtomicU64>>>,
     /// Global trace flag (diagnostics only).
     trace: AtomicU64,
     /// Observability handle shared by every actor: structured tracer plus
     /// the metrics registry. Never advances virtual time.
     obs: Obs,
+}
+
+/// Process-wide count of scheduled events, accumulated as kernels finish.
+/// Purely a wall-clock harness statistic (sim-events/sec); never feeds back
+/// into virtual time.
+static EVENTS_GLOBAL: AtomicU64 = AtomicU64::new(0);
+
+/// Total events scheduled by every completed [`SimKernel::run`] in this
+/// process so far. Bench harnesses read the delta around an experiment to
+/// report real-time throughput.
+pub fn events_scheduled_global() -> u64 {
+    EVENTS_GLOBAL.load(Ordering::Relaxed)
 }
 
 impl KernelInner {
@@ -134,8 +153,6 @@ impl SimKernel {
             inner: Arc::new(KernelInner {
                 state: Mutex::new(SchedState::default()),
                 scheduler_cv: Condvar::new(),
-                actors_cv: Condvar::new(),
-                clocks: Mutex::new(Vec::new()),
                 trace: AtomicU64::new(0),
                 obs,
             }),
@@ -178,16 +195,18 @@ impl SimKernel {
         let mut st = inner.state.lock();
         let id = ActorId(st.actors.len());
         let clock = Arc::new(AtomicU64::new(0));
-        self.inner.clocks.lock().push(clock.clone());
+        let cv = Arc::new(Condvar::new());
+        let name: Arc<str> = Arc::from(name);
 
         let thread_inner = inner.clone();
         let thread_name = format!("sim-{}-{}", id.0, name);
         inner.obs.registry().counter("sim.actors.spawned").inc();
         let ctx = ActorCtx {
             id,
-            name: Arc::from(name),
+            name: name.clone(),
             kernel: thread_inner.clone(),
-            clock,
+            clock: clock.clone(),
+            cv: cv.clone(),
         };
         let join = std::thread::Builder::new()
             .name(thread_name)
@@ -214,11 +233,14 @@ impl SimKernel {
             .expect("failed to spawn actor thread");
 
         st.actors.push(ActorSlot {
-            name: name.to_string(),
+            name,
             state: ActorState::Starting,
             generation: 0,
             daemon,
             join: Some(join),
+            clock,
+            cv,
+            pending_wake: Some(SimTime::ZERO),
         });
         // Schedule the actor's first run at t=0 (or at the caller's time when
         // spawned from inside the simulation — see ActorCtx::spawn).
@@ -273,6 +295,11 @@ impl SimKernel {
                     st.horizon = st.horizon.max(ev.time);
                     let slot = &mut st.actors[ev.actor.0];
                     slot.state = ActorState::Running;
+                    slot.pending_wake = None;
+                    // Advance the actor's clock to the wake time; it may be
+                    // ahead already (e.g. a message arrived in its past).
+                    slot.clock.fetch_max(ev.time.as_nanos(), Ordering::Relaxed);
+                    let cv = slot.cv.clone();
                     st.current = Some(ev.actor);
                     if inner.trace_on() {
                         eprintln!(
@@ -280,12 +307,10 @@ impl SimKernel {
                             ev.time, ev.actor, st.actors[ev.actor.0].name
                         );
                     }
-                    // Advance the actor's clock to the wake time; it may be
-                    // ahead already (e.g. a message arrived in its past).
-                    let clock = inner.clocks.lock()[ev.actor.0].clone();
-                    clock.fetch_max(ev.time.as_nanos(), Ordering::Relaxed);
                     drop(st);
-                    inner.actors_cv.notify_all();
+                    // Wake exactly the chosen actor: a targeted notify, not a
+                    // broadcast over every parked actor thread.
+                    cv.notify_one();
                 }
                 None => {
                     // No events. Either we're done, or we're deadlocked.
@@ -293,7 +318,7 @@ impl SimKernel {
                         .actors
                         .iter()
                         .filter(|a| !a.daemon && a.state != ActorState::Done)
-                        .map(|a| a.name.clone())
+                        .map(|a| a.name.to_string())
                         .collect();
                     if blocked_nondaemon.is_empty() {
                         let end = st.horizon;
@@ -303,6 +328,7 @@ impl SimKernel {
                         let events = st.seq;
                         drop(st);
                         self.detach_threads();
+                        EVENTS_GLOBAL.fetch_add(events, Ordering::Relaxed);
                         inner.obs.registry().counter("sim.events.total").add(events);
                         // Close out the trace: final registry snapshot at the
                         // virtual end time, then flush the sink.
@@ -351,6 +377,8 @@ pub struct ActorCtx {
     name: Arc<str>,
     kernel: Arc<KernelInner>,
     clock: Arc<AtomicU64>,
+    /// This actor's private wake signal (also held by its `ActorSlot`).
+    cv: Arc<Condvar>,
 }
 
 impl ActorCtx {
@@ -459,8 +487,11 @@ impl ActorCtx {
         // Re-stamp the initial event from t=0 to the spawn time.
         let mut st = self.kernel.state.lock();
         // The freshly pushed event has generation 0; supersede it.
-        st.actors[id.0].generation += 1;
-        let generation = st.actors[id.0].generation;
+        let slot = &mut st.actors[id.0];
+        slot.generation += 1;
+        let generation = slot.generation;
+        slot.pending_wake = Some(start);
+        slot.clock.store(start.as_nanos(), Ordering::Relaxed);
         let seq = st.seq;
         st.seq += 1;
         st.queue.push(Reverse(Event {
@@ -469,7 +500,6 @@ impl ActorCtx {
             actor: id,
             generation,
         }));
-        self.kernel.clocks.lock()[id.0].store(start.as_nanos(), Ordering::Relaxed);
         drop(kernel); // temporary handle onto the shared kernel state
         id
     }
@@ -484,6 +514,7 @@ impl ActorCtx {
             let slot = &mut st.actors[self.id.0];
             slot.state = ActorState::Blocked;
             slot.generation += 1;
+            slot.pending_wake = wake_at;
             let generation = slot.generation;
             if let Some(t) = wake_at {
                 let seq = st.seq;
@@ -511,7 +542,7 @@ impl ActorCtx {
     fn wait_for_turn(&self) {
         let mut st = self.kernel.state.lock();
         while st.current != Some(self.id) {
-            self.kernel.actors_cv.wait(&mut st);
+            self.cv.wait(&mut st);
         }
     }
 
@@ -523,16 +554,30 @@ impl ActorCtx {
     /// and a woken actor re-checks its condition).
     pub(crate) fn wake_actor_at(&self, target: ActorId, t: SimTime) {
         let mut st = self.kernel.state.lock();
-        let slot = &st.actors[target.0];
+        let slot = &mut st.actors[target.0];
         if slot.state == ActorState::Done {
             return;
         }
         let generation = slot.generation;
-        let target_clock = SimTime(self.kernel.clocks.lock()[target.0].load(Ordering::Relaxed));
+        let target_clock = SimTime(slot.clock.load(Ordering::Relaxed));
+        let time = t.max(target_clock);
+        // Coalesce: a wake at or after one already queued for this
+        // generation can never fire (the earlier event runs the actor and
+        // its next block bumps the generation, staling this one), so skip
+        // the heap push. The sequence number still advances — `seq` is the
+        // deterministic tiebreak *and* the scheduled-event total, and both
+        // must not depend on heap occupancy.
+        let redundant = slot.pending_wake.is_some_and(|pw| pw <= time);
+        if !redundant {
+            slot.pending_wake = Some(time);
+        }
         let seq = st.seq;
         st.seq += 1;
+        if redundant {
+            return;
+        }
         st.queue.push(Reverse(Event {
-            time: t.max(target_clock),
+            time,
             seq,
             actor: target,
             generation,
@@ -559,10 +604,9 @@ impl Drop for Span<'_> {
         let end = self.ctx.now().as_nanos();
         let elapsed = end.saturating_sub(start);
         let reg = self.ctx.kernel.obs.registry();
-        reg.counter(&format!("{}.{}_ns", self.layer, self.op))
-            .add(elapsed);
-        reg.counter(&format!("{}.{}.calls", self.layer, self.op))
-            .inc();
+        let (ns, calls) = reg.span_counters(self.layer, self.op);
+        ns.add(elapsed);
+        calls.inc();
         self.ctx.trace(
             self.layer,
             self.op,

@@ -48,6 +48,7 @@ mod port;
 mod resource;
 mod stats;
 
+pub mod buf;
 pub mod cost;
 pub mod fault;
 pub mod host;
@@ -59,9 +60,10 @@ pub mod topo;
 /// `simnet::obs::...` without a separate dependency edge.
 pub use obs;
 
+pub use buf::{BufPool, Bytes};
 pub use fault::{DropCause, FaultPlan, FaultPlanBuilder};
 pub use host::{Cluster, CpuMeter, Host, HostId, HostMem, Stopwatch, VirtAddr};
-pub use kernel::{ActorCtx, ActorId, SimKernel, Span};
+pub use kernel::{events_scheduled_global, ActorCtx, ActorId, SimKernel, Span};
 pub use link::Link;
 pub use port::{Port, RecvUntil};
 pub use resource::Resource;

@@ -29,7 +29,9 @@ use simnet::cost::HostCost;
 use simnet::fault::FaultPlan;
 use simnet::time::units::*;
 use simnet::topo::Topology;
-use simnet::{ActorCtx, Bandwidth, Host, HostId, Port, RecvUntil, Resource, SimDuration, SimTime};
+use simnet::{
+    buf, ActorCtx, Bandwidth, Bytes, Host, HostId, Port, RecvUntil, Resource, SimDuration, SimTime,
+};
 
 /// Timing constants of the kernel network path.
 #[derive(Debug, Clone, Copy)]
@@ -105,7 +107,7 @@ impl std::fmt::Display for TcpError {
 impl std::error::Error for TcpError {}
 
 enum Chunk {
-    Data(Vec<u8>),
+    Data(Bytes),
     Fin,
 }
 
@@ -359,7 +361,24 @@ impl Socket {
 
     /// Send all of `bytes` (blocking send(2) semantics; charges the full
     /// sender-side CPU cost, then queues the wire transfer asynchronously).
+    /// The user→kernel copy happens here, into a pooled frame; everything
+    /// downstream shares the frame by reference.
     pub fn send(&self, ctx: &ActorCtx, bytes: &[u8]) {
+        let mut frame = buf::frame_pool().alloc(bytes.len());
+        frame[..bytes.len()].copy_from_slice(bytes);
+        self.send_bytes(ctx, frame.freeze());
+    }
+
+    /// [`Socket::send`] taking ownership of the buffer, skipping the
+    /// user→kernel copy in wall-clock terms (the simulated copy cost is
+    /// still charged — the real 2001 stack always copies).
+    pub fn send_owned(&self, ctx: &ActorCtx, bytes: Vec<u8>) {
+        self.send_bytes(ctx, Bytes::from_vec(bytes));
+    }
+
+    /// [`Socket::send`] over an already-refcounted frame: zero wall-clock
+    /// copies on the transmit side.
+    pub fn send_bytes(&self, ctx: &ActorCtx, bytes: Bytes) {
         let s = &self.inner;
         let n = bytes.len() as u64;
         s.local_host.compute(ctx, s.cost.send_cpu(n));
@@ -424,7 +443,7 @@ impl Socket {
             let mut last = s.last_deliver.lock();
             *last = (*last).max(deliver);
         }
-        s.peer_port.send(ctx, Chunk::Data(bytes.to_vec()), deliver);
+        s.peer_port.send(ctx, Chunk::Data(bytes), deliver);
     }
 
     /// Read exactly `n` bytes (blocking). Charges receiver-side CPU for the
@@ -447,7 +466,7 @@ impl Socket {
                 }
             }
             match s.incoming.recv(ctx) {
-                Some(Chunk::Data(d)) => s.buffer.lock().extend(d),
+                Some(Chunk::Data(d)) => s.buffer.lock().extend(d.as_slice()),
                 Some(Chunk::Fin) | None => {
                     *s.fin_seen.lock() = true;
                 }
@@ -483,7 +502,7 @@ impl Socket {
                 }
             }
             match s.incoming.recv_until(ctx, deadline) {
-                RecvUntil::Msg(Chunk::Data(d)) => s.buffer.lock().extend(d),
+                RecvUntil::Msg(Chunk::Data(d)) => s.buffer.lock().extend(d.as_slice()),
                 RecvUntil::Msg(Chunk::Fin) | RecvUntil::Closed => {
                     *s.fin_seen.lock() = true;
                 }
@@ -497,7 +516,7 @@ impl Socket {
         let s = &self.inner;
         while let Some(chunk) = s.incoming.try_recv(ctx) {
             match chunk {
-                Chunk::Data(d) => s.buffer.lock().extend(d),
+                Chunk::Data(d) => s.buffer.lock().extend(d.as_slice()),
                 Chunk::Fin => *s.fin_seen.lock() = true,
             }
         }

@@ -7,7 +7,7 @@
 //! application hands to `Vi::post_send` / `Vi::post_recv` and gets back from
 //! the completion calls.
 
-use simnet::{SimTime, VirtAddr};
+use simnet::{Bytes, SimTime, VirtAddr};
 
 use crate::mem::{MemError, MemHandle};
 
@@ -117,6 +117,13 @@ pub struct SendDesc {
     /// Immediate data delivered to the peer in the completion (forces a
     /// receive-descriptor consumption even for RDMA Write).
     pub imm: Option<u32>,
+    /// Zero-copy payload override: when set, the NIC sends these bytes
+    /// directly instead of gathering from the local segments' memory. The
+    /// segments still describe the transfer (they are TPT-checked and drive
+    /// every cost term exactly as before); only the bounce through the
+    /// registered staging region is skipped. This is the simulated form of
+    /// a zero-copy RDMA path: server page → wire → client buffer.
+    pub payload: Option<Bytes>,
 }
 
 impl SendDesc {
@@ -127,6 +134,7 @@ impl SendDesc {
             segs,
             remote: None,
             imm: None,
+            payload: None,
         }
     }
 
@@ -137,6 +145,7 @@ impl SendDesc {
             segs,
             remote: None,
             imm: Some(imm),
+            payload: None,
         }
     }
 
@@ -147,6 +156,7 @@ impl SendDesc {
             segs,
             remote: Some(remote),
             imm: None,
+            payload: None,
         }
     }
 
@@ -158,6 +168,7 @@ impl SendDesc {
             segs,
             remote: Some(remote),
             imm: Some(imm),
+            payload: None,
         }
     }
 
@@ -168,7 +179,15 @@ impl SendDesc {
             segs,
             remote: Some(remote),
             imm: None,
+            payload: None,
         }
+    }
+
+    /// Attach a zero-copy payload (must match the segments' total length;
+    /// checked at post time).
+    pub fn with_payload(mut self, payload: Bytes) -> SendDesc {
+        self.payload = Some(payload);
+        self
     }
 
     /// Total bytes named by the local segments.
@@ -220,6 +239,11 @@ pub struct Completion {
     /// delivered). Diagnostic; the actor's clock has already advanced to at
     /// least this instant when it observes the completion.
     pub at: SimTime,
+    /// The delivered frame, for receive completions of two-sided sends: a
+    /// zero-copy view of the same bytes the NIC scattered into the posted
+    /// receive buffer. Consumers that only parse the message can read this
+    /// view instead of copying the bytes back out of registered memory.
+    pub payload: Option<Bytes>,
 }
 
 #[cfg(test)]

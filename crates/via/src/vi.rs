@@ -15,7 +15,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use simnet::fault::FaultPlan;
 use simnet::topo::Topology;
-use simnet::{ActorCtx, Port, SimTime};
+use simnet::{buf, ActorCtx, Bytes, Port, SimTime};
 
 use crate::cq::{Cq, CqToken};
 use crate::desc::{Completion, RecvDesc, SendDesc, SendOp, ViaStatus, WhichQueue};
@@ -78,8 +78,9 @@ pub(crate) struct Arrived {
 }
 
 pub(crate) enum WireMsg {
-    /// Two-sided message payload.
-    Data { bytes: Vec<u8>, imm: Option<u32> },
+    /// Two-sided message payload: a shared view of the sender's gathered
+    /// frame (or zero-copy payload), never a per-hop copy.
+    Data { bytes: Bytes, imm: Option<u32> },
     /// RDMA Write with immediate data: payload already placed; this consumes
     /// a receive descriptor to signal the peer.
     RdmaWriteImm { imm: u32, len: u64 },
@@ -233,6 +234,7 @@ impl Vi {
                 imm: None,
                 queue: WhichQueue::Send,
                 at,
+                payload: None,
             },
         );
     }
@@ -319,6 +321,7 @@ impl Vi {
                     imm: None,
                     queue: WhichQueue::Send,
                     at: ctx.now(),
+                    payload: None,
                 },
             );
         }
@@ -340,6 +343,7 @@ impl Vi {
                         imm: None,
                         queue: WhichQueue::Send,
                         at: ctx.now(),
+                        payload: None,
                     },
                 );
             }
@@ -389,14 +393,28 @@ impl Vi {
         Ok((tx_done, rx_done + c.rx_nic_proc))
     }
 
-    fn gather(&self, desc: &SendDesc) -> Vec<u8> {
-        let mut bytes = Vec::with_capacity(desc.total_len() as usize);
-        for s in &desc.segs {
-            let mut part = vec![0u8; s.len as usize];
-            self.nic.host().mem.read(s.addr, &mut part);
-            bytes.extend_from_slice(&part);
+    /// Assemble the outgoing frame. With a zero-copy payload attached to
+    /// the descriptor, this is a refcount bump — the segments were already
+    /// TPT-checked and costed, and the bounce through registered staging
+    /// memory is skipped. Otherwise gather once from host memory into a
+    /// pooled frame buffer (the single copy of the send path).
+    fn gather(&self, desc: &SendDesc) -> Bytes {
+        if let Some(p) = &desc.payload {
+            assert_eq!(
+                p.len() as u64,
+                desc.total_len(),
+                "zero-copy payload length must match the descriptor segments"
+            );
+            return p.clone();
         }
-        bytes
+        let mut frame = buf::frame_pool().alloc(desc.total_len() as usize);
+        let mut off = 0usize;
+        for s in &desc.segs {
+            let n = s.len as usize;
+            self.nic.host().mem.read(s.addr, &mut frame[off..off + n]);
+            off += n;
+        }
+        frame.freeze()
     }
 
     fn do_send(&self, ctx: &ActorCtx, desc: SendDesc) {
@@ -410,6 +428,7 @@ impl Vi {
                     imm: None,
                     queue: WhichQueue::Send,
                     at: ctx.now(),
+                    payload: None,
                 },
             );
         }
@@ -443,6 +462,7 @@ impl Vi {
                 imm: None,
                 queue: WhichQueue::Send,
                 at: tx_done,
+                payload: None,
             },
         );
     }
@@ -459,6 +479,7 @@ impl Vi {
                         imm: None,
                         queue: WhichQueue::Send,
                         at: ctx.now(),
+                        payload: None,
                     },
                 )
             }
@@ -482,6 +503,7 @@ impl Vi {
                     imm: None,
                     queue: WhichQueue::Send,
                     at: ctx.now(),
+                    payload: None,
                 },
             );
         }
@@ -517,6 +539,7 @@ impl Vi {
                 imm: None,
                 queue: WhichQueue::Send,
                 at: tx_done,
+                payload: None,
             },
         );
     }
@@ -531,6 +554,7 @@ impl Vi {
                     imm: None,
                     queue: WhichQueue::Send,
                     at: ctx.now(),
+                    payload: None,
                 },
             );
         }
@@ -545,6 +569,7 @@ impl Vi {
                         imm: None,
                         queue: WhichQueue::Send,
                         at: ctx.now(),
+                        payload: None,
                     },
                 )
             }
@@ -566,6 +591,7 @@ impl Vi {
                     imm: None,
                     queue: WhichQueue::Send,
                     at: ctx.now(),
+                    payload: None,
                 },
             );
         }
@@ -606,7 +632,11 @@ impl Vi {
             delivery = f.jitter(ctx, src, dst, delivery);
         }
         // Scatter remote bytes into the local segments.
-        let bytes = self.peer_nic.host().mem.read_vec(remote.addr, len as usize);
+        let bytes = self
+            .peer_nic
+            .host()
+            .mem
+            .read_bytes(remote.addr, len as usize);
         let mut off = 0usize;
         for s in &desc.segs {
             self.nic
@@ -623,6 +653,7 @@ impl Vi {
                 imm: None,
                 queue: WhichQueue::Send,
                 at: delivery,
+                payload: None,
             },
         );
     }
@@ -661,6 +692,7 @@ impl Vi {
                 imm: None,
                 queue: WhichQueue::Recv,
                 at: ctx.now(),
+                payload: None,
             },
         }
     }
@@ -677,6 +709,7 @@ impl Vi {
                     imm: None,
                     queue: WhichQueue::Recv,
                     at,
+                    payload: None,
                 }
             }
             WireMsg::Broken => {
@@ -687,6 +720,7 @@ impl Vi {
                     imm: None,
                     queue: WhichQueue::Recv,
                     at,
+                    payload: None,
                 }
             }
             WireMsg::RdmaWriteImm { imm, len } => match self.take_posted(at) {
@@ -696,6 +730,7 @@ impl Vi {
                     imm: Some(imm),
                     queue: WhichQueue::Recv,
                     at,
+                    payload: None,
                 },
                 None => self.missing_descriptor(ctx, at),
             },
@@ -709,6 +744,7 @@ impl Vi {
                             imm,
                             queue: WhichQueue::Recv,
                             at,
+                            payload: None,
                         };
                     }
                     // Scatter: NIC data placement, no host CPU charge.
@@ -721,12 +757,17 @@ impl Vi {
                         self.nic.host().mem.write(s.addr, &bytes[off..off + n]);
                         off += n;
                     }
+                    let len = bytes.len() as u64;
                     Completion {
                         status: ViaStatus::Success,
-                        len: bytes.len() as u64,
+                        len,
                         imm,
                         queue: WhichQueue::Recv,
                         at,
+                        // Hand the receiver a view of the same frame the NIC
+                        // just placed, so it can parse without re-reading
+                        // (and re-copying) the posted buffer.
+                        payload: Some(bytes),
                     }
                 }
             },
@@ -752,6 +793,7 @@ impl Vi {
                 imm: None,
                 queue: WhichQueue::Recv,
                 at,
+                payload: None,
             },
             Reliability::Reliable => {
                 *self.local.state.lock() = ViState::Error;
@@ -761,6 +803,7 @@ impl Vi {
                     imm: None,
                     queue: WhichQueue::Recv,
                     at,
+                    payload: None,
                 }
             }
         }

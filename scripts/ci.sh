@@ -56,14 +56,24 @@ echo "$f10_out" | grep -q "oversub" || {
     exit 1
 }
 
+echo "==> R-K1 kernel-speed floor (wall-clock events/s regression gate)"
+# The simulator itself must stay fast: the smoke-size kernel microbench
+# has to dispatch at least this many events per wall-clock second on
+# every workload shape. The floor is ~10x below what the zero-copy /
+# per-actor-condvar kernel measures on a quiet machine, so it only trips
+# on a genuine dispatch-path regression, not scheduler noise.
+cargo run --release -p mpio-dafs-bench --bin kernel_speed -- --smoke --floor 20000
+
 echo "==> bench suite byte-identity under MPIO_DAFS_CACHE=disable"
 # The client cache must be invisible when disabled: the full suite, run
 # with the cache hint forced off via the env override, must emit exactly
 # the checked-in goldens (which the default-env run also must match,
 # since dafs_cache defaults to off).
-# R-F10's wall-clock note is real elapsed time (nondeterministic by
-# design), so both diffs filter it; every other line — including the
-# rest of the R-F10 tables — is compared byte-for-byte.
+# Wall-clock lines are real elapsed time (nondeterministic by design):
+# the per-table harness throughput notes in the rendered text, R-F10's
+# embedded cell note, and the R-K1 microbench (whose title carries the
+# marker, excluding its whole JSON line). Both diffs filter them; every
+# other line is compared byte-for-byte.
 tmp_json=$(mktemp) tmp_txt=$(mktemp)
 MPIO_DAFS_CACHE=disable MPIO_DAFS_JSON="$tmp_json" \
     cargo run --release -p mpio-dafs-bench --bin all_experiments >"$tmp_txt"
@@ -73,10 +83,10 @@ diff -u "$tmp_txt.golden" "$tmp_txt.got" || {
     echo "ci: bench_output.txt differs under MPIO_DAFS_CACHE=disable" >&2
     exit 1
 }
-grep -v 'wall-clock' BENCH_7.json >"$tmp_json.golden"
+grep -v 'wall-clock' BENCH_8.json >"$tmp_json.golden"
 grep -v 'wall-clock' "$tmp_json" >"$tmp_json.got"
 diff -u "$tmp_json.golden" "$tmp_json.got" || {
-    echo "ci: BENCH_7.json differs under MPIO_DAFS_CACHE=disable" >&2
+    echo "ci: BENCH_8.json differs under MPIO_DAFS_CACHE=disable" >&2
     exit 1
 }
 rm -f "$tmp_json" "$tmp_txt" "$tmp_txt.golden" "$tmp_txt.got" "$tmp_json.golden" "$tmp_json.got"

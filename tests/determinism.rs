@@ -435,6 +435,194 @@ fn incast_end_ns(switched: bool) -> u64 {
     kernel.run().as_nanos()
 }
 
+// --- payload aliasing --------------------------------------------------------
+//
+// The zero-copy payload path shares refcounted `Bytes` views of server
+// pages and pooled wire frames instead of copying at every layer. The
+// property that makes that safe: a buffer, once published (handed to a
+// descriptor, stashed in a reply cache, delivered to a consumer), must
+// never change — no matter what the file or the pool does afterwards.
+
+use mpio_dafs::simnet::buf;
+
+/// Deterministic xorshift so the property test needs no rand crate.
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+#[test]
+fn published_file_views_survive_later_writes() {
+    // memfs hands out refcounted views of its page data; a later write to
+    // the same file must copy-on-write, never mutate the published view.
+    let fs = MemFs::new();
+    let attr = fs.create(ROOT_ID, "cow").unwrap();
+    let size = 64usize << 10;
+    let base: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+    fs.write(attr.id, 0, &base).unwrap();
+
+    let mut rng = Rng(0x0B0F_5EED);
+    let mut published: Vec<(u64, Vec<u8>, buf::Bytes)> = Vec::new();
+    for _ in 0..100 {
+        let off = rng.next() % (size as u64 - 1);
+        let len = 1 + rng.next() % (size as u64 - off);
+        let view = fs.read_bytes(attr.id, off, len).unwrap();
+        let expect = fs.read(attr.id, off, len).unwrap();
+        assert_eq!(view, expect, "view disagrees with copying read");
+        published.push((off, expect, view));
+        // Overwrite a random overlapping range with fresh bytes.
+        let woff = rng.next() % (size as u64);
+        let wlen = (1 + rng.next() % 4096).min(size as u64 - woff) as usize;
+        let fill = vec![(rng.next() % 256) as u8; wlen];
+        fs.write(attr.id, woff, &fill).unwrap();
+        // Every previously published view still reads its original bytes.
+        for (o, snap, v) in &published {
+            assert_eq!(
+                v, snap,
+                "write at {woff} mutated a view published at offset {o}"
+            );
+        }
+    }
+}
+
+#[test]
+fn frozen_pool_frames_survive_pool_reuse() {
+    // Wire frames come from a recycling pool; freezing one must pin its
+    // storage until the last reference drops, no matter how much the pool
+    // churns afterwards.
+    let mut kept = Vec::new();
+    for round in 0..8u8 {
+        let len = 1024 + 512 * round as usize;
+        let mut frame = buf::frame_pool().alloc(len);
+        frame[..len].fill(round + 1);
+        kept.push((round, len, frame.freeze()));
+        // Churn the pool hard with junk of assorted sizes.
+        for i in 0..32usize {
+            let mut junk = buf::frame_pool().alloc(256 + i * 64);
+            junk[..].fill(0xEE);
+            drop(junk.freeze());
+        }
+        for (r, l, b) in &kept {
+            assert_eq!(b.len(), *l);
+            assert!(
+                b.iter().all(|&x| x == r + 1),
+                "pool churn clobbered a frozen frame from round {r}"
+            );
+        }
+    }
+}
+
+#[test]
+fn subslices_alias_their_parent_without_copying() {
+    // slice() must be a view (same backing storage), and equal views must
+    // stay independent of the parent's lifetime.
+    let parent = buf::Bytes::from_vec((0u16..2048).map(|i| (i % 256) as u8).collect());
+    let mid = parent.slice(512..1536);
+    assert_eq!(mid.len(), 1024);
+    // Zero-cost: the sub-view points into the parent's storage.
+    let p = parent.as_slice().as_ptr() as usize;
+    let m = mid.as_slice().as_ptr() as usize;
+    assert_eq!(m - p, 512, "slice() copied instead of aliasing");
+    let of_mid = mid.slice(100..200);
+    drop(parent);
+    drop(mid);
+    // Still valid and correct after every other handle is gone.
+    assert_eq!(
+        of_mid.as_slice(),
+        &(0u16..2048).map(|i| (i % 256) as u8).collect::<Vec<_>>()[612..712]
+    );
+}
+
+#[test]
+fn delivered_read_is_immune_to_concurrent_overwrite() {
+    // End to end through the zero-copy read path: a client reads a region
+    // while another client overwrites it. Each read request snapshots one
+    // refcounted server page view, so the delivered bytes must be all-old
+    // or all-new — never a torn mix of the two — even though the server
+    // never copies the page into a staging buffer anymore.
+    use std::sync::Mutex;
+    let kernel = SimKernel::new();
+    let cluster = Cluster::new();
+    let fabric = Arc::new(ViaFabric::new(mpio_dafs::via::ViaCost::default()));
+    let server_host = cluster.add_host("server0");
+    let nic = fabric.open_nic(server_host);
+    let fs = MemFs::new();
+    let len = 64usize << 10; // single direct/RDMA read per request
+    {
+        let attr = fs.create(ROOT_ID, "shared").unwrap();
+        fs.write(attr.id, 0, &vec![0xAAu8; len]).unwrap();
+    }
+    let _srv = mpio_dafs::dafs::spawn_dafs_server(
+        &kernel,
+        &fabric,
+        nic,
+        fs.clone(),
+        2049,
+        DafsServerCost::default(),
+    );
+    let got = Arc::new(Mutex::new(Vec::new()));
+    {
+        let (fabric, got) = (fabric.clone(), got.clone());
+        let host = cluster.add_host("reader");
+        kernel.spawn("reader", move |ctx| {
+            let nic = fabric.open_nic(host.clone());
+            let c = DafsClient::connect(
+                ctx,
+                &fabric,
+                &nic,
+                mpio_dafs::simnet::HostId(0),
+                2049,
+                DafsClientConfig::default(),
+            )
+            .unwrap();
+            let f = c.lookup(ctx, ROOT_ID, "shared").unwrap();
+            let buf = host.mem.alloc(len);
+            assert_eq!(c.read(ctx, f.id, 0, buf, len as u64).unwrap(), len as u64);
+            *got.lock().unwrap() = host.mem.read_vec(buf, len);
+            c.disconnect(ctx);
+        });
+    }
+    {
+        let fabric = fabric.clone();
+        let host = cluster.add_host("writer");
+        kernel.spawn("writer", move |ctx| {
+            let nic = fabric.open_nic(host.clone());
+            let c = DafsClient::connect(
+                ctx,
+                &fabric,
+                &nic,
+                mpio_dafs::simnet::HostId(0),
+                2049,
+                DafsClientConfig::default(),
+            )
+            .unwrap();
+            let f = c.lookup(ctx, ROOT_ID, "shared").unwrap();
+            let buf = host.mem.alloc(len);
+            host.mem.fill(buf, len, 0xBB);
+            c.write(ctx, f.id, 0, buf, len as u64).unwrap();
+            c.disconnect(ctx);
+        });
+    }
+    kernel.run();
+    let got = got.lock().unwrap();
+    assert_eq!(got.len(), len);
+    assert!(
+        got.iter().all(|&b| b == 0xAA) || got.iter().all(|&b| b == 0xBB),
+        "torn read: delivered frame mixed old and new bytes"
+    );
+    let attr = fs.resolve("/shared").unwrap();
+    assert!(fs
+        .read(attr.id, 0, attr.size)
+        .unwrap()
+        .iter()
+        .all(|&b| b == 0xBB));
+}
+
 #[test]
 fn one_switch_cut_through_is_byte_identical_to_the_wire() {
     // The structural claim the whole integration rests on: existing
