@@ -1,0 +1,21 @@
+//! Run the multi-tenant QoS fairness experiment:
+//! `cargo run -p mpio-dafs-bench --release --bin x6_qos_fairness [-- --smoke]`.
+//!
+//! `--smoke` shrinks the small-op tenant's op count (40 instead of 200)
+//! for quick CI validation; the table shape, both scheduler runs, and the
+//! wfq<fifo p99 ordering assertion are the same (only the full run
+//! enforces the >=5x p99-improvement bound — smoke quantiles are too
+//! coarse to pin a ratio).
+fn main() {
+    let mut small_ops = mpio_dafs_bench::x6_qos_fairness::DEFAULT_SMALL_OPS;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--smoke" => small_ops = 40,
+            other => {
+                eprintln!("unknown argument: {other} (supported: --smoke)");
+                std::process::exit(2);
+            }
+        }
+    }
+    mpio_dafs_bench::x6_qos_fairness::run_with(small_ops).print();
+}

@@ -161,7 +161,7 @@ fn sweep_case(servers: usize, clients: usize, oversub: u64, policy: QueuePolicy)
         }
     }
     let snap = run.snapshot();
-    let counter = |name: &str| snap.get(name).map(|e| e.value()).unwrap_or(0);
+    let counter = |name: &str| snap.expect(name).value();
     CaseOut {
         agg_mb_s: mb_per_s(clients as u64 * PER_CLIENT, span.get()),
         trunk_qdepth_max: qmax,

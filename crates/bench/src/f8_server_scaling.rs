@@ -101,11 +101,7 @@ fn striped_case(
         },
     );
     let total = clients as u64 * per_client;
-    let reconnects = obs
-        .snapshot()
-        .get("dafs.reconnects")
-        .map(|e| e.value())
-        .unwrap_or(0);
+    let reconnects = obs.snapshot().expect("dafs.reconnects").value();
     (
         mb_per_s(total, wspan.get()),
         mb_per_s(total, rspan.get()),

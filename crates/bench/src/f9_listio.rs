@@ -103,11 +103,7 @@ fn strided_case(
             "corrupt strided read-back ({block}/{stride})"
         );
     });
-    let list_reqs = report
-        .snapshot
-        .get("dafs.list.reqs")
-        .map(|e| e.value())
-        .unwrap_or(0);
+    let list_reqs = report.snapshot.expect("dafs.list.reqs").value();
     let image = if raw_image {
         let attr = fs.resolve("/f9").unwrap();
         fs.read(attr.id, 0, attr.size).unwrap()

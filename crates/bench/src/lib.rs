@@ -34,6 +34,7 @@ pub mod x2_mixed_workload;
 pub mod x3_latency_sensitivity;
 pub mod x4_bandwidth_under_loss;
 pub mod x5_small_op_cache;
+pub mod x6_qos_fairness;
 
 pub use report::Table;
 
@@ -64,6 +65,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("X-3", x3_latency_sensitivity::run),
         ("X-4", x4_bandwidth_under_loss::run),
         ("X-5", x5_small_op_cache::run),
+        ("X-6", x6_qos_fairness::run),
         ("R-K1", kernel_speed::run),
     ]
 }

@@ -95,7 +95,7 @@ fn verify_regcache_invariants(use_regcache: bool) {
     // The metrics registry and the client-local counters are independent
     // accounting paths; they must agree.
     let snap = obs.snapshot();
-    let counter = |n: &str| snap.get(n).map(|e| e.value()).unwrap_or(0);
+    let counter = |n: &str| snap.expect(n).value();
     assert_eq!(counter("dafs.regcache.hits"), stats[0].get());
     assert_eq!(counter("dafs.regcache.misses"), stats[1].get());
     assert_eq!(counter("dafs.regcache.evictions"), stats[2].get());

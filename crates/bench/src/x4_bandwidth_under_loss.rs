@@ -82,7 +82,7 @@ fn dafs_case(seed: u64, loss: f64) -> (f64, f64, u64, u64) {
         },
     );
     let snap = obs.snapshot();
-    let counter = |n: &str| snap.get(n).map(|e| e.value()).unwrap_or(0);
+    let counter = |n: &str| snap.expect(n).value();
     (
         mb_per_s(FILE, wtime.get()),
         mb_per_s(FILE, rtime.get()),
@@ -125,7 +125,7 @@ fn nfs_case(seed: u64, loss: f64) -> (f64, f64, u64) {
         },
     );
     let snap = obs.snapshot();
-    let retrans = snap.get("nfs.retrans").map(|e| e.value()).unwrap_or(0);
+    let retrans = snap.expect("nfs.retrans").value();
     (
         mb_per_s(FILE, wtime.get()),
         mb_per_s(FILE, rtime.get()),

@@ -107,7 +107,7 @@ fn case(clients: usize, cached: bool, rounds: u64, plan: Option<FaultPlan>) -> C
         },
     );
     let snap = obs.snapshot();
-    let counter = |n: &str| snap.get(n).map(|e| e.value()).unwrap_or(0);
+    let counter = |n: &str| snap.expect(n).value();
     let ns = elapsed.get();
     let ops = clients as u64 * rounds * (REGION / REQ + GETATTRS_PER_ROUND);
     CaseOut {

@@ -266,7 +266,10 @@ pub struct DafsClient {
     server: HostId,
     port: u16,
     config: DafsClientConfig,
-    caps: ServerCaps,
+    caps: Mutex<ServerCaps>,
+    /// QoS tenant binding declared to the server (config, or a later
+    /// [`DafsClient::declare_tenant`]); re-declared on every reconnect.
+    tenant: Mutex<Option<(u64, u32)>>,
     /// Stable client identity across reconnects: the VI id of the first
     /// session (fabric-scoped, so identical runs get identical ids).
     client_id: u64,
@@ -329,11 +332,12 @@ impl DafsClient {
             server,
             port,
             config,
-            caps: ServerCaps {
+            caps: Mutex::new(ServerCaps {
                 rdma_read: false,
                 credits: config.credits,
                 inline_max: config.inline_max,
-            },
+            }),
+            tenant: Mutex::new(config.tenant),
             client_id,
             reqid: AtomicU32::new(1),
             req_ring: Mutex::new(req_ring),
@@ -351,8 +355,7 @@ impl DafsClient {
         // reconnect treatment as any other request.
         let mut attempt = 0u32;
         let resp = loop {
-            let mut e = Enc::new();
-            e.u64(client_id);
+            let mut e = Self::hello_args(client_id, config.tenant);
             let reqid = client.post_request(ctx, DafsOp::Hello, &mut e);
             match client.wait_response(ctx, reqid) {
                 Ok(r) => break r,
@@ -365,37 +368,94 @@ impl DafsClient {
                 Err(e) => return Err(e),
             }
         };
-        let mut d = Dec::new(&resp);
-        let (_, status) = proto::dec_resp_header(&mut d).map_err(|_| DafsError::Protocol)?;
-        if status != DafsStatus::Ok {
-            return Err(DafsError::Status(status));
-        }
-        let rdma_read = d.u8().map_err(|_| DafsError::Protocol)? != 0;
-        let credits = d.u32().map_err(|_| DafsError::Protocol)?;
-        let inline_max = d.u64().map_err(|_| DafsError::Protocol)?;
-        let mut client = client;
-        client.caps = ServerCaps {
-            rdma_read,
-            credits,
-            inline_max: inline_max.min(client.config.inline_max),
-        };
+        let payload = Self::decode_resp(&resp)?;
+        let caps = client.apply_hello_caps(&payload)?;
         ctx.metrics().counter("dafs.sessions").inc();
+        // Pre-register the event counters benches read back, so a run where
+        // the event never fires still snapshots an explicit zero and checked
+        // lookups (`Snapshot::expect`) can tell "never happened" from a typo.
+        for name in [
+            "dafs.reconnects",
+            "dafs.direct_fallbacks",
+            "dafs.list.reqs",
+            "dafs.regcache.hits",
+            "dafs.regcache.misses",
+            "dafs.regcache.evictions",
+            "dafs.cache.hits",
+            "dafs.cache.attr_hits",
+        ] {
+            let _ = ctx.metrics().counter(name);
+        }
         ctx.trace(
             "dafs",
             "session.connect",
             &[
                 ("server", obs::Value::U64(server.0 as u64)),
-                ("rdma_read", obs::Value::Bool(client.caps.rdma_read)),
-                ("credits", obs::Value::U64(client.caps.credits as u64)),
-                ("inline_max", obs::Value::U64(client.caps.inline_max)),
+                ("rdma_read", obs::Value::Bool(caps.rdma_read)),
+                ("credits", obs::Value::U64(caps.credits as u64)),
+                ("inline_max", obs::Value::U64(caps.inline_max)),
             ],
         );
         Ok(client)
     }
 
-    /// The capabilities negotiated at session setup.
+    /// Encode a `Hello` body: the stable client id plus the optional QoS
+    /// tenant extension `(tenant id u64, weight u32)`.
+    fn hello_args(client_id: u64, tenant: Option<(u64, u32)>) -> Enc {
+        let mut e = Enc::new();
+        e.u64(client_id);
+        if let Some((t, w)) = tenant {
+            e.u64(t);
+            e.u32(w);
+        }
+        e
+    }
+
+    /// Decode a `Hello` reply payload (after the response header) and
+    /// install the negotiated capabilities.
+    fn apply_hello_caps(&self, payload: &[u8]) -> DafsResult<ServerCaps> {
+        let mut d = Dec::new(payload);
+        let rdma_read = d.u8().map_err(|_| DafsError::Protocol)? != 0;
+        let credits = d.u32().map_err(|_| DafsError::Protocol)?;
+        let inline_max = d.u64().map_err(|_| DafsError::Protocol)?;
+        let caps = ServerCaps {
+            rdma_read,
+            credits,
+            inline_max: inline_max.min(self.config.inline_max),
+        };
+        *self.caps.lock() = caps;
+        Ok(caps)
+    }
+
+    /// The capabilities negotiated at session setup (and re-negotiated by
+    /// [`DafsClient::declare_tenant`] or a reconnect).
     pub fn caps(&self) -> ServerCaps {
-        self.caps
+        *self.caps.lock()
+    }
+
+    /// The stable client id the server keys its replay cache by.
+    pub fn client_id(&self) -> u64 {
+        self.client_id
+    }
+
+    /// Declare this session's QoS tenant binding (the `dafs_qos` hint
+    /// path): a fresh `Hello` carries `(tenant, weight)`, and the reply's —
+    /// possibly throttled — credit window replaces the session's negotiated
+    /// caps. The binding sticks for the life of the client and is
+    /// re-declared on every reconnect.
+    pub fn declare_tenant(
+        &self,
+        ctx: &ActorCtx,
+        tenant: u64,
+        weight: u32,
+    ) -> DafsResult<ServerCaps> {
+        *self.tenant.lock() = Some((tenant, weight));
+        // Ride the retryable path: a declaration must survive the same
+        // transport faults any other control op does (Hello re-executes
+        // idempotently, so replays are harmless).
+        let mut e = Self::hello_args(self.client_id, Some((tenant, weight)));
+        let payload = self.call(ctx, DafsOp::Hello, &mut e)?;
+        self.apply_hello_caps(&payload)
     }
 
     /// The session's configuration.
@@ -677,14 +737,15 @@ impl DafsClient {
         self.regcache.retarget(ctx, tag);
         *self.vi.lock() = vi;
         // Re-introduce ourselves so the server re-keys its replay cache to
-        // this client's stable id.
-        let mut e = Enc::new();
-        e.u64(self.client_id);
+        // this client's stable id; a declared tenant binding rides along so
+        // the scheduler keeps treating the new session as the same tenant.
+        let mut e = Self::hello_args(self.client_id, *self.tenant.lock());
         let hello = std::mem::take(&mut e).finish();
         let reqid = self.next_reqid();
         self.post_request_raw(ctx, reqid, DafsOp::Hello, &hello);
         let resp = self.wait_response(ctx, reqid)?;
-        Self::decode_resp(&resp).map(|_| ())
+        let payload = Self::decode_resp(&resp)?;
+        self.apply_hello_caps(&payload).map(|_| ())
     }
 
     fn call_attr(&self, ctx: &ActorCtx, op: DafsOp, args: &mut Enc) -> DafsResult<FileAttr> {
@@ -779,7 +840,7 @@ impl DafsClient {
     /// Bounded by the session's inline limit (protocol message size).
     pub fn append(&self, ctx: &ActorCtx, fh: NodeId, data: &[u8]) -> DafsResult<u64> {
         assert!(
-            data.len() as u64 <= self.caps.inline_max,
+            data.len() as u64 <= self.caps().inline_max,
             "append record exceeds the inline limit"
         );
         let mut e = Enc::new();
@@ -1425,7 +1486,7 @@ impl DafsClient {
     ) -> DafsResult<u64> {
         let mut done = 0u64;
         while done < len {
-            let n = (len - done).min(self.caps.inline_max);
+            let n = (len - done).min(self.caps().inline_max);
             let mut e = Enc::new();
             e.u64(fh.0).u64(off).u64(n);
             let payload = self.call(ctx, DafsOp::ReadInline, &mut e)?;
@@ -1461,7 +1522,7 @@ impl DafsClient {
         len: u64,
     ) -> DafsResult<FileAttr> {
         let _span = ctx.span("dafs", "write");
-        let direct = self.is_direct(len) && self.caps.rdma_read;
+        let direct = self.is_direct(len) && self.caps().rdma_read;
         ctx.trace(
             "dafs",
             "xfer",
@@ -1507,7 +1568,7 @@ impl DafsClient {
             return Ok(a);
         }
         // Inline path (small writes, or the cLAN no-RDMA-Read fallback).
-        if len <= self.caps.inline_max {
+        if len <= self.caps().inline_max {
             let data = self.nic.host().mem.read_bytes(src, len as usize);
             // App buffer into the message buffer (charged in post_request as
             // part of the body copy).
@@ -1568,7 +1629,7 @@ impl DafsClient {
     ) -> DafsResult<u64> {
         let mut done = 0u64;
         while done < len {
-            let n = (len - done).min(self.caps.inline_max);
+            let n = (len - done).min(self.caps().inline_max);
             let data = self.nic.host().mem.read_bytes(src.offset(done), n as usize);
             let mut e = Enc::new();
             e.u64(fh.0).u64(off + done).bytes(&data);
@@ -1612,7 +1673,7 @@ impl DafsClient {
             } else {
                 let mut done = 0u64;
                 loop {
-                    let n = (r.len - done).min(self.caps.inline_max);
+                    let n = (r.len - done).min(self.caps().inline_max);
                     subs.push(Sub {
                         owner: i,
                         fh: r.fh,
@@ -1633,7 +1694,7 @@ impl DafsClient {
     }
 
     fn expand_write_subs(&self, reqs: &[WriteReq]) -> Vec<Sub> {
-        let direct_ok = self.caps.rdma_read;
+        let direct_ok = self.caps().rdma_read;
         let mut subs = Vec::new();
         for (i, r) in reqs.iter().enumerate() {
             if self.is_direct(r.len) && direct_ok {
@@ -1649,7 +1710,7 @@ impl DafsClient {
             } else {
                 let mut done = 0u64;
                 loop {
-                    let n = (r.len - done).min(self.caps.inline_max);
+                    let n = (r.len - done).min(self.caps().inline_max);
                     subs.push(Sub {
                         owner: i,
                         fh: r.fh,
@@ -1729,7 +1790,7 @@ impl DafsClient {
     /// single registration; the rest split further into inline-sized list
     /// messages (the no-RDMA-Read write fallback also lands here).
     fn expand_list_subs(&self, reqs: &[ListReq], write: bool) -> Vec<Sub> {
-        let direct_ok = !write || self.caps.rdma_read;
+        let direct_ok = !write || self.caps().rdma_read;
         let mut subs = Vec::new();
         for (i, r) in reqs.iter().enumerate() {
             for group in Self::chunk_segs(&r.segs, proto::LIST_MAX_SEGMENTS, u64::MAX) {
@@ -1738,7 +1799,7 @@ impl DafsClient {
                     subs.push(Self::list_sub(i, r, group, total, true));
                 } else {
                     for g in
-                        Self::chunk_segs(&group, proto::LIST_MAX_SEGMENTS, self.caps.inline_max)
+                        Self::chunk_segs(&group, proto::LIST_MAX_SEGMENTS, self.caps().inline_max)
                     {
                         let t: u64 = g.iter().map(|s| s.1).sum();
                         subs.push(Self::list_sub(i, r, g, t, false));
@@ -1859,7 +1920,7 @@ impl DafsClient {
 
     /// Top up the posted window from the batch's unposted sub list.
     fn batch_fill(&self, ctx: &ActorCtx, b: &mut DafsBatch) {
-        let window = self.caps.credits.max(1) as usize;
+        let window = self.caps().credits.max(1) as usize;
         while b.next < b.subs.len() && b.inflight.len() < window {
             let (id, handle, transient) = self.post_sub(ctx, b.dir, &b.subs[b.next]);
             b.inflight.push_back((id, b.next, handle, transient));

@@ -72,6 +72,11 @@ pub struct DafsClientConfig {
     /// the client until flush, recall, or close. Off by default — cached
     /// writes then write through under the read lease.
     pub cache_write_back: bool,
+    /// QoS tenant declaration `(tenant id, weight)` carried in the session
+    /// `Hello`. `None` (default) declares nothing — the session schedules
+    /// as best-effort and the Hello wire bytes are unchanged. Only a server
+    /// running a fairness policy acts on the weight.
+    pub tenant: Option<(u64, u32)>,
 }
 
 impl Default for DafsClientConfig {
@@ -89,6 +94,7 @@ impl Default for DafsClientConfig {
             cache_page: 4 << 10,
             cache_capacity: 1024,
             cache_write_back: false,
+            tenant: None,
         }
     }
 }

@@ -26,6 +26,7 @@ mod wire;
 
 pub mod cost;
 pub mod regcache;
+pub mod sched;
 pub mod striped;
 
 pub use client::{
@@ -38,7 +39,8 @@ pub use proto::{
     LIST_MAX_SEGMENTS,
 };
 pub use regcache::RegCacheStats;
-pub use server::{spawn_dafs_server, DafsServerHandle, DafsServerStats};
+pub use sched::{SchedPolicy, WfqParams};
+pub use server::{spawn_dafs_server, spawn_dafs_server_sched, DafsServerHandle, DafsServerStats};
 pub use striped::{DafsStripedBatch, DafsStripedFile};
 
 #[cfg(test)]

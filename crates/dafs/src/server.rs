@@ -22,7 +22,7 @@
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use memfs::{MemFs, NodeId, SetAttr};
-use simnet::{ActorCtx, ByteMeter, Bytes, Counter, Host, Port, SimKernel, VirtAddr};
+use simnet::{ActorCtx, ByteMeter, Bytes, Counter, Host, Port, SimKernel, SimTime, VirtAddr};
 use via::{
     Cq, DataSegment, MemAttributes, MemHandle, RecvDesc, RemoteSegment, SendDesc, Vi, ViAttributes,
     ViId, ViState, ViaFabric, ViaNic, ViaStatus, WhichQueue,
@@ -30,6 +30,7 @@ use via::{
 
 use crate::cost::DafsServerCost;
 use crate::proto::{self, DafsOp, DafsStatus};
+use crate::sched::{self, QueuedReq, RequestSched, SchedPolicy};
 use crate::wire::{Dec, Enc};
 
 /// Message-buffer size for each session slot: inline_max plus header slack.
@@ -110,7 +111,26 @@ struct RecallState {
     blocked: Vec<(ViId, Vec<u8>)>,
 }
 
-/// Start a DAFS server on `nic`'s host, exporting `fs` at `port`.
+/// High-half base for synthetic client ids handed to legacy (cid-less)
+/// Hellos; real client ids are VI ids (small integers), so the two ranges
+/// never collide.
+const LEGACY_CID_BASE: u64 = 1 << 63;
+
+/// Per-worker QoS state: the pluggable dispatch scheduler plus the tenant
+/// bindings the `Hello` handler feeds it.
+struct QosState {
+    /// Dispatch-order policy (FIFO by default; WFQ when configured).
+    sched: Box<dyn RequestSched>,
+    /// Tenant binding per live session: `(tenant id, weight)`.
+    tenants: HashMap<ViId, (u64, u32)>,
+    /// Allocator for synthetic client ids handed to legacy Hellos, so two
+    /// cid-less clients never share a replay-cache identity.
+    next_legacy_cid: u64,
+}
+
+/// Start a DAFS server on `nic`'s host, exporting `fs` at `port`. The
+/// dispatch policy comes from the `MPIO_DAFS_SCHED` environment variable
+/// ([`sched::policy_from_env`]); unset means the historical FIFO order.
 pub fn spawn_dafs_server(
     kernel: &SimKernel,
     fabric: &ViaFabric,
@@ -118,6 +138,28 @@ pub fn spawn_dafs_server(
     fs: MemFs,
     port: u16,
     cost: DafsServerCost,
+) -> DafsServerHandle {
+    spawn_dafs_server_sched(
+        kernel,
+        fabric,
+        nic,
+        fs,
+        port,
+        cost,
+        sched::policy_from_env(),
+    )
+}
+
+/// [`spawn_dafs_server`] with an explicit request-scheduling policy sitting
+/// between session receive and op dispatch (see [`crate::sched`]).
+pub fn spawn_dafs_server_sched(
+    kernel: &SimKernel,
+    fabric: &ViaFabric,
+    nic: ViaNic,
+    fs: MemFs,
+    port: u16,
+    cost: DafsServerCost,
+    policy: SchedPolicy,
 ) -> DafsServerHandle {
     let stats = DafsServerStats::default();
     let cq = Cq::new("dafs-cq");
@@ -199,112 +241,28 @@ pub fn spawn_dafs_server(
             // requests exactly-once.
             let mut client_ids: HashMap<ViId, u64> = HashMap::new();
             let mut replay = ReplayCache::new(REPLAY_CAPACITY);
-            'tokens: while let Some(token) = cq.wait(ctx) {
-                // Admit any sessions registered up to now.
-                while let Some(s) = new_sessions.try_recv(ctx) {
-                    sessions.insert(s.vi.id(), s);
-                }
-                if token.queue != WhichQueue::Recv {
-                    continue;
-                }
-                let vi_id = token.vi;
-                // A token can outrun its session's hand-off (the acceptor is
-                // still registering buffers); wait for the hand-off — unless
-                // the token is a stale leftover of a retired session.
-                while !sessions.contains_key(&vi_id) {
-                    if retired.contains(&vi_id) {
-                        continue 'tokens;
-                    }
-                    match new_sessions.recv(ctx) {
-                        Some(s) => {
-                            sessions.insert(s.vi.id(), s);
-                        }
-                        None => continue 'tokens,
-                    }
-                }
-                let req = {
-                    let Some(sess) = sessions.get_mut(&vi_id) else {
-                        continue; // already torn down
-                    };
-                    // Drain old send completions so ports stay bounded.
-                    while sess.vi.send_done(ctx).is_some() {}
-                    let Some(completion) = sess.vi.recv_done(ctx) else {
-                        continue;
-                    };
-                    if completion.status == ViaStatus::ConnectionLost {
-                        sessions.remove(&vi_id);
-                        retired.insert(vi_id);
-                        client_ids.remove(&vi_id);
-                        release_locks_of(ctx, &mut sessions, &mut locks, vi_id);
-                        let frames = release_leases_of(ctx, &mut leases, vi_id);
-                        for (bvi, frame) in frames {
-                            if sessions.contains_key(&bvi) {
-                                serve_one(
-                                    ctx,
-                                    &nic,
-                                    &host,
-                                    &fs,
-                                    &cost,
-                                    &stats,
-                                    &mut sessions,
-                                    bvi,
-                                    &mut locks,
-                                    &mut leases,
-                                    &mut next_recall_id,
-                                    &mut client_ids,
-                                    &mut replay,
-                                    &frame,
-                                );
-                            }
-                        }
-                        continue;
-                    }
-                    if !completion.status.is_ok() {
-                        continue;
-                    }
-                    // The message landed in the oldest posted buffer; re-arm.
-                    // The completion carries a zero-copy view of the frame,
-                    // so parsing does not re-read the posted buffer.
-                    let (buf, h) = sess.recv_ring.pop_front().expect("descriptor ring");
-                    let len = completion.len as usize;
-                    let req = completion
-                        .payload
-                        .unwrap_or_else(|| nic.host().mem.read_bytes(buf, len));
-                    sess.vi.post_recv(
-                        ctx,
-                        RecvDesc::new(vec![DataSegment::new(buf, SLOT as u32, h)]),
-                    );
-                    sess.recv_ring.push_back((buf, h));
-                    req
-                };
-                let disconnect = serve_one(
-                    ctx,
-                    &nic,
-                    &host,
-                    &fs,
-                    &cost,
-                    &stats,
-                    &mut sessions,
-                    vi_id,
-                    &mut locks,
-                    &mut leases,
-                    &mut next_recall_id,
-                    &mut client_ids,
-                    &mut replay,
-                    &req,
-                );
-                // A response send can break the session too (the reply is
-                // judged against the fault plan); reap it here so its locks
-                // never leak while the client redials.
-                let broke = sessions
-                    .get(&vi_id)
-                    .is_some_and(|s| s.vi.state() != ViState::Connected);
-                if disconnect || broke {
-                    sessions.remove(&vi_id);
-                    retired.insert(vi_id);
-                    client_ids.remove(&vi_id);
-                    release_locks_of(ctx, &mut sessions, &mut locks, vi_id);
-                    let frames = release_leases_of(ctx, &mut leases, vi_id);
+            let mut qos = QosState {
+                sched: match policy {
+                    SchedPolicy::Fifo => Box::new(sched::FifoSched::new()),
+                    SchedPolicy::Wfq(p) => Box::new(sched::WfqSched::new(p)),
+                },
+                tenants: HashMap::new(),
+                next_legacy_cid: 0,
+            };
+            let wfq = qos.sched.reorders();
+
+            // Reap a dead session: tear down its state, drop its queued
+            // frames, and replay any requests its leases were blocking.
+            macro_rules! reap {
+                ($vi:expr) => {{
+                    let dead = $vi;
+                    sessions.remove(&dead);
+                    retired.insert(dead);
+                    client_ids.remove(&dead);
+                    qos.tenants.remove(&dead);
+                    qos.sched.drop_session(dead);
+                    release_locks_of(ctx, &mut sessions, &mut locks, dead);
+                    let frames = release_leases_of(ctx, &mut leases, dead);
                     for (bvi, frame) in frames {
                         if sessions.contains_key(&bvi) {
                             serve_one(
@@ -321,9 +279,177 @@ pub fn spawn_dafs_server(
                                 &mut next_recall_id,
                                 &mut client_ids,
                                 &mut replay,
+                                &mut qos,
                                 &frame,
                             );
                         }
+                    }
+                }};
+            }
+
+            // Serve one frame; if the serve disconnected or broke the
+            // session (the reply is judged against the fault plan), reap it
+            // here so its locks never leak while the client redials.
+            macro_rules! serve_and_reap {
+                ($vi:expr, $frame:expr) => {{
+                    let svi = $vi;
+                    let disconnect = serve_one(
+                        ctx,
+                        &nic,
+                        &host,
+                        &fs,
+                        &cost,
+                        &stats,
+                        &mut sessions,
+                        svi,
+                        &mut locks,
+                        &mut leases,
+                        &mut next_recall_id,
+                        &mut client_ids,
+                        &mut replay,
+                        &mut qos,
+                        $frame,
+                    );
+                    let broke = sessions
+                        .get(&svi)
+                        .is_some_and(|s| s.vi.state() != ViState::Connected);
+                    if disconnect || broke {
+                        reap!(svi);
+                    }
+                }};
+            }
+
+            // Turn one CQ token into its received frame plus the virtual
+            // instant the message was actually delivered (the completion's
+            // `at`, which can predate `ctx.now()` when the worker was busy
+            // serving), re-arming the consumed receive descriptor. Yields
+            // `None` when the token carries nothing servable (send-side
+            // token, stale token of a retired session, failed or
+            // connection-lost completion).
+            macro_rules! token_req {
+                ($token:expr) => {{
+                    let token = $token;
+                    let vi_id = token.vi;
+                    let mut out: Option<(Bytes, SimTime)> = None;
+                    'tok: {
+                        if token.queue != WhichQueue::Recv {
+                            break 'tok;
+                        }
+                        // A token can outrun its session's hand-off (the
+                        // acceptor is still registering buffers); wait for
+                        // the hand-off — unless the token is a stale
+                        // leftover of a retired session.
+                        while !sessions.contains_key(&vi_id) {
+                            if retired.contains(&vi_id) {
+                                break 'tok;
+                            }
+                            match new_sessions.recv(ctx) {
+                                Some(s) => {
+                                    sessions.insert(s.vi.id(), s);
+                                }
+                                None => break 'tok,
+                            }
+                        }
+                        let Some(sess) = sessions.get_mut(&vi_id) else {
+                            break 'tok; // already torn down
+                        };
+                        // Drain old send completions so ports stay bounded.
+                        while sess.vi.send_done(ctx).is_some() {}
+                        let Some(completion) = sess.vi.recv_done(ctx) else {
+                            break 'tok;
+                        };
+                        if completion.status == ViaStatus::ConnectionLost {
+                            reap!(vi_id);
+                            break 'tok;
+                        }
+                        if !completion.status.is_ok() {
+                            break 'tok;
+                        }
+                        // The message landed in the oldest posted buffer;
+                        // re-arm. The completion carries a zero-copy view of
+                        // the frame, so parsing does not re-read the posted
+                        // buffer.
+                        let (buf, h) = sess.recv_ring.pop_front().expect("descriptor ring");
+                        let len = completion.len as usize;
+                        let req = completion
+                            .payload
+                            .unwrap_or_else(|| nic.host().mem.read_bytes(buf, len));
+                        sess.vi.post_recv(
+                            ctx,
+                            RecvDesc::new(vec![DataSegment::new(buf, SLOT as u32, h)]),
+                        );
+                        sess.recv_ring.push_back((buf, h));
+                        out = Some((req, completion.at));
+                    }
+                    out
+                }};
+            }
+
+            // Route one received frame. Under a reordering policy, control
+            // ops (Hello, Disconnect, LeaseRecallAck) bypass the queue — a
+            // recall ack parked behind a bulk backlog would wedge every
+            // frame blocked on that recall behind the very tenant being
+            // throttled. Everything else competes in the scheduler.
+            macro_rules! enqueue {
+                ($vi:expr, $req:expr, $arrival:expr) => {{
+                    let evi = $vi;
+                    let req = $req;
+                    if wfq && sched::control_op(&req) {
+                        serve_and_reap!(evi, &req);
+                    } else {
+                        let (cost_bytes, small) = sched::classify(&req);
+                        let (tenant, weight) = qos
+                            .tenants
+                            .get(&evi)
+                            .copied()
+                            .unwrap_or((sched::DEFAULT_TENANT, 1));
+                        qos.sched.push(
+                            ctx,
+                            QueuedReq {
+                                vi: evi,
+                                tenant,
+                                weight,
+                                cost: cost_bytes,
+                                small,
+                                arrival: $arrival,
+                                frame: req,
+                            },
+                        );
+                    }
+                }};
+            }
+
+            while let Some(token) = cq.wait(ctx) {
+                // Admit any sessions registered up to now.
+                while let Some(s) = new_sessions.try_recv(ctx) {
+                    sessions.insert(s.vi.id(), s);
+                }
+                let vi_id = token.vi;
+                let Some((req, at)) = token_req!(token) else {
+                    continue;
+                };
+                enqueue!(vi_id, req, at);
+                // Dispatch until the scheduler runs dry. Under FIFO the
+                // queue holds exactly the frame just pushed, so it serves
+                // immediately — the same timing-visible sequence as the
+                // pre-scheduler server. Under WFQ, completions that have
+                // already arrived are drained first (poll charges no time)
+                // so concurrent arrivals actually compete for dispatch
+                // order.
+                while !qos.sched.is_empty() {
+                    if wfq {
+                        while let Some(t) = cq.poll(ctx) {
+                            let tvi = t.vi;
+                            if let Some((r, rat)) = token_req!(t) {
+                                enqueue!(tvi, r, rat);
+                            }
+                        }
+                    }
+                    let Some(q) = qos.sched.pop(ctx) else {
+                        break;
+                    };
+                    if sessions.contains_key(&q.vi) {
+                        serve_and_reap!(q.vi, &q.frame);
                     }
                 }
             }
@@ -619,6 +745,7 @@ fn serve_one(
     next_recall_id: &mut u32,
     client_ids: &mut HashMap<ViId, u64>,
     replay: &mut ReplayCache,
+    qos: &mut QosState,
     req: &[u8],
 ) -> bool {
     stats.ops.inc();
@@ -756,13 +883,52 @@ fn serve_one(
     let mut e = Enc::new();
     match op {
         DafsOp::Hello => {
-            // The body carries the client's stable id (absent in legacy
-            // requests; 0 then, which simply never matches a replay key).
-            let cid = d.u64().unwrap_or(0);
-            client_ids.insert(vi_id, cid);
+            // The body carries the client's stable id. Legacy clients omit
+            // it; each such session gets a unique synthetic id (high bit
+            // set, above any real VI-derived id) so two cid-less clients
+            // never share a replay-cache identity. A re-Hello on a session
+            // that already holds a synthetic id keeps it — a legacy client
+            // cannot name itself across reconnects, so its identity is the
+            // session.
+            match d.u64() {
+                Ok(c) => {
+                    client_ids.insert(vi_id, c);
+                }
+                Err(_) => {
+                    client_ids.entry(vi_id).or_insert_with(|| {
+                        qos.next_legacy_cid += 1;
+                        LEGACY_CID_BASE | qos.next_legacy_cid
+                    });
+                }
+            }
+            // Optional QoS extension, present only when the client declared
+            // a tenant: `(tenant id u64, weight u32)`. Legacy and
+            // QoS-unaware Hellos end at the client id, so decoding simply
+            // stops there and the reply is unchanged.
+            let mut credits = CREDITS;
+            if let Ok(tenant) = d.u64() {
+                let weight = d.u32().unwrap_or(1).max(1);
+                qos.tenants.insert(vi_id, (tenant, weight));
+                qos.sched.set_weight(tenant, weight);
+                if qos.sched.reorders() {
+                    // Credit-window backpressure: an under-weight tenant's
+                    // advertised window shrinks in proportion to the largest
+                    // declared weight, so its excess load queues at the
+                    // client instead of unboundedly in the scheduler.
+                    let max_w = qos.tenants.values().map(|&(_, w)| w).max().unwrap_or(1);
+                    let scaled = ((CREDITS as u64 * weight as u64) / max_w as u64)
+                        .clamp(2, CREDITS as u64) as u32;
+                    if scaled < CREDITS {
+                        ctx.metrics()
+                            .counter(&format!("dafs.sched.t{tenant}.throttles"))
+                            .inc();
+                    }
+                    credits = scaled;
+                }
+            }
             proto::enc_resp_header(&mut e, reqid, DafsStatus::Ok);
             e.u8(nic.cost().rdma_read_supported as u8);
-            e.u32(CREDITS);
+            e.u32(credits);
             e.u64(INLINE_MAX);
             reply!(e);
         }
@@ -1292,6 +1458,7 @@ fn serve_one(
                         next_recall_id,
                         client_ids,
                         replay,
+                        qos,
                         &frame,
                     );
                 }

@@ -611,6 +611,24 @@ fn cache_on(hints: &crate::hints::Hints) -> bool {
     hints.dafs_cache == crate::hints::TriState::Enable
 }
 
+/// Whether the `dafs_qos` hint declares this job as a QoS tenant. Like
+/// `dafs_cache`, `Automatic` means OFF: a declaration extends the Hello
+/// wire exchange, so it is strictly opt-in via `enable`.
+fn qos_on(hints: &crate::hints::Hints) -> bool {
+    hints.dafs_qos == crate::hints::TriState::Enable
+}
+
+/// Declare the session's QoS tenant binding at open when `dafs_qos` is
+/// enabled. The tenant id is the client's stable id (each rank's session
+/// is its own tenant); the weight comes from `dafs_tenant_weight`. Errors
+/// are swallowed — a FIFO or legacy server simply ignores the extension,
+/// and an open must not fail over a scheduling hint.
+fn declare_qos(client: &DafsClient, ctx: &ActorCtx, hints: &crate::hints::Hints) {
+    if qos_on(hints) {
+        let _ = client.declare_tenant(ctx, client.client_id(), hints.dafs_tenant_weight);
+    }
+}
+
 struct DafsFileHandle {
     client: Arc<DafsClient>,
     fh: NodeId,
@@ -636,6 +654,7 @@ impl AdioFs for DafsAdio {
         create: bool,
         hints: &crate::hints::Hints,
     ) -> AdioResult<Arc<dyn AdioFile>> {
+        declare_qos(&self.client, ctx, hints);
         let (dir, name) = self.resolve_dir(ctx, path, create)?;
         let fh = dafs_open_node(&self.client, ctx, dir, &name, create)?;
         // Shared-pointer companion.
@@ -1041,6 +1060,7 @@ impl AdioFs for DafsStripedAdio {
         let mut fhs = Vec::with_capacity(factor);
         let mut shfp = None;
         for c in &self.clients[..factor] {
+            declare_qos(c, ctx, hints);
             let (dir, name) = dafs_resolve_dir(c, ctx, path, create)?;
             fhs.push(dafs_open_node(c, ctx, dir, &name, create)?);
             clients.push(c.clone());

@@ -234,6 +234,26 @@ pub const HINT_SPECS: &[HintSpec] = &[
         get: |h| HintValue::Tri(h.dafs_cache),
     },
     HintSpec {
+        key: "dafs_qos",
+        kind: HintKind::Tri,
+        set: |h, v| {
+            if let HintValue::Tri(t) = v {
+                h.dafs_qos = t;
+            }
+        },
+        get: |h| HintValue::Tri(h.dafs_qos),
+    },
+    HintSpec {
+        key: "dafs_tenant_weight",
+        kind: HintKind::Count,
+        set: |h, v| {
+            if let HintValue::Count(n) = v {
+                h.dafs_tenant_weight = n.max(1) as u32;
+            }
+        },
+        get: |h| HintValue::Count(h.dafs_tenant_weight as usize),
+    },
+    HintSpec {
         key: "striping_factor",
         kind: HintKind::Count,
         set: |h, v| {
@@ -268,6 +288,7 @@ pub fn hint_spec(key: &str) -> Option<&'static HintSpec> {
 pub const TRI_ENV_OVERRIDES: &[(&str, &str)] = &[
     ("dafs_listio", "MPIO_DAFS_LISTIO"),
     ("dafs_cache", "MPIO_DAFS_CACHE"),
+    ("dafs_qos", "MPIO_DAFS_QOS"),
 ];
 
 /// The value an `MPIO_DAFS_*` override variable contributes: its parsed
@@ -325,6 +346,16 @@ pub struct Hints {
     /// write-sharing cost model (recalls), so it is strictly opt-in via
     /// `enable`. Inert on non-DAFS backends.
     pub dafs_cache: TriState,
+    /// QoS tenant declaration on DAFS backends: the open declares the
+    /// MPI job as one tenant to the server's request scheduler, which
+    /// apportions service by `dafs_tenant_weight` when fairness is on.
+    /// `Automatic` means **off** (no declaration, wire bytes unchanged) —
+    /// like `dafs_cache`, strictly opt-in via `enable`. Inert on non-DAFS
+    /// backends and under a FIFO server.
+    pub dafs_qos: TriState,
+    /// Scheduling weight this job declares with `dafs_qos`; service under
+    /// a weighted-fair server is proportional to weight. Clamped to ≥ 1.
+    pub dafs_tenant_weight: u32,
     /// Number of servers to stripe a new file over (PVFS/ROMIO
     /// convention). 0 = all servers the filesystem has. Ignored by
     /// unstriped drivers.
@@ -351,6 +382,12 @@ impl Default for Hints {
             cb_pipeline: TriState::Automatic,
             dafs_listio: tri_env_default("MPIO_DAFS_LISTIO"),
             dafs_cache: tri_env_default("MPIO_DAFS_CACHE"),
+            dafs_qos: tri_env_default("MPIO_DAFS_QOS"),
+            dafs_tenant_weight: std::env::var("MPIO_DAFS_TENANT_WEIGHT")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .map(|w: u32| w.max(1))
+                .unwrap_or(1),
             striping_factor: 0,
             striping_unit: 0,
             raw: BTreeMap::new(),
@@ -537,6 +574,21 @@ mod tests {
         assert_eq!(h.dafs_cache, TriState::Disable);
         let h = Hints::from_pairs([("dafs_cache", "sometimes")]);
         assert_eq!(h.dafs_cache, TriState::Automatic);
+    }
+
+    #[test]
+    fn dafs_qos_toggle_and_weight() {
+        // Off by default, strictly opt-in — like dafs_cache.
+        assert_eq!(Hints::default().dafs_qos, TriState::Automatic);
+        assert_eq!(Hints::default().dafs_tenant_weight, 1);
+        let h = Hints::from_pairs([("dafs_qos", "enable"), ("dafs_tenant_weight", "8")]);
+        assert_eq!(h.dafs_qos, TriState::Enable);
+        assert_eq!(h.dafs_tenant_weight, 8);
+        // Weight 0 clamps to 1 (a zero-weight tenant would starve itself).
+        let h = Hints::from_pairs([("dafs_tenant_weight", "0")]);
+        assert_eq!(h.dafs_tenant_weight, 1);
+        let h = Hints::from_pairs([("dafs_qos", "sometimes")]);
+        assert_eq!(h.dafs_qos, TriState::Automatic);
     }
 
     #[test]

@@ -190,6 +190,9 @@ impl NfsClient {
         config: NfsClientConfig,
     ) -> NfsResult<NfsClient> {
         let retransmit = fabric.fault_plan().is_some();
+        // Pre-register so lossless runs snapshot an explicit zero and
+        // checked bench lookups never mistake "absent" for "never fired".
+        let _ = ctx.metrics().counter("nfs.retrans");
         let sock = fabric.connect(ctx, host, server, port)?;
         Ok(NfsClient {
             sock,

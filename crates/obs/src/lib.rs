@@ -30,7 +30,7 @@ mod stats;
 mod trace;
 
 pub use registry::{Metric, Registry, Snapshot, SnapshotEntry};
-pub use stats::{ByteMeter, Counter, Histogram};
+pub use stats::{ByteMeter, Counter, Histogram, SampleSet};
 pub use trace::{TraceBuffer, Tracer, Value};
 
 use std::sync::Arc;

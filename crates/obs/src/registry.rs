@@ -160,6 +160,11 @@ pub struct SnapshotEntry {
 
 impl SnapshotEntry {
     /// The metric's primary scalar (counter value / total bytes / sum).
+    ///
+    /// Panics if the entry carries no field for its kind's primary key —
+    /// that is a malformed snapshot, and silently answering 0 (as this
+    /// once did) turns an internal invariant break into a plausible-looking
+    /// measurement.
     pub fn value(&self) -> u64 {
         let key = match self.kind {
             "bytes" => "bytes",
@@ -170,7 +175,12 @@ impl SnapshotEntry {
             .iter()
             .find(|(k, _)| *k == key)
             .map(|(_, v)| *v)
-            .unwrap_or(0)
+            .unwrap_or_else(|| {
+                panic!(
+                    "metric '{}' ({}) has no '{key}' field in snapshot",
+                    self.name, self.kind
+                )
+            })
     }
 }
 
@@ -187,6 +197,19 @@ impl Snapshot {
     /// Look up a metric by full name.
     pub fn get(&self, name: &str) -> Option<&SnapshotEntry> {
         self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Checked lookup for assert paths: like [`Snapshot::get`], but a
+    /// missing name panics with the nearest registered names instead of
+    /// letting the caller `unwrap_or(0)` a typo into a real-looking zero.
+    pub fn expect(&self, name: &str) -> &SnapshotEntry {
+        self.get(name).unwrap_or_else(|| {
+            // A typo'd name almost always shares the metric's layer prefix;
+            // list that subtree to make the panic actionable.
+            let prefix = name.split('.').next().unwrap_or(name);
+            let near: Vec<&str> = self.with_prefix(prefix).map(|e| e.name.as_str()).collect();
+            panic!("metric '{name}' not in snapshot; '{prefix}.*' has: {near:?}")
+        })
     }
 
     /// Entries whose name starts with `prefix` (a layer or subtree).
@@ -259,6 +282,33 @@ mod tests {
         assert!(s1
             .to_json_line()
             .starts_with("{\"type\":\"snapshot\",\"t_ns\":42,"));
+    }
+
+    #[test]
+    fn expect_hits_and_misses() {
+        let r = Registry::new();
+        r.counter("dafs.sched.boosts").add(3);
+        let s = r.snapshot(0);
+        assert_eq!(s.expect("dafs.sched.boosts").value(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in snapshot")]
+    fn expect_panics_on_typo() {
+        let r = Registry::new();
+        r.counter("dafs.sched.boosts").add(3);
+        r.snapshot(0).expect("dafs.sched.bosts");
+    }
+
+    #[test]
+    #[should_panic(expected = "has no 'value' field")]
+    fn value_panics_on_field_mismatch() {
+        let e = SnapshotEntry {
+            name: "x.y".to_string(),
+            kind: "counter",
+            fields: vec![("coutn", 1)],
+        };
+        e.value();
     }
 
     #[test]

@@ -172,6 +172,75 @@ impl Histogram {
     }
 }
 
+/// An exact-quantile sample recorder for latency *tables*.
+///
+/// [`Histogram`]'s log₂ buckets are the right instrument for streaming
+/// metrics (bounded memory, lock-free), but its `quantile()` returns the
+/// containing bucket's **upper bound** — a reported p99 can sit almost 2×
+/// above the true sample. Reported tables deserve better: `SampleSet`
+/// keeps every sample (bench-scale cardinalities, thousands of ops) and
+/// computes nearest-rank quantiles over the sorted set, so a quoted p99
+/// is an actual recorded latency.
+#[derive(Clone, Default)]
+pub struct SampleSet {
+    samples: Arc<std::sync::Mutex<Vec<u64>>>,
+}
+
+impl SampleSet {
+    /// Create a new instance with default state.
+    pub fn new() -> SampleSet {
+        SampleSet::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&self, v: u64) {
+        self.lock().push(v);
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<u64>> {
+        self.samples.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.lock().len() as u64
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.lock().iter().sum()
+    }
+
+    /// Arithmetic mean of recorded samples (0 if none).
+    pub fn mean(&self) -> f64 {
+        let s = self.lock();
+        if s.is_empty() {
+            0.0
+        } else {
+            s.iter().sum::<u64>() as f64 / s.len() as f64
+        }
+    }
+
+    /// The largest recorded sample (0 if none).
+    pub fn max(&self) -> u64 {
+        self.lock().iter().copied().max().unwrap_or(0)
+    }
+
+    /// Exact nearest-rank quantile: the smallest recorded sample `x` such
+    /// that at least `ceil(q·n)` samples are `<= x`. Unlike
+    /// [`Histogram::quantile`], the result is always one of the recorded
+    /// samples. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let mut s = self.lock().clone();
+        if s.is_empty() {
+            return 0;
+        }
+        s.sort_unstable();
+        let rank = ((s.len() as f64) * q.clamp(0.0, 1.0)).ceil() as usize;
+        s[rank.max(1) - 1]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,5 +294,46 @@ mod tests {
         let h = Histogram::new();
         assert_eq!(h.quantile(0.99), 0);
         assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn sample_set_exact_quantiles() {
+        let s = SampleSet::new();
+        // 1..=100 in scrambled order: p50 = 50, p99 = 99, max = 100.
+        for v in (1..=100u64).rev() {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.sum(), 5050);
+        assert!((s.mean() - 50.5).abs() < 1e-9);
+        assert_eq!(s.quantile(0.5), 50);
+        assert_eq!(s.quantile(0.99), 99);
+        assert_eq!(s.quantile(1.0), 100);
+        assert_eq!(s.max(), 100);
+    }
+
+    #[test]
+    fn sample_set_beats_histogram_quantization() {
+        // A tight cluster around 3000: the log2 histogram can only answer
+        // 4096 (the bucket upper bound); the sample set answers exactly.
+        let h = Histogram::new();
+        let s = SampleSet::new();
+        for v in [2900u64, 2950, 3000, 3050] {
+            h.record(v);
+            s.record(v);
+        }
+        assert_eq!(h.quantile(0.5), 4096);
+        assert_eq!(s.quantile(0.5), 2950);
+    }
+
+    #[test]
+    fn sample_set_empty_and_clone_shares_state() {
+        let s = SampleSet::new();
+        assert_eq!(s.quantile(0.99), 0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.mean(), 0.0);
+        let s2 = s.clone();
+        s2.record(7);
+        assert_eq!(s.count(), 1);
     }
 }

@@ -68,7 +68,7 @@ pub use link::Link;
 pub use port::{Port, RecvUntil};
 pub use resource::Resource;
 pub use rng::Rng64;
-pub use stats::{ByteMeter, Counter, DurationMetric, Histogram, WindowedRate};
+pub use stats::{ByteMeter, Counter, DurationMetric, Histogram, SampleSet, WindowedRate};
 pub use time::{units, Bandwidth, SimDuration, SimTime};
 pub use topo::{
     DumbbellSpec, FabricDrop, ForwardingMode, PortStats, QueuePolicy, SwitchConfig, SwitchRef,

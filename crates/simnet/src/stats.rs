@@ -6,7 +6,7 @@
 //! handles. The re-export keeps `simnet::{Counter, ByteMeter, Histogram}`
 //! working for every existing layer.
 
-pub use obs::{ByteMeter, Counter, Histogram};
+pub use obs::{ByteMeter, Counter, Histogram, SampleSet};
 
 use crate::time::SimDuration;
 
@@ -18,6 +18,12 @@ pub trait DurationMetric {
 }
 
 impl DurationMetric for Histogram {
+    fn record_duration(&self, d: SimDuration) {
+        self.record(d.as_nanos());
+    }
+}
+
+impl DurationMetric for SampleSet {
     fn record_duration(&self, d: SimDuration) {
         self.record(d.as_nanos());
     }

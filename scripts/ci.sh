@@ -56,6 +56,17 @@ echo "$f10_out" | grep -q "oversub" || {
     exit 1
 }
 
+echo "==> X-6 QoS-fairness smoke (multi-tenant WFQ vs FIFO)"
+# The binary's own asserts are the gate: WFQ small-op p99 must beat FIFO
+# (the >=5x bound is enforced on the full-size run inside all_experiments
+# below, where the quantiles are fine enough to pin a ratio).
+x6_out=$(cargo run --release -p mpio-dafs-bench --bin x6_qos_fairness -- --smoke)
+echo "$x6_out"
+echo "$x6_out" | grep -q "deadline boost" || {
+    echo "ci: X-6 output missing the deadline-boost note" >&2
+    exit 1
+}
+
 echo "==> R-K1 kernel-speed floor (wall-clock events/s regression gate)"
 # The simulator itself must stay fast: the smoke-size kernel microbench
 # has to dispatch at least this many events per wall-clock second on
@@ -68,14 +79,18 @@ echo "==> bench suite byte-identity under MPIO_DAFS_CACHE=disable"
 # The client cache must be invisible when disabled: the full suite, run
 # with the cache hint forced off via the env override, must emit exactly
 # the checked-in goldens (which the default-env run also must match,
-# since dafs_cache defaults to off).
+# since dafs_cache defaults to off). The same holds for the QoS
+# scheduler: with MPIO_DAFS_SCHED unset (or =disable) the server's
+# default FifoSched must be byte-identical in virtual time to the
+# pre-scheduler dispatch loop, so the goldens double as that gate —
+# X-6's fifo rows come from the same FifoSched path.
 # Wall-clock lines are real elapsed time (nondeterministic by design):
 # the per-table harness throughput notes in the rendered text, R-F10's
 # embedded cell note, and the R-K1 microbench (whose title carries the
 # marker, excluding its whole JSON line). Both diffs filter them; every
 # other line is compared byte-for-byte.
 tmp_json=$(mktemp) tmp_txt=$(mktemp)
-MPIO_DAFS_CACHE=disable MPIO_DAFS_JSON="$tmp_json" \
+MPIO_DAFS_CACHE=disable MPIO_DAFS_SCHED=disable MPIO_DAFS_JSON="$tmp_json" \
     cargo run --release -p mpio-dafs-bench --bin all_experiments >"$tmp_txt"
 grep -v 'wall-clock' bench_output.txt >"$tmp_txt.golden"
 grep -v 'wall-clock' "$tmp_txt" >"$tmp_txt.got"
@@ -83,10 +98,10 @@ diff -u "$tmp_txt.golden" "$tmp_txt.got" || {
     echo "ci: bench_output.txt differs under MPIO_DAFS_CACHE=disable" >&2
     exit 1
 }
-grep -v 'wall-clock' BENCH_8.json >"$tmp_json.golden"
+grep -v 'wall-clock' BENCH_9.json >"$tmp_json.golden"
 grep -v 'wall-clock' "$tmp_json" >"$tmp_json.got"
 diff -u "$tmp_json.golden" "$tmp_json.got" || {
-    echo "ci: BENCH_8.json differs under MPIO_DAFS_CACHE=disable" >&2
+    echo "ci: BENCH_9.json differs under MPIO_DAFS_CACHE=disable" >&2
     exit 1
 }
 rm -f "$tmp_json" "$tmp_txt" "$tmp_txt.golden" "$tmp_txt.got" "$tmp_json.golden" "$tmp_json.got"

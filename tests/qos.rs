@@ -1,0 +1,313 @@
+//! QoS scheduler suite: weighted-fair sharing properties, full-stack
+//! two-tenant progress, crash-of-a-throttled-tenant chaos, and the
+//! legacy-client replay-identity regression.
+//!
+//! Everything runs in virtual time on seeded inputs, so every assertion
+//! here is exactly reproducible.
+
+use mpio_dafs::dafs::sched::{QueuedReq, RequestSched, WfqSched};
+use mpio_dafs::dafs::{self, SchedPolicy, WfqParams};
+use mpio_dafs::memfs::ROOT_ID;
+use mpio_dafs::simnet::units::*;
+use mpio_dafs::simnet::{Bytes, Cluster, Rng64, SimKernel, SimTime};
+use mpio_dafs::via::{self, DataSegment, MemAttributes, RecvDesc, SendDesc, ViAttributes, ViId};
+
+const PORT: u16 = 2049;
+
+/// DRR shares must track declared weights for randomized tenant mixes —
+/// and no tenant may starve — while every queue stays backlogged.
+#[test]
+fn wfq_shares_track_weights_under_random_mixes() {
+    for seed in [1u64, 7, 42, 0xDEAD, 0xBEEF, 0x5EED_0009] {
+        let kernel = SimKernel::new();
+        kernel.spawn("sched", move |ctx| {
+            let mut rng = Rng64::new(seed);
+            let tenants = rng.range_usize(2, 5); // 2..=4
+            let weights: Vec<u32> = (0..tenants).map(|_| rng.range(1, 9) as u32).collect();
+            let mut s = WfqSched::new(WfqParams::default());
+            let mut offered = vec![0u64; tenants];
+            for t in 0..tenants {
+                for _ in 0..300 {
+                    let cost = rng.range(4 << 10, 64 << 10);
+                    offered[t] += cost;
+                    s.push(
+                        ctx,
+                        QueuedReq {
+                            vi: ViId(t as u64),
+                            tenant: t as u64,
+                            weight: weights[t],
+                            cost,
+                            small: false,
+                            arrival: ctx.now(),
+                            frame: Bytes::from_vec(Vec::new()),
+                        },
+                    );
+                }
+            }
+            // Drain a quarter of the offered bytes: every tenant stays
+            // backlogged for the whole window (the heaviest possible
+            // weight share of the drain is below any tenant's backlog),
+            // so observed shares are pure scheduling policy.
+            let total: u64 = offered.iter().sum();
+            let mut served = vec![0u64; tenants];
+            let mut drained = 0u64;
+            while drained < total / 4 {
+                let q = s.pop(ctx).expect("all tenants backlogged");
+                served[q.tenant as usize] += q.cost;
+                drained += q.cost;
+            }
+            let wsum: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+            for t in 0..tenants {
+                let share = served[t] as f64 / drained as f64;
+                let want = f64::from(weights[t]) / wsum as f64;
+                assert!(
+                    (share - want).abs() < 0.08,
+                    "seed {seed:#x}: tenant {t} (weight {}) got share {share:.3}, want {want:.3}",
+                    weights[t]
+                );
+                assert!(
+                    share > want * 0.5,
+                    "seed {seed:#x}: tenant {t} starved ({share:.3} vs {want:.3})"
+                );
+            }
+        });
+        kernel.run();
+    }
+}
+
+/// Full stack, two declared tenants on one WFQ server: both make progress
+/// and the per-tenant scheduler telemetry appears in the registry.
+#[test]
+fn two_tenant_full_stack_progress() {
+    let kernel = SimKernel::new();
+    let cluster = Cluster::new();
+    let fabric = via::ViaFabric::new(via::ViaCost::default());
+    let server_nic = fabric.open_nic(cluster.add_host("server0"));
+    let sid = server_nic.host().id;
+    let fs = mpio_dafs::memfs::MemFs::new();
+    let bulk = fs.create(ROOT_ID, "bulk").unwrap();
+    fs.write(bulk.id, 0, &vec![3u8; 1 << 20]).unwrap();
+    fs.create(ROOT_ID, "meta").unwrap();
+    let _server = dafs::spawn_dafs_server_sched(
+        &kernel,
+        &fabric,
+        server_nic,
+        fs.clone(),
+        PORT,
+        dafs::DafsServerCost::default(),
+        SchedPolicy::Wfq(WfqParams::default()),
+    );
+    for (name, tenant, weight) in [("small", 1u64, 8u32), ("stream", 2, 1)] {
+        let fabric = fabric.clone();
+        let host = cluster.add_host(name);
+        kernel.spawn(name, move |ctx| {
+            let nic = fabric.open_nic(host.clone());
+            let cfg = dafs::DafsClientConfig {
+                tenant: Some((tenant, weight)),
+                ..Default::default()
+            };
+            let c = dafs::DafsClient::connect(ctx, &fabric, &nic, sid, PORT, cfg).unwrap();
+            if tenant == 1 {
+                let f = c.lookup(ctx, ROOT_ID, "meta").unwrap();
+                for _ in 0..50 {
+                    c.getattr(ctx, f.id).unwrap();
+                }
+            } else {
+                let f = c.lookup(ctx, ROOT_ID, "bulk").unwrap();
+                let dst = nic.host().mem.alloc(1 << 20);
+                for _ in 0..4 {
+                    assert_eq!(c.read(ctx, f.id, 0, dst, 1 << 20).unwrap(), 1 << 20);
+                }
+            }
+            c.disconnect(ctx);
+        });
+    }
+    let obs = kernel.obs().clone();
+    let end = kernel.run();
+    assert!(
+        end.as_nanos() < ms(500).as_nanos(),
+        "two-tenant run wedged: {} ns",
+        end.as_nanos()
+    );
+    let snap = obs.snapshot(end.as_nanos());
+    // Both tenants flowed through the scheduler: their queue-delay
+    // telemetry was registered (checked lookup panics on a typo'd name).
+    snap.expect("dafs.sched.t1.queued_ns");
+    snap.expect("dafs.sched.t2.queued_ns");
+}
+
+/// Chaos ladder: a weight-1 (credit-throttled) streaming tenant holds a
+/// cache lease and a queue backlog, then its host goes dark mid-stream.
+/// The other tenant's conflicting writes — parked behind the recall of the
+/// dead holder's lease — must replay and complete once the server reaps
+/// the session; nothing wedges.
+#[test]
+fn throttled_tenant_crash_mid_queue_releases_parked_frames() {
+    let kernel = SimKernel::new();
+    let cluster = Cluster::new();
+    let fabric = via::ViaFabric::new(via::ViaCost::default());
+    let server_nic = fabric.open_nic(cluster.add_host("server0"));
+    let sid = server_nic.host().id;
+    let fs = mpio_dafs::memfs::MemFs::new();
+    let shared = fs.create(ROOT_ID, "shared").unwrap();
+    fs.write(shared.id, 0, &vec![1u8; 8 << 10]).unwrap();
+    let bulk = fs.create(ROOT_ID, "bulk").unwrap();
+    fs.write(bulk.id, 0, &vec![2u8; 1 << 20]).unwrap();
+    let _server = dafs::spawn_dafs_server_sched(
+        &kernel,
+        &fabric,
+        server_nic,
+        fs.clone(),
+        PORT,
+        dafs::DafsServerCost::default(),
+        SchedPolicy::Wfq(WfqParams::default()),
+    );
+    let holder_host = cluster.add_host("holder");
+    let writer_host = cluster.add_host("writer");
+    let plan = mpio_dafs::simnet::FaultPlan::builder(0x0C_0A05)
+        .host_crash(
+            holder_host.id,
+            SimTime::ZERO + ms(10),
+            SimTime::ZERO + ms(10_000),
+        )
+        .build();
+    fabric.set_fault_plan(plan);
+    {
+        // Throttled streaming tenant: grabs a read lease on "shared",
+        // then keeps bulk reads queued until the crash kills the session.
+        let fabric = fabric.clone();
+        kernel.spawn("holder", move |ctx| {
+            let nic = fabric.open_nic(holder_host.clone());
+            let cfg = dafs::DafsClientConfig {
+                tenant: Some((2, 1)),
+                ..Default::default()
+            };
+            let c = dafs::DafsClient::connect(ctx, &fabric, &nic, sid, PORT, cfg).unwrap();
+            let sh = c.lookup(ctx, ROOT_ID, "shared").unwrap();
+            let dst = nic.host().mem.alloc(1 << 20);
+            c.read_cached(ctx, sh.id, 0, dst, 4 << 10).unwrap();
+            let b = c.lookup(ctx, ROOT_ID, "bulk").unwrap();
+            // Stream until the crash surfaces as an error (the client
+            // burns its bounded reconnect budget first — that must not
+            // wedge either).
+            while c.read(ctx, b.id, 0, dst, 1 << 20).is_ok() {}
+        });
+    }
+    {
+        // High-weight small tenant: conflicting writes to the leased file.
+        let fabric = fabric.clone();
+        kernel.spawn("writer", move |ctx| {
+            ctx.advance(ms(20)); // strictly after the holder is dark
+            let nic = fabric.open_nic(writer_host.clone());
+            let cfg = dafs::DafsClientConfig {
+                tenant: Some((1, 8)),
+                ..Default::default()
+            };
+            let c = dafs::DafsClient::connect(ctx, &fabric, &nic, sid, PORT, cfg).unwrap();
+            let f = c.lookup(ctx, ROOT_ID, "shared").unwrap();
+            let src = nic.host().mem.alloc(4 << 10);
+            nic.host().mem.fill(src, 4 << 10, 0x7E);
+            for i in 0..4u64 {
+                c.write(ctx, f.id, i * (4 << 10), src, 4 << 10).unwrap();
+            }
+            assert!(
+                ctx.now().as_nanos() < ms(2_000).as_nanos(),
+                "writes behind a dead holder's recall wedged: {} ns",
+                ctx.now().as_nanos()
+            );
+            c.disconnect(ctx);
+        });
+    }
+    kernel.run();
+    let attr = fs.resolve("/shared").unwrap();
+    let data = fs.read(attr.id, 0, 16 << 10).unwrap();
+    assert!(
+        data.iter().all(|&b| b == 0x7E),
+        "parked writes did not all replay after the holder was reaped"
+    );
+}
+
+/// Regression (legacy-client replay identity): two cid-less clients that
+/// replay the *same* reqid must not share one replay-cache identity. The
+/// old decode mapped every malformed/legacy Hello to client id 0, so the
+/// second client's write was answered from the first client's cached
+/// reply — and never applied.
+#[test]
+fn legacy_clients_get_distinct_replay_identities() {
+    let kernel = SimKernel::new();
+    let cluster = Cluster::new();
+    let fabric = via::ViaFabric::new(via::ViaCost::default());
+    let server_nic = fabric.open_nic(cluster.add_host("server0"));
+    let sid = server_nic.host().id;
+    let fs = mpio_dafs::memfs::MemFs::new();
+    fs.create(ROOT_ID, "a").unwrap();
+    fs.create(ROOT_ID, "b").unwrap();
+    let _server = dafs::spawn_dafs_server(
+        &kernel,
+        &fabric,
+        server_nic,
+        fs.clone(),
+        PORT,
+        dafs::DafsServerCost::default(),
+    );
+    // Raw VIA clients speaking the legacy dialect: Hello with an *empty*
+    // body (no client id), then WriteInline — both using reqid 42.
+    for (name, file, fill) in [("legacy0", "a", 0xAAu8), ("legacy1", "b", 0xBB)] {
+        let fabric = fabric.clone();
+        let fs = fs.clone();
+        let host = cluster.add_host(name);
+        kernel.spawn(name, move |ctx| {
+            let nic = fabric.open_nic(host.clone());
+            let vi = fabric
+                .connect(ctx, &nic, sid, PORT, ViAttributes::default())
+                .unwrap();
+            let tag = vi.ptag();
+            // One recv slot per expected reply.
+            for _ in 0..2 {
+                let buf = nic.host().mem.alloc(1 << 10);
+                let h = nic.register_mem(ctx, buf, 1 << 10, MemAttributes::local(tag));
+                vi.post_recv(ctx, RecvDesc::new(vec![DataSegment::new(buf, 1 << 10, h)]));
+            }
+            let send = |ctx: &mpio_dafs::simnet::ActorCtx, frame: &[u8]| {
+                let buf = nic.host().mem.alloc(frame.len());
+                nic.host().mem.write(buf, frame);
+                let h = nic.register_mem(ctx, buf, frame.len() as u64, MemAttributes::local(tag));
+                vi.post_send(
+                    ctx,
+                    SendDesc::send(vec![DataSegment::new(buf, frame.len() as u32, h)]),
+                );
+                vi.send_wait(ctx);
+                let resp = vi.recv_wait(ctx);
+                assert!(resp.status.is_ok(), "{name}: transport error");
+                let payload = resp.payload.expect("reply frame");
+                // Response header: reqid u32 | status u8 (0 = OK).
+                assert_eq!(payload[4], 0, "{name}: server returned an error");
+            };
+            // Legacy Hello: header only — reqid 1, op 18 — no client id.
+            let mut hello = 1u32.to_le_bytes().to_vec();
+            hello.push(18);
+            send(ctx, &hello);
+            // WriteInline, reqid 42 for BOTH clients: fh u64 | off u64 |
+            // len-prefixed data.
+            let f = fs.resolve(&format!("/{file}")).unwrap();
+            let mut w = 42u32.to_le_bytes().to_vec();
+            w.push(11);
+            w.extend_from_slice(&f.id.0.to_le_bytes());
+            w.extend_from_slice(&0u64.to_le_bytes());
+            w.extend_from_slice(&128u32.to_le_bytes());
+            w.extend(std::iter::repeat_n(fill, 128));
+            send(ctx, &w);
+            vi.disconnect(ctx);
+        });
+    }
+    kernel.run();
+    for (file, fill) in [("a", 0xAAu8), ("b", 0xBB)] {
+        let attr = fs.resolve(&format!("/{file}")).unwrap();
+        assert_eq!(attr.size, 128, "legacy write to '{file}' was not applied");
+        assert_eq!(
+            fs.read(attr.id, 0, 128).unwrap(),
+            vec![fill; 128],
+            "legacy write to '{file}' holds wrong bytes (replay identity collision?)"
+        );
+    }
+}
