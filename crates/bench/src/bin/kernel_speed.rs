@@ -29,7 +29,7 @@ fn main() {
     let runs = if smoke {
         kernel_speed::run_smoke()
     } else {
-        kernel_speed::measure(200_000, 64, 2_000)
+        kernel_speed::measure(200_000, 64, 2_000, 256, 1_000)
     };
     kernel_speed::table_from(&runs).print();
     if let Some(f) = floor {

@@ -1,17 +1,23 @@
 //! Run the small-op/re-read client-cache sweep:
 //! `cargo run -p mpio-dafs-bench --release --bin x5_small_op_cache [-- --smoke] [-- --fault-seed N]`.
 //!
-//! `--smoke` shrinks the timed passes (2 instead of 8) for quick CI
-//! validation; the table shape, the cached>=2x-uncached assertion, and the
-//! degraded-row fault plan are the same. The same `--fault-seed`
-//! reproduces the same degraded row bit for bit.
+//! `--smoke` shrinks the timed passes (2 instead of 8) and the striped
+//! scale-out ladder (16 clients instead of 64–256) for quick CI
+//! validation; the table shape, the cached>=2x-uncached assertion, the
+//! flush-coalescing and recall-storm rows, and the degraded-row fault
+//! plan are the same. The same `--fault-seed` reproduces the same
+//! degraded row bit for bit.
 fn main() {
     let mut rounds = mpio_dafs_bench::x5_small_op_cache::DEFAULT_ROUNDS;
     let mut seed = mpio_dafs_bench::x5_small_op_cache::DEFAULT_SEED;
+    let mut scale: &[usize] = &mpio_dafs_bench::x5_small_op_cache::SCALE_CLIENTS;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--smoke" => rounds = 2,
+            "--smoke" => {
+                rounds = 2;
+                scale = &mpio_dafs_bench::x5_small_op_cache::SMOKE_SCALE_CLIENTS;
+            }
             "--fault-seed" => {
                 seed = args
                     .next()
@@ -24,5 +30,5 @@ fn main() {
             }
         }
     }
-    mpio_dafs_bench::x5_small_op_cache::run_with(rounds, seed).print();
+    mpio_dafs_bench::x5_small_op_cache::run_with(rounds, seed, scale).print();
 }

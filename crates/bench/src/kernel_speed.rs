@@ -9,7 +9,12 @@
 //!   (condvar signal, queue pop, clock bump);
 //! * **fan-in** — many senders funneling into one receiver; stresses wake
 //!   coalescing and the scheduler's ready-queue under contention, the
-//!   shape of the R-F10 incast cells.
+//!   shape of the R-F10 incast cells;
+//! * **burst** — many actors advancing a shared timer grid in lockstep,
+//!   so every tick wakes all of them at one timestamp; exercises the
+//!   same-timestamp ready-batch drain (one heap pass per tick instead of
+//!   one heap pop per actor), the shape of barrier-heavy collective
+//!   sweeps at high client counts.
 //!
 //! Every measured number is wall-clock and therefore nondeterministic:
 //! the table's rows are deterministic labels only, and all measurements
@@ -27,6 +32,9 @@ const PP_ROUNDS: u64 = 200_000;
 /// Full-size fan-in shape: senders × messages-per-sender.
 const FI_SENDERS: usize = 64;
 const FI_PER: u64 = 2_000;
+/// Full-size burst shape: actors × lockstep ticks.
+const BU_ACTORS: usize = 256;
+const BU_ROUNDS: u64 = 1_000;
 
 /// One workload's wall-clock measurement.
 pub struct SpeedRun {
@@ -115,9 +123,35 @@ pub fn fan_in(senders: usize, per: u64) -> SpeedRun {
     timed_run(kernel, format!("fan-in ({senders} senders x {per} msgs)"))
 }
 
-/// Measure both workloads at the given sizes.
-pub fn measure(pp_rounds: u64, fi_senders: usize, fi_per: u64) -> Vec<SpeedRun> {
-    vec![ping_pong(pp_rounds), fan_in(fi_senders, fi_per)]
+/// `actors` actors advancing a 1 µs timer grid in lockstep for `rounds`
+/// ticks: every tick puts all of them in the event queue at one
+/// timestamp, so each tick is served by a single same-timestamp batch
+/// drain rather than `actors` separate heap pops.
+pub fn burst(actors: usize, rounds: u64) -> SpeedRun {
+    let kernel = SimKernel::new();
+    for a in 0..actors {
+        kernel.spawn(&format!("t{a}"), move |ctx| {
+            for _ in 0..rounds {
+                ctx.advance(us(1));
+            }
+        });
+    }
+    timed_run(kernel, format!("burst ({actors} actors x {rounds} ticks)"))
+}
+
+/// Measure every workload shape at the given sizes.
+pub fn measure(
+    pp_rounds: u64,
+    fi_senders: usize,
+    fi_per: u64,
+    bu_actors: usize,
+    bu_rounds: u64,
+) -> Vec<SpeedRun> {
+    vec![
+        ping_pong(pp_rounds),
+        fan_in(fi_senders, fi_per),
+        burst(bu_actors, bu_rounds),
+    ]
 }
 
 /// Render measurements: deterministic labels as rows, every wall-clock
@@ -145,12 +179,14 @@ pub fn table_from(runs: &[SpeedRun]) -> Table {
 
 /// The full-size experiment table.
 pub fn run() -> Table {
-    table_from(&measure(PP_ROUNDS, FI_SENDERS, FI_PER))
+    table_from(&measure(
+        PP_ROUNDS, FI_SENDERS, FI_PER, BU_ACTORS, BU_ROUNDS,
+    ))
 }
 
 /// A seconds-scale version for CI smoke runs.
 pub fn run_smoke() -> Vec<SpeedRun> {
-    measure(20_000, 16, 500)
+    measure(20_000, 16, 500, 64, 250)
 }
 
 #[cfg(test)]
@@ -170,5 +206,13 @@ mod tests {
         let r = fan_in(4, 50);
         assert!(r.events >= 200, "events = {}", r.events);
         assert!(r.ns_per_event() > 0.0);
+    }
+
+    #[test]
+    fn burst_ticks_every_actor() {
+        let r = burst(8, 20);
+        // Every actor schedules one wake per tick.
+        assert!(r.events >= 160, "events = {}", r.events);
+        assert!(r.events_per_sec() > 0.0);
     }
 }

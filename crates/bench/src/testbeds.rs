@@ -243,6 +243,76 @@ where
     (fss, topology, RunObs { obs, end })
 }
 
+/// Run `clients` client actors against `servers` DAFS servers behind a
+/// switched fabric, **one session per client per server** — the striped
+/// scale-out fixture: [`with_sharded_dafs_fabric`]'s topology with
+/// [`with_dafs_cluster`]'s session shape, so every client can assemble a
+/// [`dafs::DafsStripedFile`] over the whole server set while its frames
+/// ride the switch's shared egress queues. Construction order matches the
+/// sharded fixture: server hosts first (ids `0..servers`), then `topo`
+/// builds the topology (allocating its switch pseudo-hosts), then client
+/// hosts follow and ride the topology's default attachment.
+#[allow(clippy::too_many_arguments)]
+pub fn with_striped_dafs_fabric<F>(
+    servers: usize,
+    clients: usize,
+    via_cost: ViaCost,
+    server_cost: DafsServerCost,
+    client_cfg: DafsClientConfig,
+    plan: Option<FaultPlan>,
+    topo: impl FnOnce(&Cluster, &[HostId]) -> Topology,
+    prefill: impl FnOnce(&[MemFs]),
+    body: F,
+) -> (Vec<MemFs>, Arc<Topology>, RunObs)
+where
+    F: Fn(&ActorCtx, usize, &[Arc<DafsClient>], &ViaNic) + Send + Sync + 'static,
+{
+    let kernel = SimKernel::new();
+    let cluster = Cluster::new();
+    let fabric = Arc::new(ViaFabric::new(via_cost));
+    let mut fss = Vec::new();
+    let mut sids = Vec::new();
+    for s in 0..servers {
+        let nic = fabric.open_nic(cluster.add_host(&format!("server{s}")));
+        let fs = MemFs::new();
+        fss.push(fs.clone());
+        let h = dafs::spawn_dafs_server(&kernel, &fabric, nic, fs, PORT, server_cost);
+        sids.push(h.host.id);
+    }
+    let topology = Arc::new(topo(&cluster, &sids));
+    fabric.set_topology(topology.clone());
+    if let Some(p) = plan {
+        fabric.set_fault_plan(p);
+    }
+    prefill(&fss);
+    let body = Arc::new(body);
+    for i in 0..clients {
+        let fabric = fabric.clone();
+        let host = cluster.add_host(&format!("client{i}"));
+        let sids = sids.clone();
+        let body = body.clone();
+        kernel.spawn(&format!("client{i}"), move |ctx| {
+            let nic = fabric.open_nic(host.clone());
+            let cs: Vec<Arc<DafsClient>> = sids
+                .iter()
+                .map(|&sid| {
+                    Arc::new(
+                        DafsClient::connect(ctx, &fabric, &nic, sid, PORT, client_cfg).unwrap(),
+                    )
+                })
+                .collect();
+            body(ctx, i, &cs, &nic);
+            for c in &cs {
+                c.disconnect(ctx);
+            }
+        });
+    }
+    let obs = kernel.obs().clone();
+    let end = kernel.run();
+    topology.publish_metrics(obs.registry());
+    (fss, topology, RunObs { obs, end })
+}
+
 /// Run one client actor against a fresh NFS server.
 pub fn with_nfs_client<F>(
     tcp_cost: TcpCost,

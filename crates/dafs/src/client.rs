@@ -105,6 +105,12 @@ pub struct DafsCacheStats {
     pub recalls: Counter,
     /// Cached pages dropped (recall, eviction, overwrite, reconnect).
     pub invalidations: Counter,
+    /// Wire requests carrying coalesced write-back flushes. Together with
+    /// `flush_pages` this is the flush amortization ratio: pages per wire
+    /// request, ≥1 once runs coalesce.
+    pub flush_batches: Counter,
+    /// Dirty pages retired through those flush requests.
+    pub flush_pages: Counter,
 }
 
 /// Lease-coherent cache state: pages and attributes the client may serve
@@ -383,6 +389,8 @@ impl DafsClient {
             "dafs.regcache.evictions",
             "dafs.cache.hits",
             "dafs.cache.attr_hits",
+            "dafs.cache.flush_batches",
+            "dafs.cache.flush_pages",
         ] {
             let _ = ctx.metrics().counter(name);
         }
@@ -1020,44 +1028,65 @@ impl DafsClient {
         }
     }
 
-    /// Flush `fh`'s dirty write-back extents, lowest offset first. Each
-    /// write's self-coherence hook retires the pages it covers, so this
-    /// terminates with nothing dirty for the file.
-    fn cache_flush_fh(&self, ctx: &ActorCtx, fh: NodeId) -> DafsResult<()> {
+    /// Flush `fh`'s dirty write-back pages in one coalesced pass: snapshot
+    /// every dirty run (contiguous full pages merge into one segment; a
+    /// short page is the file's tail, and since it ends before the next
+    /// page boundary it ends its run naturally), gather the bytes into a
+    /// staging buffer, and ship the whole sorted run set as a vectored
+    /// `WriteList` batch — one wire request per credit-window chunk
+    /// instead of one per extent. A flush interrupted by session death
+    /// falls back per segment through the replayable inline path inside
+    /// [`Self::batch_finish`], so the bytes still land exactly once.
+    /// Returns the number of dirty pages flushed.
+    fn cache_flush_fh(&self, ctx: &ActorCtx, fh: NodeId) -> DafsResult<u64> {
         let page = self.config.cache_page.max(1);
-        loop {
-            let extent = {
-                let c = self.cache.lock();
-                let mut it = c.dirty.iter().filter(|(f, _)| *f == fh.0).map(|(_, p)| *p);
-                match it.next() {
-                    None => None,
-                    Some(first) => {
-                        let mut last = first;
-                        let mut data = c
-                            .pages
-                            .get(&(fh.0, first))
-                            .expect("dirty page cached")
-                            .clone();
-                        for p in it {
-                            // Only extend over full pages: a short page is
-                            // the file's tail and must end the extent.
-                            if p != last + 1 || !(data.len() as u64).is_multiple_of(page) {
-                                break;
-                            }
-                            data.extend_from_slice(
-                                c.pages.get(&(fh.0, p)).expect("dirty page cached"),
-                            );
-                            last = p;
-                        }
-                        Some((first * page, data))
-                    }
+        let (segs, data, pages_n, attr) = {
+            let c = self.cache.lock();
+            let mut segs: Vec<proto::ListSeg> = Vec::new();
+            let mut data: Vec<u8> = Vec::new();
+            let mut pages_n = 0u64;
+            for &(_, p) in c.dirty.range((fh.0, 0)..=(fh.0, u64::MAX)) {
+                let bytes = c.pages.get(&(fh.0, p)).expect("dirty page cached");
+                let off = p * page;
+                match segs.last_mut() {
+                    Some(s) if s.0 + s.1 == off => s.1 += bytes.len() as u64,
+                    _ => segs.push((off, bytes.len() as u64, data.len() as u64)),
                 }
-            };
-            let Some((off, data)) = extent else {
-                return Ok(());
-            };
-            self.write_bytes(ctx, fh, off, &data)?;
+                data.extend_from_slice(bytes);
+                pages_n += 1;
+            }
+            (segs, data, pages_n, c.attrs.get(&fh.0).copied())
+        };
+        if segs.is_empty() {
+            return Ok(0);
         }
+        let sb = self.scratch(data.len());
+        self.nic.host().mem.write(sb, &data);
+        let ops = ctx.metrics().counter("dafs.ops");
+        let before = ops.get();
+        let req = ListReq { fh, segs, buf: sb };
+        let b = self.write_list_batch_begin(ctx, std::slice::from_ref(&req));
+        let res = self.batch_finish(ctx, b).remove(0);
+        // Wire requests this flush cost, fallback replays included — the
+        // amortization numerator benches assert against flush_pages.
+        let wire = ops.get() - before;
+        self.cache_stats.flush_batches.add(wire);
+        ctx.metrics().counter("dafs.cache.flush_batches").add(wire);
+        self.cache_stats.flush_pages.add(pages_n);
+        ctx.metrics().counter("dafs.cache.flush_pages").add(pages_n);
+        res?;
+        // The batch's self-coherence hook retired the flushed span but
+        // also forgot the cached attr (a raw list write carries no attr
+        // reply). The write lease still vouches for the size this client
+        // tracked while buffering, so restore it rather than paying a
+        // wire GETATTR on the next cached access.
+        if let Some(a) = attr {
+            let mut c = self.cache.lock();
+            if c.leases.contains_key(&fh.0) {
+                c.attrs.insert(fh.0, a);
+            }
+        }
+        Ok(pages_n)
     }
 
     /// Self-coherence hook on every server-bound write: drop cached pages
@@ -1373,18 +1402,21 @@ impl DafsClient {
     }
 
     /// Flush every dirty write-back page to the server (the cache half of
-    /// MPI_File_sync). Leases stay held.
-    pub fn cache_sync(&self, ctx: &ActorCtx) -> DafsResult<()> {
+    /// MPI_File_sync). Leases stay held. Returns the number of pages
+    /// flushed — zero means the sync cost no wire traffic at all, which
+    /// callers use to skip the server-side `Flush` commit round trip.
+    pub fn cache_sync(&self, ctx: &ActorCtx) -> DafsResult<u64> {
         self.cache_service(ctx)?;
         let fhs: Vec<u64> = {
             let c = self.cache.lock();
             let set: BTreeSet<u64> = c.dirty.iter().map(|(f, _)| *f).collect();
             set.into_iter().collect()
         };
+        let mut flushed = 0;
         for fh in fhs {
-            self.cache_flush_fh(ctx, NodeId(fh))?;
+            flushed += self.cache_flush_fh(ctx, NodeId(fh))?;
         }
-        Ok(())
+        Ok(flushed)
     }
 
     /// Voluntarily hand the lease on `fh` back after flushing it — the

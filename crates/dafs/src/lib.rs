@@ -826,6 +826,44 @@ mod tests {
     }
 
     #[test]
+    fn zero_dirty_cache_sync_is_wire_free() {
+        let b = bed();
+        b.fs.create(ROOT_ID, "clean").unwrap();
+        let fh = b.fs.resolve("/clean").unwrap().id;
+        let payload: Vec<u8> = (0..4096u32).map(|i| (i * 31 % 251) as u8).collect();
+        b.fs.write(fh, 0, &payload).unwrap();
+        let cfg = DafsClientConfig {
+            cache_write_back: true,
+            ..client_config()
+        };
+        let want = payload.clone();
+        with_client(&b, cfg, move |ctx, c, nic| {
+            // Nothing cached at all: sync must not touch the wire.
+            let ops = c.stats.ops.get();
+            assert_eq!(c.cache_sync(ctx).unwrap(), 0);
+            assert_eq!(c.stats.ops.get(), ops, "empty-cache sync sent a request");
+            // Holding a clean lease: still nothing to flush, still no wire.
+            let f = c.lookup(ctx, ROOT_ID, "clean").unwrap();
+            let dst = nic.host().mem.alloc(4096);
+            assert_eq!(c.read_cached(ctx, f.id, 0, dst, 4096).unwrap(), 4096);
+            assert_eq!(nic.host().mem.read_vec(dst, 4096), want);
+            let ops = c.stats.ops.get();
+            assert_eq!(c.cache_sync(ctx).unwrap(), 0);
+            assert_eq!(c.stats.ops.get(), ops, "clean-lease sync sent a request");
+            // Dirty → one flush; the immediate second sync is a no-op again.
+            let src = nic.host().mem.alloc(4096);
+            nic.host().mem.fill(src, 4096, 0x3C);
+            c.write_cached(ctx, f.id, 0, src, 4096).unwrap();
+            assert_eq!(c.cache_sync(ctx).unwrap(), 1);
+            let ops = c.stats.ops.get();
+            assert_eq!(c.cache_sync(ctx).unwrap(), 0);
+            assert_eq!(c.stats.ops.get(), ops, "back-to-back sync sent a request");
+        });
+        b.kernel.run();
+        assert_eq!(b.fs.read(fh, 0, 4096).unwrap(), vec![0x3C; 4096]);
+    }
+
+    #[test]
     fn cached_reread_is_wire_free() {
         let b = bed();
         b.fs.create(ROOT_ID, "hot").unwrap();

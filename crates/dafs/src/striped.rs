@@ -585,6 +585,19 @@ impl DafsStripedFile {
         Ok(size)
     }
 
+    /// Flush every server's dirty write-back pages through its session's
+    /// coalesced `WriteList` path ([`DafsClient::cache_sync`]); each
+    /// server ships only its own stripe fragments, so the batching splits
+    /// per server exactly like the raw striped write fan-out. Returns the
+    /// total pages flushed across servers — zero means no wire traffic.
+    pub fn cache_sync(&self, ctx: &ActorCtx) -> DafsResult<u64> {
+        let mut flushed = 0;
+        for c in &self.clients {
+            flushed += c.cache_sync(ctx)?;
+        }
+        Ok(flushed)
+    }
+
     /// Flush dirty cached pages and release every server's leases on this
     /// file (close-time hygiene for cached sessions).
     pub fn cache_release(&self, ctx: &ActorCtx) -> DafsResult<()> {

@@ -378,6 +378,16 @@ pub trait AdioFile: Send + Sync {
     /// Flush to stable storage (`MPI_File_sync`).
     fn flush(&self, ctx: &ActorCtx) -> AdioResult<()>;
 
+    /// True when this handle can serve collective window I/O through a
+    /// lease-coherent client cache (the `romio_cb_cache` hint): two-phase
+    /// aggregators then write aggregated windows via [`Self::write_contig`]
+    /// so the bytes buffer dirty and drain on the coalesced write-back
+    /// flush, and serve exchange reads from leased pages via
+    /// [`Self::read_contig`]. Default: no cache, keep the list/batch path.
+    fn cache_collective(&self) -> bool {
+        false
+    }
+
     /// Atomically advance the shared file pointer by `nbytes`, returning
     /// its previous value. `Err(NotSupported)` where the filesystem has no
     /// locking primitive.
@@ -903,7 +913,28 @@ impl AdioFile for DafsFileHandle {
     }
 
     fn flush(&self, ctx: &ActorCtx) -> AdioResult<()> {
+        if self.cached {
+            // Drain dirty write-back pages through the coalesced
+            // `WriteList` flush, then hand the lease back: `MPI_File_sync`
+            // is the coherence point of MPI's weak consistency model, so
+            // the next access revalidates and another rank's conflicting
+            // op never parks behind a holder that is blocked in a
+            // collective. A clean handle with no lease syncs wire-free —
+            // the server-side `Flush` commit round trip only ships when
+            // data actually moved.
+            let flushed = self.client.cache_sync(ctx).map_err(AdioError::from)?;
+            self.client
+                .cache_release(ctx, self.fh)
+                .map_err(AdioError::from)?;
+            if flushed == 0 {
+                return Ok(());
+            }
+        }
         self.client.flush(ctx, self.fh).map_err(AdioError::from)
+    }
+
+    fn cache_collective(&self) -> bool {
+        self.cached
     }
 
     fn shared_fetch_add(&self, ctx: &ActorCtx, nbytes: u64) -> AdioResult<u64> {
@@ -1245,7 +1276,20 @@ impl AdioFile for DafsStripedFileHandle {
     }
 
     fn flush(&self, ctx: &ActorCtx) -> AdioResult<()> {
+        if self.cached {
+            // Per-server coalesced write-back drain, then lease handback
+            // (sync is the coherence point); wire-free when clean.
+            let flushed = self.file.cache_sync(ctx).map_err(AdioError::from)?;
+            self.file.cache_release(ctx).map_err(AdioError::from)?;
+            if flushed == 0 {
+                return Ok(());
+            }
+        }
         self.file.flush(ctx).map_err(AdioError::from)
+    }
+
+    fn cache_collective(&self) -> bool {
+        self.cached
     }
 
     fn shared_fetch_add(&self, ctx: &ActorCtx, nbytes: u64) -> AdioResult<u64> {

@@ -295,6 +295,18 @@ pub fn write_at_all(
     let host = file.host().clone();
     let is_agg = comm.rank() < sweep.naggs;
     let pipelined = file.hints().cb_pipeline != TriState::Disable;
+    // Cache-aware collective buffering (`romio_cb_cache`): aggregated
+    // windows go through the lease-coherent write-back cache — one local
+    // copy per run now, the wire drain riding the coalesced `WriteList`
+    // flush at sync/release. Strictly opt-in, and only on handles opened
+    // with `dafs_cache` enabled (`cache_collective` captures that).
+    // Single-aggregator sweeps only: the write lease spans the whole
+    // file, so a second buffering aggregator would park the first's
+    // write-through behind a recall its holder — blocked in the next
+    // exchange — can never service. Wider sweeps keep the list path.
+    let cb_cache = file.hints().cb_cache == TriState::Enable
+        && file.adio().cache_collective()
+        && sweep.naggs == 1;
     // Two collective buffers when pipelining: batch k-1 drains from one
     // while phase k overlays into the other.
     let nbufs = if pipelined { 2 } else { 1 };
@@ -368,7 +380,16 @@ pub fn write_at_all(
             charge_phase(ctx, "mpiio.twophase.aggregation_ns", &mut mark);
             reqs = Some(r);
         }
-        if pipelined {
+        if cb_cache {
+            // Buffer the aggregated runs dirty in the client cache; no
+            // per-window wire batch — the flush coalesces them later.
+            if let Some(r) = reqs {
+                for (off, addr, len) in &r {
+                    file.adio().write_contig(ctx, *off, *addr, *len)?;
+                }
+                charge_phase(ctx, "mpiio.twophase.io_ns", &mut mark);
+            }
+        } else if pipelined {
             // Drain window k-1 only now — its filesystem time since issue
             // ran under this phase's pack/exchange.
             drain_window_batch(ctx, pending.take(), &mut mark)?;
@@ -417,6 +438,10 @@ pub fn read_at_all(
     let host = file.host().clone();
     let is_agg = comm.rank() < sweep.naggs;
     let pipelined = file.hints().cb_pipeline != TriState::Disable;
+    // Cache-aware collective buffering (`romio_cb_cache`): aggregators
+    // fill their windows through the lease-coherent cache, so re-read
+    // sweeps serve exchange data from leased pages without wire traffic.
+    let cb_cache = file.hints().cb_cache == TriState::Enable && file.adio().cache_collective();
     // Two collective buffers when pipelining: window k reads into one
     // while window k-1's replies ship from the other.
     let nbufs = if pipelined { 2 } else { 1 };
@@ -480,7 +505,14 @@ pub fn read_at_all(
                     .map(|(off, len)| (*off, cbuf.offset(off - ws), *len))
                     .collect();
                 charge_phase(ctx, "mpiio.twophase.aggregation_ns", &mut mark);
-                pending = Some((file.adio().iread_list(ctx, &reqs), ctx.now()));
+                if cb_cache {
+                    // Leased pages answer locally; misses fetch-and-keep.
+                    for (off, addr, len) in &reqs {
+                        file.adio().read_contig(ctx, *off, *addr, *len)?;
+                    }
+                } else {
+                    pending = Some((file.adio().iread_list(ctx, &reqs), ctx.now()));
+                }
                 // Post cost of issuing the batch.
                 charge_phase(ctx, "mpiio.twophase.io_ns", &mut mark);
                 served = Some((cbuf, ws));
@@ -511,7 +543,14 @@ pub fn read_at_all(
                     .map(|(off, len)| (*off, cbuf.offset(off - ws), *len))
                     .collect();
                 charge_phase(ctx, "mpiio.twophase.aggregation_ns", &mut mark);
-                file.adio().read_list(ctx, &reqs)?;
+                if cb_cache {
+                    // Leased pages answer locally; misses fetch-and-keep.
+                    for (off, addr, len) in &reqs {
+                        file.adio().read_contig(ctx, *off, *addr, *len)?;
+                    }
+                } else {
+                    file.adio().read_list(ctx, &reqs)?;
+                }
                 charge_phase(ctx, "mpiio.twophase.io_ns", &mut mark);
                 served = Some((cbuf, ws));
             }

@@ -214,6 +214,16 @@ pub const HINT_SPECS: &[HintSpec] = &[
         get: |h| HintValue::Tri(h.cb_pipeline),
     },
     HintSpec {
+        key: "romio_cb_cache",
+        kind: HintKind::Tri,
+        set: |h, v| {
+            if let HintValue::Tri(t) = v {
+                h.cb_cache = t;
+            }
+        },
+        get: |h| HintValue::Tri(h.cb_cache),
+    },
+    HintSpec {
         key: "dafs_listio",
         kind: HintKind::Tri,
         set: |h, v| {
@@ -289,6 +299,7 @@ pub const TRI_ENV_OVERRIDES: &[(&str, &str)] = &[
     ("dafs_listio", "MPIO_DAFS_LISTIO"),
     ("dafs_cache", "MPIO_DAFS_CACHE"),
     ("dafs_qos", "MPIO_DAFS_QOS"),
+    ("romio_cb_cache", "MPIO_ROMIO_CB_CACHE"),
 ];
 
 /// The value an `MPIO_DAFS_*` override variable contributes: its parsed
@@ -333,6 +344,15 @@ pub struct Hints {
     /// `Automatic` means on; `disable` forces the strictly synchronous
     /// sweep.
     pub cb_pipeline: TriState,
+    /// Cache-aware collective buffering: with this **and** `dafs_cache`
+    /// enabled, two-phase aggregators write their aggregated windows
+    /// through the lease-coherent write-back cache (the drain rides the
+    /// coalesced `WriteList` flush at sync/close) and serve exchange
+    /// reads from leased pages. `Automatic` means **off** — like
+    /// `dafs_cache`, it changes when bytes reach the server, so it is
+    /// strictly opt-in via `enable`; `disable` is byte-identical to the
+    /// plain pipelined sweep. Inert on non-DAFS backends.
+    pub cb_cache: TriState,
     /// Vectored list I/O on DAFS backends: ship a sorted `(offset, len)`
     /// list as one wire request instead of data-sieving the covering
     /// extent. `Automatic` means on where the backend supports it (DAFS,
@@ -380,6 +400,7 @@ impl Default for Hints {
             ds_read: TriState::Automatic,
             ds_write: TriState::Automatic,
             cb_pipeline: TriState::Automatic,
+            cb_cache: tri_env_default("MPIO_ROMIO_CB_CACHE"),
             dafs_listio: tri_env_default("MPIO_DAFS_LISTIO"),
             dafs_cache: tri_env_default("MPIO_DAFS_CACHE"),
             dafs_qos: tri_env_default("MPIO_DAFS_QOS"),
@@ -555,6 +576,18 @@ mod tests {
     }
 
     #[test]
+    fn cb_cache_toggle() {
+        // Off by default, strictly opt-in — like dafs_cache.
+        assert_eq!(Hints::default().cb_cache, TriState::Automatic);
+        let h = Hints::from_pairs([("romio_cb_cache", "enable")]);
+        assert_eq!(h.cb_cache, TriState::Enable);
+        let h = Hints::from_pairs([("romio_cb_cache", "disable")]);
+        assert_eq!(h.cb_cache, TriState::Disable);
+        let h = Hints::from_pairs([("romio_cb_cache", "sometimes")]);
+        assert_eq!(h.cb_cache, TriState::Automatic);
+    }
+
+    #[test]
     fn dafs_listio_toggle() {
         assert_eq!(Hints::default().dafs_listio, TriState::Automatic);
         let h = Hints::from_pairs([("dafs_listio", "disable")]);
@@ -676,11 +709,15 @@ mod tests {
         assert_eq!(tri_env_value(Some("false")), TriState::Disable);
         assert_eq!(tri_env_value(Some("whatever")), TriState::Automatic);
         // Every override entry names a known tri-state hint and a
-        // namespaced variable.
+        // variable in the project env namespace (`MPIO_DAFS_*` for the
+        // DAFS-backend hints, `MPIO_ROMIO_*` for the ROMIO-level ones).
         for (key, var) in TRI_ENV_OVERRIDES {
             let spec = hint_spec(key).expect("override key must be a spec");
             assert_eq!(spec.kind, HintKind::Tri, "{key}");
-            assert!(var.starts_with("MPIO_DAFS_"), "{var}");
+            assert!(
+                var.starts_with("MPIO_DAFS_") || var.starts_with("MPIO_ROMIO_"),
+                "{var}"
+            );
         }
     }
 }

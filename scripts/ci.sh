@@ -47,6 +47,10 @@ echo "$x5_out" | grep -q "cached+loss" || {
     echo "ci: R-X5 output missing the degraded cached+loss row" >&2
     exit 1
 }
+echo "$x5_out" | grep -q "scale-out" || {
+    echo "ci: R-X5 output missing the striped scale-out ladder" >&2
+    exit 1
+}
 
 echo "==> R-F10 switched-fabric smoke (incast/oversubscription sweep)"
 f10_out=$(cargo run --release -p mpio-dafs-bench --bin f10_fabric_sweep -- --smoke)
@@ -71,9 +75,10 @@ echo "==> R-K1 kernel-speed floor (wall-clock events/s regression gate)"
 # The simulator itself must stay fast: the smoke-size kernel microbench
 # has to dispatch at least this many events per wall-clock second on
 # every workload shape. The floor is ~10x below what the zero-copy /
-# per-actor-condvar kernel measures on a quiet machine, so it only trips
-# on a genuine dispatch-path regression, not scheduler noise.
-cargo run --release -p mpio-dafs-bench --bin kernel_speed -- --smoke --floor 20000
+# per-actor-condvar / same-timestamp-batching kernel measures on a quiet
+# machine, so it only trips on a genuine dispatch-path regression, not
+# scheduler noise.
+cargo run --release -p mpio-dafs-bench --bin kernel_speed -- --smoke --floor 25000
 
 echo "==> bench suite byte-identity under MPIO_DAFS_CACHE=disable"
 # The client cache must be invisible when disabled: the full suite, run
@@ -83,14 +88,17 @@ echo "==> bench suite byte-identity under MPIO_DAFS_CACHE=disable"
 # scheduler: with MPIO_DAFS_SCHED unset (or =disable) the server's
 # default FifoSched must be byte-identical in virtual time to the
 # pre-scheduler dispatch loop, so the goldens double as that gate —
-# X-6's fifo rows come from the same FifoSched path.
+# X-6's fifo rows come from the same FifoSched path. Likewise
+# MPIO_ROMIO_CB_CACHE=disable pins cache-aware collective I/O off: the
+# two-phase sweep must take the plain list-I/O path bit-for-bit.
 # Wall-clock lines are real elapsed time (nondeterministic by design):
 # the per-table harness throughput notes in the rendered text, R-F10's
-# embedded cell note, and the R-K1 microbench (whose title carries the
+# embedded cell notes, and the R-K1 microbench (whose title carries the
 # marker, excluding its whole JSON line). Both diffs filter them; every
 # other line is compared byte-for-byte.
 tmp_json=$(mktemp) tmp_txt=$(mktemp)
-MPIO_DAFS_CACHE=disable MPIO_DAFS_SCHED=disable MPIO_DAFS_JSON="$tmp_json" \
+MPIO_DAFS_CACHE=disable MPIO_DAFS_SCHED=disable MPIO_ROMIO_CB_CACHE=disable \
+    MPIO_DAFS_JSON="$tmp_json" \
     cargo run --release -p mpio-dafs-bench --bin all_experiments >"$tmp_txt"
 grep -v 'wall-clock' bench_output.txt >"$tmp_txt.golden"
 grep -v 'wall-clock' "$tmp_txt" >"$tmp_txt.got"
@@ -98,12 +106,30 @@ diff -u "$tmp_txt.golden" "$tmp_txt.got" || {
     echo "ci: bench_output.txt differs under MPIO_DAFS_CACHE=disable" >&2
     exit 1
 }
-grep -v 'wall-clock' BENCH_9.json >"$tmp_json.golden"
+grep -v 'wall-clock' BENCH_10.json >"$tmp_json.golden"
 grep -v 'wall-clock' "$tmp_json" >"$tmp_json.got"
 diff -u "$tmp_json.golden" "$tmp_json.got" || {
-    echo "ci: BENCH_9.json differs under MPIO_DAFS_CACHE=disable" >&2
+    echo "ci: BENCH_10.json differs under MPIO_DAFS_CACHE=disable" >&2
     exit 1
 }
+
+echo "==> R-F10 1024-client cell wall-clock budget"
+# The 1024-client cell is the largest single simulation in the suite;
+# same-timestamp pop batching keeps it dispatching well above this
+# floor (~10x below a quiet-machine run), so a kernel or fabric
+# regression that makes the big cells crawl fails CI instead of just
+# making the suite slow. The note comes from the identity run above.
+f10_rate=$(sed -n 's|.*1024-client s=4 o=1:1 cell ran [0-9]* sim events in [0-9.]*s (\([0-9]*\) events/s).*|\1|p' "$tmp_txt")
+if [ -z "$f10_rate" ]; then
+    echo "ci: R-F10 output missing the 1024-client cell wall-clock note" >&2
+    exit 1
+fi
+if [ "$f10_rate" -lt 1200 ]; then
+    echo "ci: R-F10 1024-client cell too slow: $f10_rate events/s (floor 1200)" >&2
+    exit 1
+fi
+echo "1024-client cell: $f10_rate events/s (floor 1200)"
+
 rm -f "$tmp_json" "$tmp_txt" "$tmp_txt.golden" "$tmp_txt.got" "$tmp_json.golden" "$tmp_json.got"
 
 echo "==> cargo clippy --workspace -- -D warnings"
